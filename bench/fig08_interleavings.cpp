@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Figure 8: number of unique memory-access interleavings per test
+ * configuration, for four platform variants — bare-metal with no false
+ * sharing, bare-metal with 4 and with 16 shared words per cache line,
+ * and the OS-interference (Linux) environment.
+ *
+ * Scale via MTC_ITERATIONS / MTC_TESTS (defaults are reduced from the
+ * paper's 65,536 iterations x 10 tests; see EXPERIMENTS.md). An
+ * optional argv[1] comma-separated list of configuration names
+ * restricts the run (e.g. "ARM-2-50-32,x86-4-50-64").
+ */
+
+#include <iostream>
+#include <sstream>
+
+#include "harness/campaign.h"
+#include "support/table.h"
+#include "testgen/test_config.h"
+
+using namespace mtc;
+
+int
+main(int argc, char **argv)
+{
+    CampaignConfig base = CampaignConfig::fromEnv();
+
+    std::vector<TestConfig> configs = figure8Configs();
+    if (argc > 1) {
+        std::vector<TestConfig> filtered;
+        std::istringstream names(argv[1]);
+        std::string name;
+        while (std::getline(names, name, ','))
+            filtered.push_back(parseConfigName(name));
+        configs = filtered;
+    }
+
+    std::cout << "Figure 8: unique memory-access interleavings\n"
+              << "(iterations=" << base.iterations << ", tests/config="
+              << base.testsPerConfig << "; paper: 65536 x 10)\n\n";
+
+    TablePrinter table({"config", "bare-metal", "4 words/line",
+                        "16 words/line", "Linux"});
+
+    for (const TestConfig &cfg : configs) {
+        std::vector<std::string> row{cfg.name()};
+
+        for (unsigned words_per_line : {1u, 4u, 16u}) {
+            TestConfig variant = cfg;
+            variant.wordsPerLine = words_per_line;
+            CampaignConfig campaign = base;
+            campaign.runConventional = false;
+            const ConfigSummary summary = runConfig(variant, campaign);
+            row.push_back(TablePrinter::fmt(summary.avgUniqueSignatures,
+                                            1));
+        }
+
+        CampaignConfig linux_campaign = base;
+        linux_campaign.runConventional = false;
+        linux_campaign.variant = PlatformVariant::Linux;
+        const ConfigSummary linux_summary =
+            runConfig(cfg, linux_campaign);
+        row.push_back(
+            TablePrinter::fmt(linux_summary.avgUniqueSignatures, 1));
+
+        table.addRow(std::move(row));
+    }
+
+    table.print(std::cout);
+    writeFile("fig08_interleavings.csv", table.toCsv());
+    std::cout << "\n(csv written to fig08_interleavings.csv)\n";
+    return 0;
+}

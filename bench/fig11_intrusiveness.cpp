@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Figure 11: intrusiveness of verification — memory accesses unrelated
+ * to the test execution (signature-word stores), normalized against
+ * the register-flushing baseline that stores every loaded value.
+ * The paper reports 7% on average (3.9% to 11.5%), with the average
+ * execution-signature size annotated inside each bar.
+ *
+ * These metrics are purely static per test (plan layout), so this
+ * bench needs no platform execution; tests per configuration is the
+ * only scale knob (MTC_TESTS, paper: 10).
+ */
+
+#include <iostream>
+
+#include "core/codesize.h"
+#include "core/instr_plan.h"
+#include "core/load_analysis.h"
+#include "harness/campaign.h"
+#include "support/rng.h"
+#include "support/table.h"
+#include "testgen/generator.h"
+#include "testgen/test_config.h"
+
+using namespace mtc;
+
+int
+main()
+{
+    CampaignConfig campaign = CampaignConfig::fromEnv();
+
+    std::cout << "Figure 11: memory accesses unrelated to the test\n"
+              << "(tests/config=" << campaign.testsPerConfig
+              << "; register-flushing baseline = 100%)\n\n";
+
+    TablePrinter table({"config", "unrelated accesses", "signature (B)",
+                        "loads", "sig words"});
+
+    double sum = 0.0;
+    unsigned rows = 0;
+    for (const TestConfig &cfg : figure8Configs()) {
+        Rng seeder(campaign.seed ^ cfg.numThreads * 131 ^
+                   cfg.opsPerThread * 17 ^ cfg.numLocations);
+        double unrelated = 0.0, sig_bytes = 0.0, loads = 0.0, words = 0.0;
+        for (unsigned t = 0; t < campaign.testsPerConfig; ++t) {
+            const TestProgram program = generateTest(cfg, seeder());
+            LoadValueAnalysis analysis(program);
+            InstrumentationPlan plan(program, analysis);
+            const IntrusivenessReport report =
+                intrusiveness(program, plan);
+            unrelated += report.normalizedUnrelated();
+            sig_bytes += report.signatureBytes;
+            loads += report.testLoads;
+            words += report.signatureWords;
+        }
+        const double n = campaign.testsPerConfig;
+        sum += unrelated / n;
+        ++rows;
+        table.addRow({cfg.name(), TablePrinter::pct(unrelated / n),
+                      TablePrinter::fmt(sig_bytes / n, 1),
+                      TablePrinter::fmt(loads / n, 1),
+                      TablePrinter::fmt(words / n, 1)});
+    }
+
+    table.print(std::cout);
+    std::cout << "\naverage unrelated accesses: "
+              << TablePrinter::pct(sum / rows)
+              << " (paper: 7% average)\n";
+
+    writeFile("fig11_intrusiveness.csv", table.toCsv());
+    std::cout << "(csv written to fig11_intrusiveness.csv)\n";
+    return 0;
+}

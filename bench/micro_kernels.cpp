@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of MTraceCheck's hot kernels:
+ * signature encode/decode, observed-edge derivation, and the two
+ * checkers over a realistic unique-execution set. These complement the
+ * figure benches with stable, per-operation timings.
+ *
+ * Run: ./build/bench/micro_kernels [--benchmark_filter=...]
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "core/collective_checker.h"
+#include "core/conventional_checker.h"
+#include "core/instr_plan.h"
+#include "core/load_analysis.h"
+#include "core/signature_codec.h"
+#include "graph/graph_builder.h"
+#include "graph/topo_sort.h"
+#include "sim/executor.h"
+#include "testgen/generator.h"
+
+namespace
+{
+
+using namespace mtc;
+
+/** Shared fixture: one test + its unique executions and edge sets. */
+struct Workload
+{
+    TestProgram program;
+    LoadValueAnalysis analysis;
+    InstrumentationPlan plan;
+    SignatureCodec codec;
+    std::vector<Execution> executions;   ///< one per unique signature
+    std::vector<Signature> signatures;   ///< ascending
+    std::vector<DynamicEdgeSet> edgeSets;
+
+    explicit Workload(const char *config_name, std::uint64_t iterations)
+        : program(generateTest(parseConfigName(config_name), 42)),
+          analysis(program), plan(program, analysis),
+          codec(program, analysis, plan)
+    {
+        OperationalExecutor platform(
+            bareMetalConfig(program.config().isa));
+        Rng rng(7);
+        std::map<Signature, Execution> unique;
+        for (std::uint64_t i = 0; i < iterations; ++i) {
+            Execution execution = platform.run(program, rng);
+            EncodeResult encoded = codec.encode(execution);
+            unique.emplace(std::move(encoded.signature),
+                           std::move(execution));
+        }
+        for (auto &[signature, execution] : unique) {
+            signatures.push_back(signature);
+            edgeSets.push_back(dynamicEdges(program, execution));
+            executions.push_back(std::move(execution));
+        }
+    }
+};
+
+Workload &
+workload()
+{
+    static Workload instance("x86-4-100-64", 2048);
+    return instance;
+}
+
+void
+BM_SignatureEncode(benchmark::State &state)
+{
+    Workload &w = workload();
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            w.codec.encode(w.executions[i++ % w.executions.size()]));
+    }
+}
+BENCHMARK(BM_SignatureEncode);
+
+void
+BM_SignatureDecode(benchmark::State &state)
+{
+    Workload &w = workload();
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            w.codec.decode(w.signatures[i++ % w.signatures.size()]));
+    }
+}
+BENCHMARK(BM_SignatureDecode);
+
+void
+BM_DeriveObservedEdges(benchmark::State &state)
+{
+    Workload &w = workload();
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(dynamicEdges(
+            w.program, w.executions[i++ % w.executions.size()]));
+    }
+}
+BENCHMARK(BM_DeriveObservedEdges);
+
+void
+BM_FullTopoSort(benchmark::State &state)
+{
+    Workload &w = workload();
+    ConstraintGraph graph = buildFullGraph(
+        w.program, w.executions.front(),
+        w.program.config().model());
+    for (auto _ : state)
+        benchmark::DoNotOptimize(topologicalSort(graph));
+}
+BENCHMARK(BM_FullTopoSort);
+
+void
+BM_ConventionalCheckBatch(benchmark::State &state)
+{
+    Workload &w = workload();
+    ConventionalChecker checker(w.program, w.program.config().model());
+    for (auto _ : state) {
+        ConventionalStats stats;
+        benchmark::DoNotOptimize(checker.check(w.edgeSets, stats));
+    }
+    state.SetItemsProcessed(state.iterations() * w.edgeSets.size());
+}
+BENCHMARK(BM_ConventionalCheckBatch);
+
+void
+BM_CollectiveCheckBatch(benchmark::State &state)
+{
+    Workload &w = workload();
+    for (auto _ : state) {
+        CollectiveChecker checker(w.program,
+                                  w.program.config().model());
+        benchmark::DoNotOptimize(checker.check(w.edgeSets));
+    }
+    state.SetItemsProcessed(state.iterations() * w.edgeSets.size());
+}
+BENCHMARK(BM_CollectiveCheckBatch);
+
+void
+BM_PlatformIteration(benchmark::State &state)
+{
+    Workload &w = workload();
+    OperationalExecutor platform(bareMetalConfig(w.program.config().isa));
+    Rng rng(11);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(platform.run(w.program, rng));
+}
+BENCHMARK(BM_PlatformIteration);
+
+} // anonymous namespace
+
+BENCHMARK_MAIN();

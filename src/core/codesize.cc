@@ -1,0 +1,113 @@
+#include "core/codesize.h"
+
+namespace mtc
+{
+
+InstructionCosts
+InstructionCosts::forIsa(Isa isa)
+{
+    if (isa == Isa::X86) {
+        return InstructionCosts{
+            /*loadBytes=*/7,       // mov r32, [base+disp32]
+            /*storeBytes=*/11,     // mov dword [base+disp32], imm32
+            /*fenceBytes=*/3,      // mfence
+            /*perCandidate=*/15,   // cmp r,imm32; jne; add r64,imm32; jmp
+            /*chainTail=*/6,       // assertion trap + pad
+            /*wordInit=*/3,        // xor r64, r64
+            /*wordStore=*/8,       // mov [base+disp32], r64
+            /*flushStoreBytes=*/8, // mov [base+disp32], r32 + advance
+        };
+    }
+    // ARMv7: fixed 4-byte encodings; 32-bit immediates need movw+movt.
+    return InstructionCosts{
+        /*loadBytes=*/8,        // ldr + offset arithmetic
+        /*storeBytes=*/12,      // movw; movt; str
+        /*fenceBytes=*/4,       // dmb
+        /*perCandidate=*/16,    // movw/cmp; bne; add; b
+        /*chainTail=*/8,        // bkpt path
+        /*wordInit=*/4,         // mov r, #0
+        /*wordStore=*/8,        // str + address update
+        /*flushStoreBytes=*/8,  // str + pointer bump
+    };
+}
+
+namespace
+{
+
+std::uint64_t
+originalBytes(const TestProgram &program, const InstructionCosts &costs)
+{
+    std::uint64_t bytes = 0;
+    for (const auto &body : program.threadBodies()) {
+        for (const MemOp &mem_op : body) {
+            switch (mem_op.kind) {
+              case OpKind::Load:
+                bytes += costs.loadBytes;
+                break;
+              case OpKind::Store:
+                bytes += costs.storeBytes;
+                break;
+              case OpKind::Fence:
+                bytes += costs.fenceBytes;
+                break;
+            }
+        }
+    }
+    return bytes;
+}
+
+} // anonymous namespace
+
+CodeSizeReport
+codeSize(const TestProgram &program, const LoadValueAnalysis &analysis,
+         const InstrumentationPlan &plan)
+{
+    const InstructionCosts costs =
+        InstructionCosts::forIsa(program.config().isa);
+
+    CodeSizeReport report;
+    report.originalBytes = originalBytes(program, costs);
+
+    std::uint64_t added = 0;
+    for (std::uint32_t ordinal = 0; ordinal < program.loads().size();
+         ++ordinal) {
+        added += static_cast<std::uint64_t>(
+                     analysis.candidates(ordinal).cardinality()) *
+                costs.perCandidate +
+            costs.chainTail;
+    }
+    // Per signature word: one init at the start, one store at the end.
+    added += static_cast<std::uint64_t>(plan.totalWords()) *
+        (costs.wordInit + costs.wordStore);
+
+    report.instrumentedBytes = report.originalBytes + added;
+    return report;
+}
+
+CodeSizeReport
+codeSizeRegisterFlush(const TestProgram &program)
+{
+    const InstructionCosts costs =
+        InstructionCosts::forIsa(program.config().isa);
+
+    CodeSizeReport report;
+    report.originalBytes = originalBytes(program, costs);
+    report.instrumentedBytes = report.originalBytes +
+        static_cast<std::uint64_t>(program.loads().size()) *
+            costs.flushStoreBytes;
+    return report;
+}
+
+IntrusivenessReport
+intrusiveness(const TestProgram &program, const InstrumentationPlan &plan)
+{
+    IntrusivenessReport report;
+    report.testLoads = program.loads().size();
+    report.testStores = program.stores().size();
+    report.flushStores = report.testLoads;
+    report.signatureWords = plan.totalWords();
+    report.signatureBytes = plan.signatureBytes();
+    return report;
+}
+
+} // namespace mtc

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Instruction-accurate code-size model (paper Figure 12) and the
+ * intrusiveness metric (Figure 11).
+ *
+ * We have no assembler in the loop, so sizes are computed from
+ * per-ISA instruction-encoding byte costs: fixed 4-byte instructions
+ * on ARMv7 (immediates needing movw/movt pairs), variable-length
+ * encodings on x86-64. Only the *test routine* is measured, excluding
+ * initialization and signature sorting, matching the paper's
+ * methodology.
+ *
+ * The intrusiveness metric counts memory accesses unrelated to the
+ * test: MTraceCheck stores only the signature words at the end of a
+ * run, whereas the register-flushing baseline of TSOtool stores every
+ * loaded value; their ratio is Figure 11's y-axis.
+ */
+
+#ifndef MTC_CORE_CODESIZE_H
+#define MTC_CORE_CODESIZE_H
+
+#include <cstdint>
+
+#include "core/instr_plan.h"
+#include "core/load_analysis.h"
+#include "mcm/isa.h"
+#include "testgen/test_program.h"
+
+namespace mtc
+{
+
+/** Per-ISA instruction-encoding byte costs. */
+struct InstructionCosts
+{
+    std::uint32_t loadBytes;       ///< test load (addr in base+disp)
+    std::uint32_t storeBytes;      ///< test store incl. value setup
+    std::uint32_t fenceBytes;      ///< mfence / dmb
+    std::uint32_t perCandidate;    ///< cmp + branch + add + skip
+    std::uint32_t chainTail;       ///< trailing assertion
+    std::uint32_t wordInit;        ///< zero one signature register
+    std::uint32_t wordStore;       ///< flush one signature word
+    std::uint32_t flushStoreBytes; ///< baseline: store one loaded value
+
+    static InstructionCosts forIsa(Isa isa);
+};
+
+/** Code-size measurement of one instrumented test. */
+struct CodeSizeReport
+{
+    std::uint64_t originalBytes = 0;
+    std::uint64_t instrumentedBytes = 0; ///< original + added code
+
+    double
+    ratio() const
+    {
+        return originalBytes
+            ? static_cast<double>(instrumentedBytes) / originalBytes
+            : 0.0;
+    }
+};
+
+/** Measure the test routine under the program's ISA encodings. */
+CodeSizeReport codeSize(const TestProgram &program,
+                        const LoadValueAnalysis &analysis,
+                        const InstrumentationPlan &plan);
+
+/** Code size of the register-flushing baseline instrumentation. */
+CodeSizeReport codeSizeRegisterFlush(const TestProgram &program);
+
+/** Intrusiveness accounting for Figure 11. */
+struct IntrusivenessReport
+{
+    std::uint64_t testLoads = 0;
+    std::uint64_t testStores = 0;
+
+    /** Register-flushing baseline: one store per load. */
+    std::uint64_t flushStores = 0;
+
+    /** MTraceCheck: signature words written at the end of the run. */
+    std::uint64_t signatureWords = 0;
+
+    /** Execution-signature footprint (Figure 11 bar annotations). */
+    std::uint64_t signatureBytes = 0;
+
+    /**
+     * Memory accesses unrelated to the test, normalized against the
+     * register-flushing baseline (Figure 11's y-axis).
+     */
+    double
+    normalizedUnrelated() const
+    {
+        return flushStores
+            ? static_cast<double>(signatureWords) / flushStores
+            : 0.0;
+    }
+};
+
+/** Compute Figure 11's metrics for one instrumented test. */
+IntrusivenessReport intrusiveness(const TestProgram &program,
+                                  const InstrumentationPlan &plan);
+
+} // namespace mtc
+
+#endif // MTC_CORE_CODESIZE_H

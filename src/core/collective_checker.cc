@@ -1,0 +1,239 @@
+#include "core/collective_checker.h"
+
+#include <algorithm>
+
+#include "graph/po_edges.h"
+#include "support/error.h"
+
+namespace mtc
+{
+
+CollectiveChecker::CollectiveChecker(const TestProgram &program,
+                                     MemoryModel model)
+    : prog(program), numVertices(program.numOps()),
+      staticAdj(numVertices), dynAdj(numVertices),
+      windowEpoch(numVertices, 0), windowIndeg(numVertices, 0)
+{
+    for (const Edge &edge : programOrderEdges(program, model))
+        staticAdj[edge.from].push_back(edge.to);
+    isLoad.assign(numVertices, false);
+    for (std::uint32_t v = 0; v < numVertices; ++v)
+        isLoad[v] = program.op(program.opIdAt(v)).kind == OpKind::Load;
+}
+
+std::vector<Edge>
+CollectiveChecker::applyDiff(const std::vector<Edge> &next)
+{
+    // Both lists are sorted by (from, to): merge to find additions and
+    // removals.
+    std::vector<Edge> added;
+    auto key = [](const Edge &e) {
+        return (static_cast<std::uint64_t>(e.from) << 32) | e.to;
+    };
+
+    std::size_t i = 0, j = 0;
+    while (i < currentEdges.size() || j < next.size()) {
+        if (j == next.size() ||
+            (i < currentEdges.size() &&
+             key(currentEdges[i]) < key(next[j]))) {
+            // Removed edge: releases a constraint, never invalidates.
+            auto &succ = dynAdj[currentEdges[i].from];
+            succ.erase(std::find(succ.begin(), succ.end(),
+                                 currentEdges[i].to));
+            ++i;
+        } else if (i == currentEdges.size() ||
+                   key(next[j]) < key(currentEdges[i])) {
+            dynAdj[next[j].from].push_back(next[j].to);
+            added.push_back(next[j]);
+            ++j;
+        } else {
+            ++i;
+            ++j;
+        }
+    }
+    currentEdges = next;
+    return added;
+}
+
+bool
+CollectiveChecker::fullSort()
+{
+    ++stat.completeSorts;
+
+    // Work accounting matches topologicalSort(): vertices dequeued and
+    // edges relaxed; in-degree building is not separately charged.
+    std::vector<std::uint32_t> indeg(numVertices, 0);
+    for (std::uint32_t v = 0; v < numVertices; ++v) {
+        for (std::uint32_t to : staticAdj[v])
+            ++indeg[to];
+        for (std::uint32_t to : dynAdj[v])
+            ++indeg[to];
+    }
+
+    // Two-bucket Kahn preferring stores over loads: like the paper's
+    // observation about tsort, placing stores as early as the
+    // constraints allow makes most *new* reads-from edges forward, so
+    // subsequent graphs skip re-sorting entirely.
+    std::vector<std::uint32_t> store_queue, load_queue;
+    store_queue.reserve(numVertices);
+    load_queue.reserve(numVertices);
+    auto enqueue = [&](std::uint32_t v) {
+        (isLoad[v] ? load_queue : store_queue).push_back(v);
+    };
+    for (std::uint32_t v = 0; v < numVertices; ++v)
+        if (indeg[v] == 0)
+            enqueue(v);
+
+    std::vector<std::uint32_t> order;
+    order.reserve(numVertices);
+    std::size_t store_head = 0, load_head = 0;
+    while (store_head < store_queue.size() ||
+           load_head < load_queue.size()) {
+        const std::uint32_t v = store_head < store_queue.size()
+            ? store_queue[store_head++]
+            : load_queue[load_head++];
+        ++stat.verticesProcessed;
+        order.push_back(v);
+        for (const auto *adj : {&staticAdj[v], &dynAdj[v]}) {
+            for (std::uint32_t to : *adj) {
+                ++stat.edgesProcessed;
+                if (--indeg[to] == 0)
+                    enqueue(to);
+            }
+        }
+    }
+
+    if (order.size() != numVertices) {
+        orderValid = false;
+        return false;
+    }
+
+    orderArr = std::move(order);
+    pos.assign(numVertices, 0);
+    for (std::uint32_t p = 0; p < numVertices; ++p)
+        pos[orderArr[p]] = p;
+    orderValid = true;
+    return true;
+}
+
+bool
+CollectiveChecker::windowedResort(std::uint32_t lead, std::uint32_t trail)
+{
+    // Membership + in-window in-degrees via epoch stamping.
+    ++epoch;
+    const std::uint32_t window_size = trail - lead + 1;
+    for (std::uint32_t p = lead; p <= trail; ++p) {
+        const std::uint32_t v = orderArr[p];
+        windowEpoch[v] = epoch;
+        windowIndeg[v] = 0;
+    }
+    for (std::uint32_t p = lead; p <= trail; ++p) {
+        const std::uint32_t v = orderArr[p];
+        for (const auto *adj : {&staticAdj[v], &dynAdj[v]}) {
+            for (std::uint32_t to : *adj) {
+                if (windowEpoch[to] == epoch)
+                    ++windowIndeg[to];
+            }
+        }
+    }
+
+    std::vector<std::uint32_t> queue;
+    queue.reserve(window_size);
+    for (std::uint32_t p = lead; p <= trail; ++p) {
+        const std::uint32_t v = orderArr[p];
+        if (windowIndeg[v] == 0)
+            queue.push_back(v);
+    }
+
+    std::vector<std::uint32_t> sub_order;
+    sub_order.reserve(window_size);
+    std::size_t head = 0;
+    while (head < queue.size()) {
+        const std::uint32_t v = queue[head++];
+        ++stat.verticesProcessed;
+        sub_order.push_back(v);
+        for (const auto *adj : {&staticAdj[v], &dynAdj[v]}) {
+            for (std::uint32_t to : *adj) {
+                // Every successor is touched (charged), but only
+                // in-window targets participate in the sort.
+                ++stat.edgesProcessed;
+                if (windowEpoch[to] != epoch)
+                    continue;
+                if (--windowIndeg[to] == 0)
+                    queue.push_back(to);
+            }
+        }
+    }
+
+    if (sub_order.size() != window_size) {
+        orderValid = false; // cycle inside the window
+        return false;
+    }
+
+    // Write the new sub-order back into the same position slots.
+    // Cross-boundary edges stay forward: predecessors of the window
+    // occupy positions < lead, successors positions > trail.
+    for (std::uint32_t k = 0; k < window_size; ++k) {
+        orderArr[lead + k] = sub_order[k];
+        pos[sub_order[k]] = lead + k;
+    }
+    return true;
+}
+
+bool
+CollectiveChecker::checkNext(const DynamicEdgeSet &edges)
+{
+    ++stat.graphsChecked;
+    const std::vector<Edge> added = applyDiff(edges.edges);
+
+    if (edges.coherenceViolation) {
+        // Contradictory ws constraints: flagged without sorting. The
+        // maintained order may no longer be valid for this graph, so
+        // the next graph starts from a complete sort.
+        ++stat.violations;
+        orderValid = false;
+        return true;
+    }
+
+    if (!orderValid) {
+        // First graph, or recovery after a violating graph.
+        const bool ok = fullSort();
+        if (!ok)
+            ++stat.violations;
+        return !ok;
+    }
+
+    // Classify added edges against the current order.
+    std::uint32_t lead = numVertices, trail = 0;
+    for (const Edge &edge : added) {
+        if (pos[edge.from] > pos[edge.to]) { // backward
+            lead = std::min(lead, pos[edge.to]);
+            trail = std::max(trail, pos[edge.from]);
+        }
+    }
+
+    if (lead > trail) {
+        ++stat.noResortNeeded; // all added edges forward
+        return false;
+    }
+
+    ++stat.incrementalResorts;
+    stat.affectedFraction.add(static_cast<double>(trail - lead + 1) /
+                              numVertices);
+    const bool ok = windowedResort(lead, trail);
+    if (!ok)
+        ++stat.violations;
+    return !ok;
+}
+
+std::vector<bool>
+CollectiveChecker::check(const std::vector<DynamicEdgeSet> &ordered)
+{
+    std::vector<bool> verdicts;
+    verdicts.reserve(ordered.size());
+    for (const DynamicEdgeSet &edges : ordered)
+        verdicts.push_back(checkNext(edges));
+    return verdicts;
+}
+
+} // namespace mtc

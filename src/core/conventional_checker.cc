@@ -1,0 +1,52 @@
+#include "core/conventional_checker.h"
+
+#include "graph/po_edges.h"
+#include "graph/topo_sort.h"
+
+namespace mtc
+{
+
+ConventionalChecker::ConventionalChecker(const TestProgram &program,
+                                         MemoryModel model)
+    : prog(program), staticEdges(programOrderEdges(program, model))
+{
+}
+
+bool
+ConventionalChecker::checkOne(const DynamicEdgeSet &edges,
+                              ConventionalStats &stats) const
+{
+    ++stats.graphsChecked;
+    if (edges.coherenceViolation) {
+        // The ws constraints already contradict each other; no sort
+        // can succeed and none is attempted.
+        ++stats.violations;
+        return true;
+    }
+
+    ConstraintGraph graph(prog.numOps());
+    graph.addEdges(staticEdges);
+    graph.addEdges(edges.edges);
+
+    const TopoResult result = topologicalSort(graph);
+    stats.verticesProcessed += result.verticesProcessed;
+    stats.edgesProcessed += result.edgesProcessed;
+    if (!result.acyclic) {
+        ++stats.violations;
+        return true;
+    }
+    return false;
+}
+
+std::vector<bool>
+ConventionalChecker::check(const std::vector<DynamicEdgeSet> &batch,
+                           ConventionalStats &stats) const
+{
+    std::vector<bool> verdicts;
+    verdicts.reserve(batch.size());
+    for (const DynamicEdgeSet &edges : batch)
+        verdicts.push_back(checkOne(edges, stats));
+    return verdicts;
+}
+
+} // namespace mtc

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Conventional MCM checking: one full topological sort per unique
+ * constraint graph (the paper's baseline, Section 2 / Figure 9).
+ *
+ * Vertex structures (the static program-order skeleton) are built once
+ * and recycled across graphs while edge structures are rebuilt per
+ * graph, mirroring how the paper adapted GNU tsort for its baseline
+ * measurements.
+ */
+
+#ifndef MTC_CORE_CONVENTIONAL_CHECKER_H
+#define MTC_CORE_CONVENTIONAL_CHECKER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph_builder.h"
+#include "mcm/memory_model.h"
+#include "testgen/test_program.h"
+
+namespace mtc
+{
+
+/** Work/result accounting of a batch check. */
+struct ConventionalStats
+{
+    std::uint64_t graphsChecked = 0;
+    std::uint64_t violations = 0;
+    std::uint64_t verticesProcessed = 0;
+    std::uint64_t edgesProcessed = 0;
+};
+
+/** Per-graph checker bound to one test program. */
+class ConventionalChecker
+{
+  public:
+    ConventionalChecker(const TestProgram &program, MemoryModel model);
+
+    /**
+     * Check a batch of dynamic edge sets (one per unique execution).
+     *
+     * @return violation verdict per edge set (true = MCM violation).
+     */
+    std::vector<bool> check(const std::vector<DynamicEdgeSet> &batch,
+                            ConventionalStats &stats) const;
+
+    /** Check a single execution's edge set. */
+    bool checkOne(const DynamicEdgeSet &edges,
+                  ConventionalStats &stats) const;
+
+  private:
+    const TestProgram &prog;
+    std::vector<Edge> staticEdges;
+};
+
+} // namespace mtc
+
+#endif // MTC_CORE_CONVENTIONAL_CHECKER_H

@@ -1,0 +1,73 @@
+#include "core/instr_plan.h"
+
+#include <cmath>
+
+#include "support/error.h"
+
+namespace mtc
+{
+
+InstrumentationPlan::InstrumentationPlan(const TestProgram &program,
+                                         const LoadValueAnalysis &analysis,
+                                         unsigned word_bits)
+{
+    bits = word_bits ? word_bits : registerBits(program.config().isa);
+    if (bits != 32 && bits != 64)
+        throw ConfigError("signature words must be 32 or 64 bits");
+    const std::uint64_t capacity = bits == 64
+        ? ~std::uint64_t(0)
+        : std::uint64_t(0xffffffffu);
+
+    slots.resize(program.loads().size());
+    wordsPerThread.assign(program.numThreads(), 0);
+
+    for (std::uint32_t tid = 0; tid < program.numThreads(); ++tid) {
+        std::uint32_t word = 0;
+        std::uint64_t multiplier = 1;
+        for (OpId load_id : program.loadsOfThread(tid)) {
+            const std::uint32_t ordinal = program.loadOrdinal(load_id);
+            const std::uint64_t cardinality =
+                analysis.candidates(ordinal).cardinality();
+            if (cardinality == 0)
+                throw ConfigError("load with empty candidate set");
+
+            // Would this load's maximum weight overflow the word? The
+            // word's maximum accumulated value after this load is
+            // multiplier*cardinality - 1.
+            if (cardinality > capacity / multiplier) {
+                // Start a fresh word, resetting the multipliers.
+                ++word;
+                multiplier = 1;
+                if (cardinality > capacity) {
+                    throw ConfigError(
+                        "single load cardinality exceeds word capacity");
+                }
+            }
+            slots[ordinal] = LoadSlot{word, multiplier};
+            multiplier *= cardinality;
+        }
+        // Threads with no loads still store one (always-zero) word —
+        // Figure 4: "it always stores sig=0 to memory".
+        wordsPerThread[tid] = word + 1;
+    }
+
+    wordBases.assign(program.numThreads(), 0);
+    total = 0;
+    for (std::uint32_t tid = 0; tid < program.numThreads(); ++tid) {
+        wordBases[tid] = total;
+        total += wordsPerThread[tid];
+    }
+}
+
+double
+InstrumentationPlan::estimateCardinality(const TestConfig &cfg)
+{
+    const double stores_per_thread =
+        cfg.opsPerThread * (1.0 - cfg.loadFraction);
+    const double loads_per_thread = cfg.opsPerThread * cfg.loadFraction;
+    const double per_load = 1.0 +
+        stores_per_thread / cfg.numLocations * (cfg.numThreads - 1);
+    return std::pow(per_load, loads_per_thread);
+}
+
+} // namespace mtc

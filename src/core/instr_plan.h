@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Instrumentation plan: weight assignment and signature-word layout
+ * (paper Sections 3.1-3.2, steps 2-3 of Figure 3).
+ *
+ * For each thread, loads are visited in program order. A load whose
+ * candidate set has cardinality c contributes weights {0, m, 2m, ...,
+ * (c-1)m} where m is the running multiplier; the multiplier then
+ * becomes m*c. When m*c would exceed the target register's capacity,
+ * the plan "adds another register ... and starts over the signature
+ * computation in the new register, resetting the weight multipliers"
+ * — a new signature word. This guarantees the weight encoding is a
+ * bijection between signature values and candidate-index tuples,
+ * which is what makes Algorithm-1 decoding exact.
+ */
+
+#ifndef MTC_CORE_INSTR_PLAN_H
+#define MTC_CORE_INSTR_PLAN_H
+
+#include <cstdint>
+#include <vector>
+
+#include "core/load_analysis.h"
+#include "mcm/isa.h"
+#include "testgen/test_program.h"
+
+namespace mtc
+{
+
+/** Placement of one load's weight within the signature. */
+struct LoadSlot
+{
+    /** Word (register) index within the load's thread. */
+    std::uint32_t wordIndex = 0;
+
+    /** Weight multiplier: observed candidate index i adds i*mult. */
+    std::uint64_t multiplier = 1;
+};
+
+/** Complete signature layout for one instrumented test. */
+class InstrumentationPlan
+{
+  public:
+    /**
+     * Build the plan.
+     *
+     * @param program  The test under instrumentation.
+     * @param analysis Its load-candidate tables.
+     * @param word_bits Signature register width: 64 (x86-64) or 32
+     *                 (ARMv7); defaults from the program's ISA.
+     */
+    InstrumentationPlan(const TestProgram &program,
+                        const LoadValueAnalysis &analysis,
+                        unsigned word_bits = 0);
+
+    /** Slot for a load (indexed by TestProgram load ordinal). */
+    const LoadSlot &
+    slot(std::uint32_t load_ordinal) const
+    {
+        return slots.at(load_ordinal);
+    }
+
+    /** Signature words thread @p tid produces. */
+    std::uint32_t
+    wordsForThread(std::uint32_t tid) const
+    {
+        return wordsPerThread.at(tid);
+    }
+
+    /** First word index of thread @p tid within the execution
+     * signature (prefix sum of wordsForThread). */
+    std::uint32_t
+    wordBase(std::uint32_t tid) const
+    {
+        return wordBases.at(tid);
+    }
+
+    /** Total words in an execution signature. */
+    std::uint32_t totalWords() const { return total; }
+
+    /** Signature register width in bits (32 or 64). */
+    unsigned wordBits() const { return bits; }
+
+    /** Execution-signature size in bytes (paper Figure 11 annotation):
+     * total words times the register byte width. */
+    std::uint64_t
+    signatureBytes() const
+    {
+        return static_cast<std::uint64_t>(total) * (bits / 8);
+    }
+
+    /**
+     * Theoretical per-thread signature cardinality estimate from the
+     * paper's Section 3.2 formula, {1 + S/A*(T-1)}^L, for comparison
+     * against the exact plan.
+     */
+    static double estimateCardinality(const TestConfig &cfg);
+
+  private:
+    std::vector<LoadSlot> slots;
+    std::vector<std::uint32_t> wordsPerThread;
+    std::vector<std::uint32_t> wordBases;
+    std::uint32_t total = 0;
+    unsigned bits = 64;
+};
+
+} // namespace mtc
+
+#endif // MTC_CORE_INSTR_PLAN_H

@@ -1,0 +1,165 @@
+#include "core/kmedoids.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "support/error.h"
+
+namespace mtc
+{
+
+DistanceMatrix::DistanceMatrix(const std::vector<Execution> &executions)
+    : n(static_cast<std::uint32_t>(executions.size()))
+{
+    data.assign(static_cast<std::size_t>(n) * n, 0);
+    for (std::uint32_t i = 0; i < n; ++i) {
+        for (std::uint32_t j = i + 1; j < n; ++j) {
+            const std::uint32_t d = executions[i].rfDistance(executions[j]);
+            data[static_cast<std::size_t>(i) * n + j] = d;
+            data[static_cast<std::size_t>(j) * n + i] = d;
+        }
+    }
+}
+
+namespace
+{
+
+constexpr std::uint32_t kInf = std::numeric_limits<std::uint32_t>::max();
+
+/** Nearest / second-nearest medoid distance per point. */
+struct Assignment
+{
+    std::vector<std::uint32_t> nearest;       ///< distance
+    std::vector<std::uint32_t> nearestMedoid; ///< medoid index in list
+    std::vector<std::uint32_t> second;        ///< distance
+
+    std::uint64_t
+    total() const
+    {
+        std::uint64_t sum = 0;
+        for (std::uint32_t d : nearest)
+            sum += d;
+        return sum;
+    }
+
+    void
+    rebuild(const DistanceMatrix &matrix,
+            const std::vector<std::uint32_t> &medoids)
+    {
+        const std::uint32_t n = matrix.size();
+        nearest.assign(n, kInf);
+        nearestMedoid.assign(n, 0);
+        second.assign(n, kInf);
+        for (std::uint32_t p = 0; p < n; ++p) {
+            for (std::uint32_t mi = 0; mi < medoids.size(); ++mi) {
+                const std::uint32_t d = matrix.at(p, medoids[mi]);
+                if (d < nearest[p]) {
+                    second[p] = nearest[p];
+                    nearest[p] = d;
+                    nearestMedoid[p] = mi;
+                } else if (d < second[p]) {
+                    second[p] = d;
+                }
+            }
+        }
+    }
+};
+
+} // anonymous namespace
+
+KMedoidsResult
+kMedoids(const DistanceMatrix &matrix, std::uint32_t k, Rng &rng,
+         std::uint32_t max_iter)
+{
+    const std::uint32_t n = matrix.size();
+    if (n == 0)
+        throw ConfigError("k-medoids over an empty execution set");
+    k = std::min(k, n);
+    (void)rng; // deterministic PAM; kept for interface stability
+
+    KMedoidsResult result;
+    std::vector<bool> is_medoid(n, false);
+
+    // BUILD: repeatedly add the point that reduces total cost most,
+    // tracked incrementally via the nearest-distance array.
+    std::vector<std::uint32_t> nearest(n, kInf);
+    for (std::uint32_t chosen = 0; chosen < k; ++chosen) {
+        std::int64_t best_gain = std::numeric_limits<std::int64_t>::min();
+        std::uint32_t best_candidate = 0;
+        for (std::uint32_t c = 0; c < n; ++c) {
+            if (is_medoid[c])
+                continue;
+            std::int64_t gain = 0;
+            if (chosen == 0) {
+                // First medoid: pick the point with least total cost.
+                for (std::uint32_t p = 0; p < n; ++p)
+                    gain -= matrix.at(p, c);
+            } else {
+                for (std::uint32_t p = 0; p < n; ++p) {
+                    const std::uint32_t d = matrix.at(p, c);
+                    if (d < nearest[p])
+                        gain += nearest[p] - d;
+                }
+            }
+            if (gain > best_gain) {
+                best_gain = gain;
+                best_candidate = c;
+            }
+        }
+        is_medoid[best_candidate] = true;
+        result.medoids.push_back(best_candidate);
+        for (std::uint32_t p = 0; p < n; ++p) {
+            nearest[p] =
+                std::min(nearest[p], matrix.at(p, best_candidate));
+        }
+    }
+
+    Assignment assign;
+    assign.rebuild(matrix, result.medoids);
+    result.totalDistance = assign.total();
+
+    // SWAP descent with O(n) delta evaluation per (medoid, candidate):
+    // replacing medoid mi by candidate c changes each point's cost to
+    //   min(d(p,c), nearest-excluding-mi(p))
+    // where nearest-excluding-mi is `second` if mi currently serves p.
+    for (std::uint32_t iter = 0; iter < max_iter; ++iter) {
+        ++result.iterations;
+        std::int64_t best_delta = 0;
+        std::int64_t best_mi = -1;
+        std::uint32_t best_c = 0;
+
+        for (std::uint32_t mi = 0; mi < result.medoids.size(); ++mi) {
+            for (std::uint32_t c = 0; c < n; ++c) {
+                if (is_medoid[c])
+                    continue;
+                std::int64_t delta = 0;
+                for (std::uint32_t p = 0; p < n; ++p) {
+                    const std::uint32_t d_c = matrix.at(p, c);
+                    const std::uint32_t base = assign.nearest[p];
+                    const std::uint32_t fallback =
+                        assign.nearestMedoid[p] == mi ? assign.second[p]
+                                                      : base;
+                    delta += static_cast<std::int64_t>(
+                                 std::min(d_c, fallback)) -
+                        static_cast<std::int64_t>(base);
+                }
+                if (delta < best_delta) {
+                    best_delta = delta;
+                    best_mi = mi;
+                    best_c = c;
+                }
+            }
+        }
+
+        if (best_mi < 0)
+            break; // local optimum
+        is_medoid[result.medoids[best_mi]] = false;
+        is_medoid[best_c] = true;
+        result.medoids[static_cast<std::size_t>(best_mi)] = best_c;
+        assign.rebuild(matrix, result.medoids);
+        result.totalDistance = assign.total();
+    }
+    return result;
+}
+
+} // namespace mtc

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * k-medoids clustering of executions by reads-from distance
+ * (the paper's Section 4.1 limit study, Figure 6).
+ *
+ * The study asks: could a handful of representative graphs stand in
+ * for the whole set? Distance between executions is the number of
+ * differing reads-from relationships. We implement PAM-style
+ * clustering (greedy initialization + swap descent); the paper cites
+ * the classic k-medoids formulation and notes its computational cost
+ * is what disqualifies it as a practical checker component.
+ */
+
+#ifndef MTC_CORE_KMEDOIDS_H
+#define MTC_CORE_KMEDOIDS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "support/rng.h"
+#include "testgen/execution.h"
+
+namespace mtc
+{
+
+/** Result of one clustering run. */
+struct KMedoidsResult
+{
+    /** Indices (into the execution list) of the chosen medoids. */
+    std::vector<std::uint32_t> medoids;
+
+    /**
+     * Sum over executions of the rf-distance to the nearest medoid —
+     * the "number of different reads-from relationships" axis of
+     * Figure 6.
+     */
+    std::uint64_t totalDistance = 0;
+
+    /** PAM swap iterations until convergence. */
+    std::uint32_t iterations = 0;
+};
+
+/** Precomputed pairwise rf-distance matrix. */
+class DistanceMatrix
+{
+  public:
+    explicit DistanceMatrix(const std::vector<Execution> &executions);
+
+    std::uint32_t
+    at(std::uint32_t i, std::uint32_t j) const
+    {
+        return data[static_cast<std::size_t>(i) * n + j];
+    }
+
+    std::uint32_t size() const { return n; }
+
+  private:
+    std::uint32_t n;
+    std::vector<std::uint32_t> data;
+};
+
+/**
+ * PAM k-medoids over a distance matrix.
+ *
+ * @param matrix   Pairwise distances.
+ * @param k        Number of medoids (clamped to the matrix size).
+ * @param rng      Used only to break ties deterministically.
+ * @param max_iter Swap-descent iteration cap.
+ */
+KMedoidsResult kMedoids(const DistanceMatrix &matrix, std::uint32_t k,
+                        Rng &rng, std::uint32_t max_iter = 50);
+
+} // namespace mtc
+
+#endif // MTC_CORE_KMEDOIDS_H

@@ -1,0 +1,76 @@
+#include "core/load_analysis.h"
+
+#include <unordered_map>
+
+#include "support/error.h"
+
+namespace mtc
+{
+
+LoadValueAnalysis::LoadValueAnalysis(const TestProgram &program,
+                                     AnalysisOptions options)
+{
+    sets.resize(program.loads().size());
+
+    // Precompute, per location, how many later same-thread stores to
+    // the same location follow each store (for the pruning option).
+    const std::uint32_t num_locs = program.config().numLocations;
+    std::vector<std::unordered_map<std::uint64_t, std::uint32_t>>
+        overwrite_rank(num_locs);
+    if (options.pruneWindow > 0) {
+        for (std::uint32_t loc = 0; loc < num_locs; ++loc) {
+            const auto &stores = program.storesTo(loc);
+            // storesTo is (tid, idx)-ordered: count per thread from the
+            // back.
+            for (std::size_t i = stores.size(); i-- > 0;) {
+                std::uint32_t later = 0;
+                for (std::size_t j = i + 1; j < stores.size(); ++j) {
+                    if (stores[j].tid != stores[i].tid)
+                        break;
+                    ++later;
+                }
+                overwrite_rank[loc][(std::uint64_t(stores[i].tid) << 32) |
+                                    stores[i].idx] = later;
+            }
+        }
+    }
+
+    const auto &threads = program.threadBodies();
+    for (std::uint32_t tid = 0; tid < threads.size(); ++tid) {
+        // Track the last own store per location while walking the
+        // thread in program order.
+        std::vector<std::uint32_t> last_own(num_locs, kInitValue);
+        for (std::uint32_t idx = 0; idx < threads[tid].size(); ++idx) {
+            const MemOp &mem_op = threads[tid][idx];
+            if (mem_op.kind == OpKind::Store) {
+                last_own[mem_op.loc] = mem_op.value;
+                continue;
+            }
+            if (mem_op.kind != OpKind::Load)
+                continue;
+
+            LoadCandidateSet set;
+            set.values.push_back(last_own[mem_op.loc]);
+            for (OpId store : program.storesTo(mem_op.loc)) {
+                if (store.tid == tid)
+                    continue;
+                if (options.pruneWindow > 0) {
+                    const auto it = overwrite_rank[mem_op.loc].find(
+                        (std::uint64_t(store.tid) << 32) | store.idx);
+                    if (it != overwrite_rank[mem_op.loc].end() &&
+                        it->second >= options.pruneWindow) {
+                        continue; // dead past any realistic LSQ depth
+                    }
+                }
+                set.values.push_back(program.op(store).value);
+            }
+
+            const std::uint32_t ordinal =
+                program.loadOrdinal(OpId{tid, idx});
+            total += set.values.size();
+            sets[ordinal] = std::move(set);
+        }
+    }
+}
+
+} // namespace mtc

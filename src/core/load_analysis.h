@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Static load-value analysis (step 1 of the paper's Figure 3).
+ *
+ * For every load the analysis collects the set of values the load
+ * could legally observe: the most recent program-order-earlier store
+ * of the same thread to that address (or the initial value if there is
+ * none), plus every store to that address from every other thread.
+ * Constrained-random tests are fully disambiguated by construction
+ * (unique store IDs), so the analysis is exact — the paper's "perfect
+ * memory disambiguation".
+ *
+ * The candidate *order* is part of the instrumented-code contract:
+ * candidate index i receives weight i x multiplier, and the decoder's
+ * store_maps table is this same list.
+ */
+
+#ifndef MTC_CORE_LOAD_ANALYSIS_H
+#define MTC_CORE_LOAD_ANALYSIS_H
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "testgen/test_program.h"
+
+namespace mtc
+{
+
+/** Candidate values of one load, index-addressable (store_maps row). */
+struct LoadCandidateSet
+{
+    /** Observable values; values[0] is the same-thread fallback
+     * (forwarded own store or the initial value). */
+    std::vector<std::uint32_t> values;
+
+    /** Index of @p value in the set, or nullopt (assertion fires). */
+    std::optional<std::uint32_t>
+    indexOf(std::uint32_t value) const
+    {
+        for (std::uint32_t i = 0; i < values.size(); ++i)
+            if (values[i] == value)
+                return i;
+        return std::nullopt;
+    }
+
+    std::uint32_t
+    cardinality() const
+    {
+        return static_cast<std::uint32_t>(values.size());
+    }
+};
+
+/** Options for the static-pruning extension (paper Section 8). */
+struct AnalysisOptions
+{
+    /**
+     * When non-zero, other-thread stores are only considered
+     * observable if fewer than this many same-thread stores to the
+     * same address separate them from the end of their thread —
+     * a stand-in for bounding reordering by LSQ depth. 0 disables
+     * pruning (the paper's conservative default).
+     */
+    std::uint32_t pruneWindow = 0;
+};
+
+/**
+ * Per-load candidate tables for one test program. Rows are indexed by
+ * TestProgram load ordinal.
+ */
+class LoadValueAnalysis
+{
+  public:
+    explicit LoadValueAnalysis(const TestProgram &program,
+                               AnalysisOptions options = {});
+
+    const LoadCandidateSet &
+    candidates(std::uint32_t load_ordinal) const
+    {
+        return sets.at(load_ordinal);
+    }
+
+    std::size_t numLoads() const { return sets.size(); }
+
+    /** Total candidate entries across all loads (code-size input). */
+    std::uint64_t totalCandidates() const { return total; }
+
+  private:
+    std::vector<LoadCandidateSet> sets;
+    std::uint64_t total = 0;
+};
+
+} // namespace mtc
+
+#endif // MTC_CORE_LOAD_ANALYSIS_H

@@ -1,0 +1,66 @@
+#include "core/perturbation.h"
+
+namespace mtc
+{
+
+PerturbationModel::PerturbationModel(const TestProgram &program,
+                                     const LoadValueAnalysis &analysis,
+                                     PerturbationParams params_arg)
+    : prog(program), loadAnalysis(analysis), params(params_arg),
+      lastIndex(program.loads().size(), -1)
+{
+}
+
+void
+PerturbationModel::record(const Execution &execution,
+                          const EncodeResult &encoded,
+                          std::uint32_t signature_words)
+{
+    original += execution.duration;
+
+    // Chain work executes inside each thread, concurrently with the
+    // other threads' chains, while `duration` is the parallel wall
+    // clock of the run — so the per-iteration chain cost is charged
+    // per thread (threads are balanced by construction).
+    std::uint64_t iteration_cycles =
+        encoded.comparisons * params.cyclesPerComparison +
+        static_cast<std::uint64_t>(signature_words) *
+            params.wordStoreCycles;
+
+    // Last-outcome branch predictor across iterations of the test
+    // loop: a changed candidate index redirects the chain and pays a
+    // misprediction.
+    for (std::uint32_t ordinal = 0;
+         ordinal < execution.loadValues.size(); ++ordinal) {
+        const auto index = loadAnalysis.candidates(ordinal).indexOf(
+            execution.loadValues[ordinal]);
+        if (!index)
+            continue; // assertion path, accounted by the caller
+        const std::int64_t now = static_cast<std::int64_t>(*index);
+        if (lastIndex[ordinal] >= 0 && lastIndex[ordinal] != now)
+            iteration_cycles += params.mispredictPenalty;
+        lastIndex[ordinal] = now;
+    }
+
+    compute += iteration_cycles / prog.numThreads();
+}
+
+void
+PerturbationModel::recordSortComparisons(std::uint64_t comparisons)
+{
+    sorting += comparisons * params.cyclesPerSortCompare;
+}
+
+double
+PerturbationModel::computationOverhead() const
+{
+    return original ? static_cast<double>(compute) / original : 0.0;
+}
+
+double
+PerturbationModel::sortingOverhead() const
+{
+    return original ? static_cast<double>(sorting) / original : 0.0;
+}
+
+} // namespace mtc

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Execution-overhead (perturbation) model for Figure 10.
+ *
+ * The paper breaks bare-metal test time into (1) the original test,
+ * (2) the signature-computation code, and (3) signature sorting.
+ * Component (2)'s cost is dominated by branch behaviour: "with branch
+ * predictors in place, MTraceCheck only slightly increases test
+ * execution time" when few distinct interleavings occur (the chains
+ * are perfectly predicted), but diverse interleavings make the added
+ * branches mispredict.
+ *
+ * We model a per-load last-outcome branch predictor across iterations:
+ * every executed chain comparison costs a cycle, and a load whose
+ * observed candidate index differs from the previous iteration's pays
+ * a misprediction penalty. Signature sorting is costed from the
+ * comparison count of a balanced-BST insert, which the harness reports
+ * from its actual std::set of signatures.
+ */
+
+#ifndef MTC_CORE_PERTURBATION_H
+#define MTC_CORE_PERTURBATION_H
+
+#include <cstdint>
+#include <vector>
+
+#include "core/load_analysis.h"
+#include "core/signature_codec.h"
+#include "testgen/execution.h"
+
+namespace mtc
+{
+
+/** Cycle costs of the perturbation model. */
+struct PerturbationParams
+{
+    std::uint64_t cyclesPerComparison = 1;  ///< cmp+branch, predicted
+    std::uint64_t mispredictPenalty = 14;   ///< pipeline refill
+    std::uint64_t cyclesPerSortCompare = 8; ///< BST node visit
+    std::uint64_t wordStoreCycles = 4;      ///< flush one sig word
+};
+
+/** Accumulates the Figure-10 time components across iterations. */
+class PerturbationModel
+{
+  public:
+    PerturbationModel(const TestProgram &program,
+                      const LoadValueAnalysis &analysis,
+                      PerturbationParams params = {});
+
+    /**
+     * Account one iteration: the platform-reported original duration
+     * plus the instrumented chains' dynamic cost for @p execution.
+     */
+    void record(const Execution &execution, const EncodeResult &encoded,
+                std::uint32_t signature_words);
+
+    /** Account signature-sorting work (BST comparisons) once known. */
+    void recordSortComparisons(std::uint64_t comparisons);
+
+    std::uint64_t originalCycles() const { return original; }
+    std::uint64_t signatureComputationCycles() const { return compute; }
+    std::uint64_t signatureSortingCycles() const { return sorting; }
+
+    /** Fraction of original time spent computing signatures. */
+    double computationOverhead() const;
+
+    /** Fraction of original time spent sorting signatures. */
+    double sortingOverhead() const;
+
+  private:
+    const TestProgram &prog;
+    const LoadValueAnalysis &loadAnalysis;
+    PerturbationParams params;
+
+    /** Previous iteration's candidate index per load (predictor). */
+    std::vector<std::int64_t> lastIndex;
+
+    std::uint64_t original = 0;
+    std::uint64_t compute = 0;
+    std::uint64_t sorting = 0;
+};
+
+} // namespace mtc
+
+#endif // MTC_CORE_PERTURBATION_H

@@ -1,0 +1,18 @@
+#include "core/signature.h"
+
+#include <sstream>
+
+namespace mtc
+{
+
+std::string
+Signature::toString() const
+{
+    std::ostringstream os;
+    os << std::hex;
+    for (std::size_t i = 0; i < words.size(); ++i)
+        os << (i ? ":" : "") << "0x" << words[i];
+    return os.str();
+}
+
+} // namespace mtc

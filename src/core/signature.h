@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Memory-access-interleaving signature value type (paper Section 3).
+ *
+ * An execution signature is the concatenation of per-thread signature
+ * words: thread 0's words first (most significant position), and
+ * within a thread the first word most significant — exactly the data
+ * layout the paper selects in Section 4.1 so that numerically adjacent
+ * signatures decode to structurally similar constraint graphs. Words
+ * are stored in std::uint64_t regardless of the target register width;
+ * on 32-bit ISAs only the low 32 bits are ever populated.
+ */
+
+#ifndef MTC_CORE_SIGNATURE_H
+#define MTC_CORE_SIGNATURE_H
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace mtc
+{
+
+/** Execution signature: ordered signature words (see file comment). */
+struct Signature
+{
+    std::vector<std::uint64_t> words;
+
+    /**
+     * Lexicographic comparison; since all signatures of one test have
+     * the same word count, this realizes the paper's "sort execution
+     * signatures in ascending order".
+     */
+    auto operator<=>(const Signature &) const = default;
+
+    /** Hex rendering for reports, e.g.\ "0x20:0x84". */
+    std::string toString() const;
+};
+
+/** FNV-1a style hash so signatures can key unordered containers. */
+struct SignatureHash
+{
+    std::size_t
+    operator()(const Signature &sig) const
+    {
+        std::size_t h = 1469598103934665603ull;
+        for (std::uint64_t word : sig.words) {
+            h ^= std::hash<std::uint64_t>{}(word);
+            h *= 1099511628211ull;
+        }
+        return h;
+    }
+};
+
+} // namespace mtc
+
+#endif // MTC_CORE_SIGNATURE_H

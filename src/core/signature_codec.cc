@@ -1,0 +1,95 @@
+#include "core/signature_codec.h"
+
+#include <sstream>
+
+namespace mtc
+{
+
+SignatureCodec::SignatureCodec(const TestProgram &program,
+                               const LoadValueAnalysis &analysis,
+                               const InstrumentationPlan &plan_arg)
+    : prog(program), loadAnalysis(analysis), plan(plan_arg)
+{
+}
+
+EncodeResult
+SignatureCodec::encode(const Execution &execution) const
+{
+    EncodeResult result;
+    result.signature.words.assign(plan.totalWords(), 0);
+
+    const auto &loads = prog.loads();
+    for (std::uint32_t ordinal = 0; ordinal < loads.size(); ++ordinal) {
+        const std::uint32_t value = execution.loadValues.at(ordinal);
+        const LoadCandidateSet &set = loadAnalysis.candidates(ordinal);
+        const auto index = set.indexOf(value);
+        if (!index) {
+            std::ostringstream os;
+            os << "instrumented assertion fired: load t"
+               << loads[ordinal].tid << " op" << loads[ordinal].idx
+               << " observed unexpected value " << value;
+            throw SignatureAssertError(os.str());
+        }
+        // The branch chain compares candidates 0..index.
+        result.comparisons += *index + 1;
+
+        const LoadSlot &slot = plan.slot(ordinal);
+        const std::uint32_t word =
+            plan.wordBase(loads[ordinal].tid) + slot.wordIndex;
+        result.signature.words[word] +=
+            static_cast<std::uint64_t>(*index) * slot.multiplier;
+    }
+    return result;
+}
+
+Execution
+SignatureCodec::decode(const Signature &signature) const
+{
+    if (signature.words.size() != plan.totalWords())
+        throw SignatureDecodeError("signature word count mismatch");
+
+    Execution execution;
+    execution.loadValues.assign(prog.loads().size(), kInitValue);
+
+    for (std::uint32_t tid = 0; tid < prog.numThreads(); ++tid) {
+        const auto &thread_loads = prog.loadsOfThread(tid);
+        // Working copies of this thread's words; weights are peeled off
+        // from the last load of each word to the first (Algorithm 1).
+        std::vector<std::uint64_t> words(
+            signature.words.begin() + plan.wordBase(tid),
+            signature.words.begin() + plan.wordBase(tid) +
+                plan.wordsForThread(tid));
+
+        for (std::size_t i = thread_loads.size(); i-- > 0;) {
+            const std::uint32_t ordinal =
+                prog.loadOrdinal(thread_loads[i]);
+            const LoadSlot &slot = plan.slot(ordinal);
+            std::uint64_t &word = words.at(slot.wordIndex);
+
+            const std::uint64_t index = word / slot.multiplier;
+            word %= slot.multiplier;
+
+            const LoadCandidateSet &set =
+                loadAnalysis.candidates(ordinal);
+            if (index >= set.cardinality()) {
+                std::ostringstream os;
+                os << "corrupt signature: load t" << tid << " op"
+                   << thread_loads[i].idx << " decoded index " << index
+                   << " of " << set.cardinality();
+                throw SignatureDecodeError(os.str());
+            }
+            execution.loadValues[ordinal] =
+                set.values[static_cast<std::uint32_t>(index)];
+        }
+
+        for (std::uint64_t residue : words) {
+            if (residue != 0) {
+                throw SignatureDecodeError(
+                    "corrupt signature: non-zero residue after decode");
+            }
+        }
+    }
+    return execution;
+}
+
+} // namespace mtc

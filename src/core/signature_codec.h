@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Signature encoding (the semantics of the instrumented test code,
+ * paper Figure 4) and decoding (Algorithm 1).
+ *
+ * Encoding mirrors what the branch/add chains compute on the device:
+ * after each load, the observed value is matched against the load's
+ * candidate list; candidate i adds i x multiplier to the thread's
+ * current signature word, and an unmatched value triggers the chain's
+ * tail assertion (SignatureAssertError) — "obvious errors (e.g., a
+ * program-order violation) can be caught instantly without running a
+ * constraint-graph checking".
+ *
+ * Decoding inverts the weights word by word, walking each word's loads
+ * from last to first: index = sig / multiplier; sig %= multiplier.
+ */
+
+#ifndef MTC_CORE_SIGNATURE_CODEC_H
+#define MTC_CORE_SIGNATURE_CODEC_H
+
+#include <cstdint>
+
+#include "core/instr_plan.h"
+#include "core/load_analysis.h"
+#include "core/signature.h"
+#include "support/error.h"
+#include "testgen/execution.h"
+
+namespace mtc
+{
+
+/** A signature failed to decode (corrupt word or residue). */
+class SignatureDecodeError : public Error
+{
+  public:
+    explicit SignatureDecodeError(const std::string &what_arg)
+        : Error(what_arg)
+    {}
+};
+
+/** Encoding outcome plus the work the instrumented code performed. */
+struct EncodeResult
+{
+    Signature signature;
+
+    /**
+     * Branch-chain comparisons executed (candidate index + 1 summed
+     * over loads); input to the perturbation model of Figure 10.
+     */
+    std::uint64_t comparisons = 0;
+};
+
+/** Encoder/decoder bound to one instrumented test. */
+class SignatureCodec
+{
+  public:
+    /** All three references must outlive the codec. */
+    SignatureCodec(const TestProgram &program,
+                   const LoadValueAnalysis &analysis,
+                   const InstrumentationPlan &plan);
+
+    /**
+     * Compute the execution signature the instrumented test would have
+     * produced for @p execution.
+     *
+     * @throws SignatureAssertError if a load observed a value outside
+     *         its candidate set (the instrumented chain's assertion).
+     */
+    EncodeResult encode(const Execution &execution) const;
+
+    /**
+     * Reconstruct the reads-from set (as an Execution value vector)
+     * from @p signature — the paper's Algorithm 1, extended to
+     * multi-word signatures.
+     *
+     * @throws SignatureDecodeError on malformed signatures.
+     */
+    Execution decode(const Signature &signature) const;
+
+  private:
+    const TestProgram &prog;
+    const LoadValueAnalysis &loadAnalysis;
+    const InstrumentationPlan &plan;
+};
+
+} // namespace mtc
+
+#endif // MTC_CORE_SIGNATURE_CODEC_H

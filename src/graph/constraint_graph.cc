@@ -1,0 +1,75 @@
+#include "graph/constraint_graph.h"
+
+#include "support/error.h"
+
+namespace mtc
+{
+
+std::string
+edgeKindName(EdgeKind kind)
+{
+    switch (kind) {
+      case EdgeKind::ProgramOrder:
+        return "po";
+      case EdgeKind::ReadsFrom:
+        return "rf";
+      case EdgeKind::FromRead:
+        return "fr";
+      case EdgeKind::WriteSerialization:
+        return "ws";
+    }
+    return "?";
+}
+
+ConstraintGraph::ConstraintGraph(std::uint32_t num_vertices)
+    : vertexCount(num_vertices), adjacency(num_vertices)
+{
+}
+
+void
+ConstraintGraph::addEdge(std::uint32_t from, std::uint32_t to,
+                         EdgeKind kind)
+{
+    if (from >= vertexCount || to >= vertexCount)
+        throw ConfigError("edge endpoint out of range");
+    if (from == to)
+        throw ConfigError("self-loop edges are not meaningful");
+    if (!kinds.emplace(key(from, to), kind).second)
+        return; // duplicate
+    adjacency[from].push_back(to);
+    ++edgeCount;
+}
+
+void
+ConstraintGraph::addEdges(const std::vector<Edge> &edges)
+{
+    for (const Edge &edge : edges)
+        addEdge(edge.from, edge.to, edge.kind);
+}
+
+EdgeKind
+ConstraintGraph::edgeKind(std::uint32_t from, std::uint32_t to) const
+{
+    auto it = kinds.find(key(from, to));
+    if (it == kinds.end())
+        throw ConfigError("edgeKind of a missing edge");
+    return it->second;
+}
+
+bool
+ConstraintGraph::hasEdge(std::uint32_t from, std::uint32_t to) const
+{
+    return kinds.find(key(from, to)) != kinds.end();
+}
+
+std::vector<std::uint32_t>
+ConstraintGraph::inDegrees() const
+{
+    std::vector<std::uint32_t> degrees(vertexCount, 0);
+    for (const auto &succ : adjacency)
+        for (std::uint32_t to : succ)
+            ++degrees[to];
+    return degrees;
+}
+
+} // namespace mtc

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Constraint graph over the operations of one test program.
+ *
+ * Vertices are the static memory operations (dense TestProgram global
+ * indices); edges are ordering constraints of four kinds following the
+ * notation of the paper's Section 2: program-order/MCM edges (po),
+ * reads-from (rf), from-read (fr) and write-serialization (ws). A cycle
+ * proves the observed execution violates the memory model.
+ */
+
+#ifndef MTC_GRAPH_CONSTRAINT_GRAPH_H
+#define MTC_GRAPH_CONSTRAINT_GRAPH_H
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace mtc
+{
+
+/** Dependency categories from the paper (Section 2). */
+enum class EdgeKind : std::uint8_t
+{
+    ProgramOrder,       ///< intra-thread edge required by the MCM
+    ReadsFrom,          ///< store -> load that observed it
+    FromRead,           ///< load -> store that overwrote what it read
+    WriteSerialization, ///< store -> coherence-later store, same loc
+};
+
+/** Single-character tag used in reports ("po", "rf", "fr", "ws"). */
+std::string edgeKindName(EdgeKind kind);
+
+/** One directed constraint edge. */
+struct Edge
+{
+    std::uint32_t from = 0;
+    std::uint32_t to = 0;
+    EdgeKind kind = EdgeKind::ProgramOrder;
+
+    auto operator<=>(const Edge &) const = default;
+};
+
+/**
+ * Adjacency-list constraint graph. Parallel edges between the same
+ * vertex pair are collapsed (the first kind wins; multiplicity never
+ * affects acyclicity).
+ */
+class ConstraintGraph
+{
+  public:
+    explicit ConstraintGraph(std::uint32_t num_vertices);
+
+    std::uint32_t numVertices() const { return vertexCount; }
+    std::uint64_t numEdges() const { return edgeCount; }
+
+    /** Add one edge; self-loops are rejected, duplicates ignored. */
+    void addEdge(std::uint32_t from, std::uint32_t to, EdgeKind kind);
+
+    /** Add a batch of edges. */
+    void addEdges(const std::vector<Edge> &edges);
+
+    /** Successors of @p vertex. */
+    const std::vector<std::uint32_t> &
+    successors(std::uint32_t vertex) const
+    {
+        return adjacency.at(vertex);
+    }
+
+    /** Kind of the (from, to) edge; throws if absent. */
+    EdgeKind edgeKind(std::uint32_t from, std::uint32_t to) const;
+
+    /** True if the (from, to) edge exists. */
+    bool hasEdge(std::uint32_t from, std::uint32_t to) const;
+
+    /** In-degree array (recomputed on demand; used by Kahn's sort). */
+    std::vector<std::uint32_t> inDegrees() const;
+
+  private:
+    static std::uint64_t
+    key(std::uint32_t from, std::uint32_t to)
+    {
+        return (static_cast<std::uint64_t>(from) << 32) | to;
+    }
+
+    std::uint32_t vertexCount;
+    std::uint64_t edgeCount = 0;
+    std::vector<std::vector<std::uint32_t>> adjacency;
+    std::unordered_map<std::uint64_t, EdgeKind> kinds;
+};
+
+} // namespace mtc
+
+#endif // MTC_GRAPH_CONSTRAINT_GRAPH_H

@@ -1,0 +1,102 @@
+#include "graph/cycle_report.h"
+
+#include <sstream>
+
+namespace mtc
+{
+
+namespace
+{
+
+enum class VisitState : std::uint8_t
+{
+    White,
+    Grey,
+    Black,
+};
+
+/** Iterative DFS looking for a back edge; fills @p cycle on success. */
+bool
+dfsFindCycle(const ConstraintGraph &graph, std::uint32_t root,
+             std::vector<VisitState> &state,
+             std::vector<std::uint32_t> &cycle)
+{
+    struct Frame
+    {
+        std::uint32_t vertex;
+        std::size_t nextSucc;
+    };
+    std::vector<Frame> stack{{root, 0}};
+    state[root] = VisitState::Grey;
+
+    while (!stack.empty()) {
+        Frame &frame = stack.back();
+        const auto &succ = graph.successors(frame.vertex);
+        if (frame.nextSucc < succ.size()) {
+            const std::uint32_t next = succ[frame.nextSucc++];
+            if (state[next] == VisitState::Grey) {
+                // Found a back edge: unwind the grey path next..top.
+                for (std::size_t i = 0; i < stack.size(); ++i) {
+                    if (stack[i].vertex == next) {
+                        for (std::size_t j = i; j < stack.size(); ++j)
+                            cycle.push_back(stack[j].vertex);
+                        return true;
+                    }
+                }
+            } else if (state[next] == VisitState::White) {
+                state[next] = VisitState::Grey;
+                stack.push_back({next, 0});
+            }
+        } else {
+            state[frame.vertex] = VisitState::Black;
+            stack.pop_back();
+        }
+    }
+    return false;
+}
+
+} // anonymous namespace
+
+std::vector<std::uint32_t>
+findCycle(const ConstraintGraph &graph)
+{
+    std::vector<VisitState> state(graph.numVertices(), VisitState::White);
+    std::vector<std::uint32_t> cycle;
+    for (std::uint32_t v = 0; v < graph.numVertices(); ++v) {
+        if (state[v] == VisitState::White &&
+            dfsFindCycle(graph, v, state, cycle)) {
+            return cycle;
+        }
+    }
+    return {};
+}
+
+std::string
+describeCycle(const TestProgram &program, const ConstraintGraph &graph,
+              const std::vector<std::uint32_t> &cycle)
+{
+    if (cycle.empty())
+        return "(no cycle)";
+
+    auto op_text = [&](std::uint32_t vertex) {
+        const OpId id = program.opIdAt(vertex);
+        const MemOp &mem_op = program.op(id);
+        std::ostringstream os;
+        os << "[t" << id.tid << " op" << id.idx << "] "
+           << opKindName(mem_op.kind);
+        if (mem_op.kind != OpKind::Fence)
+            os << " loc" << mem_op.loc;
+        return os.str();
+    };
+
+    std::ostringstream os;
+    for (std::size_t i = 0; i < cycle.size(); ++i) {
+        const std::uint32_t from = cycle[i];
+        const std::uint32_t to = cycle[(i + 1) % cycle.size()];
+        os << op_text(from) << " --" << edgeKindName(graph.edgeKind(from, to))
+           << "--> " << op_text(to) << "\n";
+    }
+    return os.str();
+}
+
+} // namespace mtc

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Cycle extraction and human-readable violation reports.
+ *
+ * When a constraint graph fails to sort, validation engineers need the
+ * witness, not just a verdict: the paper's Figure 13 walks through a
+ * detected load->load ordering violation as a cycle of rf / po / fr
+ * edges. findCycle() extracts one minimal-ish cycle and
+ * describeCycle() renders it in that style.
+ */
+
+#ifndef MTC_GRAPH_CYCLE_REPORT_H
+#define MTC_GRAPH_CYCLE_REPORT_H
+
+#include <string>
+#include <vector>
+
+#include "graph/constraint_graph.h"
+#include "testgen/test_program.h"
+
+namespace mtc
+{
+
+/**
+ * Find one directed cycle in @p graph. Returns the cycle's vertices in
+ * order (the edge from the last vertex back to the first closes it);
+ * empty if the graph is acyclic.
+ */
+std::vector<std::uint32_t> findCycle(const ConstraintGraph &graph);
+
+/**
+ * Render a cycle as one line per hop:
+ *   [t0 op3] st loc2 --rf--> [t1 op0] ld loc2
+ */
+std::string describeCycle(const TestProgram &program,
+                          const ConstraintGraph &graph,
+                          const std::vector<std::uint32_t> &cycle);
+
+} // namespace mtc
+
+#endif // MTC_GRAPH_CYCLE_REPORT_H

@@ -1,0 +1,102 @@
+#include "graph/graph_builder.h"
+
+#include <algorithm>
+
+#include "graph/po_edges.h"
+
+namespace mtc
+{
+
+ConstraintGraph
+buildStaticGraph(const TestProgram &program, MemoryModel model)
+{
+    ConstraintGraph graph(program.numOps());
+    graph.addEdges(programOrderEdges(program, model));
+    return graph;
+}
+
+DynamicEdgeSet
+dynamicEdges(const TestProgram &program, const Execution &execution)
+{
+    WsOrder ws_order(program, execution);
+    return dynamicEdges(program, execution, ws_order);
+}
+
+DynamicEdgeSet
+dynamicEdges(const TestProgram &program, const Execution &execution,
+             const WsOrder &ws_order)
+{
+    DynamicEdgeSet result;
+    result.coherenceViolation = ws_order.coherenceViolation();
+
+    // rf and fr edges, one pass over the loads.
+    const auto &loads = program.loads();
+    for (std::uint32_t ordinal = 0; ordinal < loads.size(); ++ordinal) {
+        const OpId load_id = loads[ordinal];
+        const std::uint32_t load_vertex = program.globalIndex(load_id);
+        const std::uint32_t loc = program.op(load_id).loc;
+        const std::uint32_t value = execution.loadValues.at(ordinal);
+
+        std::optional<OpId> writer;
+        if (value != kInitValue) {
+            writer = program.storeForValue(value);
+            if (!writer) {
+                result.coherenceViolation = true;
+                continue;
+            }
+            // Only *external* reads-from edges are global ordering.
+            // An intra-thread rf may be satisfied by store-buffer
+            // forwarding before the store is globally visible, so it
+            // must not order the load after the store (the same
+            // reasoning as the paper's footnote 4 for intra-thread
+            // store->load program-order edges). The load's fr edges
+            // below remain sound for forwarded reads: the forwarding
+            // store commits before every ws-successor.
+            if (writer->tid != load_id.tid) {
+                result.edges.push_back(
+                    Edge{program.globalIndex(*writer), load_vertex,
+                         EdgeKind::ReadsFrom});
+            }
+        }
+
+        // fr: the load precedes every store coherence-after its writer.
+        for (OpId later : ws_order.successorsOf(loc, writer)) {
+            if (writer && later == *writer)
+                continue;
+            result.edges.push_back(Edge{load_vertex,
+                                        program.globalIndex(later),
+                                        EdgeKind::FromRead});
+        }
+    }
+
+    // ws edges from the (partial) coherence order.
+    for (std::uint32_t loc = 0; loc < program.config().numLocations;
+         ++loc) {
+        for (const auto &[w1, w2] : ws_order.orderedPairs(loc)) {
+            result.edges.push_back(Edge{program.globalIndex(w1),
+                                        program.globalIndex(w2),
+                                        EdgeKind::WriteSerialization});
+        }
+    }
+
+    // Sorted + de-duplicated so edge sets can be merged/diffed.
+    std::sort(result.edges.begin(), result.edges.end());
+    result.edges.erase(
+        std::unique(result.edges.begin(), result.edges.end(),
+                    [](const Edge &a, const Edge &b) {
+                        return a.from == b.from && a.to == b.to;
+                    }),
+        result.edges.end());
+    return result;
+}
+
+ConstraintGraph
+buildFullGraph(const TestProgram &program, const Execution &execution,
+               MemoryModel model)
+{
+    ConstraintGraph graph = buildStaticGraph(program, model);
+    graph.addEdges(dynamicEdges(program, execution).edges);
+    return graph;
+}
+
+} // namespace mtc

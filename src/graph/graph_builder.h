@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Assembly of constraint graphs from a program and an observed (or
+ * signature-decoded) execution.
+ *
+ * The static part (program-order/MCM edges) is shared by all
+ * executions of one test; the dynamic part (rf, fr, ws) is derived per
+ * execution. The collective checker exploits exactly this split:
+ * static edges are built once, dynamic edge sets are diffed between
+ * adjacent signatures.
+ */
+
+#ifndef MTC_GRAPH_GRAPH_BUILDER_H
+#define MTC_GRAPH_GRAPH_BUILDER_H
+
+#include <vector>
+
+#include "graph/constraint_graph.h"
+#include "graph/ws_inference.h"
+#include "mcm/memory_model.h"
+#include "testgen/execution.h"
+#include "testgen/test_program.h"
+
+namespace mtc
+{
+
+/** Observed-edge set (rf + fr + ws) for one execution. */
+struct DynamicEdgeSet
+{
+    std::vector<Edge> edges;
+
+    /**
+     * The ws inference found contradictory coherence constraints (or a
+     * load observed a value no store produced). This is already a
+     * violation regardless of graph cyclicity.
+     */
+    bool coherenceViolation = false;
+};
+
+/** Static graph: vertices for every op, program-order edges only. */
+ConstraintGraph buildStaticGraph(const TestProgram &program,
+                                 MemoryModel model);
+
+/**
+ * Dynamic (observed) edges for @p execution, using ws inferred from
+ * the execution's reads-from set. Edges are returned sorted and
+ * de-duplicated so adjacent executions can be diffed with a single
+ * merge pass.
+ */
+DynamicEdgeSet dynamicEdges(const TestProgram &program,
+                            const Execution &execution);
+
+/** As above but with a caller-provided ws order (e.g. ground truth). */
+DynamicEdgeSet dynamicEdges(const TestProgram &program,
+                            const Execution &execution,
+                            const WsOrder &ws_order);
+
+/** Convenience: static + dynamic edges in one graph. */
+ConstraintGraph buildFullGraph(const TestProgram &program,
+                               const Execution &execution,
+                               MemoryModel model);
+
+} // namespace mtc
+
+#endif // MTC_GRAPH_GRAPH_BUILDER_H

@@ -1,0 +1,118 @@
+#include "graph/po_edges.h"
+
+namespace mtc
+{
+
+bool
+requiredOrder(MemoryModel model, const MemOp &first, const MemOp &second)
+{
+    const bool same_loc = first.kind != OpKind::Fence &&
+        second.kind != OpKind::Fence && first.loc == second.loc;
+    if (same_loc)
+        return sameAddressOrderRequired(model, first.kind, second.kind);
+    return programOrderRequired(model, first.kind, second.kind);
+}
+
+std::vector<Edge>
+programOrderEdges(const TestProgram &program, MemoryModel model)
+{
+    std::vector<Edge> edges;
+    const auto &threads = program.threadBodies();
+    for (std::uint32_t tid = 0; tid < threads.size(); ++tid) {
+        const auto &body = threads[tid];
+        for (std::uint32_t i = 0; i < body.size(); ++i) {
+            const MemOp &a = body[i];
+
+            if (a.kind == OpKind::Fence) {
+                // A fence orders before *every* later op. Chains through
+                // a later op cannot be relied upon in weak models (e.g.
+                // RMO load->load at different addresses), so emit edges
+                // to each op up to and including the next fence; ops
+                // beyond it are reached through that fence (fence->fence
+                // ordering is required in every model).
+                for (std::uint32_t j = i + 1; j < body.size(); ++j) {
+                    edges.push_back(Edge{
+                        program.globalIndex(OpId{tid, i}),
+                        program.globalIndex(OpId{tid, j}),
+                        EdgeKind::ProgramOrder});
+                    if (body[j].kind == OpKind::Fence)
+                        break;
+                }
+                continue;
+            }
+
+            // Non-fence source: for each category (target kind x
+            // same/different address), one edge to the category's first
+            // later member. Later members are reached through it: both
+            // (ld, ld) and (st, st) stay ordered within a category in
+            // every model where the (a, category) pair is ordered, and
+            // same-address categories share one location.
+            bool found_load = false, found_store = false;
+            bool found_fence = false;
+            bool found_same_loc_load = false, found_same_loc_store = false;
+
+            for (std::uint32_t j = i + 1; j < body.size(); ++j) {
+                const MemOp &b = body[j];
+                bool *slot = nullptr;
+                const bool same_loc = b.kind != OpKind::Fence &&
+                    a.loc == b.loc;
+                if (same_loc) {
+                    slot = b.kind == OpKind::Load ? &found_same_loc_load
+                        : &found_same_loc_store;
+                } else {
+                    switch (b.kind) {
+                      case OpKind::Load:
+                        slot = &found_load;
+                        break;
+                      case OpKind::Store:
+                        slot = &found_store;
+                        break;
+                      case OpKind::Fence:
+                        slot = &found_fence;
+                        break;
+                    }
+                }
+                if (*slot)
+                    continue;
+                // Within a category the ordering predicate is constant,
+                // so skipping an unordered first member is safe: every
+                // later member is equally unordered.
+                if (requiredOrder(model, a, b)) {
+                    edges.push_back(Edge{
+                        program.globalIndex(OpId{tid, i}),
+                        program.globalIndex(OpId{tid, j}),
+                        EdgeKind::ProgramOrder});
+                }
+                *slot = true;
+                if (found_load && found_store && found_fence &&
+                    found_same_loc_load && found_same_loc_store) {
+                    break;
+                }
+            }
+        }
+    }
+    return edges;
+}
+
+std::vector<Edge>
+programOrderEdgesDense(const TestProgram &program, MemoryModel model)
+{
+    std::vector<Edge> edges;
+    const auto &threads = program.threadBodies();
+    for (std::uint32_t tid = 0; tid < threads.size(); ++tid) {
+        const auto &body = threads[tid];
+        for (std::uint32_t i = 0; i < body.size(); ++i) {
+            for (std::uint32_t j = i + 1; j < body.size(); ++j) {
+                if (requiredOrder(model, body[i], body[j])) {
+                    edges.push_back(Edge{
+                        program.globalIndex(OpId{tid, i}),
+                        program.globalIndex(OpId{tid, j}),
+                        EdgeKind::ProgramOrder});
+                }
+            }
+        }
+    }
+    return edges;
+}
+
+} // namespace mtc

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Intra-thread (program-order) constraint-edge construction.
+ *
+ * For each operation we emit a sparse set of edges whose transitive
+ * closure equals the full set of orderings the MCM requires, instead
+ * of the quadratic all-pairs set: for every op i and every target kind
+ * k, one edge to the first later op of kind k that must stay ordered
+ * after i. This is sound for SC/TSO/RMO because in those models,
+ * whenever (a, k) must stay ordered so must (k, k), making the chain
+ * transitive (verified by the exhaustive property test in
+ * tests/po_edges_test.cpp).
+ */
+
+#ifndef MTC_GRAPH_PO_EDGES_H
+#define MTC_GRAPH_PO_EDGES_H
+
+#include <vector>
+
+#include "graph/constraint_graph.h"
+#include "mcm/memory_model.h"
+#include "testgen/test_program.h"
+
+namespace mtc
+{
+
+/**
+ * Must op @p first stay globally ordered before the program-order-later
+ * op @p second from the same thread under @p model? Combines the
+ * different-address MCM matrix with the same-address coherence rules.
+ * The executors in mtc::sim use this same predicate to decide which
+ * operations may perform out of order, so platform and checker always
+ * agree on the model.
+ */
+bool requiredOrder(MemoryModel model, const MemOp &first,
+                   const MemOp &second);
+
+/** Sparse program-order edges for @p program under @p model. */
+std::vector<Edge> programOrderEdges(const TestProgram &program,
+                                    MemoryModel model);
+
+/**
+ * Reference implementation emitting *every* required pair (quadratic);
+ * exists only so tests can check the sparse set's transitive closure.
+ */
+std::vector<Edge> programOrderEdgesDense(const TestProgram &program,
+                                         MemoryModel model);
+
+} // namespace mtc
+
+#endif // MTC_GRAPH_PO_EDGES_H

@@ -1,0 +1,38 @@
+#include "graph/topo_sort.h"
+
+namespace mtc
+{
+
+TopoResult
+topologicalSort(const ConstraintGraph &graph)
+{
+    TopoResult result;
+    const std::uint32_t n = graph.numVertices();
+    std::vector<std::uint32_t> in_degree = graph.inDegrees();
+
+    // FIFO worklist keeps the order stable for a given graph, which
+    // makes re-sort behaviour reproducible across runs.
+    std::vector<std::uint32_t> queue;
+    queue.reserve(n);
+    for (std::uint32_t v = 0; v < n; ++v)
+        if (in_degree[v] == 0)
+            queue.push_back(v);
+
+    result.order.reserve(n);
+    std::size_t head = 0;
+    while (head < queue.size()) {
+        const std::uint32_t v = queue[head++];
+        ++result.verticesProcessed;
+        result.order.push_back(v);
+        for (std::uint32_t succ : graph.successors(v)) {
+            ++result.edgesProcessed;
+            if (--in_degree[succ] == 0)
+                queue.push_back(succ);
+        }
+    }
+
+    result.acyclic = result.order.size() == n;
+    return result;
+}
+
+} // namespace mtc

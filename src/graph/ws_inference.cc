@@ -1,0 +1,246 @@
+#include "graph/ws_inference.h"
+
+#include "support/error.h"
+
+namespace mtc
+{
+
+namespace
+{
+
+inline bool
+testBit(const std::vector<std::uint64_t> &row, std::uint32_t bit)
+{
+    return (row[bit >> 6] >> (bit & 63)) & 1;
+}
+
+inline void
+setBit(std::vector<std::uint64_t> &row, std::uint32_t bit)
+{
+    row[bit >> 6] |= std::uint64_t(1) << (bit & 63);
+}
+
+} // anonymous namespace
+
+WsOrder::WsOrder(const TestProgram &program) : prog(&program)
+{
+    const std::uint32_t num_locs = program.config().numLocations;
+    locs.resize(num_locs);
+    rawEdges.resize(num_locs);
+    for (std::uint32_t loc = 0; loc < num_locs; ++loc) {
+        locs[loc].stores = program.storesTo(loc);
+        // The virtual initial store is index 0 and precedes everything.
+        const std::uint32_t n =
+            static_cast<std::uint32_t>(locs[loc].stores.size()) + 1;
+        for (std::uint32_t i = 1; i < n; ++i)
+            rawEdges[loc].emplace_back(0, i);
+    }
+}
+
+WsOrder::WsOrder(const TestProgram &program, const Execution &execution)
+    : WsOrder(program)
+{
+    // Rule (a): program order among same-thread stores to one location.
+    // storesTo() is ordered by (tid, idx), so adjacent same-tid entries
+    // are program-ordered; chaining adjacent pairs is sufficient.
+    for (std::uint32_t loc = 0; loc < locs.size(); ++loc) {
+        const auto &stores = locs[loc].stores;
+        for (std::size_t i = 0; i + 1 < stores.size(); ++i) {
+            if (stores[i].tid == stores[i + 1].tid) {
+                addConstraint(loc, indexOf(loc, stores[i]),
+                              indexOf(loc, stores[i + 1]));
+            }
+        }
+    }
+
+    // Walk each thread once, tracking the last store and the last
+    // load-observed value per location, to apply rules (b), (c), (d).
+    const auto &threads = program.threadBodies();
+    const std::uint32_t num_locs = program.config().numLocations;
+    for (std::uint32_t tid = 0; tid < threads.size(); ++tid) {
+        std::vector<std::optional<OpId>> last_store(num_locs);
+        // Last value observed by a load of this thread per location,
+        // and whether a store of this thread intervened since.
+        std::vector<std::optional<std::uint32_t>> pending_read(num_locs);
+
+        for (std::uint32_t idx = 0; idx < threads[tid].size(); ++idx) {
+            const MemOp &mem_op = threads[tid][idx];
+            if (mem_op.kind == OpKind::Fence)
+                continue;
+            const std::uint32_t loc = mem_op.loc;
+
+            if (mem_op.kind == OpKind::Store) {
+                // Rule (c): the store follows whatever the last load of
+                // this location read.
+                if (pending_read[loc]) {
+                    const std::uint32_t read_value = *pending_read[loc];
+                    std::optional<OpId> w;
+                    if (read_value != kInitValue)
+                        w = program.storeForValue(read_value);
+                    const std::uint32_t from = indexOf(loc, w);
+                    const std::uint32_t to =
+                        indexOf(loc, OpId{tid, idx});
+                    if (from == to) {
+                        // A load read its own thread's future store.
+                        violation = true;
+                    } else {
+                        addConstraint(loc, from, to);
+                    }
+                    pending_read[loc].reset();
+                }
+                last_store[loc] = OpId{tid, idx};
+                continue;
+            }
+
+            // Load: find what it observed.
+            const std::uint32_t ordinal =
+                program.loadOrdinal(OpId{tid, idx});
+            const std::uint32_t value = execution.loadValues.at(ordinal);
+            std::optional<OpId> w;
+            if (value != kInitValue) {
+                w = program.storeForValue(value);
+                if (!w) {
+                    // Value produced by no store in the test: platform
+                    // corruption; treat as a violation.
+                    violation = true;
+                    continue;
+                }
+            }
+
+            // Rule (b): last same-thread store must be coherence-<= W.
+            if (last_store[loc] && w != last_store[loc]) {
+                addConstraint(loc, indexOf(loc, last_store[loc]),
+                              indexOf(loc, w));
+            }
+            if (!w && last_store[loc]) {
+                // Reading the initial value after this thread stored:
+                // the (b) constraint above targets index 0 and closes a
+                // cycle with the base init-first edges.
+                violation = true;
+            }
+
+            // Rule (d): CoRR against the previous load of this loc, if
+            // no own store intervened (an intervening store subsumes
+            // the constraint through rules (b)+(c)).
+            if (pending_read[loc] && *pending_read[loc] != value) {
+                std::optional<OpId> w_old;
+                if (*pending_read[loc] != kInitValue)
+                    w_old = program.storeForValue(*pending_read[loc]);
+                addConstraint(loc, indexOf(loc, w_old), indexOf(loc, w));
+            }
+            pending_read[loc] = value;
+        }
+    }
+
+    close();
+}
+
+WsOrder
+WsOrder::fromGroundTruth(const TestProgram &program,
+                         const Execution &execution)
+{
+    WsOrder order(program);
+    if (execution.coherenceOrder.size() !=
+        program.config().numLocations) {
+        throw ConfigError("execution has no coherence-order ground truth");
+    }
+    for (std::uint32_t loc = 0; loc < order.locs.size(); ++loc) {
+        const auto &total = execution.coherenceOrder[loc];
+        for (std::size_t i = 0; i + 1 < total.size(); ++i) {
+            order.addConstraint(loc, order.indexOf(loc, total[i]),
+                                order.indexOf(loc, total[i + 1]));
+        }
+    }
+    order.close();
+    return order;
+}
+
+std::uint32_t
+WsOrder::indexOf(std::uint32_t loc, std::optional<OpId> w) const
+{
+    if (!w)
+        return 0;
+    const auto &stores = locs.at(loc).stores;
+    for (std::size_t i = 0; i < stores.size(); ++i)
+        if (stores[i] == *w)
+            return static_cast<std::uint32_t>(i) + 1;
+    throw ConfigError("store is not a writer of this location");
+}
+
+void
+WsOrder::addConstraint(std::uint32_t loc, std::uint32_t from,
+                       std::uint32_t to)
+{
+    rawEdges[loc].emplace_back(from, to);
+}
+
+void
+WsOrder::close()
+{
+    for (std::uint32_t loc = 0; loc < locs.size(); ++loc) {
+        LocOrder &order = locs[loc];
+        const std::uint32_t n =
+            static_cast<std::uint32_t>(order.stores.size()) + 1;
+        const std::uint32_t words = (n + 63) / 64;
+        order.reach.assign(n, std::vector<std::uint64_t>(words, 0));
+        for (auto [from, to] : rawEdges[loc])
+            setBit(order.reach[from], to);
+
+        // Floyd-Warshall-style bitset closure: n is small (stores per
+        // location), so O(n^2) word operations are cheap.
+        for (std::uint32_t k = 0; k < n; ++k) {
+            for (std::uint32_t i = 0; i < n; ++i) {
+                if (!testBit(order.reach[i], k))
+                    continue;
+                for (std::uint32_t w = 0; w < words; ++w)
+                    order.reach[i][w] |= order.reach[k][w];
+            }
+        }
+        for (std::uint32_t i = 0; i < n; ++i)
+            if (testBit(order.reach[i], i))
+                violation = true;
+    }
+}
+
+bool
+WsOrder::before(std::uint32_t loc, std::optional<OpId> w1,
+                std::optional<OpId> w2) const
+{
+    const std::uint32_t from = indexOf(loc, w1);
+    const std::uint32_t to = indexOf(loc, w2);
+    return testBit(locs.at(loc).reach[from], to);
+}
+
+std::vector<OpId>
+WsOrder::successorsOf(std::uint32_t loc, std::optional<OpId> w) const
+{
+    const LocOrder &order = locs.at(loc);
+    const std::uint32_t from = indexOf(loc, w);
+    std::vector<OpId> result;
+    for (std::size_t i = 0; i < order.stores.size(); ++i) {
+        if (testBit(order.reach[from],
+                    static_cast<std::uint32_t>(i) + 1)) {
+            result.push_back(order.stores[i]);
+        }
+    }
+    return result;
+}
+
+std::vector<std::pair<OpId, OpId>>
+WsOrder::orderedPairs(std::uint32_t loc) const
+{
+    const LocOrder &order = locs.at(loc);
+    std::vector<std::pair<OpId, OpId>> pairs;
+    for (std::size_t i = 0; i < order.stores.size(); ++i) {
+        for (std::size_t j = 0; j < order.stores.size(); ++j) {
+            if (i != j &&
+                testBit(order.reach[i + 1],
+                        static_cast<std::uint32_t>(j) + 1)) {
+                pairs.emplace_back(order.stores[i], order.stores[j]);
+            }
+        }
+    }
+    return pairs;
+}
+
+} // namespace mtc

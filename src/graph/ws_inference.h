@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Write-serialization (coherence-order) inference.
+ *
+ * The checker needs ws edges to derive from-read (fr) edges, but a
+ * purely software post-silicon flow cannot observe the coherence order
+ * directly. The paper states the write-serialization order is gathered
+ * during instrumentation; literally static knowledge is impossible for
+ * cross-thread stores, so — as documented in DESIGN.md — we infer a
+ * sound partial order from the observed reads-from relationships in the
+ * style of TSOtool [Hangal et al., ISCA'04]:
+ *
+ *  (a) same-thread stores to one location are coherence-ordered in
+ *      program order;
+ *  (b) if load L reads store W, the last same-thread store W_prev to
+ *      that location preceding L must be coherence-before W;
+ *  (c) if load L reads W, the first same-thread store to that location
+ *      following L must be coherence-after W;
+ *  (d) two program-ordered loads of one location in one thread must
+ *      read coherence-non-decreasing stores (CoRR).
+ *
+ * The initial value is modelled as a virtual store that precedes every
+ * real store. A contradiction among these constraints (a cycle in the
+ * per-location order) is itself a coherence violation and is reported
+ * via coherenceViolation().
+ */
+
+#ifndef MTC_GRAPH_WS_INFERENCE_H
+#define MTC_GRAPH_WS_INFERENCE_H
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "testgen/execution.h"
+#include "testgen/test_program.h"
+
+namespace mtc
+{
+
+/**
+ * Per-location partial coherence order over stores (plus the virtual
+ * initial store). Build either by inference from an execution or from
+ * simulator ground truth.
+ */
+class WsOrder
+{
+  public:
+    /** Infer from the observed reads-from of @p execution. */
+    WsOrder(const TestProgram &program, const Execution &execution);
+
+    /** Adopt the executor-exported total order (testing only). */
+    static WsOrder fromGroundTruth(const TestProgram &program,
+                                   const Execution &execution);
+
+    /**
+     * Is @p w1 known to be coherence-before @p w2 at @p loc?
+     * std::nullopt denotes the virtual initial store.
+     */
+    bool before(std::uint32_t loc, std::optional<OpId> w1,
+                std::optional<OpId> w2) const;
+
+    /** All stores known to be coherence-after @p w at @p loc. */
+    std::vector<OpId> successorsOf(std::uint32_t loc,
+                                   std::optional<OpId> w) const;
+
+    /**
+     * Ordered store pairs (w1 coherence-before w2) at @p loc,
+     * including only real stores (fr/ws edge material).
+     */
+    std::vector<std::pair<OpId, OpId>>
+    orderedPairs(std::uint32_t loc) const;
+
+    /** Did the constraints contradict each other? */
+    bool coherenceViolation() const { return violation; }
+
+  private:
+    explicit WsOrder(const TestProgram &program);
+
+    struct LocOrder
+    {
+        std::vector<OpId> stores;          ///< index 1.. maps here
+        /** reach[i] bitset: j reachable from i (i before j). */
+        std::vector<std::vector<std::uint64_t>> reach;
+    };
+
+    std::uint32_t indexOf(std::uint32_t loc, std::optional<OpId> w) const;
+    void addConstraint(std::uint32_t loc, std::uint32_t from,
+                       std::uint32_t to);
+    void close();
+
+    const TestProgram *prog;
+    std::vector<LocOrder> locs;
+    /** Raw constraint edges per loc gathered before closure. */
+    std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>>
+        rawEdges;
+    bool violation = false;
+};
+
+} // namespace mtc
+
+#endif // MTC_GRAPH_WS_INFERENCE_H

@@ -1,0 +1,138 @@
+#include "harness/campaign.h"
+
+#include <cstdlib>
+
+#include "sim/executor.h"
+#include "support/rng.h"
+#include "testgen/generator.h"
+
+namespace mtc
+{
+
+CampaignConfig
+CampaignConfig::fromEnv(CampaignConfig defaults)
+{
+    if (const char *iters = std::getenv("MTC_ITERATIONS"))
+        defaults.iterations = std::strtoull(iters, nullptr, 10);
+    if (const char *tests = std::getenv("MTC_TESTS"))
+        defaults.testsPerConfig =
+            static_cast<unsigned>(std::strtoul(tests, nullptr, 10));
+    if (const char *seed = std::getenv("MTC_SEED"))
+        defaults.seed = std::strtoull(seed, nullptr, 10);
+    return defaults;
+}
+
+CampaignConfig
+CampaignConfig::fromEnv()
+{
+    return fromEnv(CampaignConfig{});
+}
+
+ExecutorConfig
+platformFor(const TestConfig &cfg, PlatformVariant variant)
+{
+    ExecutorConfig exec = variant == PlatformVariant::Linux
+        ? osConfig(cfg.isa)
+        : bareMetalConfig(cfg.isa);
+    return exec;
+}
+
+ConfigSummary
+runConfig(const TestConfig &cfg, const CampaignConfig &campaign)
+{
+    ConfigSummary summary;
+    summary.cfg = cfg;
+
+    FlowConfig flow_cfg;
+    flow_cfg.iterations = campaign.iterations;
+    flow_cfg.exec = platformFor(cfg, campaign.variant);
+    flow_cfg.runConventional = campaign.runConventional;
+
+    // Tests are derived from one seed per configuration so every
+    // figure sees the same test programs (the paper reuses one set of
+    // generated tests across experiments for fairness).
+    Rng seeder(campaign.seed ^
+               (static_cast<std::uint64_t>(cfg.numThreads) << 40) ^
+               (static_cast<std::uint64_t>(cfg.opsPerThread) << 20) ^
+               (static_cast<std::uint64_t>(cfg.numLocations) << 8) ^
+               static_cast<std::uint64_t>(cfg.wordsPerLine) ^
+               (cfg.isa == Isa::X86 ? 0x5a5a5a5aull : 0ull));
+
+    std::uint64_t complete = 0, no_resort = 0, incremental = 0;
+    std::uint64_t graphs = 0;
+    double affected_weighted = 0.0;
+    std::uint64_t affected_count = 0;
+
+    for (unsigned t = 0; t < campaign.testsPerConfig; ++t) {
+        const TestProgram program = generateTest(cfg, seeder());
+        flow_cfg.seed = seeder();
+        ValidationFlow flow(flow_cfg);
+        const FlowResult result = flow.runTest(program);
+
+        ++summary.tests;
+        summary.avgUniqueSignatures += result.uniqueSignatures;
+        summary.avgSignatureBytes += result.intrusive.signatureBytes;
+        summary.avgUnrelatedAccesses +=
+            result.intrusive.normalizedUnrelated();
+        summary.avgCodeRatio += result.code.ratio();
+        summary.avgOriginalKB += result.code.originalBytes / 1024.0;
+        summary.avgInstrumentedKB +=
+            result.code.instrumentedBytes / 1024.0;
+
+        summary.collectiveMs += result.collectiveMs;
+        summary.conventionalMs += result.conventionalMs;
+        summary.collectiveWork += result.collective.verticesProcessed +
+            result.collective.edgesProcessed;
+        summary.conventionalWork +=
+            result.conventional.verticesProcessed +
+            result.conventional.edgesProcessed;
+
+        complete += result.collective.completeSorts;
+        no_resort += result.collective.noResortNeeded;
+        incremental += result.collective.incrementalResorts;
+        graphs += result.collective.graphsChecked;
+        affected_weighted +=
+            result.collective.affectedFraction.sum();
+        affected_count += result.collective.affectedFraction.count();
+
+        summary.avgComputationOverhead += result.computationOverhead;
+        summary.avgSortingOverhead += result.sortingOverhead;
+        summary.violations += result.violatingSignatures +
+            result.assertionFailures + result.platformCrashes;
+    }
+
+    const double n = summary.tests ? summary.tests : 1;
+    summary.avgUniqueSignatures /= n;
+    summary.avgSignatureBytes /= n;
+    summary.avgUnrelatedAccesses /= n;
+    summary.avgCodeRatio /= n;
+    summary.avgOriginalKB /= n;
+    summary.avgInstrumentedKB /= n;
+    summary.avgComputationOverhead /= n;
+    summary.avgSortingOverhead /= n;
+
+    if (graphs) {
+        summary.fracComplete = static_cast<double>(complete) / graphs;
+        summary.fracNoResort = static_cast<double>(no_resort) / graphs;
+        summary.fracIncremental =
+            static_cast<double>(incremental) / graphs;
+    }
+    if (affected_count) {
+        summary.avgAffectedFraction =
+            affected_weighted / static_cast<double>(affected_count);
+    }
+    return summary;
+}
+
+std::vector<ConfigSummary>
+runCampaign(const std::vector<TestConfig> &configs,
+            const CampaignConfig &campaign)
+{
+    std::vector<ConfigSummary> summaries;
+    summaries.reserve(configs.size());
+    for (const TestConfig &cfg : configs)
+        summaries.push_back(runConfig(cfg, campaign));
+    return summaries;
+}
+
+} // namespace mtc

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Campaign runner: the paper's evaluation grid.
+ *
+ * A campaign runs a batch of constrained-random tests for each test
+ * configuration (Table 2 / Figure 8 x-axis) on a chosen platform
+ * variant and aggregates per-configuration metrics for every figure.
+ * Scale knobs (iterations, tests per configuration) default to values
+ * that finish in seconds per configuration; the environment variables
+ * MTC_ITERATIONS and MTC_TESTS override them for paper-scale runs
+ * (see EXPERIMENTS.md).
+ */
+
+#ifndef MTC_HARNESS_CAMPAIGN_H
+#define MTC_HARNESS_CAMPAIGN_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "harness/validation_flow.h"
+#include "testgen/test_config.h"
+
+namespace mtc
+{
+
+/** Platform variant of a campaign (Figure 8 bar families). */
+enum class PlatformVariant : std::uint8_t
+{
+    BareMetal, ///< paper's bare-metal environment
+    Linux,     ///< paper's OS-interference runs
+};
+
+/** Campaign-wide knobs. */
+struct CampaignConfig
+{
+    std::uint64_t iterations = 2048;
+    unsigned testsPerConfig = 3;
+    std::uint64_t seed = 2017;
+    PlatformVariant variant = PlatformVariant::BareMetal;
+    bool runConventional = true;
+
+    /** Apply MTC_ITERATIONS / MTC_TESTS / MTC_SEED overrides. */
+    static CampaignConfig fromEnv(CampaignConfig defaults);
+    static CampaignConfig fromEnv();
+};
+
+/** Aggregated per-configuration metrics (means over tests). */
+struct ConfigSummary
+{
+    TestConfig cfg;
+    unsigned tests = 0;
+
+    double avgUniqueSignatures = 0.0;
+    double avgSignatureBytes = 0.0;
+    double avgUnrelatedAccesses = 0.0; ///< Figure 11 y-axis
+    double avgCodeRatio = 0.0;         ///< Figure 12
+    double avgOriginalKB = 0.0;
+    double avgInstrumentedKB = 0.0;
+
+    double collectiveMs = 0.0;   ///< summed over tests
+    double conventionalMs = 0.0; ///< summed over tests
+
+    std::uint64_t collectiveWork = 0;   ///< vertices+edges processed
+    std::uint64_t conventionalWork = 0;
+
+    /** Figure 14 classification fractions. */
+    double fracComplete = 0.0;
+    double fracNoResort = 0.0;
+    double fracIncremental = 0.0;
+    double avgAffectedFraction = 0.0;
+
+    /** Figure 10 components (means of per-test overheads). */
+    double avgComputationOverhead = 0.0;
+    double avgSortingOverhead = 0.0;
+
+    std::uint64_t violations = 0;
+
+    /** Normalized collective / conventional sorting time (Fig. 9). */
+    double
+    speedupRatio() const
+    {
+        return conventionalMs > 0.0 ? collectiveMs / conventionalMs
+                                    : 0.0;
+    }
+
+    /** Same ratio on work counters (host-independent). */
+    double
+    workRatio() const
+    {
+        return conventionalWork
+            ? static_cast<double>(collectiveWork) / conventionalWork
+            : 0.0;
+    }
+};
+
+/** Platform configuration a campaign uses for @p cfg. */
+ExecutorConfig platformFor(const TestConfig &cfg, PlatformVariant variant);
+
+/** Run one configuration's batch of tests and aggregate. */
+ConfigSummary runConfig(const TestConfig &cfg,
+                        const CampaignConfig &campaign);
+
+/** Run a list of configurations. */
+std::vector<ConfigSummary> runCampaign(
+    const std::vector<TestConfig> &configs,
+    const CampaignConfig &campaign);
+
+} // namespace mtc
+
+#endif // MTC_HARNESS_CAMPAIGN_H

@@ -1,0 +1,173 @@
+#include "harness/validation_flow.h"
+
+#include <map>
+#include <memory>
+
+#include "core/instr_plan.h"
+#include "core/signature_codec.h"
+#include "graph/cycle_report.h"
+#include "graph/graph_builder.h"
+#include "graph/po_edges.h"
+#include "sim/executor.h"
+#include "support/log.h"
+#include "support/timer.h"
+
+namespace mtc
+{
+
+namespace
+{
+
+/** Signature ordering that counts comparisons (BST sorting cost). */
+struct CountingLess
+{
+    std::uint64_t *counter = nullptr;
+
+    bool
+    operator()(const Signature &a, const Signature &b) const
+    {
+        ++*counter;
+        return a < b;
+    }
+};
+
+} // anonymous namespace
+
+ValidationFlow::ValidationFlow(FlowConfig cfg_arg) : cfg(cfg_arg) {}
+
+FlowResult
+ValidationFlow::runTest(const TestProgram &program)
+{
+    FlowResult result;
+
+    // --- Instrumentation (static, once per test) ----------------------
+    LoadValueAnalysis analysis(program, cfg.analysis);
+    InstrumentationPlan plan(program, analysis);
+    SignatureCodec codec(program, analysis, plan);
+
+    result.intrusive = intrusiveness(program, plan);
+    result.code = codeSize(program, analysis, plan);
+
+    // --- Test execution loop ------------------------------------------
+    std::unique_ptr<Platform> platform_holder;
+    if (cfg.coherent) {
+        platform_holder =
+            std::make_unique<CoherentExecutor>(*cfg.coherent);
+    } else {
+        platform_holder =
+            std::make_unique<OperationalExecutor>(cfg.exec);
+    }
+    Platform &platform = *platform_holder;
+    Rng rng(cfg.seed);
+    PerturbationModel perturbation(program, analysis);
+
+    std::uint64_t sort_comparisons = 0;
+    std::map<Signature, std::uint64_t, CountingLess> signature_counts(
+        CountingLess{&sort_comparisons});
+
+    for (std::uint64_t iter = 0; iter < cfg.iterations; ++iter) {
+        Execution execution;
+        try {
+            execution = platform.run(program, rng);
+        } catch (const ProtocolDeadlockError &err) {
+            // The paper's bug 3 crashes the whole simulation; one
+            // deadlock ends this test's campaign.
+            warn(std::string("platform crash: ") + err.what());
+            ++result.platformCrashes;
+            break;
+        }
+        ++result.iterationsRun;
+
+        try {
+            EncodeResult encoded = codec.encode(execution);
+            perturbation.record(execution, encoded, plan.totalWords());
+            ++signature_counts[std::move(encoded.signature)];
+        } catch (const SignatureAssertError &err) {
+            // The instrumented chain caught an impossible value at
+            // runtime, before any graph checking.
+            if (result.assertionFailures == 0)
+                result.violationWitness = err.what();
+            ++result.assertionFailures;
+        }
+    }
+
+    result.uniqueSignatures = signature_counts.size();
+    perturbation.recordSortComparisons(sort_comparisons);
+    result.originalCycles = perturbation.originalCycles();
+    result.computeCycles = perturbation.signatureComputationCycles();
+    result.sortCycles = perturbation.signatureSortingCycles();
+    result.computationOverhead = perturbation.computationOverhead();
+    result.sortingOverhead = perturbation.sortingOverhead();
+
+    // --- Decode + observed-edge derivation (shared by checkers) -------
+    std::vector<DynamicEdgeSet> edge_sets;
+    edge_sets.reserve(signature_counts.size());
+    {
+        WallTimer timer;
+        ScopedTimer scope(timer);
+        for (const auto &[signature, count] : signature_counts) {
+            (void)count;
+            Execution decoded = codec.decode(signature);
+            edge_sets.push_back(dynamicEdges(program, decoded));
+            if (cfg.keepExecutions)
+                result.executions.push_back(std::move(decoded));
+        }
+        result.decodeMs = timer.milliseconds();
+    }
+
+    // --- Collective checking (MTraceCheck) -----------------------------
+    const MemoryModel model =
+        cfg.coherent ? cfg.coherent->model : cfg.exec.model;
+    std::vector<bool> collective_verdicts;
+    {
+        CollectiveChecker checker(program, model);
+        WallTimer timer;
+        ScopedTimer scope(timer);
+        collective_verdicts = checker.check(edge_sets);
+        result.collectiveMs = timer.milliseconds();
+        result.collective = checker.stats();
+    }
+    for (bool verdict : collective_verdicts)
+        result.violatingSignatures += verdict ? 1 : 0;
+
+    // --- Conventional checking (baseline) ------------------------------
+    if (cfg.runConventional) {
+        ConventionalChecker checker(program, model);
+        WallTimer timer;
+        ScopedTimer scope(timer);
+        const std::vector<bool> verdicts =
+            checker.check(edge_sets, result.conventional);
+        result.conventionalMs = timer.milliseconds();
+
+        // The two checkers must agree; this is also asserted by the
+        // property tests, but a production run cross-checks too.
+        if (verdicts != collective_verdicts) {
+            warn("checker disagreement on test " +
+                 program.config().name());
+        }
+    }
+
+    // --- Violation witness (Figure 13 style) ---------------------------
+    if (result.violatingSignatures && result.violationWitness.empty()) {
+        for (std::size_t i = 0; i < edge_sets.size(); ++i) {
+            if (!collective_verdicts[i])
+                continue;
+            ConstraintGraph graph(program.numOps());
+            graph.addEdges(programOrderEdges(program, model));
+            graph.addEdges(edge_sets[i].edges);
+            const auto cycle = findCycle(graph);
+            if (!cycle.empty()) {
+                result.violationWitness =
+                    describeCycle(program, graph, cycle);
+            } else {
+                result.violationWitness =
+                    "contradictory coherence (ws) constraints";
+            }
+            break;
+        }
+    }
+
+    return result;
+}
+
+} // namespace mtc

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * End-to-end validation flow for one test program (the paper's
+ * Figure 1): instrument, execute many iterations, collect and sort
+ * signatures, decode, and check — collectively and (optionally) with
+ * the conventional per-graph baseline for comparison.
+ *
+ * The flow also gathers every metric the evaluation section reports:
+ * unique-signature counts (Figure 8), checker timings and work
+ * (Figures 9 and 14), execution-overhead components (Figure 10),
+ * intrusiveness (Figure 11), and code size (Figure 12).
+ */
+
+#ifndef MTC_HARNESS_VALIDATION_FLOW_H
+#define MTC_HARNESS_VALIDATION_FLOW_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/codesize.h"
+#include "core/collective_checker.h"
+#include "core/conventional_checker.h"
+#include "core/load_analysis.h"
+#include "core/perturbation.h"
+#include "core/signature.h"
+#include "sim/coherent_executor.h"
+#include "sim/executor_config.h"
+#include "testgen/test_program.h"
+
+namespace mtc
+{
+
+/** Knobs of one flow run. */
+struct FlowConfig
+{
+    /** Test-loop iteration count (paper: 65,536 bare-metal; 1,024 in
+     * gem5; our defaults are scaled — see EXPERIMENTS.md). */
+    std::uint64_t iterations = 4096;
+
+    std::uint64_t seed = 2017;
+
+    /** Platform under validation. */
+    ExecutorConfig exec;
+
+    /** When set, the test runs on the message-level coherent platform
+     * (the gem5-grade model) instead of the operational executor, and
+     * `exec` is ignored: the coherent config carries its own model
+     * and bug hooks. */
+    std::optional<CoherentConfig> coherent;
+
+    /** Load-analysis options (static pruning extension). */
+    AnalysisOptions analysis;
+
+    /** Also run the conventional checker (for Figure 9 comparisons). */
+    bool runConventional = true;
+
+    /** Keep all unique decoded executions (k-medoids inputs). */
+    bool keepExecutions = false;
+};
+
+/** Everything measured while validating one test. */
+struct FlowResult
+{
+    std::uint64_t iterationsRun = 0;
+    std::uint64_t uniqueSignatures = 0;
+
+    /** Instrumented-chain tail assertions (unexpected loaded value). */
+    std::uint64_t assertionFailures = 0;
+
+    /** Platform crashes (injected protocol deadlock). */
+    std::uint64_t platformCrashes = 0;
+
+    /** Unique signatures whose constraint graph is cyclic. */
+    std::uint64_t violatingSignatures = 0;
+
+    bool
+    anyViolation() const
+    {
+        return violatingSignatures || assertionFailures ||
+            platformCrashes;
+    }
+
+    CollectiveStats collective;
+    ConventionalStats conventional;
+
+    /** Wall-clock of the checking phases (sorting only, graphs
+     * pre-built — the paper's Figure 9 methodology). */
+    double collectiveMs = 0.0;
+    double conventionalMs = 0.0;
+
+    /** Wall-clock of decode + observed-edge derivation (shared). */
+    double decodeMs = 0.0;
+
+    /** Figure 10 components. */
+    std::uint64_t originalCycles = 0;
+    std::uint64_t computeCycles = 0;
+    std::uint64_t sortCycles = 0;
+    double computationOverhead = 0.0;
+    double sortingOverhead = 0.0;
+
+    IntrusivenessReport intrusive;
+    CodeSizeReport code;
+
+    /** First violation's cycle rendered for humans (Figure 13). */
+    std::string violationWitness;
+
+    /** Unique decoded executions (only when keepExecutions). */
+    std::vector<Execution> executions;
+};
+
+/** Runs the full flow over test programs. */
+class ValidationFlow
+{
+  public:
+    explicit ValidationFlow(FlowConfig cfg_arg);
+
+    /** Validate one test program. */
+    FlowResult runTest(const TestProgram &program);
+
+  private:
+    FlowConfig cfg;
+};
+
+} // namespace mtc
+
+#endif // MTC_HARNESS_VALIDATION_FLOW_H

@@ -1,0 +1,61 @@
+#include "mcm/isa.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "mcm/memory_model.h"
+#include "support/error.h"
+
+namespace mtc
+{
+
+std::string
+isaName(Isa isa)
+{
+    switch (isa) {
+      case Isa::X86:
+        return "x86";
+      case Isa::ARMv7:
+        return "ARM";
+    }
+    return "?";
+}
+
+Isa
+parseIsa(const std::string &text)
+{
+    std::string lower(text);
+    std::transform(lower.begin(), lower.end(), lower.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    if (lower == "x86" || lower == "x86-64" || lower == "x86_64")
+        return Isa::X86;
+    if (lower == "arm" || lower == "armv7")
+        return Isa::ARMv7;
+    throw ConfigError("unknown ISA: " + text);
+}
+
+MemoryModel
+defaultModel(Isa isa)
+{
+    switch (isa) {
+      case Isa::X86:
+        return MemoryModel::TSO;
+      case Isa::ARMv7:
+        return MemoryModel::RMO;
+    }
+    return MemoryModel::SC;
+}
+
+unsigned
+registerBits(Isa isa)
+{
+    switch (isa) {
+      case Isa::X86:
+        return 64;
+      case Isa::ARMv7:
+        return 32;
+    }
+    return 64;
+}
+
+} // namespace mtc

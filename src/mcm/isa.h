@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Instruction-set-architecture descriptors for the two platforms the
+ * paper evaluates (Table 1): an x86-64 desktop (x86-TSO) and an ARMv7
+ * SoC (weakly-ordered model). The ISA determines the default memory
+ * model, the register width used for signature words (Section 3.2:
+ * "registers are either 64-bit or 32-bit wide"), and the instruction
+ * encodings used by the code-size model.
+ */
+
+#ifndef MTC_MCM_ISA_H
+#define MTC_MCM_ISA_H
+
+#include <cstdint>
+#include <string>
+
+namespace mtc
+{
+
+enum class MemoryModel : std::uint8_t;
+
+/** Supported instruction-set architectures. */
+enum class Isa : std::uint8_t
+{
+    X86,
+    ARMv7,
+};
+
+/** Display name matching the paper's configuration labels. */
+std::string isaName(Isa isa);
+
+/** Parse "x86" / "ARM" (case-insensitive) into an Isa. */
+Isa parseIsa(const std::string &text);
+
+/** Architected memory model of the ISA (x86 -> TSO, ARMv7 -> weak). */
+MemoryModel defaultModel(Isa isa);
+
+/** General-purpose register width in bits (64 for x86-64, 32 ARMv7). */
+unsigned registerBits(Isa isa);
+
+} // namespace mtc
+
+#endif // MTC_MCM_ISA_H

@@ -1,0 +1,100 @@
+#include "mcm/memory_model.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "support/error.h"
+
+namespace mtc
+{
+
+std::string
+modelName(MemoryModel model)
+{
+    switch (model) {
+      case MemoryModel::SC:
+        return "SC";
+      case MemoryModel::TSO:
+        return "TSO";
+      case MemoryModel::RMO:
+        return "RMO";
+    }
+    return "?";
+}
+
+MemoryModel
+parseModel(const std::string &text)
+{
+    std::string lower(text);
+    std::transform(lower.begin(), lower.end(), lower.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    if (lower == "sc")
+        return MemoryModel::SC;
+    if (lower == "tso")
+        return MemoryModel::TSO;
+    if (lower == "rmo" || lower == "weak")
+        return MemoryModel::RMO;
+    throw ConfigError("unknown memory model: " + text);
+}
+
+bool
+programOrderRequired(MemoryModel model, OpKind first, OpKind second)
+{
+    // Fences order everything relative to themselves in every model.
+    if (first == OpKind::Fence || second == OpKind::Fence)
+        return true;
+
+    switch (model) {
+      case MemoryModel::SC:
+        return true;
+      case MemoryModel::TSO:
+        // The only relaxation is store->load (store buffering).
+        return !(first == OpKind::Store && second == OpKind::Load);
+      case MemoryModel::RMO:
+        return false;
+    }
+    return true;
+}
+
+bool
+sameAddressOrderRequired(MemoryModel model, OpKind first, OpKind second)
+{
+    if (programOrderRequired(model, first, second))
+        return true;
+
+    // Per-location coherence holds in all supported models:
+    //  st->st : writes to one location are serialized in program order;
+    //  ld->st : a store may not be overtaken by a po-earlier load of
+    //           the same address (the load would otherwise be able to
+    //           read its own thread's future);
+    //  ld->ld : reads of one location may not appear reordered (CoRR).
+    // st->ld is intentionally absent: store forwarding lets a load
+    // consume a po-earlier store before that store is globally visible
+    // (paper footnote 4).
+    if (first == OpKind::Store && second == OpKind::Store)
+        return true;
+    if (first == OpKind::Load && second == OpKind::Store)
+        return true;
+    if (first == OpKind::Load && second == OpKind::Load)
+        return true;
+    return false;
+}
+
+bool
+atLeastAsWeak(MemoryModel weaker, MemoryModel stronger)
+{
+    auto rank = [](MemoryModel m) {
+        switch (m) {
+          case MemoryModel::SC:
+            return 2;
+          case MemoryModel::TSO:
+            return 1;
+          case MemoryModel::RMO:
+            return 0;
+        }
+        return 0;
+    };
+    return rank(weaker) <= rank(stronger);
+}
+
+} // namespace mtc

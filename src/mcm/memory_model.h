@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Memory consistency model definitions and ordering predicates.
+ *
+ * An MCM is captured operationally by two predicates over pairs of
+ * program-ordered operations from the same thread:
+ *
+ *  - programOrderRequired(): must the earlier op become globally
+ *    visible before the later one when they target *different*
+ *    addresses? (SC: always; TSO: all but store->load; RMO: never,
+ *    unless one of the two is a fence.)
+ *
+ *  - sameAddressOrderRequired(): must they stay ordered when they
+ *    target the *same* address? These capture per-location coherence
+ *    (st->st, ld->st, ld->ld). Intra-thread st->ld same-address edges
+ *    are deliberately excluded, mirroring the paper's footnote 4: with
+ *    store forwarding on non-single-copy-atomic machines those edges
+ *    produce false positives.
+ *
+ * Both the executors in mtc::sim (to decide which operations are
+ * eligible to perform next) and the constraint-graph builder in
+ * mtc::graph (to emit intra-thread consistency edges) consume the same
+ * predicates, so the checker's model always matches the platform's
+ * intended model.
+ */
+
+#ifndef MTC_MCM_MEMORY_MODEL_H
+#define MTC_MCM_MEMORY_MODEL_H
+
+#include <cstdint>
+#include <string>
+
+#include "mcm/op_kind.h"
+
+namespace mtc
+{
+
+/** Memory consistency models supported by the framework. */
+enum class MemoryModel : std::uint8_t
+{
+    SC,  ///< Sequential consistency (Lamport).
+    TSO, ///< Total store order (x86-TSO / SPARC TSO).
+    RMO, ///< Relaxed / weakly-ordered model (ARMv7-style).
+};
+
+/** Display name ("SC", "TSO", "RMO"). */
+std::string modelName(MemoryModel model);
+
+/** Parse a model name (case-insensitive). */
+MemoryModel parseModel(const std::string &text);
+
+/**
+ * Must an earlier op of kind @p first stay ordered before a later op of
+ * kind @p second from the same thread when they access different
+ * addresses?
+ */
+bool programOrderRequired(MemoryModel model, OpKind first, OpKind second);
+
+/**
+ * Must they stay ordered when they access the same address? Encodes
+ * per-location coherence; st->ld is excluded (store forwarding, see
+ * file comment).
+ */
+bool sameAddressOrderRequired(MemoryModel model, OpKind first,
+                              OpKind second);
+
+/**
+ * True if @p weaker permits every reordering @p stronger permits (and
+ * possibly more). Used by tests asserting, e.g., that every SC
+ * execution also satisfies TSO.
+ */
+bool atLeastAsWeak(MemoryModel weaker, MemoryModel stronger);
+
+} // namespace mtc
+
+#endif // MTC_MCM_MEMORY_MODEL_H

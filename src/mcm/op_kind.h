@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Kinds of memory operations appearing in test programs.
+ *
+ * The paper's constrained-random tests contain loads and stores only
+ * (Section 5); fences appear at loop boundaries. We additionally allow
+ * in-body fences as an extension, which the ordering matrices treat as
+ * full barriers.
+ */
+
+#ifndef MTC_MCM_OP_KIND_H
+#define MTC_MCM_OP_KIND_H
+
+#include <cstdint>
+#include <string>
+
+namespace mtc
+{
+
+/** Kind of a memory operation in a test program. */
+enum class OpKind : std::uint8_t
+{
+    Load,
+    Store,
+    Fence,
+};
+
+/** Short mnemonic ("ld" / "st" / "fence"). */
+inline std::string
+opKindName(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::Load:
+        return "ld";
+      case OpKind::Store:
+        return "st";
+      case OpKind::Fence:
+        return "fence";
+    }
+    return "?";
+}
+
+} // namespace mtc
+
+#endif // MTC_MCM_OP_KIND_H

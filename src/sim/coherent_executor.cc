@@ -1,0 +1,1080 @@
+#include "sim/coherent_executor.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <queue>
+#include <tuple>
+#include <unordered_map>
+
+#include "sim/order_table.h"
+#include "support/error.h"
+
+namespace mtc
+{
+
+namespace
+{
+
+/** L1 line states, stable + transient (classic MSI notation). */
+enum class CState : std::uint8_t
+{
+    I,
+    S,
+    M,
+    IS_D,  ///< GetS issued, awaiting Data
+    IM_AD, ///< GetM issued, awaiting Data and acks
+    IM_A,  ///< Data arrived, awaiting remaining InvAcks
+    SM_AD, ///< upgrade issued from S (the Peekaboo window)
+    SM_A,
+};
+
+inline bool
+isValidState(CState s)
+{
+    return s == CState::S || s == CState::M;
+}
+
+inline bool
+inUpgradeWindow(CState s)
+{
+    return s == CState::SM_AD || s == CState::SM_A;
+}
+
+inline bool
+awaitingOwnership(CState s)
+{
+    return s == CState::IM_AD || s == CState::IM_A ||
+        s == CState::SM_AD || s == CState::SM_A;
+}
+
+/** Directory stable states. */
+enum class DirState : std::uint8_t
+{
+    I,
+    S,
+    M,
+};
+
+struct Event
+{
+    std::uint64_t time;
+    std::uint64_t seq;
+    CohMessage msg;
+
+    bool
+    operator>(const Event &other) const
+    {
+        return std::tie(time, seq) > std::tie(other.time, other.seq);
+    }
+};
+
+constexpr std::uint64_t kWatchdogInterval = 100'000;
+
+class Machine
+{
+  public:
+    Machine(const TestProgram &program_arg, const CoherentConfig &cfg_arg,
+            const OrderTable &order_arg, Rng &rng_arg)
+        : program(program_arg), cfg(cfg_arg), order(order_arg),
+          rng(rng_arg), numThreads(program_arg.numThreads()),
+          numLines(program_arg.numLines()),
+          wordsPerLine(program_arg.config().wordsPerLine)
+    {
+        completion.reset(program);
+        const auto &threads = program.threadBodies();
+        head.assign(numThreads, 0);
+        coreTime.assign(numThreads, 0);
+        opStates.resize(numThreads);
+        for (std::uint32_t t = 0; t < numThreads; ++t) {
+            remaining += threads[t].size();
+            opStates[t].assign(threads[t].size(), OpState{});
+        }
+
+        caches.resize(numThreads);
+        for (auto &cache : caches) {
+            cache.lines.resize(numLines);
+            for (auto &line : cache.lines)
+                line.data.assign(wordsPerLine, kInitValue);
+        }
+
+        directory.assign(numLines, DirEntry{});
+        memData.assign(numLines,
+                       std::vector<std::uint32_t>(wordsPerLine,
+                                                  kInitValue));
+
+        result.loadValues.assign(program.loads().size(), kInitValue);
+        if (cfg.exportCoherenceOrder) {
+            result.coherenceOrder.assign(
+                program.config().numLocations, {});
+        }
+    }
+
+    Execution
+    run()
+    {
+        for (std::uint32_t t = 0; t < numThreads; ++t)
+            progressCore(t);
+
+        std::uint64_t events_handled = 0;
+        std::uint64_t commits_at_last_check = 0;
+        std::uint64_t next_watchdog = kWatchdogInterval;
+        while (remaining > 0) {
+            // A deadlocked platform may still generate traffic forever
+            // (live lines ping-pong between cores whose stuck heads
+            // keep them ineligible), so wedge detection watches commit
+            // progress, not queue emptiness alone.
+            const bool watchdog_fired = events_handled >= next_watchdog &&
+                commitCount == commits_at_last_check;
+            if (eventQueue.empty() || watchdog_fired) {
+                if (cfg.bug == BugKind::PutxGetxRace && forwardsDropped) {
+                    throw ProtocolDeadlockError(
+                        "ownership request lost in PUTX/GETX race: "
+                        "platform deadlocked");
+                }
+                throw PlatformError(
+                    "coherence protocol wedged with no injected bug "
+                    "(simulator defect)\n" +
+                    describeWedge());
+            }
+            if (events_handled >= next_watchdog) {
+                commits_at_last_check = commitCount;
+                next_watchdog = events_handled + kWatchdogInterval;
+            }
+            if (++events_handled > cfg.maxEvents) {
+                throw PlatformError("coherence event budget exhausted\n" +
+                                    describeWedge());
+            }
+
+            const Event event = eventQueue.top();
+            eventQueue.pop();
+            now = std::max(now, event.time);
+            deliver(event.msg);
+
+            for (std::uint32_t t = 0; t < numThreads; ++t)
+                progressCore(t);
+            serveDeferredForwards();
+        }
+
+        result.duration = now;
+        for (std::uint32_t t = 0; t < numThreads; ++t)
+            result.duration = std::max(result.duration, coreTime[t]);
+        return std::move(result);
+    }
+
+    /** Render the stuck state for the wedge diagnostic. */
+    std::string
+    describeWedge() const
+    {
+        std::string text;
+        for (std::uint32_t t = 0; t < numThreads; ++t) {
+            const auto &body = program.threadBodies()[t];
+            if (head[t] >= body.size())
+                continue;
+            const MemOp &op = body[head[t]];
+            const std::uint32_t line_idx = op.kind == OpKind::Fence
+                ? 0
+                : program.lineOf(op.loc);
+            const CacheLineEntry &line = caches[t].lines[line_idx];
+            const DirEntry &entry = directory[line_idx];
+            text += "core " + std::to_string(t) + " head op" +
+                std::to_string(head[t]) + " " + opKindName(op.kind) +
+                " line " + std::to_string(line_idx) + " cstate " +
+                std::to_string(static_cast<int>(line.state)) +
+                " acks " + std::to_string(line.acksReceived) + "/" +
+                std::to_string(line.acksNeeded) + " dataSeen " +
+                std::to_string(line.dataSeen) + " deferred " +
+                std::to_string(line.deferredFwds.size()) +
+                " | dir state " +
+                std::to_string(static_cast<int>(entry.state)) +
+                " owner " + std::to_string(entry.owner) + " busy " +
+                std::to_string(entry.busy) + " pending " +
+                std::to_string(entry.pending.size()) + "\n";
+        }
+        return text;
+    }
+
+  private:
+    // --- structures ---------------------------------------------------
+
+    struct CacheLineEntry
+    {
+        CState state = CState::I;
+        std::vector<std::uint32_t> data;
+        std::uint32_t acksNeeded = 0;
+        std::uint32_t acksReceived = 0;
+        bool dataSeen = false;     ///< Data arrived, may await acks
+        bool invWhileFill = false; ///< Inv hit IS_D: one-shot fill
+        bool resident = false;     ///< counted against capacity
+        std::uint64_t epoch = 0;   ///< bumped on gain/loss of data
+        std::uint64_t lastTouch = 0;
+        /** Load that initiated an outstanding GetS (one-shot fills). */
+        std::int32_t requesterIdx = -1;
+        /** Forwards that raced ahead of our ownership Data. */
+        std::vector<CohMessage> deferredFwds;
+    };
+
+    struct WbEntry
+    {
+        std::vector<std::uint32_t> data;
+    };
+
+    struct L1
+    {
+        std::vector<CacheLineEntry> lines;
+        /** Writeback buffer: evicted-M lines awaiting PutAck. */
+        std::unordered_map<std::uint32_t, WbEntry> wb;
+        std::uint32_t residentCount = 0;
+    };
+
+    struct DirEntry
+    {
+        DirState state = DirState::I;
+        std::int32_t owner = -1;
+        std::uint32_t sharers = 0;
+        bool busy = false;
+        std::deque<CohMessage> pending;  ///< stalled requests
+        std::deque<CohMessage> heldPuts; ///< PutM raced with a forward
+    };
+
+    struct OpState
+    {
+        bool captured = false;
+        bool forwarded = false;
+        std::uint32_t capturedValue = 0;
+        std::uint64_t capturedEpoch = 0;
+    };
+
+    // --- network --------------------------------------------------------
+
+    /** Schedule a core-internal event: no network hop, no FIFO. */
+    void
+    schedule(CohMessage msg, std::uint64_t delay)
+    {
+        eventQueue.push(Event{now + delay, seqCounter++,
+                              std::move(msg)});
+    }
+
+    void
+    send(CohMessage msg)
+    {
+        const std::uint64_t hop = cfg.networkLatency +
+            (cfg.networkJitterMax
+                 ? rng.nextBelow(cfg.networkJitterMax + 1)
+                 : 0);
+        std::uint64_t at = now + hop;
+        // Point-to-point FIFO ordering, which the protocol relies on
+        // for Data-before-Inv from a single sender.
+        const std::uint64_t key =
+            (static_cast<std::uint64_t>(
+                 static_cast<std::uint32_t>(msg.src + 1))
+             << 32) |
+            static_cast<std::uint32_t>(msg.dst + 1);
+        auto [it, inserted] = lastDelivery.emplace(key, at);
+        if (!inserted) {
+            at = std::max(at, it->second + 1);
+            it->second = at;
+        }
+        eventQueue.push(Event{at, seqCounter++, std::move(msg)});
+    }
+
+    void
+    deliver(const CohMessage &msg)
+    {
+        if (msg.dst == kDirectoryId)
+            directoryHandle(msg);
+        else
+            cacheHandle(static_cast<std::uint32_t>(msg.dst), msg);
+    }
+
+    // --- directory ------------------------------------------------------
+
+    void
+    directoryHandle(const CohMessage &msg)
+    {
+        DirEntry &entry = directory[msg.line];
+        switch (msg.type) {
+          case MsgType::GetS:
+          case MsgType::GetM:
+            if (entry.busy) {
+                entry.pending.push_back(msg);
+                return;
+            }
+            directoryRequest(msg);
+            return;
+          case MsgType::PutM:
+            directoryPutM(msg);
+            return;
+          case MsgType::DataWb:
+            // Owner downgraded for a reader: memory takes the copy.
+            memData[msg.line] = msg.payload;
+            entry.state = DirState::S;
+            entry.sharers |=
+                (std::uint32_t(1)
+                 << static_cast<std::uint32_t>(msg.src)) |
+                (std::uint32_t(1)
+                 << static_cast<std::uint32_t>(msg.requester));
+            entry.owner = -1;
+            unbusy(msg.line);
+            return;
+          case MsgType::FwdAck:
+            // Ownership moved to msg.requester.
+            entry.state = DirState::M;
+            entry.owner = msg.requester;
+            entry.sharers = 0;
+            unbusy(msg.line);
+            return;
+          default:
+            throw PlatformError("unexpected message at directory");
+        }
+    }
+
+    void
+    directoryRequest(const CohMessage &msg)
+    {
+        DirEntry &entry = directory[msg.line];
+        const std::uint32_t req_bit = std::uint32_t(1)
+            << static_cast<std::uint32_t>(msg.src);
+
+        if (msg.type == MsgType::GetS) {
+            switch (entry.state) {
+              case DirState::I:
+                sendDirData(msg.line, msg.src, 0);
+                entry.state = DirState::S;
+                entry.sharers = req_bit;
+                return;
+              case DirState::S:
+                sendDirData(msg.line, msg.src, 0);
+                entry.sharers |= req_bit;
+                return;
+              case DirState::M:
+                entry.busy = true;
+                send(CohMessage{MsgType::FwdGetS, msg.line,
+                                kDirectoryId, entry.owner, msg.src, 0,
+                                {}});
+                return;
+            }
+        }
+
+        // GetM.
+        switch (entry.state) {
+          case DirState::I:
+            sendDirData(msg.line, msg.src, 0);
+            entry.state = DirState::M;
+            entry.owner = msg.src;
+            entry.sharers = 0;
+            return;
+          case DirState::S: {
+            const std::uint32_t invalidatees = entry.sharers & ~req_bit;
+            std::uint32_t acks = 0;
+            for (std::uint32_t t = 0; t < numThreads; ++t) {
+                if ((invalidatees >> t) & 1) {
+                    ++acks;
+                    send(CohMessage{MsgType::Inv, msg.line,
+                                    kDirectoryId,
+                                    static_cast<std::int32_t>(t),
+                                    msg.src, 0, {}});
+                }
+            }
+            sendDirData(msg.line, msg.src, acks);
+            entry.state = DirState::M;
+            entry.owner = msg.src;
+            entry.sharers = 0;
+            return;
+          }
+          case DirState::M:
+            entry.busy = true;
+            send(CohMessage{MsgType::FwdGetM, msg.line, kDirectoryId,
+                            entry.owner, msg.src, 0, {}});
+            return;
+        }
+    }
+
+    void
+    directoryPutM(const CohMessage &msg)
+    {
+        DirEntry &entry = directory[msg.line];
+        if (entry.busy) {
+            // The PutM raced with a forward already sent to this owner;
+            // acknowledge only once the transfer resolves, so the owner
+            // keeps its writeback buffer long enough to serve the
+            // forward.
+            entry.heldPuts.push_back(msg);
+            return;
+        }
+        if (entry.state == DirState::M && entry.owner == msg.src) {
+            memData[msg.line] = msg.payload;
+            entry.state = DirState::I;
+            entry.owner = -1;
+        }
+        // Stale PutM (ownership already moved on): acknowledge anyway.
+        send(CohMessage{MsgType::PutAck, msg.line, kDirectoryId, msg.src,
+                        msg.src, 0, {}});
+    }
+
+    void
+    unbusy(std::uint32_t line)
+    {
+        DirEntry &entry = directory[line];
+        entry.busy = false;
+        while (!entry.heldPuts.empty()) {
+            const CohMessage put = entry.heldPuts.front();
+            entry.heldPuts.pop_front();
+            directoryPutM(put);
+        }
+        // Drain stalled requests until one re-busies the entry (an
+        // immediately-satisfiable request must not strand the rest).
+        while (!entry.busy && !entry.pending.empty()) {
+            const CohMessage next = entry.pending.front();
+            entry.pending.pop_front();
+            directoryRequest(next);
+        }
+    }
+
+    /** Data from the directory carries memory's copy. */
+    void
+    sendDirData(std::uint32_t line, std::int32_t dst, std::uint32_t acks)
+    {
+        send(CohMessage{MsgType::Data, line, kDirectoryId, dst, dst,
+                        acks, memData[line]});
+    }
+
+    // --- L1 caches -------------------------------------------------------
+
+    void
+    cacheHandle(std::uint32_t tid, const CohMessage &msg)
+    {
+        L1 &cache = caches[tid];
+        CacheLineEntry &line = cache.lines[msg.line];
+
+        switch (msg.type) {
+          case MsgType::Data:
+            handleDataArrival(tid, msg);
+            return;
+          case MsgType::InvAck:
+            ++line.acksReceived;
+            maybeFinishUpgrade(tid, msg.line);
+            return;
+          case MsgType::Inv:
+            handleInv(tid, msg);
+            return;
+          case MsgType::FwdGetS:
+          case MsgType::FwdGetM:
+            if (line.state == CState::M ||
+                cache.wb.find(msg.line) != cache.wb.end()) {
+                // Current owner, or past owner still holding the
+                // writeback buffer (the PUTX/GETX race window).
+                if (msg.type == MsgType::FwdGetS)
+                    handleFwdGetS(tid, msg);
+                else
+                    handleFwdGetM(tid, msg);
+            } else if (awaitingOwnership(line.state) ||
+                       line.state == CState::IS_D) {
+                // The forward raced ahead of the Data that makes us
+                // owner; service it once ownership arrives.
+                line.deferredFwds.push_back(msg);
+            } else {
+                throw PlatformError(
+                    "forward for a line the owner lost");
+            }
+            return;
+          case MsgType::PutAck:
+            cache.wb.erase(msg.line);
+            return;
+          case MsgType::SbDrain:
+            send(CohMessage{MsgType::GetM, msg.line,
+                            static_cast<std::int32_t>(tid),
+                            kDirectoryId,
+                            static_cast<std::int32_t>(tid), 0, {}});
+            return;
+          default:
+            throw PlatformError("unexpected message at cache");
+        }
+    }
+
+    void
+    handleDataArrival(std::uint32_t tid, const CohMessage &msg)
+    {
+        CacheLineEntry &line = caches[tid].lines[msg.line];
+
+        if (line.state == CState::IS_D && line.invWhileFill) {
+            // The fill raced with an invalidation (the Peekaboo
+            // window). The data may satisfy the initiating load only
+            // if it is the *oldest* uncommitted load of this line in
+            // this core: the payload is coherence-later than anything
+            // already committed, and every younger speculative load is
+            // squashed by the epoch bump below. (Satisfying a younger
+            // load here is exactly the ld->ld reordering of bug 1.)
+            // This one-shot also guarantees forward progress for a
+            // head load under invalidation storms.
+            line.invWhileFill = false;
+            if (line.requesterIdx >= 0 &&
+                oldestUncommittedLoadOfLine(tid, msg.line) ==
+                    line.requesterIdx) {
+                oneShotCapture(
+                    tid, static_cast<std::uint32_t>(line.requesterIdx),
+                    msg.line, msg.payload);
+            }
+            line.requesterIdx = -1;
+            line.state = CState::I;
+            ++line.epoch;
+            return;
+        }
+
+        line.data = msg.payload;
+        line.dataSeen = true;
+        line.acksNeeded = msg.ackCount;
+        ++line.epoch;
+
+        switch (line.state) {
+          case CState::IS_D:
+            allocate(tid, msg.line);
+            line.state = CState::S;
+            line.requesterIdx = -1;
+            line.dataSeen = false;
+            break;
+          case CState::IM_AD:
+          case CState::SM_AD:
+            allocate(tid, msg.line);
+            maybeFinishUpgrade(tid, msg.line);
+            break;
+          default:
+            throw PlatformError("data arrived in unexpected state");
+        }
+    }
+
+    void
+    maybeFinishUpgrade(std::uint32_t tid, std::uint32_t line_idx)
+    {
+        CacheLineEntry &line = caches[tid].lines[line_idx];
+        if (!awaitingOwnership(line.state))
+            return;
+        if (!line.dataSeen || line.acksReceived < line.acksNeeded)
+            return;
+        line.state = CState::M;
+        line.acksReceived = 0;
+        line.acksNeeded = 0;
+        line.dataSeen = false;
+
+        // Forwards that raced ahead of our ownership are served only
+        // after the local cores have had one progress pass: the store
+        // that requested this line must get a chance to perform first,
+        // or two contending writers livelock stealing the line from
+        // each other before either commits (the MSHR
+        // perform-before-relinquish rule). An *ineligible* store still
+        // loses the line, which avoids cross-line blocking deadlocks.
+        if (!line.deferredFwds.empty())
+            pendingFwdService.emplace_back(tid, line_idx);
+    }
+
+    void
+    handleInv(std::uint32_t tid, const CohMessage &msg)
+    {
+        CacheLineEntry &line = caches[tid].lines[msg.line];
+        switch (line.state) {
+          case CState::S:
+            line.state = CState::I;
+            deallocate(tid, msg.line);
+            ++line.epoch;
+            break;
+          case CState::SM_AD:
+          case CState::SM_A:
+            // Lost the S copy while upgrading (the bug-1 window); the
+            // upgrade still completes when Data/acks arrive.
+            ++line.epoch;
+            break;
+          case CState::IS_D:
+            // Data may still be in flight from an owner: mark the fill
+            // one-shot.
+            line.invWhileFill = true;
+            ++line.epoch;
+            break;
+          default:
+            // Stale Inv for a silently evicted line.
+            break;
+        }
+        send(CohMessage{MsgType::InvAck, msg.line,
+                        static_cast<std::int32_t>(tid), msg.requester,
+                        msg.requester, 0, {}});
+    }
+
+    void
+    handleFwdGetS(std::uint32_t tid, const CohMessage &msg)
+    {
+        L1 &cache = caches[tid];
+        CacheLineEntry &line = cache.lines[msg.line];
+        if (line.state == CState::M) {
+            send(CohMessage{MsgType::Data, msg.line,
+                            static_cast<std::int32_t>(tid),
+                            msg.requester, msg.requester, 0, line.data});
+            send(CohMessage{MsgType::DataWb, msg.line,
+                            static_cast<std::int32_t>(tid), kDirectoryId,
+                            msg.requester, 0, line.data});
+            line.state = CState::S;
+            return;
+        }
+        serveFromWriteback(tid, msg, /*transfer_ownership=*/false);
+    }
+
+    void
+    handleFwdGetM(std::uint32_t tid, const CohMessage &msg)
+    {
+        L1 &cache = caches[tid];
+        CacheLineEntry &line = cache.lines[msg.line];
+        if (line.state == CState::M) {
+            send(CohMessage{MsgType::Data, msg.line,
+                            static_cast<std::int32_t>(tid),
+                            msg.requester, msg.requester, 0, line.data});
+            send(CohMessage{MsgType::FwdAck, msg.line,
+                            static_cast<std::int32_t>(tid), kDirectoryId,
+                            msg.requester, 0, {}});
+            line.state = CState::I;
+            deallocate(tid, msg.line);
+            ++line.epoch;
+            return;
+        }
+        serveFromWriteback(tid, msg, /*transfer_ownership=*/true);
+    }
+
+    void
+    serveFromWriteback(std::uint32_t tid, const CohMessage &msg,
+                       bool transfer_ownership)
+    {
+        L1 &cache = caches[tid];
+        auto it = cache.wb.find(msg.line);
+        if (it == cache.wb.end())
+            throw PlatformError("forward for a line the owner lost");
+
+        // Bug 3: the forward raced with the writeback and is dropped;
+        // the requester (and the busy directory entry) starve.
+        if (cfg.bug == BugKind::PutxGetxRace &&
+            rng.nextBool(cfg.bugProbability)) {
+            forwardsDropped = true;
+            return;
+        }
+
+        send(CohMessage{MsgType::Data, msg.line,
+                        static_cast<std::int32_t>(tid), msg.requester,
+                        msg.requester, 0, it->second.data});
+        if (transfer_ownership) {
+            send(CohMessage{MsgType::FwdAck, msg.line,
+                            static_cast<std::int32_t>(tid), kDirectoryId,
+                            msg.requester, 0, {}});
+        } else {
+            send(CohMessage{MsgType::DataWb, msg.line,
+                            static_cast<std::int32_t>(tid), kDirectoryId,
+                            msg.requester, 0, it->second.data});
+        }
+    }
+
+    // --- capacity --------------------------------------------------------
+
+    void
+    allocate(std::uint32_t tid, std::uint32_t line_idx)
+    {
+        L1 &cache = caches[tid];
+        CacheLineEntry &line = cache.lines[line_idx];
+        line.lastTouch = ++touchCounter;
+        if (line.resident)
+            return;
+        line.resident = true;
+        ++cache.residentCount;
+        if (cfg.cacheLines == 0 || cache.residentCount <= cfg.cacheLines)
+            return;
+
+        // Evict the LRU stable line other than the new one.
+        std::int64_t victim = -1;
+        std::uint64_t oldest = std::numeric_limits<std::uint64_t>::max();
+        for (std::uint32_t l = 0; l < numLines; ++l) {
+            if (l == line_idx)
+                continue;
+            const CacheLineEntry &cand = cache.lines[l];
+            if (cand.resident && isValidState(cand.state) &&
+                cand.lastTouch < oldest) {
+                oldest = cand.lastTouch;
+                victim = l;
+            }
+        }
+        if (victim < 0)
+            return; // everything transient; tolerate overflow
+
+        CacheLineEntry &evicted =
+            cache.lines[static_cast<std::uint32_t>(victim)];
+        if (evicted.state == CState::M) {
+            cache.wb[static_cast<std::uint32_t>(victim)] =
+                WbEntry{evicted.data};
+            send(CohMessage{MsgType::PutM,
+                            static_cast<std::uint32_t>(victim),
+                            static_cast<std::int32_t>(tid), kDirectoryId,
+                            static_cast<std::int32_t>(tid), 0,
+                            evicted.data});
+        }
+        // S lines drop silently; stale sharer bits are benign because
+        // stale invalidations are acked regardless.
+        evicted.state = CState::I;
+        evicted.resident = false;
+        ++evicted.epoch;
+        --cache.residentCount;
+    }
+
+    void
+    deallocate(std::uint32_t tid, std::uint32_t line_idx)
+    {
+        L1 &cache = caches[tid];
+        CacheLineEntry &line = cache.lines[line_idx];
+        if (line.resident) {
+            line.resident = false;
+            --cache.residentCount;
+        }
+    }
+
+    // --- core engine ---------------------------------------------------
+
+    bool
+    isEligible(std::uint32_t tid, std::uint32_t idx) const
+    {
+        if (idx >= head[tid] + cfg.reorderWindow)
+            return false;
+        return (order.requiredPreds[tid][idx] &
+                ~completion.windowCompleted(tid, idx)) == 0;
+    }
+
+    std::optional<std::uint32_t>
+    forwardedValue(std::uint32_t tid, std::uint32_t idx,
+                   std::uint32_t loc) const
+    {
+        const auto &body = program.threadBodies()[tid];
+        for (std::uint32_t i = idx; i-- > 0;) {
+            if (body[i].kind == OpKind::Store && body[i].loc == loc) {
+                if (!completion.isCompleted(tid, i))
+                    return body[i].value;
+                return std::nullopt;
+            }
+        }
+        return std::nullopt;
+    }
+
+    /** Oldest uncommitted load of @p line_idx in @p tid, or -1. */
+    std::int32_t
+    oldestUncommittedLoadOfLine(std::uint32_t tid,
+                                std::uint32_t line_idx) const
+    {
+        const auto &body = program.threadBodies()[tid];
+        for (std::uint32_t idx = head[tid]; idx < body.size(); ++idx) {
+            if (completion.isCompleted(tid, idx))
+                continue;
+            const MemOp &op = body[idx];
+            if (op.kind == OpKind::Load &&
+                program.lineOf(op.loc) == line_idx) {
+                return static_cast<std::int32_t>(idx);
+            }
+        }
+        return -1;
+    }
+
+    /** Bind a raced fill's payload to the initiating load. */
+    void
+    oneShotCapture(std::uint32_t tid, std::uint32_t idx,
+                   std::uint32_t line_idx,
+                   const std::vector<std::uint32_t> &payload)
+    {
+        if (completion.isCompleted(tid, idx))
+            return;
+        OpState &op_state = opStates[tid][idx];
+        const MemOp &op = program.threadBodies()[tid][idx];
+        if (op.kind != OpKind::Load ||
+            program.lineOf(op.loc) != line_idx) {
+            return;
+        }
+        op_state.captured = true;
+        op_state.forwarded = false;
+        op_state.capturedValue = payload[op.loc % wordsPerLine];
+        // The caller bumps the epoch right after this capture; match
+        // it so the commit-time squash check accepts the value (it was
+        // legitimately read at fill time).
+        op_state.capturedEpoch =
+            caches[tid].lines[line_idx].epoch + 1;
+    }
+
+    /** Serve forwards deferred until after the local progress pass. */
+    void
+    serveDeferredForwards()
+    {
+        while (!pendingFwdService.empty()) {
+            const auto [tid, line_idx] = pendingFwdService.back();
+            pendingFwdService.pop_back();
+            CacheLineEntry &line = caches[tid].lines[line_idx];
+            std::vector<CohMessage> deferred;
+            deferred.swap(line.deferredFwds);
+            for (const CohMessage &fwd : deferred) {
+                // Re-dispatch through the normal path: the line may
+                // have changed state again since deferral.
+                cacheHandle(tid, fwd);
+            }
+        }
+    }
+
+    void
+    progressCore(std::uint32_t tid)
+    {
+        const auto &body = program.threadBodies()[tid];
+        bool advanced = true;
+        while (advanced) {
+            advanced = false;
+            const std::uint32_t end = std::min<std::uint32_t>(
+                static_cast<std::uint32_t>(body.size()),
+                head[tid] + cfg.reorderWindow);
+            for (std::uint32_t idx = head[tid]; idx < end; ++idx) {
+                if (completion.isCompleted(tid, idx))
+                    continue;
+                advanced |= tryOp(tid, idx);
+            }
+        }
+    }
+
+    /** Advance one op: speculative capture, request issue, or commit.
+     * Returns true when the op committed. */
+    bool
+    tryOp(std::uint32_t tid, std::uint32_t idx)
+    {
+        const MemOp &op = program.threadBodies()[tid][idx];
+        OpState &op_state = opStates[tid][idx];
+
+        if (op.kind == OpKind::Fence) {
+            if (!isEligible(tid, idx))
+                return false;
+            commit(tid, idx);
+            return true;
+        }
+
+        const std::uint32_t line_idx = program.lineOf(op.loc);
+        CacheLineEntry &line = caches[tid].lines[line_idx];
+
+        if (op.kind == OpKind::Store) {
+            if (line.state == CState::M) {
+                if (!isEligible(tid, idx))
+                    return false;
+                line.data[op.loc % wordsPerLine] = op.value;
+                line.lastTouch = ++touchCounter;
+                if (cfg.exportCoherenceOrder) {
+                    result.coherenceOrder[op.loc].push_back(
+                        OpId{tid, idx});
+                }
+                commit(tid, idx);
+                return true;
+            }
+            issueWriteRequest(tid, line_idx);
+            return false;
+        }
+
+        // Load: speculative execution (no eligibility needed).
+        if (!op_state.captured) {
+            const auto forwarded = forwardedValue(tid, idx, op.loc);
+            if (forwarded) {
+                op_state.captured = true;
+                op_state.forwarded = true;
+                op_state.capturedValue = *forwarded;
+            } else if (isValidState(line.state)) {
+                op_state.captured = true;
+                op_state.capturedValue =
+                    line.data[op.loc % wordsPerLine];
+                op_state.capturedEpoch = line.epoch;
+                line.lastTouch = ++touchCounter;
+            } else {
+                issueReadRequest(tid, line_idx,
+                                 static_cast<std::int32_t>(idx));
+                return false;
+            }
+        }
+
+        if (!isEligible(tid, idx))
+            return false;
+
+        if (op_state.forwarded) {
+            // Store-buffer forwarding is only bindable at commit while
+            // the store is still buffered (TSO value axiom). Once the
+            // store has committed, an external store may have
+            // overwritten the location; behave like a fresh read.
+            const auto still = forwardedValue(tid, idx, op.loc);
+            if (!still) {
+                op_state.forwarded = false;
+                op_state.captured = false;
+                if (isValidState(line.state)) {
+                    op_state.captured = true;
+                    op_state.capturedValue =
+                        line.data[op.loc % wordsPerLine];
+                    op_state.capturedEpoch = line.epoch;
+                } else {
+                    issueReadRequest(tid, line_idx,
+                                     static_cast<std::int32_t>(idx));
+                    return false;
+                }
+            }
+        }
+
+        if (!op_state.forwarded && op_state.capturedEpoch != line.epoch) {
+            // The line changed between speculative execution and
+            // commit: a correct LSQ squashes and replays the load.
+            const bool keep_stale =
+                (cfg.bug == BugKind::LsqNoSquash ||
+                 (cfg.bug == BugKind::StaleLoadOnUpgrade &&
+                  inUpgradeWindow(line.state))) &&
+                rng.nextBool(cfg.bugProbability);
+            if (!keep_stale) {
+                op_state.captured = false;
+                if (isValidState(line.state)) {
+                    op_state.captured = true;
+                    op_state.capturedValue =
+                        line.data[op.loc % wordsPerLine];
+                    op_state.capturedEpoch = line.epoch;
+                } else {
+                    issueReadRequest(tid, line_idx,
+                                     static_cast<std::int32_t>(idx));
+                    return false;
+                }
+            }
+        }
+
+        result.loadValues[program.loadOrdinal(OpId{tid, idx})] =
+            op_state.capturedValue;
+        commit(tid, idx);
+        return true;
+    }
+
+    void
+    issueReadRequest(std::uint32_t tid, std::uint32_t line_idx,
+                     std::int32_t initiator_idx)
+    {
+        CacheLineEntry &line = caches[tid].lines[line_idx];
+        if (line.state != CState::I)
+            return; // request already outstanding
+        line.state = CState::IS_D;
+        line.requesterIdx = initiator_idx;
+        send(CohMessage{MsgType::GetS, line_idx,
+                        static_cast<std::int32_t>(tid), kDirectoryId,
+                        static_cast<std::int32_t>(tid), 0, {}});
+    }
+
+    void
+    issueWriteRequest(std::uint32_t tid, std::uint32_t line_idx)
+    {
+        CacheLineEntry &line = caches[tid].lines[line_idx];
+        if (line.state == CState::I) {
+            line.state = CState::IM_AD;
+        } else if (line.state == CState::S) {
+            line.state = CState::SM_AD;
+        } else {
+            return; // transient: request already outstanding
+        }
+        line.dataSeen = false;
+        line.acksReceived = 0;
+        // The GetM drains from the store buffer after a delay, so
+        // program-order-later loads hand their requests to the network
+        // first (the store->load relaxation). The drain is modelled as
+        // a core-internal event; the network FIFO applies only at
+        // hand-off.
+        schedule(CohMessage{MsgType::SbDrain, line_idx,
+                            static_cast<std::int32_t>(tid),
+                            static_cast<std::int32_t>(tid),
+                            static_cast<std::int32_t>(tid), 0, {}},
+                 cfg.storeBufferDelay
+                     ? rng.nextBelow(cfg.storeBufferDelay + 1)
+                     : 0);
+    }
+
+    void
+    commit(std::uint32_t tid, std::uint32_t idx)
+    {
+        ++commitCount;
+        completion.markCompleted(tid, idx);
+        coreTime[tid] = std::max(coreTime[tid], now) + cfg.hitLatency;
+        --remaining;
+        const std::uint32_t size = static_cast<std::uint32_t>(
+            program.threadBodies()[tid].size());
+        while (head[tid] < size &&
+               completion.isCompleted(tid, head[tid])) {
+            ++head[tid];
+        }
+    }
+
+    // --- members --------------------------------------------------------
+
+    const TestProgram &program;
+    const CoherentConfig &cfg;
+    const OrderTable &order;
+    Rng &rng;
+
+    const std::uint32_t numThreads;
+    const std::uint32_t numLines;
+    const std::uint32_t wordsPerLine;
+
+    CompletionBits completion;
+    std::vector<std::uint32_t> head;
+    std::vector<std::uint64_t> coreTime;
+    std::vector<std::vector<OpState>> opStates;
+    std::uint64_t remaining = 0;
+
+    std::vector<L1> caches;
+    std::vector<DirEntry> directory;
+    std::vector<std::vector<std::uint32_t>> memData;
+
+    std::priority_queue<Event, std::vector<Event>, std::greater<>>
+        eventQueue;
+    std::unordered_map<std::uint64_t, std::uint64_t> lastDelivery;
+
+    std::vector<std::pair<std::uint32_t, std::uint32_t>>
+        pendingFwdService;
+
+    std::uint64_t now = 0;
+    std::uint64_t commitCount = 0;
+    std::uint64_t seqCounter = 0;
+    std::uint64_t touchCounter = 0;
+    bool forwardsDropped = false;
+
+    Execution result;
+};
+
+/** Cache of OrderTables keyed by (program fingerprint, model). */
+const OrderTable &
+cachedOrderTable(const TestProgram &program, MemoryModel model)
+{
+    thread_local std::uint64_t cached_fp = 0;
+    thread_local MemoryModel cached_model = MemoryModel::SC;
+    thread_local OrderTable table;
+    if (program.fingerprint() != cached_fp || model != cached_model ||
+        table.requiredPreds.empty()) {
+        table.build(program, model);
+        cached_fp = program.fingerprint();
+        cached_model = model;
+    }
+    return table;
+}
+
+} // anonymous namespace
+
+CoherentExecutor::CoherentExecutor(CoherentConfig cfg_arg) : cfg(cfg_arg)
+{
+    if (cfg.reorderWindow < 1 || cfg.reorderWindow > kMaxReorderWindow)
+        throw ConfigError("reorder window must lie in [1, 32]");
+    if (cfg.bugProbability < 0.0 || cfg.bugProbability > 1.0)
+        throw ConfigError("bug probability must lie in [0,1]");
+}
+
+Execution
+CoherentExecutor::run(const TestProgram &program, Rng &rng)
+{
+    const OrderTable &order = cachedOrderTable(program, cfg.model);
+    Machine machine(program, cfg, order, rng);
+    return machine.run();
+}
+
+CoherentConfig
+gem5LikeConfig()
+{
+    CoherentConfig cfg;
+    cfg.model = MemoryModel::TSO;
+    cfg.reorderWindow = 16;
+    return cfg;
+}
+
+} // namespace mtc

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Message-level MESI(-style MSI) directory-coherence platform.
+ *
+ * While OperationalExecutor models coherence as latency classes, this
+ * platform simulates the actual protocol the paper's gem5 case studies
+ * exercise: per-core L1 controllers with transient states, a blocking
+ * directory, explicit request / forward / invalidate / ack messages on
+ * a latency-jittered network, capacity evictions with writeback
+ * buffers, and speculative loads that are squashed and replayed when
+ * their line is invalidated in flight (the LSQ behaviour whose absence
+ * is bug 2, and whose protocol-window variant is bug 1 — the Peekaboo
+ * problem). Bug 3 drops a forward that races with the owner's eviction
+ * (the PUTX/GETX race), wedging the requester exactly like the paper's
+ * "protocol deadlock" crash.
+ *
+ * Protocol sketch (blocking directory, MSI with direct cache-to-cache
+ * transfer):
+ *
+ *   GetS:  dir I -> Data;          dir S -> Data, add sharer;
+ *          dir M -> FwdGetS to owner; owner Data->req, Data(wb)->dir.
+ *   GetM:  dir I -> Data(acks=0);  dir S -> Inv sharers, Data(acks=n);
+ *          dir M -> FwdGetM to owner; owner Data->req, FwdAck->dir.
+ *   PutM:  dir M (from owner) -> PutAck; stale/raced PutM -> PutAck.
+ *
+ * Invalidation acks flow directly to the requester. An owner that has
+ * evicted keeps the line in a writeback buffer until PutAck and serves
+ * forwards from it — unless bug 3 is injected, in which case the
+ * forward is lost.
+ */
+
+#ifndef MTC_SIM_COHERENT_EXECUTOR_H
+#define MTC_SIM_COHERENT_EXECUTOR_H
+
+#include <cstdint>
+
+#include "mcm/memory_model.h"
+#include "sim/executor_config.h"
+#include "sim/platform.h"
+
+namespace mtc
+{
+
+/** Coherence-protocol message types. */
+enum class MsgType : std::uint8_t
+{
+    GetS,    ///< cache -> dir: read request
+    GetM,    ///< cache -> dir: write/upgrade request
+    PutM,    ///< cache -> dir: dirty eviction (the paper's PUTX)
+    FwdGetS, ///< dir -> owner: serve a reader, downgrade to S
+    FwdGetM, ///< dir -> owner: transfer ownership
+    Inv,     ///< dir -> sharer: invalidate, ack the requester
+    Data,    ///< data response (from dir or owner)
+    DataWb,  ///< owner -> dir: downgrade writeback copy
+    FwdAck,  ///< owner -> dir: ownership-transfer confirmation
+    InvAck,  ///< sharer -> requester
+    PutAck,  ///< dir -> evicting owner
+    SbDrain, ///< core-internal: store buffer hands a GetM to the NoC
+};
+
+/** One protocol message in flight. */
+struct CohMessage
+{
+    MsgType type = MsgType::GetS;
+    std::uint32_t line = 0;
+    std::int32_t src = 0;       ///< core id or kDirectoryId
+    std::int32_t dst = 0;
+    std::int32_t requester = 0; ///< forwarded requester / ack target
+    std::uint32_t ackCount = 0; ///< with Data: InvAcks to await
+
+    /** Line contents riding with Data / DataWb / PutM messages. */
+    std::vector<std::uint32_t> payload;
+};
+
+/** Pseudo core-id of the directory. */
+constexpr std::int32_t kDirectoryId = -1;
+
+/** Configuration of the coherent platform. */
+struct CoherentConfig
+{
+    MemoryModel model = MemoryModel::TSO;
+
+    /** Per-thread out-of-order window (see OrderTable). */
+    std::uint32_t reorderWindow = 8;
+
+    /** Per-core L1 capacity in lines (0 = unbounded, no evictions). */
+    std::uint32_t cacheLines = 0;
+
+    std::uint64_t hitLatency = 2;        ///< L1 hit
+    std::uint64_t networkLatency = 12;   ///< per message hop
+    std::uint64_t networkJitterMax = 6;  ///< uniform [0, max] per hop
+    std::uint64_t dirLatency = 10;       ///< directory occupancy
+
+    /** Store-buffer drain delay: stores sit in the buffer while their
+     * ownership request is deferred, letting program-order-later loads
+     * issue first — the mechanism behind the classic store-buffering
+     * relaxation. */
+    std::uint64_t storeBufferDelay = 24;
+
+    bool exportCoherenceOrder = false;
+
+    BugKind bug = BugKind::None;
+    double bugProbability = 1.0;
+
+    /** Guard against protocol livelock in the simulator itself. */
+    std::uint64_t maxEvents = 50'000'000;
+};
+
+/** The coherent multicore platform (see file comment). */
+class CoherentExecutor : public Platform
+{
+  public:
+    explicit CoherentExecutor(CoherentConfig cfg_arg);
+
+    const CoherentConfig &config() const { return cfg; }
+
+    Execution run(const TestProgram &program, Rng &rng) override;
+
+  private:
+    CoherentConfig cfg;
+};
+
+/** Gem5-study stand-in: x86-TSO cores on the MESI directory. */
+CoherentConfig gem5LikeConfig();
+
+} // namespace mtc
+
+#endif // MTC_SIM_COHERENT_EXECUTOR_H

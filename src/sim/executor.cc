@@ -1,0 +1,589 @@
+#include "sim/executor.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+#include "graph/po_edges.h"
+#include "sim/order_table.h"
+#include "support/error.h"
+
+namespace mtc
+{
+
+namespace
+{
+
+constexpr std::uint64_t kNever = std::numeric_limits<std::uint64_t>::max();
+
+/** Per-run mutable state shared by both scheduling policies. */
+struct RunState
+{
+    const TestProgram &program;
+    const ExecutorConfig &cfg;
+    const OrderTable &order;
+    Rng &rng;
+
+    std::vector<std::uint32_t> mem;          ///< current value per loc
+    CompletionBits completion;
+    std::vector<std::uint32_t> head;         ///< lowest incomplete idx
+    std::vector<std::uint64_t> coreSlot;     ///< next issue time (timed)
+    std::vector<std::vector<std::uint64_t>> completionTime;
+    std::vector<bool> blocked;               ///< bug-3 wedged threads
+    std::uint64_t remaining = 0;
+
+    Execution result;
+
+    // --- Timed-policy cache model -------------------------------------
+    struct Line
+    {
+        std::int32_t owner = -1;      ///< core holding M/E, or -1
+        std::uint32_t sharers = 0;    ///< residency bitmask
+        std::uint64_t lastStoreTime = 0;
+        std::int32_t lastStoreTid = -1;
+        std::uint64_t lastEvictTime = 0;
+        bool everEvicted = false;
+    };
+    std::vector<Line> lines;
+    /** Per-core LRU timestamps of resident lines (capacity evictions). */
+    std::vector<std::unordered_map<std::uint32_t, std::uint64_t>> lru;
+    /** Cached per-op latency jitter, drawn once per op. */
+    std::vector<std::vector<std::uint64_t>> jitter;
+    /** Per-location (time, value) history for stale-read injection. */
+    std::vector<std::vector<std::pair<std::uint64_t, std::uint32_t>>>
+        history;
+
+    RunState(const TestProgram &program_arg, const ExecutorConfig &cfg_arg,
+             const OrderTable &order_arg, Rng &rng_arg)
+        : program(program_arg), cfg(cfg_arg), order(order_arg),
+          rng(rng_arg)
+    {
+        const auto &threads = program.threadBodies();
+        mem.assign(program.config().numLocations, kInitValue);
+        completion.reset(program);
+        completionTime.resize(threads.size());
+        jitter.resize(threads.size());
+        head.assign(threads.size(), 0);
+        coreSlot.assign(threads.size(), 0);
+        blocked.assign(threads.size(), false);
+        for (std::size_t t = 0; t < threads.size(); ++t) {
+            completionTime[t].assign(threads[t].size(), 0);
+            jitter[t].assign(threads[t].size(), kNever);
+            remaining += threads[t].size();
+        }
+        result.loadValues.assign(program.loads().size(), kInitValue);
+        if (cfg.exportCoherenceOrder) {
+            result.coherenceOrder.assign(program.config().numLocations,
+                                         {});
+        }
+        if (cfg.policy == SchedulingPolicy::Timed) {
+            lines.resize(program.numLines());
+            lru.resize(threads.size());
+            for (std::size_t t = 0; t < threads.size(); ++t)
+                coreSlot[t] = rng.nextBelow(cfg.timing.startSkewMax + 1);
+        }
+        if (cfg.bug != BugKind::None)
+            history.resize(program.config().numLocations);
+    }
+
+    bool
+    isCompleted(std::uint32_t tid, std::uint32_t idx) const
+    {
+        return completion.isCompleted(tid, idx);
+    }
+
+    /** May op idx perform now (all required predecessors complete)? */
+    bool
+    isEligible(std::uint32_t tid, std::uint32_t idx) const
+    {
+        if (blocked[tid])
+            return false;
+        if (idx >= head[tid] + cfg.reorderWindow)
+            return false;
+        return (order.requiredPreds[tid][idx] &
+                ~completion.windowCompleted(tid, idx)) == 0;
+    }
+
+    /** Latest po-earlier same-location store of the same thread. */
+    std::optional<std::uint32_t>
+    forwardedValue(std::uint32_t tid, std::uint32_t idx,
+                   std::uint32_t loc) const
+    {
+        const auto &body = program.threadBodies()[tid];
+        for (std::uint32_t i = idx; i-- > 0;) {
+            if (body[i].kind == OpKind::Store && body[i].loc == loc) {
+                if (!isCompleted(tid, i))
+                    return body[i].value; // store-buffer forwarding
+                return std::nullopt;      // globally visible: read memory
+            }
+        }
+        return std::nullopt;
+    }
+
+    void
+    markCompleted(std::uint32_t tid, std::uint32_t idx, std::uint64_t time)
+    {
+        completion.markCompleted(tid, idx);
+        completionTime[tid][idx] = time;
+        result.duration = std::max(result.duration, time);
+        --remaining;
+        const std::uint32_t size =
+            static_cast<std::uint32_t>(program.threadBodies()[tid].size());
+        while (head[tid] < size && isCompleted(tid, head[tid]))
+            ++head[tid];
+    }
+
+    void
+    completeStore(std::uint32_t tid, std::uint32_t idx, std::uint64_t time)
+    {
+        const MemOp &op = program.threadBodies()[tid][idx];
+        mem[op.loc] = op.value;
+        if (cfg.exportCoherenceOrder)
+            result.coherenceOrder[op.loc].push_back(OpId{tid, idx});
+        if (cfg.bug != BugKind::None)
+            history[op.loc].emplace_back(time, op.value);
+        markCompleted(tid, idx, time);
+    }
+
+    void
+    completeLoad(std::uint32_t tid, std::uint32_t idx, std::uint64_t time,
+                 std::uint32_t value)
+    {
+        result.loadValues[program.loadOrdinal(OpId{tid, idx})] = value;
+        markCompleted(tid, idx, time);
+    }
+
+    /** Memory value of @p loc as of time @p when (stale-read lookup). */
+    std::uint32_t
+    valueAt(std::uint32_t loc, std::uint64_t when) const
+    {
+        std::uint32_t value = kInitValue;
+        for (const auto &[time, stored] : history[loc]) {
+            if (time > when)
+                break;
+            value = stored;
+        }
+        return value;
+    }
+};
+
+// ---------------------------------------------------------------------
+// Uniform-random policy
+// ---------------------------------------------------------------------
+
+void
+runUniform(RunState &state)
+{
+    const auto &threads = state.program.threadBodies();
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> eligible;
+    std::uint64_t step = 0;
+
+    while (state.remaining > 0) {
+        eligible.clear();
+        for (std::uint32_t tid = 0; tid < threads.size(); ++tid) {
+            const std::uint32_t end = std::min<std::uint32_t>(
+                static_cast<std::uint32_t>(threads[tid].size()),
+                state.head[tid] + state.cfg.reorderWindow);
+            for (std::uint32_t idx = state.head[tid]; idx < end; ++idx) {
+                if (!state.isCompleted(tid, idx) &&
+                    state.isEligible(tid, idx)) {
+                    eligible.emplace_back(tid, idx);
+                }
+            }
+        }
+        if (eligible.empty())
+            throw PlatformError("uniform executor wedged (internal bug)");
+
+        const auto [tid, idx] =
+            eligible[state.rng.pickIndex(eligible.size())];
+        const MemOp &op = threads[tid][idx];
+        ++step;
+        switch (op.kind) {
+          case OpKind::Store:
+            state.completeStore(tid, idx, step);
+            break;
+          case OpKind::Load: {
+            auto forwarded = state.forwardedValue(tid, idx, op.loc);
+            state.completeLoad(tid, idx, step,
+                               forwarded ? *forwarded
+                                         : state.mem[op.loc]);
+            break;
+          }
+          case OpKind::Fence:
+            state.markCompleted(tid, idx, step);
+            break;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Timed (silicon-like) policy
+// ---------------------------------------------------------------------
+
+class TimedEngine
+{
+  public:
+    explicit TimedEngine(RunState &state_arg) : state(state_arg) {}
+
+    void
+    run()
+    {
+        const auto &threads = state.program.threadBodies();
+        while (state.remaining > 0) {
+            std::uint32_t best_tid = 0, best_idx = 0;
+            std::uint64_t best_time = kNever;
+            std::uint64_t best_issue = 0;
+            std::uint32_t candidates = 0;
+
+            for (std::uint32_t tid = 0; tid < threads.size(); ++tid) {
+                const std::uint32_t end = std::min<std::uint32_t>(
+                    static_cast<std::uint32_t>(threads[tid].size()),
+                    state.head[tid] + state.cfg.reorderWindow);
+                for (std::uint32_t idx = state.head[tid]; idx < end;
+                     ++idx) {
+                    if (state.isCompleted(tid, idx) ||
+                        !state.isEligible(tid, idx)) {
+                        continue;
+                    }
+                    const auto [issue, completion] =
+                        candidateTimes(tid, idx);
+                    ++candidates;
+                    // Deterministic tie-break (lowest thread id /
+                    // oldest op): silicon arbitration is stable, so
+                    // equal-latency races repeat the same winner.
+                    if (completion < best_time) {
+                        best_time = completion;
+                        best_issue = issue;
+                        best_tid = tid;
+                        best_idx = idx;
+                    }
+                }
+            }
+
+            if (candidates == 0) {
+                // Only blocked threads have work left: the injected
+                // protocol race wedged the platform.
+                throw ProtocolDeadlockError(
+                    "coherence request lost (PUTX/GETX race): platform "
+                    "deadlocked");
+            }
+
+            perform(best_tid, best_idx, best_issue, best_time);
+        }
+    }
+
+  private:
+    std::uint64_t
+    opJitter(std::uint32_t tid, std::uint32_t idx)
+    {
+        std::uint64_t &cached = state.jitter[tid][idx];
+        if (cached == kNever) {
+            const TimingParams &timing = state.cfg.timing;
+            cached = state.rng.nextBool(timing.jitterProbability)
+                ? 1 + state.rng.nextBelow(timing.jitterMax)
+                : 0;
+        }
+        return cached;
+    }
+
+    bool
+    resident(std::uint32_t tid, const RunState::Line &line) const
+    {
+        return line.owner == static_cast<std::int32_t>(tid) ||
+            ((line.sharers >> tid) & 1);
+    }
+
+    /** (issue, completion) candidate times for an eligible op. */
+    std::pair<std::uint64_t, std::uint64_t>
+    candidateTimes(std::uint32_t tid, std::uint32_t idx)
+    {
+        const MemOp &op = state.program.threadBodies()[tid][idx];
+        const TimingParams &timing = state.cfg.timing;
+
+        // Issue waits for the core slot and for every required-order
+        // predecessor's completion (eligibility guarantees they are
+        // complete, so their times are final).
+        std::uint64_t issue = state.coreSlot[tid];
+        std::uint32_t preds = state.order.requiredPreds[tid][idx];
+        while (preds) {
+            const int b = __builtin_ctz(preds);
+            preds &= preds - 1;
+            const std::int64_t j =
+                static_cast<std::int64_t>(idx) - 32 + b;
+            if (j >= 0) {
+                issue = std::max(issue,
+                                 state.completionTime[tid][j]);
+            }
+        }
+
+        std::uint64_t latency = timing.issueCost;
+        if (op.kind != OpKind::Fence) {
+            const RunState::Line &line =
+                state.lines[state.program.lineOf(op.loc)];
+            if (op.kind == OpKind::Load) {
+                if (resident(tid, line))
+                    latency += timing.hitLatency;
+                else if (line.owner >= 0)
+                    latency += timing.transferLatency;
+                else
+                    latency += timing.missLatency;
+            } else {
+                if (line.owner == static_cast<std::int32_t>(tid)) {
+                    latency += timing.hitLatency;
+                } else if (resident(tid, line)) {
+                    latency += timing.upgradeLatency;
+                } else if (line.owner >= 0) {
+                    latency += timing.transferLatency;
+                } else {
+                    latency += timing.missLatency;
+                    // Other sharers must also be invalidated.
+                    if (line.sharers != 0)
+                        latency += timing.upgradeLatency;
+                }
+            }
+        }
+        latency += opJitter(tid, idx);
+        return {issue, issue + latency};
+    }
+
+    /** Touch the LRU and evict over-capacity lines for @p tid. */
+    void
+    touchLine(std::uint32_t tid, std::uint32_t line_idx, std::uint64_t now)
+    {
+        const std::uint32_t capacity = state.cfg.timing.cacheLines;
+        auto &core_lru = state.lru[tid];
+        core_lru[line_idx] = now;
+        if (capacity == 0 || core_lru.size() <= capacity)
+            return;
+
+        // Evict the least-recently-used other line.
+        std::uint32_t victim = line_idx;
+        std::uint64_t oldest = kNever;
+        for (const auto &[line, last] : core_lru) {
+            if (line != line_idx && last < oldest) {
+                oldest = last;
+                victim = line;
+            }
+        }
+        core_lru.erase(victim);
+        RunState::Line &line = state.lines[victim];
+        if (line.owner == static_cast<std::int32_t>(tid)) {
+            // Dirty eviction: writeback (PUTX). Values are already in
+            // memory in this model; record the event for the bug-3
+            // race window.
+            line.owner = -1;
+            line.lastEvictTime = now;
+            line.everEvicted = true;
+        }
+        line.sharers &= ~(std::uint32_t(1) << tid);
+    }
+
+    bool
+    bugGate()
+    {
+        return state.rng.nextBool(state.cfg.bugProbability);
+    }
+
+    /** Does thread @p tid have an incomplete po-earlier store to the
+     * same cache line as the load at @p idx (S->M upgrade in flight)? */
+    bool
+    upgradeInFlight(std::uint32_t tid, std::uint32_t idx,
+                    std::uint32_t line_idx) const
+    {
+        const auto &body = state.program.threadBodies()[tid];
+        for (std::uint32_t i = state.head[tid]; i < idx; ++i) {
+            if (!state.isCompleted(tid, i) &&
+                body[i].kind == OpKind::Store &&
+                state.program.lineOf(body[i].loc) == line_idx) {
+                return true;
+            }
+        }
+        return false;
+    }
+
+    void
+    perform(std::uint32_t tid, std::uint32_t idx, std::uint64_t issue,
+            std::uint64_t now)
+    {
+        const MemOp &op = state.program.threadBodies()[tid][idx];
+        const TimingParams &timing = state.cfg.timing;
+
+        if (op.kind == OpKind::Fence) {
+            state.markCompleted(tid, idx, now);
+            state.coreSlot[tid] = std::max(state.coreSlot[tid], issue) +
+                timing.issueCost;
+            return;
+        }
+
+        const std::uint32_t line_idx = state.program.lineOf(op.loc);
+        RunState::Line &line = state.lines[line_idx];
+
+        // Bug 3: the ownership-transfer request raced with the owner's
+        // writeback and got lost; the requester spins forever.
+        if (state.cfg.bug == BugKind::PutxGetxRace &&
+            !resident(tid, line) && line.everEvicted &&
+            line.lastEvictTime > issue && bugGate()) {
+            state.blocked[tid] = true;
+            return;
+        }
+
+        if (op.kind == OpKind::Store) {
+            // Invalidate all other copies; take ownership.
+            if (line.owner >= 0 &&
+                line.owner != static_cast<std::int32_t>(tid)) {
+                state.lru[line.owner].erase(line_idx);
+            }
+            for (std::uint32_t other = 0;
+                 other < state.program.numThreads(); ++other) {
+                if (other != tid && ((line.sharers >> other) & 1))
+                    state.lru[other].erase(line_idx);
+            }
+            line.owner = static_cast<std::int32_t>(tid);
+            line.sharers = std::uint32_t(1) << tid;
+            line.lastStoreTime = now;
+            line.lastStoreTid = static_cast<std::int32_t>(tid);
+            touchLine(tid, line_idx, now);
+            state.completeStore(tid, idx, now);
+        } else {
+            std::uint32_t value;
+            auto forwarded = state.forwardedValue(tid, idx, op.loc);
+            if (forwarded) {
+                value = *forwarded;
+            } else {
+                value = state.mem[op.loc];
+
+                // Bugs 1/2: a remote store invalidated this line while
+                // the load was in flight, but the load is not squashed
+                // and returns the stale value it snooped at issue.
+                const bool remote_inval =
+                    line.lastStoreTid >= 0 &&
+                    line.lastStoreTid != static_cast<std::int32_t>(tid) &&
+                    line.lastStoreTime > issue;
+                if (remote_inval && state.cfg.bug != BugKind::None) {
+                    const bool fire =
+                        (state.cfg.bug == BugKind::LsqNoSquash ||
+                         (state.cfg.bug == BugKind::StaleLoadOnUpgrade &&
+                          upgradeInFlight(tid, idx, line_idx))) &&
+                        bugGate();
+                    if (fire)
+                        value = state.valueAt(op.loc, issue);
+                }
+            }
+
+            // Owner (if another core) is downgraded to shared.
+            if (line.owner >= 0 &&
+                line.owner != static_cast<std::int32_t>(tid)) {
+                line.sharers |= std::uint32_t(1) << line.owner;
+                line.owner = -1;
+            }
+            line.sharers |= std::uint32_t(1) << tid;
+            touchLine(tid, line_idx, now);
+            state.completeLoad(tid, idx, now, value);
+        }
+
+        state.coreSlot[tid] = std::max(state.coreSlot[tid], issue) +
+            timing.issueCost;
+
+        // OS-interference mode: occasionally the scheduler preempts the
+        // core, stalling its subsequent issues for a full slice.
+        if (timing.preemptProbability > 0.0 &&
+            state.rng.nextBool(timing.preemptProbability)) {
+            state.coreSlot[tid] += timing.preemptSlice;
+        }
+    }
+
+    RunState &state;
+};
+
+/** Cache of OrderTables keyed by (program identity, model). */
+class OrderTableCache
+{
+  public:
+    const OrderTable &
+    get(const TestProgram &program, MemoryModel model)
+    {
+        if (program.fingerprint() != cachedFingerprint ||
+            model != cachedModel) {
+            table.build(program, model);
+            cachedFingerprint = program.fingerprint();
+            cachedModel = model;
+        }
+        return table;
+    }
+
+  private:
+    std::uint64_t cachedFingerprint = 0;
+    MemoryModel cachedModel = MemoryModel::SC;
+    OrderTable table;
+};
+
+OrderTableCache &
+orderTableCache()
+{
+    thread_local OrderTableCache cache;
+    return cache;
+}
+
+} // anonymous namespace
+
+OperationalExecutor::OperationalExecutor(ExecutorConfig cfg_arg)
+    : cfg(cfg_arg)
+{
+    if (cfg.reorderWindow < 1 || cfg.reorderWindow > kMaxReorderWindow)
+        throw ConfigError("reorder window must lie in [1, 32]");
+    if (cfg.bugProbability < 0.0 || cfg.bugProbability > 1.0)
+        throw ConfigError("bug probability must lie in [0,1]");
+    if (cfg.bug != BugKind::None &&
+        cfg.policy != SchedulingPolicy::Timed) {
+        throw ConfigError("bug injection requires the Timed policy");
+    }
+}
+
+Execution
+OperationalExecutor::run(const TestProgram &program, Rng &rng)
+{
+    const OrderTable &order = orderTableCache().get(program, cfg.model);
+    RunState state(program, cfg, order, rng);
+    if (cfg.policy == SchedulingPolicy::UniformRandom) {
+        runUniform(state);
+    } else {
+        TimedEngine engine(state);
+        engine.run();
+    }
+    return std::move(state.result);
+}
+
+ExecutorConfig
+bareMetalConfig(Isa isa)
+{
+    ExecutorConfig cfg;
+    cfg.model = defaultModel(isa);
+    cfg.policy = SchedulingPolicy::Timed;
+    // The x86 part (Core 2 Quad) is a wider out-of-order machine than
+    // the ARM big.LITTLE cores, but its TSO model restricts visible
+    // reordering; window sizes are per-thread in-flight memory ops.
+    cfg.reorderWindow = isa == Isa::X86 ? 16 : 8;
+    return cfg;
+}
+
+ExecutorConfig
+osConfig(Isa isa)
+{
+    ExecutorConfig cfg = bareMetalConfig(isa);
+    cfg.timing.preemptProbability = 0.002;
+    cfg.timing.startSkewMax = 64;
+    return cfg;
+}
+
+ExecutorConfig
+scReferenceConfig()
+{
+    ExecutorConfig cfg;
+    cfg.model = MemoryModel::SC;
+    cfg.policy = SchedulingPolicy::UniformRandom;
+    cfg.reorderWindow = 1;
+    cfg.exportCoherenceOrder = true;
+    return cfg;
+}
+
+} // namespace mtc

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * The multicore platform substitute: an operational relaxed-memory
+ * executor with uniform-random and timed (silicon-like) scheduling.
+ *
+ * The executor maintains, per thread, a window of in-flight operations
+ * and performs one model-eligible operation at a time. Eligibility
+ * uses the same requiredOrder() predicate as the checker's
+ * program-order edges, so the bug-free platform provably never
+ * produces an execution the checker's model forbids. Store-to-load
+ * forwarding is modelled: a load with an incomplete program-order-
+ * earlier same-address store in its own thread reads that store's
+ * value (the reason same-address st->ld edges are excluded from the
+ * constraint graphs, paper footnote 4).
+ *
+ * See executor_config.h for the two scheduling policies and the
+ * Section-7 bug-injection hooks.
+ */
+
+#ifndef MTC_SIM_EXECUTOR_H
+#define MTC_SIM_EXECUTOR_H
+
+#include "sim/executor_config.h"
+#include "sim/platform.h"
+
+namespace mtc
+{
+
+/** Platform model executing one test program at a time. */
+class OperationalExecutor : public Platform
+{
+  public:
+    explicit OperationalExecutor(ExecutorConfig cfg_arg);
+
+    /** The active configuration. */
+    const ExecutorConfig &config() const { return cfg; }
+
+    Execution run(const TestProgram &program, Rng &rng) override;
+
+  private:
+    ExecutorConfig cfg;
+};
+
+/**
+ * Convenience: a platform configured like the paper's bare-metal
+ * silicon for @p isa — Timed policy, the ISA's architected memory
+ * model, silicon-like window sizes.
+ */
+ExecutorConfig bareMetalConfig(Isa isa);
+
+/**
+ * Convenience: the paper's OS-interference variant of
+ * bareMetalConfig() (Linux runs in Section 6.1).
+ */
+ExecutorConfig osConfig(Isa isa);
+
+/**
+ * Convenience: the uniform-random SC reference simulator used for the
+ * k-medoids limit study (Section 4.1).
+ */
+ExecutorConfig scReferenceConfig();
+
+} // namespace mtc
+
+#endif // MTC_SIM_EXECUTOR_H

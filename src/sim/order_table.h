@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Precomputed intra-thread ordering constraints shared by the platform
+ * models.
+ *
+ * For each op idx, a 32-bit mask over the 32 program-order-preceding
+ * ops (bit b stands for op idx-32+b) that must complete before idx may
+ * perform, per requiredOrder(). Built once per (program, model) and
+ * reused across iterations; eligibility testing against it is the hot
+ * path of every executor.
+ */
+
+#ifndef MTC_SIM_ORDER_TABLE_H
+#define MTC_SIM_ORDER_TABLE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/po_edges.h"
+#include "mcm/memory_model.h"
+#include "testgen/test_program.h"
+
+namespace mtc
+{
+
+/** Maximum supported reorder window (ordering masks are 32-bit). */
+constexpr std::uint32_t kMaxReorderWindow = 32;
+
+/** Required-predecessor masks for one (program, model) pair. */
+struct OrderTable
+{
+    std::vector<std::vector<std::uint32_t>> requiredPreds;
+
+    void
+    build(const TestProgram &program, MemoryModel model)
+    {
+        const auto &threads = program.threadBodies();
+        requiredPreds.assign(threads.size(), {});
+        for (std::size_t tid = 0; tid < threads.size(); ++tid) {
+            const auto &body = threads[tid];
+            requiredPreds[tid].assign(body.size(), 0);
+            for (std::uint32_t idx = 0; idx < body.size(); ++idx) {
+                std::uint32_t mask = 0;
+                for (std::uint32_t b = 0; b < kMaxReorderWindow; ++b) {
+                    const std::int64_t j =
+                        static_cast<std::int64_t>(idx) - 32 + b;
+                    if (j < 0)
+                        continue;
+                    if (requiredOrder(model, body[j], body[idx]))
+                        mask |= std::uint32_t(1) << b;
+                }
+                requiredPreds[tid][idx] = mask;
+            }
+        }
+    }
+};
+
+/**
+ * Per-thread completion bitset with O(1) window queries, the companion
+ * of OrderTable. Completion bits for ops before idx-32 are implied by
+ * the reorder window (every in-flight op is within 32 of the head).
+ */
+class CompletionBits
+{
+  public:
+    void
+    reset(const TestProgram &program)
+    {
+        const auto &threads = program.threadBodies();
+        words.resize(threads.size());
+        for (std::size_t t = 0; t < threads.size(); ++t)
+            words[t].assign((threads[t].size() + 63) / 64, 0);
+    }
+
+    bool
+    isCompleted(std::uint32_t tid, std::uint32_t idx) const
+    {
+        return (words[tid][idx >> 6] >> (idx & 63)) & 1;
+    }
+
+    void
+    markCompleted(std::uint32_t tid, std::uint32_t idx)
+    {
+        words[tid][idx >> 6] |= std::uint64_t(1) << (idx & 63);
+    }
+
+    /**
+     * Completion mask over ops [idx-32, idx): bit b covers op
+     * idx-32+b; bits for negative indices read as "complete".
+     */
+    std::uint32_t
+    windowCompleted(std::uint32_t tid, std::uint32_t idx) const
+    {
+        const auto &thread_words = words[tid];
+        auto grab64 = [&](std::uint32_t start) -> std::uint64_t {
+            const std::uint32_t word = start >> 6;
+            const std::uint32_t off = start & 63;
+            std::uint64_t v =
+                word < thread_words.size() ? thread_words[word] >> off
+                                           : 0;
+            if (off && word + 1 < thread_words.size())
+                v |= thread_words[word + 1] << (64 - off);
+            return v;
+        };
+        if (idx >= kMaxReorderWindow)
+            return static_cast<std::uint32_t>(
+                grab64(idx - kMaxReorderWindow));
+        const std::uint32_t real = static_cast<std::uint32_t>(grab64(0))
+            << (kMaxReorderWindow - idx);
+        const std::uint32_t pad = idx == 0
+            ? ~std::uint32_t(0)
+            : ((std::uint32_t(1) << (kMaxReorderWindow - idx)) - 1);
+        return real | pad;
+    }
+
+  private:
+    std::vector<std::vector<std::uint64_t>> words;
+};
+
+} // namespace mtc
+
+#endif // MTC_SIM_ORDER_TABLE_H

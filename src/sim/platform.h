@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Abstract interface of a platform under validation.
+ *
+ * The validation flow (mtc::harness) only needs "run this test once,
+ * give me the loaded values"; everything else — scheduling policy,
+ * coherence modelling, injected bugs — lives behind this interface so
+ * new platform models can be plugged in without touching the
+ * instrumentation or checking layers.
+ */
+
+#ifndef MTC_SIM_PLATFORM_H
+#define MTC_SIM_PLATFORM_H
+
+#include "support/rng.h"
+#include "testgen/execution.h"
+#include "testgen/test_program.h"
+
+namespace mtc
+{
+
+/** A platform that can execute test programs. */
+class Platform
+{
+  public:
+    virtual ~Platform() = default;
+
+    /**
+     * Execute @p program once.
+     *
+     * @param program Test to run (must outlive the call only).
+     * @param rng     Source of platform non-determinism.
+     * @return        Observed loads (and optional coherence order).
+     * @throws ProtocolDeadlockError if an injected bug wedges the
+     *         platform (Section 7, bug 3).
+     */
+    virtual Execution run(const TestProgram &program, Rng &rng) = 0;
+};
+
+} // namespace mtc
+
+#endif // MTC_SIM_PLATFORM_H

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Exception hierarchy shared by all MTraceCheck libraries.
+ *
+ * We distinguish errors that indicate a misuse of the library by its
+ * caller (ConfigError) from errors raised by the platform under
+ * validation (PlatformError and its descendants). The latter category
+ * is load-bearing: the bug-injection case studies of the paper
+ * (Section 7) report "crash" outcomes for protocol deadlocks, which we
+ * surface as ProtocolDeadlockError from the timed simulator.
+ */
+
+#ifndef MTC_SUPPORT_ERROR_H
+#define MTC_SUPPORT_ERROR_H
+
+#include <stdexcept>
+#include <string>
+
+namespace mtc
+{
+
+/** Base class for every exception thrown by MTraceCheck. */
+class Error : public std::runtime_error
+{
+  public:
+    explicit Error(const std::string &what_arg)
+        : std::runtime_error(what_arg)
+    {}
+};
+
+/** The caller supplied an invalid configuration or argument. */
+class ConfigError : public Error
+{
+  public:
+    explicit ConfigError(const std::string &what_arg) : Error(what_arg) {}
+};
+
+/** Something went wrong inside the platform under validation. */
+class PlatformError : public Error
+{
+  public:
+    explicit PlatformError(const std::string &what_arg) : Error(what_arg) {}
+};
+
+/**
+ * The simulated coherence protocol stopped making forward progress.
+ * This is the observable for bug 3 of the paper's Section 7 ("crashing
+ * all gem5 simulations with internal error messages").
+ */
+class ProtocolDeadlockError : public PlatformError
+{
+  public:
+    explicit ProtocolDeadlockError(const std::string &what_arg)
+        : PlatformError(what_arg)
+    {}
+};
+
+/**
+ * The tail assertion of the instrumented signature-computation code
+ * fired: a load observed a value outside its statically computed
+ * candidate set (Section 3.1, Figure 4 of the paper).
+ */
+class SignatureAssertError : public PlatformError
+{
+  public:
+    explicit SignatureAssertError(const std::string &what_arg)
+        : PlatformError(what_arg)
+    {}
+};
+
+} // namespace mtc
+
+#endif // MTC_SUPPORT_ERROR_H

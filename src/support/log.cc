@@ -1,0 +1,50 @@
+#include "support/log.h"
+
+#include <iostream>
+
+namespace mtc
+{
+
+namespace
+{
+
+LogLevel global_level = LogLevel::Warn;
+
+const char *
+levelTag(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug:
+        return "debug";
+      case LogLevel::Info:
+        return "info";
+      case LogLevel::Warn:
+        return "warn";
+      default:
+        return "?";
+    }
+}
+
+} // anonymous namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    global_level = level;
+}
+
+LogLevel
+logLevel()
+{
+    return global_level;
+}
+
+void
+logMessage(LogLevel level, const std::string &text)
+{
+    if (level < global_level || global_level == LogLevel::Silent)
+        return;
+    std::cerr << "[mtc:" << levelTag(level) << "] " << text << "\n";
+}
+
+} // namespace mtc

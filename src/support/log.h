@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Minimal leveled logging for library diagnostics.
+ *
+ * Follows the spirit of gem5's inform()/warn(): status messages never
+ * abort. Benchmarks run with the default Warn level so figure output
+ * stays clean; tests may raise verbosity to debug failures.
+ */
+
+#ifndef MTC_SUPPORT_LOG_H
+#define MTC_SUPPORT_LOG_H
+
+#include <sstream>
+#include <string>
+
+namespace mtc
+{
+
+enum class LogLevel
+{
+    Debug = 0,
+    Info = 1,
+    Warn = 2,
+    Silent = 3,
+};
+
+/** Set the global threshold; messages below it are suppressed. */
+void setLogLevel(LogLevel level);
+
+/** Current global threshold. */
+LogLevel logLevel();
+
+/** Emit a message at @p level (to stderr) if it passes the threshold. */
+void logMessage(LogLevel level, const std::string &text);
+
+/** Informative status message. */
+inline void
+inform(const std::string &text)
+{
+    logMessage(LogLevel::Info, text);
+}
+
+/** Something looks suspicious but execution can continue. */
+inline void
+warn(const std::string &text)
+{
+    logMessage(LogLevel::Warn, text);
+}
+
+/** Verbose diagnostic, compiled in but usually filtered out. */
+inline void
+debug(const std::string &text)
+{
+    logMessage(LogLevel::Debug, text);
+}
+
+} // namespace mtc
+
+#endif // MTC_SUPPORT_LOG_H

@@ -1,0 +1,106 @@
+#include "support/rng.h"
+
+namespace mtc
+{
+
+std::uint64_t
+splitMix64(std::uint64_t &state)
+{
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+namespace
+{
+
+inline std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // anonymous namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t sm = seed;
+    for (auto &word : s)
+        word = splitMix64(sm);
+    // xoshiro256** must not be seeded with an all-zero state; SplitMix64
+    // cannot produce four consecutive zeros, so the state is valid here.
+}
+
+Rng::result_type
+Rng::operator()()
+{
+    const std::uint64_t result = rotl(s[1] * 5, 7) * 9;
+    const std::uint64_t t = s[1] << 17;
+
+    s[2] ^= s[0];
+    s[3] ^= s[1];
+    s[1] ^= s[2];
+    s[0] ^= s[3];
+    s[2] ^= t;
+    s[3] = rotl(s[3], 45);
+
+    return result;
+}
+
+std::uint64_t
+Rng::nextBelow(std::uint64_t bound)
+{
+    if (bound == 0)
+        throw ConfigError("Rng::nextBelow with zero bound");
+    // Debiased via rejection sampling on the top of the range.
+    const std::uint64_t threshold = -bound % bound;
+    for (;;) {
+        std::uint64_t r = (*this)();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+std::uint64_t
+Rng::nextInRange(std::uint64_t lo, std::uint64_t hi)
+{
+    if (lo > hi)
+        throw ConfigError("Rng::nextInRange with lo > hi");
+    const std::uint64_t span = hi - lo;
+    if (span == ~std::uint64_t(0))
+        return (*this)();
+    return lo + nextBelow(span + 1);
+}
+
+double
+Rng::nextDouble()
+{
+    // 53 top bits scaled into [0, 1).
+    return ((*this)() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::nextBool(double p)
+{
+    return nextDouble() < p;
+}
+
+std::size_t
+Rng::pickIndex(std::size_t size)
+{
+    return static_cast<std::size_t>(nextBelow(size));
+}
+
+Rng
+Rng::split()
+{
+    // Hash the next two raw outputs into a fresh seed so the child
+    // stream is decorrelated from the parent's continuation.
+    std::uint64_t mix = (*this)();
+    std::uint64_t other = (*this)();
+    std::uint64_t state = mix ^ rotl(other, 31);
+    return Rng(splitMix64(state));
+}
+
+} // namespace mtc

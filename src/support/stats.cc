@@ -1,0 +1,141 @@
+#include "support/stats.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "support/error.h"
+
+namespace mtc
+{
+
+void
+RunningStat::add(double x)
+{
+    if (n == 0) {
+        lo = hi = x;
+    } else {
+        lo = std::min(lo, x);
+        hi = std::max(hi, x);
+    }
+    ++n;
+    total += x;
+    const double delta = x - runningMean;
+    runningMean += delta / static_cast<double>(n);
+    m2 += delta * (x - runningMean);
+}
+
+void
+RunningStat::merge(const RunningStat &other)
+{
+    if (other.n == 0)
+        return;
+    if (n == 0) {
+        *this = other;
+        return;
+    }
+    const double delta = other.runningMean - runningMean;
+    const std::size_t combined = n + other.n;
+    runningMean += delta * static_cast<double>(other.n) /
+        static_cast<double>(combined);
+    m2 += other.m2 + delta * delta *
+        static_cast<double>(n) * static_cast<double>(other.n) /
+        static_cast<double>(combined);
+    total += other.total;
+    lo = std::min(lo, other.lo);
+    hi = std::max(hi, other.hi);
+    n = combined;
+}
+
+double
+RunningStat::variance() const
+{
+    if (n < 2)
+        return 0.0;
+    return m2 / static_cast<double>(n);
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+RunningStat::minimum() const
+{
+    return n ? lo : 0.0;
+}
+
+double
+RunningStat::maximum() const
+{
+    return n ? hi : 0.0;
+}
+
+std::string
+RunningStat::summary() const
+{
+    std::ostringstream os;
+    os << "n=" << n << " mean=" << mean() << " sd=" << stddev()
+       << " min=" << minimum() << " max=" << maximum();
+    return os.str();
+}
+
+Histogram::Histogram(std::uint64_t bucket_width, std::size_t num_buckets)
+    : width(bucket_width), buckets(num_buckets, 0)
+{
+    if (bucket_width == 0)
+        throw ConfigError("Histogram bucket width must be >= 1");
+    if (num_buckets == 0)
+        throw ConfigError("Histogram needs at least one bucket");
+}
+
+void
+Histogram::add(std::uint64_t x)
+{
+    ++samples;
+    const std::uint64_t idx = x / width;
+    if (idx < buckets.size())
+        ++buckets[idx];
+    else
+        ++overflow;
+}
+
+std::uint64_t
+Histogram::bucketCount(std::size_t idx) const
+{
+    if (idx >= buckets.size())
+        throw ConfigError("Histogram bucket index out of range");
+    return buckets[idx];
+}
+
+std::string
+Histogram::render() const
+{
+    std::ostringstream os;
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+        if (!buckets[i])
+            continue;
+        os << bucketLow(i) << "-" << (bucketLow(i) + width - 1) << ": "
+           << buckets[i] << "\n";
+    }
+    if (overflow)
+        os << ">=" << bucketLow(buckets.size()) << ": " << overflow << "\n";
+    return os.str();
+}
+
+double
+geometricMean(const std::vector<double> &values)
+{
+    if (values.empty())
+        throw ConfigError("geometricMean of empty list");
+    double log_sum = 0.0;
+    for (double v : values) {
+        if (v <= 0.0)
+            throw ConfigError("geometricMean requires positive values");
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+} // namespace mtc

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Lightweight statistics accumulators used by the experiment harness.
+ *
+ * RunningStat implements Welford's online algorithm so means and
+ * variances over millions of samples remain numerically stable.
+ * Histogram is a fixed-bucket counter used for signature-size and
+ * re-sort-window distributions.
+ */
+
+#ifndef MTC_SUPPORT_STATS_H
+#define MTC_SUPPORT_STATS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mtc
+{
+
+/** Online mean/variance/min/max accumulator (Welford). */
+class RunningStat
+{
+  public:
+    /** Add one sample. */
+    void add(double x);
+
+    /** Merge another accumulator into this one (parallel-safe combine). */
+    void merge(const RunningStat &other);
+
+    std::size_t count() const { return n; }
+    double sum() const { return total; }
+    double mean() const { return n ? runningMean : 0.0; }
+
+    /** Population variance; zero with fewer than two samples. */
+    double variance() const;
+
+    /** Population standard deviation. */
+    double stddev() const;
+
+    double minimum() const;
+    double maximum() const;
+
+    /** One-line human-readable summary, e.g.\ for log output. */
+    std::string summary() const;
+
+  private:
+    std::size_t n = 0;
+    double runningMean = 0.0;
+    double m2 = 0.0;
+    double total = 0.0;
+    double lo = 0.0;
+    double hi = 0.0;
+};
+
+/** Fixed-width-bucket histogram over non-negative integer samples. */
+class Histogram
+{
+  public:
+    /**
+     * @param bucket_width Width of each bucket (>= 1).
+     * @param num_buckets  Number of buckets; samples beyond the last
+     *                     bucket are accumulated in an overflow bin.
+     */
+    Histogram(std::uint64_t bucket_width, std::size_t num_buckets);
+
+    void add(std::uint64_t x);
+
+    std::size_t count() const { return samples; }
+    std::uint64_t bucketCount(std::size_t idx) const;
+    std::uint64_t overflowCount() const { return overflow; }
+    std::size_t numBuckets() const { return buckets.size(); }
+    std::uint64_t bucketWidth() const { return width; }
+
+    /** Smallest sample value falling into bucket @p idx. */
+    std::uint64_t bucketLow(std::size_t idx) const { return idx * width; }
+
+    /** Render as "lo-hi: count" lines; empty buckets are skipped. */
+    std::string render() const;
+
+  private:
+    std::uint64_t width;
+    std::vector<std::uint64_t> buckets;
+    std::uint64_t overflow = 0;
+    std::size_t samples = 0;
+};
+
+/** Geometric mean of a list of strictly positive values. */
+double geometricMean(const std::vector<double> &values);
+
+} // namespace mtc
+
+#endif // MTC_SUPPORT_STATS_H

@@ -1,0 +1,113 @@
+#include "support/table.h"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "support/error.h"
+
+namespace mtc
+{
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : header(std::move(headers))
+{
+    if (header.empty())
+        throw ConfigError("TablePrinter needs at least one column");
+}
+
+void
+TablePrinter::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != header.size())
+        throw ConfigError("TablePrinter row width mismatch");
+    rows.push_back(std::move(cells));
+}
+
+std::string
+TablePrinter::fmt(double value, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << value;
+    return os.str();
+}
+
+std::string
+TablePrinter::fmt(std::uint64_t value)
+{
+    return std::to_string(value);
+}
+
+std::string
+TablePrinter::pct(double fraction, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << fraction * 100.0
+       << "%";
+    return os.str();
+}
+
+void
+TablePrinter::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(header.size());
+    for (std::size_t c = 0; c < header.size(); ++c)
+        widths[c] = header[c].size();
+    for (const auto &row : rows)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto print_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << (c ? "  " : "");
+            // Left-align the first column (labels), right-align the rest.
+            if (c == 0)
+                os << std::left;
+            else
+                os << std::right;
+            os << std::setw(static_cast<int>(widths[c])) << row[c];
+        }
+        os << "\n";
+    };
+
+    print_row(header);
+    std::size_t total = header.size() * 2 - 2;
+    for (auto w : widths)
+        total += w;
+    os << std::string(total, '-') << "\n";
+    for (const auto &row : rows)
+        print_row(row);
+}
+
+std::string
+TablePrinter::toCsv() const
+{
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c)
+                os << ",";
+            // Quote cells containing commas.
+            if (row[c].find(',') != std::string::npos)
+                os << '"' << row[c] << '"';
+            else
+                os << row[c];
+        }
+        os << "\n";
+    };
+    emit(header);
+    for (const auto &row : rows)
+        emit(row);
+    return os.str();
+}
+
+void
+writeFile(const std::string &path, const std::string &contents)
+{
+    std::ofstream out(path);
+    if (!out)
+        throw ConfigError("cannot open output file: " + path);
+    out << contents;
+}
+
+} // namespace mtc

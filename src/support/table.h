@@ -1,0 +1,59 @@
+/**
+ * @file
+ * ASCII table and CSV emitters used by every benchmark binary.
+ *
+ * Each bench prints the rows of the paper figure/table it reproduces;
+ * TablePrinter right-aligns numeric columns so the output matches the
+ * paper's tabular presentation, and CsvWriter mirrors the same rows to
+ * a file for offline plotting.
+ */
+
+#ifndef MTC_SUPPORT_TABLE_H
+#define MTC_SUPPORT_TABLE_H
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mtc
+{
+
+/** Column-aligned ASCII table builder. */
+class TablePrinter
+{
+  public:
+    /** Create with the header row. */
+    explicit TablePrinter(std::vector<std::string> headers);
+
+    /** Append one row; must match the header width. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Helper to format a double with fixed precision. */
+    static std::string fmt(double value, int precision = 2);
+
+    /** Helper to format an integer. */
+    static std::string fmt(std::uint64_t value);
+
+    /** Helper to format a percentage (0.93 -> "93.0%"). */
+    static std::string pct(double fraction, int precision = 1);
+
+    /** Render the full table to a stream. */
+    void print(std::ostream &os) const;
+
+    /** Render the rows as CSV (header first). */
+    std::string toCsv() const;
+
+    std::size_t numRows() const { return rows.size(); }
+
+  private:
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> rows;
+};
+
+/** Write a CSV string to @p path, creating parent-less files only. */
+void writeFile(const std::string &path, const std::string &contents);
+
+} // namespace mtc
+
+#endif // MTC_SUPPORT_TABLE_H

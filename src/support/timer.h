@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Wall-clock timing helpers for the checking-performance experiments.
+ *
+ * The paper reports topological-sorting time on a host machine
+ * (Section 6.2); we likewise measure host wall-clock with a steady
+ * clock, and additionally report architecture-independent work counters
+ * collected by the checkers themselves.
+ */
+
+#ifndef MTC_SUPPORT_TIMER_H
+#define MTC_SUPPORT_TIMER_H
+
+#include <chrono>
+#include <cstdint>
+
+namespace mtc
+{
+
+/** Simple start/stop wall timer with accumulated elapsed time. */
+class WallTimer
+{
+  public:
+    using Clock = std::chrono::steady_clock;
+
+    /** Start (or restart) the timer. */
+    void
+    start()
+    {
+        startPoint = Clock::now();
+        running = true;
+    }
+
+    /** Stop the timer, accumulating the elapsed span. */
+    void
+    stop()
+    {
+        if (running) {
+            accumulated += Clock::now() - startPoint;
+            running = false;
+        }
+    }
+
+    /** Drop all accumulated time. */
+    void
+    reset()
+    {
+        accumulated = Clock::duration::zero();
+        running = false;
+    }
+
+    /** Accumulated time in seconds (includes the running span). */
+    double
+    seconds() const
+    {
+        auto total = accumulated;
+        if (running)
+            total += Clock::now() - startPoint;
+        return std::chrono::duration<double>(total).count();
+    }
+
+    /** Accumulated time in milliseconds. */
+    double milliseconds() const { return seconds() * 1e3; }
+
+  private:
+    Clock::time_point startPoint{};
+    Clock::duration accumulated = Clock::duration::zero();
+    bool running = false;
+};
+
+/** RAII guard that adds its lifetime to a WallTimer. */
+class ScopedTimer
+{
+  public:
+    explicit ScopedTimer(WallTimer &timer_arg) : timer(timer_arg)
+    {
+        timer.start();
+    }
+
+    ~ScopedTimer() { timer.stop(); }
+
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+  private:
+    WallTimer &timer;
+};
+
+} // namespace mtc
+
+#endif // MTC_SUPPORT_TIMER_H

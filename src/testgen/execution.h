@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Dynamic outcome of one run of a test program.
+ *
+ * An Execution records the value observed by every load, in load-list
+ * order (see TestProgram::loads()). Because store values are unique,
+ * this value vector *is* the set of reads-from relationships, which the
+ * paper uses as the identity of an execution: "two executions have
+ * experienced distinct memory access interleavings when they exhibit at
+ * least one different reads-from relationship" (Section 2).
+ *
+ * Executors may additionally export the ground-truth per-location
+ * coherence (write-serialization) order; the checker never relies on
+ * it, but tests use it to validate the ws-inference pass.
+ */
+
+#ifndef MTC_TESTGEN_EXECUTION_H
+#define MTC_TESTGEN_EXECUTION_H
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "testgen/test_program.h"
+
+namespace mtc
+{
+
+/** Observed outcome of a single test run. */
+struct Execution
+{
+    /** Value read by each load, indexed by TestProgram load ordinal. */
+    std::vector<std::uint32_t> loadValues;
+
+    /**
+     * Platform-reported duration of the run: simulated cycles for the
+     * Timed policy, scheduler steps for UniformRandom. Input to the
+     * execution-overhead accounting of Figure 10.
+     */
+    std::uint64_t duration = 0;
+
+    /**
+     * Optional ground truth: for each location, the order in which
+     * stores became globally visible. Empty when the platform does not
+     * expose it (the post-silicon case).
+     */
+    std::vector<std::vector<OpId>> coherenceOrder;
+
+    /** Store feeding load ordinal @p ordinal, or nullopt for init. */
+    std::optional<OpId>
+    readsFrom(const TestProgram &program, std::uint32_t ordinal) const
+    {
+        const std::uint32_t value = loadValues.at(ordinal);
+        if (value == kInitValue)
+            return std::nullopt;
+        return program.storeForValue(value);
+    }
+
+    /**
+     * Number of differing reads-from relationships versus @p other
+     * (the k-medoids distance metric of Section 4.1).
+     */
+    std::uint32_t
+    rfDistance(const Execution &other) const
+    {
+        std::uint32_t diff = 0;
+        for (std::size_t i = 0; i < loadValues.size(); ++i)
+            if (loadValues[i] != other.loadValues[i])
+                ++diff;
+        return diff;
+    }
+
+    bool
+    operator==(const Execution &other) const
+    {
+        return loadValues == other.loadValues;
+    }
+};
+
+} // namespace mtc
+
+#endif // MTC_TESTGEN_EXECUTION_H

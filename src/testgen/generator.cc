@@ -1,0 +1,47 @@
+#include "testgen/generator.h"
+
+#include "support/rng.h"
+
+namespace mtc
+{
+
+TestProgram
+generateTest(const TestConfig &cfg, std::uint64_t seed)
+{
+    cfg.validate();
+    Rng rng(seed);
+
+    std::vector<std::vector<MemOp>> threads(cfg.numThreads);
+    for (std::uint32_t tid = 0; tid < cfg.numThreads; ++tid) {
+        threads[tid].reserve(cfg.opsPerThread);
+        for (std::uint32_t idx = 0; idx < cfg.opsPerThread; ++idx) {
+            MemOp mem_op;
+            if (cfg.fencePercent &&
+                rng.nextBelow(100) < cfg.fencePercent) {
+                mem_op.kind = OpKind::Fence;
+            } else {
+                mem_op.kind = rng.nextBool(cfg.loadFraction)
+                    ? OpKind::Load : OpKind::Store;
+                mem_op.loc = static_cast<std::uint32_t>(
+                    rng.nextBelow(cfg.numLocations));
+                if (mem_op.kind == OpKind::Store)
+                    mem_op.value = storeValue(OpId{tid, idx});
+            }
+            threads[tid].push_back(mem_op);
+        }
+    }
+    return TestProgram(cfg, std::move(threads));
+}
+
+std::vector<TestProgram>
+generateTestBatch(const TestConfig &cfg, std::uint64_t seed, unsigned count)
+{
+    Rng rng(seed);
+    std::vector<TestProgram> batch;
+    batch.reserve(count);
+    for (unsigned i = 0; i < count; ++i)
+        batch.push_back(generateTest(cfg, rng()));
+    return batch;
+}
+
+} // namespace mtc

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Constrained-random test generation (paper Sections 2 and 5).
+ *
+ * Tests "perform load and store instructions with equal probability
+ * (i.e., load 50% and store 50%)" over a pool of distinct shared
+ * addresses chosen uniformly at random. Every store receives a unique
+ * non-zero value so loads are fully disambiguated, which is what makes
+ * the static load-value analysis of the instrumentation pass exact.
+ */
+
+#ifndef MTC_TESTGEN_GENERATOR_H
+#define MTC_TESTGEN_GENERATOR_H
+
+#include <cstdint>
+#include <vector>
+
+#include "testgen/test_program.h"
+
+namespace mtc
+{
+
+/** Generate one constrained-random test for @p cfg from @p seed. */
+TestProgram generateTest(const TestConfig &cfg, std::uint64_t seed);
+
+/**
+ * Generate the paper's per-configuration batch: @p count distinct
+ * tests (the paper uses 10 per configuration) derived from @p seed.
+ */
+std::vector<TestProgram> generateTestBatch(const TestConfig &cfg,
+                                           std::uint64_t seed,
+                                           unsigned count);
+
+} // namespace mtc
+
+#endif // MTC_TESTGEN_GENERATOR_H

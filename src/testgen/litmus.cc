@@ -1,0 +1,127 @@
+#include "testgen/litmus.h"
+
+namespace mtc
+{
+namespace litmus
+{
+
+namespace
+{
+
+MemOp
+ld(std::uint32_t loc)
+{
+    MemOp op;
+    op.kind = OpKind::Load;
+    op.loc = loc;
+    return op;
+}
+
+MemOp
+st(OpId id, std::uint32_t loc)
+{
+    MemOp op;
+    op.kind = OpKind::Store;
+    op.loc = loc;
+    op.value = storeValue(id);
+    return op;
+}
+
+MemOp
+fence()
+{
+    MemOp op;
+    op.kind = OpKind::Fence;
+    return op;
+}
+
+TestConfig
+smallConfig(Isa isa, unsigned threads, unsigned ops, unsigned locs)
+{
+    TestConfig cfg;
+    cfg.isa = isa;
+    cfg.numThreads = threads;
+    cfg.opsPerThread = ops;
+    cfg.numLocations = locs;
+    return cfg;
+}
+
+} // anonymous namespace
+
+TestProgram
+storeBuffering(Isa isa)
+{
+    // loc 0 = x, loc 1 = y.
+    std::vector<std::vector<MemOp>> threads{
+        {st({0, 0}, 0), ld(1)},
+        {st({1, 0}, 1), ld(0)},
+    };
+    return TestProgram(smallConfig(isa, 2, 2, 2), std::move(threads));
+}
+
+TestProgram
+storeBufferingFenced(Isa isa)
+{
+    std::vector<std::vector<MemOp>> threads{
+        {st({0, 0}, 0), fence(), ld(1)},
+        {st({1, 0}, 1), fence(), ld(0)},
+    };
+    return TestProgram(smallConfig(isa, 2, 3, 2), std::move(threads));
+}
+
+TestProgram
+loadBuffering(Isa isa)
+{
+    std::vector<std::vector<MemOp>> threads{
+        {ld(0), st({0, 1}, 1)},
+        {ld(1), st({1, 1}, 0)},
+    };
+    return TestProgram(smallConfig(isa, 2, 2, 2), std::move(threads));
+}
+
+TestProgram
+messagePassing(Isa isa)
+{
+    // loc 0 = data, loc 1 = flag.
+    std::vector<std::vector<MemOp>> threads{
+        {st({0, 0}, 0), st({0, 1}, 1)},
+        {ld(1), ld(0)},
+    };
+    return TestProgram(smallConfig(isa, 2, 2, 2), std::move(threads));
+}
+
+TestProgram
+corr(Isa isa)
+{
+    std::vector<std::vector<MemOp>> threads{
+        {st({0, 0}, 0)},
+        {ld(0), ld(0)},
+    };
+    return TestProgram(smallConfig(isa, 2, 2, 1), std::move(threads));
+}
+
+TestProgram
+iriw(Isa isa)
+{
+    std::vector<std::vector<MemOp>> threads{
+        {st({0, 0}, 0)},
+        {st({1, 0}, 1)},
+        {ld(0), ld(1)},
+        {ld(1), ld(0)},
+    };
+    return TestProgram(smallConfig(isa, 4, 2, 2), std::move(threads));
+}
+
+TestProgram
+wrc(Isa isa)
+{
+    std::vector<std::vector<MemOp>> threads{
+        {st({0, 0}, 0)},
+        {ld(0), st({1, 1}, 1)},
+        {ld(1), ld(0)},
+    };
+    return TestProgram(smallConfig(isa, 3, 2, 2), std::move(threads));
+}
+
+} // namespace litmus
+} // namespace mtc

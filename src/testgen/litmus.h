@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Library of classic litmus tests expressed as TestPrograms.
+ *
+ * The paper motivates its constrained-random tests as being "much
+ * larger than typical litmus tests" (Section 8); we provide the
+ * classics both as documentation-grade examples and as ground truth for
+ * unit-testing the executors and checkers: each litmus test has a
+ * well-known set of forbidden outcomes per memory model.
+ */
+
+#ifndef MTC_TESTGEN_LITMUS_H
+#define MTC_TESTGEN_LITMUS_H
+
+#include "testgen/test_program.h"
+
+namespace mtc
+{
+namespace litmus
+{
+
+/**
+ * Store buffering (SB / Dekker):
+ *   T0: st x=1; ld y      T1: st y=1; ld x
+ * Both loads reading 0 is forbidden under SC, allowed under TSO/RMO.
+ */
+TestProgram storeBuffering(Isa isa = Isa::X86);
+
+/** Store buffering with a full fence between the store and the load;
+ * the relaxed outcome becomes forbidden under every supported model. */
+TestProgram storeBufferingFenced(Isa isa = Isa::X86);
+
+/**
+ * Load buffering (LB) — the paper's Figure 2:
+ *   T0: ld x; st y=1      T1: ld y; st x=1
+ * Both loads reading 1 is forbidden under SC and TSO, allowed RMO.
+ */
+TestProgram loadBuffering(Isa isa = Isa::ARMv7);
+
+/**
+ * Message passing (MP):
+ *   T0: st data=1; st flag=1     T1: ld flag; ld data
+ * flag==1 && data==0 is forbidden under SC/TSO, allowed under RMO.
+ */
+TestProgram messagePassing(Isa isa = Isa::ARMv7);
+
+/**
+ * Coherence of read-read (CoRR):
+ *   T0: st x=1       T1: ld x; ld x
+ * Reading the new value then the initial value is forbidden under
+ * every model (per-location coherence).
+ */
+TestProgram corr(Isa isa = Isa::ARMv7);
+
+/**
+ * Independent reads of independent writes (IRIW):
+ *   T0: st x=1   T1: st y=1   T2: ld x; ld y   T3: ld y; ld x
+ * The two readers disagreeing on the write order is forbidden under
+ * SC (and under multi-copy-atomic models generally).
+ */
+TestProgram iriw(Isa isa = Isa::ARMv7);
+
+/**
+ * Write-to-read causality (WRC):
+ *   T0: st x=1   T1: ld x; st y=1   T2: ld y; ld x
+ */
+TestProgram wrc(Isa isa = Isa::ARMv7);
+
+} // namespace litmus
+} // namespace mtc
+
+#endif // MTC_TESTGEN_LITMUS_H

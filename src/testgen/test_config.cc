@@ -1,0 +1,99 @@
+#include "testgen/test_config.h"
+
+#include <sstream>
+
+#include "support/error.h"
+
+namespace mtc
+{
+
+std::string
+TestConfig::name() const
+{
+    std::ostringstream os;
+    os << isaName(isa) << "-" << numThreads << "-" << opsPerThread << "-"
+       << numLocations;
+    if (wordsPerLine > 1)
+        os << " (" << wordsPerLine << " words/line)";
+    return os.str();
+}
+
+void
+TestConfig::validate() const
+{
+    if (numThreads < 1)
+        throw ConfigError("test needs at least one thread");
+    if (opsPerThread < 1)
+        throw ConfigError("test needs at least one op per thread");
+    if (numLocations < 1)
+        throw ConfigError("test needs at least one shared location");
+    if (loadFraction < 0.0 || loadFraction > 1.0)
+        throw ConfigError("loadFraction must lie in [0,1]");
+    if (wordsPerLine < 1 || wordsPerLine * bytesPerWord > lineBytes)
+        throw ConfigError("wordsPerLine does not fit the cache line");
+    if (fencePercent > 100)
+        throw ConfigError("fencePercent must lie in [0,100]");
+}
+
+TestConfig
+parseConfigName(const std::string &name)
+{
+    // Accept "ISA-T-O-A" with optional " (N words/line)" suffix.
+    std::string base = name;
+    unsigned words_per_line = 1;
+    auto paren = name.find(" (");
+    if (paren != std::string::npos) {
+        base = name.substr(0, paren);
+        std::istringstream suffix(name.substr(paren + 2));
+        suffix >> words_per_line;
+        if (!suffix)
+            throw ConfigError("bad words/line suffix in: " + name);
+    }
+
+    std::vector<std::string> parts;
+    std::istringstream is(base);
+    std::string token;
+    while (std::getline(is, token, '-'))
+        parts.push_back(token);
+    if (parts.size() != 4)
+        throw ConfigError("config name must be ISA-T-O-A: " + name);
+
+    TestConfig cfg;
+    cfg.isa = parseIsa(parts[0]);
+    cfg.numThreads = static_cast<unsigned>(std::stoul(parts[1]));
+    cfg.opsPerThread = static_cast<unsigned>(std::stoul(parts[2]));
+    cfg.numLocations = static_cast<unsigned>(std::stoul(parts[3]));
+    cfg.wordsPerLine = words_per_line;
+    cfg.validate();
+    return cfg;
+}
+
+std::vector<TestConfig>
+figure8Configs()
+{
+    // Order matches the x-axis of Figure 8 (ARM first, then x86).
+    static const char *names[] = {
+        "ARM-2-50-32",  "ARM-2-50-64",   "ARM-2-100-32", "ARM-2-100-64",
+        "ARM-2-200-32", "ARM-2-200-64",  "ARM-4-50-64",  "ARM-4-100-64",
+        "ARM-4-200-64", "ARM-7-50-64",   "ARM-7-50-128", "ARM-7-100-64",
+        "ARM-7-100-128", "ARM-7-200-64", "ARM-7-200-128",
+        "x86-2-50-32",  "x86-2-100-32",  "x86-2-200-32", "x86-4-50-64",
+        "x86-4-100-64", "x86-4-200-64",
+    };
+    std::vector<TestConfig> configs;
+    for (const char *name : names)
+        configs.push_back(parseConfigName(name));
+    return configs;
+}
+
+std::vector<TestConfig>
+figure10Configs()
+{
+    std::vector<TestConfig> arm;
+    for (const auto &cfg : figure8Configs())
+        if (cfg.isa == Isa::ARMv7)
+            arm.push_back(cfg);
+    return arm;
+}
+
+} // namespace mtc

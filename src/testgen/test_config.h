@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Constrained-random test-generation parameters (Table 2 of the paper)
+ * and the 21 evaluation configurations of Figure 8.
+ *
+ * Configuration names follow the paper's convention:
+ * [ISA]-[threads]-[ops per thread]-[shared addresses], e.g.
+ * "ARM-2-50-32" is a 2-thread ARM test with 50 memory operations per
+ * thread over 32 distinct shared addresses.
+ */
+
+#ifndef MTC_TESTGEN_TEST_CONFIG_H
+#define MTC_TESTGEN_TEST_CONFIG_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mcm/isa.h"
+#include "mcm/memory_model.h"
+
+namespace mtc
+{
+
+/** Parameters controlling constrained-random test generation. */
+struct TestConfig
+{
+    /** Target ISA; selects memory model, register width, encodings. */
+    Isa isa = Isa::X86;
+
+    /** Number of test threads (paper: 2, 4, 7). */
+    unsigned numThreads = 2;
+
+    /** Static memory operations per thread (paper: 50, 100, 200). */
+    unsigned opsPerThread = 50;
+
+    /** Distinct shared memory locations (paper: 32, 64, 128). */
+    unsigned numLocations = 32;
+
+    /** Probability that an operation is a load (paper: 0.5). */
+    double loadFraction = 0.5;
+
+    /**
+     * Shared words packed into one cache line. 1 means no false
+     * sharing; the paper also evaluates 4 and 16 (Figure 8).
+     */
+    unsigned wordsPerLine = 1;
+
+    /** Bytes transferred per operation (paper: 4). */
+    unsigned bytesPerWord = 4;
+
+    /** Cache line size in bytes (both evaluated systems: 64). */
+    unsigned lineBytes = 64;
+
+    /**
+     * Percentage [0,100] of operations that are fences. The paper's
+     * in-body tests contain none; this is the extension hook noted in
+     * DESIGN.md Section 7.
+     */
+    unsigned fencePercent = 0;
+
+    /** Memory model the platform should implement; defaults by ISA. */
+    MemoryModel model() const { return defaultModel(isa); }
+
+    /** Paper-style name, e.g.\ "ARM-2-50-32". */
+    std::string name() const;
+
+    /** Throw ConfigError if any parameter combination is invalid. */
+    void validate() const;
+};
+
+/** Parse a paper-style configuration name into a TestConfig. */
+TestConfig parseConfigName(const std::string &name);
+
+/**
+ * The 21 test configurations on the x-axis of Figures 8/9/11/12:
+ * 15 ARM configurations followed by 6 x86 configurations.
+ */
+std::vector<TestConfig> figure8Configs();
+
+/** The subset of ARM configurations (used by Figure 10). */
+std::vector<TestConfig> figure10Configs();
+
+} // namespace mtc
+
+#endif // MTC_TESTGEN_TEST_CONFIG_H

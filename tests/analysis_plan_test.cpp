@@ -1,0 +1,271 @@
+/**
+ * @file
+ * Tests for the static load-value analysis (store_maps construction)
+ * and the instrumentation plan (weight multipliers, multi-word
+ * overflow handling, signature sizing).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/instr_plan.h"
+#include "core/load_analysis.h"
+#include "support/error.h"
+#include "testgen/generator.h"
+#include "testgen/litmus.h"
+
+namespace mtc
+{
+namespace
+{
+
+/** Thread 0: st A; ld A; Thread 1: st A; st A; ld A. */
+TestProgram
+twoThreadProgram()
+{
+    TestConfig cfg;
+    cfg.numThreads = 2;
+    cfg.opsPerThread = 3;
+    cfg.numLocations = 1;
+
+    auto st = [](OpId id) {
+        MemOp op;
+        op.kind = OpKind::Store;
+        op.loc = 0;
+        op.value = storeValue(id);
+        return op;
+    };
+    auto ld = []() {
+        MemOp op;
+        op.kind = OpKind::Load;
+        op.loc = 0;
+        return op;
+    };
+
+    std::vector<std::vector<MemOp>> threads{
+        {st({0, 0}), ld()},
+        {st({1, 0}), st({1, 1}), ld()},
+    };
+    return TestProgram(cfg, std::move(threads));
+}
+
+TEST(LoadAnalysis, CandidateSetsExact)
+{
+    const TestProgram program = twoThreadProgram();
+    LoadValueAnalysis analysis(program);
+    ASSERT_EQ(analysis.numLoads(), 2u);
+
+    // Thread 0's load: own store first, then the two t1 stores.
+    const auto &t0 = analysis.candidates(program.loadOrdinal(OpId{0, 1}));
+    ASSERT_EQ(t0.cardinality(), 3u);
+    EXPECT_EQ(t0.values[0], storeValue(OpId{0, 0}));
+    EXPECT_EQ(t0.values[1], storeValue(OpId{1, 0}));
+    EXPECT_EQ(t0.values[2], storeValue(OpId{1, 1}));
+
+    // Thread 1's load: own *latest* store first, then the t0 store.
+    const auto &t1 = analysis.candidates(program.loadOrdinal(OpId{1, 2}));
+    ASSERT_EQ(t1.cardinality(), 2u);
+    EXPECT_EQ(t1.values[0], storeValue(OpId{1, 1}));
+    EXPECT_EQ(t1.values[1], storeValue(OpId{0, 0}));
+
+    EXPECT_EQ(analysis.totalCandidates(), 5u);
+}
+
+TEST(LoadAnalysis, InitWhenNoOwnStore)
+{
+    const TestProgram program = litmus::messagePassing();
+    LoadValueAnalysis analysis(program);
+    // T1's flag load: init + T0's flag store.
+    const auto &flag =
+        analysis.candidates(program.loadOrdinal(OpId{1, 0}));
+    ASSERT_EQ(flag.cardinality(), 2u);
+    EXPECT_EQ(flag.values[0], kInitValue);
+    EXPECT_EQ(flag.values[1], program.op(OpId{0, 1}).value);
+}
+
+TEST(LoadAnalysis, IndexOfFindsValues)
+{
+    const TestProgram program = twoThreadProgram();
+    LoadValueAnalysis analysis(program);
+    const auto &set = analysis.candidates(0);
+    for (std::uint32_t i = 0; i < set.cardinality(); ++i)
+        EXPECT_EQ(set.indexOf(set.values[i]), i);
+    EXPECT_FALSE(set.indexOf(0xabcdefu).has_value());
+}
+
+TEST(LoadAnalysis, PruningShrinksCandidates)
+{
+    TestConfig cfg;
+    cfg.numThreads = 3;
+    cfg.opsPerThread = 100;
+    cfg.numLocations = 4; // heavy same-address traffic
+    const TestProgram program = generateTest(cfg, 3);
+
+    LoadValueAnalysis full(program);
+    AnalysisOptions prune;
+    prune.pruneWindow = 2;
+    LoadValueAnalysis pruned(program, prune);
+
+    EXPECT_LT(pruned.totalCandidates(), full.totalCandidates());
+    // Pruned sets must be subsets of the full sets.
+    for (std::uint32_t l = 0; l < full.numLoads(); ++l) {
+        const auto &big = full.candidates(l).values;
+        for (std::uint32_t v : pruned.candidates(l).values)
+            EXPECT_NE(std::find(big.begin(), big.end(), v), big.end());
+    }
+}
+
+TEST(InstrumentationPlan, MultipliersAreCumulativeProducts)
+{
+    const TestProgram program = twoThreadProgram();
+    LoadValueAnalysis analysis(program);
+    InstrumentationPlan plan(program, analysis, 64);
+
+    // One load per thread: multiplier 1 each, single word per thread.
+    EXPECT_EQ(plan.slot(program.loadOrdinal(OpId{0, 1})).multiplier, 1u);
+    EXPECT_EQ(plan.slot(program.loadOrdinal(OpId{1, 2})).multiplier, 1u);
+    EXPECT_EQ(plan.wordsForThread(0), 1u);
+    EXPECT_EQ(plan.wordsForThread(1), 1u);
+    EXPECT_EQ(plan.totalWords(), 2u);
+    EXPECT_EQ(plan.wordBase(0), 0u);
+    EXPECT_EQ(plan.wordBase(1), 1u);
+    EXPECT_EQ(plan.signatureBytes(), 16u);
+}
+
+TEST(InstrumentationPlan, SequentialLoadsMultiply)
+{
+    // One thread with three loads of a location written by 2 other-
+    // thread stores + no own store: cardinality 3 each -> multipliers
+    // 1, 3, 9.
+    TestConfig cfg;
+    cfg.numThreads = 2;
+    cfg.opsPerThread = 3;
+    cfg.numLocations = 1;
+    auto ld = [] {
+        MemOp op;
+        op.kind = OpKind::Load;
+        op.loc = 0;
+        return op;
+    };
+    auto st = [](OpId id) {
+        MemOp op;
+        op.kind = OpKind::Store;
+        op.loc = 0;
+        op.value = storeValue(id);
+        return op;
+    };
+    std::vector<std::vector<MemOp>> threads{
+        {ld(), ld(), ld()},
+        {st({1, 0}), st({1, 1})},
+    };
+    const TestProgram program(cfg, std::move(threads));
+    LoadValueAnalysis analysis(program);
+    InstrumentationPlan plan(program, analysis, 64);
+
+    EXPECT_EQ(plan.slot(0).multiplier, 1u);
+    EXPECT_EQ(plan.slot(1).multiplier, 3u);
+    EXPECT_EQ(plan.slot(2).multiplier, 9u);
+    EXPECT_EQ(plan.wordsForThread(0), 1u);
+    // The storeless thread still flushes one always-zero word.
+    EXPECT_EQ(plan.wordsForThread(1), 1u);
+}
+
+TEST(InstrumentationPlan, OverflowStartsNewWord)
+{
+    // 32-bit words: cardinality-3 loads overflow after 20 loads
+    // (3^21 > 2^32), so 25 loads need a second word.
+    TestConfig cfg;
+    cfg.numThreads = 2;
+    cfg.opsPerThread = 25;
+    cfg.numLocations = 1;
+    std::vector<std::vector<MemOp>> threads(2);
+    for (std::uint32_t i = 0; i < 25; ++i) {
+        MemOp ld;
+        ld.kind = OpKind::Load;
+        ld.loc = 0;
+        threads[0].push_back(ld);
+        MemOp st;
+        st.kind = OpKind::Store;
+        st.loc = 0;
+        st.value = storeValue(OpId{1, i});
+        threads[1].push_back(st);
+    }
+    const TestProgram program(cfg, std::move(threads));
+    LoadValueAnalysis analysis(program);
+
+    InstrumentationPlan plan32(program, analysis, 32);
+    EXPECT_GT(plan32.wordsForThread(0), 1u);
+    InstrumentationPlan plan64(program, analysis, 64);
+    EXPECT_LT(plan64.wordsForThread(0), plan32.wordsForThread(0));
+
+    // Multipliers reset at word boundaries.
+    std::uint32_t word = 0;
+    for (std::uint32_t l = 0; l < 25; ++l) {
+        const LoadSlot &slot = plan32.slot(l);
+        if (slot.wordIndex != word) {
+            EXPECT_EQ(slot.wordIndex, word + 1);
+            EXPECT_EQ(slot.multiplier, 1u);
+            word = slot.wordIndex;
+        }
+    }
+}
+
+TEST(InstrumentationPlan, WordBitsValidated)
+{
+    const TestProgram program = twoThreadProgram();
+    LoadValueAnalysis analysis(program);
+    auto make_bad_plan = [&] {
+        InstrumentationPlan plan16(program, analysis, 16);
+    };
+    EXPECT_THROW(make_bad_plan(), ConfigError);
+    // Defaults follow the ISA: ARM -> 32-bit words.
+    TestConfig arm_cfg = program.config();
+    arm_cfg.isa = Isa::ARMv7;
+    TestProgram arm_program(arm_cfg, program.threadBodies());
+    InstrumentationPlan arm_plan(arm_program,
+                                 LoadValueAnalysis(arm_program));
+    EXPECT_EQ(arm_plan.wordBits(), 32u);
+}
+
+TEST(InstrumentationPlan, CardinalityEstimateMatchesPaperExample)
+{
+    // Section 3.2: S=L=50, A=32, T=2 -> ~2.7e20.
+    TestConfig cfg;
+    cfg.numThreads = 2;
+    cfg.opsPerThread = 100; // 50 loads + 50 stores
+    cfg.numLocations = 32;
+    const double estimate = InstrumentationPlan::estimateCardinality(cfg);
+    EXPECT_GT(estimate, 1e20);
+    EXPECT_LT(estimate, 1e21);
+}
+
+TEST(InstrumentationPlan, DistinctSlotsForRandomTests)
+{
+    const TestProgram program =
+        generateTest(parseConfigName("ARM-4-100-64"), 8);
+    LoadValueAnalysis analysis(program);
+    InstrumentationPlan plan(program, analysis);
+    // Within one (thread, word) the multiplier must equal the product
+    // of the cardinalities of the preceding loads in that word — that
+    // is exactly what makes weights non-aliasing (paper Figure 3).
+    for (std::uint32_t tid = 0; tid < program.numThreads(); ++tid) {
+        std::uint64_t expected = 1;
+        std::uint32_t word = 0;
+        for (OpId load : program.loadsOfThread(tid)) {
+            const std::uint32_t ordinal = program.loadOrdinal(load);
+            const LoadSlot &slot = plan.slot(ordinal);
+            if (slot.wordIndex != word) {
+                EXPECT_EQ(slot.wordIndex, word + 1);
+                word = slot.wordIndex;
+                expected = 1;
+            }
+            EXPECT_EQ(slot.multiplier, expected);
+            expected *= analysis.candidates(ordinal).cardinality();
+        }
+    }
+}
+
+} // anonymous namespace
+} // namespace mtc

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Tests for the campaign runner: configuration aggregation, platform
+ * variant selection, and environment-variable scaling.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "harness/campaign.h"
+
+namespace mtc
+{
+namespace
+{
+
+TEST(Campaign, RunConfigAggregates)
+{
+    CampaignConfig campaign;
+    campaign.iterations = 128;
+    campaign.testsPerConfig = 2;
+
+    const ConfigSummary summary =
+        runConfig(parseConfigName("x86-2-50-32"), campaign);
+    EXPECT_EQ(summary.tests, 2u);
+    EXPECT_GE(summary.avgUniqueSignatures, 1.0);
+    EXPECT_GT(summary.avgSignatureBytes, 0.0);
+    EXPECT_GT(summary.avgCodeRatio, 1.0);
+    EXPECT_GT(summary.avgUnrelatedAccesses, 0.0);
+    EXPECT_GT(summary.collectiveMs, 0.0);
+    EXPECT_GT(summary.conventionalMs, 0.0);
+    EXPECT_EQ(summary.violations, 0u);
+
+    // The classification fractions partition the graphs.
+    EXPECT_NEAR(summary.fracComplete + summary.fracNoResort +
+                    summary.fracIncremental,
+                1.0, 1e-9);
+
+    // Collective is the headline: less work than conventional.
+    EXPECT_LE(summary.workRatio(), 1.0);
+}
+
+TEST(Campaign, PlatformVariants)
+{
+    const TestConfig cfg = parseConfigName("ARM-2-50-32");
+    const ExecutorConfig bare =
+        platformFor(cfg, PlatformVariant::BareMetal);
+    const ExecutorConfig linux_like =
+        platformFor(cfg, PlatformVariant::Linux);
+    EXPECT_EQ(bare.model, MemoryModel::RMO);
+    EXPECT_EQ(bare.timing.preemptProbability, 0.0);
+    EXPECT_GT(linux_like.timing.preemptProbability, 0.0);
+
+    const ExecutorConfig x86 = platformFor(
+        parseConfigName("x86-2-50-32"), PlatformVariant::BareMetal);
+    EXPECT_EQ(x86.model, MemoryModel::TSO);
+}
+
+TEST(Campaign, EnvOverrides)
+{
+    setenv("MTC_ITERATIONS", "777", 1);
+    setenv("MTC_TESTS", "9", 1);
+    setenv("MTC_SEED", "123456", 1);
+    const CampaignConfig cfg = CampaignConfig::fromEnv();
+    EXPECT_EQ(cfg.iterations, 777u);
+    EXPECT_EQ(cfg.testsPerConfig, 9u);
+    EXPECT_EQ(cfg.seed, 123456u);
+    unsetenv("MTC_ITERATIONS");
+    unsetenv("MTC_TESTS");
+    unsetenv("MTC_SEED");
+
+    const CampaignConfig defaults = CampaignConfig::fromEnv();
+    EXPECT_EQ(defaults.iterations, CampaignConfig{}.iterations);
+}
+
+TEST(Campaign, LinuxVariantRuns)
+{
+    CampaignConfig campaign;
+    campaign.iterations = 64;
+    campaign.testsPerConfig = 1;
+    campaign.variant = PlatformVariant::Linux;
+    campaign.runConventional = false;
+    const ConfigSummary summary =
+        runConfig(parseConfigName("ARM-2-50-32"), campaign);
+    EXPECT_EQ(summary.tests, 1u);
+    EXPECT_EQ(summary.violations, 0u);
+}
+
+TEST(Campaign, RunCampaignCoversAllConfigs)
+{
+    CampaignConfig campaign;
+    campaign.iterations = 32;
+    campaign.testsPerConfig = 1;
+    campaign.runConventional = false;
+    const std::vector<TestConfig> configs = {
+        parseConfigName("x86-2-50-32"), parseConfigName("ARM-2-50-32")};
+    const auto summaries = runCampaign(configs, campaign);
+    ASSERT_EQ(summaries.size(), 2u);
+    EXPECT_EQ(summaries[0].cfg.isa, Isa::X86);
+    EXPECT_EQ(summaries[1].cfg.isa, Isa::ARMv7);
+}
+
+} // anonymous namespace
+} // namespace mtc

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Tests for the code-size and intrusiveness models (Figures 11/12
+ * inputs) and the perturbation model (Figure 10 input).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/codesize.h"
+#include "core/instr_plan.h"
+#include "core/load_analysis.h"
+#include "core/perturbation.h"
+#include "core/signature_codec.h"
+#include "testgen/generator.h"
+#include "testgen/litmus.h"
+
+namespace mtc
+{
+namespace
+{
+
+TEST(CodeSize, InstrumentedGrowsWithCandidates)
+{
+    // Fewer locations -> more candidates per load -> more added code.
+    TestConfig small = parseConfigName("x86-4-100-16");
+    TestConfig large = parseConfigName("x86-4-100-128");
+
+    const TestProgram p_small = generateTest(small, 1);
+    const TestProgram p_large = generateTest(large, 1);
+
+    LoadValueAnalysis a_small(p_small), a_large(p_large);
+    InstrumentationPlan plan_small(p_small, a_small);
+    InstrumentationPlan plan_large(p_large, a_large);
+
+    const CodeSizeReport r_small = codeSize(p_small, a_small, plan_small);
+    const CodeSizeReport r_large = codeSize(p_large, a_large, plan_large);
+
+    EXPECT_GT(r_small.ratio(), r_large.ratio());
+    EXPECT_GT(r_small.instrumentedBytes, r_small.originalBytes);
+}
+
+TEST(CodeSize, RatioWithinPaperBallpark)
+{
+    // The paper reports ratios between 1.95x and 8.16x across its
+    // configurations; ours should land in a comparable band.
+    for (const char *name : {"ARM-2-50-64", "ARM-7-200-64",
+                             "x86-2-50-32", "x86-4-200-64"}) {
+        const TestProgram program =
+            generateTest(parseConfigName(name), 2);
+        LoadValueAnalysis analysis(program);
+        InstrumentationPlan plan(program, analysis);
+        const double ratio = codeSize(program, analysis, plan).ratio();
+        EXPECT_GT(ratio, 1.3) << name;
+        EXPECT_LT(ratio, 15.0) << name;
+    }
+}
+
+TEST(CodeSize, RegisterFlushBaselineSmallButNonzero)
+{
+    const TestProgram program =
+        generateTest(parseConfigName("x86-4-100-64"), 3);
+    LoadValueAnalysis analysis(program);
+    InstrumentationPlan plan(program, analysis);
+
+    const CodeSizeReport flush = codeSizeRegisterFlush(program);
+    const CodeSizeReport ours = codeSize(program, analysis, plan);
+    EXPECT_GT(flush.instrumentedBytes, flush.originalBytes);
+    // Register flushing adds far less *code* than signature chains...
+    EXPECT_LT(flush.instrumentedBytes, ours.instrumentedBytes);
+}
+
+TEST(CodeSize, IsaEncodingsDiffer)
+{
+    const InstructionCosts x86 = InstructionCosts::forIsa(Isa::X86);
+    const InstructionCosts arm = InstructionCosts::forIsa(Isa::ARMv7);
+    EXPECT_NE(x86.loadBytes, arm.loadBytes);
+    EXPECT_GT(x86.perCandidate, 0u);
+    EXPECT_GT(arm.perCandidate, 0u);
+}
+
+TEST(Intrusiveness, SignatureWordsVsRegisterFlush)
+{
+    const TestProgram program =
+        generateTest(parseConfigName("ARM-7-200-64"), 4);
+    LoadValueAnalysis analysis(program);
+    InstrumentationPlan plan(program, analysis);
+    const IntrusivenessReport report = intrusiveness(program, plan);
+
+    EXPECT_EQ(report.flushStores, program.loads().size());
+    EXPECT_EQ(report.signatureWords, plan.totalWords());
+    EXPECT_EQ(report.signatureBytes, plan.signatureBytes());
+    // MTraceCheck's unrelated accesses are a small fraction of the
+    // register-flushing baseline (paper: 3.9%-11.5%).
+    EXPECT_GT(report.normalizedUnrelated(), 0.0);
+    EXPECT_LT(report.normalizedUnrelated(), 0.35);
+}
+
+TEST(Intrusiveness, GrowsWithContention)
+{
+    // Higher contention (more threads, fewer locations) -> bigger
+    // signatures -> more unrelated accesses (paper Section 6.3).
+    const TestProgram low =
+        generateTest(parseConfigName("ARM-2-100-64"), 5);
+    const TestProgram high =
+        generateTest(parseConfigName("ARM-7-200-64"), 5);
+
+    LoadValueAnalysis a_low(low), a_high(high);
+    InstrumentationPlan plan_low(low, a_low);
+    InstrumentationPlan plan_high(high, a_high);
+
+    EXPECT_LT(intrusiveness(low, plan_low).normalizedUnrelated(),
+              intrusiveness(high, plan_high).normalizedUnrelated());
+}
+
+TEST(Perturbation, StablePatternsPredictWell)
+{
+    const TestProgram program = litmus::messagePassing();
+    LoadValueAnalysis analysis(program);
+    InstrumentationPlan plan(program, analysis);
+    SignatureCodec codec(program, analysis, plan);
+
+    PerturbationModel stable(program, analysis);
+    Execution execution;
+    execution.loadValues = {kInitValue, kInitValue};
+    execution.duration = 1000;
+    const EncodeResult encoded = codec.encode(execution);
+    for (int i = 0; i < 10; ++i)
+        stable.record(execution, encoded, plan.totalWords());
+
+    PerturbationModel noisy(program, analysis);
+    Execution other;
+    other.loadValues = {program.op(OpId{0, 1}).value, kInitValue};
+    other.duration = 1000;
+    const EncodeResult other_encoded = codec.encode(other);
+    for (int i = 0; i < 5; ++i) {
+        noisy.record(execution, encoded, plan.totalWords());
+        noisy.record(other, other_encoded, plan.totalWords());
+    }
+
+    EXPECT_EQ(stable.originalCycles(), 10000u);
+    EXPECT_LT(stable.signatureComputationCycles(),
+              noisy.signatureComputationCycles())
+        << "alternating outcomes must pay mispredictions";
+    EXPECT_GT(stable.computationOverhead(), 0.0);
+}
+
+TEST(Perturbation, SortingCyclesAccounted)
+{
+    const TestProgram program = litmus::messagePassing();
+    LoadValueAnalysis analysis(program);
+    PerturbationModel model(program, analysis);
+    EXPECT_EQ(model.sortingOverhead(), 0.0);
+
+    Execution execution;
+    execution.loadValues = {kInitValue, kInitValue};
+    execution.duration = 500;
+    LoadValueAnalysis analysis2(program);
+    InstrumentationPlan plan(program, analysis2);
+    SignatureCodec codec(program, analysis2, plan);
+    model.record(execution, codec.encode(execution), plan.totalWords());
+    model.recordSortComparisons(100);
+    EXPECT_GT(model.signatureSortingCycles(), 0u);
+    EXPECT_GT(model.sortingOverhead(), 0.0);
+}
+
+} // anonymous namespace
+} // namespace mtc

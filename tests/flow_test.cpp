@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Integration tests for the end-to-end validation flow (Figure 1):
+ * generation -> instrumentation -> execution -> signature collection
+ * -> decoding -> collective + conventional checking, plus all the
+ * metric plumbing the benches rely on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/validation_flow.h"
+#include "sim/executor.h"
+#include "testgen/generator.h"
+#include "testgen/litmus.h"
+
+namespace mtc
+{
+namespace
+{
+
+TEST(ValidationFlow, CleanPlatformEndToEnd)
+{
+    const TestProgram program =
+        generateTest(parseConfigName("x86-4-50-64"), 42);
+
+    FlowConfig cfg;
+    cfg.iterations = 512;
+    cfg.exec = bareMetalConfig(Isa::X86);
+    cfg.seed = 7;
+    ValidationFlow flow(cfg);
+    const FlowResult result = flow.runTest(program);
+
+    EXPECT_EQ(result.iterationsRun, 512u);
+    EXPECT_GE(result.uniqueSignatures, 1u);
+    EXPECT_LE(result.uniqueSignatures, 512u);
+    EXPECT_FALSE(result.anyViolation());
+    EXPECT_EQ(result.collective.graphsChecked,
+              result.uniqueSignatures);
+    EXPECT_EQ(result.conventional.graphsChecked,
+              result.uniqueSignatures);
+    EXPECT_TRUE(result.violationWitness.empty());
+
+    // Metric plumbing.
+    EXPECT_GT(result.originalCycles, 0u);
+    EXPECT_GT(result.computeCycles, 0u);
+    EXPECT_GT(result.code.originalBytes, 0u);
+    EXPECT_GT(result.code.ratio(), 1.0);
+    EXPECT_GT(result.intrusive.signatureBytes, 0u);
+    EXPECT_GT(result.collectiveMs, 0.0);
+    EXPECT_GT(result.conventionalMs, 0.0);
+}
+
+TEST(ValidationFlow, UniformPlatformDiversifies)
+{
+    // The uniform SC reference produces many interleavings even for
+    // small iteration counts.
+    const TestProgram program =
+        generateTest(parseConfigName("ARM-4-50-32"), 1);
+    FlowConfig cfg;
+    cfg.iterations = 128;
+    cfg.exec = scReferenceConfig();
+    cfg.exec.exportCoherenceOrder = false;
+    ValidationFlow flow(cfg);
+    const FlowResult result = flow.runTest(program);
+    EXPECT_GT(result.uniqueSignatures, 32u);
+    EXPECT_FALSE(result.anyViolation());
+}
+
+TEST(ValidationFlow, KeepExecutionsReturnsDecodedSet)
+{
+    const TestProgram program =
+        generateTest(parseConfigName("x86-2-100-32"), 2);
+    FlowConfig cfg;
+    cfg.iterations = 256;
+    cfg.exec = bareMetalConfig(Isa::X86);
+    cfg.keepExecutions = true;
+    ValidationFlow flow(cfg);
+    const FlowResult result = flow.runTest(program);
+    EXPECT_EQ(result.executions.size(), result.uniqueSignatures);
+    for (const Execution &execution : result.executions)
+        EXPECT_EQ(execution.loadValues.size(), program.loads().size());
+}
+
+TEST(ValidationFlow, ViolationProducesWitness)
+{
+    const TestProgram program = generateTest(
+        parseConfigName("x86-7-100-32 (16 words/line)"), 3);
+    FlowConfig cfg;
+    cfg.iterations = 96;
+    cfg.exec = bareMetalConfig(Isa::X86);
+    cfg.exec.bug = BugKind::LsqNoSquash;
+    cfg.exec.bugProbability = 0.5;
+    ValidationFlow flow(cfg);
+    const FlowResult result = flow.runTest(program);
+    ASSERT_TRUE(result.anyViolation());
+    EXPECT_FALSE(result.violationWitness.empty());
+}
+
+TEST(ValidationFlow, LitmusProgramsSupported)
+{
+    // The flow works on tiny hand-written programs, not only on
+    // generated ones.
+    FlowConfig cfg;
+    cfg.iterations = 200;
+    cfg.exec = bareMetalConfig(Isa::ARMv7);
+    ValidationFlow flow(cfg);
+    const FlowResult result = flow.runTest(litmus::messagePassing());
+    EXPECT_FALSE(result.anyViolation());
+    EXPECT_GE(result.uniqueSignatures, 1u);
+}
+
+TEST(ValidationFlow, SkippingConventionalSkipsItsCosts)
+{
+    const TestProgram program =
+        generateTest(parseConfigName("x86-2-50-32"), 4);
+    FlowConfig cfg;
+    cfg.iterations = 128;
+    cfg.exec = bareMetalConfig(Isa::X86);
+    cfg.runConventional = false;
+    ValidationFlow flow(cfg);
+    const FlowResult result = flow.runTest(program);
+    EXPECT_EQ(result.conventional.graphsChecked, 0u);
+    EXPECT_EQ(result.conventionalMs, 0.0);
+    EXPECT_GT(result.collective.graphsChecked, 0u);
+}
+
+TEST(ValidationFlow, DeterministicAcrossRuns)
+{
+    const TestProgram program =
+        generateTest(parseConfigName("ARM-2-100-64"), 5);
+    FlowConfig cfg;
+    cfg.iterations = 200;
+    cfg.exec = bareMetalConfig(Isa::ARMv7);
+    cfg.seed = 99;
+    FlowResult a = ValidationFlow(cfg).runTest(program);
+    FlowResult b = ValidationFlow(cfg).runTest(program);
+    EXPECT_EQ(a.uniqueSignatures, b.uniqueSignatures);
+    EXPECT_EQ(a.violatingSignatures, b.violatingSignatures);
+    EXPECT_EQ(a.originalCycles, b.originalCycles);
+}
+
+} // anonymous namespace
+} // namespace mtc

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Unit tests for the constraint-graph container, Kahn topological
+ * sort, and cycle extraction / reporting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/constraint_graph.h"
+#include "graph/cycle_report.h"
+#include "graph/topo_sort.h"
+#include "support/error.h"
+#include "testgen/litmus.h"
+
+namespace mtc
+{
+namespace
+{
+
+TEST(ConstraintGraph, AddAndQueryEdges)
+{
+    ConstraintGraph graph(4);
+    graph.addEdge(0, 1, EdgeKind::ProgramOrder);
+    graph.addEdge(1, 2, EdgeKind::ReadsFrom);
+    graph.addEdge(2, 3, EdgeKind::FromRead);
+
+    EXPECT_EQ(graph.numVertices(), 4u);
+    EXPECT_EQ(graph.numEdges(), 3u);
+    EXPECT_TRUE(graph.hasEdge(0, 1));
+    EXPECT_FALSE(graph.hasEdge(1, 0));
+    EXPECT_EQ(graph.edgeKind(1, 2), EdgeKind::ReadsFrom);
+    EXPECT_THROW(graph.edgeKind(3, 0), ConfigError);
+
+    const auto degrees = graph.inDegrees();
+    EXPECT_EQ(degrees[0], 0u);
+    EXPECT_EQ(degrees[1], 1u);
+}
+
+TEST(ConstraintGraph, DuplicatesCollapsedSelfLoopsRejected)
+{
+    ConstraintGraph graph(3);
+    graph.addEdge(0, 1, EdgeKind::ProgramOrder);
+    graph.addEdge(0, 1, EdgeKind::ReadsFrom); // duplicate pair ignored
+    EXPECT_EQ(graph.numEdges(), 1u);
+    EXPECT_EQ(graph.edgeKind(0, 1), EdgeKind::ProgramOrder);
+
+    EXPECT_THROW(graph.addEdge(1, 1, EdgeKind::ProgramOrder),
+                 ConfigError);
+    EXPECT_THROW(graph.addEdge(0, 5, EdgeKind::ProgramOrder),
+                 ConfigError);
+}
+
+TEST(TopoSort, LinearChain)
+{
+    ConstraintGraph graph(5);
+    for (std::uint32_t v = 0; v + 1 < 5; ++v)
+        graph.addEdge(v, v + 1, EdgeKind::ProgramOrder);
+    const TopoResult result = topologicalSort(graph);
+    EXPECT_TRUE(result.acyclic);
+    EXPECT_EQ(result.order, (std::vector<std::uint32_t>{0, 1, 2, 3, 4}));
+    EXPECT_EQ(result.verticesProcessed, 5u);
+    EXPECT_EQ(result.edgesProcessed, 4u);
+}
+
+TEST(TopoSort, RespectsAllEdges)
+{
+    // Diamond + cross edges.
+    ConstraintGraph graph(6);
+    graph.addEdge(0, 1, EdgeKind::ProgramOrder);
+    graph.addEdge(0, 2, EdgeKind::ProgramOrder);
+    graph.addEdge(1, 3, EdgeKind::ReadsFrom);
+    graph.addEdge(2, 3, EdgeKind::WriteSerialization);
+    graph.addEdge(3, 4, EdgeKind::FromRead);
+    graph.addEdge(2, 5, EdgeKind::ProgramOrder);
+
+    const TopoResult result = topologicalSort(graph);
+    ASSERT_TRUE(result.acyclic);
+    std::vector<std::uint32_t> pos(6);
+    for (std::uint32_t p = 0; p < result.order.size(); ++p)
+        pos[result.order[p]] = p;
+    for (std::uint32_t from = 0; from < 6; ++from)
+        for (std::uint32_t to : graph.successors(from))
+            EXPECT_LT(pos[from], pos[to]);
+}
+
+TEST(TopoSort, DetectsCycle)
+{
+    ConstraintGraph graph(4);
+    graph.addEdge(0, 1, EdgeKind::ProgramOrder);
+    graph.addEdge(1, 2, EdgeKind::ReadsFrom);
+    graph.addEdge(2, 0, EdgeKind::FromRead);
+    graph.addEdge(2, 3, EdgeKind::ProgramOrder);
+
+    const TopoResult result = topologicalSort(graph);
+    EXPECT_FALSE(result.acyclic);
+    EXPECT_LT(result.order.size(), 4u);
+}
+
+TEST(TopoSort, EmptyAndSingleton)
+{
+    EXPECT_TRUE(topologicalSort(ConstraintGraph(0)).acyclic);
+    const TopoResult one = topologicalSort(ConstraintGraph(1));
+    EXPECT_TRUE(one.acyclic);
+    EXPECT_EQ(one.order.size(), 1u);
+}
+
+TEST(FindCycle, ReturnsActualCycle)
+{
+    ConstraintGraph graph(5);
+    graph.addEdge(0, 1, EdgeKind::ProgramOrder);
+    graph.addEdge(1, 2, EdgeKind::ReadsFrom);
+    graph.addEdge(2, 3, EdgeKind::FromRead);
+    graph.addEdge(3, 1, EdgeKind::WriteSerialization); // cycle 1-2-3
+    graph.addEdge(0, 4, EdgeKind::ProgramOrder);
+
+    const auto cycle = findCycle(graph);
+    ASSERT_FALSE(cycle.empty());
+    // Every consecutive pair (and the wrap-around) must be an edge.
+    for (std::size_t i = 0; i < cycle.size(); ++i) {
+        EXPECT_TRUE(
+            graph.hasEdge(cycle[i], cycle[(i + 1) % cycle.size()]));
+    }
+    // The cycle must involve the 1-2-3 loop.
+    EXPECT_NE(std::find(cycle.begin(), cycle.end(), 1u), cycle.end());
+}
+
+TEST(FindCycle, EmptyOnDag)
+{
+    ConstraintGraph graph(3);
+    graph.addEdge(0, 1, EdgeKind::ProgramOrder);
+    graph.addEdge(1, 2, EdgeKind::ProgramOrder);
+    EXPECT_TRUE(findCycle(graph).empty());
+}
+
+TEST(DescribeCycle, RendersKindsAndOps)
+{
+    // Use the LB litmus program so vertices map to real ops:
+    // vertices: t0 ld(0)=0, t0 st(1)=1, t1 ld(1)=2, t1 st(0)=3.
+    const TestProgram program = litmus::loadBuffering();
+    ConstraintGraph graph(program.numOps());
+    graph.addEdge(0, 1, EdgeKind::ProgramOrder);
+    graph.addEdge(1, 2, EdgeKind::ReadsFrom);
+    graph.addEdge(2, 3, EdgeKind::ProgramOrder);
+    graph.addEdge(3, 0, EdgeKind::ReadsFrom);
+
+    const auto cycle = findCycle(graph);
+    ASSERT_EQ(cycle.size(), 4u);
+    const std::string text = describeCycle(program, graph, cycle);
+    EXPECT_NE(text.find("--rf-->"), std::string::npos);
+    EXPECT_NE(text.find("--po-->"), std::string::npos);
+    EXPECT_NE(text.find("[t0 op0] ld loc0"), std::string::npos);
+    EXPECT_EQ(describeCycle(program, graph, {}), "(no cycle)");
+}
+
+TEST(EdgeKindNames, AllNamed)
+{
+    EXPECT_EQ(edgeKindName(EdgeKind::ProgramOrder), "po");
+    EXPECT_EQ(edgeKindName(EdgeKind::ReadsFrom), "rf");
+    EXPECT_EQ(edgeKindName(EdgeKind::FromRead), "fr");
+    EXPECT_EQ(edgeKindName(EdgeKind::WriteSerialization), "ws");
+}
+
+} // anonymous namespace
+} // namespace mtc

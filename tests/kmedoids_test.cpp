@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Tests for the k-medoids limit study machinery: distance matrix
+ * properties and PAM clustering behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/kmedoids.h"
+#include "sim/executor.h"
+#include "support/error.h"
+#include "testgen/generator.h"
+
+namespace mtc
+{
+namespace
+{
+
+std::vector<Execution>
+makeExecutions(const char *config_name, unsigned runs, std::uint64_t seed)
+{
+    const TestProgram program =
+        generateTest(parseConfigName(config_name), seed);
+    OperationalExecutor platform(scReferenceConfig());
+    Rng rng(seed + 1);
+    std::set<std::vector<std::uint32_t>> seen;
+    std::vector<Execution> unique;
+    for (unsigned i = 0; i < runs; ++i) {
+        Execution execution = platform.run(program, rng);
+        if (seen.insert(execution.loadValues).second)
+            unique.push_back(std::move(execution));
+    }
+    return unique;
+}
+
+TEST(DistanceMatrix, SymmetricWithZeroDiagonal)
+{
+    const auto executions = makeExecutions("x86-2-50-16", 100, 3);
+    ASSERT_GE(executions.size(), 3u);
+    DistanceMatrix matrix(executions);
+    EXPECT_EQ(matrix.size(), executions.size());
+    for (std::uint32_t i = 0; i < matrix.size(); ++i) {
+        EXPECT_EQ(matrix.at(i, i), 0u);
+        for (std::uint32_t j = 0; j < matrix.size(); ++j)
+            EXPECT_EQ(matrix.at(i, j), matrix.at(j, i));
+    }
+}
+
+TEST(DistanceMatrix, MatchesRfDistance)
+{
+    const auto executions = makeExecutions("x86-2-50-16", 50, 5);
+    DistanceMatrix matrix(executions);
+    for (std::uint32_t i = 0; i < matrix.size(); ++i)
+        for (std::uint32_t j = 0; j < matrix.size(); ++j)
+            EXPECT_EQ(matrix.at(i, j),
+                      executions[i].rfDistance(executions[j]));
+}
+
+TEST(KMedoids, TotalDistanceNonIncreasingInK)
+{
+    const auto executions = makeExecutions("x86-4-50-16", 200, 7);
+    ASSERT_GE(executions.size(), 30u);
+    DistanceMatrix matrix(executions);
+    Rng rng(1);
+    std::uint64_t last = ~std::uint64_t(0);
+    for (std::uint32_t k : {1u, 2u, 5u, 10u, 30u}) {
+        const KMedoidsResult result = kMedoids(matrix, k, rng);
+        EXPECT_LE(result.totalDistance, last)
+            << "more medoids cannot increase the assignment cost";
+        last = result.totalDistance;
+    }
+}
+
+TEST(KMedoids, KEqualsNGivesZero)
+{
+    const auto executions = makeExecutions("x86-2-50-16", 60, 9);
+    DistanceMatrix matrix(executions);
+    Rng rng(2);
+    const KMedoidsResult result = kMedoids(
+        matrix, static_cast<std::uint32_t>(executions.size()), rng);
+    EXPECT_EQ(result.totalDistance, 0u);
+    EXPECT_EQ(result.medoids.size(), executions.size());
+}
+
+TEST(KMedoids, MedoidsAreDistinctValidIndices)
+{
+    const auto executions = makeExecutions("x86-4-50-16", 150, 11);
+    DistanceMatrix matrix(executions);
+    Rng rng(3);
+    const KMedoidsResult result = kMedoids(matrix, 10, rng);
+    std::set<std::uint32_t> unique(result.medoids.begin(),
+                                   result.medoids.end());
+    EXPECT_EQ(unique.size(), result.medoids.size());
+    for (std::uint32_t m : result.medoids)
+        EXPECT_LT(m, matrix.size());
+    EXPECT_GE(result.iterations, 1u);
+}
+
+TEST(KMedoids, KLargerThanNClamped)
+{
+    const auto executions = makeExecutions("x86-2-50-16", 30, 13);
+    DistanceMatrix matrix(executions);
+    Rng rng(4);
+    const KMedoidsResult result = kMedoids(matrix, 10000, rng);
+    EXPECT_EQ(result.medoids.size(), executions.size());
+    EXPECT_EQ(result.totalDistance, 0u);
+}
+
+TEST(KMedoids, EmptySetThrows)
+{
+    std::vector<Execution> empty;
+    DistanceMatrix matrix(empty);
+    Rng rng(5);
+    EXPECT_THROW(kMedoids(matrix, 1, rng), ConfigError);
+}
+
+TEST(KMedoids, SingletonTrivial)
+{
+    std::vector<Execution> one(1);
+    one[0].loadValues = {1, 2, 3};
+    DistanceMatrix matrix(one);
+    Rng rng(6);
+    const KMedoidsResult result = kMedoids(matrix, 1, rng);
+    EXPECT_EQ(result.medoids, std::vector<std::uint32_t>{0});
+    EXPECT_EQ(result.totalDistance, 0u);
+}
+
+} // anonymous namespace
+} // namespace mtc

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Ground-truth litmus outcome matrix: hand-built executions of the
+ * classic litmus tests checked against each memory model. These pin
+ * the checker's semantics to the architectural folklore: which
+ * outcomes SC, TSO, and RMO each forbid.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/conventional_checker.h"
+#include "graph/graph_builder.h"
+#include "testgen/litmus.h"
+
+namespace mtc
+{
+namespace
+{
+
+/** Does @p model reject the execution with these load values? */
+bool
+rejected(const TestProgram &program,
+         const std::vector<std::uint32_t> &load_values, MemoryModel model)
+{
+    Execution execution;
+    execution.loadValues = load_values;
+    ConventionalChecker checker(program, model);
+    ConventionalStats stats;
+    return checker.checkOne(dynamicEdges(program, execution), stats);
+}
+
+TEST(LitmusOutcomes, StoreBuffering)
+{
+    const TestProgram sb = litmus::storeBuffering();
+    const std::uint32_t x = sb.op(OpId{0, 0}).value;
+    const std::uint32_t y = sb.op(OpId{1, 0}).value;
+    // loads(): [t0 ld y, t1 ld x].
+
+    // Both loads zero: forbidden only under SC.
+    EXPECT_TRUE(rejected(sb, {0, 0}, MemoryModel::SC));
+    EXPECT_FALSE(rejected(sb, {0, 0}, MemoryModel::TSO));
+    EXPECT_FALSE(rejected(sb, {0, 0}, MemoryModel::RMO));
+
+    // All other outcomes allowed everywhere.
+    for (auto values :
+         {std::vector<std::uint32_t>{y, x},
+          std::vector<std::uint32_t>{y, 0},
+          std::vector<std::uint32_t>{0, x}}) {
+        for (MemoryModel m :
+             {MemoryModel::SC, MemoryModel::TSO, MemoryModel::RMO}) {
+            EXPECT_FALSE(rejected(sb, values, m)) << modelName(m);
+        }
+    }
+}
+
+TEST(LitmusOutcomes, StoreBufferingFenced)
+{
+    const TestProgram sb = litmus::storeBufferingFenced();
+    // With full fences, the both-zero outcome is forbidden under
+    // every model.
+    for (MemoryModel m :
+         {MemoryModel::SC, MemoryModel::TSO, MemoryModel::RMO}) {
+        EXPECT_TRUE(rejected(sb, {0, 0}, m)) << modelName(m);
+    }
+}
+
+TEST(LitmusOutcomes, LoadBuffering)
+{
+    const TestProgram lb = litmus::loadBuffering();
+    const std::uint32_t st_y = lb.op(OpId{0, 1}).value;
+    const std::uint32_t st_x = lb.op(OpId{1, 1}).value;
+    // loads(): [t0 ld x, t1 ld y]. Both observing the other thread's
+    // store is the paper's Figure 2 outcome: invalid under TSO.
+    EXPECT_TRUE(rejected(lb, {st_x, st_y}, MemoryModel::SC));
+    EXPECT_TRUE(rejected(lb, {st_x, st_y}, MemoryModel::TSO));
+    EXPECT_FALSE(rejected(lb, {st_x, st_y}, MemoryModel::RMO));
+
+    EXPECT_FALSE(rejected(lb, {0, 0}, MemoryModel::SC));
+    EXPECT_FALSE(rejected(lb, {st_x, 0}, MemoryModel::TSO));
+}
+
+TEST(LitmusOutcomes, MessagePassing)
+{
+    const TestProgram mp = litmus::messagePassing();
+    const std::uint32_t data = mp.op(OpId{0, 0}).value;
+    const std::uint32_t flag = mp.op(OpId{0, 1}).value;
+    // loads(): [t1 ld flag, t1 ld data].
+
+    // Flag set but data stale: forbidden under SC/TSO, allowed RMO.
+    EXPECT_TRUE(rejected(mp, {flag, 0}, MemoryModel::SC));
+    EXPECT_TRUE(rejected(mp, {flag, 0}, MemoryModel::TSO));
+    EXPECT_FALSE(rejected(mp, {flag, 0}, MemoryModel::RMO));
+
+    // The sane outcomes pass everywhere.
+    for (auto values :
+         {std::vector<std::uint32_t>{flag, data},
+          std::vector<std::uint32_t>{0, data},
+          std::vector<std::uint32_t>{0, 0}}) {
+        for (MemoryModel m :
+             {MemoryModel::SC, MemoryModel::TSO, MemoryModel::RMO}) {
+            EXPECT_FALSE(rejected(mp, values, m)) << modelName(m);
+        }
+    }
+}
+
+TEST(LitmusOutcomes, CoRR)
+{
+    const TestProgram corr = litmus::corr();
+    const std::uint32_t v = corr.op(OpId{0, 0}).value;
+    // New value then old value: coherence violation everywhere.
+    for (MemoryModel m :
+         {MemoryModel::SC, MemoryModel::TSO, MemoryModel::RMO}) {
+        EXPECT_TRUE(rejected(corr, {v, 0}, m)) << modelName(m);
+        EXPECT_FALSE(rejected(corr, {0, v}, m)) << modelName(m);
+        EXPECT_FALSE(rejected(corr, {v, v}, m)) << modelName(m);
+        EXPECT_FALSE(rejected(corr, {0, 0}, m)) << modelName(m);
+    }
+}
+
+TEST(LitmusOutcomes, Iriw)
+{
+    const TestProgram iriw = litmus::iriw();
+    const std::uint32_t x = iriw.op(OpId{0, 0}).value;
+    const std::uint32_t y = iriw.op(OpId{1, 0}).value;
+    // loads(): [t2 ld x, t2 ld y, t3 ld y, t3 ld x].
+    // Readers disagreeing on the write order: t2 sees x not y, t3
+    // sees y not x.
+    const std::vector<std::uint32_t> disagree{x, 0, y, 0};
+    EXPECT_TRUE(rejected(iriw, disagree, MemoryModel::SC));
+    EXPECT_TRUE(rejected(iriw, disagree, MemoryModel::TSO));
+    EXPECT_FALSE(rejected(iriw, disagree, MemoryModel::RMO))
+        << "RMO (non-multi-copy-atomic reasoning via ld->ld relaxation)"
+           " admits IRIW";
+
+    // Agreeing observations pass everywhere.
+    const std::vector<std::uint32_t> agree{x, y, y, x};
+    for (MemoryModel m :
+         {MemoryModel::SC, MemoryModel::TSO, MemoryModel::RMO}) {
+        EXPECT_FALSE(rejected(iriw, agree, m));
+    }
+}
+
+TEST(LitmusOutcomes, Wrc)
+{
+    const TestProgram wrc = litmus::wrc();
+    const std::uint32_t x = wrc.op(OpId{0, 0}).value;
+    const std::uint32_t y = wrc.op(OpId{1, 1}).value;
+    // loads(): [t1 ld x, t2 ld y, t2 ld x].
+    // t1 saw x and published y; t2 saw y but not x: causality broken.
+    const std::vector<std::uint32_t> broken{x, y, 0};
+    EXPECT_TRUE(rejected(wrc, broken, MemoryModel::SC));
+    EXPECT_TRUE(rejected(wrc, broken, MemoryModel::TSO));
+    EXPECT_FALSE(rejected(wrc, broken, MemoryModel::RMO));
+
+    const std::vector<std::uint32_t> causal{x, y, x};
+    for (MemoryModel m :
+         {MemoryModel::SC, MemoryModel::TSO, MemoryModel::RMO}) {
+        EXPECT_FALSE(rejected(wrc, causal, m));
+    }
+}
+
+} // anonymous namespace
+} // namespace mtc

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Structural tests of the litmus-test library: thread shapes,
+ * locations, and store values of each classic test.
+ */
+
+#include <gtest/gtest.h>
+
+#include "testgen/litmus.h"
+
+namespace mtc
+{
+namespace
+{
+
+TEST(Litmus, StoreBufferingShape)
+{
+    const TestProgram p = litmus::storeBuffering();
+    ASSERT_EQ(p.numThreads(), 2u);
+    EXPECT_EQ(p.op(OpId{0, 0}).kind, OpKind::Store);
+    EXPECT_EQ(p.op(OpId{0, 1}).kind, OpKind::Load);
+    EXPECT_EQ(p.op(OpId{1, 0}).kind, OpKind::Store);
+    EXPECT_EQ(p.op(OpId{1, 1}).kind, OpKind::Load);
+    // Each thread stores x and loads y (and vice versa).
+    EXPECT_EQ(p.op(OpId{0, 0}).loc, 0u);
+    EXPECT_EQ(p.op(OpId{0, 1}).loc, 1u);
+    EXPECT_EQ(p.op(OpId{1, 0}).loc, 1u);
+    EXPECT_EQ(p.op(OpId{1, 1}).loc, 0u);
+    EXPECT_EQ(p.loads().size(), 2u);
+    EXPECT_EQ(p.stores().size(), 2u);
+}
+
+TEST(Litmus, StoreBufferingFencedHasFences)
+{
+    const TestProgram p = litmus::storeBufferingFenced();
+    EXPECT_EQ(p.op(OpId{0, 1}).kind, OpKind::Fence);
+    EXPECT_EQ(p.op(OpId{1, 1}).kind, OpKind::Fence);
+}
+
+TEST(Litmus, LoadBufferingShape)
+{
+    const TestProgram p = litmus::loadBuffering();
+    EXPECT_EQ(p.op(OpId{0, 0}).kind, OpKind::Load);
+    EXPECT_EQ(p.op(OpId{0, 1}).kind, OpKind::Store);
+    // T0 loads x, stores y; T1 loads y, stores x.
+    EXPECT_EQ(p.op(OpId{0, 0}).loc, 0u);
+    EXPECT_EQ(p.op(OpId{0, 1}).loc, 1u);
+    EXPECT_EQ(p.op(OpId{1, 0}).loc, 1u);
+    EXPECT_EQ(p.op(OpId{1, 1}).loc, 0u);
+}
+
+TEST(Litmus, MessagePassingShape)
+{
+    const TestProgram p = litmus::messagePassing();
+    // T0: st data; st flag.  T1: ld flag; ld data.
+    EXPECT_EQ(p.op(OpId{0, 0}).loc, 0u);
+    EXPECT_EQ(p.op(OpId{0, 1}).loc, 1u);
+    EXPECT_EQ(p.op(OpId{1, 0}).loc, 1u);
+    EXPECT_EQ(p.op(OpId{1, 1}).loc, 0u);
+    EXPECT_EQ(p.op(OpId{1, 0}).kind, OpKind::Load);
+}
+
+TEST(Litmus, CorrSingleLocation)
+{
+    const TestProgram p = litmus::corr();
+    EXPECT_EQ(p.config().numLocations, 1u);
+    EXPECT_EQ(p.storesTo(0).size(), 1u);
+    EXPECT_EQ(p.loadsOfThread(1).size(), 2u);
+}
+
+TEST(Litmus, IriwShape)
+{
+    const TestProgram p = litmus::iriw();
+    ASSERT_EQ(p.numThreads(), 4u);
+    EXPECT_EQ(p.stores().size(), 2u);
+    EXPECT_EQ(p.loads().size(), 4u);
+    // Readers access the two locations in opposite orders.
+    EXPECT_EQ(p.op(OpId{2, 0}).loc, 0u);
+    EXPECT_EQ(p.op(OpId{2, 1}).loc, 1u);
+    EXPECT_EQ(p.op(OpId{3, 0}).loc, 1u);
+    EXPECT_EQ(p.op(OpId{3, 1}).loc, 0u);
+}
+
+TEST(Litmus, WrcShape)
+{
+    const TestProgram p = litmus::wrc();
+    ASSERT_EQ(p.numThreads(), 3u);
+    EXPECT_EQ(p.op(OpId{1, 0}).kind, OpKind::Load);
+    EXPECT_EQ(p.op(OpId{1, 1}).kind, OpKind::Store);
+}
+
+TEST(Litmus, AllProgramsIndexConsistently)
+{
+    for (const TestProgram &p :
+         {litmus::storeBuffering(), litmus::storeBufferingFenced(),
+          litmus::loadBuffering(), litmus::messagePassing(),
+          litmus::corr(), litmus::iriw(), litmus::wrc()}) {
+        for (std::uint32_t g = 0; g < p.numOps(); ++g)
+            EXPECT_EQ(p.globalIndex(p.opIdAt(g)), g);
+        for (OpId store : p.stores())
+            EXPECT_EQ(p.storeForValue(p.op(store).value), store);
+    }
+}
+
+TEST(Litmus, IsaSelectable)
+{
+    EXPECT_EQ(litmus::storeBuffering(Isa::ARMv7).config().isa,
+              Isa::ARMv7);
+    EXPECT_EQ(litmus::iriw(Isa::X86).config().isa, Isa::X86);
+}
+
+} // anonymous namespace
+} // namespace mtc

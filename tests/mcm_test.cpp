@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Unit tests for memory-model definitions: the exact ordering
+ * matrices of SC / TSO / RMO, fence semantics, ISA defaults, and
+ * name parsing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mcm/isa.h"
+#include "mcm/memory_model.h"
+#include "support/error.h"
+
+namespace mtc
+{
+namespace
+{
+
+TEST(MemoryModel, ScOrdersEverything)
+{
+    for (OpKind a : {OpKind::Load, OpKind::Store, OpKind::Fence})
+        for (OpKind b : {OpKind::Load, OpKind::Store, OpKind::Fence})
+            EXPECT_TRUE(programOrderRequired(MemoryModel::SC, a, b));
+}
+
+TEST(MemoryModel, TsoRelaxesOnlyStoreLoad)
+{
+    using enum OpKind;
+    EXPECT_TRUE(programOrderRequired(MemoryModel::TSO, Load, Load));
+    EXPECT_TRUE(programOrderRequired(MemoryModel::TSO, Load, Store));
+    EXPECT_TRUE(programOrderRequired(MemoryModel::TSO, Store, Store));
+    EXPECT_FALSE(programOrderRequired(MemoryModel::TSO, Store, Load));
+}
+
+TEST(MemoryModel, RmoRelaxesAllNonFence)
+{
+    using enum OpKind;
+    EXPECT_FALSE(programOrderRequired(MemoryModel::RMO, Load, Load));
+    EXPECT_FALSE(programOrderRequired(MemoryModel::RMO, Load, Store));
+    EXPECT_FALSE(programOrderRequired(MemoryModel::RMO, Store, Store));
+    EXPECT_FALSE(programOrderRequired(MemoryModel::RMO, Store, Load));
+}
+
+TEST(MemoryModel, FencesOrderInEveryModel)
+{
+    for (MemoryModel m :
+         {MemoryModel::SC, MemoryModel::TSO, MemoryModel::RMO}) {
+        for (OpKind k : {OpKind::Load, OpKind::Store, OpKind::Fence}) {
+            EXPECT_TRUE(programOrderRequired(m, OpKind::Fence, k));
+            EXPECT_TRUE(programOrderRequired(m, k, OpKind::Fence));
+        }
+    }
+}
+
+TEST(MemoryModel, SameAddressCoherenceRules)
+{
+    using enum OpKind;
+    for (MemoryModel m :
+         {MemoryModel::SC, MemoryModel::TSO, MemoryModel::RMO}) {
+        EXPECT_TRUE(sameAddressOrderRequired(m, Store, Store))
+            << modelName(m);
+        EXPECT_TRUE(sameAddressOrderRequired(m, Load, Store))
+            << modelName(m);
+        EXPECT_TRUE(sameAddressOrderRequired(m, Load, Load))
+            << modelName(m);
+    }
+    // st->ld same-address is deliberately excluded (store forwarding,
+    // paper footnote 4) in the relaxed models; SC keeps it through the
+    // plain program-order matrix.
+    EXPECT_FALSE(
+        sameAddressOrderRequired(MemoryModel::TSO, Store, Load));
+    EXPECT_FALSE(
+        sameAddressOrderRequired(MemoryModel::RMO, Store, Load));
+    EXPECT_TRUE(sameAddressOrderRequired(MemoryModel::SC, Store, Load));
+}
+
+TEST(MemoryModel, SameAddressImpliesProgramOrderSuperset)
+{
+    // Everything required across addresses must also hold at the same
+    // address.
+    using enum OpKind;
+    for (MemoryModel m :
+         {MemoryModel::SC, MemoryModel::TSO, MemoryModel::RMO}) {
+        for (OpKind a : {Load, Store}) {
+            for (OpKind b : {Load, Store}) {
+                if (programOrderRequired(m, a, b)) {
+                    EXPECT_TRUE(sameAddressOrderRequired(m, a, b));
+                }
+            }
+        }
+    }
+}
+
+TEST(MemoryModel, WeaknessOrder)
+{
+    EXPECT_TRUE(atLeastAsWeak(MemoryModel::RMO, MemoryModel::TSO));
+    EXPECT_TRUE(atLeastAsWeak(MemoryModel::RMO, MemoryModel::SC));
+    EXPECT_TRUE(atLeastAsWeak(MemoryModel::TSO, MemoryModel::SC));
+    EXPECT_TRUE(atLeastAsWeak(MemoryModel::TSO, MemoryModel::TSO));
+    EXPECT_FALSE(atLeastAsWeak(MemoryModel::SC, MemoryModel::TSO));
+    EXPECT_FALSE(atLeastAsWeak(MemoryModel::TSO, MemoryModel::RMO));
+}
+
+TEST(MemoryModel, NamesRoundTrip)
+{
+    for (MemoryModel m :
+         {MemoryModel::SC, MemoryModel::TSO, MemoryModel::RMO}) {
+        EXPECT_EQ(parseModel(modelName(m)), m);
+    }
+    EXPECT_EQ(parseModel("weak"), MemoryModel::RMO);
+    EXPECT_EQ(parseModel("tso"), MemoryModel::TSO);
+    EXPECT_THROW(parseModel("pso"), ConfigError);
+}
+
+TEST(Isa, DefaultsMatchPaperTable1)
+{
+    EXPECT_EQ(defaultModel(Isa::X86), MemoryModel::TSO);
+    EXPECT_EQ(defaultModel(Isa::ARMv7), MemoryModel::RMO);
+    EXPECT_EQ(registerBits(Isa::X86), 64u);
+    EXPECT_EQ(registerBits(Isa::ARMv7), 32u);
+}
+
+TEST(Isa, NamesRoundTrip)
+{
+    EXPECT_EQ(parseIsa("x86"), Isa::X86);
+    EXPECT_EQ(parseIsa("X86-64"), Isa::X86);
+    EXPECT_EQ(parseIsa("ARM"), Isa::ARMv7);
+    EXPECT_EQ(parseIsa("armv7"), Isa::ARMv7);
+    EXPECT_THROW(parseIsa("riscv"), ConfigError);
+    EXPECT_EQ(isaName(Isa::X86), "x86");
+    EXPECT_EQ(isaName(Isa::ARMv7), "ARM");
+}
+
+TEST(OpKindNames, Mnemonics)
+{
+    EXPECT_EQ(opKindName(OpKind::Load), "ld");
+    EXPECT_EQ(opKindName(OpKind::Store), "st");
+    EXPECT_EQ(opKindName(OpKind::Fence), "fence");
+}
+
+} // anonymous namespace
+} // namespace mtc

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Property tests for program-order edge construction: the sparse edge
+ * set must have exactly the same transitive closure as the dense
+ * all-required-pairs reference, for every model, with and without
+ * fences. Also pins down requiredOrder() semantics on concrete ops.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "graph/po_edges.h"
+#include "testgen/generator.h"
+
+namespace mtc
+{
+namespace
+{
+
+/** Reachability matrix (bool, V x V) from an edge list. */
+std::vector<std::vector<bool>>
+closure(std::uint32_t n, const std::vector<Edge> &edges)
+{
+    std::vector<std::vector<std::uint32_t>> adj(n);
+    for (const Edge &e : edges)
+        adj[e.from].push_back(e.to);
+
+    std::vector<std::vector<bool>> reach(n, std::vector<bool>(n, false));
+    for (std::uint32_t src = 0; src < n; ++src) {
+        std::vector<std::uint32_t> stack{src};
+        while (!stack.empty()) {
+            const std::uint32_t v = stack.back();
+            stack.pop_back();
+            for (std::uint32_t to : adj[v]) {
+                if (!reach[src][to]) {
+                    reach[src][to] = true;
+                    stack.push_back(to);
+                }
+            }
+        }
+    }
+    return reach;
+}
+
+using Param = std::tuple<MemoryModel, unsigned /*fencePercent*/,
+                         std::uint64_t /*seed*/>;
+
+class PoEdgesClosure : public ::testing::TestWithParam<Param>
+{
+};
+
+TEST_P(PoEdgesClosure, SparseClosureEqualsDenseClosure)
+{
+    const auto [model, fence_percent, seed] = GetParam();
+
+    TestConfig cfg;
+    cfg.isa = Isa::ARMv7;
+    cfg.numThreads = 3;
+    cfg.opsPerThread = 40;
+    cfg.numLocations = 8; // few locations => many same-address pairs
+    cfg.fencePercent = fence_percent;
+    const TestProgram program = generateTest(cfg, seed);
+
+    const auto sparse = programOrderEdges(program, model);
+    const auto dense = programOrderEdgesDense(program, model);
+    EXPECT_LE(sparse.size(), dense.size());
+
+    const auto sparse_reach = closure(program.numOps(), sparse);
+    const auto dense_reach = closure(program.numOps(), dense);
+    for (std::uint32_t i = 0; i < program.numOps(); ++i) {
+        for (std::uint32_t j = 0; j < program.numOps(); ++j) {
+            EXPECT_EQ(sparse_reach[i][j], dense_reach[i][j])
+                << "model " << modelName(model) << " vertices " << i
+                << " -> " << j;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, PoEdgesClosure,
+    ::testing::Combine(
+        ::testing::Values(MemoryModel::SC, MemoryModel::TSO,
+                          MemoryModel::RMO),
+        ::testing::Values(0u, 10u, 30u),
+        ::testing::Values(1ull, 2ull, 3ull)),
+    [](const ::testing::TestParamInfo<Param> &info) {
+        return modelName(std::get<0>(info.param)) + "_fence" +
+            std::to_string(std::get<1>(info.param)) + "_seed" +
+            std::to_string(std::get<2>(info.param));
+    });
+
+TEST(RequiredOrder, ConcretePairs)
+{
+    MemOp ld_a{OpKind::Load, 0, 0};
+    MemOp ld_b{OpKind::Load, 1, 0};
+    MemOp st_a{OpKind::Store, 0, 42};
+    MemOp st_b{OpKind::Store, 1, 43};
+    MemOp fence{OpKind::Fence, 0, 0};
+
+    // TSO: store->load relaxed across addresses and (forwarding) at
+    // the same address.
+    EXPECT_FALSE(requiredOrder(MemoryModel::TSO, st_a, ld_b));
+    EXPECT_FALSE(requiredOrder(MemoryModel::TSO, st_a, ld_a));
+    EXPECT_TRUE(requiredOrder(MemoryModel::TSO, ld_a, st_b));
+    EXPECT_TRUE(requiredOrder(MemoryModel::TSO, st_a, st_b));
+
+    // RMO: cross-address free, same-address coherence retained.
+    EXPECT_FALSE(requiredOrder(MemoryModel::RMO, ld_a, ld_b));
+    EXPECT_TRUE(requiredOrder(MemoryModel::RMO, ld_a, ld_a));
+    EXPECT_TRUE(requiredOrder(MemoryModel::RMO, st_a, st_a));
+    EXPECT_TRUE(requiredOrder(MemoryModel::RMO, ld_a, st_a));
+
+    // Fences order in every model.
+    for (MemoryModel m :
+         {MemoryModel::SC, MemoryModel::TSO, MemoryModel::RMO}) {
+        EXPECT_TRUE(requiredOrder(m, fence, ld_a));
+        EXPECT_TRUE(requiredOrder(m, st_a, fence));
+    }
+}
+
+TEST(PoEdges, ScChainIsLinear)
+{
+    // Under SC the sparse builder should produce roughly a chain: each
+    // op orders before the next, so |edges| is close to ops-1 per
+    // thread (same-address categories may add a few extra).
+    TestConfig cfg;
+    cfg.numThreads = 2;
+    cfg.opsPerThread = 30;
+    cfg.numLocations = 16;
+    const TestProgram program = generateTest(cfg, 4);
+    const auto edges = programOrderEdges(program, MemoryModel::SC);
+    const auto dense = programOrderEdgesDense(program, MemoryModel::SC);
+    EXPECT_LT(edges.size(), dense.size() / 4)
+        << "sparse builder should be far smaller than dense";
+}
+
+TEST(PoEdges, EdgesStayWithinThread)
+{
+    const TestProgram program =
+        generateTest(parseConfigName("ARM-4-50-64"), 5);
+    for (MemoryModel m :
+         {MemoryModel::SC, MemoryModel::TSO, MemoryModel::RMO}) {
+        for (const Edge &e : programOrderEdges(program, m)) {
+            EXPECT_EQ(program.opIdAt(e.from).tid,
+                      program.opIdAt(e.to).tid);
+            EXPECT_LT(program.opIdAt(e.from).idx,
+                      program.opIdAt(e.to).idx);
+            EXPECT_EQ(e.kind, EdgeKind::ProgramOrder);
+        }
+    }
+}
+
+TEST(PoEdges, RmoEdgeCountSmall)
+{
+    // RMO orders only same-address pairs (no fences): edge count must
+    // be far below the SC chain for a many-location test.
+    TestConfig cfg = parseConfigName("ARM-2-100-64");
+    const TestProgram program = generateTest(cfg, 6);
+    const auto rmo = programOrderEdges(program, MemoryModel::RMO);
+    const auto sc = programOrderEdges(program, MemoryModel::SC);
+    EXPECT_LT(rmo.size(), sc.size());
+}
+
+} // anonymous namespace
+} // namespace mtc

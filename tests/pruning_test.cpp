@@ -1,0 +1,81 @@
+/**
+ * @file
+ * End-to-end tests of the static-pruning extension (paper Section 8):
+ * bounding candidate sets shrinks signatures and instrumented code,
+ * and a sufficiently conservative prune window never trips the
+ * runtime assertion on the bug-free platform. Aggressive pruning, by
+ * design, may assert — the paper's trade-off between instrumentation
+ * footprint and coverage.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/validation_flow.h"
+#include "sim/executor.h"
+#include "testgen/generator.h"
+
+namespace mtc
+{
+namespace
+{
+
+TEST(StaticPruning, ShrinksSignatureAndCode)
+{
+    TestConfig tc = parseConfigName("ARM-7-200-32");
+    const TestProgram program = generateTest(tc, 5);
+
+    LoadValueAnalysis full(program);
+    AnalysisOptions opt;
+    opt.pruneWindow = 2;
+    LoadValueAnalysis pruned(program, opt);
+
+    InstrumentationPlan full_plan(program, full);
+    InstrumentationPlan pruned_plan(program, pruned);
+    EXPECT_LE(pruned_plan.signatureBytes(), full_plan.signatureBytes());
+
+    const CodeSizeReport full_code = codeSize(program, full, full_plan);
+    const CodeSizeReport pruned_code =
+        codeSize(program, pruned, pruned_plan);
+    EXPECT_LT(pruned_code.instrumentedBytes,
+              full_code.instrumentedBytes);
+}
+
+TEST(StaticPruning, ConservativeWindowStaysAssertionFree)
+{
+    // With a prune window at the platform's reorder depth, every value
+    // the platform can actually produce stays in the candidate sets.
+    TestConfig tc = parseConfigName("x86-4-100-16");
+    const TestProgram program = generateTest(tc, 6);
+
+    FlowConfig cfg;
+    cfg.iterations = 256;
+    cfg.exec = bareMetalConfig(Isa::X86);
+    cfg.analysis.pruneWindow = 16;
+    ValidationFlow flow(cfg);
+    const FlowResult result = flow.runTest(program);
+    EXPECT_EQ(result.assertionFailures, 0u);
+    EXPECT_FALSE(result.anyViolation());
+}
+
+TEST(StaticPruning, FlowStillChecksCorrectly)
+{
+    // Pruned instrumentation must still detect injected bugs.
+    TestConfig tc = parseConfigName("x86-7-100-32 (16 words/line)");
+    const TestProgram program = generateTest(tc, 7);
+
+    FlowConfig cfg;
+    cfg.iterations = 128;
+    cfg.exec = bareMetalConfig(Isa::X86);
+    cfg.exec.bug = BugKind::LsqNoSquash;
+    cfg.exec.bugProbability = 0.5;
+    cfg.analysis.pruneWindow = 8;
+    ValidationFlow flow(cfg);
+    const FlowResult result = flow.runTest(program);
+    // A stale load now either decodes to a cyclic graph or falls
+    // outside the pruned candidate set and trips the assertion; both
+    // count as detection.
+    EXPECT_TRUE(result.anyViolation());
+}
+
+} // anonymous namespace
+} // namespace mtc

@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Unit tests for the support library: RNG, statistics accumulators,
+ * timers, and table/CSV rendering.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "support/error.h"
+#include "support/rng.h"
+#include "support/stats.h"
+#include "support/table.h"
+#include "support/timer.h"
+
+namespace mtc
+{
+namespace
+{
+
+TEST(Rng, DeterministicFromSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 64; ++i)
+        equal += a() == b();
+    EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, NextBelowRespectsBound)
+{
+    Rng rng(7);
+    for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.nextBelow(bound), bound);
+    }
+}
+
+TEST(Rng, NextBelowCoversRange)
+{
+    Rng rng(3);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 500; ++i)
+        seen.insert(rng.nextBelow(7));
+    EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, NextBelowZeroThrows)
+{
+    Rng rng(1);
+    EXPECT_THROW(rng.nextBelow(0), ConfigError);
+}
+
+TEST(Rng, NextInRangeInclusive)
+{
+    Rng rng(11);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 1000; ++i) {
+        const std::uint64_t v = rng.nextInRange(5, 8);
+        EXPECT_GE(v, 5u);
+        EXPECT_LE(v, 8u);
+        saw_lo |= v == 5;
+        saw_hi |= v == 8;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+    EXPECT_THROW(rng.nextInRange(9, 5), ConfigError);
+}
+
+TEST(Rng, NextDoubleInUnitInterval)
+{
+    Rng rng(5);
+    for (int i = 0; i < 1000; ++i) {
+        const double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, BernoulliRoughlyCalibrated)
+{
+    Rng rng(13);
+    int hits = 0;
+    const int trials = 20000;
+    for (int i = 0; i < trials; ++i)
+        hits += rng.nextBool(0.25);
+    EXPECT_NEAR(hits / static_cast<double>(trials), 0.25, 0.02);
+}
+
+TEST(Rng, PickAndShuffle)
+{
+    Rng rng(17);
+    std::vector<int> items{1, 2, 3, 4, 5};
+    for (int i = 0; i < 50; ++i) {
+        const int &picked = rng.pick(items);
+        EXPECT_GE(picked, 1);
+        EXPECT_LE(picked, 5);
+    }
+    std::vector<int> shuffled = items;
+    rng.shuffle(shuffled);
+    std::multiset<int> a(items.begin(), items.end());
+    std::multiset<int> b(shuffled.begin(), shuffled.end());
+    EXPECT_EQ(a, b);
+
+    std::vector<int> empty;
+    EXPECT_THROW(rng.pick(empty), ConfigError);
+}
+
+TEST(Rng, SplitDecorrelates)
+{
+    Rng parent(21);
+    Rng child = parent.split();
+    int equal = 0;
+    for (int i = 0; i < 64; ++i)
+        equal += parent() == child();
+    EXPECT_LT(equal, 4);
+}
+
+TEST(RunningStat, MeanVarianceMinMax)
+{
+    RunningStat stat;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        stat.add(x);
+    EXPECT_EQ(stat.count(), 8u);
+    EXPECT_DOUBLE_EQ(stat.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(stat.variance(), 4.0);
+    EXPECT_DOUBLE_EQ(stat.stddev(), 2.0);
+    EXPECT_DOUBLE_EQ(stat.minimum(), 2.0);
+    EXPECT_DOUBLE_EQ(stat.maximum(), 9.0);
+    EXPECT_DOUBLE_EQ(stat.sum(), 40.0);
+}
+
+TEST(RunningStat, EmptyIsZero)
+{
+    RunningStat stat;
+    EXPECT_EQ(stat.count(), 0u);
+    EXPECT_EQ(stat.mean(), 0.0);
+    EXPECT_EQ(stat.variance(), 0.0);
+    EXPECT_EQ(stat.minimum(), 0.0);
+    EXPECT_EQ(stat.maximum(), 0.0);
+}
+
+TEST(RunningStat, MergeMatchesSequential)
+{
+    RunningStat all, left, right;
+    Rng rng(3);
+    for (int i = 0; i < 1000; ++i) {
+        const double x = rng.nextDouble() * 100.0;
+        all.add(x);
+        (i < 400 ? left : right).add(x);
+    }
+    left.merge(right);
+    EXPECT_EQ(left.count(), all.count());
+    EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(left.variance(), all.variance(), 1e-6);
+    EXPECT_DOUBLE_EQ(left.minimum(), all.minimum());
+    EXPECT_DOUBLE_EQ(left.maximum(), all.maximum());
+}
+
+TEST(RunningStat, MergeWithEmpty)
+{
+    RunningStat a, empty;
+    a.add(1.0);
+    a.add(3.0);
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 2u);
+    empty.merge(a);
+    EXPECT_EQ(empty.count(), 2u);
+    EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(Histogram, BucketsAndOverflow)
+{
+    Histogram hist(10, 4); // buckets [0,10) [10,20) [20,30) [30,40)
+    for (std::uint64_t x : {0ull, 5ull, 9ull, 10ull, 25ull, 39ull, 40ull,
+                            1000ull}) {
+        hist.add(x);
+    }
+    EXPECT_EQ(hist.count(), 8u);
+    EXPECT_EQ(hist.bucketCount(0), 3u);
+    EXPECT_EQ(hist.bucketCount(1), 1u);
+    EXPECT_EQ(hist.bucketCount(2), 1u);
+    EXPECT_EQ(hist.bucketCount(3), 1u);
+    EXPECT_EQ(hist.overflowCount(), 2u);
+    EXPECT_THROW(hist.bucketCount(4), ConfigError);
+    EXPECT_NE(hist.render().find("0-9: 3"), std::string::npos);
+}
+
+TEST(Histogram, InvalidConstruction)
+{
+    EXPECT_THROW(Histogram(0, 4), ConfigError);
+    EXPECT_THROW(Histogram(4, 0), ConfigError);
+}
+
+TEST(GeometricMean, Basics)
+{
+    EXPECT_DOUBLE_EQ(geometricMean({4.0, 1.0}), 2.0);
+    EXPECT_NEAR(geometricMean({1.0, 10.0, 100.0}), 10.0, 1e-9);
+    EXPECT_THROW(geometricMean({}), ConfigError);
+    EXPECT_THROW(geometricMean({1.0, 0.0}), ConfigError);
+}
+
+TEST(TablePrinter, AlignmentAndCsv)
+{
+    TablePrinter table({"name", "value"});
+    table.addRow({"a", "1"});
+    table.addRow({"long-name", "22"});
+    EXPECT_EQ(table.numRows(), 2u);
+
+    std::ostringstream os;
+    table.print(os);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("name"), std::string::npos);
+    EXPECT_NE(text.find("long-name"), std::string::npos);
+
+    const std::string csv = table.toCsv();
+    EXPECT_EQ(csv, "name,value\na,1\nlong-name,22\n");
+
+    EXPECT_THROW(table.addRow({"only-one-cell"}), ConfigError);
+    EXPECT_THROW(TablePrinter({}), ConfigError);
+}
+
+TEST(TablePrinter, Formatting)
+{
+    EXPECT_EQ(TablePrinter::fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(TablePrinter::fmt(std::uint64_t(42)), "42");
+    EXPECT_EQ(TablePrinter::pct(0.935, 1), "93.5%");
+}
+
+TEST(TablePrinter, CsvQuotesCommas)
+{
+    TablePrinter table({"a"});
+    table.addRow({"x,y"});
+    EXPECT_EQ(table.toCsv(), "a\n\"x,y\"\n");
+}
+
+TEST(WallTimer, AccumulatesAndResets)
+{
+    WallTimer timer;
+    timer.start();
+    // Burn a little time.
+    volatile double sink = 0.0;
+    for (int i = 0; i < 100000; ++i)
+        sink = sink + std::sqrt(static_cast<double>(i));
+    timer.stop();
+    const double first = timer.seconds();
+    EXPECT_GT(first, 0.0);
+
+    {
+        ScopedTimer scope(timer);
+        for (int i = 0; i < 100000; ++i)
+            sink = sink + std::sqrt(static_cast<double>(i));
+    }
+    EXPECT_GT(timer.seconds(), first);
+    EXPECT_GT(timer.milliseconds(), 0.0);
+
+    timer.reset();
+    EXPECT_EQ(timer.seconds(), 0.0);
+}
+
+} // anonymous namespace
+} // namespace mtc

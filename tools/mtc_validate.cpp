@@ -1,0 +1,243 @@
+/**
+ * @file
+ * mtc_validate — command-line MCM validation campaigns.
+ *
+ * Runs the full MTraceCheck flow (generate -> instrument -> execute ->
+ * collect signatures -> collectively check) on a simulated platform
+ * and reports per-test results plus campaign totals.
+ *
+ * Usage:
+ *   mtc_validate [options]
+ *     --config NAME     test configuration, e.g. x86-4-50-64 or
+ *                       "x86-7-200-32 (16 words/line)"  [x86-4-50-64]
+ *     --tests N         tests in the campaign                 [10]
+ *     --iterations N    runs per test                         [2048]
+ *     --seed N          campaign seed                         [2017]
+ *     --platform KIND   timed | uniform | mesi | linux        [timed]
+ *     --model M         override checked model: sc|tso|rmo
+ *     --bug KIND        none | upgrade | lsq | putx           [none]
+ *     --bug-prob P      bug firing probability                [0.1]
+ *     --cache-lines N   per-core L1 capacity (0 = unbounded)  [0]
+ *     --verbose         per-test detail rows
+ *     --help
+ *
+ * Exit status: 0 if no violation was found, 2 if any test exposed a
+ * violation (so the tool scripts cleanly into regression farms).
+ */
+
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "harness/validation_flow.h"
+#include "sim/coherent_executor.h"
+#include "sim/executor.h"
+#include "support/table.h"
+#include "testgen/generator.h"
+
+using namespace mtc;
+
+namespace
+{
+
+struct Options
+{
+    std::string config = "x86-4-50-64";
+    unsigned tests = 10;
+    std::uint64_t iterations = 2048;
+    std::uint64_t seed = 2017;
+    std::string platform = "timed";
+    std::optional<MemoryModel> model;
+    std::string bug = "none";
+    double bugProb = 0.1;
+    std::uint32_t cacheLines = 0;
+    bool verbose = false;
+};
+
+void
+usage()
+{
+    std::cout <<
+        "mtc_validate: MTraceCheck validation campaign runner\n"
+        "  --config NAME     test configuration [x86-4-50-64]\n"
+        "  --tests N         tests in the campaign [10]\n"
+        "  --iterations N    runs per test [2048]\n"
+        "  --seed N          campaign seed [2017]\n"
+        "  --platform KIND   timed | uniform | mesi | linux [timed]\n"
+        "  --model M         override checked model: sc|tso|rmo\n"
+        "  --bug KIND        none | upgrade | lsq | putx [none]\n"
+        "  --bug-prob P      bug firing probability [0.1]\n"
+        "  --cache-lines N   per-core L1 capacity, 0=unbounded [0]\n"
+        "  --verbose         per-test detail rows\n";
+}
+
+BugKind
+parseBug(const std::string &text)
+{
+    if (text == "none")
+        return BugKind::None;
+    if (text == "upgrade")
+        return BugKind::StaleLoadOnUpgrade;
+    if (text == "lsq")
+        return BugKind::LsqNoSquash;
+    if (text == "putx")
+        return BugKind::PutxGetxRace;
+    throw ConfigError("unknown bug kind: " + text);
+}
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (++i >= argc)
+                throw ConfigError("missing value after " + arg);
+            return argv[i];
+        };
+        if (arg == "--config")
+            opt.config = next();
+        else if (arg == "--tests")
+            opt.tests = static_cast<unsigned>(std::stoul(next()));
+        else if (arg == "--iterations")
+            opt.iterations = std::stoull(next());
+        else if (arg == "--seed")
+            opt.seed = std::stoull(next());
+        else if (arg == "--platform")
+            opt.platform = next();
+        else if (arg == "--model")
+            opt.model = parseModel(next());
+        else if (arg == "--bug")
+            opt.bug = next();
+        else if (arg == "--bug-prob")
+            opt.bugProb = std::stod(next());
+        else if (arg == "--cache-lines")
+            opt.cacheLines =
+                static_cast<std::uint32_t>(std::stoul(next()));
+        else if (arg == "--verbose")
+            opt.verbose = true;
+        else if (arg == "--help" || arg == "-h") {
+            usage();
+            std::exit(0);
+        } else {
+            throw ConfigError("unknown option: " + arg);
+        }
+    }
+    return opt;
+}
+
+FlowConfig
+makeFlow(const Options &opt, const TestConfig &cfg)
+{
+    FlowConfig flow;
+    flow.iterations = opt.iterations;
+    flow.runConventional = false;
+
+    const BugKind bug = parseBug(opt.bug);
+    if (opt.platform == "mesi") {
+        CoherentConfig coh = gem5LikeConfig();
+        if (opt.model)
+            coh.model = *opt.model;
+        else
+            coh.model = defaultModel(cfg.isa);
+        coh.bug = bug;
+        coh.bugProbability = opt.bugProb;
+        coh.cacheLines = opt.cacheLines;
+        flow.coherent = coh;
+        return flow;
+    }
+
+    if (opt.platform == "uniform") {
+        flow.exec.policy = SchedulingPolicy::UniformRandom;
+        flow.exec.model = opt.model ? *opt.model : defaultModel(cfg.isa);
+        flow.exec.reorderWindow =
+            flow.exec.model == MemoryModel::SC ? 1 : 8;
+    } else if (opt.platform == "linux") {
+        flow.exec = osConfig(cfg.isa);
+        if (opt.model)
+            flow.exec.model = *opt.model;
+    } else if (opt.platform == "timed") {
+        flow.exec = bareMetalConfig(cfg.isa);
+        if (opt.model)
+            flow.exec.model = *opt.model;
+    } else {
+        throw ConfigError("unknown platform: " + opt.platform);
+    }
+    flow.exec.bug = bug;
+    flow.exec.bugProbability = opt.bugProb;
+    flow.exec.timing.cacheLines = opt.cacheLines;
+    return flow;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        const Options opt = parseArgs(argc, argv);
+        const TestConfig cfg = parseConfigName(opt.config);
+
+        std::cout << "MTraceCheck campaign: " << cfg.name() << " on "
+                  << opt.platform << " platform, " << opt.tests
+                  << " tests x " << opt.iterations << " iterations\n";
+
+        FlowConfig flow_cfg = makeFlow(opt, cfg);
+        const MemoryModel model = flow_cfg.coherent
+            ? flow_cfg.coherent->model
+            : flow_cfg.exec.model;
+        std::cout << "checked model: " << modelName(model) << "\n\n";
+
+        TablePrinter table({"test", "unique sigs", "bad sigs",
+                            "assertions", "crash", "check (ms)"});
+
+        Rng seeder(opt.seed);
+        std::uint64_t total_unique = 0, total_bad = 0, total_assert = 0;
+        unsigned crashes = 0, flagged = 0;
+        std::string witness;
+
+        for (unsigned t = 0; t < opt.tests; ++t) {
+            const TestProgram program = generateTest(cfg, seeder());
+            flow_cfg.seed = seeder();
+            ValidationFlow flow(flow_cfg);
+            const FlowResult r = flow.runTest(program);
+
+            total_unique += r.uniqueSignatures;
+            total_bad += r.violatingSignatures;
+            total_assert += r.assertionFailures;
+            crashes += r.platformCrashes ? 1 : 0;
+            flagged += r.anyViolation() ? 1 : 0;
+            if (witness.empty() && !r.violationWitness.empty())
+                witness = r.violationWitness;
+
+            if (opt.verbose) {
+                table.addRow({std::to_string(t),
+                              TablePrinter::fmt(r.uniqueSignatures),
+                              TablePrinter::fmt(r.violatingSignatures),
+                              TablePrinter::fmt(r.assertionFailures),
+                              r.platformCrashes ? "yes" : "no",
+                              TablePrinter::fmt(r.collectiveMs, 3)});
+            }
+        }
+
+        if (opt.verbose)
+            table.print(std::cout);
+
+        std::cout << "\ncampaign summary: " << flagged << "/"
+                  << opt.tests << " tests flagged, " << total_bad
+                  << " invalid signatures, " << total_assert
+                  << " runtime assertions, " << crashes
+                  << " platform crashes, " << total_unique
+                  << " unique interleavings total\n";
+
+        if (!witness.empty())
+            std::cout << "\nfirst violation witness:\n" << witness;
+
+        return flagged ? 2 : 0;
+    } catch (const Error &err) {
+        std::cerr << "mtc_validate: " << err.what() << "\n";
+        return 1;
+    }
+}
