@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_kmedoids.dir/fig06_kmedoids.cpp.o"
+  "CMakeFiles/fig06_kmedoids.dir/fig06_kmedoids.cpp.o.d"
+  "fig06_kmedoids"
+  "fig06_kmedoids.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_kmedoids.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_interleavings.dir/fig08_interleavings.cpp.o"
+  "CMakeFiles/fig08_interleavings.dir/fig08_interleavings.cpp.o.d"
+  "fig08_interleavings"
+  "fig08_interleavings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_interleavings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_intrusiveness.dir/fig11_intrusiveness.cpp.o"
+  "CMakeFiles/fig11_intrusiveness.dir/fig11_intrusiveness.cpp.o.d"
+  "fig11_intrusiveness"
+  "fig11_intrusiveness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_intrusiveness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

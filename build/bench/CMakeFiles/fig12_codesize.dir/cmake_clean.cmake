@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_codesize.dir/fig12_codesize.cpp.o"
+  "CMakeFiles/fig12_codesize.dir/fig12_codesize.cpp.o.d"
+  "fig12_codesize"
+  "fig12_codesize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_codesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

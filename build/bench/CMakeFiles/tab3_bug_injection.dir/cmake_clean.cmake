@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab3_bug_injection.dir/tab3_bug_injection.cpp.o"
+  "CMakeFiles/tab3_bug_injection.dir/tab3_bug_injection.cpp.o.d"
+  "tab3_bug_injection"
+  "tab3_bug_injection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab3_bug_injection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

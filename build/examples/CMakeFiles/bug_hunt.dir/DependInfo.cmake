@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/bug_hunt.cpp" "examples/CMakeFiles/bug_hunt.dir/bug_hunt.cpp.o" "gcc" "examples/CMakeFiles/bug_hunt.dir/bug_hunt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/mtc_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mtc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mtc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mtc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/testgen/CMakeFiles/mtc_testgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/mcm/CMakeFiles/mtc_mcm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mtc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

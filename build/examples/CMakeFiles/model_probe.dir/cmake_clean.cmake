@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_probe.dir/model_probe.cpp.o"
+  "CMakeFiles/model_probe.dir/model_probe.cpp.o.d"
+  "model_probe"
+  "model_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

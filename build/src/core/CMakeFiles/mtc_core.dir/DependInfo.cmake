@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/codesize.cc" "src/core/CMakeFiles/mtc_core.dir/codesize.cc.o" "gcc" "src/core/CMakeFiles/mtc_core.dir/codesize.cc.o.d"
+  "/root/repo/src/core/collective_checker.cc" "src/core/CMakeFiles/mtc_core.dir/collective_checker.cc.o" "gcc" "src/core/CMakeFiles/mtc_core.dir/collective_checker.cc.o.d"
+  "/root/repo/src/core/conventional_checker.cc" "src/core/CMakeFiles/mtc_core.dir/conventional_checker.cc.o" "gcc" "src/core/CMakeFiles/mtc_core.dir/conventional_checker.cc.o.d"
+  "/root/repo/src/core/instr_plan.cc" "src/core/CMakeFiles/mtc_core.dir/instr_plan.cc.o" "gcc" "src/core/CMakeFiles/mtc_core.dir/instr_plan.cc.o.d"
+  "/root/repo/src/core/kmedoids.cc" "src/core/CMakeFiles/mtc_core.dir/kmedoids.cc.o" "gcc" "src/core/CMakeFiles/mtc_core.dir/kmedoids.cc.o.d"
+  "/root/repo/src/core/load_analysis.cc" "src/core/CMakeFiles/mtc_core.dir/load_analysis.cc.o" "gcc" "src/core/CMakeFiles/mtc_core.dir/load_analysis.cc.o.d"
+  "/root/repo/src/core/perturbation.cc" "src/core/CMakeFiles/mtc_core.dir/perturbation.cc.o" "gcc" "src/core/CMakeFiles/mtc_core.dir/perturbation.cc.o.d"
+  "/root/repo/src/core/signature.cc" "src/core/CMakeFiles/mtc_core.dir/signature.cc.o" "gcc" "src/core/CMakeFiles/mtc_core.dir/signature.cc.o.d"
+  "/root/repo/src/core/signature_codec.cc" "src/core/CMakeFiles/mtc_core.dir/signature_codec.cc.o" "gcc" "src/core/CMakeFiles/mtc_core.dir/signature_codec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/mtc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/testgen/CMakeFiles/mtc_testgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/mcm/CMakeFiles/mtc_mcm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mtc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

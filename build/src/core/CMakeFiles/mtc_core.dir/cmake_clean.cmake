@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtc_core.dir/codesize.cc.o"
+  "CMakeFiles/mtc_core.dir/codesize.cc.o.d"
+  "CMakeFiles/mtc_core.dir/collective_checker.cc.o"
+  "CMakeFiles/mtc_core.dir/collective_checker.cc.o.d"
+  "CMakeFiles/mtc_core.dir/conventional_checker.cc.o"
+  "CMakeFiles/mtc_core.dir/conventional_checker.cc.o.d"
+  "CMakeFiles/mtc_core.dir/instr_plan.cc.o"
+  "CMakeFiles/mtc_core.dir/instr_plan.cc.o.d"
+  "CMakeFiles/mtc_core.dir/kmedoids.cc.o"
+  "CMakeFiles/mtc_core.dir/kmedoids.cc.o.d"
+  "CMakeFiles/mtc_core.dir/load_analysis.cc.o"
+  "CMakeFiles/mtc_core.dir/load_analysis.cc.o.d"
+  "CMakeFiles/mtc_core.dir/perturbation.cc.o"
+  "CMakeFiles/mtc_core.dir/perturbation.cc.o.d"
+  "CMakeFiles/mtc_core.dir/signature.cc.o"
+  "CMakeFiles/mtc_core.dir/signature.cc.o.d"
+  "CMakeFiles/mtc_core.dir/signature_codec.cc.o"
+  "CMakeFiles/mtc_core.dir/signature_codec.cc.o.d"
+  "libmtc_core.a"
+  "libmtc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

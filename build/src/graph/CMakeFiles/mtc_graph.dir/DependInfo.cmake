@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/constraint_graph.cc" "src/graph/CMakeFiles/mtc_graph.dir/constraint_graph.cc.o" "gcc" "src/graph/CMakeFiles/mtc_graph.dir/constraint_graph.cc.o.d"
+  "/root/repo/src/graph/cycle_report.cc" "src/graph/CMakeFiles/mtc_graph.dir/cycle_report.cc.o" "gcc" "src/graph/CMakeFiles/mtc_graph.dir/cycle_report.cc.o.d"
+  "/root/repo/src/graph/graph_builder.cc" "src/graph/CMakeFiles/mtc_graph.dir/graph_builder.cc.o" "gcc" "src/graph/CMakeFiles/mtc_graph.dir/graph_builder.cc.o.d"
+  "/root/repo/src/graph/po_edges.cc" "src/graph/CMakeFiles/mtc_graph.dir/po_edges.cc.o" "gcc" "src/graph/CMakeFiles/mtc_graph.dir/po_edges.cc.o.d"
+  "/root/repo/src/graph/topo_sort.cc" "src/graph/CMakeFiles/mtc_graph.dir/topo_sort.cc.o" "gcc" "src/graph/CMakeFiles/mtc_graph.dir/topo_sort.cc.o.d"
+  "/root/repo/src/graph/ws_inference.cc" "src/graph/CMakeFiles/mtc_graph.dir/ws_inference.cc.o" "gcc" "src/graph/CMakeFiles/mtc_graph.dir/ws_inference.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/testgen/CMakeFiles/mtc_testgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/mcm/CMakeFiles/mtc_mcm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mtc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtc_graph.dir/constraint_graph.cc.o"
+  "CMakeFiles/mtc_graph.dir/constraint_graph.cc.o.d"
+  "CMakeFiles/mtc_graph.dir/cycle_report.cc.o"
+  "CMakeFiles/mtc_graph.dir/cycle_report.cc.o.d"
+  "CMakeFiles/mtc_graph.dir/graph_builder.cc.o"
+  "CMakeFiles/mtc_graph.dir/graph_builder.cc.o.d"
+  "CMakeFiles/mtc_graph.dir/po_edges.cc.o"
+  "CMakeFiles/mtc_graph.dir/po_edges.cc.o.d"
+  "CMakeFiles/mtc_graph.dir/topo_sort.cc.o"
+  "CMakeFiles/mtc_graph.dir/topo_sort.cc.o.d"
+  "CMakeFiles/mtc_graph.dir/ws_inference.cc.o"
+  "CMakeFiles/mtc_graph.dir/ws_inference.cc.o.d"
+  "libmtc_graph.a"
+  "libmtc_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtc_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

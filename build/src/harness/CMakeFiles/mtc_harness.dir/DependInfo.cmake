@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/harness/campaign.cc" "src/harness/CMakeFiles/mtc_harness.dir/campaign.cc.o" "gcc" "src/harness/CMakeFiles/mtc_harness.dir/campaign.cc.o.d"
+  "/root/repo/src/harness/validation_flow.cc" "src/harness/CMakeFiles/mtc_harness.dir/validation_flow.cc.o" "gcc" "src/harness/CMakeFiles/mtc_harness.dir/validation_flow.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mtc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mtc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mtc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/testgen/CMakeFiles/mtc_testgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mtc_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/mcm/CMakeFiles/mtc_mcm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

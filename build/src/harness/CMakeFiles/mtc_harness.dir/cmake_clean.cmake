@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtc_harness.dir/campaign.cc.o"
+  "CMakeFiles/mtc_harness.dir/campaign.cc.o.d"
+  "CMakeFiles/mtc_harness.dir/validation_flow.cc.o"
+  "CMakeFiles/mtc_harness.dir/validation_flow.cc.o.d"
+  "libmtc_harness.a"
+  "libmtc_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtc_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmtc_harness.a"
+)

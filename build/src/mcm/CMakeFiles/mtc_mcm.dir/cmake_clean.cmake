@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtc_mcm.dir/isa.cc.o"
+  "CMakeFiles/mtc_mcm.dir/isa.cc.o.d"
+  "CMakeFiles/mtc_mcm.dir/memory_model.cc.o"
+  "CMakeFiles/mtc_mcm.dir/memory_model.cc.o.d"
+  "libmtc_mcm.a"
+  "libmtc_mcm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtc_mcm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtc_sim.dir/coherent_executor.cc.o"
+  "CMakeFiles/mtc_sim.dir/coherent_executor.cc.o.d"
+  "CMakeFiles/mtc_sim.dir/executor.cc.o"
+  "CMakeFiles/mtc_sim.dir/executor.cc.o.d"
+  "libmtc_sim.a"
+  "libmtc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtc_support.dir/log.cc.o"
+  "CMakeFiles/mtc_support.dir/log.cc.o.d"
+  "CMakeFiles/mtc_support.dir/rng.cc.o"
+  "CMakeFiles/mtc_support.dir/rng.cc.o.d"
+  "CMakeFiles/mtc_support.dir/stats.cc.o"
+  "CMakeFiles/mtc_support.dir/stats.cc.o.d"
+  "CMakeFiles/mtc_support.dir/table.cc.o"
+  "CMakeFiles/mtc_support.dir/table.cc.o.d"
+  "libmtc_support.a"
+  "libmtc_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtc_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

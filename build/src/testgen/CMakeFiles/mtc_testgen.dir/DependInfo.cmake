@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/testgen/generator.cc" "src/testgen/CMakeFiles/mtc_testgen.dir/generator.cc.o" "gcc" "src/testgen/CMakeFiles/mtc_testgen.dir/generator.cc.o.d"
+  "/root/repo/src/testgen/litmus.cc" "src/testgen/CMakeFiles/mtc_testgen.dir/litmus.cc.o" "gcc" "src/testgen/CMakeFiles/mtc_testgen.dir/litmus.cc.o.d"
+  "/root/repo/src/testgen/test_config.cc" "src/testgen/CMakeFiles/mtc_testgen.dir/test_config.cc.o" "gcc" "src/testgen/CMakeFiles/mtc_testgen.dir/test_config.cc.o.d"
+  "/root/repo/src/testgen/test_program.cc" "src/testgen/CMakeFiles/mtc_testgen.dir/test_program.cc.o" "gcc" "src/testgen/CMakeFiles/mtc_testgen.dir/test_program.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mcm/CMakeFiles/mtc_mcm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mtc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

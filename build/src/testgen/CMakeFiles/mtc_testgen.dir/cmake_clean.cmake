@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtc_testgen.dir/generator.cc.o"
+  "CMakeFiles/mtc_testgen.dir/generator.cc.o.d"
+  "CMakeFiles/mtc_testgen.dir/litmus.cc.o"
+  "CMakeFiles/mtc_testgen.dir/litmus.cc.o.d"
+  "CMakeFiles/mtc_testgen.dir/test_config.cc.o"
+  "CMakeFiles/mtc_testgen.dir/test_config.cc.o.d"
+  "CMakeFiles/mtc_testgen.dir/test_program.cc.o"
+  "CMakeFiles/mtc_testgen.dir/test_program.cc.o.d"
+  "libmtc_testgen.a"
+  "libmtc_testgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtc_testgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

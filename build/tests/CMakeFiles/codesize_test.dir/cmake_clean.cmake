@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codesize_test.dir/codesize_test.cpp.o"
+  "CMakeFiles/codesize_test.dir/codesize_test.cpp.o.d"
+  "codesize_test"
+  "codesize_test.pdb"
+  "codesize_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codesize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coherent_test.dir/coherent_test.cpp.o"
+  "CMakeFiles/coherent_test.dir/coherent_test.cpp.o.d"
+  "coherent_test"
+  "coherent_test.pdb"
+  "coherent_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coherent_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/litmus_outcomes_test.dir/litmus_outcomes_test.cpp.o"
+  "CMakeFiles/litmus_outcomes_test.dir/litmus_outcomes_test.cpp.o.d"
+  "litmus_outcomes_test"
+  "litmus_outcomes_test.pdb"
+  "litmus_outcomes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/litmus_outcomes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcm_test.dir/mcm_test.cpp.o"
+  "CMakeFiles/mcm_test.dir/mcm_test.cpp.o.d"
+  "mcm_test"
+  "mcm_test.pdb"
+  "mcm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/order_table_test.dir/order_table_test.cpp.o"
+  "CMakeFiles/order_table_test.dir/order_table_test.cpp.o.d"
+  "order_table_test"
+  "order_table_test.pdb"
+  "order_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/order_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

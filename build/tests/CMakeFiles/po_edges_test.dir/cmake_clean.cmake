@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/po_edges_test.dir/po_edges_test.cpp.o"
+  "CMakeFiles/po_edges_test.dir/po_edges_test.cpp.o.d"
+  "po_edges_test"
+  "po_edges_test.pdb"
+  "po_edges_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/po_edges_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

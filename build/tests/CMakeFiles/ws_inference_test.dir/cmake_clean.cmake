@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ws_inference_test.dir/ws_inference_test.cpp.o"
+  "CMakeFiles/ws_inference_test.dir/ws_inference_test.cpp.o.d"
+  "ws_inference_test"
+  "ws_inference_test.pdb"
+  "ws_inference_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ws_inference_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/mcm_test[1]_include.cmake")
+include("/root/repo/build/tests/testgen_test[1]_include.cmake")
+include("/root/repo/build/tests/litmus_test[1]_include.cmake")
+include("/root/repo/build/tests/po_edges_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_test[1]_include.cmake")
+include("/root/repo/build/tests/ws_inference_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_plan_test[1]_include.cmake")
+include("/root/repo/build/tests/codec_test[1]_include.cmake")
+include("/root/repo/build/tests/codesize_test[1]_include.cmake")
+include("/root/repo/build/tests/executor_test[1]_include.cmake")
+include("/root/repo/build/tests/coherent_test[1]_include.cmake")
+include("/root/repo/build/tests/order_table_test[1]_include.cmake")
+include("/root/repo/build/tests/pruning_test[1]_include.cmake")
+include("/root/repo/build/tests/bug_injection_test[1]_include.cmake")
+include("/root/repo/build/tests/checker_test[1]_include.cmake")
+include("/root/repo/build/tests/litmus_outcomes_test[1]_include.cmake")
+include("/root/repo/build/tests/kmedoids_test[1]_include.cmake")
+include("/root/repo/build/tests/flow_test[1]_include.cmake")
+include("/root/repo/build/tests/campaign_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtc_validate.dir/mtc_validate.cpp.o"
+  "CMakeFiles/mtc_validate.dir/mtc_validate.cpp.o.d"
+  "mtc_validate"
+  "mtc_validate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtc_validate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
