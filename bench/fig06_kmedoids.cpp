@@ -17,6 +17,7 @@
 #include <set>
 
 #include "core/kmedoids.h"
+#include "harness/campaign.h"
 #include "sim/executor.h"
 #include "support/table.h"
 #include "testgen/generator.h"
@@ -48,8 +49,14 @@ int
 main()
 {
     unsigned runs = 1000;
-    if (const char *env = std::getenv("MTC_KM_RUNS"))
-        runs = static_cast<unsigned>(std::strtoul(env, nullptr, 10));
+    try {
+        if (const char *env = std::getenv("MTC_KM_RUNS"))
+            runs = static_cast<unsigned>(
+                parseEnvCount("MTC_KM_RUNS", env));
+    } catch (const Error &err) {
+        std::cerr << "fig06_kmedoids: " << err.what() << "\n";
+        return 1;
+    }
 
     std::cout << "Figure 6: k-medoids clustering of constraint graphs\n"
               << "(" << runs << " SC-reference executions per test; "

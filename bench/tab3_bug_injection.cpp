@@ -25,6 +25,7 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "harness/campaign.h"
 #include "harness/validation_flow.h"
 #include "sim/coherent_executor.h"
 #include "sim/executor.h"
@@ -102,10 +103,16 @@ main()
 {
     unsigned tests = 16;
     std::uint64_t iterations = 192;
-    if (const char *env = std::getenv("MTC_BUG_TESTS"))
-        tests = static_cast<unsigned>(std::strtoul(env, nullptr, 10));
-    if (const char *env = std::getenv("MTC_ITERATIONS"))
-        iterations = std::strtoull(env, nullptr, 10);
+    try {
+        if (const char *env = std::getenv("MTC_BUG_TESTS"))
+            tests = static_cast<unsigned>(
+                parseEnvCount("MTC_BUG_TESTS", env));
+        if (const char *env = std::getenv("MTC_ITERATIONS"))
+            iterations = parseEnvCount("MTC_ITERATIONS", env);
+    } catch (const Error &err) {
+        std::cerr << "tab3_bug_injection: " << err.what() << "\n";
+        return 1;
+    }
 
     std::cout << "Table 3: bug-injection case studies\n(" << tests
               << " tests x " << iterations

@@ -5,6 +5,20 @@
 namespace mtc
 {
 
+const char *
+decodeFaultKindName(DecodeFaultKind kind)
+{
+    switch (kind) {
+    case DecodeFaultKind::WordCountMismatch:
+        return "word-count-mismatch";
+    case DecodeFaultKind::IndexOverflow:
+        return "index-overflow";
+    case DecodeFaultKind::ResidueOverflow:
+        return "residue-overflow";
+    }
+    return "unknown";
+}
+
 SignatureCodec::SignatureCodec(const TestProgram &program,
                                const LoadValueAnalysis &analysis,
                                const InstrumentationPlan &plan_arg)
@@ -45,8 +59,11 @@ SignatureCodec::encode(const Execution &execution) const
 Execution
 SignatureCodec::decode(const Signature &signature) const
 {
-    if (signature.words.size() != plan.totalWords())
-        throw SignatureDecodeError("signature word count mismatch");
+    if (signature.words.size() != plan.totalWords()) {
+        throw SignatureDecodeError(
+            "signature word count mismatch",
+            DecodeFaultKind::WordCountMismatch, 0, 0);
+    }
 
     Execution execution;
     execution.loadValues.assign(prog.loads().size(), kInitValue);
@@ -76,16 +93,23 @@ SignatureCodec::decode(const Signature &signature) const
                 os << "corrupt signature: load t" << tid << " op"
                    << thread_loads[i].idx << " decoded index " << index
                    << " of " << set.cardinality();
-                throw SignatureDecodeError(os.str());
+                throw SignatureDecodeError(
+                    os.str(), DecodeFaultKind::IndexOverflow, tid,
+                    plan.wordBase(tid) + slot.wordIndex);
             }
             execution.loadValues[ordinal] =
                 set.values[static_cast<std::uint32_t>(index)];
         }
 
-        for (std::uint64_t residue : words) {
-            if (residue != 0) {
+        for (std::uint32_t w = 0; w < words.size(); ++w) {
+            if (words[w] != 0) {
+                std::ostringstream os;
+                os << "corrupt signature: non-zero residue 0x"
+                   << std::hex << words[w] << std::dec << " in word "
+                   << (plan.wordBase(tid) + w) << " after decode";
                 throw SignatureDecodeError(
-                    "corrupt signature: non-zero residue after decode");
+                    os.str(), DecodeFaultKind::ResidueOverflow, tid,
+                    plan.wordBase(tid) + w);
             }
         }
     }

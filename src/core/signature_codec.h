@@ -29,13 +29,55 @@
 namespace mtc
 {
 
-/** A signature failed to decode (corrupt word or residue). */
+/** Why a signature failed to decode — the classification a
+ * post-silicon harness needs to tell a flaky readout lane (one bad
+ * word) from a wedged core (whole stream malformed). */
+enum class DecodeFaultKind : std::uint8_t
+{
+    /** The word array has the wrong length for this test's plan. */
+    WordCountMismatch,
+
+    /** A word decoded a candidate index beyond the load's candidate
+     * set (the word's high part was corrupted). */
+    IndexOverflow,
+
+    /** Non-zero residue after peeling every load's weight off a word
+     * (the word's low part was corrupted). */
+    ResidueOverflow,
+};
+
+/** Human-readable name of a DecodeFaultKind. */
+const char *decodeFaultKindName(DecodeFaultKind kind);
+
+/** A signature failed to decode (corrupt word or residue). Carries the
+ * failure classification so callers can quarantine instead of abort:
+ * which kind, which thread's stream, and which global word index. */
 class SignatureDecodeError : public Error
 {
   public:
     explicit SignatureDecodeError(const std::string &what_arg)
         : Error(what_arg)
     {}
+
+    SignatureDecodeError(const std::string &what_arg,
+                         DecodeFaultKind kind_arg, std::uint32_t tid,
+                         std::uint32_t word_arg)
+        : Error(what_arg), faultKind(kind_arg), faultTid(tid),
+          faultWord(word_arg)
+    {}
+
+    DecodeFaultKind kind() const { return faultKind; }
+
+    /** Thread whose stream failed (0 for WordCountMismatch). */
+    std::uint32_t thread() const { return faultTid; }
+
+    /** Global word index of the failure (0 for WordCountMismatch). */
+    std::uint32_t word() const { return faultWord; }
+
+  private:
+    DecodeFaultKind faultKind = DecodeFaultKind::WordCountMismatch;
+    std::uint32_t faultTid = 0;
+    std::uint32_t faultWord = 0;
 };
 
 /** Encoding outcome plus the work the instrumented code performed. */

@@ -1,24 +1,58 @@
 #include "harness/campaign.h"
 
+#include <cerrno>
 #include <cstdlib>
 
 #include "sim/executor.h"
+#include "support/log.h"
 #include "support/rng.h"
 #include "testgen/generator.h"
 
 namespace mtc
 {
 
+/**
+ * Parse an environment override strictly. strtoull's permissiveness is
+ * a campaign killer: MTC_ITERATIONS=abc silently became 0 iterations
+ * (an entire campaign measuring nothing), so non-numeric, negative,
+ * out-of-range and — where meaningless — zero values all fail fast
+ * with the variable's name.
+ */
+std::uint64_t
+parseEnvCount(const char *name, const char *text, bool allow_zero)
+{
+    if (*text == '\0' || *text == '-' || *text == '+') {
+        throw ConfigError(std::string(name) +
+                          " must be an unsigned integer, got \"" +
+                          text + "\"");
+    }
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long value = std::strtoull(text, &end, 10);
+    if (end == text || *end != '\0' || errno == ERANGE) {
+        throw ConfigError(std::string(name) +
+                          " must be an unsigned integer, got \"" +
+                          text + "\"");
+    }
+    if (!allow_zero && value == 0) {
+        throw ConfigError(std::string(name) +
+                          " must be non-zero (a zero value would run "
+                          "an empty campaign)");
+    }
+    return value;
+}
+
 CampaignConfig
 CampaignConfig::fromEnv(CampaignConfig defaults)
 {
     if (const char *iters = std::getenv("MTC_ITERATIONS"))
-        defaults.iterations = std::strtoull(iters, nullptr, 10);
+        defaults.iterations =
+            parseEnvCount("MTC_ITERATIONS", iters, false);
     if (const char *tests = std::getenv("MTC_TESTS"))
-        defaults.testsPerConfig =
-            static_cast<unsigned>(std::strtoul(tests, nullptr, 10));
+        defaults.testsPerConfig = static_cast<unsigned>(
+            parseEnvCount("MTC_TESTS", tests, false));
     if (const char *seed = std::getenv("MTC_SEED"))
-        defaults.seed = std::strtoull(seed, nullptr, 10);
+        defaults.seed = parseEnvCount("MTC_SEED", seed, true);
     return defaults;
 }
 
@@ -47,6 +81,8 @@ runConfig(const TestConfig &cfg, const CampaignConfig &campaign)
     flow_cfg.iterations = campaign.iterations;
     flow_cfg.exec = platformFor(cfg, campaign.variant);
     flow_cfg.runConventional = campaign.runConventional;
+    flow_cfg.fault = campaign.fault;
+    flow_cfg.recovery = campaign.recovery;
 
     // Tests are derived from one seed per configuration so every
     // figure sees the same test programs (the paper reuses one set of
@@ -64,10 +100,33 @@ runConfig(const TestConfig &cfg, const CampaignConfig &campaign)
     std::uint64_t affected_count = 0;
 
     for (unsigned t = 0; t < campaign.testsPerConfig; ++t) {
-        const TestProgram program = generateTest(cfg, seeder());
-        flow_cfg.seed = seeder();
-        ValidationFlow flow(flow_cfg);
-        const FlowResult result = flow.runTest(program);
+        // A test that dies on an internal error (poisoned generation
+        // seed, wedged platform, harness bug surfacing under fault
+        // injection) is retried with fresh seeds; after the budget it
+        // is recorded as failed and the campaign moves on — one bad
+        // test must never take down a whole campaign.
+        FlowResult result;
+        bool test_ok = false;
+        for (unsigned attempt = 0;
+             attempt <= campaign.testRetries && !test_ok; ++attempt) {
+            if (attempt)
+                ++summary.testRetriesUsed;
+            try {
+                const TestProgram program = generateTest(cfg, seeder());
+                flow_cfg.seed = seeder();
+                ValidationFlow flow(flow_cfg);
+                result = flow.runTest(program);
+                test_ok = true;
+            } catch (const Error &err) {
+                warn("test " + std::to_string(t) + " of " + cfg.name() +
+                     " failed (attempt " + std::to_string(attempt + 1) +
+                     "): " + err.what());
+            }
+        }
+        if (!test_ok) {
+            ++summary.failedTests;
+            continue;
+        }
 
         ++summary.tests;
         summary.avgUniqueSignatures += result.uniqueSignatures;
@@ -99,6 +158,13 @@ runConfig(const TestConfig &cfg, const CampaignConfig &campaign)
         summary.avgSortingOverhead += result.sortingOverhead;
         summary.violations += result.violatingSignatures +
             result.assertionFailures + result.platformCrashes;
+
+        summary.injected += result.fault.injected;
+        summary.quarantinedSignatures += result.fault.quarantinedCount();
+        summary.quarantinedIterations += result.fault.quarantinedIterations;
+        summary.confirmedViolations += result.fault.confirmedViolations;
+        summary.transientViolations += result.fault.transientViolations;
+        summary.crashRetries += result.fault.crashRetries;
     }
 
     const double n = summary.tests ? summary.tests : 1;
@@ -130,8 +196,22 @@ runCampaign(const std::vector<TestConfig> &configs,
 {
     std::vector<ConfigSummary> summaries;
     summaries.reserve(configs.size());
-    for (const TestConfig &cfg : configs)
-        summaries.push_back(runConfig(cfg, campaign));
+    for (const TestConfig &cfg : configs) {
+        // Degraded-summary path: a configuration whose every test is
+        // poisoned (runConfig itself threw) yields a marked summary
+        // instead of unwinding the remaining configurations.
+        try {
+            summaries.push_back(runConfig(cfg, campaign));
+        } catch (const Error &err) {
+            warn("configuration " + cfg.name() +
+                 " failed, continuing campaign: " + err.what());
+            ConfigSummary degraded;
+            degraded.cfg = cfg;
+            degraded.degraded = true;
+            degraded.error = err.what();
+            summaries.push_back(std::move(degraded));
+        }
+    }
     return summaries;
 }
 

@@ -40,7 +40,24 @@ struct CampaignConfig
     PlatformVariant variant = PlatformVariant::BareMetal;
     bool runConventional = true;
 
-    /** Apply MTC_ITERATIONS / MTC_TESTS / MTC_SEED overrides. */
+    /** Readout-path fault injection applied to every test (all rates
+     * 0 keeps the campaign bit-identical to the fault-free runner). */
+    FaultConfig fault;
+
+    /** Per-test graceful-degradation knobs, forwarded to the flow. */
+    RecoveryConfig recovery;
+
+    /** How many times a test that dies on an internal error is
+     * regenerated-and-retried (with fresh seeds) before the config
+     * marks it failed and moves on. */
+    unsigned testRetries = 1;
+
+    /**
+     * Apply MTC_ITERATIONS / MTC_TESTS / MTC_SEED overrides.
+     *
+     * @throws ConfigError if a set variable is non-numeric, or zero
+     *         where zero is meaningless (iterations, tests).
+     */
     static CampaignConfig fromEnv(CampaignConfig defaults);
     static CampaignConfig fromEnv();
 };
@@ -76,6 +93,22 @@ struct ConfigSummary
 
     std::uint64_t violations = 0;
 
+    /** Fault-tolerance aggregates (all zero on a clean campaign). */
+    InjectionCounts injected;               ///< injector ground truth
+    std::uint64_t quarantinedSignatures = 0;
+    std::uint64_t quarantinedIterations = 0;
+    std::uint64_t confirmedViolations = 0;
+    std::uint64_t transientViolations = 0;  ///< unreproduced, reclassified
+    unsigned crashRetries = 0;
+    unsigned testRetriesUsed = 0;
+    unsigned failedTests = 0; ///< tests abandoned after retry budget
+
+    /** The whole configuration failed; only `cfg` and `error` are
+     * meaningful. runCampaign substitutes this degraded summary
+     * instead of letting one poisoned config kill the campaign. */
+    bool degraded = false;
+    std::string error;
+
     /** Normalized collective / conventional sorting time (Fig. 9). */
     double
     speedupRatio() const
@@ -93,6 +126,20 @@ struct ConfigSummary
             : 0.0;
     }
 };
+
+/**
+ * Strictly parse a counting environment override.
+ *
+ * Used by CampaignConfig::fromEnv and by the bench binaries' private
+ * scale knobs (MTC_BUG_TESTS, MTC_KM_RUNS, ...) so that a garbled
+ * value fails fast with the variable's name instead of silently
+ * running zero iterations.
+ *
+ * @throws ConfigError on empty/non-numeric/signed/overflowing text,
+ *         or on zero unless @p allow_zero.
+ */
+std::uint64_t parseEnvCount(const char *name, const char *text,
+                            bool allow_zero = false);
 
 /** Platform configuration a campaign uses for @p cfg. */
 ExecutorConfig platformFor(const TestConfig &cfg, PlatformVariant variant);

@@ -1,7 +1,11 @@
 #include "harness/validation_flow.h"
 
+#include <algorithm>
 #include <map>
 #include <memory>
+#include <optional>
+#include <set>
+#include <string>
 
 #include "core/instr_plan.h"
 #include "core/signature_codec.h"
@@ -61,6 +65,21 @@ ValidationFlow::runTest(const TestProgram &program)
     Rng rng(cfg.seed);
     PerturbationModel perturbation(program, analysis);
 
+    // Faulty-readout model between the device and the host buffer.
+    // The injector's stream is derived from both the fault seed and the
+    // flow seed so every test of a campaign sees independent faults.
+    std::vector<std::uint32_t> word_layout;
+    word_layout.reserve(program.numThreads());
+    for (std::uint32_t tid = 0; tid < program.numThreads(); ++tid)
+        word_layout.push_back(plan.wordsForThread(tid));
+    std::optional<FaultInjector> injector;
+    if (cfg.fault.enabled()) {
+        FaultConfig fault_cfg = cfg.fault;
+        std::uint64_t mix = fault_cfg.seed ^ (cfg.seed * 0x9e3779b97f4a7c15ULL);
+        fault_cfg.seed = splitMix64(mix);
+        injector.emplace(fault_cfg, word_layout);
+    }
+
     std::uint64_t sort_comparisons = 0;
     std::map<Signature, std::uint64_t, CountingLess> signature_counts(
         CountingLess{&sort_comparisons});
@@ -70,10 +89,19 @@ ValidationFlow::runTest(const TestProgram &program)
         try {
             execution = platform.run(program, rng);
         } catch (const ProtocolDeadlockError &err) {
-            // The paper's bug 3 crashes the whole simulation; one
-            // deadlock ends this test's campaign.
+            // The paper's bug 3 crashes the whole simulation; by
+            // default one deadlock ends this test's campaign, but the
+            // recovery policy can grant reseeded retries so the rest
+            // of the iteration budget still produces signatures.
             warn(std::string("platform crash: ") + err.what());
             ++result.platformCrashes;
+            if (result.fault.crashRetries < cfg.recovery.crashRetries) {
+                ++result.fault.crashRetries;
+                std::uint64_t reseed =
+                    cfg.seed + 0x5bd1e995u * result.fault.crashRetries;
+                rng = Rng(splitMix64(reseed));
+                continue;
+            }
             break;
         }
         ++result.iterationsRun;
@@ -81,7 +109,16 @@ ValidationFlow::runTest(const TestProgram &program)
         try {
             EncodeResult encoded = codec.encode(execution);
             perturbation.record(execution, encoded, plan.totalWords());
-            ++signature_counts[std::move(encoded.signature)];
+            if (injector) {
+                const FaultedReadout readout =
+                    injector->read(encoded.signature);
+                result.fault.recordedIterations += readout.copies;
+                for (unsigned c = 0; c < readout.copies; ++c)
+                    ++signature_counts[readout.signature];
+            } else {
+                ++result.fault.recordedIterations;
+                ++signature_counts[std::move(encoded.signature)];
+            }
         } catch (const SignatureAssertError &err) {
             // The instrumented chain caught an impossible value at
             // runtime, before any graph checking.
@@ -90,6 +127,8 @@ ValidationFlow::runTest(const TestProgram &program)
             ++result.assertionFailures;
         }
     }
+    if (injector)
+        result.fault.injected = injector->counts();
 
     result.uniqueSignatures = signature_counts.size();
     perturbation.recordSortComparisons(sort_comparisons);
@@ -100,20 +139,34 @@ ValidationFlow::runTest(const TestProgram &program)
     result.sortingOverhead = perturbation.sortingOverhead();
 
     // --- Decode + observed-edge derivation (shared by checkers) -------
+    // Undecodable signatures — the expected outcome of readout faults
+    // on suspect silicon — are quarantined with their classification
+    // instead of aborting the flow (post-silicon rule: never let the
+    // harness confuse "readout glitched" with "the DUT is buggy").
     std::vector<DynamicEdgeSet> edge_sets;
     edge_sets.reserve(signature_counts.size());
+    std::vector<const Signature *> decoded_signatures; // parallel
+    decoded_signatures.reserve(signature_counts.size());
     {
         WallTimer timer;
         ScopedTimer scope(timer);
         for (const auto &[signature, count] : signature_counts) {
-            (void)count;
-            Execution decoded = codec.decode(signature);
-            edge_sets.push_back(dynamicEdges(program, decoded));
-            if (cfg.keepExecutions)
-                result.executions.push_back(std::move(decoded));
+            try {
+                Execution decoded = codec.decode(signature);
+                edge_sets.push_back(dynamicEdges(program, decoded));
+                decoded_signatures.push_back(&signature);
+                if (cfg.keepExecutions)
+                    result.executions.push_back(std::move(decoded));
+            } catch (const SignatureDecodeError &err) {
+                result.fault.quarantined.push_back(
+                    {signature, count, err.kind(), err.thread(),
+                     err.word(), err.what()});
+                result.fault.quarantinedIterations += count;
+            }
         }
         result.decodeMs = timer.milliseconds();
     }
+    result.fault.decodedSignatures = edge_sets.size();
 
     // --- Collective checking (MTraceCheck) -----------------------------
     const MemoryModel model =
@@ -165,6 +218,92 @@ ValidationFlow::runTest(const TestProgram &program)
             }
             break;
         }
+    }
+
+    // --- K-re-execution confirmation (fault-tolerant pipeline) --------
+    // A cyclic signature read over a faulty path is ambiguous: the DUT
+    // may have violated the MCM, or corruption may have decoded into a
+    // different — coincidentally cyclic — valid execution. Re-execute
+    // the test up to K times through the same faulty readout (real
+    // silicon can only be re-read, not read cleanly). The discriminator
+    // is *reproduction of the identical violating signature*: random
+    // readout corruption essentially never recreates the same word
+    // array in an independent re-execution, while the mostly-repeatable
+    // platform re-hits genuine violating interleavings. A violation
+    // that never reproduces is reclassified as transient readout
+    // corruption. With injection off the readout cannot fabricate
+    // violations and this stage is skipped entirely, keeping the
+    // fault-free pipeline bit-identical.
+    if (result.violatingSignatures && injector &&
+        cfg.recovery.confirmationRuns > 0) {
+        std::set<Signature> violating_set;
+        for (std::size_t i = 0; i < edge_sets.size(); ++i) {
+            if (collective_verdicts[i])
+                violating_set.insert(*decoded_signatures[i]);
+        }
+
+        const std::uint64_t confirm_iters =
+            cfg.recovery.confirmationIterations
+            ? cfg.recovery.confirmationIterations
+            : std::min<std::uint64_t>(cfg.iterations, 256);
+        bool confirmed = false;
+
+        for (unsigned k = 0;
+             k < cfg.recovery.confirmationRuns && !confirmed; ++k) {
+            ++result.fault.confirmationRunsUsed;
+            std::uint64_t mix =
+                cfg.seed ^ (0xC0F1A5EDull + 0x9e3779b9ull * (k + 1));
+            Rng confirm_rng(splitMix64(mix));
+            FaultConfig confirm_fault = cfg.fault;
+            confirm_fault.seed = splitMix64(mix);
+            FaultInjector confirm_injector(confirm_fault, word_layout);
+
+            for (std::uint64_t iter = 0;
+                 iter < confirm_iters && !confirmed; ++iter) {
+                Execution execution;
+                try {
+                    execution = platform.run(program, confirm_rng);
+                } catch (const ProtocolDeadlockError &) {
+                    break; // a wedged re-execution proves nothing
+                }
+                try {
+                    EncodeResult encoded = codec.encode(execution);
+                    const FaultedReadout readout =
+                        confirm_injector.read(encoded.signature);
+                    if (!readout.dropped() &&
+                        violating_set.count(readout.signature))
+                        confirmed = true;
+                } catch (const SignatureAssertError &) {
+                    // The instrumented chain re-caught an impossible
+                    // value: violating behavior reproduced.
+                    confirmed = true;
+                }
+            }
+        }
+
+        if (confirmed) {
+            result.fault.confirmedViolations =
+                result.violatingSignatures;
+        } else {
+            result.fault.transientViolations =
+                result.violatingSignatures;
+            result.violatingSignatures = 0;
+            result.fault.note =
+                "violating signature(s) not reproduced in " +
+                std::to_string(result.fault.confirmationRunsUsed) +
+                " re-execution(s); reclassified as transient readout "
+                "corruption";
+            if (!result.violationWitness.empty() &&
+                !result.assertionFailures) {
+                result.fault.note +=
+                    "; unconfirmed witness: " + result.violationWitness;
+                result.violationWitness.clear();
+            }
+        }
+    } else if (result.violatingSignatures) {
+        // No faulty readout (or confirmation disabled): every cyclic
+        // signature is a confirmed violation, as in the base pipeline.
+        result.fault.confirmedViolations = result.violatingSignatures;
     }
 
     return result;

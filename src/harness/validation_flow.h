@@ -25,12 +25,107 @@
 #include "core/load_analysis.h"
 #include "core/perturbation.h"
 #include "core/signature.h"
+#include "core/signature_codec.h"
 #include "sim/coherent_executor.h"
 #include "sim/executor_config.h"
+#include "sim/fault_injector.h"
 #include "testgen/test_program.h"
 
 namespace mtc
 {
+
+/** Graceful-degradation knobs: how hard the flow fights to keep a
+ * campaign alive when the platform or the readout path misbehaves.
+ * Defaults are all-off so a fault-free flow is bit-identical to the
+ * pre-fault pipeline. */
+struct RecoveryConfig
+{
+    /**
+     * K of the K-re-execution confirmation protocol: when the readout
+     * path is faulted and a violating (cyclic) signature shows up, the
+     * test is re-executed up to K times; only a reproduced violation
+     * is reported as confirmed, otherwise it is reclassified as
+     * transient readout corruption. 0 disables confirmation (every
+     * violation is reported as-is). Ignored when fault injection is
+     * off — an unfaulted readout cannot fabricate violations.
+     */
+    unsigned confirmationRuns = 2;
+
+    /** Iterations per confirmation re-execution (0 = min(iterations,
+     * 256)). */
+    std::uint64_t confirmationIterations = 0;
+
+    /** How many times a test-loop platform crash (protocol deadlock
+     * watchdog) is retried with a reseeded schedule before the test
+     * gives up collecting further iterations. */
+    unsigned crashRetries = 0;
+};
+
+/** One undecodable signature held back from checking. */
+struct QuarantinedSignature
+{
+    Signature signature;
+
+    /** Iterations that produced this exact (corrupt) word array. */
+    std::uint64_t iterations = 0;
+
+    DecodeFaultKind kind = DecodeFaultKind::WordCountMismatch;
+    std::uint32_t thread = 0; ///< thread whose stream failed
+    std::uint32_t word = 0;   ///< global word index of the failure
+    std::string detail;       ///< decoder's message
+};
+
+/** Everything the fault-tolerant pipeline observed and decided. */
+struct FaultReport
+{
+    /** Ground truth from the injector (test loop only; confirmation
+     * re-executions keep their own ledgers). */
+    InjectionCounts injected;
+
+    /** Signatures that reached the host buffer, counting duplicates. */
+    std::uint64_t recordedIterations = 0;
+
+    /** Undecodable signatures held back from checking. */
+    std::vector<QuarantinedSignature> quarantined;
+
+    /** Iterations behind the quarantined signatures. */
+    std::uint64_t quarantinedIterations = 0;
+
+    /** Unique signatures that decoded cleanly and were checked. */
+    std::uint64_t decodedSignatures = 0;
+
+    /** Violating signatures reproduced by re-execution (confirmed MCM
+     * violations). */
+    std::uint64_t confirmedViolations = 0;
+
+    /** Violating signatures NOT reproduced in K re-executions —
+     * reported as suspected readout corruption, not as violations. */
+    std::uint64_t transientViolations = 0;
+
+    /** Confirmation re-executions actually performed. */
+    unsigned confirmationRunsUsed = 0;
+
+    /** Platform-crash retries consumed by the test loop. */
+    unsigned crashRetries = 0;
+
+    /** Human-readable degradation note (empty when nothing was
+     * reclassified or retried). */
+    std::string note;
+
+    std::uint64_t
+    quarantinedCount() const
+    {
+        return quarantined.size();
+    }
+
+    /** Anything fault-related happened at all. */
+    bool
+    anyFaultActivity() const
+    {
+        return injected.totalEvents() || !quarantined.empty() ||
+            transientViolations || crashRetries;
+    }
+};
 
 /** Knobs of one flow run. */
 struct FlowConfig
@@ -58,6 +153,12 @@ struct FlowConfig
 
     /** Keep all unique decoded executions (k-medoids inputs). */
     bool keepExecutions = false;
+
+    /** Readout-path fault injection (all rates 0 = clean readout). */
+    FaultConfig fault;
+
+    /** Graceful-degradation knobs (defaults preserve old behavior). */
+    RecoveryConfig recovery;
 };
 
 /** Everything measured while validating one test. */
@@ -105,6 +206,9 @@ struct FlowResult
 
     /** First violation's cycle rendered for humans (Figure 13). */
     std::string violationWitness;
+
+    /** Fault-injection ledger, quarantine, and confirmation outcome. */
+    FaultReport fault;
 
     /** Unique decoded executions (only when keepExecutions). */
     std::vector<Execution> executions;

@@ -1,0 +1,102 @@
+#include "sim/fault_injector.h"
+
+#include <numeric>
+
+namespace mtc
+{
+
+InjectionCounts &
+InjectionCounts::operator+=(const InjectionCounts &other)
+{
+    bitFlips += other.bitFlips;
+    tornStores += other.tornStores;
+    truncations += other.truncations;
+    dropped += other.dropped;
+    duplicated += other.duplicated;
+    corruptedIterations += other.corruptedIterations;
+    return *this;
+}
+
+FaultInjector::FaultInjector(const FaultConfig &cfg_arg,
+                             std::vector<std::uint32_t> thread_word_counts)
+    : cfg(cfg_arg), threadWords(std::move(thread_word_counts)),
+      rng(cfg_arg.seed)
+{
+    if (threadWords.empty())
+        throw ConfigError("FaultInjector needs a per-thread word layout");
+    wordBases.resize(threadWords.size());
+    std::exclusive_scan(threadWords.begin(), threadWords.end(),
+                        wordBases.begin(), std::uint32_t{0});
+    totalWords = wordBases.back() + threadWords.back();
+    lastFlushed.words.assign(totalWords, 0);
+}
+
+FaultedReadout
+FaultInjector::read(const Signature &clean)
+{
+    if (clean.words.size() != totalWords) {
+        throw ConfigError(
+            "FaultInjector: signature word count does not match the "
+            "thread layout");
+    }
+
+    FaultedReadout readout;
+    readout.signature = clean;
+
+    // Loss happens before the host buffer sees anything; a dropped
+    // iteration cannot also be corrupted or duplicated.
+    if (cfg.dropRate > 0.0 && rng.nextBool(cfg.dropRate)) {
+        ++ledger.dropped;
+        readout.copies = 0;
+        readout.signature.words.clear();
+        return readout;
+    }
+
+    // Torn store: a suffix of the word array keeps whatever the host
+    // buffer held from the previous flush.
+    if (cfg.tornStoreRate > 0.0 && totalWords > 1 &&
+        rng.nextBool(cfg.tornStoreRate)) {
+        ++ledger.tornStores;
+        const std::size_t cut =
+            static_cast<std::size_t>(rng.nextInRange(1, totalWords - 1));
+        for (std::size_t w = cut; w < readout.signature.words.size(); ++w)
+            readout.signature.words[w] = lastFlushed.words[w];
+    }
+
+    // Truncated stream: one core hung, its words from a random slot on
+    // were never written and read back as zero.
+    if (cfg.truncationRate > 0.0 && rng.nextBool(cfg.truncationRate)) {
+        ++ledger.truncations;
+        const std::size_t tid = rng.pickIndex(threadWords.size());
+        const std::uint32_t first = static_cast<std::uint32_t>(
+            rng.nextBelow(threadWords[tid] ? threadWords[tid] : 1));
+        for (std::uint32_t w = first; w < threadWords[tid]; ++w)
+            readout.signature.words[wordBases[tid] + w] = 0;
+    }
+
+    // Bit flips, independently per word.
+    if (cfg.bitFlipRate > 0.0) {
+        for (std::uint64_t &word : readout.signature.words) {
+            if (rng.nextBool(cfg.bitFlipRate)) {
+                ++ledger.bitFlips;
+                word ^= std::uint64_t{1} << rng.nextBelow(64);
+            }
+        }
+    }
+
+    readout.corrupted = readout.signature.words != clean.words;
+    if (readout.corrupted)
+        ++ledger.corruptedIterations;
+
+    if (cfg.duplicateRate > 0.0 && rng.nextBool(cfg.duplicateRate)) {
+        ++ledger.duplicated;
+        readout.copies = 2;
+    }
+
+    // What the buffer ends up holding is what a later torn store can
+    // re-expose.
+    lastFlushed = readout.signature;
+    return readout;
+}
+
+} // namespace mtc

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Silicon-fault injector for the execution→signature readout path.
+ *
+ * MTraceCheck is a post-silicon framework: the signatures it checks
+ * come off a device that is by definition suspect. The platform models
+ * under `sim/` perturb the *execution* (scheduling, coherence, injected
+ * design bugs); this layer perturbs the *readout* — everything between
+ * the instrumented test finishing an iteration and the host seeing its
+ * signature words. Fault models, each rate-controlled and drawn from a
+ * dedicated deterministic stream:
+ *
+ *  - bit flips in individual signature words (flaky readout lane,
+ *    single-event upset in the signature register file);
+ *  - torn multi-word signature stores: the store of this iteration's
+ *    words is only partially flushed, so a suffix keeps the previous
+ *    iteration's (or the initial) contents;
+ *  - truncated per-thread signature streams: one core hangs mid-test
+ *    and its words from a random point onward are never written;
+ *  - lost iterations: a signature never reaches the host buffer;
+ *  - duplicated iterations: a buffer glitch records a signature twice.
+ *
+ * The injector keeps an exact ledger of everything it did
+ * (InjectionCounts) so downstream layers — quarantine in the decode
+ * stage, the K-re-execution confirmation protocol, campaign summaries
+ * — can be reconciled against ground truth in tests and benches.
+ */
+
+#ifndef MTC_SIM_FAULT_INJECTOR_H
+#define MTC_SIM_FAULT_INJECTOR_H
+
+#include <cstdint>
+#include <vector>
+
+#include "core/signature.h"
+#include "support/rng.h"
+
+namespace mtc
+{
+
+/** Rates of the readout fault models (all default to a fault-free
+ * path, which keeps every downstream layer bit-identical to the
+ * pre-fault pipeline). */
+struct FaultConfig
+{
+    /** Per signature-word probability of flipping one random bit. */
+    double bitFlipRate = 0.0;
+
+    /** Per-iteration probability that the multi-word signature store
+     * is torn: words from a random cut point onward keep the value of
+     * the previously flushed signature. */
+    double tornStoreRate = 0.0;
+
+    /** Per-iteration probability that one thread's signature stream is
+     * truncated (core hang): its words from a random point on read as
+     * zero. */
+    double truncationRate = 0.0;
+
+    /** Per-iteration probability the signature is lost entirely. */
+    double dropRate = 0.0;
+
+    /** Per-iteration probability the signature is recorded twice. */
+    double duplicateRate = 0.0;
+
+    /** Seed of the injector's private random stream. */
+    std::uint64_t seed = 0xfa017ull;
+
+    bool
+    enabled() const
+    {
+        return bitFlipRate > 0.0 || tornStoreRate > 0.0 ||
+            truncationRate > 0.0 || dropRate > 0.0 ||
+            duplicateRate > 0.0;
+    }
+};
+
+/** Ground-truth ledger of injected faults. */
+struct InjectionCounts
+{
+    std::uint64_t bitFlips = 0;    ///< words with a flipped bit
+    std::uint64_t tornStores = 0;  ///< iterations with a torn store
+    std::uint64_t truncations = 0; ///< iterations with a hung thread
+    std::uint64_t dropped = 0;     ///< iterations lost
+    std::uint64_t duplicated = 0;  ///< iterations recorded twice
+
+    /** Iterations whose recorded signature differs from the clean one
+     * (bit flip / torn store / truncation that actually changed a
+     * word; drops and duplicates leave words intact). */
+    std::uint64_t corruptedIterations = 0;
+
+    std::uint64_t
+    totalEvents() const
+    {
+        return bitFlips + tornStores + truncations + dropped +
+            duplicated;
+    }
+
+    InjectionCounts &operator+=(const InjectionCounts &other);
+};
+
+/** What the host observed for one iteration after the faulty readout. */
+struct FaultedReadout
+{
+    /** Signature as read back (valid only when !dropped). */
+    Signature signature;
+
+    /** How many times the host buffer recorded it (0 = lost, 1 =
+     * normal, 2 = duplicated). */
+    unsigned copies = 1;
+
+    /** The recorded words differ from the clean signature. */
+    bool corrupted = false;
+
+    bool
+    dropped() const
+    {
+        return copies == 0;
+    }
+};
+
+/**
+ * Stateful per-test readout fault injector. Deterministic: equal
+ * (config, layout, sequence of clean signatures) give equal faults.
+ */
+class FaultInjector
+{
+  public:
+    /**
+     * @param cfg               Fault rates and seed.
+     * @param thread_word_counts Signature words produced by each
+     *                          thread, in thread order; the per-thread
+     *                          layout is needed by the truncation
+     *                          model. The sum is the total word count.
+     */
+    FaultInjector(const FaultConfig &cfg,
+                  std::vector<std::uint32_t> thread_word_counts);
+
+    /** Pass one iteration's clean signature through the faulty path. */
+    FaultedReadout read(const Signature &clean);
+
+    const InjectionCounts &counts() const { return ledger; }
+
+    bool enabled() const { return cfg.enabled(); }
+
+  private:
+    FaultConfig cfg;
+    std::vector<std::uint32_t> threadWords;
+    std::vector<std::uint32_t> wordBases; ///< prefix sums of threadWords
+    std::uint32_t totalWords = 0;
+    Rng rng;
+    InjectionCounts ledger;
+
+    /** Last signature that reached the host intact-or-torn; the torn
+     * model re-exposes its suffix. */
+    Signature lastFlushed;
+};
+
+} // namespace mtc
+
+#endif // MTC_SIM_FAULT_INJECTOR_H

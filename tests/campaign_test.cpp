@@ -74,6 +74,40 @@ TEST(Campaign, EnvOverrides)
     EXPECT_EQ(defaults.iterations, CampaignConfig{}.iterations);
 }
 
+TEST(Campaign, EnvOverridesRejectGarbage)
+{
+    // strtoull's silent 0 for garbage used to turn MTC_ITERATIONS=abc
+    // into a campaign measuring nothing; now it must fail fast with a
+    // ConfigError naming the variable.
+    const auto expect_rejected = [](const char *name,
+                                    const char *value) {
+        setenv(name, value, 1);
+        try {
+            (void)CampaignConfig::fromEnv();
+            ADD_FAILURE() << name << "=" << value << " was accepted";
+        } catch (const ConfigError &err) {
+            EXPECT_NE(std::string(err.what()).find(name),
+                      std::string::npos)
+                << "error must name the variable: " << err.what();
+        }
+        unsetenv(name);
+    };
+
+    expect_rejected("MTC_ITERATIONS", "abc");
+    expect_rejected("MTC_ITERATIONS", "0");
+    expect_rejected("MTC_ITERATIONS", "12x");
+    expect_rejected("MTC_ITERATIONS", "-5");
+    expect_rejected("MTC_ITERATIONS", "");
+    expect_rejected("MTC_TESTS", "lots");
+    expect_rejected("MTC_TESTS", "0");
+    expect_rejected("MTC_SEED", "two");
+
+    // Seed zero is a legitimate seed and must still be accepted.
+    setenv("MTC_SEED", "0", 1);
+    EXPECT_EQ(CampaignConfig::fromEnv().seed, 0u);
+    unsetenv("MTC_SEED");
+}
+
 TEST(Campaign, LinuxVariantRuns)
 {
     CampaignConfig campaign;

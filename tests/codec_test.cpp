@@ -170,6 +170,61 @@ TEST(Codec, DecodeRejectsCorruptSignatures)
     EXPECT_THROW(codec.decode(corrupt), SignatureDecodeError);
 }
 
+TEST(Codec, BitFlipEveryWordQuarantinesOrDecodesValidly)
+{
+    // Post-silicon robustness sweep: flip every bit of every word of a
+    // known-good signature. Each flip must either be rejected with a
+    // correctly classified SignatureDecodeError (quarantinable: right
+    // word, sane kind) or decode to a *different valid* execution that
+    // re-encodes to the flipped signature — never a crash, never a
+    // silent wrong result.
+    const TestProgram program =
+        generateTest(parseConfigName("x86-4-100-64"), 21);
+    LoadValueAnalysis analysis(program);
+    InstrumentationPlan plan(program, analysis);
+    SignatureCodec codec(program, analysis, plan);
+
+    ExecutorConfig exec = bareMetalConfig(program.config().isa);
+    OperationalExecutor platform(exec);
+    Rng rng(2021);
+    const Execution execution = platform.run(program, rng);
+    const Signature good = codec.encode(execution).signature;
+    ASSERT_EQ(codec.decode(good).loadValues, execution.loadValues);
+
+    std::uint64_t quarantined = 0, survived = 0;
+    for (std::uint32_t w = 0; w < good.words.size(); ++w) {
+        for (unsigned bit = 0; bit < plan.wordBits(); ++bit) {
+            Signature flipped = good;
+            flipped.words[w] ^= std::uint64_t{1} << bit;
+            try {
+                const Execution decoded = codec.decode(flipped);
+                // Valid decode of a different word array must yield a
+                // different execution (the encoding is a bijection) …
+                EXPECT_NE(decoded.loadValues, execution.loadValues)
+                    << "word " << w << " bit " << bit;
+                // … that is itself in-range (re-encodes losslessly).
+                EXPECT_EQ(codec.encode(decoded).signature, flipped)
+                    << "word " << w << " bit " << bit;
+                ++survived;
+            } catch (const SignatureDecodeError &err) {
+                EXPECT_TRUE(
+                    err.kind() == DecodeFaultKind::IndexOverflow ||
+                    err.kind() == DecodeFaultKind::ResidueOverflow)
+                    << "word " << w << " bit " << bit;
+                // The failure must be pinned to the word we corrupted.
+                EXPECT_EQ(err.word(), w)
+                    << "word " << w << " bit " << bit;
+                EXPECT_LT(err.thread(), program.numThreads());
+                ++quarantined;
+            }
+        }
+    }
+    // High bits overflow the plan's weight range, so both outcomes
+    // must occur across a full sweep.
+    EXPECT_GT(quarantined, 0u);
+    EXPECT_GT(survived, 0u);
+}
+
 TEST(Codec, ZeroSignatureDecodesToAllFirstCandidates)
 {
     const TestProgram program = litmus::messagePassing();

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Tier-1 CI: build + ctest twice — once plain, once under ASan+UBSan
+# (the MTC_SANITIZE CMake option). Usage: tools/ci.sh [jobs]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+jobs="${1:-$(nproc)}"
+
+run_suite() {
+    local build_dir="$1"; shift
+    echo "=== configure ${build_dir} ($*) ==="
+    cmake -B "${build_dir}" -S . "$@"
+    echo "=== build ${build_dir} ==="
+    cmake --build "${build_dir}" -j "${jobs}"
+    echo "=== ctest ${build_dir} ==="
+    ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}"
+}
+
+run_suite build -DMTC_SANITIZE=OFF
+run_suite build-asan -DMTC_SANITIZE=ON
+
+echo "=== CI OK: plain and sanitized suites both green ==="

@@ -18,13 +18,30 @@
  *     --bug KIND        none | upgrade | lsq | putx           [none]
  *     --bug-prob P      bug firing probability                [0.1]
  *     --cache-lines N   per-core L1 capacity (0 = unbounded)  [0]
+ *     --fault-bitflip P per-word signature bit-flip rate      [0]
+ *     --fault-torn P    torn multi-word store rate            [0]
+ *     --fault-truncate P  per-thread stream truncation rate   [0]
+ *     --fault-drop P    lost-iteration rate                   [0]
+ *     --fault-dup P     duplicated-iteration rate             [0]
+ *     --fault-seed N    fault injector seed                   [0xfa017]
+ *     --confirm-k N     K-re-execution confirmation budget    [2]
+ *     --crash-retries N reseeded retries after platform crash [0]
  *     --verbose         per-test detail rows
  *     --help
  *
- * Exit status: 0 if no violation was found, 2 if any test exposed a
- * violation (so the tool scripts cleanly into regression farms).
+ * Exit status (scripts cleanly into regression farms):
+ *   0  clean — no violation, no readout corruption
+ *   1  configuration / usage error
+ *   2  confirmed MCM violation (cyclic signature reproduced under the
+ *      K-re-execution protocol, or an instrumented-chain assertion)
+ *   3  corruption only — signatures were quarantined or violations
+ *      were reclassified as injected-fault transients, nothing
+ *      confirmed
+ *   4  platform crash (protocol deadlock) without a confirmed
+ *      violation
  */
 
+#include <cstdint>
 #include <cstring>
 #include <iostream>
 #include <optional>
@@ -52,6 +69,8 @@ struct Options
     std::string bug = "none";
     double bugProb = 0.1;
     std::uint32_t cacheLines = 0;
+    FaultConfig fault;
+    RecoveryConfig recovery;
     bool verbose = false;
 };
 
@@ -69,7 +88,45 @@ usage()
         "  --bug KIND        none | upgrade | lsq | putx [none]\n"
         "  --bug-prob P      bug firing probability [0.1]\n"
         "  --cache-lines N   per-core L1 capacity, 0=unbounded [0]\n"
-        "  --verbose         per-test detail rows\n";
+        "  --fault-bitflip P per-word signature bit-flip rate [0]\n"
+        "  --fault-torn P    torn multi-word store rate [0]\n"
+        "  --fault-truncate P per-thread stream truncation rate [0]\n"
+        "  --fault-drop P    lost-iteration rate [0]\n"
+        "  --fault-dup P     duplicated-iteration rate [0]\n"
+        "  --fault-seed N    fault injector seed [0xfa017]\n"
+        "  --confirm-k N     K-re-execution confirmation budget [2]\n"
+        "  --crash-retries N reseeded retries after crash [0]\n"
+        "  --verbose         per-test detail rows\n"
+        "exit codes: 0 clean, 1 config error, 2 confirmed violation,\n"
+        "            3 corruption only, 4 platform crash\n";
+}
+
+/** Strict numeric flag values: errors name the flag, not "stod". */
+std::uint64_t
+parseCount(const std::string &flag, const std::string &text, int base = 10)
+{
+    try {
+        std::size_t pos = 0;
+        const std::uint64_t value = std::stoull(text, &pos, base);
+        if (pos == text.size() && text[0] != '-')
+            return value;
+    } catch (const std::exception &) {
+    }
+    throw ConfigError(flag + " expects an unsigned integer, got \"" +
+                      text + "\"");
+}
+
+double
+parseRate(const std::string &flag, const std::string &text)
+{
+    try {
+        std::size_t pos = 0;
+        const double value = std::stod(text, &pos);
+        if (pos == text.size())
+            return value;
+    } catch (const std::exception &) {
+    }
+    throw ConfigError(flag + " expects a number, got \"" + text + "\"");
 }
 
 BugKind
@@ -100,11 +157,11 @@ parseArgs(int argc, char **argv)
         if (arg == "--config")
             opt.config = next();
         else if (arg == "--tests")
-            opt.tests = static_cast<unsigned>(std::stoul(next()));
+            opt.tests = static_cast<unsigned>(parseCount(arg, next()));
         else if (arg == "--iterations")
-            opt.iterations = std::stoull(next());
+            opt.iterations = parseCount(arg, next());
         else if (arg == "--seed")
-            opt.seed = std::stoull(next());
+            opt.seed = parseCount(arg, next());
         else if (arg == "--platform")
             opt.platform = next();
         else if (arg == "--model")
@@ -112,10 +169,28 @@ parseArgs(int argc, char **argv)
         else if (arg == "--bug")
             opt.bug = next();
         else if (arg == "--bug-prob")
-            opt.bugProb = std::stod(next());
+            opt.bugProb = parseRate(arg, next());
         else if (arg == "--cache-lines")
             opt.cacheLines =
-                static_cast<std::uint32_t>(std::stoul(next()));
+                static_cast<std::uint32_t>(parseCount(arg, next()));
+        else if (arg == "--fault-bitflip")
+            opt.fault.bitFlipRate = parseRate(arg, next());
+        else if (arg == "--fault-torn")
+            opt.fault.tornStoreRate = parseRate(arg, next());
+        else if (arg == "--fault-truncate")
+            opt.fault.truncationRate = parseRate(arg, next());
+        else if (arg == "--fault-drop")
+            opt.fault.dropRate = parseRate(arg, next());
+        else if (arg == "--fault-dup")
+            opt.fault.duplicateRate = parseRate(arg, next());
+        else if (arg == "--fault-seed")
+            opt.fault.seed = parseCount(arg, next(), 0);
+        else if (arg == "--confirm-k")
+            opt.recovery.confirmationRuns =
+                static_cast<unsigned>(parseCount(arg, next()));
+        else if (arg == "--crash-retries")
+            opt.recovery.crashRetries =
+                static_cast<unsigned>(parseCount(arg, next()));
         else if (arg == "--verbose")
             opt.verbose = true;
         else if (arg == "--help" || arg == "-h") {
@@ -134,6 +209,8 @@ makeFlow(const Options &opt, const TestConfig &cfg)
     FlowConfig flow;
     flow.iterations = opt.iterations;
     flow.runConventional = false;
+    flow.fault = opt.fault;
+    flow.recovery = opt.recovery;
 
     const BugKind bug = parseBug(opt.bug);
     if (opt.platform == "mesi") {
@@ -195,8 +272,10 @@ main(int argc, char **argv)
 
         Rng seeder(opt.seed);
         std::uint64_t total_unique = 0, total_bad = 0, total_assert = 0;
+        std::uint64_t quarantined = 0, transient = 0, confirmed = 0;
+        std::uint64_t injected_events = 0;
         unsigned crashes = 0, flagged = 0;
-        std::string witness;
+        std::string witness, fault_note;
 
         for (unsigned t = 0; t < opt.tests; ++t) {
             const TestProgram program = generateTest(cfg, seeder());
@@ -207,10 +286,16 @@ main(int argc, char **argv)
             total_unique += r.uniqueSignatures;
             total_bad += r.violatingSignatures;
             total_assert += r.assertionFailures;
+            quarantined += r.fault.quarantinedCount();
+            transient += r.fault.transientViolations;
+            confirmed += r.fault.confirmedViolations;
+            injected_events += r.fault.injected.totalEvents();
             crashes += r.platformCrashes ? 1 : 0;
             flagged += r.anyViolation() ? 1 : 0;
             if (witness.empty() && !r.violationWitness.empty())
                 witness = r.violationWitness;
+            if (fault_note.empty() && !r.fault.note.empty())
+                fault_note = r.fault.note;
 
             if (opt.verbose) {
                 table.addRow({std::to_string(t),
@@ -232,11 +317,37 @@ main(int argc, char **argv)
                   << " platform crashes, " << total_unique
                   << " unique interleavings total\n";
 
+        if (opt.fault.enabled()) {
+            std::cout << "fault summary: " << injected_events
+                      << " injected readout faults, " << quarantined
+                      << " signatures quarantined, " << confirmed
+                      << " violations confirmed, " << transient
+                      << " reclassified as transient corruption\n";
+            if (!fault_note.empty())
+                std::cout << "note: " << fault_note << "\n";
+        }
+
         if (!witness.empty())
             std::cout << "\nfirst violation witness:\n" << witness;
 
-        return flagged ? 2 : 0;
+        // Distinct exit codes: a regression farm must tell "the DUT
+        // violated its MCM" from "the readout path glitched" from
+        // "the platform wedged".
+        const bool violation = total_bad || total_assert;
+        if (violation)
+            return 2;
+        if (crashes)
+            return 4;
+        if (quarantined || transient)
+            return 3;
+        return 0;
     } catch (const Error &err) {
+        std::cerr << "mtc_validate: " << err.what() << "\n";
+        return 1;
+    } catch (const std::exception &err) {
+        // Malformed numeric arguments (std::stoul and friends) and
+        // other standard-library failures are configuration errors
+        // too, not crashes.
         std::cerr << "mtc_validate: " << err.what() << "\n";
         return 1;
     }
