@@ -1,0 +1,297 @@
+/**
+ * @file
+ * Parallel-scaling sweep of the validation engine: campaign
+ * throughput across worker-thread counts and collective-checker shard
+ * sizes, emitted as BENCH_scaling.json so the perf trajectory is
+ * tracked from PR to PR.
+ *
+ * Two sweeps:
+ *  - threads: the same campaign run with 1, 2, 4, 8 workers.
+ *    Summaries must be bit-identical to the 1-thread baseline (the
+ *    sweep hard-checks this and reports `deterministic` per point);
+ *    speedup is wall-clock relative to 1 thread.
+ *  - shards: the same campaign at a fixed thread count across shard
+ *    sizes. Sharding trades one extra complete sort per shard for
+ *    shard-level parallelism; the sweep records the checker-work
+ *    delta (extra sorts, extra vertices+edges processed) so the
+ *    tradeoff stays measured instead of folklore.
+ *
+ * Wall-clock speedup is bounded by the machine: the JSON records
+ * hardwareConcurrency so a 1-core CI container's speedup of ~1.0 is
+ * read as "no cores", not "no scaling".
+ *
+ * Scale with MTC_SCALING_TESTS / MTC_ITERATIONS; --smoke runs a
+ * seconds-scale version of the full sweep (CI keeps the emitter from
+ * rotting).
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness/campaign.h"
+#include "support/table.h"
+#include "support/timer.h"
+#include "testgen/generator.h"
+
+using namespace mtc;
+
+namespace
+{
+
+/** Deterministic-summary comparison: every field except wall-clock. */
+bool
+summariesMatch(const std::vector<ConfigSummary> &a,
+               const std::vector<ConfigSummary> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const ConfigSummary &x = a[i], &y = b[i];
+        if (x.tests != y.tests ||
+            x.avgUniqueSignatures != y.avgUniqueSignatures ||
+            x.avgSignatureBytes != y.avgSignatureBytes ||
+            x.avgCodeRatio != y.avgCodeRatio ||
+            x.collectiveWork != y.collectiveWork ||
+            x.conventionalWork != y.conventionalWork ||
+            x.collectiveGraphs != y.collectiveGraphs ||
+            x.collectiveCompleteSorts != y.collectiveCompleteSorts ||
+            x.fracComplete != y.fracComplete ||
+            x.fracNoResort != y.fracNoResort ||
+            x.fracIncremental != y.fracIncremental ||
+            x.avgAffectedFraction != y.avgAffectedFraction ||
+            x.avgComputationOverhead != y.avgComputationOverhead ||
+            x.avgSortingOverhead != y.avgSortingOverhead ||
+            x.violations != y.violations ||
+            x.quarantinedSignatures != y.quarantinedSignatures ||
+            x.confirmedViolations != y.confirmedViolations ||
+            x.failedTests != y.failedTests ||
+            x.degraded != y.degraded)
+            return false;
+    }
+    return true;
+}
+
+struct SweepPoint
+{
+    unsigned threads = 1;
+    std::size_t shardSize = 0;
+    double ms = 0.0;
+    double speedup = 1.0;
+    std::uint64_t collectiveWork = 0;
+    std::uint64_t completeSorts = 0;
+    bool deterministic = true;
+};
+
+std::uint64_t
+totalCollectiveWork(const std::vector<ConfigSummary> &summaries)
+{
+    std::uint64_t work = 0;
+    for (const ConfigSummary &s : summaries)
+        work += s.collectiveWork;
+    return work;
+}
+
+std::uint64_t
+totalCompleteSorts(const std::vector<ConfigSummary> &summaries)
+{
+    std::uint64_t sorts = 0;
+    for (const ConfigSummary &s : summaries)
+        sorts += s.collectiveCompleteSorts;
+    return sorts;
+}
+
+std::string
+jsonEscapeless(double v)
+{
+    std::ostringstream out;
+    out << v;
+    return out.str();
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--smoke") {
+            smoke = true;
+        } else {
+            std::cerr << "scaling: unknown option " << arg
+                      << " (only --smoke)\n";
+            return 1;
+        }
+    }
+
+    unsigned tests = smoke ? 2 : 12;
+    std::uint64_t iterations = smoke ? 48 : 512;
+    try {
+        if (const char *env = std::getenv("MTC_SCALING_TESTS"))
+            tests = static_cast<unsigned>(
+                parseEnvCount("MTC_SCALING_TESTS", env));
+        if (const char *env = std::getenv("MTC_ITERATIONS"))
+            iterations = parseEnvCount("MTC_ITERATIONS", env);
+    } catch (const Error &err) {
+        std::cerr << "scaling: " << err.what() << "\n";
+        return 1;
+    }
+
+    const std::vector<TestConfig> configs = {
+        parseConfigName("x86-4-100-64"),
+        parseConfigName("ARM-4-100-64"),
+    };
+
+    CampaignConfig base;
+    base.iterations = iterations;
+    base.testsPerConfig = tests;
+    base.runConventional = false;
+
+    const unsigned hw = std::thread::hardware_concurrency();
+    std::cout << "Parallel-scaling sweep: " << configs.size()
+              << " configs x " << tests << " tests x " << iterations
+              << " iterations (hardware threads: " << hw << ")\n\n";
+
+    // --- Baseline (1 worker, unsharded) ------------------------------
+    CampaignConfig serial = base;
+    serial.threads = 1;
+    std::vector<ConfigSummary> baseline_summaries;
+    double baseline_ms = 0.0;
+    {
+        WallTimer timer;
+        ScopedTimer scope(timer);
+        baseline_summaries = runCampaign(configs, serial);
+        baseline_ms = timer.milliseconds();
+    }
+
+    std::vector<SweepPoint> points;
+
+    // --- Thread sweep ------------------------------------------------
+    const std::vector<unsigned> thread_counts =
+        smoke ? std::vector<unsigned>{1, 2}
+              : std::vector<unsigned>{1, 2, 4, 8};
+    for (unsigned threads : thread_counts) {
+        CampaignConfig cfg = base;
+        cfg.threads = threads;
+        WallTimer timer;
+        timer.start();
+        const auto summaries = runCampaign(configs, cfg);
+        timer.stop();
+
+        SweepPoint point;
+        point.threads = threads;
+        point.ms = timer.milliseconds();
+        point.speedup = point.ms > 0.0 ? baseline_ms / point.ms : 0.0;
+        point.collectiveWork = totalCollectiveWork(summaries);
+        point.completeSorts = totalCompleteSorts(summaries);
+        point.deterministic =
+            summariesMatch(summaries, baseline_summaries);
+        points.push_back(point);
+    }
+
+    // --- Shard sweep (at the widest swept thread count) --------------
+    const std::vector<std::size_t> shard_sizes =
+        smoke ? std::vector<std::size_t>{0, 8}
+              : std::vector<std::size_t>{0, 8, 32, 128};
+    for (std::size_t shard : shard_sizes) {
+        if (shard == 0)
+            continue; // the unsharded point is the thread sweep's
+        CampaignConfig cfg = base;
+        cfg.threads = thread_counts.back();
+        cfg.shardSize = shard;
+        WallTimer timer;
+        timer.start();
+        const auto summaries = runCampaign(configs, cfg);
+        timer.stop();
+
+        SweepPoint point;
+        point.threads = cfg.threads;
+        point.shardSize = shard;
+        point.ms = timer.milliseconds();
+        point.speedup = point.ms > 0.0 ? baseline_ms / point.ms : 0.0;
+        point.collectiveWork = totalCollectiveWork(summaries);
+        point.completeSorts = totalCompleteSorts(summaries);
+        // Sharding legitimately changes checker stats (one extra full
+        // sort per shard), so determinism is judged against a serial
+        // run at the same shard size, not against the unsharded
+        // baseline.
+        CampaignConfig check = cfg;
+        check.threads = 1;
+        point.deterministic =
+            summariesMatch(summaries, runCampaign(configs, check));
+        points.push_back(point);
+    }
+
+    // --- Report ------------------------------------------------------
+    TablePrinter table({"threads", "shard", "ms", "speedup",
+                        "collective work", "complete sorts",
+                        "deterministic"});
+    for (const SweepPoint &p : points) {
+        table.addRow({TablePrinter::fmt(std::uint64_t(p.threads)),
+                      p.shardSize
+                          ? TablePrinter::fmt(std::uint64_t(p.shardSize))
+                          : std::string("-"),
+                      TablePrinter::fmt(p.ms, 1),
+                      TablePrinter::fmt(p.speedup, 2),
+                      TablePrinter::fmt(p.collectiveWork),
+                      TablePrinter::fmt(p.completeSorts),
+                      p.deterministic ? "yes" : "NO"});
+    }
+    table.print(std::cout);
+    std::cout << "\nShard reading guide: each shard pays one extra "
+                 "complete sort (the paper's\nparallelization tax); "
+                 "`collective work` rises accordingly as shards "
+                 "shrink.\nWall-clock speedup is bounded by hardware "
+                 "threads ("
+              << hw << " here).\n";
+
+    bool all_deterministic = true;
+    for (const SweepPoint &p : points)
+        all_deterministic = all_deterministic && p.deterministic;
+    if (!all_deterministic)
+        std::cerr << "scaling: DETERMINISM VIOLATION — parallel "
+                     "summaries diverged from serial baseline\n";
+
+    // --- JSON emission ----------------------------------------------
+    std::ostringstream json;
+    json << "{\n"
+         << "  \"bench\": \"scaling\",\n"
+         << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+         << "  \"hardwareConcurrency\": " << hw << ",\n"
+         << "  \"configs\": [";
+    for (std::size_t i = 0; i < configs.size(); ++i)
+        json << (i ? ", " : "") << '"' << configs[i].name() << '"';
+    json << "],\n"
+         << "  \"testsPerConfig\": " << tests << ",\n"
+         << "  \"iterations\": " << iterations << ",\n"
+         << "  \"baselineMs\": " << jsonEscapeless(baseline_ms) << ",\n"
+         << "  \"deterministic\": "
+         << (all_deterministic ? "true" : "false") << ",\n"
+         << "  \"sweep\": [\n";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const SweepPoint &p = points[i];
+        json << "    {\"threads\": " << p.threads
+             << ", \"shardSize\": " << p.shardSize
+             << ", \"ms\": " << jsonEscapeless(p.ms)
+             << ", \"speedup\": " << jsonEscapeless(p.speedup)
+             << ", \"collectiveWork\": " << p.collectiveWork
+             << ", \"completeSorts\": " << p.completeSorts
+             << ", \"deterministic\": "
+             << (p.deterministic ? "true" : "false") << "}"
+             << (i + 1 < points.size() ? "," : "") << "\n";
+    }
+    json << "  ]\n}\n";
+
+    // Smoke runs (CI) write to a side file so they never clobber the
+    // recorded full-sweep artifact at the repository root.
+    const std::string out =
+        smoke ? "BENCH_scaling.smoke.json" : "BENCH_scaling.json";
+    writeFile(out, json.str());
+    std::cout << "\n(json written to " << out << ")\n";
+    return all_deterministic ? 0 : 1;
+}

@@ -4,18 +4,45 @@
 
 #include "graph/po_edges.h"
 #include "support/error.h"
+#include "support/thread_pool.h"
 
 namespace mtc
 {
 
+void
+CollectiveStats::merge(const CollectiveStats &other)
+{
+    graphsChecked += other.graphsChecked;
+    violations += other.violations;
+    completeSorts += other.completeSorts;
+    noResortNeeded += other.noResortNeeded;
+    incrementalResorts += other.incrementalResorts;
+    affectedFraction.merge(other.affectedFraction);
+    verticesProcessed += other.verticesProcessed;
+    edgesProcessed += other.edgesProcessed;
+}
+
 CollectiveChecker::CollectiveChecker(const TestProgram &program,
                                      MemoryModel model)
     : prog(program), numVertices(program.numOps()),
-      staticAdj(numVertices), dynAdj(numVertices),
+      dynAdj(numVertices),
       windowEpoch(numVertices, 0), windowIndeg(numVertices, 0)
 {
-    for (const Edge &edge : programOrderEdges(program, model))
-        staticAdj[edge.from].push_back(edge.to);
+    // Build the immutable static adjacency directly in CSR form:
+    // degree count, prefix sum, then a second pass placing neighbours
+    // with per-vertex cursors (preserving programOrderEdges order).
+    const std::vector<Edge> po_edges = programOrderEdges(program, model);
+    staticOff.assign(numVertices + 1, 0);
+    for (const Edge &edge : po_edges)
+        ++staticOff[edge.from + 1];
+    for (std::uint32_t v = 0; v < numVertices; ++v)
+        staticOff[v + 1] += staticOff[v];
+    staticNbr.resize(po_edges.size());
+    std::vector<std::uint32_t> cursor(staticOff.begin(),
+                                      staticOff.end() - 1);
+    for (const Edge &edge : po_edges)
+        staticNbr[cursor[edge.from]++] = edge.to;
+
     isLoad.assign(numVertices, false);
     for (std::uint32_t v = 0; v < numVertices; ++v)
         isLoad[v] = program.op(program.opIdAt(v)).kind == OpKind::Load;
@@ -37,9 +64,17 @@ CollectiveChecker::applyDiff(const std::vector<Edge> &next)
             (i < currentEdges.size() &&
              key(currentEdges[i]) < key(next[j]))) {
             // Removed edge: releases a constraint, never invalidates.
+            // Swap-and-pop instead of erase(find(...)): the find is
+            // unavoidable without an index, but erase's element shift
+            // made diff application quadratic in the successor-list
+            // length on dense tests. Successor order is irrelevant to
+            // correctness (it only biases which of several valid
+            // topological orders the sort produces).
             auto &succ = dynAdj[currentEdges[i].from];
-            succ.erase(std::find(succ.begin(), succ.end(),
-                                 currentEdges[i].to));
+            auto it = std::find(succ.begin(), succ.end(),
+                                currentEdges[i].to);
+            *it = succ.back();
+            succ.pop_back();
             ++i;
         } else if (i == currentEdges.size() ||
                    key(next[j]) < key(currentEdges[i])) {
@@ -63,9 +98,9 @@ CollectiveChecker::fullSort()
     // Work accounting matches topologicalSort(): vertices dequeued and
     // edges relaxed; in-degree building is not separately charged.
     std::vector<std::uint32_t> indeg(numVertices, 0);
+    for (std::uint32_t to : staticNbr)
+        ++indeg[to];
     for (std::uint32_t v = 0; v < numVertices; ++v) {
-        for (std::uint32_t to : staticAdj[v])
-            ++indeg[to];
         for (std::uint32_t to : dynAdj[v])
             ++indeg[to];
     }
@@ -94,13 +129,15 @@ CollectiveChecker::fullSort()
             : load_queue[load_head++];
         ++stat.verticesProcessed;
         order.push_back(v);
-        for (const auto *adj : {&staticAdj[v], &dynAdj[v]}) {
-            for (std::uint32_t to : *adj) {
-                ++stat.edgesProcessed;
-                if (--indeg[to] == 0)
-                    enqueue(to);
-            }
-        }
+        const auto relax = [&](std::uint32_t to) {
+            ++stat.edgesProcessed;
+            if (--indeg[to] == 0)
+                enqueue(to);
+        };
+        for (std::uint32_t e = staticOff[v]; e < staticOff[v + 1]; ++e)
+            relax(staticNbr[e]);
+        for (std::uint32_t to : dynAdj[v])
+            relax(to);
     }
 
     if (order.size() != numVertices) {
@@ -129,12 +166,14 @@ CollectiveChecker::windowedResort(std::uint32_t lead, std::uint32_t trail)
     }
     for (std::uint32_t p = lead; p <= trail; ++p) {
         const std::uint32_t v = orderArr[p];
-        for (const auto *adj : {&staticAdj[v], &dynAdj[v]}) {
-            for (std::uint32_t to : *adj) {
-                if (windowEpoch[to] == epoch)
-                    ++windowIndeg[to];
-            }
-        }
+        const auto count = [&](std::uint32_t to) {
+            if (windowEpoch[to] == epoch)
+                ++windowIndeg[to];
+        };
+        for (std::uint32_t e = staticOff[v]; e < staticOff[v + 1]; ++e)
+            count(staticNbr[e]);
+        for (std::uint32_t to : dynAdj[v])
+            count(to);
     }
 
     std::vector<std::uint32_t> queue;
@@ -152,17 +191,19 @@ CollectiveChecker::windowedResort(std::uint32_t lead, std::uint32_t trail)
         const std::uint32_t v = queue[head++];
         ++stat.verticesProcessed;
         sub_order.push_back(v);
-        for (const auto *adj : {&staticAdj[v], &dynAdj[v]}) {
-            for (std::uint32_t to : *adj) {
-                // Every successor is touched (charged), but only
-                // in-window targets participate in the sort.
-                ++stat.edgesProcessed;
-                if (windowEpoch[to] != epoch)
-                    continue;
-                if (--windowIndeg[to] == 0)
-                    queue.push_back(to);
-            }
-        }
+        // Every successor is touched (charged), but only in-window
+        // targets participate in the sort.
+        const auto relax = [&](std::uint32_t to) {
+            ++stat.edgesProcessed;
+            if (windowEpoch[to] != epoch)
+                return;
+            if (--windowIndeg[to] == 0)
+                queue.push_back(to);
+        };
+        for (std::uint32_t e = staticOff[v]; e < staticOff[v + 1]; ++e)
+            relax(staticNbr[e]);
+        for (std::uint32_t to : dynAdj[v])
+            relax(to);
     }
 
     if (sub_order.size() != window_size) {
@@ -233,6 +274,56 @@ CollectiveChecker::check(const std::vector<DynamicEdgeSet> &ordered)
     verdicts.reserve(ordered.size());
     for (const DynamicEdgeSet &edges : ordered)
         verdicts.push_back(checkNext(edges));
+    return verdicts;
+}
+
+std::vector<bool>
+checkCollectiveSharded(const TestProgram &program, MemoryModel model,
+                       const std::vector<DynamicEdgeSet> &ordered,
+                       std::size_t shard_size, ThreadPool *pool,
+                       CollectiveStats &stats)
+{
+    if (shard_size == 0 || shard_size >= ordered.size()) {
+        CollectiveChecker checker(program, model);
+        std::vector<bool> verdicts = checker.check(ordered);
+        stats.merge(checker.stats());
+        return verdicts;
+    }
+
+    const std::size_t shards =
+        (ordered.size() + shard_size - 1) / shard_size;
+    std::vector<std::vector<bool>> shard_verdicts(shards);
+    std::vector<CollectiveStats> shard_stats(shards);
+
+    // Each shard is an independent checker over a contiguous slice of
+    // the (already ascending) signature sequence; any worker may pick
+    // up any shard because results land in per-shard slots that are
+    // merged in shard order below.
+    const auto run_shard = [&](std::size_t s) {
+        const std::size_t begin = s * shard_size;
+        const std::size_t end =
+            std::min(begin + shard_size, ordered.size());
+        const std::vector<DynamicEdgeSet> slice(
+            ordered.begin() + begin, ordered.begin() + end);
+        CollectiveChecker checker(program, model);
+        shard_verdicts[s] = checker.check(slice);
+        shard_stats[s] = checker.stats();
+    };
+
+    if (pool && pool->size() > 1) {
+        pool->parallelFor(shards, run_shard);
+    } else {
+        for (std::size_t s = 0; s < shards; ++s)
+            run_shard(s);
+    }
+
+    std::vector<bool> verdicts;
+    verdicts.reserve(ordered.size());
+    for (std::size_t s = 0; s < shards; ++s) {
+        verdicts.insert(verdicts.end(), shard_verdicts[s].begin(),
+                        shard_verdicts[s].end());
+        stats.merge(shard_stats[s]);
+    }
     return verdicts;
 }
 

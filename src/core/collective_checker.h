@@ -45,7 +45,8 @@ struct CollectiveStats
     std::uint64_t violations = 0;
 
     /** Graphs checked with a complete sort (the first one, plus
-     * recovery sorts after violating graphs). */
+     * recovery sorts after violating graphs, plus one per shard when
+     * the batch is sharded — the paper's parallelization tax). */
     std::uint64_t completeSorts = 0;
 
     /** Graphs whose added edges were all forward: no re-sorting. */
@@ -60,6 +61,11 @@ struct CollectiveStats
 
     std::uint64_t verticesProcessed = 0;
     std::uint64_t edgesProcessed = 0;
+
+    /** Fold another batch's accounting into this one. Counters add and
+     * the affected-fraction accumulator merges, so sharded checking
+     * reports exactly the work its shards performed. */
+    void merge(const CollectiveStats &other);
 };
 
 /**
@@ -94,7 +100,15 @@ class CollectiveChecker
     std::uint32_t numVertices;
 
     std::vector<bool> isLoad; ///< store-priority sort heuristic
-    std::vector<std::vector<std::uint32_t>> staticAdj;
+
+    /** Static (program-order) adjacency in CSR layout: the successor
+     * list of vertex v is staticNbr[staticOff[v] .. staticOff[v+1]).
+     * The static graph is immutable after construction, and both sort
+     * kernels walk it for every processed vertex, so one flat array
+     * beats a vector-of-vectors' double indirection on the hot path. */
+    std::vector<std::uint32_t> staticOff;
+    std::vector<std::uint32_t> staticNbr;
+
     std::vector<std::vector<std::uint32_t>> dynAdj;
     std::vector<Edge> currentEdges; ///< sorted dynamic edge list
 
@@ -110,6 +124,27 @@ class CollectiveChecker
 
     CollectiveStats stat;
 };
+
+class ThreadPool;
+
+/**
+ * Check an ordered batch with the unique-signature sequence cut into
+ * contiguous shards of @p shard_size edge sets, one CollectiveChecker
+ * per shard, run concurrently on @p pool (serially when @p pool is
+ * null). Each shard starts without a maintained order and therefore
+ * pays one extra complete sort — exactly the tradeoff the paper's
+ * parallelization note predicts — but shards share no state, so the
+ * verdicts are identical to an unsharded check and the merged stats
+ * are identical for a given shard size at any worker count.
+ *
+ * @p shard_size 0 (or >= the batch) degenerates to one unsharded
+ * checker. Verdicts are returned in batch order; @p stats receives the
+ * merged accounting of all shards.
+ */
+std::vector<bool> checkCollectiveSharded(
+    const TestProgram &program, MemoryModel model,
+    const std::vector<DynamicEdgeSet> &ordered, std::size_t shard_size,
+    ThreadPool *pool, CollectiveStats &stats);
 
 } // namespace mtc
 

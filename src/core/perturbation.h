@@ -14,8 +14,11 @@
  * every executed chain comparison costs a cycle, and a load whose
  * observed candidate index differs from the previous iteration's pays
  * a misprediction penalty. Signature sorting is costed from the
- * comparison count of a balanced-BST insert, which the harness reports
- * from its actual std::set of signatures.
+ * comparison count of a balanced-BST insert, which the harness models
+ * analytically per recorded iteration (floor(log2(unique)) + 1
+ * comparisons against the uniques seen so far) — the device keeps a
+ * sorted structure even though the host-side accumulator is a hash
+ * table.
  */
 
 #ifndef MTC_CORE_PERTURBATION_H

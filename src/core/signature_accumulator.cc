@@ -1,0 +1,74 @@
+#include "core/signature_accumulator.h"
+
+#include <algorithm>
+
+namespace mtc
+{
+
+namespace
+{
+
+constexpr std::size_t kInitialSlots = 64; // power of two
+
+} // anonymous namespace
+
+SignatureAccumulator::SignatureAccumulator()
+    : slots(kInitialSlots, 0), mask(kInitialSlots - 1)
+{
+}
+
+bool
+SignatureAccumulator::record(const Signature &signature,
+                             std::uint64_t copies)
+{
+    const std::uint64_t hash = SignatureHash{}(signature);
+    std::size_t probe = hash & mask;
+    while (slots[probe]) {
+        const std::uint32_t idx = slots[probe] - 1;
+        if (hashes[idx] == hash &&
+            arena[idx].signature == signature) {
+            arena[idx].iterations += copies;
+            return false;
+        }
+        probe = (probe + 1) & mask;
+    }
+
+    arena.push_back({signature, copies});
+    hashes.push_back(hash);
+    slots[probe] = static_cast<std::uint32_t>(arena.size());
+    // Keep the load factor below 0.7 so probe runs stay short.
+    if (arena.size() * 10 >= slots.size() * 7)
+        grow();
+    return true;
+}
+
+void
+SignatureAccumulator::grow()
+{
+    const std::size_t new_size = slots.size() * 2;
+    slots.assign(new_size, 0);
+    mask = new_size - 1;
+    for (std::size_t idx = 0; idx < arena.size(); ++idx) {
+        std::size_t probe = hashes[idx] & mask;
+        while (slots[probe])
+            probe = (probe + 1) & mask;
+        slots[probe] = static_cast<std::uint32_t>(idx + 1);
+    }
+}
+
+std::vector<SignatureCount>
+SignatureAccumulator::takeSortedUnique()
+{
+    std::vector<SignatureCount> result = std::move(arena);
+    arena.clear();
+    hashes.clear();
+    slots.assign(kInitialSlots, 0);
+    mask = kInitialSlots - 1;
+    std::sort(result.begin(), result.end(),
+              [](const SignatureCount &a, const SignatureCount &b) {
+                  return a.signature < b.signature;
+              });
+    return result;
+}
+
+} // namespace mtc

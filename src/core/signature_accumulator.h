@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Signature accumulation hot path of the test loop.
+ *
+ * Every iteration of the test loop records one signature. The original
+ * harness accumulated them in a comparison-counting std::map — a
+ * red-black tree paying O(log u) signature comparisons plus a node
+ * allocation per iteration, which dominated the host-side cost of
+ * signature collection long before any checking started. This
+ * accumulator replaces it with a single-writer, allocation-light
+ * open-addressing hash table: unique signatures live contiguously in
+ * an arena (insertion order), a power-of-two slot array maps hashes to
+ * arena indices by linear probing, and the ascending-signature order
+ * the collective checker needs is produced by one final sort instead
+ * of being maintained on every insert.
+ *
+ * No locks, no nodes, no tree rebalancing: a record() is one hash, a
+ * short probe run, and a counter bump. (The structure is single-writer
+ * by design — the test loop is inherently serial because the platform
+ * and RNG are stateful; the engine's parallelism lives above and below
+ * this loop.)
+ */
+
+#ifndef MTC_CORE_SIGNATURE_ACCUMULATOR_H
+#define MTC_CORE_SIGNATURE_ACCUMULATOR_H
+
+#include <cstdint>
+#include <vector>
+
+#include "core/signature.h"
+
+namespace mtc
+{
+
+/** One unique signature and how many iterations produced it. */
+struct SignatureCount
+{
+    Signature signature;
+    std::uint64_t iterations = 0;
+};
+
+/** Open-addressing signature -> iteration-count accumulator. */
+class SignatureAccumulator
+{
+  public:
+    SignatureAccumulator();
+
+    /**
+     * Record @p copies observations of @p signature.
+     * @return true iff the signature was new.
+     */
+    bool record(const Signature &signature, std::uint64_t copies = 1);
+
+    /** Number of distinct signatures recorded so far. */
+    std::size_t uniqueCount() const { return arena.size(); }
+
+    /**
+     * Steal the accumulated entries, sorted by ascending signature —
+     * the presentation order the collective checker requires. The
+     * accumulator is empty afterwards.
+     */
+    std::vector<SignatureCount> takeSortedUnique();
+
+  private:
+    void grow();
+
+    std::vector<SignatureCount> arena; ///< insertion-ordered uniques
+    std::vector<std::uint64_t> hashes; ///< parallel to arena
+    std::vector<std::uint32_t> slots;  ///< arena index + 1; 0 = empty
+    std::size_t mask = 0;              ///< slots.size() - 1
+};
+
+} // namespace mtc
+
+#endif // MTC_CORE_SIGNATURE_ACCUMULATOR_H

@@ -6,6 +6,7 @@
 #include "sim/executor.h"
 #include "support/log.h"
 #include "support/rng.h"
+#include "support/thread_pool.h"
 #include "testgen/generator.h"
 
 namespace mtc
@@ -53,6 +54,15 @@ CampaignConfig::fromEnv(CampaignConfig defaults)
             parseEnvCount("MTC_TESTS", tests, false));
     if (const char *seed = std::getenv("MTC_SEED"))
         defaults.seed = parseEnvCount("MTC_SEED", seed, true);
+    // Zero is meaningful for both parallelism knobs: MTC_THREADS=0
+    // asks for every hardware thread, MTC_SHARD_SIZE=0 disables
+    // sharding.
+    if (const char *threads = std::getenv("MTC_THREADS"))
+        defaults.threads = static_cast<unsigned>(
+            parseEnvCount("MTC_THREADS", threads, true));
+    if (const char *shard = std::getenv("MTC_SHARD_SIZE"))
+        defaults.shardSize = static_cast<std::size_t>(
+            parseEnvCount("MTC_SHARD_SIZE", shard, true));
     return defaults;
 }
 
@@ -71,19 +81,33 @@ platformFor(const TestConfig &cfg, PlatformVariant variant)
     return exec;
 }
 
-ConfigSummary
-runConfig(const TestConfig &cfg, const CampaignConfig &campaign)
+namespace
 {
-    ConfigSummary summary;
-    summary.cfg = cfg;
 
-    FlowConfig flow_cfg;
-    flow_cfg.iterations = campaign.iterations;
-    flow_cfg.exec = platformFor(cfg, campaign.variant);
-    flow_cfg.runConventional = campaign.runConventional;
-    flow_cfg.fault = campaign.fault;
-    flow_cfg.recovery = campaign.recovery;
+/** Seeds of one test, fixed before any test runs. */
+struct TestPlan
+{
+    std::uint64_t genSeed = 0;
+    std::uint64_t flowSeed = 0;
 
+    /** Root of this test's private retry-seed stream. */
+    std::uint64_t retrySeed = 0;
+};
+
+/**
+ * Pre-derive every test's seeds from the canonical per-config seeder
+ * sequence (two draws per test, in test order — exactly the draws the
+ * serial runner made), so tests can run on any worker in any order
+ * and still see the very same programs. Retry seeds are the one
+ * departure: the serial runner drew retry seeds from the shared
+ * sequence, which would let one worker's retry shift every later
+ * test's seeds; instead each test's retries come from a private
+ * stream rooted in its own seeds, keeping failures local and results
+ * independent of scheduling.
+ */
+std::vector<TestPlan>
+deriveTestPlans(const TestConfig &cfg, const CampaignConfig &campaign)
+{
     // Tests are derived from one seed per configuration so every
     // figure sees the same test programs (the paper reuses one set of
     // generated tests across experiments for fairness).
@@ -94,39 +118,106 @@ runConfig(const TestConfig &cfg, const CampaignConfig &campaign)
                static_cast<std::uint64_t>(cfg.wordsPerLine) ^
                (cfg.isa == Isa::X86 ? 0x5a5a5a5aull : 0ull));
 
+    std::vector<TestPlan> plans(campaign.testsPerConfig);
+    for (TestPlan &plan : plans) {
+        plan.genSeed = seeder();
+        plan.flowSeed = seeder();
+        std::uint64_t mix =
+            plan.genSeed ^ (plan.flowSeed * 0x9e3779b97f4a7c15ULL);
+        plan.retrySeed = splitMix64(mix);
+    }
+    return plans;
+}
+
+/** Flow template shared by all of one configuration's tests. */
+FlowConfig
+flowTemplate(const TestConfig &cfg, const CampaignConfig &campaign)
+{
+    FlowConfig flow_cfg;
+    flow_cfg.iterations = campaign.iterations;
+    flow_cfg.exec = platformFor(cfg, campaign.variant);
+    flow_cfg.runConventional = campaign.runConventional;
+    flow_cfg.fault = campaign.fault;
+    flow_cfg.recovery = campaign.recovery;
+    flow_cfg.shardSize = campaign.shardSize;
+    // The campaign parallelizes at test granularity; each flow stays
+    // serial inside so campaign.threads workers mean campaign.threads
+    // busy cores, not threads^2 oversubscription.
+    flow_cfg.threads = 1;
+    return flow_cfg;
+}
+
+/** One (config, test) unit's result slot. */
+struct TestOutcome
+{
+    FlowResult result;
+    bool ok = false;
+    unsigned retriesUsed = 0;
+};
+
+/**
+ * Run one planned test with its retry budget. A test that dies on an
+ * internal error (poisoned generation seed, wedged platform, harness
+ * bug surfacing under fault injection) is retried with fresh seeds
+ * from its private stream; after the budget it is recorded as failed
+ * — one bad test must never take down a whole campaign.
+ */
+TestOutcome
+runPlannedTest(const TestConfig &cfg, const FlowConfig &flow_template,
+               const TestPlan &plan, const CampaignConfig &campaign,
+               unsigned test_index)
+{
+    TestOutcome outcome;
+    Rng retry_seeder(plan.retrySeed);
+    for (unsigned attempt = 0;
+         attempt <= campaign.testRetries && !outcome.ok; ++attempt) {
+        std::uint64_t gen_seed = plan.genSeed;
+        std::uint64_t flow_seed = plan.flowSeed;
+        if (attempt) {
+            ++outcome.retriesUsed;
+            gen_seed = retry_seeder();
+            flow_seed = retry_seeder();
+        }
+        try {
+            const TestProgram program = generateTest(cfg, gen_seed);
+            FlowConfig flow_cfg = flow_template;
+            flow_cfg.seed = flow_seed;
+            ValidationFlow flow(flow_cfg);
+            outcome.result = flow.runTest(program);
+            outcome.ok = true;
+        } catch (const Error &err) {
+            warn("test " + std::to_string(test_index) + " of " +
+                 cfg.name() + " failed (attempt " +
+                 std::to_string(attempt + 1) + "): " + err.what());
+        }
+    }
+    return outcome;
+}
+
+/**
+ * Fold the outcome slots into a ConfigSummary, strictly in test
+ * order: double accumulation is order-sensitive, so folding slots in
+ * index order is what makes the summary bit-identical to the serial
+ * runner's at any worker count.
+ */
+ConfigSummary
+summarize(const TestConfig &cfg, std::vector<TestOutcome> &outcomes)
+{
+    ConfigSummary summary;
+    summary.cfg = cfg;
+
     std::uint64_t complete = 0, no_resort = 0, incremental = 0;
     std::uint64_t graphs = 0;
     double affected_weighted = 0.0;
     std::uint64_t affected_count = 0;
 
-    for (unsigned t = 0; t < campaign.testsPerConfig; ++t) {
-        // A test that dies on an internal error (poisoned generation
-        // seed, wedged platform, harness bug surfacing under fault
-        // injection) is retried with fresh seeds; after the budget it
-        // is recorded as failed and the campaign moves on — one bad
-        // test must never take down a whole campaign.
-        FlowResult result;
-        bool test_ok = false;
-        for (unsigned attempt = 0;
-             attempt <= campaign.testRetries && !test_ok; ++attempt) {
-            if (attempt)
-                ++summary.testRetriesUsed;
-            try {
-                const TestProgram program = generateTest(cfg, seeder());
-                flow_cfg.seed = seeder();
-                ValidationFlow flow(flow_cfg);
-                result = flow.runTest(program);
-                test_ok = true;
-            } catch (const Error &err) {
-                warn("test " + std::to_string(t) + " of " + cfg.name() +
-                     " failed (attempt " + std::to_string(attempt + 1) +
-                     "): " + err.what());
-            }
-        }
-        if (!test_ok) {
+    for (TestOutcome &outcome : outcomes) {
+        summary.testRetriesUsed += outcome.retriesUsed;
+        if (!outcome.ok) {
             ++summary.failedTests;
             continue;
         }
+        const FlowResult &result = outcome.result;
 
         ++summary.tests;
         summary.avgUniqueSignatures += result.uniqueSignatures;
@@ -177,6 +268,8 @@ runConfig(const TestConfig &cfg, const CampaignConfig &campaign)
     summary.avgComputationOverhead /= n;
     summary.avgSortingOverhead /= n;
 
+    summary.collectiveGraphs = graphs;
+    summary.collectiveCompleteSorts = complete;
     if (graphs) {
         summary.fracComplete = static_cast<double>(complete) / graphs;
         summary.fracNoResort = static_cast<double>(no_resort) / graphs;
@@ -190,27 +283,99 @@ runConfig(const TestConfig &cfg, const CampaignConfig &campaign)
     return summary;
 }
 
+} // anonymous namespace
+
+ConfigSummary
+runConfig(const TestConfig &cfg, const CampaignConfig &campaign)
+{
+    const FlowConfig flow_cfg = flowTemplate(cfg, campaign);
+    const std::vector<TestPlan> plans = deriveTestPlans(cfg, campaign);
+
+    std::vector<TestOutcome> outcomes(plans.size());
+    const auto run_one = [&](std::size_t t) {
+        outcomes[t] = runPlannedTest(cfg, flow_cfg, plans[t], campaign,
+                                     static_cast<unsigned>(t));
+    };
+
+    const unsigned workers = ThreadPool::resolveThreads(campaign.threads);
+    if (workers > 1 && plans.size() > 1) {
+        ThreadPool pool(workers);
+        pool.parallelFor(plans.size(), run_one);
+    } else {
+        for (std::size_t t = 0; t < plans.size(); ++t)
+            run_one(t);
+    }
+    return summarize(cfg, outcomes);
+}
+
 std::vector<ConfigSummary>
 runCampaign(const std::vector<TestConfig> &configs,
             const CampaignConfig &campaign)
 {
+    // Plan every configuration up front so the whole campaign is one
+    // flat list of independent (config, test) units — the pool then
+    // keeps every worker busy across configuration boundaries instead
+    // of draining at the tail of each configuration.
+    struct ConfigPlan
+    {
+        FlowConfig flow;
+        std::vector<TestPlan> tests;
+        bool setupOk = false;
+        std::string error;
+    };
+    std::vector<ConfigPlan> plans(configs.size());
+    std::vector<std::pair<std::size_t, std::size_t>> units;
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+        // Degraded-summary path: a configuration that cannot even be
+        // set up yields a marked summary instead of unwinding the
+        // remaining configurations.
+        try {
+            plans[c].flow = flowTemplate(configs[c], campaign);
+            plans[c].tests = deriveTestPlans(configs[c], campaign);
+            plans[c].setupOk = true;
+        } catch (const Error &err) {
+            warn("configuration " + configs[c].name() +
+                 " failed, continuing campaign: " + err.what());
+            plans[c].error = err.what();
+            continue;
+        }
+        for (std::size_t t = 0; t < plans[c].tests.size(); ++t)
+            units.emplace_back(c, t);
+    }
+
+    std::vector<std::vector<TestOutcome>> outcomes(configs.size());
+    for (std::size_t c = 0; c < configs.size(); ++c)
+        outcomes[c].resize(plans[c].tests.size());
+
+    const auto run_unit = [&](std::size_t u) {
+        const auto [c, t] = units[u];
+        outcomes[c][t] =
+            runPlannedTest(configs[c], plans[c].flow, plans[c].tests[t],
+                           campaign, static_cast<unsigned>(t));
+    };
+
+    const unsigned workers = ThreadPool::resolveThreads(campaign.threads);
+    if (workers > 1 && units.size() > 1) {
+        ThreadPool pool(workers);
+        pool.parallelFor(units.size(), run_unit);
+    } else {
+        for (std::size_t u = 0; u < units.size(); ++u)
+            run_unit(u);
+    }
+
     std::vector<ConfigSummary> summaries;
     summaries.reserve(configs.size());
-    for (const TestConfig &cfg : configs) {
-        // Degraded-summary path: a configuration whose every test is
-        // poisoned (runConfig itself threw) yields a marked summary
-        // instead of unwinding the remaining configurations.
-        try {
-            summaries.push_back(runConfig(cfg, campaign));
-        } catch (const Error &err) {
-            warn("configuration " + cfg.name() +
-                 " failed, continuing campaign: " + err.what());
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+        if (!plans[c].setupOk) {
             ConfigSummary degraded;
-            degraded.cfg = cfg;
+            degraded.cfg = configs[c];
             degraded.degraded = true;
-            degraded.error = err.what();
+            degraded.error = plans[c].error;
             summaries.push_back(std::move(degraded));
+            continue;
         }
+        summaries.push_back(
+            summarize(configs[c], outcomes[c]));
     }
     return summaries;
 }

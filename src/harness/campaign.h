@@ -14,6 +14,7 @@
 #ifndef MTC_HARNESS_CAMPAIGN_H
 #define MTC_HARNESS_CAMPAIGN_H
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -53,7 +54,23 @@ struct CampaignConfig
     unsigned testRetries = 1;
 
     /**
-     * Apply MTC_ITERATIONS / MTC_TESTS / MTC_SEED overrides.
+     * Worker threads the campaign fans its (config, test) units
+     * across. 1 (default) runs the classic serial campaign; 0 resolves
+     * to the hardware concurrency. Summaries are bit-identical at any
+     * value: every test's seeds are pre-derived from the canonical
+     * serial sequence, each unit writes its own result slot, and
+     * per-config aggregation folds the slots in test order.
+     */
+    unsigned threads = 1;
+
+    /** Collective-checker shard size forwarded to every test's flow
+     * (see FlowConfig::shardSize). 0 = unsharded. */
+    std::size_t shardSize = 0;
+
+    /**
+     * Apply MTC_ITERATIONS / MTC_TESTS / MTC_SEED / MTC_THREADS /
+     * MTC_SHARD_SIZE overrides (MTC_THREADS=0 means "use every
+     * hardware thread"; MTC_SHARD_SIZE=0 means unsharded).
      *
      * @throws ConfigError if a set variable is non-numeric, or zero
      *         where zero is meaningless (iterations, tests).
@@ -86,6 +103,13 @@ struct ConfigSummary
     double fracNoResort = 0.0;
     double fracIncremental = 0.0;
     double avgAffectedFraction = 0.0;
+
+    /** Raw collective-checker classification totals (the fractions
+     * above are these normalized by graphs checked); the scaling
+     * bench reads the complete-sort count to measure the per-shard
+     * extra-sort tax directly. */
+    std::uint64_t collectiveGraphs = 0;
+    std::uint64_t collectiveCompleteSorts = 0;
 
     /** Figure 10 components (means of per-test overheads). */
     double avgComputationOverhead = 0.0;

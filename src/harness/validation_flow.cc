@@ -1,19 +1,21 @@
 #include "harness/validation_flow.h"
 
 #include <algorithm>
-#include <map>
+#include <bit>
 #include <memory>
 #include <optional>
 #include <set>
 #include <string>
 
 #include "core/instr_plan.h"
+#include "core/signature_accumulator.h"
 #include "core/signature_codec.h"
 #include "graph/cycle_report.h"
 #include "graph/graph_builder.h"
 #include "graph/po_edges.h"
 #include "sim/executor.h"
 #include "support/log.h"
+#include "support/thread_pool.h"
 #include "support/timer.h"
 
 namespace mtc
@@ -22,18 +24,20 @@ namespace mtc
 namespace
 {
 
-/** Signature ordering that counts comparisons (BST sorting cost). */
-struct CountingLess
+/**
+ * Device-side sorting cost of recording one iteration's signature
+ * (the Figure 10 perturbation input). The instrumented test keeps its
+ * signatures in a balanced BST, so one insert searches a tree of
+ * @p unique_before nodes: floor(log2(u)) + 1 comparisons, 0 into an
+ * empty tree. The host no longer pays this walk — the accumulator is
+ * a hash table — but the model still charges it, because the paper's
+ * sorting-overhead component describes the device, not the host.
+ */
+std::uint64_t
+bstInsertComparisons(std::uint64_t unique_before)
 {
-    std::uint64_t *counter = nullptr;
-
-    bool
-    operator()(const Signature &a, const Signature &b) const
-    {
-        ++*counter;
-        return a < b;
-    }
-};
+    return unique_before ? std::bit_width(unique_before) : 0;
+}
 
 } // anonymous namespace
 
@@ -80,9 +84,18 @@ ValidationFlow::runTest(const TestProgram &program)
         injector.emplace(fault_cfg, word_layout);
     }
 
+    // Hot path: O(1) hash accumulation per iteration instead of the
+    // old comparison-counting std::map (O(log u) signature compares
+    // plus a node allocation per iteration). The BST sorting cost the
+    // perturbation model needs is charged analytically per record.
     std::uint64_t sort_comparisons = 0;
-    std::map<Signature, std::uint64_t, CountingLess> signature_counts(
-        CountingLess{&sort_comparisons});
+    SignatureAccumulator signature_counts;
+    const auto record_signature = [&](const Signature &signature,
+                                      std::uint64_t copies) {
+        sort_comparisons +=
+            copies * bstInsertComparisons(signature_counts.uniqueCount());
+        signature_counts.record(signature, copies);
+    };
 
     for (std::uint64_t iter = 0; iter < cfg.iterations; ++iter) {
         Execution execution;
@@ -113,11 +126,11 @@ ValidationFlow::runTest(const TestProgram &program)
                 const FaultedReadout readout =
                     injector->read(encoded.signature);
                 result.fault.recordedIterations += readout.copies;
-                for (unsigned c = 0; c < readout.copies; ++c)
-                    ++signature_counts[readout.signature];
+                if (readout.copies)
+                    record_signature(readout.signature, readout.copies);
             } else {
                 ++result.fault.recordedIterations;
-                ++signature_counts[std::move(encoded.signature)];
+                record_signature(encoded.signature, 1);
             }
         } catch (const SignatureAssertError &err) {
             // The instrumented chain caught an impossible value at
@@ -130,7 +143,7 @@ ValidationFlow::runTest(const TestProgram &program)
     if (injector)
         result.fault.injected = injector->counts();
 
-    result.uniqueSignatures = signature_counts.size();
+    result.uniqueSignatures = signature_counts.uniqueCount();
     perturbation.recordSortComparisons(sort_comparisons);
     result.originalCycles = perturbation.originalCycles();
     result.computeCycles = perturbation.signatureComputationCycles();
@@ -138,34 +151,84 @@ ValidationFlow::runTest(const TestProgram &program)
     result.computationOverhead = perturbation.computationOverhead();
     result.sortingOverhead = perturbation.sortingOverhead();
 
+    // One final sort replaces the map's per-insert ordering: the
+    // collective checker needs ascending-signature presentation order.
+    const std::vector<SignatureCount> unique =
+        signature_counts.takeSortedUnique();
+
+    // Worker pool for the in-test parallel stages (decode fan-out and
+    // sharded checking). threads == 1 keeps everything on this thread.
+    const unsigned flow_workers = ThreadPool::resolveThreads(cfg.threads);
+    std::unique_ptr<ThreadPool> pool;
+    if (flow_workers > 1)
+        pool = std::make_unique<ThreadPool>(flow_workers);
+
     // --- Decode + observed-edge derivation (shared by checkers) -------
     // Undecodable signatures — the expected outcome of readout faults
     // on suspect silicon — are quarantined with their classification
     // instead of aborting the flow (post-silicon rule: never let the
     // harness confuse "readout glitched" with "the DUT is buggy").
+    //
+    // Each unique signature decodes independently, so the loop fans
+    // out across the pool into per-index slots; the slots are folded
+    // back in index (= ascending signature) order, which makes the
+    // decoded sequence, the quarantine list, and the kept executions
+    // bit-identical at any worker count. Slots own their Signature
+    // copies outright — the old code kept pointers into the live
+    // std::map, a dangling accident waiting for any later refactor.
+    struct DecodeSlot
+    {
+        bool quarantined = false;
+        DynamicEdgeSet edges;
+        Execution execution; ///< populated only when keepExecutions
+        QuarantinedSignature quarantine;
+    };
+    std::vector<DecodeSlot> decode_slots(unique.size());
     std::vector<DynamicEdgeSet> edge_sets;
-    edge_sets.reserve(signature_counts.size());
-    std::vector<const Signature *> decoded_signatures; // parallel
-    decoded_signatures.reserve(signature_counts.size());
+    edge_sets.reserve(unique.size());
+    std::vector<std::size_t> decoded_unique_idx; // edge_sets -> unique
+    decoded_unique_idx.reserve(unique.size());
     {
         WallTimer timer;
         ScopedTimer scope(timer);
-        for (const auto &[signature, count] : signature_counts) {
+        const auto decode_one = [&](std::size_t i) {
+            DecodeSlot &slot = decode_slots[i];
             try {
-                Execution decoded = codec.decode(signature);
-                edge_sets.push_back(dynamicEdges(program, decoded));
-                decoded_signatures.push_back(&signature);
+                Execution decoded = codec.decode(unique[i].signature);
+                slot.edges = dynamicEdges(program, decoded);
                 if (cfg.keepExecutions)
-                    result.executions.push_back(std::move(decoded));
+                    slot.execution = std::move(decoded);
             } catch (const SignatureDecodeError &err) {
-                result.fault.quarantined.push_back(
-                    {signature, count, err.kind(), err.thread(),
-                     err.word(), err.what()});
-                result.fault.quarantinedIterations += count;
+                slot.quarantined = true;
+                slot.quarantine = {unique[i].signature,
+                                   unique[i].iterations, err.kind(),
+                                   err.thread(), err.word(), err.what()};
             }
+        };
+        if (pool) {
+            pool->parallelFor(unique.size(), decode_one);
+        } else {
+            for (std::size_t i = 0; i < unique.size(); ++i)
+                decode_one(i);
+        }
+
+        for (std::size_t i = 0; i < unique.size(); ++i) {
+            DecodeSlot &slot = decode_slots[i];
+            if (slot.quarantined) {
+                result.fault.quarantined.push_back(
+                    std::move(slot.quarantine));
+                result.fault.quarantinedIterations +=
+                    unique[i].iterations;
+                continue;
+            }
+            edge_sets.push_back(std::move(slot.edges));
+            decoded_unique_idx.push_back(i);
+            if (cfg.keepExecutions)
+                result.executions.push_back(std::move(slot.execution));
         }
         result.decodeMs = timer.milliseconds();
     }
+    decode_slots.clear();
     result.fault.decodedSignatures = edge_sets.size();
 
     // --- Collective checking (MTraceCheck) -----------------------------
@@ -173,12 +236,12 @@ ValidationFlow::runTest(const TestProgram &program)
         cfg.coherent ? cfg.coherent->model : cfg.exec.model;
     std::vector<bool> collective_verdicts;
     {
-        CollectiveChecker checker(program, model);
         WallTimer timer;
         ScopedTimer scope(timer);
-        collective_verdicts = checker.check(edge_sets);
+        collective_verdicts = checkCollectiveSharded(
+            program, model, edge_sets, cfg.shardSize, pool.get(),
+            result.collective);
         result.collectiveMs = timer.milliseconds();
-        result.collective = checker.stats();
     }
     for (bool verdict : collective_verdicts)
         result.violatingSignatures += verdict ? 1 : 0;
@@ -239,7 +302,8 @@ ValidationFlow::runTest(const TestProgram &program)
         std::set<Signature> violating_set;
         for (std::size_t i = 0; i < edge_sets.size(); ++i) {
             if (collective_verdicts[i])
-                violating_set.insert(*decoded_signatures[i]);
+                violating_set.insert(
+                    unique[decoded_unique_idx[i]].signature);
         }
 
         const std::uint64_t confirm_iters =

@@ -14,6 +14,7 @@
 #ifndef MTC_HARNESS_VALIDATION_FLOW_H
 #define MTC_HARNESS_VALIDATION_FLOW_H
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -159,6 +160,25 @@ struct FlowConfig
 
     /** Graceful-degradation knobs (defaults preserve old behavior). */
     RecoveryConfig recovery;
+
+    /**
+     * Worker threads for the in-test parallel stages — the
+     * decode/observed-edge loop over unique signatures and the sharded
+     * collective checker. 1 (default) runs fully serial; 0 resolves to
+     * the hardware concurrency. Results are bit-identical at any
+     * value: every parallel stage writes to per-index slots that are
+     * merged in deterministic order.
+     */
+    unsigned threads = 1;
+
+    /**
+     * Shard size of the collective checker: the sorted unique
+     * signatures are cut into contiguous shards of this many edge
+     * sets, each checked independently (one extra complete sort per
+     * shard). 0 (default) checks unsharded. Verdicts are identical
+     * either way; checker work stats differ by the per-shard sort tax.
+     */
+    std::size_t shardSize = 0;
 };
 
 /** Everything measured while validating one test. */

@@ -1,0 +1,131 @@
+#include "support/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <memory>
+
+namespace mtc
+{
+
+unsigned
+ThreadPool::resolveThreads(unsigned requested)
+{
+    if (requested)
+        return requested;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+ThreadPool::ThreadPool(unsigned threads, std::size_t queue_capacity)
+{
+    const unsigned n = resolveThreads(threads);
+    capacity = queue_capacity ? queue_capacity
+                              : static_cast<std::size_t>(n) * 4;
+    workers.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::unique_lock<std::mutex> lock(mtx);
+        stopping = true;
+    }
+    taskReady.notify_all();
+    queueSpace.notify_all();
+    for (std::thread &worker : workers)
+        worker.join();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mtx);
+            taskReady.wait(lock,
+                           [this] { return stopping || !queue.empty(); });
+            if (queue.empty())
+                return; // stopping and drained
+            task = std::move(queue.front());
+            queue.pop_front();
+        }
+        queueSpace.notify_one();
+        task();
+    }
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::unique_lock<std::mutex> lock(mtx);
+        queueSpace.wait(lock, [this] {
+            return stopping || queue.size() < capacity;
+        });
+        if (stopping)
+            return; // shutting down; new work is dropped
+        queue.push_back(std::move(task));
+    }
+    taskReady.notify_one();
+}
+
+void
+ThreadPool::parallelFor(std::size_t count,
+                        const std::function<void(std::size_t)> &body)
+{
+    if (!count)
+        return;
+
+    // One chunk task per worker pulling indices off a shared counter:
+    // cheap dynamic load balancing without per-index queue traffic.
+    struct Shared
+    {
+        std::atomic<std::size_t> next{0};
+        std::size_t count;
+        const std::function<void(std::size_t)> *body;
+
+        std::mutex doneMtx;
+        std::condition_variable done;
+        std::size_t pending;
+        std::exception_ptr firstError;
+    };
+    auto shared = std::make_shared<Shared>();
+    shared->count = count;
+    shared->body = &body;
+
+    const std::size_t chunks =
+        std::min<std::size_t>(count, workers.size());
+    shared->pending = chunks;
+
+    for (std::size_t c = 0; c < chunks; ++c) {
+        submit([shared] {
+            for (;;) {
+                const std::size_t i =
+                    shared->next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= shared->count)
+                    break;
+                try {
+                    (*shared->body)(i);
+                } catch (...) {
+                    std::lock_guard<std::mutex> lock(shared->doneMtx);
+                    if (!shared->firstError)
+                        shared->firstError = std::current_exception();
+                }
+            }
+            std::lock_guard<std::mutex> lock(shared->doneMtx);
+            if (--shared->pending == 0)
+                shared->done.notify_all();
+        });
+    }
+
+    std::unique_lock<std::mutex> lock(shared->doneMtx);
+    shared->done.wait(lock, [&] { return shared->pending == 0; });
+    if (shared->firstError)
+        std::rethrow_exception(shared->firstError);
+}
+
+} // namespace mtc

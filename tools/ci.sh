@@ -1,6 +1,10 @@
 #!/usr/bin/env bash
 # Tier-1 CI: build + ctest twice — once plain, once under ASan+UBSan
-# (the MTC_SANITIZE CMake option). Usage: tools/ci.sh [jobs]
+# (the MTC_SANITIZE CMake option) — then re-run both suites with the
+# parallel engine active (MTC_THREADS=4) so scheduling bugs and
+# pool-shutdown races can't hide behind the serial default, and
+# finally a scaling-bench smoke run so the BENCH_scaling.json emitter
+# can't silently rot. Usage: tools/ci.sh [jobs]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -19,4 +23,16 @@ run_suite() {
 run_suite build -DMTC_SANITIZE=OFF
 run_suite build-asan -DMTC_SANITIZE=ON
 
-echo "=== CI OK: plain and sanitized suites both green ==="
+# Parallel engine pass: campaigns fan (config, test) units across 4
+# workers. Results must stay bit-identical to the serial runs above;
+# the sanitized pass additionally checks the pool's shutdown/join
+# discipline under ASan+UBSan.
+echo "=== ctest build (MTC_THREADS=4) ==="
+MTC_THREADS=4 ctest --test-dir build --output-on-failure -j "${jobs}"
+echo "=== ctest build-asan (MTC_THREADS=4) ==="
+MTC_THREADS=4 ctest --test-dir build-asan --output-on-failure -j "${jobs}"
+
+echo "=== bench/scaling --smoke ==="
+./build/bench/scaling --smoke
+
+echo "=== CI OK: plain, sanitized, and parallel suites all green ==="

@@ -41,16 +41,20 @@
  *      violation
  */
 
+#include <cstddef>
 #include <cstdint>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <optional>
 #include <string>
 
+#include "harness/campaign.h"
 #include "harness/validation_flow.h"
 #include "sim/coherent_executor.h"
 #include "sim/executor.h"
 #include "support/table.h"
+#include "support/thread_pool.h"
 #include "testgen/generator.h"
 
 using namespace mtc;
@@ -71,6 +75,15 @@ struct Options
     std::uint32_t cacheLines = 0;
     FaultConfig fault;
     RecoveryConfig recovery;
+
+    /** Worker threads for the in-test parallel stages (decode fan-out
+     * and sharded checking); 0 = hardware concurrency. Defaults to
+     * MTC_THREADS when set, else 1 (serial). */
+    unsigned threads = 1;
+
+    /** Collective-checker shard size; 0 = unsharded. */
+    std::size_t shardSize = 0;
+
     bool verbose = false;
 };
 
@@ -96,7 +109,15 @@ usage()
         "  --fault-seed N    fault injector seed [0xfa017]\n"
         "  --confirm-k N     K-re-execution confirmation budget [2]\n"
         "  --crash-retries N reseeded retries after crash [0]\n"
+        "  --threads N       worker threads for signature decoding and\n"
+        "                    sharded checking; 0 = all hardware threads\n"
+        "                    (default: MTC_THREADS if set, else 1)\n"
+        "  --shard-size N    collective-checker shard size; each shard\n"
+        "                    is checked independently at the price of\n"
+        "                    one extra complete sort; 0 = unsharded [0]\n"
         "  --verbose         per-test detail rows\n"
+        "env: MTC_THREADS sets the --threads default (0 = all hardware\n"
+        "     threads); results are identical at any thread count\n"
         "exit codes: 0 clean, 1 config error, 2 confirmed violation,\n"
         "            3 corruption only, 4 platform crash\n";
 }
@@ -147,6 +168,10 @@ Options
 parseArgs(int argc, char **argv)
 {
     Options opt;
+    // Environment default first so an explicit --threads flag wins.
+    if (const char *env = std::getenv("MTC_THREADS"))
+        opt.threads = static_cast<unsigned>(
+            parseEnvCount("MTC_THREADS", env, true));
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         auto next = [&]() -> std::string {
@@ -191,6 +216,12 @@ parseArgs(int argc, char **argv)
         else if (arg == "--crash-retries")
             opt.recovery.crashRetries =
                 static_cast<unsigned>(parseCount(arg, next()));
+        else if (arg == "--threads")
+            opt.threads =
+                static_cast<unsigned>(parseCount(arg, next()));
+        else if (arg == "--shard-size")
+            opt.shardSize =
+                static_cast<std::size_t>(parseCount(arg, next()));
         else if (arg == "--verbose")
             opt.verbose = true;
         else if (arg == "--help" || arg == "-h") {
@@ -211,6 +242,8 @@ makeFlow(const Options &opt, const TestConfig &cfg)
     flow.runConventional = false;
     flow.fault = opt.fault;
     flow.recovery = opt.recovery;
+    flow.threads = opt.threads;
+    flow.shardSize = opt.shardSize;
 
     const BugKind bug = parseBug(opt.bug);
     if (opt.platform == "mesi") {
