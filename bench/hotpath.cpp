@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Execution hot-path sweep: single-thread campaign throughput with the
+ * reusable RunArena (the zero-allocation path) versus per-iteration
+ * arena reconstruction (the pre-arena behavior), emitted as
+ * BENCH_hotpath.json so the hot-path trajectory is tracked from PR to
+ * PR.
+ *
+ * The sweep runs the scaling bench's config set through ValidationFlow
+ * with mtc_validate's exact seeding, so its signatures and verdicts
+ * match a `mtc_validate --config <name> --tests T --iterations I`
+ * campaign bit for bit. `deterministic` asserts that the arena-reusing
+ * and arena-rebuilding runs produced identical per-test results; a
+ * divergence is a hot-path bug and fails the bench.
+ *
+ * The per-phase wall-clock breakdown (FlowConfig::profile) of the
+ * arena run is recorded so "where does an iteration go" stays a
+ * measured fact. Set MTC_HOTPATH_BASELINE to a reference
+ * iterations/sec (e.g. the previous release's number from this file)
+ * to record an honest speedup; scale with MTC_HOTPATH_TESTS /
+ * MTC_ITERATIONS; --smoke runs a seconds-scale version for CI.
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/campaign.h"
+#include "harness/validation_flow.h"
+#include "sim/executor.h"
+#include "support/table.h"
+#include "support/timer.h"
+#include "testgen/generator.h"
+
+using namespace mtc;
+
+namespace
+{
+
+/** The comparable outcome of one test (everything but wall-clock). */
+struct TestOutcome
+{
+    std::uint64_t unique = 0;
+    std::uint64_t violating = 0;
+    std::uint64_t assertions = 0;
+    std::uint64_t crashes = 0;
+    std::uint64_t quarantined = 0;
+    std::uint64_t collectiveWork = 0;
+
+    bool
+    operator==(const TestOutcome &other) const
+    {
+        return unique == other.unique && violating == other.violating &&
+            assertions == other.assertions &&
+            crashes == other.crashes &&
+            quarantined == other.quarantined &&
+            collectiveWork == other.collectiveWork;
+    }
+};
+
+struct RunResult
+{
+    double ms = 0.0;
+    std::uint64_t iterations = 0;
+    std::vector<TestOutcome> outcomes;
+    PhaseBreakdown profile;
+};
+
+/** One campaign pass over every config (mtc_validate's seeding). */
+RunResult
+runPass(const std::vector<TestConfig> &configs, unsigned tests,
+        std::uint64_t iterations, std::uint64_t seed, bool reuse_arena)
+{
+    RunResult result;
+    WallTimer timer;
+    ScopedTimer scope(timer);
+    for (const TestConfig &cfg : configs) {
+        FlowConfig flow_cfg;
+        flow_cfg.iterations = iterations;
+        flow_cfg.runConventional = false;
+        flow_cfg.exec = bareMetalConfig(cfg.isa);
+        flow_cfg.profile = true;
+        flow_cfg.reuseArena = reuse_arena;
+
+        Rng seeder(seed);
+        for (unsigned t = 0; t < tests; ++t) {
+            const TestProgram program = generateTest(cfg, seeder());
+            flow_cfg.seed = seeder();
+            ValidationFlow flow(flow_cfg);
+            const FlowResult r = flow.runTest(program);
+
+            TestOutcome outcome;
+            outcome.unique = r.uniqueSignatures;
+            outcome.violating = r.violatingSignatures;
+            outcome.assertions = r.assertionFailures;
+            outcome.crashes = r.platformCrashes;
+            outcome.quarantined = r.fault.quarantinedCount();
+            outcome.collectiveWork = r.collective.verticesProcessed +
+                r.collective.edgesProcessed;
+            result.outcomes.push_back(outcome);
+            result.iterations += r.iterationsRun;
+            result.profile.merge(r.profile);
+        }
+    }
+    timer.stop();
+    result.ms = timer.milliseconds();
+    return result;
+}
+
+double
+itersPerSec(const RunResult &run)
+{
+    return run.ms > 0.0
+        ? static_cast<double>(run.iterations) / (run.ms / 1000.0)
+        : 0.0;
+}
+
+std::string
+fmtDouble(double v)
+{
+    std::ostringstream out;
+    out << v;
+    return out.str();
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--smoke") {
+            smoke = true;
+        } else {
+            std::cerr << "hotpath: unknown option " << arg
+                      << " (only --smoke)\n";
+            return 1;
+        }
+    }
+
+    unsigned tests = smoke ? 2 : 8;
+    std::uint64_t iterations = smoke ? 48 : 2048;
+    double baseline_ips = 0.0;
+    try {
+        if (const char *env = std::getenv("MTC_HOTPATH_TESTS"))
+            tests = static_cast<unsigned>(
+                parseEnvCount("MTC_HOTPATH_TESTS", env));
+        if (const char *env = std::getenv("MTC_ITERATIONS"))
+            iterations = parseEnvCount("MTC_ITERATIONS", env);
+        if (const char *env = std::getenv("MTC_HOTPATH_BASELINE"))
+            baseline_ips = std::atof(env);
+    } catch (const Error &err) {
+        std::cerr << "hotpath: " << err.what() << "\n";
+        return 1;
+    }
+
+    const std::vector<TestConfig> configs = {
+        parseConfigName("x86-4-100-64"),
+        parseConfigName("ARM-4-100-64"),
+    };
+    const std::uint64_t seed = 2017;
+
+    std::cout << "Hot-path sweep: " << configs.size() << " configs x "
+              << tests << " tests x " << iterations
+              << " iterations, arena-reusing vs per-iteration arena\n\n";
+
+    // Untimed warm-up (one config, one test) so neither timed pass
+    // pays the process cold-start (page faults, lazy PLT, predictor
+    // warm-up) — without it, whichever pass runs first loses ~2%.
+    runPass({configs.front()}, 1, iterations, seed, true);
+
+    const RunResult arena =
+        runPass(configs, tests, iterations, seed, true);
+    const RunResult fresh =
+        runPass(configs, tests, iterations, seed, false);
+
+    const bool deterministic = arena.outcomes == fresh.outcomes;
+    const double arena_ips = itersPerSec(arena);
+    const double fresh_ips = itersPerSec(fresh);
+
+    TablePrinter table({"mode", "ms", "iters/sec"});
+    table.addRow({"arena (reused)", TablePrinter::fmt(arena.ms, 1),
+                  TablePrinter::fmt(arena_ips, 0)});
+    table.addRow({"fresh (rebuilt)", TablePrinter::fmt(fresh.ms, 1),
+                  TablePrinter::fmt(fresh_ips, 0)});
+    table.print(std::cout);
+
+    std::cout << "\nhot-path profile (arena run, campaign totals):\n";
+    TablePrinter phases({"phase", "time (ms)", "share", "calls"});
+    const std::uint64_t sum_ns = arena.profile.sumNs();
+    for (std::size_t p = 0; p < kPhaseCount; ++p) {
+        const Phase phase = static_cast<Phase>(p);
+        const double ms =
+            static_cast<double>(arena.profile.phaseNs(phase)) / 1e6;
+        const double share = sum_ns
+            ? 100.0 * static_cast<double>(arena.profile.phaseNs(phase)) /
+                static_cast<double>(sum_ns)
+            : 0.0;
+        phases.addRow({phaseName(phase), TablePrinter::fmt(ms, 3),
+                       TablePrinter::fmt(share, 1) + "%",
+                       TablePrinter::fmt(arena.profile.phaseCount(phase))});
+    }
+    phases.print(std::cout);
+
+    if (baseline_ips > 0.0) {
+        std::cout << "\nspeedup vs recorded baseline ("
+                  << TablePrinter::fmt(baseline_ips, 0)
+                  << " iters/sec): "
+                  << TablePrinter::fmt(arena_ips / baseline_ips, 2)
+                  << "x\n";
+    }
+    if (!deterministic)
+        std::cerr << "hotpath: DETERMINISM VIOLATION — arena-reusing "
+                     "results diverged from per-iteration arenas\n";
+
+    // --- JSON emission ----------------------------------------------
+    std::ostringstream json;
+    json << "{\n"
+         << "  \"bench\": \"hotpath\",\n"
+         << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+         << "  \"configs\": [";
+    for (std::size_t i = 0; i < configs.size(); ++i)
+        json << (i ? ", " : "") << '"' << configs[i].name() << '"';
+    json << "],\n"
+         << "  \"testsPerConfig\": " << tests << ",\n"
+         << "  \"iterations\": " << iterations << ",\n"
+         << "  \"arenaMs\": " << fmtDouble(arena.ms) << ",\n"
+         << "  \"arenaItersPerSec\": " << fmtDouble(arena_ips) << ",\n"
+         << "  \"freshMs\": " << fmtDouble(fresh.ms) << ",\n"
+         << "  \"freshItersPerSec\": " << fmtDouble(fresh_ips) << ",\n"
+         << "  \"baselineItersPerSec\": " << fmtDouble(baseline_ips)
+         << ",\n"
+         << "  \"speedupVsBaseline\": "
+         << fmtDouble(baseline_ips > 0.0 ? arena_ips / baseline_ips
+                                         : 0.0)
+         << ",\n"
+         << "  \"deterministic\": "
+         << (deterministic ? "true" : "false") << ",\n"
+         << "  \"profile\": [\n";
+    for (std::size_t p = 0; p < kPhaseCount; ++p) {
+        const Phase phase = static_cast<Phase>(p);
+        json << "    {\"phase\": \"" << phaseName(phase)
+             << "\", \"ms\": "
+             << fmtDouble(
+                    static_cast<double>(arena.profile.phaseNs(phase)) /
+                    1e6)
+             << ", \"calls\": " << arena.profile.phaseCount(phase)
+             << "}" << (p + 1 < kPhaseCount ? "," : "") << "\n";
+    }
+    json << "  ]\n}\n";
+
+    // Smoke runs (CI) write to a side file so they never clobber the
+    // recorded full-sweep artifact at the repository root.
+    const std::string out =
+        smoke ? "BENCH_hotpath.smoke.json" : "BENCH_hotpath.json";
+    writeFile(out, json.str());
+    std::cout << "\n(json written to " << out << ")\n";
+    return deterministic ? 0 : 1;
+}

@@ -19,7 +19,9 @@
 #include "core/signature_codec.h"
 #include "graph/graph_builder.h"
 #include "graph/topo_sort.h"
+#include "graph/ws_inference.h"
 #include "sim/executor.h"
+#include "sim/order_table.h"
 #include "testgen/generator.h"
 
 namespace
@@ -80,6 +82,21 @@ BM_SignatureEncode(benchmark::State &state)
 }
 BENCHMARK(BM_SignatureEncode);
 
+/** encode() into a reused buffer — the flow's per-iteration path. */
+void
+BM_SignatureEncodeReused(benchmark::State &state)
+{
+    Workload &w = workload();
+    EncodeResult encoded;
+    std::size_t i = 0;
+    for (auto _ : state) {
+        w.codec.encodeInto(w.executions[i++ % w.executions.size()],
+                           encoded);
+        benchmark::DoNotOptimize(encoded);
+    }
+}
+BENCHMARK(BM_SignatureEncodeReused);
+
 void
 BM_SignatureDecode(benchmark::State &state)
 {
@@ -92,6 +109,22 @@ BM_SignatureDecode(benchmark::State &state)
 }
 BENCHMARK(BM_SignatureDecode);
 
+/** decode() into reused buffers — the unique-signature loop's path. */
+void
+BM_SignatureDecodeReused(benchmark::State &state)
+{
+    Workload &w = workload();
+    Execution decoded;
+    std::vector<std::uint64_t> word_scratch;
+    std::size_t i = 0;
+    for (auto _ : state) {
+        w.codec.decodeInto(w.signatures[i++ % w.signatures.size()],
+                           decoded, word_scratch);
+        benchmark::DoNotOptimize(decoded);
+    }
+}
+BENCHMARK(BM_SignatureDecodeReused);
+
 void
 BM_DeriveObservedEdges(benchmark::State &state)
 {
@@ -103,6 +136,75 @@ BM_DeriveObservedEdges(benchmark::State &state)
     }
 }
 BENCHMARK(BM_DeriveObservedEdges);
+
+/** Edge derivation with persistent WsOrder/edge-set scratch. */
+void
+BM_DeriveObservedEdgesReused(benchmark::State &state)
+{
+    Workload &w = workload();
+    WsOrder ws_order;
+    DynamicEdgeSet edges;
+    std::size_t i = 0;
+    for (auto _ : state) {
+        const Execution &execution =
+            w.executions[i++ % w.executions.size()];
+        ws_order.infer(w.program, execution);
+        dynamicEdgesInto(w.program, execution, ws_order, edges);
+        benchmark::DoNotOptimize(edges);
+    }
+}
+BENCHMARK(BM_DeriveObservedEdgesReused);
+
+/** Store-to-load forwarding via the precomputed priorStore table. */
+void
+BM_ForwardedValueTable(benchmark::State &state)
+{
+    Workload &w = workload();
+    OrderTable table;
+    table.build(w.program, w.program.config().model());
+    const auto &threads = w.program.threadBodies();
+    for (auto _ : state) {
+        std::uint64_t hits = 0;
+        for (std::size_t tid = 0; tid < threads.size(); ++tid) {
+            const auto &prior = table.priorStore[tid];
+            for (std::uint32_t idx = 0; idx < threads[tid].size();
+                 ++idx) {
+                if (threads[tid][idx].kind == OpKind::Load &&
+                    prior[idx] != kNoPriorStore)
+                    ++hits;
+            }
+        }
+        benchmark::DoNotOptimize(hits);
+    }
+}
+BENCHMARK(BM_ForwardedValueTable);
+
+/** The same forwarding query as an O(idx) backward scan per load. */
+void
+BM_ForwardedValueScan(benchmark::State &state)
+{
+    Workload &w = workload();
+    const auto &threads = w.program.threadBodies();
+    for (auto _ : state) {
+        std::uint64_t hits = 0;
+        for (std::size_t tid = 0; tid < threads.size(); ++tid) {
+            const auto &body = threads[tid];
+            for (std::uint32_t idx = 0; idx < body.size(); ++idx) {
+                if (body[idx].kind != OpKind::Load)
+                    continue;
+                for (std::uint32_t j = idx; j-- > 0;) {
+                    if (body[j].kind == OpKind::Store &&
+                        body[j].loc == body[idx].loc) {
+                        ++hits;
+                        break;
+                    }
+                }
+            }
+        }
+        benchmark::DoNotOptimize(hits);
+    }
+}
+BENCHMARK(BM_ForwardedValueScan);
 
 void
 BM_FullTopoSort(benchmark::State &state)
@@ -152,6 +254,21 @@ BM_PlatformIteration(benchmark::State &state)
         benchmark::DoNotOptimize(platform.run(w.program, rng));
 }
 BENCHMARK(BM_PlatformIteration);
+
+/** One platform run reusing a persistent arena (zero-alloc path). */
+void
+BM_PlatformIterationArena(benchmark::State &state)
+{
+    Workload &w = workload();
+    OperationalExecutor platform(bareMetalConfig(w.program.config().isa));
+    Rng rng(11);
+    RunArena arena;
+    for (auto _ : state) {
+        platform.runInto(w.program, rng, arena);
+        benchmark::DoNotOptimize(arena.execution);
+    }
+}
+BENCHMARK(BM_PlatformIterationArena);
 
 } // anonymous namespace
 

@@ -30,6 +30,15 @@ EncodeResult
 SignatureCodec::encode(const Execution &execution) const
 {
     EncodeResult result;
+    encodeInto(execution, result);
+    return result;
+}
+
+void
+SignatureCodec::encodeInto(const Execution &execution,
+                           EncodeResult &result) const
+{
+    result.comparisons = 0;
     result.signature.words.assign(plan.totalWords(), 0);
 
     const auto &loads = prog.loads();
@@ -53,11 +62,20 @@ SignatureCodec::encode(const Execution &execution) const
         result.signature.words[word] +=
             static_cast<std::uint64_t>(*index) * slot.multiplier;
     }
-    return result;
 }
 
 Execution
 SignatureCodec::decode(const Signature &signature) const
+{
+    Execution execution;
+    std::vector<std::uint64_t> word_scratch;
+    decodeInto(signature, execution, word_scratch);
+    return execution;
+}
+
+void
+SignatureCodec::decodeInto(const Signature &signature, Execution &out,
+                           std::vector<std::uint64_t> &word_scratch) const
 {
     if (signature.words.size() != plan.totalWords()) {
         throw SignatureDecodeError(
@@ -65,23 +83,23 @@ SignatureCodec::decode(const Signature &signature) const
             DecodeFaultKind::WordCountMismatch, 0, 0);
     }
 
-    Execution execution;
-    execution.loadValues.assign(prog.loads().size(), kInitValue);
+    out.loadValues.assign(prog.loads().size(), kInitValue);
+    out.duration = 0;
+    out.coherenceOrder.clear();
+    // Working copy of the signature words; weights are peeled off from
+    // the last load of each word to the first (Algorithm 1).
+    word_scratch.assign(signature.words.begin(), signature.words.end());
 
     for (std::uint32_t tid = 0; tid < prog.numThreads(); ++tid) {
         const auto &thread_loads = prog.loadsOfThread(tid);
-        // Working copies of this thread's words; weights are peeled off
-        // from the last load of each word to the first (Algorithm 1).
-        std::vector<std::uint64_t> words(
-            signature.words.begin() + plan.wordBase(tid),
-            signature.words.begin() + plan.wordBase(tid) +
-                plan.wordsForThread(tid));
+        const std::uint32_t word_base = plan.wordBase(tid);
 
         for (std::size_t i = thread_loads.size(); i-- > 0;) {
             const std::uint32_t ordinal =
                 prog.loadOrdinal(thread_loads[i]);
             const LoadSlot &slot = plan.slot(ordinal);
-            std::uint64_t &word = words.at(slot.wordIndex);
+            std::uint64_t &word =
+                word_scratch[word_base + slot.wordIndex];
 
             const std::uint64_t index = word / slot.multiplier;
             word %= slot.multiplier;
@@ -95,25 +113,25 @@ SignatureCodec::decode(const Signature &signature) const
                    << " of " << set.cardinality();
                 throw SignatureDecodeError(
                     os.str(), DecodeFaultKind::IndexOverflow, tid,
-                    plan.wordBase(tid) + slot.wordIndex);
+                    word_base + slot.wordIndex);
             }
-            execution.loadValues[ordinal] =
+            out.loadValues[ordinal] =
                 set.values[static_cast<std::uint32_t>(index)];
         }
 
-        for (std::uint32_t w = 0; w < words.size(); ++w) {
-            if (words[w] != 0) {
+        const std::uint32_t thread_words = plan.wordsForThread(tid);
+        for (std::uint32_t w = 0; w < thread_words; ++w) {
+            if (word_scratch[word_base + w] != 0) {
                 std::ostringstream os;
                 os << "corrupt signature: non-zero residue 0x"
-                   << std::hex << words[w] << std::dec << " in word "
-                   << (plan.wordBase(tid) + w) << " after decode";
+                   << std::hex << word_scratch[word_base + w] << std::dec
+                   << " in word " << (word_base + w) << " after decode";
                 throw SignatureDecodeError(
                     os.str(), DecodeFaultKind::ResidueOverflow, tid,
-                    plan.wordBase(tid) + w);
+                    word_base + w);
             }
         }
     }
-    return execution;
 }
 
 } // namespace mtc

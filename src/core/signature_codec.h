@@ -111,6 +111,13 @@ class SignatureCodec
     EncodeResult encode(const Execution &execution) const;
 
     /**
+     * Like encode(), but writes into @p out, reusing its word buffer
+     * (zero heap allocations once the buffer has reached the plan's
+     * word count) — the per-iteration entry point of the hot path.
+     */
+    void encodeInto(const Execution &execution, EncodeResult &out) const;
+
+    /**
      * Reconstruct the reads-from set (as an Execution value vector)
      * from @p signature — the paper's Algorithm 1, extended to
      * multi-word signatures.
@@ -118,6 +125,15 @@ class SignatureCodec
      * @throws SignatureDecodeError on malformed signatures.
      */
     Execution decode(const Signature &signature) const;
+
+    /**
+     * Like decode(), but writes into @p out using @p word_scratch as
+     * the peeling buffer — both reused across calls, so decoding a
+     * test's unique signatures is allocation-free in steady state.
+     * @p out is unspecified when this throws.
+     */
+    void decodeInto(const Signature &signature, Execution &out,
+                    std::vector<std::uint64_t> &word_scratch) const;
 
   private:
     const TestProgram &prog;

@@ -18,8 +18,14 @@ buildStaticGraph(const TestProgram &program, MemoryModel model)
 DynamicEdgeSet
 dynamicEdges(const TestProgram &program, const Execution &execution)
 {
-    WsOrder ws_order(program, execution);
-    return dynamicEdges(program, execution, ws_order);
+    // One inference workspace per worker thread: decoding a test's
+    // unique signatures re-infers thousands of times over one program,
+    // and the reused WsOrder keeps that loop off the allocator.
+    thread_local WsOrder scratch;
+    scratch.infer(program, execution);
+    DynamicEdgeSet result;
+    dynamicEdgesInto(program, execution, scratch, result);
+    return result;
 }
 
 DynamicEdgeSet
@@ -27,6 +33,15 @@ dynamicEdges(const TestProgram &program, const Execution &execution,
              const WsOrder &ws_order)
 {
     DynamicEdgeSet result;
+    dynamicEdgesInto(program, execution, ws_order, result);
+    return result;
+}
+
+void
+dynamicEdgesInto(const TestProgram &program, const Execution &execution,
+                 const WsOrder &ws_order, DynamicEdgeSet &result)
+{
+    result.edges.clear();
     result.coherenceViolation = ws_order.coherenceViolation();
 
     // rf and fr edges, one pass over the loads.
@@ -60,11 +75,17 @@ dynamicEdges(const TestProgram &program, const Execution &execution,
         }
 
         // fr: the load precedes every store coherence-after its writer.
-        for (OpId later : ws_order.successorsOf(loc, writer)) {
-            if (writer && later == *writer)
+        const auto &stores = ws_order.storesAt(loc);
+        const std::uint32_t from = ws_order.indexOf(loc, writer);
+        for (std::size_t i = 0; i < stores.size(); ++i) {
+            if (!ws_order.orderedByIndex(
+                    loc, from, static_cast<std::uint32_t>(i) + 1)) {
+                continue;
+            }
+            if (writer && stores[i] == *writer)
                 continue;
             result.edges.push_back(Edge{load_vertex,
-                                        program.globalIndex(later),
+                                        program.globalIndex(stores[i]),
                                         EdgeKind::FromRead});
         }
     }
@@ -72,10 +93,20 @@ dynamicEdges(const TestProgram &program, const Execution &execution,
     // ws edges from the (partial) coherence order.
     for (std::uint32_t loc = 0; loc < program.config().numLocations;
          ++loc) {
-        for (const auto &[w1, w2] : ws_order.orderedPairs(loc)) {
-            result.edges.push_back(Edge{program.globalIndex(w1),
-                                        program.globalIndex(w2),
-                                        EdgeKind::WriteSerialization});
+        const auto &stores = ws_order.storesAt(loc);
+        for (std::size_t i = 0; i < stores.size(); ++i) {
+            for (std::size_t j = 0; j < stores.size(); ++j) {
+                if (i == j ||
+                    !ws_order.orderedByIndex(
+                        loc, static_cast<std::uint32_t>(i) + 1,
+                        static_cast<std::uint32_t>(j) + 1)) {
+                    continue;
+                }
+                result.edges.push_back(
+                    Edge{program.globalIndex(stores[i]),
+                         program.globalIndex(stores[j]),
+                         EdgeKind::WriteSerialization});
+            }
         }
     }
 
@@ -87,7 +118,6 @@ dynamicEdges(const TestProgram &program, const Execution &execution,
                         return a.from == b.from && a.to == b.to;
                     }),
         result.edges.end());
-    return result;
 }
 
 ConstraintGraph

@@ -55,6 +55,15 @@ DynamicEdgeSet dynamicEdges(const TestProgram &program,
                             const Execution &execution,
                             const WsOrder &ws_order);
 
+/**
+ * Zero-allocation variant: derives into @p out (cleared first, capacity
+ * kept) from an already-inferred @p ws_order. The two dynamicEdges
+ * overloads wrap this.
+ */
+void dynamicEdgesInto(const TestProgram &program,
+                      const Execution &execution,
+                      const WsOrder &ws_order, DynamicEdgeSet &out);
+
 /** Convenience: static + dynamic edges in one graph. */
 ConstraintGraph buildFullGraph(const TestProgram &program,
                                const Execution &execution,

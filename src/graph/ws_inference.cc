@@ -5,50 +5,97 @@
 namespace mtc
 {
 
-namespace
+void
+WsOrder::bindProgram(const TestProgram &program)
 {
+    if (bound && boundFingerprint == program.fingerprint())
+        return;
 
-inline bool
-testBit(const std::vector<std::uint64_t> &row, std::uint32_t bit)
-{
-    return (row[bit >> 6] >> (bit & 63)) & 1;
-}
-
-inline void
-setBit(std::vector<std::uint64_t> &row, std::uint32_t bit)
-{
-    row[bit >> 6] |= std::uint64_t(1) << (bit & 63);
-}
-
-} // anonymous namespace
-
-WsOrder::WsOrder(const TestProgram &program) : prog(&program)
-{
     const std::uint32_t num_locs = program.config().numLocations;
-    locs.resize(num_locs);
-    rawEdges.resize(num_locs);
+    locStores.resize(num_locs);
+    locN.resize(num_locs);
+    locWords.resize(num_locs);
+    locOffset.resize(num_locs);
+    std::size_t total = 0;
     for (std::uint32_t loc = 0; loc < num_locs; ++loc) {
-        locs[loc].stores = program.storesTo(loc);
-        // The virtual initial store is index 0 and precedes everything.
+        locStores[loc] = program.storesTo(loc);
         const std::uint32_t n =
-            static_cast<std::uint32_t>(locs[loc].stores.size()) + 1;
-        for (std::uint32_t i = 1; i < n; ++i)
-            rawEdges[loc].emplace_back(0, i);
+            static_cast<std::uint32_t>(locStores[loc].size()) + 1;
+        locN[loc] = n;
+        locWords[loc] = (n + 63) / 64;
+        locOffset[loc] = total;
+        total += static_cast<std::size_t>(n) * locWords[loc];
+    }
+    reachSize = total;
+    bound = true;
+    boundFingerprint = program.fingerprint();
+}
+
+void
+WsOrder::resetOrders()
+{
+    reach.assign(reachSize, 0);
+    violation = false;
+    // The virtual initial store is index 0 and precedes everything.
+    for (std::size_t loc = 0; loc < locN.size(); ++loc) {
+        std::uint64_t *row0 = reach.data() + locOffset[loc];
+        for (std::uint32_t i = 1; i < locN[loc]; ++i)
+            row0[i >> 6] |= std::uint64_t(1) << (i & 63);
     }
 }
 
-WsOrder::WsOrder(const TestProgram &program, const Execution &execution)
-    : WsOrder(program)
+void
+WsOrder::addConstraint(std::uint32_t loc, std::uint32_t from,
+                       std::uint32_t to)
 {
+    std::uint64_t *row = reach.data() + locOffset[loc] +
+        static_cast<std::size_t>(from) * locWords[loc];
+    row[to >> 6] |= std::uint64_t(1) << (to & 63);
+}
+
+void
+WsOrder::close()
+{
+    for (std::size_t loc = 0; loc < locN.size(); ++loc) {
+        const std::uint32_t n = locN[loc];
+        const std::uint32_t words = locWords[loc];
+        std::uint64_t *base = reach.data() + locOffset[loc];
+
+        // Floyd-Warshall-style bitset closure: n is small (stores per
+        // location), so O(n^2) word operations are cheap.
+        for (std::uint32_t k = 0; k < n; ++k) {
+            const std::uint64_t *row_k = base + k * words;
+            for (std::uint32_t i = 0; i < n; ++i) {
+                std::uint64_t *row_i = base + i * words;
+                if ((row_i[k >> 6] >> (k & 63)) & 1) {
+                    for (std::uint32_t w = 0; w < words; ++w)
+                        row_i[w] |= row_k[w];
+                }
+            }
+        }
+        for (std::uint32_t i = 0; i < n; ++i) {
+            const std::uint64_t *row_i = base + i * words;
+            if ((row_i[i >> 6] >> (i & 63)) & 1)
+                violation = true;
+        }
+    }
+}
+
+void
+WsOrder::infer(const TestProgram &program, const Execution &execution)
+{
+    bindProgram(program);
+    resetOrders();
+
     // Rule (a): program order among same-thread stores to one location.
     // storesTo() is ordered by (tid, idx), so adjacent same-tid entries
     // are program-ordered; chaining adjacent pairs is sufficient.
-    for (std::uint32_t loc = 0; loc < locs.size(); ++loc) {
-        const auto &stores = locs[loc].stores;
+    for (std::uint32_t loc = 0; loc < locStores.size(); ++loc) {
+        const auto &stores = locStores[loc];
         for (std::size_t i = 0; i + 1 < stores.size(); ++i) {
             if (stores[i].tid == stores[i + 1].tid) {
-                addConstraint(loc, indexOf(loc, stores[i]),
-                              indexOf(loc, stores[i + 1]));
+                addConstraint(loc, static_cast<std::uint32_t>(i) + 1,
+                              static_cast<std::uint32_t>(i) + 2);
             }
         }
     }
@@ -58,10 +105,10 @@ WsOrder::WsOrder(const TestProgram &program, const Execution &execution)
     const auto &threads = program.threadBodies();
     const std::uint32_t num_locs = program.config().numLocations;
     for (std::uint32_t tid = 0; tid < threads.size(); ++tid) {
-        std::vector<std::optional<OpId>> last_store(num_locs);
+        lastStore.assign(num_locs, std::nullopt);
         // Last value observed by a load of this thread per location,
         // and whether a store of this thread intervened since.
-        std::vector<std::optional<std::uint32_t>> pending_read(num_locs);
+        pendingRead.assign(num_locs, std::nullopt);
 
         for (std::uint32_t idx = 0; idx < threads[tid].size(); ++idx) {
             const MemOp &mem_op = threads[tid][idx];
@@ -72,8 +119,8 @@ WsOrder::WsOrder(const TestProgram &program, const Execution &execution)
             if (mem_op.kind == OpKind::Store) {
                 // Rule (c): the store follows whatever the last load of
                 // this location read.
-                if (pending_read[loc]) {
-                    const std::uint32_t read_value = *pending_read[loc];
+                if (pendingRead[loc]) {
+                    const std::uint32_t read_value = *pendingRead[loc];
                     std::optional<OpId> w;
                     if (read_value != kInitValue)
                         w = program.storeForValue(read_value);
@@ -86,9 +133,9 @@ WsOrder::WsOrder(const TestProgram &program, const Execution &execution)
                     } else {
                         addConstraint(loc, from, to);
                     }
-                    pending_read[loc].reset();
+                    pendingRead[loc].reset();
                 }
-                last_store[loc] = OpId{tid, idx};
+                lastStore[loc] = OpId{tid, idx};
                 continue;
             }
 
@@ -108,11 +155,11 @@ WsOrder::WsOrder(const TestProgram &program, const Execution &execution)
             }
 
             // Rule (b): last same-thread store must be coherence-<= W.
-            if (last_store[loc] && w != last_store[loc]) {
-                addConstraint(loc, indexOf(loc, last_store[loc]),
+            if (lastStore[loc] && w != lastStore[loc]) {
+                addConstraint(loc, indexOf(loc, lastStore[loc]),
                               indexOf(loc, w));
             }
-            if (!w && last_store[loc]) {
+            if (!w && lastStore[loc]) {
                 // Reading the initial value after this thread stored:
                 // the (b) constraint above targets index 0 and closes a
                 // cycle with the base init-first edges.
@@ -122,13 +169,13 @@ WsOrder::WsOrder(const TestProgram &program, const Execution &execution)
             // Rule (d): CoRR against the previous load of this loc, if
             // no own store intervened (an intervening store subsumes
             // the constraint through rules (b)+(c)).
-            if (pending_read[loc] && *pending_read[loc] != value) {
+            if (pendingRead[loc] && *pendingRead[loc] != value) {
                 std::optional<OpId> w_old;
-                if (*pending_read[loc] != kInitValue)
-                    w_old = program.storeForValue(*pending_read[loc]);
+                if (*pendingRead[loc] != kInitValue)
+                    w_old = program.storeForValue(*pendingRead[loc]);
                 addConstraint(loc, indexOf(loc, w_old), indexOf(loc, w));
             }
-            pending_read[loc] = value;
+            pendingRead[loc] = value;
         }
     }
 
@@ -139,12 +186,14 @@ WsOrder
 WsOrder::fromGroundTruth(const TestProgram &program,
                          const Execution &execution)
 {
-    WsOrder order(program);
+    WsOrder order;
+    order.bindProgram(program);
+    order.resetOrders();
     if (execution.coherenceOrder.size() !=
         program.config().numLocations) {
         throw ConfigError("execution has no coherence-order ground truth");
     }
-    for (std::uint32_t loc = 0; loc < order.locs.size(); ++loc) {
+    for (std::uint32_t loc = 0; loc < order.locStores.size(); ++loc) {
         const auto &total = execution.coherenceOrder[loc];
         for (std::size_t i = 0; i + 1 < total.size(); ++i) {
             order.addConstraint(loc, order.indexOf(loc, total[i]),
@@ -160,67 +209,30 @@ WsOrder::indexOf(std::uint32_t loc, std::optional<OpId> w) const
 {
     if (!w)
         return 0;
-    const auto &stores = locs.at(loc).stores;
+    const auto &stores = locStores.at(loc);
     for (std::size_t i = 0; i < stores.size(); ++i)
         if (stores[i] == *w)
             return static_cast<std::uint32_t>(i) + 1;
     throw ConfigError("store is not a writer of this location");
 }
 
-void
-WsOrder::addConstraint(std::uint32_t loc, std::uint32_t from,
-                       std::uint32_t to)
-{
-    rawEdges[loc].emplace_back(from, to);
-}
-
-void
-WsOrder::close()
-{
-    for (std::uint32_t loc = 0; loc < locs.size(); ++loc) {
-        LocOrder &order = locs[loc];
-        const std::uint32_t n =
-            static_cast<std::uint32_t>(order.stores.size()) + 1;
-        const std::uint32_t words = (n + 63) / 64;
-        order.reach.assign(n, std::vector<std::uint64_t>(words, 0));
-        for (auto [from, to] : rawEdges[loc])
-            setBit(order.reach[from], to);
-
-        // Floyd-Warshall-style bitset closure: n is small (stores per
-        // location), so O(n^2) word operations are cheap.
-        for (std::uint32_t k = 0; k < n; ++k) {
-            for (std::uint32_t i = 0; i < n; ++i) {
-                if (!testBit(order.reach[i], k))
-                    continue;
-                for (std::uint32_t w = 0; w < words; ++w)
-                    order.reach[i][w] |= order.reach[k][w];
-            }
-        }
-        for (std::uint32_t i = 0; i < n; ++i)
-            if (testBit(order.reach[i], i))
-                violation = true;
-    }
-}
-
 bool
 WsOrder::before(std::uint32_t loc, std::optional<OpId> w1,
                 std::optional<OpId> w2) const
 {
-    const std::uint32_t from = indexOf(loc, w1);
-    const std::uint32_t to = indexOf(loc, w2);
-    return testBit(locs.at(loc).reach[from], to);
+    return orderedByIndex(loc, indexOf(loc, w1), indexOf(loc, w2));
 }
 
 std::vector<OpId>
 WsOrder::successorsOf(std::uint32_t loc, std::optional<OpId> w) const
 {
-    const LocOrder &order = locs.at(loc);
+    const auto &stores = locStores.at(loc);
     const std::uint32_t from = indexOf(loc, w);
     std::vector<OpId> result;
-    for (std::size_t i = 0; i < order.stores.size(); ++i) {
-        if (testBit(order.reach[from],
-                    static_cast<std::uint32_t>(i) + 1)) {
-            result.push_back(order.stores[i]);
+    for (std::size_t i = 0; i < stores.size(); ++i) {
+        if (orderedByIndex(loc, from,
+                           static_cast<std::uint32_t>(i) + 1)) {
+            result.push_back(stores[i]);
         }
     }
     return result;
@@ -229,14 +241,14 @@ WsOrder::successorsOf(std::uint32_t loc, std::optional<OpId> w) const
 std::vector<std::pair<OpId, OpId>>
 WsOrder::orderedPairs(std::uint32_t loc) const
 {
-    const LocOrder &order = locs.at(loc);
+    const auto &stores = locStores.at(loc);
     std::vector<std::pair<OpId, OpId>> pairs;
-    for (std::size_t i = 0; i < order.stores.size(); ++i) {
-        for (std::size_t j = 0; j < order.stores.size(); ++j) {
+    for (std::size_t i = 0; i < stores.size(); ++i) {
+        for (std::size_t j = 0; j < stores.size(); ++j) {
             if (i != j &&
-                testBit(order.reach[i + 1],
-                        static_cast<std::uint32_t>(j) + 1)) {
-                pairs.emplace_back(order.stores[i], order.stores[j]);
+                orderedByIndex(loc, static_cast<std::uint32_t>(i) + 1,
+                               static_cast<std::uint32_t>(j) + 1)) {
+                pairs.emplace_back(stores[i], stores[j]);
             }
         }
     }

@@ -28,6 +28,7 @@
 #ifndef MTC_GRAPH_WS_INFERENCE_H
 #define MTC_GRAPH_WS_INFERENCE_H
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -42,12 +43,29 @@ namespace mtc
  * Per-location partial coherence order over stores (plus the virtual
  * initial store). Build either by inference from an execution or from
  * simulator ground truth.
+ *
+ * Built for reuse: infer() resets the order in place, and the
+ * per-program layout (store lists, reachability-row geometry) is
+ * rebuilt only when the program changes, so re-inferring over the
+ * unique signatures of one test touches no allocator in steady state.
  */
 class WsOrder
 {
   public:
+    WsOrder() = default;
+
     /** Infer from the observed reads-from of @p execution. */
-    WsOrder(const TestProgram &program, const Execution &execution);
+    WsOrder(const TestProgram &program, const Execution &execution)
+    {
+        infer(program, execution);
+    }
+
+    /**
+     * Re-infer in place from another execution, reusing every buffer.
+     * The store lists are copied (not aliased) from the program, so a
+     * long-lived WsOrder never dangles into a dead TestProgram.
+     */
+    void infer(const TestProgram &program, const Execution &execution);
 
     /** Adopt the executor-exported total order (testing only). */
     static WsOrder fromGroundTruth(const TestProgram &program,
@@ -74,26 +92,64 @@ class WsOrder
     /** Did the constraints contradict each other? */
     bool coherenceViolation() const { return violation; }
 
-  private:
-    explicit WsOrder(const TestProgram &program);
+    // --- Allocation-free access (the graph builder's hot path) --------
 
-    struct LocOrder
+    /** Real stores of @p loc; order index i+1 maps to storesAt(loc)[i]. */
+    const std::vector<OpId> &
+    storesAt(std::uint32_t loc) const
     {
-        std::vector<OpId> stores;          ///< index 1.. maps here
-        /** reach[i] bitset: j reachable from i (i before j). */
-        std::vector<std::vector<std::uint64_t>> reach;
-    };
+        return locStores[loc];
+    }
 
+    /**
+     * Order index of @p w at @p loc (0 = virtual initial store).
+     * Throws ConfigError when @p w does not write @p loc.
+     */
     std::uint32_t indexOf(std::uint32_t loc, std::optional<OpId> w) const;
+
+    /** before() on raw order indices (0 = virtual initial store). */
+    bool
+    orderedByIndex(std::uint32_t loc, std::uint32_t from,
+                   std::uint32_t to) const
+    {
+        const std::uint64_t *row =
+            reach.data() + locOffset[loc] +
+            static_cast<std::size_t>(from) * locWords[loc];
+        return (row[to >> 6] >> (to & 63)) & 1;
+    }
+
+  private:
+    /** Rebuild the per-program layout when the program changed. */
+    void bindProgram(const TestProgram &program);
+
+    /** Zero all reachability bits, seed init-store edges. */
+    void resetOrders();
+
     void addConstraint(std::uint32_t loc, std::uint32_t from,
                        std::uint32_t to);
+
+    /** Transitive closure of every per-location order. */
     void close();
 
-    const TestProgram *prog;
-    std::vector<LocOrder> locs;
-    /** Raw constraint edges per loc gathered before closure. */
-    std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>>
-        rawEdges;
+    bool bound = false;
+    std::uint64_t boundFingerprint = 0;
+
+    // Per-program layout: per-location store lists and the geometry of
+    // the flat reachability bitset (row count n = stores + 1 virtual
+    // init, words per row, row-0 offset into `reach`).
+    std::vector<std::vector<OpId>> locStores;
+    std::vector<std::uint32_t> locN;
+    std::vector<std::uint32_t> locWords;
+    std::vector<std::size_t> locOffset;
+    std::size_t reachSize = 0;
+
+    /** reach bit (loc, i, j): i coherence-before j. */
+    std::vector<std::uint64_t> reach;
+
+    // Per-thread walk scratch of infer(), reused across threads/calls.
+    std::vector<std::optional<OpId>> lastStore;
+    std::vector<std::optional<std::uint32_t>> pendingRead;
+
     bool violation = false;
 };
 

@@ -47,14 +47,18 @@ FlowResult
 ValidationFlow::runTest(const TestProgram &program)
 {
     FlowResult result;
+    PhaseProfiler prof(cfg.profile);
 
     // --- Instrumentation (static, once per test) ----------------------
+    std::optional<PhaseProfiler::Scope> instrument_scope;
+    instrument_scope.emplace(prof, Phase::Instrument);
     LoadValueAnalysis analysis(program, cfg.analysis);
     InstrumentationPlan plan(program, analysis);
     SignatureCodec codec(program, analysis, plan);
 
     result.intrusive = intrusiveness(program, plan);
     result.code = codeSize(program, analysis, plan);
+    instrument_scope.reset();
 
     // --- Test execution loop ------------------------------------------
     std::unique_ptr<Platform> platform_holder;
@@ -97,10 +101,22 @@ ValidationFlow::runTest(const TestProgram &program)
         signature_counts.record(signature, copies);
     };
 
+    // One arena plus one encode/readout buffer set serve the whole
+    // loop: after the first iteration warms their capacities, an
+    // iteration performs no heap allocations (the tentpole property,
+    // asserted by tests/hotpath_test.cpp). reuseArena=false rebuilds
+    // the arena per iteration — the pre-arena behavior, bit-identical
+    // but allocation-heavy — for A/B measurement.
+    RunArena arena;
+    EncodeResult encoded;
+    FaultedReadout readout;
+
     for (std::uint64_t iter = 0; iter < cfg.iterations; ++iter) {
-        Execution execution;
+        if (!cfg.reuseArena)
+            arena = RunArena();
         try {
-            execution = platform.run(program, rng);
+            auto scope = prof.scope(Phase::Execute);
+            platform.runInto(program, rng, arena);
         } catch (const ProtocolDeadlockError &err) {
             // The paper's bug 3 crashes the whole simulation; by
             // default one deadlock ends this test's campaign, but the
@@ -118,13 +134,18 @@ ValidationFlow::runTest(const TestProgram &program)
             break;
         }
         ++result.iterationsRun;
+        const Execution &execution = arena.execution;
 
         try {
-            EncodeResult encoded = codec.encode(execution);
-            perturbation.record(execution, encoded, plan.totalWords());
+            {
+                auto scope = prof.scope(Phase::Encode);
+                codec.encodeInto(execution, encoded);
+                perturbation.record(execution, encoded,
+                                    plan.totalWords());
+            }
+            auto scope = prof.scope(Phase::Accumulate);
             if (injector) {
-                const FaultedReadout readout =
-                    injector->read(encoded.signature);
+                injector->readInto(encoded.signature, readout);
                 result.fault.recordedIterations += readout.copies;
                 if (readout.copies)
                     record_signature(readout.signature, readout.copies);
@@ -153,8 +174,11 @@ ValidationFlow::runTest(const TestProgram &program)
 
     // One final sort replaces the map's per-insert ordering: the
     // collective checker needs ascending-signature presentation order.
-    const std::vector<SignatureCount> unique =
-        signature_counts.takeSortedUnique();
+    std::vector<SignatureCount> unique;
+    {
+        auto scope = prof.scope(Phase::SortUnique);
+        unique = signature_counts.takeSortedUnique();
+    }
 
     // Worker pool for the in-test parallel stages (decode fan-out and
     // sharded checking). threads == 1 keeps everything on this thread.
@@ -189,15 +213,23 @@ ValidationFlow::runTest(const TestProgram &program)
     std::vector<std::size_t> decoded_unique_idx; // edge_sets -> unique
     decoded_unique_idx.reserve(unique.size());
     {
+        auto phase_scope = prof.scope(Phase::Decode);
         WallTimer timer;
         ScopedTimer scope(timer);
         const auto decode_one = [&](std::size_t i) {
             DecodeSlot &slot = decode_slots[i];
+            // Per-worker decode buffers: only the per-slot edge set (the
+            // product that outlives this loop) is allocated per
+            // signature; the Execution and word scratch are reused, as
+            // is dynamicEdges' internal inference workspace.
+            thread_local Execution decoded;
+            thread_local std::vector<std::uint64_t> word_scratch;
             try {
-                Execution decoded = codec.decode(unique[i].signature);
+                codec.decodeInto(unique[i].signature, decoded,
+                                 word_scratch);
                 slot.edges = dynamicEdges(program, decoded);
                 if (cfg.keepExecutions)
-                    slot.execution = std::move(decoded);
+                    slot.execution = decoded;
             } catch (const SignatureDecodeError &err) {
                 slot.quarantined = true;
                 slot.quarantine = {unique[i].signature,
@@ -234,6 +266,8 @@ ValidationFlow::runTest(const TestProgram &program)
     // --- Collective checking (MTraceCheck) -----------------------------
     const MemoryModel model =
         cfg.coherent ? cfg.coherent->model : cfg.exec.model;
+    std::optional<PhaseProfiler::Scope> check_scope;
+    check_scope.emplace(prof, Phase::Check);
     std::vector<bool> collective_verdicts;
     {
         WallTimer timer;
@@ -282,6 +316,7 @@ ValidationFlow::runTest(const TestProgram &program)
             break;
         }
     }
+    check_scope.reset();
 
     // --- K-re-execution confirmation (fault-tolerant pipeline) --------
     // A cyclic signature read over a faulty path is ambiguous: the DUT
@@ -299,6 +334,7 @@ ValidationFlow::runTest(const TestProgram &program)
     // fault-free pipeline bit-identical.
     if (result.violatingSignatures && injector &&
         cfg.recovery.confirmationRuns > 0) {
+        auto confirm_scope = prof.scope(Phase::Confirm);
         std::set<Signature> violating_set;
         for (std::size_t i = 0; i < edge_sets.size(); ++i) {
             if (collective_verdicts[i])
@@ -324,16 +360,17 @@ ValidationFlow::runTest(const TestProgram &program)
 
             for (std::uint64_t iter = 0;
                  iter < confirm_iters && !confirmed; ++iter) {
-                Execution execution;
+                if (!cfg.reuseArena)
+                    arena = RunArena();
                 try {
-                    execution = platform.run(program, confirm_rng);
+                    platform.runInto(program, confirm_rng, arena);
                 } catch (const ProtocolDeadlockError &) {
                     break; // a wedged re-execution proves nothing
                 }
                 try {
-                    EncodeResult encoded = codec.encode(execution);
-                    const FaultedReadout readout =
-                        confirm_injector.read(encoded.signature);
+                    codec.encodeInto(arena.execution, encoded);
+                    confirm_injector.readInto(encoded.signature,
+                                              readout);
                     if (!readout.dropped() &&
                         violating_set.count(readout.signature))
                         confirmed = true;
@@ -370,6 +407,7 @@ ValidationFlow::runTest(const TestProgram &program)
         result.fault.confirmedViolations = result.violatingSignatures;
     }
 
+    result.profile = prof.take();
     return result;
 }
 

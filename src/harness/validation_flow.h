@@ -30,6 +30,7 @@
 #include "sim/coherent_executor.h"
 #include "sim/executor_config.h"
 #include "sim/fault_injector.h"
+#include "support/profiler.h"
 #include "testgen/test_program.h"
 
 namespace mtc
@@ -113,18 +114,25 @@ struct FaultReport
      * reclassified or retried). */
     std::string note;
 
+    /** Single source of truth for "how many signatures are held back":
+     * derived from the quarantine list itself so it can never drift
+     * from the entries (campaign totals, the CLI summary, and the
+     * benches all sum this accessor rather than keeping their own
+     * counters). */
     std::uint64_t
     quarantinedCount() const
     {
-        return quarantined.size();
+        return static_cast<std::uint64_t>(quarantined.size());
     }
 
-    /** Anything fault-related happened at all. */
+    /** Anything fault-related happened at all — including confirmation
+     * re-executions, which run (and cost platform time) even when the
+     * violation is ultimately confirmed rather than reclassified. */
     bool
     anyFaultActivity() const
     {
-        return injected.totalEvents() || !quarantined.empty() ||
-            transientViolations || crashRetries;
+        return injected.totalEvents() || quarantinedCount() != 0 ||
+            transientViolations || confirmationRunsUsed || crashRetries;
     }
 };
 
@@ -179,6 +187,19 @@ struct FlowConfig
      * either way; checker work stats differ by the per-shard sort tax.
      */
     std::size_t shardSize = 0;
+
+    /** Collect the per-phase wall-clock breakdown (FlowResult::profile).
+     * Off by default: disabled scopes never touch the clock. */
+    bool profile = false;
+
+    /**
+     * Reuse one RunArena (and one encode/readout buffer set) across
+     * the whole test loop — the zero-allocation hot path. false
+     * reconstructs the arena every iteration (the pre-arena behavior),
+     * kept as a comparison baseline for benches and tests; results are
+     * bit-identical either way.
+     */
+    bool reuseArena = true;
 };
 
 /** Everything measured while validating one test. */
@@ -229,6 +250,9 @@ struct FlowResult
 
     /** Fault-injection ledger, quarantine, and confirmation outcome. */
     FaultReport fault;
+
+    /** Per-phase wall-clock breakdown (empty unless FlowConfig::profile). */
+    PhaseBreakdown profile;
 
     /** Unique decoded executions (only when keepExecutions). */
     std::vector<Execution> executions;

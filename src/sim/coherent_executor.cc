@@ -1,11 +1,9 @@
 #include "sim/coherent_executor.h"
 
 #include <algorithm>
-#include <deque>
 #include <limits>
-#include <queue>
 #include <tuple>
-#include <unordered_map>
+#include <vector>
 
 #include "sim/order_table.h"
 #include "support/error.h"
@@ -15,6 +13,8 @@ namespace mtc
 
 namespace
 {
+
+constexpr std::uint64_t kNever = std::numeric_limits<std::uint64_t>::max();
 
 /** L1 line states, stable + transient (classic MSI notation). */
 enum class CState : std::uint8_t
@@ -69,23 +69,77 @@ struct Event
     }
 };
 
+/**
+ * FIFO of stalled protocol messages backed by a reusable vector (a
+ * deque would release its blocks on clear, reallocating every run).
+ */
+struct MsgFifo
+{
+    std::vector<CohMessage> items;
+    std::size_t next = 0;
+
+    bool empty() const { return next >= items.size(); }
+
+    std::size_t size() const { return items.size() - next; }
+
+    void push(const CohMessage &msg) { items.push_back(msg); }
+
+    CohMessage
+    pop()
+    {
+        CohMessage msg = items[next++];
+        if (next == items.size()) {
+            items.clear();
+            next = 0;
+        }
+        return msg;
+    }
+
+    void
+    clear()
+    {
+        items.clear();
+        next = 0;
+    }
+};
+
 constexpr std::uint64_t kWatchdogInterval = 100'000;
 
-class Machine
+/**
+ * The whole coherent machine, parked in a RunArena between runs.
+ * reset() re-fills every container in place (assign/resize/clear keep
+ * capacity), so a steady-state run allocates nothing: messages carry
+ * inline payloads, the event queue is a reusable vector-heap, the
+ * point-to-point FIFO table and memory image are flat arrays, and
+ * writeback buffers live inside their cache-line entries.
+ */
+class Machine : public RunArena::State
 {
   public:
-    Machine(const TestProgram &program_arg, const CoherentConfig &cfg_arg,
-            const OrderTable &order_arg, Rng &rng_arg)
-        : program(program_arg), cfg(cfg_arg), order(order_arg),
-          rng(rng_arg), numThreads(program_arg.numThreads()),
-          numLines(program_arg.numLines()),
-          wordsPerLine(program_arg.config().wordsPerLine)
+    void
+    reset(const TestProgram &program_arg, const CoherentConfig &cfg_arg,
+          const OrderTable &order_arg, Rng &rng_arg, Execution &out)
     {
-        completion.reset(program);
-        const auto &threads = program.threadBodies();
+        program = &program_arg;
+        cfg = &cfg_arg;
+        order = &order_arg;
+        rng = &rng_arg;
+        result = &out;
+
+        numThreads = program->numThreads();
+        numLines = program->numLines();
+        wordsPerLine = program->config().wordsPerLine;
+        if (wordsPerLine > LinePayload::kMaxWords) {
+            throw ConfigError(
+                "coherent platform supports at most 16 words per line");
+        }
+
+        completion.reset(*program);
+        const auto &threads = program->threadBodies();
         head.assign(numThreads, 0);
         coreTime.assign(numThreads, 0);
         opStates.resize(numThreads);
+        remaining = 0;
         for (std::uint32_t t = 0; t < numThreads; ++t) {
             remaining += threads[t].size();
             opStates[t].assign(threads[t].size(), OpState{});
@@ -94,23 +148,61 @@ class Machine
         caches.resize(numThreads);
         for (auto &cache : caches) {
             cache.lines.resize(numLines);
-            for (auto &line : cache.lines)
-                line.data.assign(wordsPerLine, kInitValue);
+            for (auto &line : cache.lines) {
+                line.state = CState::I;
+                line.data.words.fill(kInitValue);
+                line.acksNeeded = 0;
+                line.acksReceived = 0;
+                line.dataSeen = false;
+                line.invWhileFill = false;
+                line.resident = false;
+                line.epoch = 0;
+                line.lastTouch = 0;
+                line.requesterIdx = -1;
+                line.wbValid = false;
+                line.deferredFwds.clear();
+            }
+            cache.residentCount = 0;
         }
 
-        directory.assign(numLines, DirEntry{});
-        memData.assign(numLines,
-                       std::vector<std::uint32_t>(wordsPerLine,
-                                                  kInitValue));
+        directory.resize(numLines);
+        for (DirEntry &entry : directory) {
+            entry.state = DirState::I;
+            entry.owner = -1;
+            entry.sharers = 0;
+            entry.busy = false;
+            entry.pending.clear();
+            entry.heldPuts.clear();
+        }
+        memData.assign(
+            static_cast<std::size_t>(numLines) * wordsPerLine,
+            kInitValue);
 
-        result.loadValues.assign(program.loads().size(), kInitValue);
-        if (cfg.exportCoherenceOrder) {
-            result.coherenceOrder.assign(
-                program.config().numLocations, {});
+        eventQueue.clear();
+        lastDelivery.assign(
+            static_cast<std::size_t>(numThreads + 1) * (numThreads + 1),
+            kNever);
+        pendingFwdService.clear();
+
+        now = 0;
+        commitCount = 0;
+        seqCounter = 0;
+        touchCounter = 0;
+        forwardsDropped = false;
+
+        result->loadValues.assign(program->loads().size(), kInitValue);
+        result->duration = 0;
+        if (cfg->exportCoherenceOrder) {
+            result->coherenceOrder.resize(
+                program->config().numLocations);
+            for (auto &per_loc : result->coherenceOrder)
+                per_loc.clear();
+        } else {
+            result->coherenceOrder.clear();
         }
     }
 
-    Execution
+    void
     run()
     {
         for (std::uint32_t t = 0; t < numThreads; ++t)
@@ -127,7 +219,8 @@ class Machine
             const bool watchdog_fired = events_handled >= next_watchdog &&
                 commitCount == commits_at_last_check;
             if (eventQueue.empty() || watchdog_fired) {
-                if (cfg.bug == BugKind::PutxGetxRace && forwardsDropped) {
+                if (cfg->bug == BugKind::PutxGetxRace &&
+                    forwardsDropped) {
                     throw ProtocolDeadlockError(
                         "ownership request lost in PUTX/GETX race: "
                         "platform deadlocked");
@@ -141,13 +234,12 @@ class Machine
                 commits_at_last_check = commitCount;
                 next_watchdog = events_handled + kWatchdogInterval;
             }
-            if (++events_handled > cfg.maxEvents) {
+            if (++events_handled > cfg->maxEvents) {
                 throw PlatformError("coherence event budget exhausted\n" +
                                     describeWedge());
             }
 
-            const Event event = eventQueue.top();
-            eventQueue.pop();
+            const Event event = popEvent();
             now = std::max(now, event.time);
             deliver(event.msg);
 
@@ -156,10 +248,9 @@ class Machine
             serveDeferredForwards();
         }
 
-        result.duration = now;
+        result->duration = now;
         for (std::uint32_t t = 0; t < numThreads; ++t)
-            result.duration = std::max(result.duration, coreTime[t]);
-        return std::move(result);
+            result->duration = std::max(result->duration, coreTime[t]);
     }
 
     /** Render the stuck state for the wedge diagnostic. */
@@ -168,13 +259,13 @@ class Machine
     {
         std::string text;
         for (std::uint32_t t = 0; t < numThreads; ++t) {
-            const auto &body = program.threadBodies()[t];
+            const auto &body = program->threadBodies()[t];
             if (head[t] >= body.size())
                 continue;
             const MemOp &op = body[head[t]];
             const std::uint32_t line_idx = op.kind == OpKind::Fence
                 ? 0
-                : program.lineOf(op.loc);
+                : program->lineOf(op.loc);
             const CacheLineEntry &line = caches[t].lines[line_idx];
             const DirEntry &entry = directory[line_idx];
             text += "core " + std::to_string(t) + " head op" +
@@ -200,7 +291,7 @@ class Machine
     struct CacheLineEntry
     {
         CState state = CState::I;
-        std::vector<std::uint32_t> data;
+        LinePayload data;
         std::uint32_t acksNeeded = 0;
         std::uint32_t acksReceived = 0;
         bool dataSeen = false;     ///< Data arrived, may await acks
@@ -210,20 +301,16 @@ class Machine
         std::uint64_t lastTouch = 0;
         /** Load that initiated an outstanding GetS (one-shot fills). */
         std::int32_t requesterIdx = -1;
+        /** Writeback buffer: an evicted-M copy awaiting PutAck. */
+        bool wbValid = false;
+        LinePayload wbData;
         /** Forwards that raced ahead of our ownership Data. */
         std::vector<CohMessage> deferredFwds;
-    };
-
-    struct WbEntry
-    {
-        std::vector<std::uint32_t> data;
     };
 
     struct L1
     {
         std::vector<CacheLineEntry> lines;
-        /** Writeback buffer: evicted-M lines awaiting PutAck. */
-        std::unordered_map<std::uint32_t, WbEntry> wb;
         std::uint32_t residentCount = 0;
     };
 
@@ -233,8 +320,8 @@ class Machine
         std::int32_t owner = -1;
         std::uint32_t sharers = 0;
         bool busy = false;
-        std::deque<CohMessage> pending;  ///< stalled requests
-        std::deque<CohMessage> heldPuts; ///< PutM raced with a forward
+        MsgFifo pending;  ///< stalled requests
+        MsgFifo heldPuts; ///< PutM raced with a forward
     };
 
     struct OpState
@@ -245,37 +332,78 @@ class Machine
         std::uint64_t capturedEpoch = 0;
     };
 
+    // --- event queue (vector min-heap, capacity reused) ----------------
+
+    void
+    pushEvent(Event event)
+    {
+        eventQueue.push_back(std::move(event));
+        std::push_heap(eventQueue.begin(), eventQueue.end(),
+                       std::greater<Event>{});
+    }
+
+    Event
+    popEvent()
+    {
+        std::pop_heap(eventQueue.begin(), eventQueue.end(),
+                      std::greater<Event>{});
+        Event event = std::move(eventQueue.back());
+        eventQueue.pop_back();
+        return event;
+    }
+
+    // --- memory image ---------------------------------------------------
+
+    std::uint32_t *
+    memLine(std::uint32_t line)
+    {
+        return memData.data() +
+            static_cast<std::size_t>(line) * wordsPerLine;
+    }
+
+    void
+    memTake(std::uint32_t line, const LinePayload &payload)
+    {
+        std::copy_n(payload.words.data(), wordsPerLine, memLine(line));
+    }
+
+    LinePayload
+    memPayload(std::uint32_t line)
+    {
+        LinePayload payload;
+        std::copy_n(memLine(line), wordsPerLine, payload.words.data());
+        return payload;
+    }
+
     // --- network --------------------------------------------------------
 
     /** Schedule a core-internal event: no network hop, no FIFO. */
     void
     schedule(CohMessage msg, std::uint64_t delay)
     {
-        eventQueue.push(Event{now + delay, seqCounter++,
-                              std::move(msg)});
+        pushEvent(Event{now + delay, seqCounter++, std::move(msg)});
     }
 
     void
     send(CohMessage msg)
     {
-        const std::uint64_t hop = cfg.networkLatency +
-            (cfg.networkJitterMax
-                 ? rng.nextBelow(cfg.networkJitterMax + 1)
+        const std::uint64_t hop = cfg->networkLatency +
+            (cfg->networkJitterMax
+                 ? rng->nextBelow(cfg->networkJitterMax + 1)
                  : 0);
         std::uint64_t at = now + hop;
         // Point-to-point FIFO ordering, which the protocol relies on
         // for Data-before-Inv from a single sender.
-        const std::uint64_t key =
-            (static_cast<std::uint64_t>(
-                 static_cast<std::uint32_t>(msg.src + 1))
-             << 32) |
+        const std::size_t key =
+            static_cast<std::size_t>(
+                static_cast<std::uint32_t>(msg.src + 1)) *
+                (numThreads + 1) +
             static_cast<std::uint32_t>(msg.dst + 1);
-        auto [it, inserted] = lastDelivery.emplace(key, at);
-        if (!inserted) {
-            at = std::max(at, it->second + 1);
-            it->second = at;
-        }
-        eventQueue.push(Event{at, seqCounter++, std::move(msg)});
+        std::uint64_t &last = lastDelivery[key];
+        if (last != kNever)
+            at = std::max(at, last + 1);
+        last = at;
+        pushEvent(Event{at, seqCounter++, std::move(msg)});
     }
 
     void
@@ -297,7 +425,7 @@ class Machine
           case MsgType::GetS:
           case MsgType::GetM:
             if (entry.busy) {
-                entry.pending.push_back(msg);
+                entry.pending.push(msg);
                 return;
             }
             directoryRequest(msg);
@@ -307,7 +435,7 @@ class Machine
             return;
           case MsgType::DataWb:
             // Owner downgraded for a reader: memory takes the copy.
-            memData[msg.line] = msg.payload;
+            memTake(msg.line, msg.payload);
             entry.state = DirState::S;
             entry.sharers |=
                 (std::uint32_t(1)
@@ -399,11 +527,11 @@ class Machine
             // acknowledge only once the transfer resolves, so the owner
             // keeps its writeback buffer long enough to serve the
             // forward.
-            entry.heldPuts.push_back(msg);
+            entry.heldPuts.push(msg);
             return;
         }
         if (entry.state == DirState::M && entry.owner == msg.src) {
-            memData[msg.line] = msg.payload;
+            memTake(msg.line, msg.payload);
             entry.state = DirState::I;
             entry.owner = -1;
         }
@@ -418,15 +546,13 @@ class Machine
         DirEntry &entry = directory[line];
         entry.busy = false;
         while (!entry.heldPuts.empty()) {
-            const CohMessage put = entry.heldPuts.front();
-            entry.heldPuts.pop_front();
+            const CohMessage put = entry.heldPuts.pop();
             directoryPutM(put);
         }
         // Drain stalled requests until one re-busies the entry (an
         // immediately-satisfiable request must not strand the rest).
         while (!entry.busy && !entry.pending.empty()) {
-            const CohMessage next = entry.pending.front();
-            entry.pending.pop_front();
+            const CohMessage next = entry.pending.pop();
             directoryRequest(next);
         }
     }
@@ -436,7 +562,7 @@ class Machine
     sendDirData(std::uint32_t line, std::int32_t dst, std::uint32_t acks)
     {
         send(CohMessage{MsgType::Data, line, kDirectoryId, dst, dst,
-                        acks, memData[line]});
+                        acks, memPayload(line)});
     }
 
     // --- L1 caches -------------------------------------------------------
@@ -460,8 +586,7 @@ class Machine
             return;
           case MsgType::FwdGetS:
           case MsgType::FwdGetM:
-            if (line.state == CState::M ||
-                cache.wb.find(msg.line) != cache.wb.end()) {
+            if (line.state == CState::M || line.wbValid) {
                 // Current owner, or past owner still holding the
                 // writeback buffer (the PUTX/GETX race window).
                 if (msg.type == MsgType::FwdGetS)
@@ -479,7 +604,7 @@ class Machine
             }
             return;
           case MsgType::PutAck:
-            cache.wb.erase(msg.line);
+            line.wbValid = false;
             return;
           case MsgType::SbDrain:
             send(CohMessage{MsgType::GetM, msg.line,
@@ -641,21 +766,21 @@ class Machine
                        bool transfer_ownership)
     {
         L1 &cache = caches[tid];
-        auto it = cache.wb.find(msg.line);
-        if (it == cache.wb.end())
+        CacheLineEntry &line = cache.lines[msg.line];
+        if (!line.wbValid)
             throw PlatformError("forward for a line the owner lost");
 
         // Bug 3: the forward raced with the writeback and is dropped;
         // the requester (and the busy directory entry) starve.
-        if (cfg.bug == BugKind::PutxGetxRace &&
-            rng.nextBool(cfg.bugProbability)) {
+        if (cfg->bug == BugKind::PutxGetxRace &&
+            rng->nextBool(cfg->bugProbability)) {
             forwardsDropped = true;
             return;
         }
 
         send(CohMessage{MsgType::Data, msg.line,
                         static_cast<std::int32_t>(tid), msg.requester,
-                        msg.requester, 0, it->second.data});
+                        msg.requester, 0, line.wbData});
         if (transfer_ownership) {
             send(CohMessage{MsgType::FwdAck, msg.line,
                             static_cast<std::int32_t>(tid), kDirectoryId,
@@ -663,7 +788,7 @@ class Machine
         } else {
             send(CohMessage{MsgType::DataWb, msg.line,
                             static_cast<std::int32_t>(tid), kDirectoryId,
-                            msg.requester, 0, it->second.data});
+                            msg.requester, 0, line.wbData});
         }
     }
 
@@ -679,8 +804,10 @@ class Machine
             return;
         line.resident = true;
         ++cache.residentCount;
-        if (cfg.cacheLines == 0 || cache.residentCount <= cfg.cacheLines)
+        if (cfg->cacheLines == 0 ||
+            cache.residentCount <= cfg->cacheLines) {
             return;
+        }
 
         // Evict the LRU stable line other than the new one.
         std::int64_t victim = -1;
@@ -701,8 +828,8 @@ class Machine
         CacheLineEntry &evicted =
             cache.lines[static_cast<std::uint32_t>(victim)];
         if (evicted.state == CState::M) {
-            cache.wb[static_cast<std::uint32_t>(victim)] =
-                WbEntry{evicted.data};
+            evicted.wbValid = true;
+            evicted.wbData = evicted.data;
             send(CohMessage{MsgType::PutM,
                             static_cast<std::uint32_t>(victim),
                             static_cast<std::int32_t>(tid), kDirectoryId,
@@ -733,24 +860,24 @@ class Machine
     bool
     isEligible(std::uint32_t tid, std::uint32_t idx) const
     {
-        if (idx >= head[tid] + cfg.reorderWindow)
+        if (idx >= head[tid] + cfg->reorderWindow)
             return false;
-        return (order.requiredPreds[tid][idx] &
+        return (order->requiredPreds[tid][idx] &
                 ~completion.windowCompleted(tid, idx)) == 0;
     }
 
+    /**
+     * Store-buffer forwarding via the precomputed nearest-prior-store
+     * table (O(1); see OrderTable::priorStore).
+     */
     std::optional<std::uint32_t>
-    forwardedValue(std::uint32_t tid, std::uint32_t idx,
-                   std::uint32_t loc) const
+    forwardedValue(std::uint32_t tid, std::uint32_t idx) const
     {
-        const auto &body = program.threadBodies()[tid];
-        for (std::uint32_t i = idx; i-- > 0;) {
-            if (body[i].kind == OpKind::Store && body[i].loc == loc) {
-                if (!completion.isCompleted(tid, i))
-                    return body[i].value;
-                return std::nullopt;
-            }
-        }
+        const std::uint32_t prior = order->priorStore[tid][idx];
+        if (prior == kNoPriorStore)
+            return std::nullopt;
+        if (!completion.isCompleted(tid, prior))
+            return program->threadBodies()[tid][prior].value;
         return std::nullopt;
     }
 
@@ -759,13 +886,13 @@ class Machine
     oldestUncommittedLoadOfLine(std::uint32_t tid,
                                 std::uint32_t line_idx) const
     {
-        const auto &body = program.threadBodies()[tid];
+        const auto &body = program->threadBodies()[tid];
         for (std::uint32_t idx = head[tid]; idx < body.size(); ++idx) {
             if (completion.isCompleted(tid, idx))
                 continue;
             const MemOp &op = body[idx];
             if (op.kind == OpKind::Load &&
-                program.lineOf(op.loc) == line_idx) {
+                program->lineOf(op.loc) == line_idx) {
                 return static_cast<std::int32_t>(idx);
             }
         }
@@ -775,15 +902,14 @@ class Machine
     /** Bind a raced fill's payload to the initiating load. */
     void
     oneShotCapture(std::uint32_t tid, std::uint32_t idx,
-                   std::uint32_t line_idx,
-                   const std::vector<std::uint32_t> &payload)
+                   std::uint32_t line_idx, const LinePayload &payload)
     {
         if (completion.isCompleted(tid, idx))
             return;
         OpState &op_state = opStates[tid][idx];
-        const MemOp &op = program.threadBodies()[tid][idx];
+        const MemOp &op = program->threadBodies()[tid][idx];
         if (op.kind != OpKind::Load ||
-            program.lineOf(op.loc) != line_idx) {
+            program->lineOf(op.loc) != line_idx) {
             return;
         }
         op_state.captured = true;
@@ -804,9 +930,11 @@ class Machine
             const auto [tid, line_idx] = pendingFwdService.back();
             pendingFwdService.pop_back();
             CacheLineEntry &line = caches[tid].lines[line_idx];
-            std::vector<CohMessage> deferred;
-            deferred.swap(line.deferredFwds);
-            for (const CohMessage &fwd : deferred) {
+            // Swap through a member scratch vector so both buffers
+            // keep their capacity (a local would free on destruction).
+            fwdScratch.clear();
+            fwdScratch.swap(line.deferredFwds);
+            for (const CohMessage &fwd : fwdScratch) {
                 // Re-dispatch through the normal path: the line may
                 // have changed state again since deferral.
                 cacheHandle(tid, fwd);
@@ -817,13 +945,13 @@ class Machine
     void
     progressCore(std::uint32_t tid)
     {
-        const auto &body = program.threadBodies()[tid];
+        const auto &body = program->threadBodies()[tid];
         bool advanced = true;
         while (advanced) {
             advanced = false;
             const std::uint32_t end = std::min<std::uint32_t>(
                 static_cast<std::uint32_t>(body.size()),
-                head[tid] + cfg.reorderWindow);
+                head[tid] + cfg->reorderWindow);
             for (std::uint32_t idx = head[tid]; idx < end; ++idx) {
                 if (completion.isCompleted(tid, idx))
                     continue;
@@ -837,7 +965,7 @@ class Machine
     bool
     tryOp(std::uint32_t tid, std::uint32_t idx)
     {
-        const MemOp &op = program.threadBodies()[tid][idx];
+        const MemOp &op = program->threadBodies()[tid][idx];
         OpState &op_state = opStates[tid][idx];
 
         if (op.kind == OpKind::Fence) {
@@ -847,7 +975,7 @@ class Machine
             return true;
         }
 
-        const std::uint32_t line_idx = program.lineOf(op.loc);
+        const std::uint32_t line_idx = program->lineOf(op.loc);
         CacheLineEntry &line = caches[tid].lines[line_idx];
 
         if (op.kind == OpKind::Store) {
@@ -856,8 +984,8 @@ class Machine
                     return false;
                 line.data[op.loc % wordsPerLine] = op.value;
                 line.lastTouch = ++touchCounter;
-                if (cfg.exportCoherenceOrder) {
-                    result.coherenceOrder[op.loc].push_back(
+                if (cfg->exportCoherenceOrder) {
+                    result->coherenceOrder[op.loc].push_back(
                         OpId{tid, idx});
                 }
                 commit(tid, idx);
@@ -869,7 +997,7 @@ class Machine
 
         // Load: speculative execution (no eligibility needed).
         if (!op_state.captured) {
-            const auto forwarded = forwardedValue(tid, idx, op.loc);
+            const auto forwarded = forwardedValue(tid, idx);
             if (forwarded) {
                 op_state.captured = true;
                 op_state.forwarded = true;
@@ -895,7 +1023,7 @@ class Machine
             // the store is still buffered (TSO value axiom). Once the
             // store has committed, an external store may have
             // overwritten the location; behave like a fresh read.
-            const auto still = forwardedValue(tid, idx, op.loc);
+            const auto still = forwardedValue(tid, idx);
             if (!still) {
                 op_state.forwarded = false;
                 op_state.captured = false;
@@ -916,10 +1044,10 @@ class Machine
             // The line changed between speculative execution and
             // commit: a correct LSQ squashes and replays the load.
             const bool keep_stale =
-                (cfg.bug == BugKind::LsqNoSquash ||
-                 (cfg.bug == BugKind::StaleLoadOnUpgrade &&
+                (cfg->bug == BugKind::LsqNoSquash ||
+                 (cfg->bug == BugKind::StaleLoadOnUpgrade &&
                   inUpgradeWindow(line.state))) &&
-                rng.nextBool(cfg.bugProbability);
+                rng->nextBool(cfg->bugProbability);
             if (!keep_stale) {
                 op_state.captured = false;
                 if (isValidState(line.state)) {
@@ -935,7 +1063,7 @@ class Machine
             }
         }
 
-        result.loadValues[program.loadOrdinal(OpId{tid, idx})] =
+        result->loadValues[program->loadOrdinal(OpId{tid, idx})] =
             op_state.capturedValue;
         commit(tid, idx);
         return true;
@@ -977,8 +1105,8 @@ class Machine
                             static_cast<std::int32_t>(tid),
                             static_cast<std::int32_t>(tid),
                             static_cast<std::int32_t>(tid), 0, {}},
-                 cfg.storeBufferDelay
-                     ? rng.nextBelow(cfg.storeBufferDelay + 1)
+                 cfg->storeBufferDelay
+                     ? rng->nextBelow(cfg->storeBufferDelay + 1)
                      : 0);
     }
 
@@ -987,10 +1115,10 @@ class Machine
     {
         ++commitCount;
         completion.markCompleted(tid, idx);
-        coreTime[tid] = std::max(coreTime[tid], now) + cfg.hitLatency;
+        coreTime[tid] = std::max(coreTime[tid], now) + cfg->hitLatency;
         --remaining;
         const std::uint32_t size = static_cast<std::uint32_t>(
-            program.threadBodies()[tid].size());
+            program->threadBodies()[tid].size());
         while (head[tid] < size &&
                completion.isCompleted(tid, head[tid])) {
             ++head[tid];
@@ -999,14 +1127,15 @@ class Machine
 
     // --- members --------------------------------------------------------
 
-    const TestProgram &program;
-    const CoherentConfig &cfg;
-    const OrderTable &order;
-    Rng &rng;
+    const TestProgram *program = nullptr;
+    const CoherentConfig *cfg = nullptr;
+    const OrderTable *order = nullptr;
+    Rng *rng = nullptr;
+    Execution *result = nullptr;
 
-    const std::uint32_t numThreads;
-    const std::uint32_t numLines;
-    const std::uint32_t wordsPerLine;
+    std::uint32_t numThreads = 0;
+    std::uint32_t numLines = 0;
+    std::uint32_t wordsPerLine = 1;
 
     CompletionBits completion;
     std::vector<std::uint32_t> head;
@@ -1016,22 +1145,23 @@ class Machine
 
     std::vector<L1> caches;
     std::vector<DirEntry> directory;
-    std::vector<std::vector<std::uint32_t>> memData;
+    /** Flat memory image, [line * wordsPerLine + word]. */
+    std::vector<std::uint32_t> memData;
 
-    std::priority_queue<Event, std::vector<Event>, std::greater<>>
-        eventQueue;
-    std::unordered_map<std::uint64_t, std::uint64_t> lastDelivery;
+    /** Event min-heap over a reusable vector. */
+    std::vector<Event> eventQueue;
+    /** Last delivery time per (src+1, dst+1) pair; kNever = none. */
+    std::vector<std::uint64_t> lastDelivery;
 
     std::vector<std::pair<std::uint32_t, std::uint32_t>>
         pendingFwdService;
+    std::vector<CohMessage> fwdScratch;
 
     std::uint64_t now = 0;
     std::uint64_t commitCount = 0;
     std::uint64_t seqCounter = 0;
     std::uint64_t touchCounter = 0;
     bool forwardsDropped = false;
-
-    Execution result;
 };
 
 /** Cache of OrderTables keyed by (program fingerprint, model). */
@@ -1060,12 +1190,14 @@ CoherentExecutor::CoherentExecutor(CoherentConfig cfg_arg) : cfg(cfg_arg)
         throw ConfigError("bug probability must lie in [0,1]");
 }
 
-Execution
-CoherentExecutor::run(const TestProgram &program, Rng &rng)
+void
+CoherentExecutor::runInto(const TestProgram &program, Rng &rng,
+                          RunArena &arena)
 {
     const OrderTable &order = cachedOrderTable(program, cfg.model);
-    Machine machine(program, cfg, order, rng);
-    return machine.run();
+    Machine &machine = arena.stateAs<Machine>();
+    machine.reset(program, cfg, order, rng, arena.execution);
+    machine.run();
 }
 
 CoherentConfig

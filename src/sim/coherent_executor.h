@@ -32,6 +32,7 @@
 #ifndef MTC_SIM_COHERENT_EXECUTOR_H
 #define MTC_SIM_COHERENT_EXECUTOR_H
 
+#include <array>
 #include <cstdint>
 
 #include "mcm/memory_model.h"
@@ -58,6 +59,24 @@ enum class MsgType : std::uint8_t
     SbDrain, ///< core-internal: store buffer hands a GetM to the NoC
 };
 
+/**
+ * Fixed-capacity cache-line image riding with Data / DataWb / PutM
+ * messages. Inline storage keeps message construction and queueing
+ * heap-free (the coherent hot path sends thousands of messages per
+ * run); the capacity covers every wordsPerLine the test-config
+ * validation admits at the default line geometry, and the executor
+ * rejects larger geometries up front.
+ */
+struct LinePayload
+{
+    static constexpr std::uint32_t kMaxWords = 16;
+
+    std::array<std::uint32_t, kMaxWords> words{};
+
+    std::uint32_t &operator[](std::size_t i) { return words[i]; }
+    std::uint32_t operator[](std::size_t i) const { return words[i]; }
+};
+
 /** One protocol message in flight. */
 struct CohMessage
 {
@@ -69,7 +88,7 @@ struct CohMessage
     std::uint32_t ackCount = 0; ///< with Data: InvAcks to await
 
     /** Line contents riding with Data / DataWb / PutM messages. */
-    std::vector<std::uint32_t> payload;
+    LinePayload payload;
 };
 
 /** Pseudo core-id of the directory. */
@@ -114,7 +133,8 @@ class CoherentExecutor : public Platform
 
     const CoherentConfig &config() const { return cfg; }
 
-    Execution run(const TestProgram &program, Rng &rng) override;
+    void runInto(const TestProgram &program, Rng &rng,
+                 RunArena &arena) override;
 
   private:
     CoherentConfig cfg;

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <limits>
-#include <unordered_map>
 
 #include "graph/po_edges.h"
 #include "sim/order_table.h"
@@ -16,13 +15,22 @@ namespace
 
 constexpr std::uint64_t kNever = std::numeric_limits<std::uint64_t>::max();
 
-/** Per-run mutable state shared by both scheduling policies. */
-struct RunState
+/**
+ * Per-run mutable state shared by both scheduling policies. Lives in
+ * the caller's RunArena and is reset in place between runs: every
+ * container is re-filled with assign()/resize() so its capacity
+ * survives, making the steady-state iteration loop allocation-free.
+ * The reset replays the original construction order exactly — in
+ * particular the per-thread start-skew draws — so arena reuse is
+ * Rng-sequence-identical to fresh construction.
+ */
+struct RunState : RunArena::State
 {
-    const TestProgram &program;
-    const ExecutorConfig &cfg;
-    const OrderTable &order;
-    Rng &rng;
+    const TestProgram *program = nullptr;
+    const ExecutorConfig *cfg = nullptr;
+    const OrderTable *order = nullptr;
+    Rng *rng = nullptr;
+    Execution *result = nullptr;
 
     std::vector<std::uint32_t> mem;          ///< current value per loc
     CompletionBits completion;
@@ -31,8 +39,6 @@ struct RunState
     std::vector<std::vector<std::uint64_t>> completionTime;
     std::vector<bool> blocked;               ///< bug-3 wedged threads
     std::uint64_t remaining = 0;
-
-    Execution result;
 
     // --- Timed-policy cache model -------------------------------------
     struct Line
@@ -45,45 +51,108 @@ struct RunState
         bool everEvicted = false;
     };
     std::vector<Line> lines;
-    /** Per-core LRU timestamps of resident lines (capacity evictions). */
-    std::vector<std::unordered_map<std::uint32_t, std::uint64_t>> lru;
+    std::uint32_t numLines = 0;
+    /** loc -> cache line, hoisting lineOf()'s division off the hot
+     * path. */
+    std::vector<std::uint32_t> locLine;
+    /**
+     * Per-core last-touch timestamps, flat-indexed [tid * numLines +
+     * line] (kNever = not resident), with per-core resident counts —
+     * the former per-core unordered_map LRU without the per-run node
+     * churn. Capacity-eviction victims are found by a bounded scan
+     * over the line array; ties on the timestamp break toward the
+     * lowest line index (deterministic, unlike map iteration order).
+     */
+    std::vector<std::uint64_t> lruStamp;
+    std::vector<std::uint32_t> lruCount;
     /** Cached per-op latency jitter, drawn once per op. */
     std::vector<std::vector<std::uint64_t>> jitter;
     /** Per-location (time, value) history for stale-read injection. */
     std::vector<std::vector<std::pair<std::uint64_t, std::uint32_t>>>
         history;
 
-    RunState(const TestProgram &program_arg, const ExecutorConfig &cfg_arg,
-             const OrderTable &order_arg, Rng &rng_arg)
-        : program(program_arg), cfg(cfg_arg), order(order_arg),
-          rng(rng_arg)
+    /** Uniform-policy candidate scratch (rebuilt every step). */
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> eligibleScratch;
+
+    /**
+     * Timed-policy per-thread cached best candidate (completion, issue,
+     * idx, validity). A perform only invalidates its own thread's
+     * times (core slot, intra-thread predecessors) and, through cache
+     * lines it mutated, other threads' latencies — so the engine
+     * recomputes per-thread bests selectively instead of rescanning
+     * every candidate each step.
+     */
+    std::vector<std::uint64_t> bestTime;
+    std::vector<std::uint64_t> bestIssue;
+    std::vector<std::uint32_t> bestIdx;
+    std::vector<std::uint8_t> bestValid;
+
+    void
+    reset(const TestProgram &program_arg, const ExecutorConfig &cfg_arg,
+          const OrderTable &order_arg, Rng &rng_arg, Execution &out)
     {
-        const auto &threads = program.threadBodies();
-        mem.assign(program.config().numLocations, kInitValue);
-        completion.reset(program);
+        program = &program_arg;
+        cfg = &cfg_arg;
+        order = &order_arg;
+        rng = &rng_arg;
+        result = &out;
+
+        const auto &threads = program->threadBodies();
+        const std::uint32_t num_locs = program->config().numLocations;
+        mem.assign(num_locs, kInitValue);
+        completion.reset(*program);
         completionTime.resize(threads.size());
-        jitter.resize(threads.size());
         head.assign(threads.size(), 0);
         coreSlot.assign(threads.size(), 0);
         blocked.assign(threads.size(), false);
+        remaining = 0;
         for (std::size_t t = 0; t < threads.size(); ++t) {
             completionTime[t].assign(threads[t].size(), 0);
-            jitter[t].assign(threads[t].size(), kNever);
             remaining += threads[t].size();
         }
-        result.loadValues.assign(program.loads().size(), kInitValue);
-        if (cfg.exportCoherenceOrder) {
-            result.coherenceOrder.assign(program.config().numLocations,
-                                         {});
+
+        result->loadValues.assign(program->loads().size(), kInitValue);
+        result->duration = 0;
+        if (cfg->exportCoherenceOrder) {
+            result->coherenceOrder.resize(num_locs);
+            for (auto &per_loc : result->coherenceOrder)
+                per_loc.clear();
+        } else {
+            result->coherenceOrder.clear();
         }
-        if (cfg.policy == SchedulingPolicy::Timed) {
-            lines.resize(program.numLines());
-            lru.resize(threads.size());
+
+        if (cfg->policy == SchedulingPolicy::Timed) {
+            lines.assign(program->numLines(), Line{});
+            numLines = static_cast<std::uint32_t>(lines.size());
+            locLine.resize(num_locs);
+            for (std::uint32_t loc = 0; loc < num_locs; ++loc)
+                locLine[loc] = program->lineOf(loc);
+            lruStamp.assign(
+                static_cast<std::size_t>(threads.size()) * numLines,
+                kNever);
+            lruCount.assign(threads.size(), 0);
+            // Jitter caches only exist under the timed policy (the
+            // uniform path never reads them).
+            jitter.resize(threads.size());
             for (std::size_t t = 0; t < threads.size(); ++t)
-                coreSlot[t] = rng.nextBelow(cfg.timing.startSkewMax + 1);
+                jitter[t].assign(threads[t].size(), kNever);
+            bestTime.assign(threads.size(), kNever);
+            bestIssue.assign(threads.size(), 0);
+            bestIdx.assign(threads.size(), 0);
+            bestValid.assign(threads.size(), 0);
+            for (std::size_t t = 0; t < threads.size(); ++t) {
+                coreSlot[t] =
+                    rng->nextBelow(cfg->timing.startSkewMax + 1);
+            }
+        } else {
+            eligibleScratch.reserve(threads.size() *
+                                    cfg->reorderWindow);
         }
-        if (cfg.bug != BugKind::None)
-            history.resize(program.config().numLocations);
+        if (cfg->bug != BugKind::None) {
+            history.resize(num_locs);
+            for (auto &per_loc : history)
+                per_loc.clear();
+        }
     }
 
     bool
@@ -98,26 +167,48 @@ struct RunState
     {
         if (blocked[tid])
             return false;
-        if (idx >= head[tid] + cfg.reorderWindow)
+        if (idx >= head[tid] + cfg->reorderWindow)
             return false;
-        return (order.requiredPreds[tid][idx] &
+        return (order->requiredPreds[tid][idx] &
                 ~completion.windowCompleted(tid, idx)) == 0;
     }
 
-    /** Latest po-earlier same-location store of the same thread. */
+    /**
+     * Value forwarded from the latest po-earlier same-location store
+     * of the same thread, O(1) via the precomputed priorStore table:
+     * only the nearest prior store can forward (a completed one ends
+     * the old backward scan immediately).
+     */
     std::optional<std::uint32_t>
-    forwardedValue(std::uint32_t tid, std::uint32_t idx,
-                   std::uint32_t loc) const
+    forwardedValue(std::uint32_t tid, std::uint32_t idx) const
     {
-        const auto &body = program.threadBodies()[tid];
-        for (std::uint32_t i = idx; i-- > 0;) {
-            if (body[i].kind == OpKind::Store && body[i].loc == loc) {
-                if (!isCompleted(tid, i))
-                    return body[i].value; // store-buffer forwarding
-                return std::nullopt;      // globally visible: read memory
-            }
+        const std::uint32_t prior = order->priorStore[tid][idx];
+        if (prior == kNoPriorStore)
+            return std::nullopt;
+        if (!isCompleted(tid, prior)) {
+            // store-buffer forwarding
+            return program->threadBodies()[tid][prior].value;
         }
-        return std::nullopt;
+        return std::nullopt; // globally visible: read memory
+    }
+
+    /** This core's flat LRU timestamp row. */
+    std::uint64_t *
+    coreLru(std::uint32_t tid)
+    {
+        return lruStamp.data() +
+            static_cast<std::size_t>(tid) * numLines;
+    }
+
+    /** Drop @p line_idx from @p tid's LRU (no-op when not resident). */
+    void
+    lruErase(std::uint32_t tid, std::uint32_t line_idx)
+    {
+        std::uint64_t &stamp = coreLru(tid)[line_idx];
+        if (stamp != kNever) {
+            stamp = kNever;
+            --lruCount[tid];
+        }
     }
 
     void
@@ -125,10 +216,10 @@ struct RunState
     {
         completion.markCompleted(tid, idx);
         completionTime[tid][idx] = time;
-        result.duration = std::max(result.duration, time);
+        result->duration = std::max(result->duration, time);
         --remaining;
-        const std::uint32_t size =
-            static_cast<std::uint32_t>(program.threadBodies()[tid].size());
+        const std::uint32_t size = static_cast<std::uint32_t>(
+            program->threadBodies()[tid].size());
         while (head[tid] < size && isCompleted(tid, head[tid]))
             ++head[tid];
     }
@@ -136,11 +227,11 @@ struct RunState
     void
     completeStore(std::uint32_t tid, std::uint32_t idx, std::uint64_t time)
     {
-        const MemOp &op = program.threadBodies()[tid][idx];
+        const MemOp &op = program->threadBodies()[tid][idx];
         mem[op.loc] = op.value;
-        if (cfg.exportCoherenceOrder)
-            result.coherenceOrder[op.loc].push_back(OpId{tid, idx});
-        if (cfg.bug != BugKind::None)
+        if (cfg->exportCoherenceOrder)
+            result->coherenceOrder[op.loc].push_back(OpId{tid, idx});
+        if (cfg->bug != BugKind::None)
             history[op.loc].emplace_back(time, op.value);
         markCompleted(tid, idx, time);
     }
@@ -149,7 +240,7 @@ struct RunState
     completeLoad(std::uint32_t tid, std::uint32_t idx, std::uint64_t time,
                  std::uint32_t value)
     {
-        result.loadValues[program.loadOrdinal(OpId{tid, idx})] = value;
+        result->loadValues[program->loadOrdinal(OpId{tid, idx})] = value;
         markCompleted(tid, idx, time);
     }
 
@@ -174,8 +265,8 @@ struct RunState
 void
 runUniform(RunState &state)
 {
-    const auto &threads = state.program.threadBodies();
-    std::vector<std::pair<std::uint32_t, std::uint32_t>> eligible;
+    const auto &threads = state.program->threadBodies();
+    auto &eligible = state.eligibleScratch;
     std::uint64_t step = 0;
 
     while (state.remaining > 0) {
@@ -183,7 +274,7 @@ runUniform(RunState &state)
         for (std::uint32_t tid = 0; tid < threads.size(); ++tid) {
             const std::uint32_t end = std::min<std::uint32_t>(
                 static_cast<std::uint32_t>(threads[tid].size()),
-                state.head[tid] + state.cfg.reorderWindow);
+                state.head[tid] + state.cfg->reorderWindow);
             for (std::uint32_t idx = state.head[tid]; idx < end; ++idx) {
                 if (!state.isCompleted(tid, idx) &&
                     state.isEligible(tid, idx)) {
@@ -195,7 +286,7 @@ runUniform(RunState &state)
             throw PlatformError("uniform executor wedged (internal bug)");
 
         const auto [tid, idx] =
-            eligible[state.rng.pickIndex(eligible.size())];
+            eligible[state.rng->pickIndex(eligible.size())];
         const MemOp &op = threads[tid][idx];
         ++step;
         switch (op.kind) {
@@ -203,7 +294,7 @@ runUniform(RunState &state)
             state.completeStore(tid, idx, step);
             break;
           case OpKind::Load: {
-            auto forwarded = state.forwardedValue(tid, idx, op.loc);
+            auto forwarded = state.forwardedValue(tid, idx);
             state.completeLoad(tid, idx, step,
                                forwarded ? *forwarded
                                          : state.mem[op.loc]);
@@ -228,39 +319,33 @@ class TimedEngine
     void
     run()
     {
-        const auto &threads = state.program.threadBodies();
-        while (state.remaining > 0) {
-            std::uint32_t best_tid = 0, best_idx = 0;
-            std::uint64_t best_time = kNever;
-            std::uint64_t best_issue = 0;
-            std::uint32_t candidates = 0;
+        const std::uint32_t num_threads = state.program->numThreads();
+        // Seed every thread's cached best. Jitter draws happen on each
+        // op's first candidateTimes evaluation, so this initial pass
+        // draws for the initially eligible ops in (tid, idx) order —
+        // exactly the first scan of the full-rescan engine.
+        for (std::uint32_t tid = 0; tid < num_threads; ++tid)
+            recomputeBest(tid);
 
-            for (std::uint32_t tid = 0; tid < threads.size(); ++tid) {
-                const std::uint32_t end = std::min<std::uint32_t>(
-                    static_cast<std::uint32_t>(threads[tid].size()),
-                    state.head[tid] + state.cfg.reorderWindow);
-                for (std::uint32_t idx = state.head[tid]; idx < end;
-                     ++idx) {
-                    if (state.isCompleted(tid, idx) ||
-                        !state.isEligible(tid, idx)) {
-                        continue;
-                    }
-                    const auto [issue, completion] =
-                        candidateTimes(tid, idx);
-                    ++candidates;
-                    // Deterministic tie-break (lowest thread id /
-                    // oldest op): silicon arbitration is stable, so
-                    // equal-latency races repeat the same winner.
-                    if (completion < best_time) {
-                        best_time = completion;
-                        best_issue = issue;
-                        best_tid = tid;
-                        best_idx = idx;
-                    }
+        while (state.remaining > 0) {
+            std::uint32_t best_tid = 0;
+            std::uint64_t best_time = kNever;
+            bool found = false;
+            // Deterministic tie-break (lowest thread id / oldest op):
+            // silicon arbitration is stable, so equal-latency races
+            // repeat the same winner. Strict < here plus strict < in
+            // recomputeBest reproduce the full scan's lexicographic
+            // (tid, idx) preference.
+            for (std::uint32_t tid = 0; tid < num_threads; ++tid) {
+                if (state.bestValid[tid] &&
+                    state.bestTime[tid] < best_time) {
+                    best_time = state.bestTime[tid];
+                    best_tid = tid;
+                    found = true;
                 }
             }
 
-            if (candidates == 0) {
+            if (!found) {
                 // Only blocked threads have work left: the injected
                 // protocol race wedged the platform.
                 throw ProtocolDeadlockError(
@@ -268,19 +353,100 @@ class TimedEngine
                     "deadlocked");
             }
 
-            perform(best_tid, best_idx, best_issue, best_time);
+            numDirty = 0;
+            perform(best_tid, state.bestIdx[best_tid],
+                    state.bestIssue[best_tid], best_time);
+
+            // Eligibility and issue-time inputs (required-predecessor
+            // completions, core slot, head, blocked) are strictly
+            // intra-thread, so only the performing thread's candidate
+            // set changed — and its recompute runs first, drawing
+            // jitter for newly eligible ops in idx order, matching the
+            // full rescan's draw sequence. Other threads are affected
+            // only through the cache lines this perform mutated; their
+            // re-evaluations hit the jitter cache and draw nothing.
+            recomputeBest(best_tid);
+            if (numDirty != 0) {
+                for (std::uint32_t tid = 0; tid < num_threads; ++tid) {
+                    if (tid != best_tid && windowTouchesDirty(tid))
+                        recomputeBest(tid);
+                }
+            }
         }
     }
 
   private:
+    /** Re-scan @p tid's reorder window and cache its best candidate. */
+    void
+    recomputeBest(std::uint32_t tid)
+    {
+        const auto &body = state.program->threadBodies()[tid];
+        const std::uint32_t end = std::min<std::uint32_t>(
+            static_cast<std::uint32_t>(body.size()),
+            state.head[tid] + state.cfg->reorderWindow);
+        std::uint64_t best_time = kNever;
+        std::uint64_t best_issue = 0;
+        std::uint32_t best_idx = 0;
+        bool found = false;
+        for (std::uint32_t idx = state.head[tid]; idx < end; ++idx) {
+            if (state.isCompleted(tid, idx) ||
+                !state.isEligible(tid, idx)) {
+                continue;
+            }
+            const auto [issue, completion] = candidateTimes(tid, idx);
+            if (completion < best_time) {
+                best_time = completion;
+                best_issue = issue;
+                best_idx = idx;
+                found = true;
+            }
+        }
+        state.bestTime[tid] = best_time;
+        state.bestIssue[tid] = best_issue;
+        state.bestIdx[tid] = best_idx;
+        state.bestValid[tid] = found ? 1 : 0;
+    }
+
+    /** Mark a cache line whose coherence state this perform changed. */
+    void
+    markDirty(std::uint32_t line_idx)
+    {
+        if (numDirty < 2)
+            dirtyLines[numDirty++] = line_idx;
+    }
+
+    /** Does any incomplete memory op in @p tid's window hit a line
+     * dirtied by the last perform (so its cached latency is stale)? */
+    bool
+    windowTouchesDirty(std::uint32_t tid) const
+    {
+        const auto &body = state.program->threadBodies()[tid];
+        const std::uint32_t end = std::min<std::uint32_t>(
+            static_cast<std::uint32_t>(body.size()),
+            state.head[tid] + state.cfg->reorderWindow);
+        for (std::uint32_t idx = state.head[tid]; idx < end; ++idx) {
+            if (state.isCompleted(tid, idx))
+                continue;
+            const MemOp &op = body[idx];
+            if (op.kind == OpKind::Fence)
+                continue;
+            const std::uint32_t line = state.locLine[op.loc];
+            for (std::uint32_t d = 0; d < numDirty; ++d) {
+                if (line == dirtyLines[d])
+                    return true;
+            }
+        }
+        return false;
+    }
+
     std::uint64_t
     opJitter(std::uint32_t tid, std::uint32_t idx)
     {
         std::uint64_t &cached = state.jitter[tid][idx];
         if (cached == kNever) {
-            const TimingParams &timing = state.cfg.timing;
-            cached = state.rng.nextBool(timing.jitterProbability)
-                ? 1 + state.rng.nextBelow(timing.jitterMax)
+            const TimingParams &timing = state.cfg->timing;
+            cached = state.rng->nextBool(timing.jitterProbability)
+                ? 1 + state.rng->nextBelow(timing.jitterMax)
                 : 0;
         }
         return cached;
@@ -297,14 +463,14 @@ class TimedEngine
     std::pair<std::uint64_t, std::uint64_t>
     candidateTimes(std::uint32_t tid, std::uint32_t idx)
     {
-        const MemOp &op = state.program.threadBodies()[tid][idx];
-        const TimingParams &timing = state.cfg.timing;
+        const MemOp &op = state.program->threadBodies()[tid][idx];
+        const TimingParams &timing = state.cfg->timing;
 
         // Issue waits for the core slot and for every required-order
         // predecessor's completion (eligibility guarantees they are
         // complete, so their times are final).
         std::uint64_t issue = state.coreSlot[tid];
-        std::uint32_t preds = state.order.requiredPreds[tid][idx];
+        std::uint32_t preds = state.order->requiredPreds[tid][idx];
         while (preds) {
             const int b = __builtin_ctz(preds);
             preds &= preds - 1;
@@ -319,7 +485,7 @@ class TimedEngine
         std::uint64_t latency = timing.issueCost;
         if (op.kind != OpKind::Fence) {
             const RunState::Line &line =
-                state.lines[state.program.lineOf(op.loc)];
+                state.lines[state.locLine[op.loc]];
             if (op.kind == OpKind::Load) {
                 if (resident(tid, line))
                     latency += timing.hitLatency;
@@ -350,22 +516,27 @@ class TimedEngine
     void
     touchLine(std::uint32_t tid, std::uint32_t line_idx, std::uint64_t now)
     {
-        const std::uint32_t capacity = state.cfg.timing.cacheLines;
-        auto &core_lru = state.lru[tid];
-        core_lru[line_idx] = now;
-        if (capacity == 0 || core_lru.size() <= capacity)
+        const std::uint32_t capacity = state.cfg->timing.cacheLines;
+        std::uint64_t *stamps = state.coreLru(tid);
+        if (stamps[line_idx] == kNever)
+            ++state.lruCount[tid];
+        stamps[line_idx] = now;
+        if (capacity == 0 || state.lruCount[tid] <= capacity)
             return;
 
-        // Evict the least-recently-used other line.
+        // Evict the least-recently-used other line (lowest line index
+        // on a timestamp tie).
         std::uint32_t victim = line_idx;
         std::uint64_t oldest = kNever;
-        for (const auto &[line, last] : core_lru) {
-            if (line != line_idx && last < oldest) {
-                oldest = last;
-                victim = line;
+        for (std::uint32_t l = 0; l < state.numLines; ++l) {
+            if (l != line_idx && stamps[l] < oldest) {
+                oldest = stamps[l];
+                victim = l;
             }
         }
-        core_lru.erase(victim);
+        stamps[victim] = kNever;
+        --state.lruCount[tid];
+        markDirty(victim); // owner/sharers change below
         RunState::Line &line = state.lines[victim];
         if (line.owner == static_cast<std::int32_t>(tid)) {
             // Dirty eviction: writeback (PUTX). Values are already in
@@ -381,7 +552,7 @@ class TimedEngine
     bool
     bugGate()
     {
-        return state.rng.nextBool(state.cfg.bugProbability);
+        return state.rng->nextBool(state.cfg->bugProbability);
     }
 
     /** Does thread @p tid have an incomplete po-earlier store to the
@@ -390,11 +561,11 @@ class TimedEngine
     upgradeInFlight(std::uint32_t tid, std::uint32_t idx,
                     std::uint32_t line_idx) const
     {
-        const auto &body = state.program.threadBodies()[tid];
+        const auto &body = state.program->threadBodies()[tid];
         for (std::uint32_t i = state.head[tid]; i < idx; ++i) {
             if (!state.isCompleted(tid, i) &&
                 body[i].kind == OpKind::Store &&
-                state.program.lineOf(body[i].loc) == line_idx) {
+                state.locLine[body[i].loc] == line_idx) {
                 return true;
             }
         }
@@ -405,8 +576,8 @@ class TimedEngine
     perform(std::uint32_t tid, std::uint32_t idx, std::uint64_t issue,
             std::uint64_t now)
     {
-        const MemOp &op = state.program.threadBodies()[tid][idx];
-        const TimingParams &timing = state.cfg.timing;
+        const MemOp &op = state.program->threadBodies()[tid][idx];
+        const TimingParams &timing = state.cfg->timing;
 
         if (op.kind == OpKind::Fence) {
             state.markCompleted(tid, idx, now);
@@ -415,12 +586,13 @@ class TimedEngine
             return;
         }
 
-        const std::uint32_t line_idx = state.program.lineOf(op.loc);
+        const std::uint32_t line_idx = state.locLine[op.loc];
         RunState::Line &line = state.lines[line_idx];
+        markDirty(line_idx);
 
         // Bug 3: the ownership-transfer request raced with the owner's
         // writeback and got lost; the requester spins forever.
-        if (state.cfg.bug == BugKind::PutxGetxRace &&
+        if (state.cfg->bug == BugKind::PutxGetxRace &&
             !resident(tid, line) && line.everEvicted &&
             line.lastEvictTime > issue && bugGate()) {
             state.blocked[tid] = true;
@@ -431,12 +603,13 @@ class TimedEngine
             // Invalidate all other copies; take ownership.
             if (line.owner >= 0 &&
                 line.owner != static_cast<std::int32_t>(tid)) {
-                state.lru[line.owner].erase(line_idx);
+                state.lruErase(
+                    static_cast<std::uint32_t>(line.owner), line_idx);
             }
             for (std::uint32_t other = 0;
-                 other < state.program.numThreads(); ++other) {
+                 other < state.program->numThreads(); ++other) {
                 if (other != tid && ((line.sharers >> other) & 1))
-                    state.lru[other].erase(line_idx);
+                    state.lruErase(other, line_idx);
             }
             line.owner = static_cast<std::int32_t>(tid);
             line.sharers = std::uint32_t(1) << tid;
@@ -446,7 +619,7 @@ class TimedEngine
             state.completeStore(tid, idx, now);
         } else {
             std::uint32_t value;
-            auto forwarded = state.forwardedValue(tid, idx, op.loc);
+            auto forwarded = state.forwardedValue(tid, idx);
             if (forwarded) {
                 value = *forwarded;
             } else {
@@ -459,10 +632,11 @@ class TimedEngine
                     line.lastStoreTid >= 0 &&
                     line.lastStoreTid != static_cast<std::int32_t>(tid) &&
                     line.lastStoreTime > issue;
-                if (remote_inval && state.cfg.bug != BugKind::None) {
+                if (remote_inval && state.cfg->bug != BugKind::None) {
                     const bool fire =
-                        (state.cfg.bug == BugKind::LsqNoSquash ||
-                         (state.cfg.bug == BugKind::StaleLoadOnUpgrade &&
+                        (state.cfg->bug == BugKind::LsqNoSquash ||
+                         (state.cfg->bug ==
+                              BugKind::StaleLoadOnUpgrade &&
                           upgradeInFlight(tid, idx, line_idx))) &&
                         bugGate();
                     if (fire)
@@ -487,12 +661,17 @@ class TimedEngine
         // OS-interference mode: occasionally the scheduler preempts the
         // core, stalling its subsequent issues for a full slice.
         if (timing.preemptProbability > 0.0 &&
-            state.rng.nextBool(timing.preemptProbability)) {
+            state.rng->nextBool(timing.preemptProbability)) {
             state.coreSlot[tid] += timing.preemptSlice;
         }
     }
 
     RunState &state;
+
+    /** Cache lines whose coherence state the last perform mutated: at
+     * most the op's own line plus one LRU-eviction victim. */
+    std::uint32_t dirtyLines[2] = {0, 0};
+    std::uint32_t numDirty = 0;
 };
 
 /** Cache of OrderTables keyed by (program identity, model). */
@@ -539,18 +718,19 @@ OperationalExecutor::OperationalExecutor(ExecutorConfig cfg_arg)
     }
 }
 
-Execution
-OperationalExecutor::run(const TestProgram &program, Rng &rng)
+void
+OperationalExecutor::runInto(const TestProgram &program, Rng &rng,
+                             RunArena &arena)
 {
     const OrderTable &order = orderTableCache().get(program, cfg.model);
-    RunState state(program, cfg, order, rng);
+    RunState &state = arena.stateAs<RunState>();
+    state.reset(program, cfg, order, rng, arena.execution);
     if (cfg.policy == SchedulingPolicy::UniformRandom) {
         runUniform(state);
     } else {
         TimedEngine engine(state);
         engine.run();
     }
-    return std::move(state.result);
 }
 
 ExecutorConfig

@@ -35,7 +35,8 @@ class OperationalExecutor : public Platform
     /** The active configuration. */
     const ExecutorConfig &config() const { return cfg; }
 
-    Execution run(const TestProgram &program, Rng &rng) override;
+    void runInto(const TestProgram &program, Rng &rng,
+                 RunArena &arena) override;
 
   private:
     ExecutorConfig cfg;

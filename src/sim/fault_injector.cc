@@ -34,14 +34,24 @@ FaultInjector::FaultInjector(const FaultConfig &cfg_arg,
 FaultedReadout
 FaultInjector::read(const Signature &clean)
 {
+    FaultedReadout readout;
+    readInto(clean, readout);
+    return readout;
+}
+
+void
+FaultInjector::readInto(const Signature &clean, FaultedReadout &readout)
+{
     if (clean.words.size() != totalWords) {
         throw ConfigError(
             "FaultInjector: signature word count does not match the "
             "thread layout");
     }
 
-    FaultedReadout readout;
-    readout.signature = clean;
+    readout.copies = 1;
+    readout.corrupted = false;
+    readout.signature.words.assign(clean.words.begin(),
+                                   clean.words.end());
 
     // Loss happens before the host buffer sees anything; a dropped
     // iteration cannot also be corrupted or duplicated.
@@ -49,7 +59,7 @@ FaultInjector::read(const Signature &clean)
         ++ledger.dropped;
         readout.copies = 0;
         readout.signature.words.clear();
-        return readout;
+        return;
     }
 
     // Torn store: a suffix of the word array keeps whatever the host
@@ -95,8 +105,8 @@ FaultInjector::read(const Signature &clean)
 
     // What the buffer ends up holding is what a later torn store can
     // re-expose.
-    lastFlushed = readout.signature;
-    return readout;
+    lastFlushed.words.assign(readout.signature.words.begin(),
+                             readout.signature.words.end());
 }
 
 } // namespace mtc

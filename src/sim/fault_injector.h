@@ -138,6 +138,14 @@ class FaultInjector
     /** Pass one iteration's clean signature through the faulty path. */
     FaultedReadout read(const Signature &clean);
 
+    /**
+     * Like read(), but reuses @p out's word buffer (zero heap
+     * allocations at steady state). Fault decisions consume the same
+     * random stream as read(), so mixing the two entry points within
+     * one injector keeps determinism.
+     */
+    void readInto(const Signature &clean, FaultedReadout &out);
+
     const InjectionCounts &counts() const { return ledger; }
 
     bool enabled() const { return cfg.enabled(); }

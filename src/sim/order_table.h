@@ -14,6 +14,7 @@
 #define MTC_SIM_ORDER_TABLE_H
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "graph/po_edges.h"
@@ -26,19 +27,39 @@ namespace mtc
 /** Maximum supported reorder window (ordering masks are 32-bit). */
 constexpr std::uint32_t kMaxReorderWindow = 32;
 
+/** priorStore sentinel: no program-order-earlier same-location store. */
+constexpr std::uint32_t kNoPriorStore =
+    std::numeric_limits<std::uint32_t>::max();
+
 /** Required-predecessor masks for one (program, model) pair. */
 struct OrderTable
 {
     std::vector<std::vector<std::uint32_t>> requiredPreds;
+
+    /**
+     * priorStore[tid][idx]: index of the nearest program-order-earlier
+     * store of thread @p tid to the same location as op idx, or
+     * kNoPriorStore. Store-to-load forwarding only ever consults the
+     * *nearest* prior same-location store (a completed one masks every
+     * older one), so this table makes forwardedValue O(1) instead of
+     * an O(idx) backward scan per load. Model-independent, but built
+     * here so it rides the existing per-(program, model) cache.
+     */
+    std::vector<std::vector<std::uint32_t>> priorStore;
 
     void
     build(const TestProgram &program, MemoryModel model)
     {
         const auto &threads = program.threadBodies();
         requiredPreds.assign(threads.size(), {});
+        priorStore.assign(threads.size(), {});
+        std::vector<std::uint32_t> last_store;
         for (std::size_t tid = 0; tid < threads.size(); ++tid) {
             const auto &body = threads[tid];
             requiredPreds[tid].assign(body.size(), 0);
+            priorStore[tid].assign(body.size(), kNoPriorStore);
+            last_store.assign(program.config().numLocations,
+                              kNoPriorStore);
             for (std::uint32_t idx = 0; idx < body.size(); ++idx) {
                 std::uint32_t mask = 0;
                 for (std::uint32_t b = 0; b < kMaxReorderWindow; ++b) {
@@ -50,6 +71,11 @@ struct OrderTable
                         mask |= std::uint32_t(1) << b;
                 }
                 requiredPreds[tid][idx] = mask;
+                if (body[idx].kind != OpKind::Fence) {
+                    priorStore[tid][idx] = last_store[body[idx].loc];
+                    if (body[idx].kind == OpKind::Store)
+                        last_store[body[idx].loc] = idx;
+                }
             }
         }
     }

@@ -7,10 +7,22 @@
  * coherence modelling, injected bugs — lives behind this interface so
  * new platform models can be plugged in without touching the
  * instrumentation or checking layers.
+ *
+ * Hot-path contract: a flow runs the same program thousands of times,
+ * so Platform exposes two entry points. `run()` is the convenient
+ * one-shot form; `runInto()` threads a caller-owned RunArena through
+ * the execution so the platform's per-run working state (and the
+ * Execution output buffers) are reset in place instead of reallocated
+ * — after warm-up an iteration performs no heap allocations. Both
+ * forms draw the identical Rng sequence and produce bit-identical
+ * Executions.
  */
 
 #ifndef MTC_SIM_PLATFORM_H
 #define MTC_SIM_PLATFORM_H
+
+#include <memory>
+#include <utility>
 
 #include "support/rng.h"
 #include "testgen/execution.h"
@@ -19,6 +31,47 @@
 namespace mtc
 {
 
+/**
+ * Reusable per-run storage. The arena owns the Execution output buffer
+ * and an opaque slot where the executing platform parks its private
+ * working state (schedulers, cache models, message queues) between
+ * runs. One arena serves one platform at a time; handing it to a
+ * different platform type simply replaces the slot.
+ */
+class RunArena
+{
+  public:
+    /** Output buffer the platform writes each run's results into. */
+    Execution execution;
+
+    /** Base class of platform-private reusable state. */
+    struct State
+    {
+        virtual ~State() = default;
+    };
+
+    /**
+     * The platform's persistent state of type @p T, created default-
+     * constructed on first use (or when a different platform type used
+     * the arena in between).
+     */
+    template <typename T>
+    T &
+    stateAs()
+    {
+        T *typed = dynamic_cast<T *>(slot.get());
+        if (!typed) {
+            auto owned = std::make_unique<T>();
+            typed = owned.get();
+            slot = std::move(owned);
+        }
+        return *typed;
+    }
+
+  private:
+    std::unique_ptr<State> slot;
+};
+
 /** A platform that can execute test programs. */
 class Platform
 {
@@ -26,7 +79,7 @@ class Platform
     virtual ~Platform() = default;
 
     /**
-     * Execute @p program once.
+     * Execute @p program once into a fresh arena.
      *
      * @param program Test to run (must outlive the call only).
      * @param rng     Source of platform non-determinism.
@@ -34,7 +87,22 @@ class Platform
      * @throws ProtocolDeadlockError if an injected bug wedges the
      *         platform (Section 7, bug 3).
      */
-    virtual Execution run(const TestProgram &program, Rng &rng) = 0;
+    Execution
+    run(const TestProgram &program, Rng &rng)
+    {
+        RunArena arena;
+        runInto(program, rng, arena);
+        return std::move(arena.execution);
+    }
+
+    /**
+     * Execute @p program once, reusing @p arena's buffers. The result
+     * is left in `arena.execution`; its previous contents are
+     * overwritten. Reusing one arena across iterations makes the
+     * steady-state run loop allocation-free.
+     */
+    virtual void runInto(const TestProgram &program, Rng &rng,
+                         RunArena &arena) = 0;
 };
 
 } // namespace mtc

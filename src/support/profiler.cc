@@ -1,0 +1,40 @@
+#include "support/profiler.h"
+
+namespace mtc
+{
+
+const char *
+phaseName(Phase phase)
+{
+    switch (phase) {
+      case Phase::Instrument:
+        return "instrument";
+      case Phase::Execute:
+        return "execute";
+      case Phase::Encode:
+        return "encode";
+      case Phase::Accumulate:
+        return "accumulate";
+      case Phase::SortUnique:
+        return "sort-unique";
+      case Phase::Decode:
+        return "decode";
+      case Phase::Check:
+        return "check";
+      case Phase::Confirm:
+        return "confirm";
+    }
+    return "unknown";
+}
+
+void
+PhaseBreakdown::merge(const PhaseBreakdown &other)
+{
+    for (std::size_t i = 0; i < kPhaseCount; ++i) {
+        ns[i] += other.ns[i];
+        count[i] += other.count[i];
+    }
+    totalNs += other.totalNs;
+}
+
+} // namespace mtc

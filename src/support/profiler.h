@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Lightweight phase profiler for the validation hot path.
+ *
+ * The flow's inner loop is the product the paper sells (signature
+ * collection must stay cheap relative to execution), so its cost
+ * structure has to be measurable, not folklore. A PhaseProfiler hands
+ * out scoped steady-clock timers for the named pipeline phases;
+ * per-phase nanoseconds and entry counts aggregate into a
+ * PhaseBreakdown that FlowResult carries, `mtc_validate --profile`
+ * prints, and `bench/hotpath` records into BENCH_hotpath.json.
+ *
+ * Profiling is opt-in: a disabled profiler's scopes never touch the
+ * clock, so the default flow pays one predictable branch per scope and
+ * nothing else.
+ */
+
+#ifndef MTC_SUPPORT_PROFILER_H
+#define MTC_SUPPORT_PROFILER_H
+
+#include <array>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+
+namespace mtc
+{
+
+/** Pipeline phases of one flow run (see ValidationFlow::runTest). */
+enum class Phase : std::uint8_t
+{
+    Instrument, ///< static analysis + plan + codec construction
+    Execute,    ///< platform run (per iteration)
+    Encode,     ///< signature encoding + perturbation model
+    Accumulate, ///< readout faults + hash accumulation
+    SortUnique, ///< final sort of the unique signatures
+    Decode,     ///< decode + observed-edge derivation
+    Check,      ///< collective (+ conventional) checking + witness
+    Confirm,    ///< K-re-execution confirmation
+};
+
+constexpr std::size_t kPhaseCount = 8;
+
+/** Short stable name of a phase ("execute", "encode", ...). */
+const char *phaseName(Phase phase);
+
+/** Aggregated per-phase timings of one or more flow runs. */
+struct PhaseBreakdown
+{
+    std::array<std::uint64_t, kPhaseCount> ns{};
+    std::array<std::uint64_t, kPhaseCount> count{};
+
+    /** Wall-clock of the run(s) the phases were carved from. */
+    std::uint64_t totalNs = 0;
+
+    /** True when at least one phase was ever entered. */
+    bool
+    enabled() const
+    {
+        for (std::uint64_t c : count)
+            if (c)
+                return true;
+        return false;
+    }
+
+    std::uint64_t
+    phaseNs(Phase phase) const
+    {
+        return ns[static_cast<std::size_t>(phase)];
+    }
+
+    std::uint64_t
+    phaseCount(Phase phase) const
+    {
+        return count[static_cast<std::size_t>(phase)];
+    }
+
+    /** Sum of all phase times (excludes unattributed glue). */
+    std::uint64_t
+    sumNs() const
+    {
+        std::uint64_t total = 0;
+        for (std::uint64_t v : ns)
+            total += v;
+        return total;
+    }
+
+    /** Fraction of the total wall-clock the phases account for. */
+    double
+    coverage() const
+    {
+        return totalNs
+            ? static_cast<double>(sumNs()) / static_cast<double>(totalNs)
+            : 0.0;
+    }
+
+    /** Fold another breakdown (e.g. another test's) into this one. */
+    void merge(const PhaseBreakdown &other);
+};
+
+/**
+ * Scoped-timer factory for one flow run. Construct enabled, wrap each
+ * phase in a `scope(...)`, and call take() at the end to collect the
+ * breakdown (with the profiler's own lifetime as the total).
+ */
+class PhaseProfiler
+{
+  public:
+    using Clock = std::chrono::steady_clock;
+
+    explicit PhaseProfiler(bool enabled_arg) : on(enabled_arg)
+    {
+        if (on)
+            birth = Clock::now();
+    }
+
+    bool enabled() const { return on; }
+
+    /** RAII timer attributing its lifetime to @p phase. */
+    class Scope
+    {
+      public:
+        Scope(PhaseProfiler &profiler, Phase phase_arg)
+            : prof(profiler.on ? &profiler : nullptr), phase(phase_arg)
+        {
+            if (prof)
+                start = Clock::now();
+        }
+
+        ~Scope()
+        {
+            if (prof)
+                prof->add(phase, Clock::now() - start);
+        }
+
+        Scope(const Scope &) = delete;
+        Scope &operator=(const Scope &) = delete;
+
+      private:
+        PhaseProfiler *prof;
+        Phase phase;
+        Clock::time_point start;
+    };
+
+    Scope scope(Phase phase) { return Scope(*this, phase); }
+
+    /**
+     * The breakdown accumulated so far; totalNs spans from
+     * construction to this call. Disabled profilers return an
+     * all-zero breakdown.
+     */
+    PhaseBreakdown
+    take() const
+    {
+        PhaseBreakdown out = breakdown;
+        if (on) {
+            out.totalNs = static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    Clock::now() - birth)
+                    .count());
+        }
+        return out;
+    }
+
+  private:
+    void
+    add(Phase phase, Clock::duration elapsed)
+    {
+        const std::size_t i = static_cast<std::size_t>(phase);
+        breakdown.ns[i] += static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                .count());
+        ++breakdown.count[i];
+    }
+
+    bool on;
+    Clock::time_point birth{};
+    PhaseBreakdown breakdown;
+};
+
+} // namespace mtc
+
+#endif // MTC_SUPPORT_PROFILER_H

@@ -1,0 +1,540 @@
+/**
+ * @file
+ * Hot-path guarantees: arena reuse is bit-identical to per-run arenas
+ * across platforms, policies, bugs, faults, and worker counts; the
+ * steady-state iteration loop performs no heap allocations; the phase
+ * profiler accounts its scopes; and the O(1) forwarding table matches
+ * a brute-force scan.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "core/load_analysis.h"
+#include "core/signature_accumulator.h"
+#include "core/signature_codec.h"
+#include "graph/graph_builder.h"
+#include "harness/validation_flow.h"
+#include "sim/coherent_executor.h"
+#include "sim/executor.h"
+#include "sim/order_table.h"
+#include "support/profiler.h"
+#include "testgen/generator.h"
+
+// --- Global allocation counter ---------------------------------------
+// Counting overloads of the global allocator so tests can assert that a
+// window of code touched the heap a bounded number of times (zero for
+// the steady-state iteration loop).
+
+namespace
+{
+std::atomic<std::uint64_t> g_allocations{0};
+}
+
+void *
+operator new(std::size_t size)
+{
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(size ? size : 1))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](std::size_t size)
+{
+    return ::operator new(size);
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+namespace mtc
+{
+namespace
+{
+
+std::uint64_t
+allocationsNow()
+{
+    return g_allocations.load(std::memory_order_relaxed);
+}
+
+// --- Arena reuse is bit-identical to fresh arenas ---------------------
+
+/** Everything a flow result reports that must not depend on arena
+ * reuse. */
+void
+expectSameOutcome(const TestProgram &program, FlowConfig cfg)
+{
+    cfg.reuseArena = true;
+    const FlowResult reused = ValidationFlow(cfg).runTest(program);
+    cfg.reuseArena = false;
+    const FlowResult fresh = ValidationFlow(cfg).runTest(program);
+
+    EXPECT_EQ(reused.iterationsRun, fresh.iterationsRun);
+    EXPECT_EQ(reused.uniqueSignatures, fresh.uniqueSignatures);
+    EXPECT_EQ(reused.violatingSignatures, fresh.violatingSignatures);
+    EXPECT_EQ(reused.assertionFailures, fresh.assertionFailures);
+    EXPECT_EQ(reused.platformCrashes, fresh.platformCrashes);
+    EXPECT_EQ(reused.violationWitness, fresh.violationWitness);
+    EXPECT_EQ(reused.collective.graphsChecked,
+              fresh.collective.graphsChecked);
+    EXPECT_EQ(reused.collective.violations, fresh.collective.violations);
+    EXPECT_EQ(reused.collective.verticesProcessed,
+              fresh.collective.verticesProcessed);
+    EXPECT_EQ(reused.collective.edgesProcessed,
+              fresh.collective.edgesProcessed);
+    EXPECT_EQ(reused.fault.injected.totalEvents(),
+              fresh.fault.injected.totalEvents());
+    EXPECT_EQ(reused.fault.quarantinedCount(),
+              fresh.fault.quarantinedCount());
+    EXPECT_EQ(reused.fault.confirmedViolations,
+              fresh.fault.confirmedViolations);
+    EXPECT_EQ(reused.fault.transientViolations,
+              fresh.fault.transientViolations);
+    EXPECT_EQ(reused.fault.recordedIterations,
+              fresh.fault.recordedIterations);
+}
+
+FlowConfig
+smallFlow(std::uint64_t seed)
+{
+    FlowConfig cfg;
+    cfg.iterations = 64;
+    cfg.seed = seed;
+    cfg.runConventional = false;
+    return cfg;
+}
+
+FaultConfig
+noisyReadout()
+{
+    FaultConfig fault;
+    fault.bitFlipRate = 0.01;
+    fault.tornStoreRate = 0.01;
+    fault.truncationRate = 0.01;
+    fault.dropRate = 0.02;
+    fault.duplicateRate = 0.02;
+    return fault;
+}
+
+TEST(ArenaReuse, OperationalPoliciesAndFaults)
+{
+    const TestProgram program =
+        generateTest(parseConfigName("x86-4-50-16"), 31);
+    for (SchedulingPolicy policy : {SchedulingPolicy::UniformRandom,
+                                    SchedulingPolicy::Timed}) {
+        for (bool faulted : {false, true}) {
+            FlowConfig cfg = smallFlow(404);
+            cfg.exec = bareMetalConfig(Isa::X86);
+            cfg.exec.policy = policy;
+            if (policy == SchedulingPolicy::UniformRandom)
+                cfg.exec.timing = TimingParams{};
+            if (faulted)
+                cfg.fault = noisyReadout();
+            expectSameOutcome(program, cfg);
+        }
+    }
+}
+
+TEST(ArenaReuse, EveryInjectedBugKind)
+{
+    const TestProgram program =
+        generateTest(parseConfigName("x86-4-50-8"), 17);
+    for (BugKind bug : {BugKind::LsqNoSquash,
+                        BugKind::StaleLoadOnUpgrade,
+                        BugKind::PutxGetxRace}) {
+        FlowConfig cfg = smallFlow(77);
+        cfg.exec = bareMetalConfig(Isa::X86);
+        cfg.exec.bug = bug;
+        cfg.exec.bugProbability = 0.3;
+        // Capacity evictions arm the PUTX/GETX race window.
+        cfg.exec.timing.cacheLines = 2;
+        cfg.recovery.crashRetries = 2;
+        expectSameOutcome(program, cfg);
+    }
+}
+
+TEST(ArenaReuse, CoherentPlatform)
+{
+    const TestProgram program =
+        generateTest(parseConfigName("ARM-4-50-16"), 23);
+    for (bool faulted : {false, true}) {
+        FlowConfig cfg = smallFlow(505);
+        cfg.coherent = gem5LikeConfig();
+        cfg.coherent->model = MemoryModel::TSO;
+        if (faulted)
+            cfg.fault = noisyReadout();
+        expectSameOutcome(program, cfg);
+    }
+}
+
+TEST(ArenaReuse, ParallelCampaignWorkers)
+{
+    const TestProgram program =
+        generateTest(parseConfigName("ARM-4-100-64"), 9);
+    for (unsigned threads : {1u, 4u}) {
+        FlowConfig cfg = smallFlow(606);
+        cfg.iterations = 128;
+        cfg.exec = bareMetalConfig(Isa::ARMv7);
+        cfg.threads = threads;
+        expectSameOutcome(program, cfg);
+    }
+}
+
+// --- Steady-state allocation freedom ----------------------------------
+
+TEST(ZeroAllocation, OperationalRunAndEncodeSteadyState)
+{
+    const TestProgram program =
+        generateTest(parseConfigName("x86-4-50-16"), 3);
+    const LoadValueAnalysis analysis(program);
+    const InstrumentationPlan plan(program, analysis);
+    const SignatureCodec codec(program, analysis, plan);
+
+    for (SchedulingPolicy policy : {SchedulingPolicy::UniformRandom,
+                                    SchedulingPolicy::Timed}) {
+        ExecutorConfig exec = bareMetalConfig(Isa::X86);
+        exec.policy = policy;
+        OperationalExecutor platform(exec);
+        Rng rng(12);
+        RunArena arena;
+        EncodeResult encoded;
+        for (int warm = 0; warm < 3; ++warm) {
+            platform.runInto(program, rng, arena);
+            codec.encodeInto(arena.execution, encoded);
+        }
+
+        const std::uint64_t before = allocationsNow();
+        for (int i = 0; i < 10; ++i) {
+            platform.runInto(program, rng, arena);
+            codec.encodeInto(arena.execution, encoded);
+        }
+        EXPECT_EQ(allocationsNow() - before, 0u)
+            << "policy " << static_cast<int>(policy);
+    }
+}
+
+TEST(ZeroAllocation, AccumulatorReRecord)
+{
+    const TestProgram program =
+        generateTest(parseConfigName("x86-4-50-16"), 3);
+    const LoadValueAnalysis analysis(program);
+    const InstrumentationPlan plan(program, analysis);
+    const SignatureCodec codec(program, analysis, plan);
+    OperationalExecutor platform(bareMetalConfig(Isa::X86));
+    Rng rng(12);
+    RunArena arena;
+    EncodeResult encoded;
+    platform.runInto(program, rng, arena);
+    codec.encodeInto(arena.execution, encoded);
+
+    SignatureAccumulator acc;
+    acc.record(encoded.signature);
+
+    const std::uint64_t before = allocationsNow();
+    for (int i = 0; i < 10; ++i)
+        acc.record(encoded.signature);
+    EXPECT_EQ(allocationsNow() - before, 0u);
+    EXPECT_EQ(acc.uniqueCount(), 1u);
+}
+
+TEST(ZeroAllocation, CoherentArenaReuseBeatsFreshArenas)
+{
+    const TestProgram program =
+        generateTest(parseConfigName("x86-4-50-16"), 5);
+    CoherentExecutor platform(gem5LikeConfig());
+
+    // Warm the shared order-table cache before counting either mode.
+    {
+        Rng rng(3);
+        RunArena arena;
+        platform.runInto(program, rng, arena);
+    }
+
+    Rng fresh_rng(7);
+    const std::uint64_t fresh_before = allocationsNow();
+    for (int i = 0; i < 20; ++i) {
+        RunArena arena;
+        platform.runInto(program, fresh_rng, arena);
+    }
+    const std::uint64_t fresh_allocs = allocationsNow() - fresh_before;
+
+    Rng reuse_rng(7);
+    RunArena arena;
+    for (int warm = 0; warm < 5; ++warm)
+        platform.runInto(program, reuse_rng, arena);
+    const std::uint64_t reuse_before = allocationsNow();
+    for (int i = 0; i < 20; ++i)
+        platform.runInto(program, reuse_rng, arena);
+    const std::uint64_t reuse_allocs = allocationsNow() - reuse_before;
+
+    // The coherent machine circulates message/queue capacities, so an
+    // occasional growth allocation is legitimate; reuse must still be
+    // far below per-run reconstruction.
+    EXPECT_LT(reuse_allocs * 10, fresh_allocs)
+        << "reuse " << reuse_allocs << " vs fresh " << fresh_allocs;
+}
+
+TEST(ZeroAllocation, DecodeAndEdgeDerivationSteadyState)
+{
+    const TestProgram program =
+        generateTest(parseConfigName("x86-4-50-16"), 3);
+    const LoadValueAnalysis analysis(program);
+    const InstrumentationPlan plan(program, analysis);
+    const SignatureCodec codec(program, analysis, plan);
+    OperationalExecutor platform(bareMetalConfig(Isa::X86));
+    Rng rng(12);
+    RunArena arena;
+    EncodeResult encoded;
+    platform.runInto(program, rng, arena);
+    codec.encodeInto(arena.execution, encoded);
+
+    Execution decoded;
+    std::vector<std::uint64_t> word_scratch;
+    WsOrder ws;
+    DynamicEdgeSet edges;
+    for (int warm = 0; warm < 3; ++warm) {
+        codec.decodeInto(encoded.signature, decoded, word_scratch);
+        ws.infer(program, decoded);
+        dynamicEdgesInto(program, decoded, ws, edges);
+    }
+
+    const std::uint64_t before = allocationsNow();
+    for (int i = 0; i < 10; ++i) {
+        codec.decodeInto(encoded.signature, decoded, word_scratch);
+        ws.infer(program, decoded);
+        dynamicEdgesInto(program, decoded, ws, edges);
+    }
+    EXPECT_EQ(allocationsNow() - before, 0u);
+}
+
+// --- Reusable decode paths match their one-shot forms -----------------
+
+TEST(HotPathEquivalence, DecodeIntoMatchesDecode)
+{
+    const TestProgram program =
+        generateTest(parseConfigName("ARM-4-50-32"), 41);
+    const LoadValueAnalysis analysis(program);
+    const InstrumentationPlan plan(program, analysis);
+    const SignatureCodec codec(program, analysis, plan);
+    OperationalExecutor platform(bareMetalConfig(Isa::ARMv7));
+    Rng rng(2);
+    RunArena arena;
+    Execution decoded;
+    std::vector<std::uint64_t> word_scratch;
+    for (int i = 0; i < 16; ++i) {
+        platform.runInto(program, rng, arena);
+        const EncodeResult encoded = codec.encode(arena.execution);
+        codec.decodeInto(encoded.signature, decoded, word_scratch);
+        EXPECT_EQ(decoded.loadValues,
+                  codec.decode(encoded.signature).loadValues);
+        EXPECT_EQ(decoded.loadValues, arena.execution.loadValues);
+    }
+}
+
+TEST(HotPathEquivalence, ReinferredWsOrderMatchesFresh)
+{
+    const TestProgram program =
+        generateTest(parseConfigName("x86-4-50-16"), 19);
+    OperationalExecutor platform(bareMetalConfig(Isa::X86));
+    Rng rng(8);
+    RunArena arena;
+    WsOrder reused;
+    for (int i = 0; i < 8; ++i) {
+        platform.runInto(program, rng, arena);
+        reused.infer(program, arena.execution);
+        const WsOrder fresh(program, arena.execution);
+        EXPECT_EQ(reused.coherenceViolation(),
+                  fresh.coherenceViolation());
+        for (std::uint32_t loc = 0;
+             loc < program.config().numLocations; ++loc) {
+            EXPECT_EQ(reused.successorsOf(loc, std::nullopt),
+                      fresh.successorsOf(loc, std::nullopt));
+            EXPECT_EQ(reused.orderedPairs(loc),
+                      fresh.orderedPairs(loc));
+        }
+        EXPECT_EQ(dynamicEdges(program, arena.execution).edges,
+                  dynamicEdges(program, arena.execution, fresh).edges);
+    }
+}
+
+// --- O(1) forwarding table --------------------------------------------
+
+TEST(OrderTable, PriorStoreMatchesBruteForce)
+{
+    for (std::uint64_t seed : {11ull, 12ull, 13ull}) {
+        const TestProgram program =
+            generateTest(parseConfigName("ARM-4-100-64"), seed);
+        OrderTable table;
+        table.build(program, MemoryModel::RMO);
+
+        const auto &threads = program.threadBodies();
+        for (std::uint32_t tid = 0; tid < threads.size(); ++tid) {
+            const auto &body = threads[tid];
+            for (std::uint32_t idx = 0; idx < body.size(); ++idx) {
+                std::uint32_t expected = kNoPriorStore;
+                if (body[idx].kind != OpKind::Fence) {
+                    for (std::uint32_t j = idx; j-- > 0;) {
+                        if (body[j].kind == OpKind::Store &&
+                            body[j].loc == body[idx].loc) {
+                            expected = j;
+                            break;
+                        }
+                    }
+                }
+                ASSERT_EQ(table.priorStore[tid][idx], expected)
+                    << "t" << tid << " op" << idx;
+            }
+        }
+    }
+}
+
+// --- Phase profiler ---------------------------------------------------
+
+TEST(Profiler, DisabledScopesNeverRecord)
+{
+    PhaseProfiler prof(false);
+    {
+        auto scope = prof.scope(Phase::Execute);
+        auto inner = prof.scope(Phase::Encode);
+    }
+    const PhaseBreakdown breakdown = prof.take();
+    EXPECT_FALSE(breakdown.enabled());
+    EXPECT_EQ(breakdown.sumNs(), 0u);
+    EXPECT_EQ(breakdown.totalNs, 0u);
+    EXPECT_EQ(breakdown.coverage(), 0.0);
+}
+
+TEST(Profiler, ScopesAccountWithinTotal)
+{
+    PhaseProfiler prof(true);
+    volatile std::uint64_t sink = 0;
+    for (int i = 0; i < 50; ++i) {
+        auto scope = prof.scope(Phase::Execute);
+        for (int j = 0; j < 1000; ++j)
+            sink += static_cast<std::uint64_t>(j);
+    }
+    {
+        auto scope = prof.scope(Phase::Check);
+        for (int j = 0; j < 1000; ++j)
+            sink += static_cast<std::uint64_t>(j);
+    }
+    const PhaseBreakdown breakdown = prof.take();
+    EXPECT_TRUE(breakdown.enabled());
+    EXPECT_EQ(breakdown.phaseCount(Phase::Execute), 50u);
+    EXPECT_EQ(breakdown.phaseCount(Phase::Check), 1u);
+    EXPECT_EQ(breakdown.phaseCount(Phase::Decode), 0u);
+    EXPECT_GT(breakdown.phaseNs(Phase::Execute), 0u);
+    // Scopes are disjoint here, so their sum is bounded by the
+    // profiler's own lifetime.
+    EXPECT_LE(breakdown.sumNs(), breakdown.totalNs);
+    EXPECT_GT(breakdown.coverage(), 0.0);
+    EXPECT_LE(breakdown.coverage(), 1.0);
+}
+
+TEST(Profiler, MergeAddsCountersAndTotals)
+{
+    PhaseBreakdown a;
+    a.ns[static_cast<std::size_t>(Phase::Execute)] = 100;
+    a.count[static_cast<std::size_t>(Phase::Execute)] = 2;
+    a.totalNs = 150;
+    PhaseBreakdown b;
+    b.ns[static_cast<std::size_t>(Phase::Execute)] = 50;
+    b.count[static_cast<std::size_t>(Phase::Execute)] = 1;
+    b.ns[static_cast<std::size_t>(Phase::Decode)] = 25;
+    b.count[static_cast<std::size_t>(Phase::Decode)] = 1;
+    b.totalNs = 100;
+
+    a.merge(b);
+    EXPECT_EQ(a.phaseNs(Phase::Execute), 150u);
+    EXPECT_EQ(a.phaseCount(Phase::Execute), 3u);
+    EXPECT_EQ(a.phaseNs(Phase::Decode), 25u);
+    EXPECT_EQ(a.totalNs, 250u);
+    EXPECT_EQ(a.sumNs(), 175u);
+}
+
+TEST(Profiler, FlowProfileCoversItsWallClock)
+{
+    const TestProgram program =
+        generateTest(parseConfigName("x86-4-50-16"), 29);
+    FlowConfig cfg = smallFlow(99);
+    cfg.exec = bareMetalConfig(Isa::X86);
+    cfg.profile = true;
+    const FlowResult result = ValidationFlow(cfg).runTest(program);
+    ASSERT_TRUE(result.profile.enabled());
+    EXPECT_EQ(result.profile.phaseCount(Phase::Execute),
+              result.iterationsRun);
+    EXPECT_EQ(result.profile.phaseCount(Phase::Instrument), 1u);
+    EXPECT_LE(result.profile.sumNs(), result.profile.totalNs);
+    // The flow is phase-timed wall to wall; anything below ~80%
+    // coverage would mean a phase lost its scope.
+    EXPECT_GT(result.profile.coverage(), 0.8);
+
+    cfg.profile = false;
+    const FlowResult off = ValidationFlow(cfg).runTest(program);
+    EXPECT_FALSE(off.profile.enabled());
+    EXPECT_EQ(off.uniqueSignatures, result.uniqueSignatures);
+}
+
+// --- FaultReport accounting (satellite fixes) -------------------------
+
+TEST(FaultReport, QuarantinedCountDerivesFromList)
+{
+    FaultReport report;
+    EXPECT_EQ(report.quarantinedCount(), 0u);
+    report.quarantined.push_back(QuarantinedSignature{});
+    report.quarantined.push_back(QuarantinedSignature{});
+    EXPECT_EQ(report.quarantinedCount(), 2u);
+}
+
+TEST(FaultReport, AnyFaultActivityCoversConfirmationRuns)
+{
+    FaultReport report;
+    EXPECT_FALSE(report.anyFaultActivity());
+
+    // A confirmed violation burns re-executions even when nothing was
+    // reclassified; that platform time must count as fault activity.
+    report.confirmationRunsUsed = 2;
+    EXPECT_TRUE(report.anyFaultActivity());
+
+    report = FaultReport{};
+    report.transientViolations = 1;
+    EXPECT_TRUE(report.anyFaultActivity());
+
+    report = FaultReport{};
+    report.quarantined.push_back(QuarantinedSignature{});
+    EXPECT_TRUE(report.anyFaultActivity());
+
+    report = FaultReport{};
+    report.crashRetries = 1;
+    EXPECT_TRUE(report.anyFaultActivity());
+}
+
+} // anonymous namespace
+} // namespace mtc

@@ -3,8 +3,10 @@
 # (the MTC_SANITIZE CMake option) — then re-run both suites with the
 # parallel engine active (MTC_THREADS=4) so scheduling bugs and
 # pool-shutdown races can't hide behind the serial default, and
-# finally a scaling-bench smoke run so the BENCH_scaling.json emitter
-# can't silently rot. Usage: tools/ci.sh [jobs]
+# finally scaling- and hotpath-bench smoke runs so the BENCH_*.json
+# emitters can't silently rot (the hotpath smoke also proves the
+# arena-reusing hot path stays bit-identical to per-iteration arenas).
+# Usage: tools/ci.sh [jobs]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -34,5 +36,11 @@ MTC_THREADS=4 ctest --test-dir build-asan --output-on-failure -j "${jobs}"
 
 echo "=== bench/scaling --smoke ==="
 ./build/bench/scaling --smoke
+
+# Hot-path smoke: the bench itself exits non-zero on an arena/fresh
+# divergence, and the grep guards the JSON field against emitter drift.
+echo "=== bench/hotpath --smoke ==="
+./build/bench/hotpath --smoke
+grep -q '"deterministic": true' BENCH_hotpath.smoke.json
 
 echo "=== CI OK: plain, sanitized, and parallel suites all green ==="

@@ -85,6 +85,9 @@ struct Options
     std::size_t shardSize = 0;
 
     bool verbose = false;
+
+    /** Print the per-phase wall-clock breakdown of the campaign. */
+    bool profile = false;
 };
 
 void
@@ -115,6 +118,9 @@ usage()
         "  --shard-size N    collective-checker shard size; each shard\n"
         "                    is checked independently at the price of\n"
         "                    one extra complete sort; 0 = unsharded [0]\n"
+        "  --profile         per-phase wall-clock breakdown (execute,\n"
+        "                    encode, accumulate, sort-unique, decode,\n"
+        "                    check, ...) aggregated over the campaign\n"
         "  --verbose         per-test detail rows\n"
         "env: MTC_THREADS sets the --threads default (0 = all hardware\n"
         "     threads); results are identical at any thread count\n"
@@ -224,6 +230,8 @@ parseArgs(int argc, char **argv)
                 static_cast<std::size_t>(parseCount(arg, next()));
         else if (arg == "--verbose")
             opt.verbose = true;
+        else if (arg == "--profile")
+            opt.profile = true;
         else if (arg == "--help" || arg == "-h") {
             usage();
             std::exit(0);
@@ -244,6 +252,7 @@ makeFlow(const Options &opt, const TestConfig &cfg)
     flow.recovery = opt.recovery;
     flow.threads = opt.threads;
     flow.shardSize = opt.shardSize;
+    flow.profile = opt.profile;
 
     const BugKind bug = parseBug(opt.bug);
     if (opt.platform == "mesi") {
@@ -309,6 +318,7 @@ main(int argc, char **argv)
         std::uint64_t injected_events = 0;
         unsigned crashes = 0, flagged = 0;
         std::string witness, fault_note;
+        PhaseBreakdown profile;
 
         for (unsigned t = 0; t < opt.tests; ++t) {
             const TestProgram program = generateTest(cfg, seeder());
@@ -329,6 +339,8 @@ main(int argc, char **argv)
                 witness = r.violationWitness;
             if (fault_note.empty() && !r.fault.note.empty())
                 fault_note = r.fault.note;
+            if (opt.profile)
+                profile.merge(r.profile);
 
             if (opt.verbose) {
                 table.addRow({std::to_string(t),
@@ -358,6 +370,33 @@ main(int argc, char **argv)
                       << " reclassified as transient corruption\n";
             if (!fault_note.empty())
                 std::cout << "note: " << fault_note << "\n";
+        }
+
+        if (opt.profile) {
+            std::cout << "\nhot-path profile (campaign totals):\n";
+            TablePrinter phases({"phase", "time (ms)", "share", "calls"});
+            const double sum_ms =
+                static_cast<double>(profile.sumNs()) / 1e6;
+            for (std::size_t p = 0; p < kPhaseCount; ++p) {
+                const Phase phase = static_cast<Phase>(p);
+                const double ms =
+                    static_cast<double>(profile.phaseNs(phase)) / 1e6;
+                const double share =
+                    sum_ms > 0.0 ? 100.0 * ms / sum_ms : 0.0;
+                phases.addRow({phaseName(phase),
+                               TablePrinter::fmt(ms, 3),
+                               TablePrinter::fmt(share, 1) + "%",
+                               TablePrinter::fmt(
+                                   profile.phaseCount(phase))});
+            }
+            phases.print(std::cout);
+            std::cout << "phases account for "
+                      << TablePrinter::fmt(100.0 * profile.coverage(), 1)
+                      << "% of "
+                      << TablePrinter::fmt(
+                             static_cast<double>(profile.totalNs) / 1e6,
+                             3)
+                      << " ms total flow wall-clock\n";
         }
 
         if (!witness.empty())
