@@ -66,6 +66,10 @@ runCell(bool buggy, double fault_rate, unsigned tests,
     flow_cfg.fault.dropRate = fault_rate / 2;
     flow_cfg.fault.duplicateRate = fault_rate / 2;
     flow_cfg.fault.truncationRate = fault_rate / 4;
+    // Confirmation re-executions that crash draw on the same budget
+    // as the test loop; without it a crashed confirmation run used to
+    // read as "violation not reproduced" and silently eat detections.
+    flow_cfg.recovery.crashRetries = 1;
 
     CellResult cell;
     Rng seeder(buggy ? 2024 : 2017);

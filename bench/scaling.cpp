@@ -16,6 +16,13 @@
  *    delta (extra sorts, extra vertices+edges processed) so the
  *    tradeoff stays measured instead of folklore.
  *
+ * A third measurement prices the crash-resilience layer: the serial
+ * baseline re-run with a write-ahead campaign journal attached
+ * (one fsync-batched record per completed test), then resumed from
+ * that journal so the replay path is timed too.  Summaries must stay
+ * bit-identical in both modes; the JSON records the overhead as a
+ * fraction of baseline wall-clock.
+ *
  * Wall-clock speedup is bounded by the machine: the JSON records
  * hardwareConcurrency so a 1-core CI container's speedup of ~1.0 is
  * read as "no cores", not "no scaling".
@@ -25,12 +32,16 @@
  * rotting).
  */
 
+#include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <iostream>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include <unistd.h>
 
 #include "harness/campaign.h"
 #include "support/table.h"
@@ -227,6 +238,45 @@ main(int argc, char **argv)
         points.push_back(point);
     }
 
+    // --- Journal overhead (serial, journaled, then resumed) ----------
+    // Methodology: the journal run is the exact serial baseline
+    // campaign with --journal attached, so the delta is purely the
+    // checkpoint layer (record encode + append + batched fsync).  The
+    // resume run replays every test from the same journal, pricing the
+    // decode/replay path.  Both must reproduce the baseline summaries
+    // bit-for-bit or the resilience layer is broken, not just slow.
+    const std::string journal_path =
+        (std::filesystem::temp_directory_path() /
+         ("mtc_scaling_journal." + std::to_string(::getpid())))
+            .string();
+    double journal_ms = 0.0, resume_ms = 0.0;
+    bool journal_deterministic = true;
+    {
+        CampaignConfig cfg = serial;
+        cfg.journalPath = journal_path;
+        WallTimer timer;
+        timer.start();
+        const auto summaries = runCampaign(configs, cfg);
+        timer.stop();
+        journal_ms = timer.milliseconds();
+        journal_deterministic =
+            summariesMatch(summaries, baseline_summaries);
+
+        cfg.resume = true;
+        WallTimer resume_timer;
+        resume_timer.start();
+        const auto replayed = runCampaign(configs, cfg);
+        resume_timer.stop();
+        resume_ms = resume_timer.milliseconds();
+        journal_deterministic =
+            journal_deterministic &&
+            summariesMatch(replayed, baseline_summaries);
+    }
+    std::remove(journal_path.c_str());
+    const double journal_overhead =
+        baseline_ms > 0.0 ? (journal_ms - baseline_ms) / baseline_ms
+                          : 0.0;
+
     // --- Report ------------------------------------------------------
     TablePrinter table({"threads", "shard", "ms", "speedup",
                         "collective work", "complete sorts",
@@ -250,7 +300,17 @@ main(int argc, char **argv)
                  "threads ("
               << hw << " here).\n";
 
-    bool all_deterministic = true;
+    std::cout << "\nJournal overhead (serial): baseline "
+              << TablePrinter::fmt(baseline_ms, 1) << " ms, journaled "
+              << TablePrinter::fmt(journal_ms, 1) << " ms ("
+              << TablePrinter::fmt(100.0 * journal_overhead, 1)
+              << "% overhead), full resume replay "
+              << TablePrinter::fmt(resume_ms, 1) << " ms, summaries "
+              << (journal_deterministic ? "bit-identical"
+                                        : "DIVERGED")
+              << "\n";
+
+    bool all_deterministic = journal_deterministic;
     for (const SweepPoint &p : points)
         all_deterministic = all_deterministic && p.deterministic;
     if (!all_deterministic)
@@ -272,6 +332,22 @@ main(int argc, char **argv)
          << "  \"baselineMs\": " << jsonEscapeless(baseline_ms) << ",\n"
          << "  \"deterministic\": "
          << (all_deterministic ? "true" : "false") << ",\n"
+         << "  \"journal\": {\n"
+         << "    \"methodology\": \"serial baseline campaign re-run "
+            "with a write-ahead journal (one record per completed "
+            "test, fsync batched), then fully resumed from that "
+            "journal; overhead is (journaledMs - baselineMs) / "
+            "baselineMs and both runs must reproduce the baseline "
+            "summaries bit-for-bit\",\n"
+         << "    \"journaledMs\": " << jsonEscapeless(journal_ms)
+         << ",\n"
+         << "    \"resumeReplayMs\": " << jsonEscapeless(resume_ms)
+         << ",\n"
+         << "    \"overheadFraction\": "
+         << jsonEscapeless(journal_overhead) << ",\n"
+         << "    \"deterministic\": "
+         << (journal_deterministic ? "true" : "false") << "\n"
+         << "  },\n"
          << "  \"sweep\": [\n";
     for (std::size_t i = 0; i < points.size(); ++i) {
         const SweepPoint &p = points[i];

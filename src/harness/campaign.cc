@@ -1,8 +1,15 @@
 #include "harness/campaign.h"
 
+#include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
+#include <memory>
+#include <optional>
+#include <utility>
 
+#include "harness/campaign_journal.h"
+#include "harness/watchdog.h"
 #include "sim/executor.h"
 #include "support/log.h"
 #include "support/rng.h"
@@ -63,6 +70,18 @@ CampaignConfig::fromEnv(CampaignConfig defaults)
     if (const char *shard = std::getenv("MTC_SHARD_SIZE"))
         defaults.shardSize = static_cast<std::size_t>(
             parseEnvCount("MTC_SHARD_SIZE", shard, true));
+    // MTC_JOURNAL is a path, not a count, but gets the same strictness:
+    // an empty value is a misconfiguration (probably MTC_JOURNAL= left
+    // over from a shell edit), not a request for no journal.
+    if (const char *journal = std::getenv("MTC_JOURNAL")) {
+        if (*journal == '\0')
+            throw ConfigError(
+                "MTC_JOURNAL is set but empty; unset it or give a path");
+        defaults.journalPath = journal;
+    }
+    if (const char *timeout = std::getenv("MTC_TEST_TIMEOUT_MS"))
+        defaults.testTimeoutMs =
+            parseEnvCount("MTC_TEST_TIMEOUT_MS", timeout, true);
     return defaults;
 }
 
@@ -144,28 +163,24 @@ flowTemplate(const TestConfig &cfg, const CampaignConfig &campaign)
     // serial inside so campaign.threads workers mean campaign.threads
     // busy cores, not threads^2 oversubscription.
     flow_cfg.threads = 1;
+    flow_cfg.exec.stallAfterSteps = campaign.stallAfterSteps;
     return flow_cfg;
 }
-
-/** One (config, test) unit's result slot. */
-struct TestOutcome
-{
-    FlowResult result;
-    bool ok = false;
-    unsigned retriesUsed = 0;
-};
 
 /**
  * Run one planned test with its retry budget. A test that dies on an
  * internal error (poisoned generation seed, wedged platform, harness
  * bug surfacing under fault injection) is retried with fresh seeds
  * from its private stream; after the budget it is recorded as failed
- * — one bad test must never take down a whole campaign.
+ * — one bad test must never take down a whole campaign. With a
+ * watchdog armed, each attempt runs under its own deadline and
+ * cancellation token; a reclaimed attempt counts as hung and is
+ * retried exactly like a crashed one.
  */
 TestOutcome
 runPlannedTest(const TestConfig &cfg, const FlowConfig &flow_template,
                const TestPlan &plan, const CampaignConfig &campaign,
-               unsigned test_index)
+               unsigned test_index, Watchdog *watchdog)
 {
     TestOutcome outcome;
     Rng retry_seeder(plan.retrySeed);
@@ -182,10 +197,30 @@ runPlannedTest(const TestConfig &cfg, const FlowConfig &flow_template,
             const TestProgram program = generateTest(cfg, gen_seed);
             FlowConfig flow_cfg = flow_template;
             flow_cfg.seed = flow_seed;
+            CancellationToken token;
+            std::optional<Watchdog::Guard> deadline;
+            if (watchdog && campaign.testTimeoutMs) {
+                flow_cfg.cancel = &token;
+                deadline.emplace(watchdog->watch(
+                    token,
+                    std::chrono::milliseconds(campaign.testTimeoutMs)));
+            }
             ValidationFlow flow(flow_cfg);
             outcome.result = flow.runTest(program);
             outcome.ok = true;
+            outcome.status = TestStatus::Ok;
+        } catch (const TestHungError &err) {
+            // Must precede the Error handler: a hang is an error
+            // event for the breaker AND a distinct verdict — "this
+            // config wedges the platform" is the paper's most
+            // interesting post-silicon outcome after a violation.
+            ++outcome.hungAttempts;
+            outcome.status = TestStatus::Hung;
+            warn("test " + std::to_string(test_index) + " of " +
+                 cfg.name() + " hung (attempt " +
+                 std::to_string(attempt + 1) + "): " + err.what());
         } catch (const Error &err) {
+            outcome.status = TestStatus::Failed;
             warn("test " + std::to_string(test_index) + " of " +
                  cfg.name() + " failed (attempt " +
                  std::to_string(attempt + 1) + "): " + err.what());
@@ -195,16 +230,82 @@ runPlannedTest(const TestConfig &cfg, const FlowConfig &flow_template,
 }
 
 /**
+ * Error events one finished unit contributes to its config's circuit
+ * breaker: watchdog reclaims, a final failed verdict, platform
+ * crashes, and quarantined (undecodable) signatures — every way a
+ * config can show it is poisoning the campaign.
+ */
+unsigned
+breakerEvents(const TestOutcome &outcome)
+{
+    std::uint64_t events = outcome.hungAttempts;
+    if (outcome.status == TestStatus::Failed)
+        ++events;
+    events += outcome.result.platformCrashes;
+    events += outcome.result.fault.quarantinedCount();
+    return static_cast<unsigned>(events);
+}
+
+/**
+ * Everything that determines a campaign's deterministic result
+ * stream, folded into the journal identity. Operational knobs
+ * (threads, watchdog timeout, error budget) are deliberately left
+ * out: they may change between a run and its resume.
+ */
+CampaignJournal::Identity
+campaignIdentity(const std::vector<TestConfig> &configs,
+                 const CampaignConfig &campaign)
+{
+    ByteWriter w;
+    w.u64(campaign.iterations);
+    w.u32(campaign.testsPerConfig);
+    w.u64(campaign.seed);
+    w.u8(campaign.variant == PlatformVariant::Linux ? 1 : 0);
+    w.u8(campaign.runConventional ? 1 : 0);
+    w.f64(campaign.fault.bitFlipRate);
+    w.f64(campaign.fault.tornStoreRate);
+    w.f64(campaign.fault.truncationRate);
+    w.f64(campaign.fault.dropRate);
+    w.f64(campaign.fault.duplicateRate);
+    w.u64(campaign.fault.seed);
+    w.u32(campaign.recovery.confirmationRuns);
+    w.u64(campaign.recovery.confirmationIterations);
+    w.u32(campaign.recovery.crashRetries);
+    w.u32(campaign.testRetries);
+    w.u64(campaign.shardSize);
+    w.u64(campaign.stallAfterSteps);
+    w.u32(static_cast<std::uint32_t>(configs.size()));
+    std::string names;
+    for (const TestConfig &cfg : configs) {
+        w.str(cfg.name());
+        names += names.empty() ? "" : ",";
+        names += cfg.name();
+    }
+
+    CampaignJournal::Identity identity;
+    identity.digest =
+        fnv1a64(w.bytes().data(), w.bytes().size());
+    identity.description = "seed=" + std::to_string(campaign.seed) +
+        " iterations=" + std::to_string(campaign.iterations) +
+        " tests=" + std::to_string(campaign.testsPerConfig) +
+        " configs=" + names;
+    return identity;
+}
+
+/**
  * Fold the outcome slots into a ConfigSummary, strictly in test
  * order: double accumulation is order-sensitive, so folding slots in
  * index order is what makes the summary bit-identical to the serial
  * runner's at any worker count.
  */
 ConfigSummary
-summarize(const TestConfig &cfg, std::vector<TestOutcome> &outcomes)
+summarize(const TestConfig &cfg, std::vector<TestOutcome> &outcomes,
+          bool tripped, unsigned error_events)
 {
     ConfigSummary summary;
     summary.cfg = cfg;
+    summary.tripped = tripped;
+    summary.errorEvents = error_events;
 
     std::uint64_t complete = 0, no_resort = 0, incremental = 0;
     std::uint64_t graphs = 0;
@@ -213,8 +314,16 @@ summarize(const TestConfig &cfg, std::vector<TestOutcome> &outcomes)
 
     for (TestOutcome &outcome : outcomes) {
         summary.testRetriesUsed += outcome.retriesUsed;
+        summary.hungAttempts += outcome.hungAttempts;
+        if (outcome.status == TestStatus::Skipped) {
+            ++summary.skippedTests;
+            continue;
+        }
         if (!outcome.ok) {
-            ++summary.failedTests;
+            if (outcome.status == TestStatus::Hung)
+                ++summary.hungTests;
+            else
+                ++summary.failedTests;
             continue;
         }
         const FlowResult &result = outcome.result;
@@ -283,39 +392,23 @@ summarize(const TestConfig &cfg, std::vector<TestOutcome> &outcomes)
     return summary;
 }
 
-} // anonymous namespace
-
-ConfigSummary
-runConfig(const TestConfig &cfg, const CampaignConfig &campaign)
-{
-    const FlowConfig flow_cfg = flowTemplate(cfg, campaign);
-    const std::vector<TestPlan> plans = deriveTestPlans(cfg, campaign);
-
-    std::vector<TestOutcome> outcomes(plans.size());
-    const auto run_one = [&](std::size_t t) {
-        outcomes[t] = runPlannedTest(cfg, flow_cfg, plans[t], campaign,
-                                     static_cast<unsigned>(t));
-    };
-
-    const unsigned workers = ThreadPool::resolveThreads(campaign.threads);
-    if (workers > 1 && plans.size() > 1) {
-        ThreadPool pool(workers);
-        pool.parallelFor(plans.size(), run_one);
-    } else {
-        for (std::size_t t = 0; t < plans.size(); ++t)
-            run_one(t);
-    }
-    return summarize(cfg, outcomes);
-}
-
+/**
+ * Shared engine of runConfig and runCampaign. Plans every
+ * configuration up front so the whole campaign is one flat list of
+ * independent (config, test) units — the pool then keeps every worker
+ * busy across configuration boundaries instead of draining at the
+ * tail of each configuration — and runs each unit through the full
+ * resilience stack: journal replay, circuit breaker, watchdog,
+ * retries, journal append.
+ *
+ * @param propagate_setup_errors true (runConfig) rethrows a config
+ *        whose setup fails; false (runCampaign) degrades its summary
+ *        and continues.
+ */
 std::vector<ConfigSummary>
-runCampaign(const std::vector<TestConfig> &configs,
-            const CampaignConfig &campaign)
+runUnits(const std::vector<TestConfig> &configs,
+         const CampaignConfig &campaign, bool propagate_setup_errors)
 {
-    // Plan every configuration up front so the whole campaign is one
-    // flat list of independent (config, test) units — the pool then
-    // keeps every worker busy across configuration boundaries instead
-    // of draining at the tail of each configuration.
     struct ConfigPlan
     {
         FlowConfig flow;
@@ -334,6 +427,8 @@ runCampaign(const std::vector<TestConfig> &configs,
             plans[c].tests = deriveTestPlans(configs[c], campaign);
             plans[c].setupOk = true;
         } catch (const Error &err) {
+            if (propagate_setup_errors)
+                throw;
             warn("configuration " + configs[c].name() +
                  " failed, continuing campaign: " + err.what());
             plans[c].error = err.what();
@@ -347,11 +442,69 @@ runCampaign(const std::vector<TestConfig> &configs,
     for (std::size_t c = 0; c < configs.size(); ++c)
         outcomes[c].resize(plans[c].tests.size());
 
+    std::unique_ptr<CampaignJournal> journal;
+    if (!campaign.journalPath.empty()) {
+        journal = std::make_unique<CampaignJournal>(
+            campaign.journalPath, campaignIdentity(configs, campaign),
+            campaign.resume);
+    }
+    std::unique_ptr<Watchdog> watchdog;
+    if (campaign.testTimeoutMs)
+        watchdog = std::make_unique<Watchdog>();
+
+    // One breaker per configuration; value-initialized to zero.
+    std::vector<std::atomic<unsigned>> error_events(configs.size());
+    const auto config_tripped = [&](std::size_t c) {
+        return campaign.errorBudget != 0 &&
+            error_events[c].load(std::memory_order_relaxed) >=
+            campaign.errorBudget;
+    };
+
     const auto run_unit = [&](std::size_t u) {
         const auto [c, t] = units[u];
-        outcomes[c][t] =
-            runPlannedTest(configs[c], plans[c].flow, plans[c].tests[t],
-                           campaign, static_cast<unsigned>(t));
+        TestOutcome &slot = outcomes[c][t];
+
+        if (config_tripped(c)) {
+            slot.status = TestStatus::Skipped;
+            return;
+        }
+
+        if (journal) {
+            if (const UnitRecord *record = journal->find(
+                    configs[c].name(), static_cast<std::uint32_t>(t))) {
+                const TestPlan &plan = plans[c].tests[t];
+                if (record->genSeed != plan.genSeed ||
+                    record->flowSeed != plan.flowSeed) {
+                    throw ConfigError(
+                        "--resume: journal record for test " +
+                        std::to_string(t) + " of " + configs[c].name() +
+                        " carries different seeds than the campaign "
+                        "derives — the journal belongs to another run");
+                }
+                slot = record->outcome;
+                // Replayed errors still arm the breaker: a resumed
+                // campaign must not forget the poison it already saw.
+                error_events[c].fetch_add(breakerEvents(slot),
+                                          std::memory_order_relaxed);
+                return;
+            }
+        }
+
+        slot = runPlannedTest(configs[c], plans[c].flow,
+                              plans[c].tests[t], campaign,
+                              static_cast<unsigned>(t), watchdog.get());
+        if (journal) {
+            UnitRecord record;
+            record.configName = configs[c].name();
+            record.testIndex = static_cast<std::uint32_t>(t);
+            record.genSeed = plans[c].tests[t].genSeed;
+            record.flowSeed = plans[c].tests[t].flowSeed;
+            record.outcome = slot;
+            record.outcome.result.executions.clear();
+            journal->append(record);
+        }
+        error_events[c].fetch_add(breakerEvents(slot),
+                                  std::memory_order_relaxed);
     };
 
     const unsigned workers = ThreadPool::resolveThreads(campaign.threads);
@@ -374,10 +527,37 @@ runCampaign(const std::vector<TestConfig> &configs,
             summaries.push_back(std::move(degraded));
             continue;
         }
-        summaries.push_back(
-            summarize(configs[c], outcomes[c]));
+        ConfigSummary summary = summarize(
+            configs[c], outcomes[c], config_tripped(c),
+            error_events[c].load(std::memory_order_relaxed));
+        if (summary.tripped) {
+            summary.degraded = true;
+            summary.error = "circuit breaker tripped after " +
+                std::to_string(summary.errorEvents) +
+                " error events (budget " +
+                std::to_string(campaign.errorBudget) + "); " +
+                std::to_string(summary.skippedTests) +
+                " of " + std::to_string(outcomes[c].size()) +
+                " tests skipped";
+        }
+        summaries.push_back(std::move(summary));
     }
     return summaries;
+}
+
+} // anonymous namespace
+
+ConfigSummary
+runConfig(const TestConfig &cfg, const CampaignConfig &campaign)
+{
+    return runUnits({cfg}, campaign, true).front();
+}
+
+std::vector<ConfigSummary>
+runCampaign(const std::vector<TestConfig> &configs,
+            const CampaignConfig &campaign)
+{
+    return runUnits(configs, campaign, false);
 }
 
 } // namespace mtc

@@ -68,15 +68,93 @@ struct CampaignConfig
     std::size_t shardSize = 0;
 
     /**
+     * Write-ahead journal path (src/support/journal.h). Every
+     * completed (config, test) unit is logged durably; empty (the
+     * default) journals nothing. See `resume`.
+     */
+    std::string journalPath;
+
+    /**
+     * Resume from an existing journal at `journalPath`: units already
+     * logged are replayed from their records instead of re-run, so a
+     * SIGKILLed campaign continues where it stopped — and, because
+     * every per-test seed is pre-derived from the canonical serial
+     * sequence, the resumed summary is bit-identical (deterministic
+     * fields; wall-clock ms fields replay the journaled values) to an
+     * uninterrupted run at any thread count. A journal written by a
+     * different campaign (seed, scale, configs, platform or fault
+     * knobs differ) is rejected with ConfigError.
+     */
+    bool resume = false;
+
+    /**
+     * Watchdog deadline per test attempt in milliseconds; 0 (default)
+     * disables the watchdog. An attempt exceeding the deadline is
+     * cooperatively cancelled, recorded as TestStatus::Hung, and
+     * retried under the normal retry budget.
+     */
+    std::uint64_t testTimeoutMs = 0;
+
+    /**
+     * Per-config circuit breaker: after this many error events in one
+     * configuration — hung attempts, failed tests, platform crashes,
+     * quarantined signatures — the config trips, its remaining units
+     * are skipped, and the summary reports it tripped/degraded
+     * instead of letting a poisoned config burn the campaign's
+     * wall-clock. 0 (default) never trips. At threads > 1 the trip
+     * point depends on completion order; breaker verdicts are
+     * advisory, not part of the bit-identical summary contract.
+     */
+    unsigned errorBudget = 0;
+
+    /**
+     * Liveness drill forwarded to the platform: every run wedges
+     * after this many scheduler steps (see
+     * ExecutorConfig::stallAfterSteps). 0 = off. Only meaningful with
+     * `testTimeoutMs` set — an unwatched stalled run never returns.
+     */
+    std::uint64_t stallAfterSteps = 0;
+
+    /**
      * Apply MTC_ITERATIONS / MTC_TESTS / MTC_SEED / MTC_THREADS /
-     * MTC_SHARD_SIZE overrides (MTC_THREADS=0 means "use every
-     * hardware thread"; MTC_SHARD_SIZE=0 means unsharded).
+     * MTC_SHARD_SIZE / MTC_JOURNAL / MTC_TEST_TIMEOUT_MS overrides
+     * (MTC_THREADS=0 means "use every hardware thread";
+     * MTC_SHARD_SIZE=0 means unsharded; MTC_TEST_TIMEOUT_MS=0 means
+     * no watchdog).
      *
      * @throws ConfigError if a set variable is non-numeric, or zero
-     *         where zero is meaningless (iterations, tests).
+     *         where zero is meaningless (iterations, tests), or empty
+     *         where text is required (MTC_JOURNAL).
      */
     static CampaignConfig fromEnv(CampaignConfig defaults);
     static CampaignConfig fromEnv();
+};
+
+/** Terminal status of one (config, test) unit. */
+enum class TestStatus : std::uint8_t
+{
+    Ok = 0,     ///< flow completed (possibly after retries)
+    Failed = 1, ///< abandoned after the retry budget
+    Hung = 2,   ///< last attempt reclaimed by the watchdog
+    Skipped = 3 ///< never ran: the config's circuit breaker tripped
+};
+
+/**
+ * One (config, test) unit's result slot — the campaign's unit of
+ * parallel work, of journaling, and of resume: exactly this struct
+ * (minus FlowResult::executions) round-trips through a journal
+ * UnitRecord.
+ */
+struct TestOutcome
+{
+    FlowResult result;
+    TestStatus status = TestStatus::Failed;
+    bool ok = false;
+    unsigned retriesUsed = 0;
+
+    /** Attempts reclaimed by the watchdog (includes attempts whose
+     * retry then succeeded). */
+    unsigned hungAttempts = 0;
 };
 
 /** Aggregated per-configuration metrics (means over tests). */
@@ -126,10 +204,18 @@ struct ConfigSummary
     unsigned crashRetries = 0;
     unsigned testRetriesUsed = 0;
     unsigned failedTests = 0; ///< tests abandoned after retry budget
+    unsigned hungTests = 0;   ///< tests whose final attempt hung
+    unsigned hungAttempts = 0; ///< watchdog reclaims, incl. retried-ok
+    unsigned skippedTests = 0; ///< skipped after the breaker tripped
+    unsigned errorEvents = 0;  ///< breaker accounting for this config
+    bool tripped = false;      ///< circuit breaker opened mid-config
 
-    /** The whole configuration failed; only `cfg` and `error` are
-     * meaningful. runCampaign substitutes this degraded summary
-     * instead of letting one poisoned config kill the campaign. */
+    /** The configuration did not run to plan. Set with an empty
+     * stats block when setup failed outright (runCampaign substitutes
+     * this degraded summary instead of letting one poisoned config
+     * kill the campaign), and set alongside the partial stats when
+     * the circuit breaker tripped (`tripped` distinguishes the two);
+     * `error` says which and why. */
     bool degraded = false;
     std::string error;
 

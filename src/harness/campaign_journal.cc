@@ -1,0 +1,288 @@
+#include "harness/campaign_journal.h"
+
+#include <fstream>
+
+#include "support/error.h"
+#include "support/stats.h"
+
+namespace mtc
+{
+
+namespace
+{
+
+/** Payload discriminators (first byte of every frame payload). */
+constexpr std::uint8_t kHeaderTag = 1;
+constexpr std::uint8_t kUnitTag = 2;
+
+constexpr std::uint32_t kJournalMagic = 0x4D54434Au; // "MTCJ"
+constexpr std::uint32_t kJournalVersion = 1;
+
+void
+encodeFlowResult(ByteWriter &w, const FlowResult &r)
+{
+    w.u64(r.iterationsRun);
+    w.u64(r.uniqueSignatures);
+    w.u64(r.signatureSetDigest);
+    w.u64(r.assertionFailures);
+    w.u64(r.platformCrashes);
+    w.u64(r.violatingSignatures);
+
+    w.u64(r.collective.graphsChecked);
+    w.u64(r.collective.violations);
+    w.u64(r.collective.completeSorts);
+    w.u64(r.collective.noResortNeeded);
+    w.u64(r.collective.incrementalResorts);
+    w.f64(r.collective.affectedFraction.sum());
+    w.u64(r.collective.affectedFraction.count());
+    w.u64(r.collective.verticesProcessed);
+    w.u64(r.collective.edgesProcessed);
+
+    w.u64(r.conventional.graphsChecked);
+    w.u64(r.conventional.violations);
+    w.u64(r.conventional.verticesProcessed);
+    w.u64(r.conventional.edgesProcessed);
+
+    w.f64(r.collectiveMs);
+    w.f64(r.conventionalMs);
+    w.f64(r.decodeMs);
+
+    w.u64(r.originalCycles);
+    w.u64(r.computeCycles);
+    w.u64(r.sortCycles);
+    w.f64(r.computationOverhead);
+    w.f64(r.sortingOverhead);
+
+    w.u64(r.intrusive.testLoads);
+    w.u64(r.intrusive.testStores);
+    w.u64(r.intrusive.flushStores);
+    w.u64(r.intrusive.signatureWords);
+    w.u64(r.intrusive.signatureBytes);
+
+    w.u64(r.code.originalBytes);
+    w.u64(r.code.instrumentedBytes);
+
+    w.str(r.violationWitness);
+
+    w.u64(r.fault.injected.bitFlips);
+    w.u64(r.fault.injected.tornStores);
+    w.u64(r.fault.injected.truncations);
+    w.u64(r.fault.injected.dropped);
+    w.u64(r.fault.injected.duplicated);
+    w.u64(r.fault.injected.corruptedIterations);
+    w.u64(r.fault.recordedIterations);
+    w.u64(r.fault.quarantinedCount());
+    w.u64(r.fault.quarantinedIterations);
+    w.u64(r.fault.decodedSignatures);
+    w.u64(r.fault.confirmedViolations);
+    w.u64(r.fault.transientViolations);
+    w.u32(r.fault.confirmationRunsUsed);
+    w.u32(r.fault.crashRetries);
+    w.str(r.fault.note);
+
+    w.u64(r.profile.totalNs);
+    for (std::size_t p = 0; p < kPhaseCount; ++p) {
+        w.u64(r.profile.ns[p]);
+        w.u64(r.profile.count[p]);
+    }
+}
+
+FlowResult
+decodeFlowResult(ByteReader &rd)
+{
+    FlowResult r;
+    r.iterationsRun = rd.u64();
+    r.uniqueSignatures = rd.u64();
+    r.signatureSetDigest = rd.u64();
+    r.assertionFailures = rd.u64();
+    r.platformCrashes = rd.u64();
+    r.violatingSignatures = rd.u64();
+
+    r.collective.graphsChecked = rd.u64();
+    r.collective.violations = rd.u64();
+    r.collective.completeSorts = rd.u64();
+    r.collective.noResortNeeded = rd.u64();
+    r.collective.incrementalResorts = rd.u64();
+    const double affected_sum = rd.f64();
+    const std::uint64_t affected_count = rd.u64();
+    r.collective.affectedFraction = RunningStat::fromSumCount(
+        affected_sum, static_cast<std::size_t>(affected_count));
+    r.collective.verticesProcessed = rd.u64();
+    r.collective.edgesProcessed = rd.u64();
+
+    r.conventional.graphsChecked = rd.u64();
+    r.conventional.violations = rd.u64();
+    r.conventional.verticesProcessed = rd.u64();
+    r.conventional.edgesProcessed = rd.u64();
+
+    r.collectiveMs = rd.f64();
+    r.conventionalMs = rd.f64();
+    r.decodeMs = rd.f64();
+
+    r.originalCycles = rd.u64();
+    r.computeCycles = rd.u64();
+    r.sortCycles = rd.u64();
+    r.computationOverhead = rd.f64();
+    r.sortingOverhead = rd.f64();
+
+    r.intrusive.testLoads = rd.u64();
+    r.intrusive.testStores = rd.u64();
+    r.intrusive.flushStores = rd.u64();
+    r.intrusive.signatureWords = rd.u64();
+    r.intrusive.signatureBytes = rd.u64();
+
+    r.code.originalBytes = rd.u64();
+    r.code.instrumentedBytes = rd.u64();
+
+    r.violationWitness = rd.str();
+
+    r.fault.injected.bitFlips = rd.u64();
+    r.fault.injected.tornStores = rd.u64();
+    r.fault.injected.truncations = rd.u64();
+    r.fault.injected.dropped = rd.u64();
+    r.fault.injected.duplicated = rd.u64();
+    r.fault.injected.corruptedIterations = rd.u64();
+    r.fault.recordedIterations = rd.u64();
+    // The quarantine list round-trips as its count only: everything
+    // downstream of a completed unit reads quarantinedCount() and
+    // quarantinedIterations, never the entries.
+    const std::uint64_t quarantined = rd.u64();
+    r.fault.quarantined.resize(static_cast<std::size_t>(quarantined));
+    r.fault.quarantinedIterations = rd.u64();
+    r.fault.decodedSignatures = rd.u64();
+    r.fault.confirmedViolations = rd.u64();
+    r.fault.transientViolations = rd.u64();
+    r.fault.confirmationRunsUsed = rd.u32();
+    r.fault.crashRetries = rd.u32();
+    r.fault.note = rd.str();
+
+    r.profile.totalNs = rd.u64();
+    for (std::size_t p = 0; p < kPhaseCount; ++p) {
+        r.profile.ns[p] = rd.u64();
+        r.profile.count[p] = rd.u64();
+    }
+    return r;
+}
+
+std::vector<std::uint8_t>
+encodeHeader(const CampaignJournal::Identity &identity)
+{
+    ByteWriter w;
+    w.u8(kHeaderTag);
+    w.u32(kJournalMagic);
+    w.u32(kJournalVersion);
+    w.u64(identity.digest);
+    w.str(identity.description);
+    return w.bytes();
+}
+
+} // namespace
+
+std::vector<std::uint8_t>
+encodeUnitRecord(const UnitRecord &record)
+{
+    ByteWriter w;
+    w.u8(kUnitTag);
+    w.str(record.configName);
+    w.u32(record.testIndex);
+    w.u64(record.genSeed);
+    w.u64(record.flowSeed);
+    w.u8(static_cast<std::uint8_t>(record.outcome.status));
+    w.u8(record.outcome.ok ? 1 : 0);
+    w.u32(record.outcome.retriesUsed);
+    w.u32(record.outcome.hungAttempts);
+    encodeFlowResult(w, record.outcome.result);
+    return w.bytes();
+}
+
+UnitRecord
+decodeUnitRecord(const std::vector<std::uint8_t> &payload)
+{
+    ByteReader rd(payload);
+    if (rd.u8() != kUnitTag)
+        throw JournalError("journal record is not a unit record");
+    UnitRecord record;
+    record.configName = rd.str();
+    record.testIndex = rd.u32();
+    record.genSeed = rd.u64();
+    record.flowSeed = rd.u64();
+    const std::uint8_t status = rd.u8();
+    if (status > static_cast<std::uint8_t>(TestStatus::Skipped))
+        throw JournalError("journal unit record has unknown status " +
+                           std::to_string(status));
+    record.outcome.status = static_cast<TestStatus>(status);
+    record.outcome.ok = rd.u8() != 0;
+    record.outcome.retriesUsed = rd.u32();
+    record.outcome.hungAttempts = rd.u32();
+    record.outcome.result = decodeFlowResult(rd);
+    return record;
+}
+
+CampaignJournal::CampaignJournal(std::string path,
+                                 const Identity &identity, bool resume)
+{
+    if (!resume) {
+        // Fresh campaign: an existing file at the path is stale state
+        // from some earlier run — drop it rather than splice onto it.
+        std::ofstream(path, std::ios::binary | std::ios::trunc);
+        writer = std::make_unique<JournalWriter>(path);
+        writer->append(encodeHeader(identity));
+        writer->sync(); // the header must never be lost to a crash
+        return;
+    }
+
+    JournalRecovery recovery = readJournal(path);
+    dropped = recovery.droppedBytes;
+    if (recovery.records.empty())
+        throw ConfigError(
+            "--resume: journal '" + path +
+            "' has no intact header record to resume from" +
+            (dropped ? " (its only record was torn)" : ""));
+
+    ByteReader header(recovery.records.front());
+    if (header.u8() != kHeaderTag || header.u32() != kJournalMagic)
+        throw ConfigError("--resume: '" + path +
+                          "' is not a campaign journal");
+    const std::uint32_t version = header.u32();
+    if (version != kJournalVersion)
+        throw ConfigError(
+            "--resume: journal '" + path + "' is format version " +
+            std::to_string(version) + ", this build writes version " +
+            std::to_string(kJournalVersion));
+    const std::uint64_t digest = header.u64();
+    const std::string description = header.str();
+    if (digest != identity.digest)
+        throw ConfigError(
+            "--resume: journal '" + path +
+            "' was written by a different campaign\n  journal:  " +
+            description + "\n  current:  " + identity.description);
+
+    for (std::size_t i = 1; i < recovery.records.size(); ++i) {
+        UnitRecord record = decodeUnitRecord(recovery.records[i]);
+        Key key{record.configName, record.testIndex};
+        units.insert_or_assign(std::move(key), std::move(record));
+    }
+
+    // Drop the torn tail on disk too, then append after the last
+    // intact frame.
+    truncateToValidPrefix(path, recovery);
+    writer = std::make_unique<JournalWriter>(path);
+}
+
+const UnitRecord *
+CampaignJournal::find(const std::string &config_name,
+                      std::uint32_t test_index) const
+{
+    const auto it = units.find(Key{config_name, test_index});
+    return it == units.end() ? nullptr : &it->second;
+}
+
+void
+CampaignJournal::append(const UnitRecord &record)
+{
+    const std::vector<std::uint8_t> payload = encodeUnitRecord(record);
+    std::lock_guard<std::mutex> lock(appendMtx);
+    writer->append(payload);
+}
+
+} // namespace mtc

@@ -14,6 +14,7 @@
 #include "graph/graph_builder.h"
 #include "graph/po_edges.h"
 #include "sim/executor.h"
+#include "support/journal.h"
 #include "support/log.h"
 #include "support/thread_pool.h"
 #include "support/timer.h"
@@ -116,7 +117,7 @@ ValidationFlow::runTest(const TestProgram &program)
             arena = RunArena();
         try {
             auto scope = prof.scope(Phase::Execute);
-            platform.runInto(program, rng, arena);
+            platform.runInto(program, rng, arena, cfg.cancel);
         } catch (const ProtocolDeadlockError &err) {
             // The paper's bug 3 crashes the whole simulation; by
             // default one deadlock ends this test's campaign, but the
@@ -178,6 +179,24 @@ ValidationFlow::runTest(const TestProgram &program)
     {
         auto scope = prof.scope(Phase::SortUnique);
         unique = signature_counts.takeSortedUnique();
+    }
+
+    // Fingerprint the observed-behavior set for the campaign journal:
+    // chained FNV over the sorted (words, count) pairs, so any
+    // divergence between a resumed unit and its original run — a
+    // different signature, a different multiplicity, a different
+    // order — changes the digest.
+    {
+        std::uint64_t digest = 0xcbf29ce484222325ull;
+        for (const SignatureCount &entry : unique) {
+            digest = fnv1a64(entry.signature.words.data(),
+                             entry.signature.words.size() *
+                                 sizeof(std::uint64_t),
+                             digest);
+            digest = fnv1a64(&entry.iterations,
+                             sizeof(entry.iterations), digest);
+        }
+        result.signatureSetDigest = digest;
     }
 
     // Worker pool for the in-test parallel stages (decode fan-out and
@@ -347,25 +366,43 @@ ValidationFlow::runTest(const TestProgram &program)
             ? cfg.recovery.confirmationIterations
             : std::min<std::uint64_t>(cfg.iterations, 256);
         bool confirmed = false;
+        bool confirmation_crashed_out = false;
 
-        for (unsigned k = 0;
-             k < cfg.recovery.confirmationRuns && !confirmed; ++k) {
+        // Attempt-counted loop rather than a plain for-K: a
+        // confirmation re-execution that crashes proves nothing about
+        // reproduction, so it must not silently consume one of the K
+        // discriminating runs (the old behavior: a crashed run read as
+        // "not reproduced", biasing real violations towards the
+        // transient-corruption verdict). Instead a crash draws on the
+        // same crash-retry budget as the test loop and is replaced by
+        // a fresh attempt; only when the budget is exhausted is the
+        // remaining confirmation abandoned. The seed mix is keyed by
+        // the attempt number, so a crash-free confirmation replays the
+        // exact streams of the old k-indexed loop.
+        unsigned completed_runs = 0;
+        unsigned attempt = 0;
+        while (completed_runs < cfg.recovery.confirmationRuns &&
+               !confirmed) {
+            ++attempt;
             ++result.fault.confirmationRunsUsed;
             std::uint64_t mix =
-                cfg.seed ^ (0xC0F1A5EDull + 0x9e3779b9ull * (k + 1));
+                cfg.seed ^ (0xC0F1A5EDull + 0x9e3779b9ull * attempt);
             Rng confirm_rng(splitMix64(mix));
             FaultConfig confirm_fault = cfg.fault;
             confirm_fault.seed = splitMix64(mix);
             FaultInjector confirm_injector(confirm_fault, word_layout);
 
+            bool crashed = false;
             for (std::uint64_t iter = 0;
                  iter < confirm_iters && !confirmed; ++iter) {
                 if (!cfg.reuseArena)
                     arena = RunArena();
                 try {
-                    platform.runInto(program, confirm_rng, arena);
+                    platform.runInto(program, confirm_rng, arena,
+                                     cfg.cancel);
                 } catch (const ProtocolDeadlockError &) {
-                    break; // a wedged re-execution proves nothing
+                    crashed = true; // a wedged run proves nothing
+                    break;
                 }
                 try {
                     codec.encodeInto(arena.execution, encoded);
@@ -380,6 +417,17 @@ ValidationFlow::runTest(const TestProgram &program)
                     confirmed = true;
                 }
             }
+
+            if (crashed && !confirmed) {
+                if (result.fault.crashRetries <
+                    cfg.recovery.crashRetries) {
+                    ++result.fault.crashRetries;
+                    continue; // replacement run; K not consumed
+                }
+                confirmation_crashed_out = true;
+                break;
+            }
+            ++completed_runs;
         }
 
         if (confirmed) {
@@ -394,6 +442,11 @@ ValidationFlow::runTest(const TestProgram &program)
                 std::to_string(result.fault.confirmationRunsUsed) +
                 " re-execution(s); reclassified as transient readout "
                 "corruption";
+            if (confirmation_crashed_out) {
+                result.fault.note +=
+                    "; confirmation cut short by a platform crash "
+                    "(crash-retry budget exhausted)";
+            }
             if (!result.violationWitness.empty() &&
                 !result.assertionFailures) {
                 result.fault.note +=

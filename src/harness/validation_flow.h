@@ -200,6 +200,15 @@ struct FlowConfig
      * bit-identical either way.
      */
     bool reuseArena = true;
+
+    /**
+     * Watchdog stop token threaded into every platform run of this
+     * flow (test loop and confirmation re-executions). When it fires,
+     * the run — and therefore runTest — aborts with TestHungError;
+     * the campaign layer records the unit as Hung. nullptr = never
+     * cancelled (the default, bit-identical to the pre-watchdog flow).
+     */
+    const CancellationToken *cancel = nullptr;
 };
 
 /** Everything measured while validating one test. */
@@ -207,6 +216,15 @@ struct FlowResult
 {
     std::uint64_t iterationsRun = 0;
     std::uint64_t uniqueSignatures = 0;
+
+    /**
+     * Order-independent FNV-1a digest of the sorted unique signature
+     * multiset (words + per-signature iteration counts). One u64
+     * fingerprints the whole observed-behavior set, so the campaign
+     * journal can assert that a resumed unit replays exactly the
+     * signatures the original run recorded.
+     */
+    std::uint64_t signatureSetDigest = 0;
 
     /** Instrumented-chain tail assertions (unexpected loaded value). */
     std::uint64_t assertionFailures = 0;

@@ -1,0 +1,95 @@
+#include "harness/watchdog.h"
+
+#include <algorithm>
+
+namespace mtc
+{
+
+Watchdog::Watchdog() : monitor([this] { monitorLoop(); }) {}
+
+Watchdog::~Watchdog()
+{
+    {
+        std::unique_lock<std::mutex> lock(mtx);
+        stopping = true;
+    }
+    wake.notify_all();
+    monitor.join();
+}
+
+Watchdog::Guard
+Watchdog::watch(CancellationToken &token,
+                std::chrono::milliseconds timeout)
+{
+    std::uint64_t id;
+    {
+        std::unique_lock<std::mutex> lock(mtx);
+        id = nextId++;
+        entries.push_back({id, Clock::now() + timeout, &token});
+    }
+    // The new deadline may be earlier than whatever the monitor is
+    // currently sleeping towards.
+    wake.notify_all();
+    return Guard(this, id);
+}
+
+std::uint64_t
+Watchdog::firedCount() const
+{
+    std::unique_lock<std::mutex> lock(mtx);
+    return fired;
+}
+
+void
+Watchdog::unregisterEntry(std::uint64_t id)
+{
+    std::unique_lock<std::mutex> lock(mtx);
+    entries.erase(std::remove_if(entries.begin(), entries.end(),
+                                 [id](const Entry &e) {
+                                     return e.id == id;
+                                 }),
+                  entries.end());
+    // No notify needed: a vanished deadline only ever makes the
+    // monitor's next wake-up conservative (it re-scans and re-sleeps).
+}
+
+void
+Watchdog::monitorLoop()
+{
+    std::unique_lock<std::mutex> lock(mtx);
+    for (;;) {
+        if (stopping)
+            return;
+        if (entries.empty()) {
+            wake.wait(lock);
+            continue;
+        }
+        const auto earliest = std::min_element(
+            entries.begin(), entries.end(),
+            [](const Entry &a, const Entry &b) {
+                return a.deadline < b.deadline;
+            });
+        const auto now = Clock::now();
+        if (earliest->deadline > now) {
+            wake.wait_until(lock, earliest->deadline);
+            continue; // re-scan: entries may have changed meanwhile
+        }
+        // Fire every expired entry. The entry stays registered until
+        // its Guard dies — requestStop is idempotent, and keeping it
+        // costs one compare per scan — but is nulled so it fires once.
+        for (Entry &entry : entries) {
+            if (entry.token && entry.deadline <= now) {
+                entry.token->requestStop();
+                entry.token = nullptr;
+                ++fired;
+            }
+        }
+        entries.erase(std::remove_if(entries.begin(), entries.end(),
+                                     [](const Entry &e) {
+                                         return e.token == nullptr;
+                                     }),
+                      entries.end());
+    }
+}
+
+} // namespace mtc

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Hang watchdog: per-test deadlines enforced by one monitor thread.
+ *
+ * A wedged platform run would otherwise pin a ThreadPool worker
+ * forever (the pool joins on destruction, so one hang deadlocks the
+ * whole campaign teardown). The watchdog owns a single monitor thread
+ * for the entire campaign; each platform run registers a (deadline,
+ * cancellation token) entry before running and unregisters when done
+ * (RAII Guard). When a deadline passes, the monitor requests stop on
+ * that run's token — the executors' scheduler loops poll it and
+ * abandon the run with TestHungError, which the campaign records as a
+ * Hung outcome and feeds to the existing retry path.
+ *
+ * The monitor sleeps until the earliest registered deadline (or
+ * indefinitely when idle), so an armed-but-quiet watchdog costs one
+ * blocked thread and nothing else. Reclaim latency is bounded by the
+ * deadline precision plus the executor's poll granularity — both far
+ * inside the 2x-timeout acceptance bound.
+ */
+
+#ifndef MTC_HARNESS_WATCHDOG_H
+#define MTC_HARNESS_WATCHDOG_H
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "support/cancellation.h"
+
+namespace mtc
+{
+
+/** Campaign-wide hang monitor (see file comment). */
+class Watchdog
+{
+  public:
+    using Clock = std::chrono::steady_clock;
+
+    /** Starts the monitor thread. */
+    Watchdog();
+
+    /** Stops and joins the monitor. Outstanding guards must have been
+     * destroyed first (the campaign scopes the watchdog outermost). */
+    ~Watchdog();
+
+    Watchdog(const Watchdog &) = delete;
+    Watchdog &operator=(const Watchdog &) = delete;
+
+    /**
+     * RAII registration of one watched run: destruction unregisters
+     * the deadline (the normal, non-hung exit). Move-only, so a scope
+     * can hold one in a std::optional and arm it conditionally.
+     */
+    class Guard
+    {
+      public:
+        ~Guard()
+        {
+            if (owner)
+                owner->unregisterEntry(id);
+        }
+
+        Guard(Guard &&other) noexcept : owner(other.owner), id(other.id)
+        {
+            other.owner = nullptr;
+        }
+
+        Guard(const Guard &) = delete;
+        Guard &operator=(const Guard &) = delete;
+        Guard &operator=(Guard &&) = delete;
+
+      private:
+        friend class Watchdog;
+        Guard(Watchdog *owner_arg, std::uint64_t id_arg)
+            : owner(owner_arg), id(id_arg)
+        {}
+
+        Watchdog *owner;
+        std::uint64_t id;
+    };
+
+    /**
+     * Watch one run: when @p timeout elapses before the returned
+     * Guard is destroyed, requestStop() is called on @p token.
+     * The token must outlive the Guard.
+     */
+    Guard watch(CancellationToken &token,
+                std::chrono::milliseconds timeout);
+
+    /** Deadlines that expired and fired their tokens (diagnostics). */
+    std::uint64_t firedCount() const;
+
+  private:
+    struct Entry
+    {
+        std::uint64_t id;
+        Clock::time_point deadline;
+        CancellationToken *token;
+    };
+
+    void monitorLoop();
+    void unregisterEntry(std::uint64_t id);
+
+    mutable std::mutex mtx;
+    std::condition_variable wake;
+    std::vector<Entry> entries;
+    std::uint64_t nextId = 1;
+    std::uint64_t fired = 0;
+    bool stopping = false;
+    std::thread monitor;
+};
+
+} // namespace mtc
+
+#endif // MTC_HARNESS_WATCHDOG_H

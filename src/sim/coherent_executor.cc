@@ -202,6 +202,13 @@ class Machine : public RunArena::State
         }
     }
 
+    /** Arm (or clear) the watchdog stop token for the next run(). */
+    void
+    armCancellation(const CancellationToken *token)
+    {
+        cancel = token;
+    }
+
     void
     run()
     {
@@ -212,6 +219,17 @@ class Machine : public RunArena::State
         std::uint64_t commits_at_last_check = 0;
         std::uint64_t next_watchdog = kWatchdogInterval;
         while (remaining > 0) {
+            // Liveness layer: bail out when the campaign watchdog
+            // fired, and honor the injected-stall drill (a wedge the
+            // protocol-level progress watchdog below cannot see,
+            // because it stops delivering events entirely).
+            if (cancel && cancel->stopRequested()) {
+                throw TestHungError(
+                    "run abandoned by watchdog: test deadline expired");
+            }
+            if (cfg->stallAfterSteps &&
+                events_handled >= cfg->stallAfterSteps)
+                stallUntilCancelled(cancel);
             // A deadlocked platform may still generate traffic forever
             // (live lines ping-pong between cores whose stuck heads
             // keep them ineligible), so wedge detection watches commit
@@ -1133,6 +1151,9 @@ class Machine : public RunArena::State
     Rng *rng = nullptr;
     Execution *result = nullptr;
 
+    /** Watchdog stop token of the current run (may be null). */
+    const CancellationToken *cancel = nullptr;
+
     std::uint32_t numThreads = 0;
     std::uint32_t numLines = 0;
     std::uint32_t wordsPerLine = 1;
@@ -1192,11 +1213,13 @@ CoherentExecutor::CoherentExecutor(CoherentConfig cfg_arg) : cfg(cfg_arg)
 
 void
 CoherentExecutor::runInto(const TestProgram &program, Rng &rng,
-                          RunArena &arena)
+                          RunArena &arena,
+                          const CancellationToken *cancel)
 {
     const OrderTable &order = cachedOrderTable(program, cfg.model);
     Machine &machine = arena.stateAs<Machine>();
     machine.reset(program, cfg, order, rng, arena.execution);
+    machine.armCancellation(cancel);
     machine.run();
 }
 

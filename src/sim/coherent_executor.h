@@ -123,6 +123,15 @@ struct CoherentConfig
 
     /** Guard against protocol livelock in the simulator itself. */
     std::uint64_t maxEvents = 50'000'000;
+
+    /**
+     * Liveness drill: after this many delivered protocol events the
+     * machine wedges (spins until a cancellation token fires, then
+     * raises TestHungError). 0 = never. See
+     * ExecutorConfig::stallAfterSteps — only meaningful under a
+     * watchdog.
+     */
+    std::uint64_t stallAfterSteps = 0;
 };
 
 /** The coherent multicore platform (see file comment). */
@@ -133,8 +142,9 @@ class CoherentExecutor : public Platform
 
     const CoherentConfig &config() const { return cfg; }
 
-    void runInto(const TestProgram &program, Rng &rng,
-                 RunArena &arena) override;
+    using Platform::runInto;
+    void runInto(const TestProgram &program, Rng &rng, RunArena &arena,
+                 const CancellationToken *cancel) override;
 
   private:
     CoherentConfig cfg;

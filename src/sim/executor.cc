@@ -40,6 +40,28 @@ struct RunState : RunArena::State
     std::vector<bool> blocked;               ///< bug-3 wedged threads
     std::uint64_t remaining = 0;
 
+    // --- Liveness layer (watchdog cancellation + stall drill) ---------
+    const CancellationToken *cancel = nullptr;
+    std::uint64_t stepsTaken = 0;
+
+    /**
+     * Polled once per scheduler step by both policies: abandon the
+     * run when the watchdog fired, and enter the injected infinite
+     * stall when the drill's step budget is reached. One relaxed load
+     * plus two compares when idle — negligible against a step's work.
+     */
+    void
+    checkLiveness()
+    {
+        ++stepsTaken;
+        if (cancel && cancel->stopRequested()) {
+            throw TestHungError(
+                "run abandoned by watchdog: test deadline expired");
+        }
+        if (cfg->stallAfterSteps && stepsTaken >= cfg->stallAfterSteps)
+            stallUntilCancelled(cancel);
+    }
+
     // --- Timed-policy cache model -------------------------------------
     struct Line
     {
@@ -270,6 +292,7 @@ runUniform(RunState &state)
     std::uint64_t step = 0;
 
     while (state.remaining > 0) {
+        state.checkLiveness();
         eligible.clear();
         for (std::uint32_t tid = 0; tid < threads.size(); ++tid) {
             const std::uint32_t end = std::min<std::uint32_t>(
@@ -328,6 +351,7 @@ class TimedEngine
             recomputeBest(tid);
 
         while (state.remaining > 0) {
+            state.checkLiveness();
             std::uint32_t best_tid = 0;
             std::uint64_t best_time = kNever;
             bool found = false;
@@ -720,11 +744,22 @@ OperationalExecutor::OperationalExecutor(ExecutorConfig cfg_arg)
 
 void
 OperationalExecutor::runInto(const TestProgram &program, Rng &rng,
-                             RunArena &arena)
+                             RunArena &arena,
+                             const CancellationToken *cancel)
 {
+    // Crash drill: fail the Nth run before touching any state, the
+    // way a platform lockup kills a re-execution outright.
+    ++runsStarted;
+    if (cfg.crashOnRun && runsStarted == cfg.crashOnRun) {
+        throw ProtocolDeadlockError(
+            "crash drill: scheduled platform crash on run " +
+            std::to_string(runsStarted));
+    }
     const OrderTable &order = orderTableCache().get(program, cfg.model);
     RunState &state = arena.stateAs<RunState>();
     state.reset(program, cfg, order, rng, arena.execution);
+    state.cancel = cancel;
+    state.stepsTaken = 0;
     if (cfg.policy == SchedulingPolicy::UniformRandom) {
         runUniform(state);
     } else {

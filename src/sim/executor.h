@@ -35,11 +35,15 @@ class OperationalExecutor : public Platform
     /** The active configuration. */
     const ExecutorConfig &config() const { return cfg; }
 
-    void runInto(const TestProgram &program, Rng &rng,
-                 RunArena &arena) override;
+    using Platform::runInto;
+    void runInto(const TestProgram &program, Rng &rng, RunArena &arena,
+                 const CancellationToken *cancel) override;
 
   private:
     ExecutorConfig cfg;
+
+    /** runInto() calls served so far (the crashOnRun drill's clock). */
+    std::uint64_t runsStarted = 0;
 };
 
 /**

@@ -117,6 +117,26 @@ struct ExecutorConfig
 
     /** Probability the bug fires when its trigger condition occurs. */
     double bugProbability = 1.0;
+
+    /**
+     * Liveness drill: after this many scheduler steps in one run the
+     * platform wedges — it stops making progress and spins (sleeping)
+     * until a cancellation token is observed, then raises
+     * TestHungError. 0 (default) never stalls. This models the
+     * infinite-stall hangs real silicon produces and exists so the
+     * watchdog path can be exercised deterministically; without a
+     * watchdog the run genuinely never returns, which is the point.
+     */
+    std::uint64_t stallAfterSteps = 0;
+
+    /**
+     * Crash drill: the Nth runInto() call on one executor instance
+     * (1-based) throws ProtocolDeadlockError before executing. 0
+     * (default) never fires. Used to schedule a crash into a specific
+     * pipeline stage — e.g. a confirmation re-execution — which random
+     * bug injection cannot target.
+     */
+    std::uint64_t crashOnRun = 0;
 };
 
 } // namespace mtc

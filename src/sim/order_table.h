@@ -131,11 +131,12 @@ class CompletionBits
         if (idx >= kMaxReorderWindow)
             return static_cast<std::uint32_t>(
                 grab64(idx - kMaxReorderWindow));
+        if (idx == 0)
+            return ~std::uint32_t(0); // whole window predates index 0
         const std::uint32_t real = static_cast<std::uint32_t>(grab64(0))
             << (kMaxReorderWindow - idx);
-        const std::uint32_t pad = idx == 0
-            ? ~std::uint32_t(0)
-            : ((std::uint32_t(1) << (kMaxReorderWindow - idx)) - 1);
+        const std::uint32_t pad =
+            (std::uint32_t(1) << (kMaxReorderWindow - idx)) - 1;
         return real | pad;
     }
 

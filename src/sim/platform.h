@@ -24,6 +24,7 @@
 #include <memory>
 #include <utility>
 
+#include "support/cancellation.h"
 #include "support/rng.h"
 #include "testgen/execution.h"
 #include "testgen/test_program.h"
@@ -101,8 +102,23 @@ class Platform
      * overwritten. Reusing one arena across iterations makes the
      * steady-state run loop allocation-free.
      */
+    void
+    runInto(const TestProgram &program, Rng &rng, RunArena &arena)
+    {
+        runInto(program, rng, arena, nullptr);
+    }
+
+    /**
+     * Cancellable form: the scheduler loop polls @p cancel between
+     * steps and abandons a run whose watchdog deadline expired.
+     *
+     * @param cancel Cooperative stop token, or nullptr (never stop).
+     * @throws TestHungError when the token fires mid-run; the arena
+     *         stays reusable (the next reset reinitializes it).
+     */
     virtual void runInto(const TestProgram &program, Rng &rng,
-                         RunArena &arena) = 0;
+                         RunArena &arena,
+                         const CancellationToken *cancel) = 0;
 };
 
 } // namespace mtc

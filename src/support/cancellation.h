@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Cooperative cancellation token for the liveness layer.
+ *
+ * A post-silicon campaign must never block forever on one wedged test:
+ * the watchdog (src/harness/watchdog.h) arms a deadline per platform
+ * run and, when it expires, requests stop on the run's token. The
+ * executors' scheduler loops poll the token between steps and abandon
+ * the run with TestHungError, so a stuck ThreadPool worker is reclaimed
+ * instead of stalling the pool until operator kill.
+ *
+ * The token lives in support (not harness) because the sim layer polls
+ * it and `support <- sim <- harness` is the only legal include
+ * direction. Polling is one relaxed atomic load — cheap enough for a
+ * per-scheduler-step check; no ordering is needed because the only
+ * communicated fact is the monotonic flag itself.
+ */
+
+#ifndef MTC_SUPPORT_CANCELLATION_H
+#define MTC_SUPPORT_CANCELLATION_H
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "support/error.h"
+
+namespace mtc
+{
+
+/** One-shot cooperative stop flag (see file comment). */
+class CancellationToken
+{
+  public:
+    /** Ask the observing run to abandon itself (thread-safe). */
+    void
+    requestStop() noexcept
+    {
+        flag.store(true, std::memory_order_relaxed);
+    }
+
+    /** Polled by scheduler loops between steps. */
+    bool
+    stopRequested() const noexcept
+    {
+        return flag.load(std::memory_order_relaxed);
+    }
+
+    /** Re-arm the token for another run (single-threaded use only). */
+    void
+    reset() noexcept
+    {
+        flag.store(false, std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<bool> flag{false};
+};
+
+/**
+ * The stall drill's terminal state: spin (sleeping, not burning a
+ * core) until @p cancel fires, then raise TestHungError. With a null
+ * token this never returns — a faithful model of wedged silicon, and
+ * the reason the drill must only be armed under a watchdog.
+ */
+[[noreturn]] inline void
+stallUntilCancelled(const CancellationToken *cancel)
+{
+    for (;;) {
+        if (cancel && cancel->stopRequested()) {
+            throw TestHungError(
+                "run abandoned by watchdog: platform wedged in "
+                "injected infinite stall");
+        }
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+}
+
+} // namespace mtc
+
+#endif // MTC_SUPPORT_CANCELLATION_H

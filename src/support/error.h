@@ -56,6 +56,21 @@ class ProtocolDeadlockError : public PlatformError
 };
 
 /**
+ * The platform run was abandoned by cooperative cancellation: the
+ * watchdog's per-test deadline expired and the scheduler loop observed
+ * the stop request. Distinct from ProtocolDeadlockError — a hang is a
+ * liveness verdict about wall-clock, not a protocol-level crash — so
+ * the campaign can report the unit as Hung rather than crashed.
+ */
+class TestHungError : public PlatformError
+{
+  public:
+    explicit TestHungError(const std::string &what_arg)
+        : PlatformError(what_arg)
+    {}
+};
+
+/**
  * The tail assertion of the instrumented signature-computation code
  * fired: a load observed a value outside its statically computed
  * candidate set (Section 3.1, Figure 4 of the paper).

@@ -1,0 +1,244 @@
+#include "support/journal.h"
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace mtc
+{
+
+std::uint32_t
+fnv1a32(const void *data, std::size_t len)
+{
+    const auto *bytes = static_cast<const std::uint8_t *>(data);
+    std::uint32_t hash = 0x811c9dc5u;
+    for (std::size_t i = 0; i < len; ++i) {
+        hash ^= bytes[i];
+        hash *= 0x01000193u;
+    }
+    return hash;
+}
+
+std::uint64_t
+fnv1a64(const void *data, std::size_t len, std::uint64_t seed)
+{
+    const auto *bytes = static_cast<const std::uint8_t *>(data);
+    std::uint64_t hash = seed;
+    for (std::size_t i = 0; i < len; ++i) {
+        hash ^= bytes[i];
+        hash *= 0x100000001b3ull;
+    }
+    return hash;
+}
+
+void
+ByteWriter::f64(double v)
+{
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+}
+
+void
+ByteWriter::str(const std::string &v)
+{
+    u32(static_cast<std::uint32_t>(v.size()));
+    buf.insert(buf.end(), v.begin(), v.end());
+}
+
+void
+ByteReader::need(std::size_t n) const
+{
+    if (static_cast<std::size_t>(end - p) < n)
+        throw JournalError("journal record payload truncated");
+}
+
+std::uint8_t
+ByteReader::u8()
+{
+    need(1);
+    return *p++;
+}
+
+std::uint32_t
+ByteReader::u32()
+{
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(*p++) << (8 * i);
+    return v;
+}
+
+std::uint64_t
+ByteReader::u64()
+{
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(*p++) << (8 * i);
+    return v;
+}
+
+double
+ByteReader::f64()
+{
+    const std::uint64_t bits = u64();
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+}
+
+std::string
+ByteReader::str()
+{
+    const std::uint32_t len = u32();
+    need(len);
+    std::string v(reinterpret_cast<const char *>(p), len);
+    p += len;
+    return v;
+}
+
+namespace
+{
+
+void
+putLe32(std::uint8_t *out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+std::uint32_t
+getLe32(const std::uint8_t *in)
+{
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(in[i]) << (8 * i);
+    return v;
+}
+
+/** Frames larger than this are treated as corruption, not records:
+ * a torn length word must not make the reader try to allocate
+ * gigabytes. Unit records are a few KB. */
+constexpr std::uint32_t kMaxPayloadBytes = 64u << 20;
+
+void
+writeAll(int fd, const std::uint8_t *data, std::size_t len,
+         const std::string &path)
+{
+    while (len) {
+        const ssize_t n = ::write(fd, data, len);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            throw JournalError("journal write failed: " + path + ": " +
+                               std::strerror(errno));
+        }
+        data += n;
+        len -= static_cast<std::size_t>(n);
+    }
+}
+
+} // anonymous namespace
+
+JournalWriter::JournalWriter(std::string path_arg, unsigned fsync_every)
+    : path(std::move(path_arg)), fsyncEvery(fsync_every)
+{
+    fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (fd < 0) {
+        throw JournalError("cannot open journal: " + path + ": " +
+                           std::strerror(errno));
+    }
+}
+
+JournalWriter::~JournalWriter()
+{
+    if (fd >= 0) {
+        ::fsync(fd);
+        ::close(fd);
+    }
+}
+
+void
+JournalWriter::append(const std::vector<std::uint8_t> &payload)
+{
+    // Header and payload go out in one buffer so a crash tears at
+    // most one frame — exactly the failure readJournal recovers from.
+    std::vector<std::uint8_t> frame(8 + payload.size());
+    putLe32(frame.data(),
+            static_cast<std::uint32_t>(payload.size()));
+    putLe32(frame.data() + 4,
+            fnv1a32(payload.data(), payload.size()));
+    std::memcpy(frame.data() + 8, payload.data(), payload.size());
+    writeAll(fd, frame.data(), frame.size(), path);
+    ++records;
+    if (++sinceSync >= fsyncEvery) {
+        sinceSync = 0;
+        if (::fsync(fd) != 0) {
+            throw JournalError("journal fsync failed: " + path + ": " +
+                               std::strerror(errno));
+        }
+    }
+}
+
+void
+JournalWriter::sync()
+{
+    sinceSync = 0;
+    if (fd >= 0 && ::fsync(fd) != 0) {
+        throw JournalError("journal fsync failed: " + path + ": " +
+                           std::strerror(errno));
+    }
+}
+
+JournalRecovery
+readJournal(const std::string &path)
+{
+    JournalRecovery recovery;
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return recovery; // no journal yet: resume from nothing
+
+    std::vector<std::uint8_t> contents(
+        (std::istreambuf_iterator<char>(in)),
+        std::istreambuf_iterator<char>());
+    const std::size_t size = contents.size();
+
+    std::size_t off = 0;
+    while (off + 8 <= size) {
+        const std::uint32_t len = getLe32(contents.data() + off);
+        const std::uint32_t sum = getLe32(contents.data() + off + 4);
+        if (len > kMaxPayloadBytes || off + 8 + len > size)
+            break; // torn or absurd frame: tail starts here
+        if (fnv1a32(contents.data() + off + 8, len) != sum)
+            break; // payload corrupted mid-write
+        recovery.records.emplace_back(
+            contents.begin() + static_cast<std::ptrdiff_t>(off + 8),
+            contents.begin() +
+                static_cast<std::ptrdiff_t>(off + 8 + len));
+        off += 8 + len;
+    }
+    recovery.validBytes = off;
+    recovery.droppedBytes = size - off;
+    return recovery;
+}
+
+void
+truncateToValidPrefix(const std::string &path,
+                      const JournalRecovery &recovery)
+{
+    if (recovery.droppedBytes == 0)
+        return;
+    if (::truncate(path.c_str(),
+                   static_cast<off_t>(recovery.validBytes)) != 0) {
+        throw JournalError("cannot truncate torn journal tail: " + path +
+                           ": " + std::strerror(errno));
+    }
+}
+
+} // namespace mtc

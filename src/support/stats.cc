@@ -46,6 +46,17 @@ RunningStat::merge(const RunningStat &other)
     n = combined;
 }
 
+RunningStat
+RunningStat::fromSumCount(double sum, std::size_t count)
+{
+    RunningStat stat;
+    stat.n = count;
+    stat.total = sum;
+    stat.runningMean =
+        count ? sum / static_cast<double>(count) : 0.0;
+    return stat;
+}
+
 double
 RunningStat::variance() const
 {

@@ -29,6 +29,15 @@ class RunningStat
     /** Merge another accumulator into this one (parallel-safe combine). */
     void merge(const RunningStat &other);
 
+    /**
+     * Rebuild an accumulator from journaled (sum, count) alone — the
+     * two moments the campaign summary consumes. Variance, min and max
+     * are NOT recoverable from a sum and are left zeroed; replayed
+     * stats must only ever feed sum()/count()/mean() readers (which is
+     * all `summarize` uses).
+     */
+    static RunningStat fromSumCount(double sum, std::size_t count);
+
     std::size_t count() const { return n; }
     double sum() const { return total; }
     double mean() const { return n ? runningMean : 0.0; }

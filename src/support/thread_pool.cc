@@ -29,14 +29,37 @@ ThreadPool::ThreadPool(unsigned threads, std::size_t queue_capacity)
 
 ThreadPool::~ThreadPool()
 {
+    stop(true);
+}
+
+void
+ThreadPool::stop(bool drain)
+{
+    // Discarded tasks must be destroyed *outside* the lock and *after*
+    // the join: their destructors may run arbitrary captured state
+    // (a parallelFor chunk's completion guard takes the caller's done
+    // mutex), and destroying them after the workers have quiesced
+    // guarantees no worker races the same task object.
+    std::deque<std::function<void()>> discarded;
     {
         std::unique_lock<std::mutex> lock(mtx);
+        if (joined)
+            return;
+        if (!drain)
+            discarded.swap(queue);
         stopping = true;
     }
     taskReady.notify_all();
     queueSpace.notify_all();
-    for (std::thread &worker : workers)
-        worker.join();
+    for (std::thread &worker : workers) {
+        if (worker.joinable())
+            worker.join();
+    }
+    {
+        std::unique_lock<std::mutex> lock(mtx);
+        joined = true;
+    }
+    discarded.clear();
 }
 
 void
@@ -101,8 +124,31 @@ ThreadPool::parallelFor(std::size_t count,
         std::min<std::size_t>(count, workers.size());
     shared->pending = chunks;
 
+    // Each chunk task carries a completion guard instead of reporting
+    // done inline: whether the task runs, or stop(false) discards it
+    // from the queue, or submit() drops it because the pool is already
+    // stopping, the guard's destruction is what decrements `pending` —
+    // so this caller can never deadlock waiting on a chunk the
+    // shutdown threw away.
+    struct ChunkGuard
+    {
+        std::shared_ptr<Shared> s;
+
+        explicit ChunkGuard(std::shared_ptr<Shared> s_arg)
+            : s(std::move(s_arg))
+        {}
+
+        ~ChunkGuard()
+        {
+            std::lock_guard<std::mutex> lock(s->doneMtx);
+            if (--s->pending == 0)
+                s->done.notify_all();
+        }
+    };
+
     for (std::size_t c = 0; c < chunks; ++c) {
-        submit([shared] {
+        auto done_guard = std::make_shared<ChunkGuard>(shared);
+        submit([shared, done_guard] {
             for (;;) {
                 const std::size_t i =
                     shared->next.fetch_add(1, std::memory_order_relaxed);
@@ -116,9 +162,6 @@ ThreadPool::parallelFor(std::size_t count,
                         shared->firstError = std::current_exception();
                 }
             }
-            std::lock_guard<std::mutex> lock(shared->doneMtx);
-            if (--shared->pending == 0)
-                shared->done.notify_all();
         });
     }
 

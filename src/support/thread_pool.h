@@ -50,8 +50,23 @@ class ThreadPool
     explicit ThreadPool(unsigned threads = 0,
                         std::size_t queue_capacity = 0);
 
-    /** Drains the queue and joins all workers. */
+    /** Drains the queue and joins all workers (stop(true)). */
     ~ThreadPool();
+
+    /**
+     * Shut the pool down. `drain=true` is the destructor's behavior:
+     * every queued task still runs before the workers join. `drain=
+     * false` is the cancellation path a tripped circuit breaker or a
+     * watchdog abort takes: queued-but-unstarted tasks are discarded
+     * (their destructors run, which is how a pending parallelFor
+     * chunk reports itself done-without-running), only in-flight
+     * tasks finish, and the workers join. Idempotent; submit() after
+     * stop() drops the task. A parallelFor in flight during
+     * stop(false) returns once its running chunks finish — dropped
+     * indices never execute and their slots keep their initial state;
+     * captured exceptions are rethrown as usual.
+     */
+    void stop(bool drain = true);
 
     ThreadPool(const ThreadPool &) = delete;
     ThreadPool &operator=(const ThreadPool &) = delete;
@@ -91,6 +106,7 @@ class ThreadPool
     std::deque<std::function<void()>> queue;
     std::size_t capacity;
     bool stopping = false;
+    bool joined = false;
     std::vector<std::thread> workers;
 };
 

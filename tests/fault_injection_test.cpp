@@ -292,5 +292,76 @@ TEST(FaultCampaign, PoisonedConfigDoesNotKillCampaign)
     EXPECT_GT(summaries[1].testRetriesUsed, 0u);
 }
 
+TEST(FaultFlow, CrashedConfirmationDrawsOnCrashRetryBudget)
+{
+    // Regression: a confirmation re-execution that crashed used to
+    // read as "violation not reproduced", silently consuming one of
+    // the K discriminating runs and biasing genuine violations toward
+    // the transient-corruption verdict. A crashed confirmation run
+    // must instead draw on the crash-retry budget and be replaced by
+    // a fresh attempt; only an exhausted budget abandons confirmation,
+    // and then the degradation note says so.
+    TestConfig tc = parseConfigName("x86-7-200-32 (16 words/line)");
+    Rng seeder(1);
+    bool exercised = false;
+    for (unsigned t = 0; t < 8 && !exercised; ++t) {
+        const TestProgram program = generateTest(tc, seeder());
+        FlowConfig cfg;
+        cfg.iterations = 128;
+        cfg.exec = bareMetalConfig(Isa::X86);
+        cfg.exec.bug = BugKind::LsqNoSquash;
+        cfg.exec.bugProbability = 0.2;
+        cfg.seed = seeder();
+        cfg.fault.bitFlipRate = 0.01;
+        cfg.recovery.confirmationRuns = 4;
+
+        const FlowResult baseline = ValidationFlow(cfg).runTest(program);
+        // Want a genuine, reproducible violation (confirmed in the
+        // clean-platform baseline) with a crash-free test loop so the
+        // crash drill lands exactly on the first confirmation run.
+        if (!baseline.fault.confirmedViolations ||
+            baseline.platformCrashes)
+            continue;
+        exercised = true;
+
+        // The platform serves the test loop (cfg.iterations runs)
+        // first, then confirmation: run iterations+1 is the first
+        // confirmation re-execution.
+        FlowConfig crashing = cfg;
+        crashing.exec.crashOnRun = cfg.iterations + 1;
+
+        // Budget available: the crashed attempt is retried and the
+        // violation is still confirmed — no false transient.
+        crashing.recovery.crashRetries = 2;
+        const FlowResult retried =
+            ValidationFlow(crashing).runTest(program);
+        EXPECT_EQ(retried.violatingSignatures,
+                  baseline.violatingSignatures);
+        EXPECT_GE(retried.fault.crashRetries, 1u);
+        EXPECT_EQ(retried.fault.confirmedViolations,
+                  retried.violatingSignatures);
+        EXPECT_EQ(retried.fault.transientViolations, 0u);
+
+        // Budget exhausted: confirmation is abandoned, the violation
+        // is reclassified, and the note records the crash instead of
+        // passing the reclassification off as a clean non-reproduction.
+        crashing.recovery.crashRetries = 0;
+        const FlowResult starved =
+            ValidationFlow(crashing).runTest(program);
+        EXPECT_EQ(starved.fault.confirmedViolations, 0u);
+        // Reclassification removes the signatures from the violation
+        // count and books them as transients instead.
+        EXPECT_EQ(starved.violatingSignatures, 0u);
+        EXPECT_EQ(starved.fault.transientViolations,
+                  baseline.violatingSignatures);
+        EXPECT_NE(starved.fault.note.find(
+                      "confirmation cut short by a platform crash"),
+                  std::string::npos)
+            << "note: " << starved.fault.note;
+    }
+    EXPECT_TRUE(exercised)
+        << "no confirmed crash-free baseline in 8 seeds";
+}
+
 } // anonymous namespace
 } // namespace mtc

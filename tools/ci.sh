@@ -2,10 +2,12 @@
 # Tier-1 CI: build + ctest twice — once plain, once under ASan+UBSan
 # (the MTC_SANITIZE CMake option) — then re-run both suites with the
 # parallel engine active (MTC_THREADS=4) so scheduling bugs and
-# pool-shutdown races can't hide behind the serial default, and
-# finally scaling- and hotpath-bench smoke runs so the BENCH_*.json
-# emitters can't silently rot (the hotpath smoke also proves the
-# arena-reusing hot path stays bit-identical to per-iteration arenas).
+# pool-shutdown races can't hide behind the serial default, then
+# scaling- and hotpath-bench smoke runs so the BENCH_*.json emitters
+# can't silently rot (the hotpath smoke also proves the arena-reusing
+# hot path stays bit-identical to per-iteration arenas), and finally a
+# kill-and-resume smoke: a journaled campaign is SIGKILLed mid-run and
+# resumed, and its summary must match an uninterrupted run verbatim.
 # Usage: tools/ci.sh [jobs]
 set -euo pipefail
 
@@ -43,4 +45,38 @@ echo "=== bench/hotpath --smoke ==="
 ./build/bench/hotpath --smoke
 grep -q '"deterministic": true' BENCH_hotpath.smoke.json
 
-echo "=== CI OK: plain, sanitized, and parallel suites all green ==="
+# Kill-and-resume smoke: run a journaled campaign, SIGKILL it mid-run
+# (tearing whatever record was in flight), resume from the journal,
+# and require the resumed summary to match an uninterrupted run line
+# for line — exit code included. Fault injection is on so the
+# quarantine/confirmation stats are part of the comparison; the
+# verdict exit codes (2 violation / 3 corruption-only) are expected
+# outcomes, a config error (1) is not.
+resume_smoke() {
+    local bin="$1" tag="$2" kill_after="$3"
+    local j="build/ci_resume_${tag}.journal"
+    local base="build/ci_resume_${tag}.base.txt"
+    local resumed="build/ci_resume_${tag}.resumed.txt"
+    local args=(--config x86-4-100-64 --tests 16 --iterations 2048
+                --seed 7 --fault-bitflip 0.005)
+    rm -f "${j}" "${base}" "${resumed}"
+    local base_rc=0 resume_rc=0
+    "${bin}" "${args[@]}" > "${base}" || base_rc=$?
+    [ "${base_rc}" -ne 1 ]
+    timeout -s KILL "${kill_after}" \
+        "${bin}" "${args[@]}" --journal "${j}" > /dev/null || true
+    "${bin}" "${args[@]}" --journal "${j}" --resume \
+        > "${resumed}" || resume_rc=$?
+    [ "${resume_rc}" -eq "${base_rc}" ]
+    grep -q "resume:" "${resumed}"
+    diff <(grep -E "campaign summary|fault summary" "${base}") \
+         <(grep -E "campaign summary|fault summary" "${resumed}")
+    rm -f "${j}" "${base}" "${resumed}"
+}
+
+echo "=== kill-and-resume smoke (plain) ==="
+resume_smoke ./build/tools/mtc_validate plain 2
+echo "=== kill-and-resume smoke (asan) ==="
+resume_smoke ./build-asan/tools/mtc_validate asan 4
+
+echo "=== CI OK: plain, sanitized, parallel, and resume suites all green ==="

@@ -26,6 +26,11 @@
  *     --fault-seed N    fault injector seed                   [0xfa017]
  *     --confirm-k N     K-re-execution confirmation budget    [2]
  *     --crash-retries N reseeded retries after platform crash [0]
+ *     --journal PATH    write-ahead unit journal (crash-safe)
+ *     --resume          replay completed units from --journal
+ *     --test-timeout-ms N  per-test watchdog deadline          [off]
+ *     --error-budget N  circuit breaker: stop after N errors  [off]
+ *     --stall-after N   drill: wedge every run after N steps  [off]
  *     --verbose         per-test detail rows
  *     --help
  *
@@ -39,18 +44,26 @@
  *      confirmed
  *   4  platform crash (protocol deadlock) without a confirmed
  *      violation
+ *   5  hang — the watchdog reclaimed at least one wedged test
+ *   6  circuit breaker tripped — the campaign stopped early
  */
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "harness/campaign.h"
+#include "harness/campaign_journal.h"
 #include "harness/validation_flow.h"
+#include "harness/watchdog.h"
 #include "sim/coherent_executor.h"
 #include "sim/executor.h"
 #include "support/table.h"
@@ -83,6 +96,26 @@ struct Options
 
     /** Collective-checker shard size; 0 = unsharded. */
     std::size_t shardSize = 0;
+
+    /** Write-ahead journal path; empty = no journal. Defaults to
+     * MTC_JOURNAL when set. */
+    std::string journalPath;
+
+    /** Replay completed units from the journal instead of re-running
+     * them (requires --journal). */
+    bool resume = false;
+
+    /** Per-test watchdog deadline in ms; 0 = no watchdog. Defaults to
+     * MTC_TEST_TIMEOUT_MS when set. */
+    std::uint64_t testTimeoutMs = 0;
+
+    /** Circuit breaker: stop the campaign after this many error
+     * events (hangs, crashes, quarantines); 0 = never. */
+    unsigned errorBudget = 0;
+
+    /** Liveness drill: wedge every platform run after N scheduler
+     * steps (0 = off). Pair with --test-timeout-ms. */
+    std::uint64_t stallAfterSteps = 0;
 
     bool verbose = false;
 
@@ -118,14 +151,33 @@ usage()
         "  --shard-size N    collective-checker shard size; each shard\n"
         "                    is checked independently at the price of\n"
         "                    one extra complete sort; 0 = unsharded [0]\n"
+        "  --journal PATH    append each completed test to a crash-safe\n"
+        "                    write-ahead journal at PATH\n"
+        "  --resume          replay tests already in the journal and\n"
+        "                    run only what is missing; the final\n"
+        "                    summary is bit-identical to an\n"
+        "                    uninterrupted run (requires --journal)\n"
+        "  --test-timeout-ms N  watchdog: cancel any test attempt\n"
+        "                    still running after N ms and report it\n"
+        "                    hung; 0 = no watchdog [0]\n"
+        "  --error-budget N  circuit breaker: once hangs + crashes +\n"
+        "                    quarantined signatures reach N, skip the\n"
+        "                    remaining tests; 0 = never [0]\n"
+        "  --stall-after N   liveness drill: wedge every platform run\n"
+        "                    after N scheduler steps (use with\n"
+        "                    --test-timeout-ms to exercise the\n"
+        "                    watchdog); 0 = off [0]\n"
         "  --profile         per-phase wall-clock breakdown (execute,\n"
         "                    encode, accumulate, sort-unique, decode,\n"
         "                    check, ...) aggregated over the campaign\n"
         "  --verbose         per-test detail rows\n"
         "env: MTC_THREADS sets the --threads default (0 = all hardware\n"
-        "     threads); results are identical at any thread count\n"
+        "     threads); results are identical at any thread count.\n"
+        "     MTC_JOURNAL and MTC_TEST_TIMEOUT_MS set the --journal\n"
+        "     and --test-timeout-ms defaults\n"
         "exit codes: 0 clean, 1 config error, 2 confirmed violation,\n"
-        "            3 corruption only, 4 platform crash\n";
+        "            3 corruption only, 4 platform crash, 5 hang,\n"
+        "            6 circuit breaker tripped\n";
 }
 
 /** Strict numeric flag values: errors name the flag, not "stod". */
@@ -174,10 +226,19 @@ Options
 parseArgs(int argc, char **argv)
 {
     Options opt;
-    // Environment default first so an explicit --threads flag wins.
+    // Environment defaults first so explicit flags win.
     if (const char *env = std::getenv("MTC_THREADS"))
         opt.threads = static_cast<unsigned>(
             parseEnvCount("MTC_THREADS", env, true));
+    if (const char *env = std::getenv("MTC_JOURNAL")) {
+        if (*env == '\0')
+            throw ConfigError(
+                "MTC_JOURNAL is set but empty; unset it or give a path");
+        opt.journalPath = env;
+    }
+    if (const char *env = std::getenv("MTC_TEST_TIMEOUT_MS"))
+        opt.testTimeoutMs =
+            parseEnvCount("MTC_TEST_TIMEOUT_MS", env, true);
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         auto next = [&]() -> std::string {
@@ -228,6 +289,19 @@ parseArgs(int argc, char **argv)
         else if (arg == "--shard-size")
             opt.shardSize =
                 static_cast<std::size_t>(parseCount(arg, next()));
+        else if (arg == "--journal") {
+            opt.journalPath = next();
+            if (opt.journalPath.empty())
+                throw ConfigError("--journal expects a non-empty path");
+        } else if (arg == "--resume")
+            opt.resume = true;
+        else if (arg == "--test-timeout-ms")
+            opt.testTimeoutMs = parseCount(arg, next());
+        else if (arg == "--error-budget")
+            opt.errorBudget =
+                static_cast<unsigned>(parseCount(arg, next()));
+        else if (arg == "--stall-after")
+            opt.stallAfterSteps = parseCount(arg, next());
         else if (arg == "--verbose")
             opt.verbose = true;
         else if (arg == "--profile")
@@ -239,6 +313,9 @@ parseArgs(int argc, char **argv)
             throw ConfigError("unknown option: " + arg);
         }
     }
+    if (opt.resume && opt.journalPath.empty())
+        throw ConfigError(
+            "--resume needs a journal (--journal PATH or MTC_JOURNAL)");
     return opt;
 }
 
@@ -264,6 +341,7 @@ makeFlow(const Options &opt, const TestConfig &cfg)
         coh.bug = bug;
         coh.bugProbability = opt.bugProb;
         coh.cacheLines = opt.cacheLines;
+        coh.stallAfterSteps = opt.stallAfterSteps;
         flow.coherent = coh;
         return flow;
     }
@@ -287,7 +365,51 @@ makeFlow(const Options &opt, const TestConfig &cfg)
     flow.exec.bug = bug;
     flow.exec.bugProbability = opt.bugProb;
     flow.exec.timing.cacheLines = opt.cacheLines;
+    flow.exec.stallAfterSteps = opt.stallAfterSteps;
     return flow;
+}
+
+/**
+ * Journal identity of a CLI campaign: every option that shapes the
+ * deterministic result stream. Threads, the watchdog deadline and the
+ * error budget are excluded on purpose — a resume may legitimately
+ * use different operational knobs (more cores, a longer deadline).
+ */
+CampaignJournal::Identity
+cliIdentity(const Options &opt, const TestConfig &cfg)
+{
+    ByteWriter w;
+    w.str(cfg.name());
+    w.u32(opt.tests);
+    w.u64(opt.iterations);
+    w.u64(opt.seed);
+    w.str(opt.platform);
+    w.u8(opt.model ? 1 : 0);
+    if (opt.model)
+        w.u8(static_cast<std::uint8_t>(*opt.model));
+    w.str(opt.bug);
+    w.f64(opt.bugProb);
+    w.u32(opt.cacheLines);
+    w.f64(opt.fault.bitFlipRate);
+    w.f64(opt.fault.tornStoreRate);
+    w.f64(opt.fault.truncationRate);
+    w.f64(opt.fault.dropRate);
+    w.f64(opt.fault.duplicateRate);
+    w.u64(opt.fault.seed);
+    w.u32(opt.recovery.confirmationRuns);
+    w.u64(opt.recovery.confirmationIterations);
+    w.u32(opt.recovery.crashRetries);
+    w.u64(opt.shardSize);
+    w.u64(opt.stallAfterSteps);
+
+    CampaignJournal::Identity identity;
+    identity.digest = fnv1a64(w.bytes().data(), w.bytes().size());
+    identity.description = "config=" + cfg.name() +
+        " platform=" + opt.platform +
+        " tests=" + std::to_string(opt.tests) +
+        " iterations=" + std::to_string(opt.iterations) +
+        " seed=" + std::to_string(opt.seed);
+    return identity;
 }
 
 } // anonymous namespace
@@ -312,19 +434,119 @@ main(int argc, char **argv)
         TablePrinter table({"test", "unique sigs", "bad sigs",
                             "assertions", "crash", "check (ms)"});
 
+        // Pre-derive every test's seeds from the canonical serial
+        // sequence (two draws per test, in test order — exactly the
+        // draws the pre-journal runner made), so a resumed campaign
+        // regenerates the very same programs for the units it still
+        // has to run.
         Rng seeder(opt.seed);
+        std::vector<std::pair<std::uint64_t, std::uint64_t>> seeds;
+        seeds.reserve(opt.tests);
+        for (unsigned t = 0; t < opt.tests; ++t) {
+            const std::uint64_t gen_seed = seeder();
+            const std::uint64_t flow_seed = seeder();
+            seeds.emplace_back(gen_seed, flow_seed);
+        }
+
+        std::unique_ptr<CampaignJournal> journal;
+        if (!opt.journalPath.empty()) {
+            journal = std::make_unique<CampaignJournal>(
+                opt.journalPath, cliIdentity(opt, cfg), opt.resume);
+            if (opt.resume) {
+                std::cout << "resume: " << journal->replayedUnits()
+                          << " completed tests replayed from "
+                          << opt.journalPath;
+                if (journal->droppedBytes())
+                    std::cout << " (" << journal->droppedBytes()
+                              << " torn tail bytes discarded)";
+                std::cout << "\n";
+            }
+        }
+        std::unique_ptr<Watchdog> watchdog;
+        if (opt.testTimeoutMs)
+            watchdog = std::make_unique<Watchdog>();
+
         std::uint64_t total_unique = 0, total_bad = 0, total_assert = 0;
         std::uint64_t quarantined = 0, transient = 0, confirmed = 0;
         std::uint64_t injected_events = 0;
         unsigned crashes = 0, flagged = 0;
+        unsigned hung_tests = 0, skipped_tests = 0;
+        unsigned error_events = 0;
+        bool tripped = false;
         std::string witness, fault_note;
         PhaseBreakdown profile;
 
         for (unsigned t = 0; t < opt.tests; ++t) {
-            const TestProgram program = generateTest(cfg, seeder());
-            flow_cfg.seed = seeder();
-            ValidationFlow flow(flow_cfg);
-            const FlowResult r = flow.runTest(program);
+            // Circuit breaker: a platform this unhealthy will not get
+            // healthier on the remaining tests — stop burning time.
+            if (opt.errorBudget && error_events >= opt.errorBudget) {
+                tripped = true;
+                skipped_tests = opt.tests - t;
+                break;
+            }
+
+            FlowResult r;
+            bool hung = false;
+            const UnitRecord *replayed = journal
+                ? journal->find(cfg.name(), t)
+                : nullptr;
+            if (replayed) {
+                if (replayed->genSeed != seeds[t].first ||
+                    replayed->flowSeed != seeds[t].second) {
+                    throw ConfigError(
+                        "--resume: journal record for test " +
+                        std::to_string(t) +
+                        " carries different seeds than this campaign "
+                        "derives — the journal belongs to another run");
+                }
+                r = replayed->outcome.result;
+                hung = replayed->outcome.status == TestStatus::Hung;
+            } else {
+                const TestProgram program =
+                    generateTest(cfg, seeds[t].first);
+                flow_cfg.seed = seeds[t].second;
+                CancellationToken token;
+                std::optional<Watchdog::Guard> deadline;
+                if (watchdog) {
+                    flow_cfg.cancel = &token;
+                    deadline.emplace(watchdog->watch(
+                        token,
+                        std::chrono::milliseconds(opt.testTimeoutMs)));
+                }
+                try {
+                    ValidationFlow flow(flow_cfg);
+                    r = flow.runTest(program);
+                } catch (const TestHungError &err) {
+                    hung = true;
+                    std::cerr << "mtc_validate: test " << t
+                              << " hung: " << err.what() << "\n";
+                }
+                flow_cfg.cancel = nullptr;
+                if (journal) {
+                    UnitRecord record;
+                    record.configName = cfg.name();
+                    record.testIndex = t;
+                    record.genSeed = seeds[t].first;
+                    record.flowSeed = seeds[t].second;
+                    record.outcome.result = r;
+                    record.outcome.result.executions.clear();
+                    record.outcome.ok = !hung;
+                    record.outcome.status =
+                        hung ? TestStatus::Hung : TestStatus::Ok;
+                    if (hung)
+                        record.outcome.hungAttempts = 1;
+                    journal->append(record);
+                }
+            }
+
+            if (hung) {
+                ++hung_tests;
+                ++error_events;
+                continue;
+            }
+            error_events += static_cast<unsigned>(
+                (r.platformCrashes ? 1 : 0) +
+                r.fault.quarantinedCount());
 
             total_unique += r.uniqueSignatures;
             total_bad += r.violatingSignatures;
@@ -361,6 +583,18 @@ main(int argc, char **argv)
                   << " runtime assertions, " << crashes
                   << " platform crashes, " << total_unique
                   << " unique interleavings total\n";
+
+        if (hung_tests) {
+            std::cout << "watchdog: " << hung_tests
+                      << " tests hung and were reclaimed (deadline "
+                      << opt.testTimeoutMs << " ms)\n";
+        }
+        if (tripped) {
+            std::cout << "circuit breaker: tripped after "
+                      << error_events << " error events (budget "
+                      << opt.errorBudget << "), " << skipped_tests
+                      << " tests skipped\n";
+        }
 
         if (opt.fault.enabled()) {
             std::cout << "fault summary: " << injected_events
@@ -404,10 +638,14 @@ main(int argc, char **argv)
 
         // Distinct exit codes: a regression farm must tell "the DUT
         // violated its MCM" from "the readout path glitched" from
-        // "the platform wedged".
+        // "the platform wedged" from "the campaign gave up early".
         const bool violation = total_bad || total_assert;
         if (violation)
             return 2;
+        if (tripped)
+            return 6;
+        if (hung_tests)
+            return 5;
         if (crashes)
             return 4;
         if (quarantined || transient)
