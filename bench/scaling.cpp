@@ -23,6 +23,13 @@
  * bit-identical in both modes; the JSON records the overhead as a
  * fraction of baseline wall-clock.
  *
+ * With --sandbox a fourth sweep prices the out-of-process execution
+ * sandbox: the same campaign dispatched to pre-forked worker
+ * processes over framed pipe IPC at several worker counts. The
+ * overhead fraction against the serial in-process baseline and its
+ * per-unit amortization (fork is paid once, dispatch per unit) land
+ * in the JSON; summaries must stay bit-identical at every count.
+ *
  * Wall-clock speedup is bounded by the machine: the JSON records
  * hardwareConcurrency so a 1-core CI container's speedup of ~1.0 is
  * read as "no cores", not "no scaling".
@@ -129,13 +136,16 @@ int
 main(int argc, char **argv)
 {
     bool smoke = false;
+    bool sandbox = false;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--smoke") {
             smoke = true;
+        } else if (arg == "--sandbox") {
+            sandbox = true;
         } else {
             std::cerr << "scaling: unknown option " << arg
-                      << " (only --smoke)\n";
+                      << " (only --smoke and --sandbox)\n";
             return 1;
         }
     }
@@ -277,6 +287,54 @@ main(int argc, char **argv)
         baseline_ms > 0.0 ? (journal_ms - baseline_ms) / baseline_ms
                           : 0.0;
 
+    // --- Sandbox dispatch overhead (--sandbox) -----------------------
+    // Methodology: the exact serial baseline campaign re-run with
+    // ExecutionMode::Sandboxed — every unit shipped to a pre-forked
+    // worker process over framed pipes — at several worker counts.
+    // The fleet fork is paid once per campaign, the request/response
+    // frames per unit, so the JSON records both the total overhead
+    // fraction against the in-process baseline and its per-unit
+    // amortization. Summaries must stay bit-identical at every count
+    // or the sandbox is broken, not just slow.
+    struct SandboxPoint
+    {
+        unsigned workers = 1;
+        double ms = 0.0;
+        double overheadFraction = 0.0;
+        double dispatchMsPerUnit = 0.0;
+        bool deterministic = true;
+    };
+    std::vector<SandboxPoint> sandbox_points;
+    if (sandbox) {
+        const std::size_t unit_count = configs.size() * tests;
+        const std::vector<unsigned> worker_counts =
+            smoke ? std::vector<unsigned>{1, 2}
+                  : std::vector<unsigned>{1, 2, 4, 8};
+        for (unsigned workers : worker_counts) {
+            CampaignConfig cfg = base;
+            cfg.mode = ExecutionMode::Sandboxed;
+            cfg.threads = workers;
+            WallTimer timer;
+            timer.start();
+            const auto summaries = runCampaign(configs, cfg);
+            timer.stop();
+
+            SandboxPoint point;
+            point.workers = workers;
+            point.ms = timer.milliseconds();
+            point.overheadFraction = baseline_ms > 0.0
+                ? (point.ms - baseline_ms) / baseline_ms
+                : 0.0;
+            point.dispatchMsPerUnit = unit_count
+                ? (point.ms - baseline_ms) /
+                    static_cast<double>(unit_count)
+                : 0.0;
+            point.deterministic =
+                summariesMatch(summaries, baseline_summaries);
+            sandbox_points.push_back(point);
+        }
+    }
+
     // --- Report ------------------------------------------------------
     TablePrinter table({"threads", "shard", "ms", "speedup",
                         "collective work", "complete sorts",
@@ -310,8 +368,26 @@ main(int argc, char **argv)
                                         : "DIVERGED")
               << "\n";
 
+    if (!sandbox_points.empty()) {
+        std::cout << "\nSandbox dispatch overhead (vs serial "
+                     "in-process baseline):\n";
+        TablePrinter sbx({"workers", "ms", "overhead", "ms/unit",
+                          "deterministic"});
+        for (const SandboxPoint &p : sandbox_points) {
+            sbx.addRow({TablePrinter::fmt(std::uint64_t(p.workers)),
+                        TablePrinter::fmt(p.ms, 1),
+                        TablePrinter::fmt(100.0 * p.overheadFraction,
+                                          1) + "%",
+                        TablePrinter::fmt(p.dispatchMsPerUnit, 3),
+                        p.deterministic ? "yes" : "NO"});
+        }
+        sbx.print(std::cout);
+    }
+
     bool all_deterministic = journal_deterministic;
     for (const SweepPoint &p : points)
+        all_deterministic = all_deterministic && p.deterministic;
+    for (const SandboxPoint &p : sandbox_points)
         all_deterministic = all_deterministic && p.deterministic;
     if (!all_deterministic)
         std::cerr << "scaling: DETERMINISM VIOLATION — parallel "
@@ -347,8 +423,35 @@ main(int argc, char **argv)
          << jsonEscapeless(journal_overhead) << ",\n"
          << "    \"deterministic\": "
          << (journal_deterministic ? "true" : "false") << "\n"
-         << "  },\n"
-         << "  \"sweep\": [\n";
+         << "  },\n";
+    if (!sandbox_points.empty()) {
+        json << "  \"sandbox\": {\n"
+             << "    \"methodology\": \"serial baseline campaign "
+                "re-run with ExecutionMode::Sandboxed: every unit "
+                "dispatched to a pre-forked worker process over "
+                "length+FNV-1a framed pipes; overheadFraction is "
+                "(sandboxMs - baselineMs) / baselineMs against the "
+                "in-process serial baseline, dispatchMsPerUnit "
+                "amortizes the same delta over all units (fleet fork "
+                "paid once, one request/response frame pair per "
+                "unit); summaries must stay bit-identical at every "
+                "worker count\",\n"
+             << "    \"sweep\": [\n";
+        for (std::size_t i = 0; i < sandbox_points.size(); ++i) {
+            const SandboxPoint &p = sandbox_points[i];
+            json << "      {\"workers\": " << p.workers
+                 << ", \"ms\": " << jsonEscapeless(p.ms)
+                 << ", \"overheadFraction\": "
+                 << jsonEscapeless(p.overheadFraction)
+                 << ", \"dispatchMsPerUnit\": "
+                 << jsonEscapeless(p.dispatchMsPerUnit)
+                 << ", \"deterministic\": "
+                 << (p.deterministic ? "true" : "false") << "}"
+                 << (i + 1 < sandbox_points.size() ? "," : "") << "\n";
+        }
+        json << "    ]\n  },\n";
+    }
+    json << "  \"sweep\": [\n";
     for (std::size_t i = 0; i < points.size(); ++i) {
         const SweepPoint &p = points[i];
         json << "    {\"threads\": " << p.threads

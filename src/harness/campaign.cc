@@ -4,14 +4,17 @@
 #include <cerrno>
 #include <chrono>
 #include <cstdlib>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <utility>
 
 #include "harness/campaign_journal.h"
+#include "harness/sandbox.h"
 #include "harness/watchdog.h"
 #include "sim/executor.h"
 #include "support/log.h"
+#include "support/process.h"
 #include "support/rng.h"
 #include "support/thread_pool.h"
 #include "testgen/generator.h"
@@ -82,6 +85,19 @@ CampaignConfig::fromEnv(CampaignConfig defaults)
     if (const char *timeout = std::getenv("MTC_TEST_TIMEOUT_MS"))
         defaults.testTimeoutMs =
             parseEnvCount("MTC_TEST_TIMEOUT_MS", timeout, true);
+    // The sandbox knobs get the same strictness: MTC_SANDBOX=yes must
+    // fail fast, not silently run unsandboxed.
+    if (const char *sandbox = std::getenv("MTC_SANDBOX")) {
+        defaults.mode = parseEnvCount("MTC_SANDBOX", sandbox, true)
+            ? ExecutionMode::Sandboxed
+            : ExecutionMode::InProcess;
+    }
+    if (const char *mem = std::getenv("MTC_SANDBOX_MEM_MB"))
+        defaults.sandboxMemMb =
+            parseEnvCount("MTC_SANDBOX_MEM_MB", mem, true);
+    if (const char *cpu = std::getenv("MTC_SANDBOX_CPU_S"))
+        defaults.sandboxCpuS =
+            parseEnvCount("MTC_SANDBOX_CPU_S", cpu, true);
     return defaults;
 }
 
@@ -164,6 +180,10 @@ flowTemplate(const TestConfig &cfg, const CampaignConfig &campaign)
     // busy cores, not threads^2 oversubscription.
     flow_cfg.threads = 1;
     flow_cfg.exec.stallAfterSteps = campaign.stallAfterSteps;
+    flow_cfg.exec.stallIgnoresCancel = campaign.stallUncooperative;
+    flow_cfg.exec.dieAfterRuns = campaign.dieAfterRuns;
+    flow_cfg.exec.dieSignal = campaign.dieSignal;
+    flow_cfg.exec.leakAfterRuns = campaign.leakAfterRuns;
     return flow_cfg;
 }
 
@@ -274,6 +294,13 @@ campaignIdentity(const std::vector<TestConfig> &configs,
     w.u32(campaign.testRetries);
     w.u64(campaign.shardSize);
     w.u64(campaign.stallAfterSteps);
+    // The drills change the deterministic result stream; the
+    // execution mode and sandbox budgets do not (a journal written in
+    // one mode resumes in the other), so only the former are folded.
+    w.u8(campaign.stallUncooperative ? 1 : 0);
+    w.u64(campaign.dieAfterRuns);
+    w.u32(static_cast<std::uint32_t>(campaign.dieSignal));
+    w.u64(campaign.leakAfterRuns);
     w.u32(static_cast<std::uint32_t>(configs.size()));
     std::string names;
     for (const TestConfig &cfg : configs) {
@@ -392,6 +419,194 @@ summarize(const TestConfig &cfg, std::vector<TestOutcome> &outcomes,
     return summary;
 }
 
+/** One configuration's pre-derived execution plan. */
+struct ConfigPlan
+{
+    FlowConfig flow;
+    std::vector<TestPlan> tests;
+    bool setupOk = false;
+    std::string error;
+};
+
+/** "a; b" note concatenation that tolerates empty operands. */
+void
+appendNote(std::string &note, const std::string &addition)
+{
+    if (addition.empty())
+        return;
+    if (!note.empty())
+        note += "; ";
+    note += addition;
+}
+
+/**
+ * Sandboxed unit engine: dispatch every unit to the pre-forked worker
+ * fleet over framed pipes. The parent keeps the journal, the breaker
+ * and the outcome slots; the children run runPlannedTest and nothing
+ * else. Determinism is preserved exactly as in the threaded engine —
+ * pre-derived seeds, per-unit slots, in-order aggregation — so the
+ * summary is bit-identical to in-process at any worker count.
+ *
+ * A worker loss is charged like an in-flow platform crash: retried on
+ * a fresh worker while the unit's crash budget
+ * (recovery.crashRetries) lasts, every consumed death merged into the
+ * final outcome's platformCrashes + fault.crashRetries (which feed
+ * the violation count, the breaker, and the CLI's crash exit code),
+ * and the child's last-gasp crash report attached to the fault note.
+ * A hard-deadline SIGKILL (non-cooperative hang) is recorded as Hung
+ * without retry: the child's own watchdog and in-child retries
+ * already had their chance — a unit that wedges past them would only
+ * wedge the respawn too.
+ */
+void
+runUnitsSandboxed(
+    const std::vector<TestConfig> &configs,
+    const CampaignConfig &campaign,
+    const std::vector<ConfigPlan> &plans,
+    const std::vector<std::pair<std::size_t, std::size_t>> &units,
+    std::vector<std::vector<TestOutcome>> &outcomes,
+    const std::function<bool(std::size_t)> &resolve_without_running,
+    const std::function<void(std::size_t)> &record_outcome)
+{
+    SandboxConfig sandbox;
+    sandbox.workers = ThreadPool::resolveThreads(campaign.threads);
+    sandbox.memLimitMb = campaign.sandboxMemMb;
+    sandbox.cpuLimitS = campaign.sandboxCpuS;
+    // 2x the per-attempt watchdog deadline, per attempt the child may
+    // legitimately burn: the cooperative path always wins the race
+    // when it works at all, and the SIGKILL bound stays within the
+    // documented 2x-timeout reclaim guarantee.
+    if (campaign.testTimeoutMs) {
+        sandbox.hardDeadlineMs = 2 * campaign.testTimeoutMs *
+            (campaign.testRetries + 1);
+    }
+
+    // Child-side state, materialized per worker process after the
+    // fork (a watchdog thread must never exist in the forking
+    // parent).
+    struct ChildRuntime
+    {
+        std::unique_ptr<Watchdog> watchdog;
+    };
+    auto child_runtime = std::make_shared<ChildRuntime>();
+
+    SandboxPool::WorkerFn worker_fn =
+        [&configs, &plans, &campaign, child_runtime](
+            const std::vector<std::uint8_t> &request,
+            const WorkerEnv &env) -> std::vector<std::uint8_t> {
+        ByteReader reader(request);
+        const std::size_t c = reader.u32();
+        const std::size_t t = reader.u32();
+
+        FlowConfig flow = plans[c].flow;
+        if (env.workerIndex != 0 || env.generation != 0) {
+            // The hard-failure drills arm only the initial fleet's
+            // first worker: one observable containment event, then
+            // the retried unit completes on an unarmed respawn.
+            flow.exec.dieAfterRuns = 0;
+            flow.exec.leakAfterRuns = 0;
+        }
+        if (campaign.testTimeoutMs && !child_runtime->watchdog)
+            child_runtime->watchdog = std::make_unique<Watchdog>();
+
+        setCrashContext(configs[c].name() + "#" + std::to_string(t),
+                        plans[c].tests[t].genSeed);
+        UnitRecord record;
+        record.configName = configs[c].name();
+        record.testIndex = static_cast<std::uint32_t>(t);
+        record.genSeed = plans[c].tests[t].genSeed;
+        record.flowSeed = plans[c].tests[t].flowSeed;
+        record.outcome = runPlannedTest(
+            configs[c], flow, plans[c].tests[t], campaign,
+            static_cast<unsigned>(t), child_runtime->watchdog.get());
+        clearCrashContext();
+        record.outcome.result.executions.clear();
+        return encodeUnitRecord(record);
+    };
+
+    SandboxPool pool(sandbox, worker_fn);
+
+    std::vector<unsigned> crash_attempts(units.size(), 0);
+    std::vector<std::string> crash_notes(units.size());
+
+    const SandboxPool::RequestFn request_fn =
+        [&](std::size_t u) -> std::optional<std::vector<std::uint8_t>> {
+        if (resolve_without_running(u))
+            return std::nullopt;
+        const auto [c, t] = units[u];
+        ByteWriter w;
+        w.u32(static_cast<std::uint32_t>(c));
+        w.u32(static_cast<std::uint32_t>(t));
+        return w.bytes();
+    };
+
+    const SandboxPool::ResultFn result_fn =
+        [&](std::size_t u, const std::vector<std::uint8_t> &payload) {
+        const auto [c, t] = units[u];
+        UnitRecord record = decodeUnitRecord(payload);
+        const TestPlan &plan = plans[c].tests[t];
+        if (record.configName != configs[c].name() ||
+            record.testIndex != t || record.genSeed != plan.genSeed ||
+            record.flowSeed != plan.flowSeed) {
+            throw SandboxError(
+                "sandbox: worker response does not match the "
+                "dispatched unit (test " + std::to_string(t) + " of " +
+                configs[c].name() + ")");
+        }
+        TestOutcome &slot = outcomes[c][t];
+        slot = record.outcome;
+        if (crash_attempts[u]) {
+            // Deaths consumed on the way to this success are charged
+            // exactly like in-flow platform crashes.
+            slot.result.platformCrashes += crash_attempts[u];
+            slot.result.fault.crashRetries += crash_attempts[u];
+            appendNote(slot.result.fault.note,
+                       "sandbox: " + crash_notes[u]);
+        }
+        record_outcome(u);
+    };
+
+    const SandboxPool::LossFn loss_fn =
+        [&](std::size_t u, const WorkerLoss &loss) -> bool {
+        const auto [c, t] = units[u];
+        TestOutcome &slot = outcomes[c][t];
+
+        if (loss.kind == WorkerLossKind::HardKill) {
+            slot = TestOutcome{};
+            slot.status = TestStatus::Hung;
+            slot.ok = false;
+            slot.hungAttempts = 1;
+            slot.result.fault.note = "sandbox: " + loss.describe();
+            warn("test " + std::to_string(t) + " of " +
+                 configs[c].name() +
+                 " hung non-cooperatively; worker reclaimed by "
+                 "SIGKILL");
+            record_outcome(u);
+            return false;
+        }
+
+        ++crash_attempts[u];
+        appendNote(crash_notes[u], loss.describe());
+        warn("test " + std::to_string(t) + " of " + configs[c].name() +
+             " lost its worker (death " +
+             std::to_string(crash_attempts[u]) + "): " +
+             loss.describe());
+        if (crash_attempts[u] <= campaign.recovery.crashRetries)
+            return true; // retry on the freshly respawned worker
+
+        slot = TestOutcome{};
+        slot.status = TestStatus::Failed;
+        slot.ok = false;
+        slot.result.platformCrashes = crash_attempts[u];
+        slot.result.fault.crashRetries = campaign.recovery.crashRetries;
+        slot.result.fault.note = "sandbox: " + crash_notes[u];
+        record_outcome(u);
+        return false;
+    };
+
+    pool.run(units.size(), request_fn, result_fn, loss_fn);
+}
+
 /**
  * Shared engine of runConfig and runCampaign. Plans every
  * configuration up front so the whole campaign is one flat list of
@@ -409,13 +624,6 @@ std::vector<ConfigSummary>
 runUnits(const std::vector<TestConfig> &configs,
          const CampaignConfig &campaign, bool propagate_setup_errors)
 {
-    struct ConfigPlan
-    {
-        FlowConfig flow;
-        std::vector<TestPlan> tests;
-        bool setupOk = false;
-        std::string error;
-    };
     std::vector<ConfigPlan> plans(configs.size());
     std::vector<std::pair<std::size_t, std::size_t>> units;
     for (std::size_t c = 0; c < configs.size(); ++c) {
@@ -448,8 +656,15 @@ runUnits(const std::vector<TestConfig> &configs,
             campaign.journalPath, campaignIdentity(configs, campaign),
             campaign.resume);
     }
+    // Fork-before-threads: in sandboxed mode the parent spawns NO
+    // watchdog (and, below, no thread pool) — the fleet is forked
+    // from a single-threaded parent, and each worker child lazily
+    // builds its own watchdog after the fork. The parent-side reclaim
+    // for non-cooperative hangs is the sandbox's hard-deadline
+    // SIGKILL, not a thread.
     std::unique_ptr<Watchdog> watchdog;
-    if (campaign.testTimeoutMs)
+    if (campaign.testTimeoutMs &&
+        campaign.mode == ExecutionMode::InProcess)
         watchdog = std::make_unique<Watchdog>();
 
     // One breaker per configuration; value-initialized to zero.
@@ -460,13 +675,16 @@ runUnits(const std::vector<TestConfig> &configs,
             campaign.errorBudget;
     };
 
-    const auto run_unit = [&](std::size_t u) {
+    // True when unit u resolves without running — tripped breaker or
+    // journal replay — filling its slot. Shared by both execution
+    // modes so replay/skip semantics cannot drift between them.
+    const auto resolve_without_running = [&](std::size_t u) -> bool {
         const auto [c, t] = units[u];
         TestOutcome &slot = outcomes[c][t];
 
         if (config_tripped(c)) {
             slot.status = TestStatus::Skipped;
-            return;
+            return true;
         }
 
         if (journal) {
@@ -486,13 +704,16 @@ runUnits(const std::vector<TestConfig> &configs,
                 // campaign must not forget the poison it already saw.
                 error_events[c].fetch_add(breakerEvents(slot),
                                           std::memory_order_relaxed);
-                return;
+                return true;
             }
         }
+        return false;
+    };
 
-        slot = runPlannedTest(configs[c], plans[c].flow,
-                              plans[c].tests[t], campaign,
-                              static_cast<unsigned>(t), watchdog.get());
+    // Journal unit u's finished slot and charge its breaker.
+    const auto record_outcome = [&](std::size_t u) {
+        const auto [c, t] = units[u];
+        const TestOutcome &slot = outcomes[c][t];
         if (journal) {
             UnitRecord record;
             record.configName = configs[c].name();
@@ -507,13 +728,30 @@ runUnits(const std::vector<TestConfig> &configs,
                                   std::memory_order_relaxed);
     };
 
-    const unsigned workers = ThreadPool::resolveThreads(campaign.threads);
-    if (workers > 1 && units.size() > 1) {
-        ThreadPool pool(workers);
-        pool.parallelFor(units.size(), run_unit);
+    const auto run_unit = [&](std::size_t u) {
+        if (resolve_without_running(u))
+            return;
+        const auto [c, t] = units[u];
+        outcomes[c][t] = runPlannedTest(configs[c], plans[c].flow,
+                                        plans[c].tests[t], campaign,
+                                        static_cast<unsigned>(t),
+                                        watchdog.get());
+        record_outcome(u);
+    };
+
+    if (campaign.mode == ExecutionMode::Sandboxed) {
+        runUnitsSandboxed(configs, campaign, plans, units, outcomes,
+                          resolve_without_running, record_outcome);
     } else {
-        for (std::size_t u = 0; u < units.size(); ++u)
-            run_unit(u);
+        const unsigned workers =
+            ThreadPool::resolveThreads(campaign.threads);
+        if (workers > 1 && units.size() > 1) {
+            ThreadPool pool(workers);
+            pool.parallelFor(units.size(), run_unit);
+        } else {
+            for (std::size_t u = 0; u < units.size(); ++u)
+                run_unit(u);
+        }
     }
 
     std::vector<ConfigSummary> summaries;

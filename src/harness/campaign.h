@@ -32,6 +32,22 @@ enum class PlatformVariant : std::uint8_t
     Linux,     ///< paper's OS-interference runs
 };
 
+/** Where a campaign's (config, test) units execute. */
+enum class ExecutionMode : std::uint8_t
+{
+    /** Units run inside the campaign process (threads per
+     * CampaignConfig::threads). Fast, but a real crash in any unit
+     * kills the whole campaign. */
+    InProcess,
+
+    /** Units run in a pool of pre-forked sandbox worker processes
+     * (src/harness/sandbox.h); `threads` sets the worker count. A
+     * worker death is contained, classified, charged, and respawned.
+     * Summaries stay bit-identical to InProcess at any worker
+     * count. */
+    Sandboxed,
+};
+
 /** Campaign-wide knobs. */
 struct CampaignConfig
 {
@@ -115,12 +131,44 @@ struct CampaignConfig
      */
     std::uint64_t stallAfterSteps = 0;
 
+    /** Make the stall drill ignore cancellation (see
+     * ExecutorConfig::stallIgnoresCancel): only the sandbox's
+     * hard-deadline SIGKILL can then reclaim the worker. */
+    bool stallUncooperative = false;
+
+    /** Where units execute; see ExecutionMode. Operational knob: a
+     * journal written in one mode resumes in the other. */
+    ExecutionMode mode = ExecutionMode::InProcess;
+
+    /** Sandboxed mode: per-worker RLIMIT_AS budget in MB (0 =
+     * unlimited; ignored with a warning in sanitizer builds). */
+    std::uint64_t sandboxMemMb = 0;
+
+    /** Sandboxed mode: per-worker RLIMIT_CPU budget in seconds
+     * (0 = unlimited). */
+    std::uint64_t sandboxCpuS = 0;
+
+    /** Hard-crash drill forwarded to the platform (see
+     * ExecutorConfig::dieAfterRuns): the Nth run raises a real fatal
+     * signal. In sandboxed mode only the initial fleet's first worker
+     * arms it, so containment is observable exactly once. */
+    std::uint64_t dieAfterRuns = 0;
+
+    /** Signal the die drill raises (default 11 = SIGSEGV). */
+    int dieSignal = 11;
+
+    /** Allocation-bomb drill forwarded to the platform (see
+     * ExecutorConfig::leakAfterRuns); sandbox-gated like
+     * dieAfterRuns. */
+    std::uint64_t leakAfterRuns = 0;
+
     /**
      * Apply MTC_ITERATIONS / MTC_TESTS / MTC_SEED / MTC_THREADS /
-     * MTC_SHARD_SIZE / MTC_JOURNAL / MTC_TEST_TIMEOUT_MS overrides
+     * MTC_SHARD_SIZE / MTC_JOURNAL / MTC_TEST_TIMEOUT_MS /
+     * MTC_SANDBOX / MTC_SANDBOX_MEM_MB / MTC_SANDBOX_CPU_S overrides
      * (MTC_THREADS=0 means "use every hardware thread";
      * MTC_SHARD_SIZE=0 means unsharded; MTC_TEST_TIMEOUT_MS=0 means
-     * no watchdog).
+     * no watchdog; MTC_SANDBOX=0/1 selects in-process/sandboxed).
      *
      * @throws ConfigError if a set variable is non-numeric, or zero
      *         where zero is meaningless (iterations, tests), or empty

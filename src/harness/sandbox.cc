@@ -1,0 +1,476 @@
+#include "harness/sandbox.h"
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <deque>
+#include <new>
+#include <thread>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+
+#ifdef __linux__
+#include <sys/prctl.h>
+#endif
+
+#include "support/framing.h"
+#include "support/log.h"
+#include "support/process.h"
+
+namespace mtc
+{
+
+namespace
+{
+
+const char *
+lossSignalName(int sig)
+{
+    switch (sig) {
+      case SIGSEGV:
+        return "SIGSEGV";
+      case SIGABRT:
+        return "SIGABRT";
+      case SIGBUS:
+        return "SIGBUS";
+      case SIGFPE:
+        return "SIGFPE";
+      case SIGILL:
+        return "SIGILL";
+      case SIGKILL:
+        return "SIGKILL";
+      case SIGXCPU:
+        return "SIGXCPU";
+      default:
+        return "?";
+    }
+}
+
+void
+setNonBlocking(int fd)
+{
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags >= 0)
+        ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+} // anonymous namespace
+
+std::string
+WorkerLoss::describe() const
+{
+    std::string text;
+    switch (kind) {
+      case WorkerLossKind::Crash:
+        text = "worker killed by signal " + std::to_string(signal) +
+            " (" + lossSignalName(signal) + ")";
+        if (signal == SIGKILL)
+            text += " — CPU hard limit or external OOM kill";
+        break;
+      case WorkerLossKind::CpuBudget:
+        text = "worker exceeded its CPU budget (SIGXCPU)";
+        break;
+      case WorkerLossKind::OomBudget:
+        text = "worker exhausted its memory budget "
+               "(allocation failure)";
+        break;
+      case WorkerLossKind::ExitCode:
+        text = "worker exited with code " + std::to_string(exitCode);
+        break;
+      case WorkerLossKind::HardKill:
+        text = "worker SIGKILLed by the sandbox hard deadline "
+               "(non-cooperative hang)";
+        break;
+      case WorkerLossKind::Protocol:
+        text = "worker response stream violated framing";
+        break;
+    }
+    if (!crashNote.empty())
+        text += "; report: " + crashNote;
+    return text;
+}
+
+SandboxPool::SandboxPool(SandboxConfig cfg_arg, WorkerFn worker)
+    : cfg(cfg_arg), workerFn(std::move(worker))
+{
+    if (cfg.workers == 0)
+        cfg.workers = 1;
+    // A dead worker's request pipe raises SIGPIPE on the next
+    // dispatch; we want the EPIPE errno path (classified loss), not
+    // process death.
+    oldSigpipe = ::signal(SIGPIPE, SIG_IGN);
+    workers.resize(cfg.workers);
+    for (unsigned i = 0; i < cfg.workers; ++i)
+        spawnWorker(workers[i], i, 0);
+}
+
+SandboxPool::~SandboxPool()
+{
+    // Closing the request pipes is the shutdown signal: workers see
+    // EOF at their next frame boundary and _exit(0).
+    for (Worker &w : workers) {
+        if (w.reqFd >= 0) {
+            ::close(w.reqFd);
+            w.reqFd = -1;
+        }
+    }
+    const auto grace_end = std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(2000);
+    for (Worker &w : workers) {
+        if (w.pid < 0)
+            continue;
+        ChildExit status;
+        bool reaped = false;
+        while (std::chrono::steady_clock::now() < grace_end) {
+            try {
+                if (tryWaitChild(w.pid, status)) {
+                    reaped = true;
+                    break;
+                }
+            } catch (const ProcessError &) {
+                reaped = true; // nothing left to wait for
+                break;
+            }
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        }
+        if (!reaped) {
+            ::kill(w.pid, SIGKILL);
+            try {
+                waitChild(w.pid);
+            } catch (const ProcessError &) {
+            }
+        }
+        if (w.respFd >= 0)
+            ::close(w.respFd);
+        if (w.crashFd >= 0)
+            ::close(w.crashFd);
+    }
+    ::signal(SIGPIPE, oldSigpipe);
+}
+
+void
+SandboxPool::spawnWorker(Worker &slot, unsigned index,
+                         unsigned generation)
+{
+    Pipe req, resp, crash;
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+        throw SandboxError(std::string("sandbox fork failed: ") +
+                           std::strerror(errno));
+    }
+    if (pid == 0) {
+        // --- worker child ---
+#ifdef __linux__
+        // Die with the parent: a SIGKILLed campaign must not leave an
+        // orphan fleet burning CPU (the ci.sh kill-and-resume smoke
+        // does exactly that to the parent).
+        ::prctl(PR_SET_PDEATHSIG, SIGKILL);
+        if (::getppid() == 1)
+            ::_exit(kWorkerExitInternal); // parent raced away already
+#endif
+        // Drop every fd belonging to other workers: a sibling holding
+        // a duplicate of worker X's request pipe would keep X from
+        // ever seeing shutdown EOF.
+        for (const Worker &other : workers) {
+            if (&other == &slot)
+                continue;
+            if (other.reqFd >= 0)
+                ::close(other.reqFd);
+            if (other.respFd >= 0)
+                ::close(other.respFd);
+            if (other.crashFd >= 0)
+                ::close(other.crashFd);
+        }
+        req.closeWrite();
+        resp.closeRead();
+        crash.closeRead();
+        installCrashReporter(crash.writeFd());
+        try {
+            applySandboxLimits(cfg.memLimitMb, cfg.cpuLimitS);
+        } catch (const Error &) {
+            ::_exit(kWorkerExitInternal);
+        }
+        WorkerEnv env;
+        env.workerIndex = index;
+        env.generation = generation;
+        workerMain(req.readFd(), resp.writeFd(), env);
+    }
+    // --- parent ---
+    req.closeRead();
+    resp.closeWrite();
+    crash.closeWrite();
+
+    slot.pid = pid;
+    slot.reqFd = req.releaseWrite();
+    slot.respFd = resp.releaseRead();
+    slot.crashFd = crash.releaseRead();
+    setNonBlocking(slot.crashFd);
+    slot.index = index;
+    slot.generation = generation;
+    slot.busy = false;
+    slot.hardKilled = false;
+}
+
+[[noreturn]] void
+SandboxPool::workerMain(int req_fd, int resp_fd, const WorkerEnv &env)
+{
+    for (;;) {
+        std::vector<std::uint8_t> request;
+        bool got = false;
+        try {
+            got = readFrame(req_fd, request, "sandbox request");
+        } catch (const Error &) {
+            ::_exit(kWorkerExitInternal);
+        }
+        if (!got)
+            ::_exit(0); // clean shutdown: parent closed the pipe
+        try {
+            const std::vector<std::uint8_t> response =
+                workerFn(request, env);
+            writeFrame(resp_fd, response, "sandbox response");
+        } catch (const std::bad_alloc &) {
+            ::_exit(kWorkerExitOom);
+        } catch (...) {
+            ::_exit(kWorkerExitInternal);
+        }
+    }
+}
+
+void
+SandboxPool::respawnWorker(Worker &w)
+{
+    if (w.respFd >= 0) {
+        ::close(w.respFd);
+        w.respFd = -1;
+    }
+    if (w.crashFd >= 0) {
+        ::close(w.crashFd);
+        w.crashFd = -1;
+    }
+    if (w.reqFd >= 0) {
+        ::close(w.reqFd);
+        w.reqFd = -1;
+    }
+    ++respawnCount;
+    if (respawnCap && respawnCount > respawnCap) {
+        throw SandboxError(
+            "sandbox: worker fleet is dying faster than it completes "
+            "units (" +
+            std::to_string(respawnCount) +
+            " respawns); aborting instead of thrashing");
+    }
+    spawnWorker(w, w.index, w.generation + 1);
+}
+
+std::string
+SandboxPool::drainCrashNote(int fd)
+{
+    std::string note;
+    char buf[512];
+    for (;;) {
+        const ssize_t n = ::read(fd, buf, sizeof(buf));
+        if (n <= 0)
+            break;
+        note.append(buf, static_cast<std::size_t>(n));
+    }
+    // One-line report: trim the trailing newline(s).
+    while (!note.empty() &&
+           (note.back() == '\n' || note.back() == '\r'))
+        note.pop_back();
+    return note;
+}
+
+WorkerLoss
+SandboxPool::reapLoss(Worker &w, bool torn)
+{
+    // If the child is somehow still alive with a poisoned stream
+    // (torn frame from a live writer = protocol bug), make it dead so
+    // waitpid below terminates. A SIGKILL to an already-exited child
+    // is harmless: the zombie keeps its original exit status.
+    ::kill(w.pid, SIGKILL);
+    ChildExit status;
+    try {
+        status = waitChild(w.pid);
+    } catch (const ProcessError &) {
+        // Unreapable (should not happen); report what we know.
+    }
+    w.pid = -1;
+
+    WorkerLoss loss;
+    loss.crashNote = drainCrashNote(w.crashFd);
+    if (w.hardKilled) {
+        loss.kind = WorkerLossKind::HardKill;
+        loss.signal = SIGKILL;
+    } else if (status.signaled) {
+        loss.signal = status.signal;
+        loss.kind = status.signal == SIGXCPU
+            ? WorkerLossKind::CpuBudget
+            : WorkerLossKind::Crash;
+    } else if (status.exitCode == kWorkerExitOom) {
+        loss.kind = WorkerLossKind::OomBudget;
+        loss.exitCode = status.exitCode;
+    } else if (status.exitCode != 0) {
+        loss.kind = WorkerLossKind::ExitCode;
+        loss.exitCode = status.exitCode;
+    } else {
+        // Clean exit mid-unit, or an intact-looking stream that tore:
+        // either way the protocol was violated.
+        loss.kind = WorkerLossKind::Protocol;
+    }
+    if (torn && loss.kind == WorkerLossKind::ExitCode &&
+        status.exitCode == kWorkerExitInternal)
+        loss.kind = WorkerLossKind::Protocol;
+    return loss;
+}
+
+void
+SandboxPool::run(std::size_t unit_count, const RequestFn &request,
+                 const ResultFn &result, const LossFn &loss)
+{
+    respawnCap = static_cast<unsigned>(2 * unit_count) +
+        4 * cfg.workers;
+
+    std::deque<std::size_t> pending;
+    for (std::size_t u = 0; u < unit_count; ++u)
+        pending.push_back(u);
+    std::size_t completed = 0;
+
+    const auto dispatch = [&](Worker &w, std::size_t unit,
+                              const std::vector<std::uint8_t> &req) {
+        for (;;) {
+            try {
+                writeFrame(w.reqFd, req, "sandbox request");
+                break;
+            } catch (const FramingError &err) {
+                // The worker died between units (or at startup);
+                // nothing was dispatched to it, so this is churn, not
+                // a unit loss.
+                const WorkerLoss idle_loss = reapLoss(w, false);
+                warn("sandbox: worker " + std::to_string(w.index) +
+                     " died while idle: " + idle_loss.describe());
+                respawnWorker(w);
+            }
+        }
+        w.busy = true;
+        w.unit = unit;
+        w.hardKilled = false;
+        if (cfg.hardDeadlineMs) {
+            w.deadline = std::chrono::steady_clock::now() +
+                std::chrono::milliseconds(cfg.hardDeadlineMs);
+        }
+    };
+
+    const auto handle_down = [&](Worker &w, bool torn) {
+        const bool was_busy = w.busy;
+        const std::size_t unit = w.unit;
+        const WorkerLoss w_loss = reapLoss(w, torn);
+        w.busy = false;
+        respawnWorker(w);
+        if (!was_busy) {
+            warn("sandbox: worker " + std::to_string(w.index) +
+                 " died while idle: " + w_loss.describe());
+            return;
+        }
+        if (loss(unit, w_loss)) {
+            pending.push_front(unit); // retry on the fresh worker
+        } else {
+            ++completed;
+        }
+    };
+
+    while (completed < unit_count) {
+        // Feed idle workers, in worker order, units in index order.
+        while (!pending.empty()) {
+            Worker *idle = nullptr;
+            for (Worker &w : workers) {
+                if (!w.busy) {
+                    idle = &w;
+                    break;
+                }
+            }
+            if (!idle)
+                break;
+            const std::size_t unit = pending.front();
+            pending.pop_front();
+            const std::optional<std::vector<std::uint8_t>> req =
+                request(unit);
+            if (!req) {
+                ++completed; // resolved without running
+                continue;
+            }
+            dispatch(*idle, unit, *req);
+        }
+        if (completed >= unit_count)
+            break;
+
+        // Wait for a response, a death, or the nearest hard deadline.
+        std::vector<pollfd> pfds;
+        std::vector<Worker *> polled;
+        int timeout_ms = -1;
+        const auto now = std::chrono::steady_clock::now();
+        for (Worker &w : workers) {
+            pfds.push_back({w.respFd, POLLIN, 0});
+            polled.push_back(&w);
+            if (w.busy && cfg.hardDeadlineMs) {
+                const auto remain =
+                    std::chrono::duration_cast<
+                        std::chrono::milliseconds>(w.deadline - now)
+                        .count();
+                const int ms =
+                    remain < 0 ? 0 : static_cast<int>(remain) + 1;
+                if (timeout_ms < 0 || ms < timeout_ms)
+                    timeout_ms = ms;
+            }
+        }
+        const int rc =
+            ::poll(pfds.data(), pfds.size(), timeout_ms);
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            throw SandboxError(std::string("sandbox poll failed: ") +
+                               std::strerror(errno));
+        }
+
+        for (std::size_t i = 0; i < pfds.size(); ++i) {
+            if (!(pfds[i].revents & (POLLIN | POLLHUP | POLLERR)))
+                continue;
+            Worker &w = *polled[i];
+            std::vector<std::uint8_t> payload;
+            bool got = false;
+            bool torn = false;
+            try {
+                got = readFrame(w.respFd, payload, "sandbox response");
+            } catch (const FramingError &) {
+                torn = true;
+            }
+            if (got) {
+                w.busy = false;
+                result(w.unit, payload);
+                ++completed;
+            } else {
+                handle_down(w, torn);
+            }
+        }
+
+        // Hard-deadline sweep: SIGKILL wedged workers; the resulting
+        // EOF is picked up by the next poll round and classified as
+        // HardKill via the flag.
+        if (cfg.hardDeadlineMs) {
+            const auto sweep_now = std::chrono::steady_clock::now();
+            for (Worker &w : workers) {
+                if (w.busy && !w.hardKilled &&
+                    sweep_now >= w.deadline) {
+                    warn("sandbox: worker " + std::to_string(w.index) +
+                         " blew the hard deadline on unit " +
+                         std::to_string(w.unit) + "; SIGKILLing it");
+                    w.hardKilled = true;
+                    ::kill(w.pid, SIGKILL);
+                }
+            }
+        }
+    }
+}
+
+} // namespace mtc

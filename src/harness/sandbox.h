@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Out-of-process execution sandbox: a persistent pool of pre-forked
+ * worker processes running campaign units over framed pipe IPC.
+ *
+ * The in-process engine (campaign.cc) contains *simulated* failures —
+ * thrown errors, cooperative stalls — but an actual SIGSEGV,
+ * std::bad_alloc, or runaway allocation inside an executor takes down
+ * the whole campaign and every queued unit with it. Post-silicon
+ * harnesses cannot afford that: the device under test genuinely
+ * wedges and kills its harness (the paper's Section 6 bug-injected
+ * platforms deadlock for real). The sandbox turns each unit into a
+ * crashable transaction:
+ *
+ *  - workers are forked up front and reused across units; a request
+ *    and its response are length+FNV-1a framed records
+ *    (src/support/framing.h) over per-worker pipes;
+ *  - a worker death — real fatal signal, nonzero exit, rlimit breach
+ *    — is detected via broken pipe + waitpid, classified, reported to
+ *    the client (which charges crash retries and the circuit
+ *    breaker), and the worker is respawned;
+ *  - a wedged worker that ignores cooperative cancellation is
+ *    SIGKILLed by the parent once the hard per-dispatch deadline
+ *    passes, so the watchdog's reclaim bound holds even against
+ *    non-cooperative hangs.
+ *
+ * The pool is payload-agnostic: it moves byte vectors. Campaign
+ * semantics (unit records, seeds, journaling) stay in the client
+ * callbacks, which run in the parent — only WorkerFn runs in the
+ * children.
+ */
+
+#ifndef MTC_HARNESS_SANDBOX_H
+#define MTC_HARNESS_SANDBOX_H
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <sys/types.h>
+
+#include "support/error.h"
+
+namespace mtc
+{
+
+/** A sandbox-infrastructure failure (fork, pipe, poll, or a worker
+ * fleet dying faster than it completes units). Distinct from a worker
+ * loss, which is contained and reported, not thrown. */
+class SandboxError : public Error
+{
+  public:
+    explicit SandboxError(const std::string &what_arg) : Error(what_arg)
+    {}
+};
+
+/** Sandbox-wide knobs. */
+struct SandboxConfig
+{
+    /** Worker processes forked up front. */
+    unsigned workers = 1;
+
+    /** Per-child RLIMIT_AS budget in MB; 0 = unlimited. Ignored (with
+     * a warning) in sanitizer builds — see applySandboxLimits(). */
+    std::uint64_t memLimitMb = 0;
+
+    /** Per-child RLIMIT_CPU budget in seconds; 0 = unlimited. */
+    std::uint64_t cpuLimitS = 0;
+
+    /**
+     * Hard wall-clock deadline per dispatched unit in milliseconds;
+     * past it the parent SIGKILLs the worker. 0 disables. Clients set
+     * this to 2 x testTimeoutMs x (retries + 1): the child's own
+     * cooperative watchdog gets every chance to reclaim first, and
+     * the SIGKILL only fires for hangs that ignore cancellation.
+     */
+    std::uint64_t hardDeadlineMs = 0;
+};
+
+/** Why a dispatched unit lost its worker. */
+enum class WorkerLossKind : std::uint8_t
+{
+    Crash,     ///< fatal signal (SIGSEGV, SIGABRT, ...)
+    CpuBudget, ///< SIGXCPU: RLIMIT_CPU soft limit hit
+    OomBudget, ///< allocation failure under the memory budget
+    ExitCode,  ///< worker exited with a nonzero status
+    HardKill,  ///< parent SIGKILLed a wedged worker at the deadline
+    Protocol   ///< response stream violated framing
+};
+
+/** One worker loss, classified for the client. */
+struct WorkerLoss
+{
+    WorkerLossKind kind = WorkerLossKind::Crash;
+    int signal = 0;   ///< terminating signal for Crash
+    int exitCode = 0; ///< status for ExitCode
+
+    /** One-line crash report the dying worker managed to emit from
+     * its fatal-signal handler (signal, unit id, seed); empty when it
+     * died without reporting (SIGKILL, rlimit hard cap). */
+    std::string crashNote;
+
+    std::string describe() const;
+};
+
+/** Identity of the worker executing a request, passed to WorkerFn so
+ * clients can scope drills (e.g. arm --die-after only in the initial
+ * fleet's first worker). */
+struct WorkerEnv
+{
+    unsigned workerIndex = 0;
+
+    /** 0 in the initial fleet; incremented per respawn of the slot. */
+    unsigned generation = 0;
+};
+
+/**
+ * Pre-forked worker pool. Construction forks the fleet; run()
+ * dispatches units 0..n-1 in index order to idle workers and invokes
+ * the parent-side callbacks as units complete, in completion order —
+ * clients preserve determinism by writing results into per-unit slots
+ * and aggregating in unit order afterwards.
+ */
+class SandboxPool
+{
+  public:
+    /** Executes one request in a worker child; its return value is
+     * the response payload. Exceptions escaping it terminate the
+     * worker (std::bad_alloc with the OOM exit sentinel). */
+    using WorkerFn = std::function<std::vector<std::uint8_t>(
+        const std::vector<std::uint8_t> &request, const WorkerEnv &env)>;
+
+    /** Produces the request payload for a unit, or nullopt when the
+     * unit resolves without running (journal replay, tripped
+     * breaker); runs in the parent at dispatch time. */
+    using RequestFn = std::function<std::optional<
+        std::vector<std::uint8_t>>(std::size_t unit)>;
+
+    /** Receives a completed unit's response payload (parent side). */
+    using ResultFn =
+        std::function<void(std::size_t unit,
+                           const std::vector<std::uint8_t> &payload)>;
+
+    /** Receives a worker loss for a dispatched unit; return true to
+     * retry the unit on a fresh worker, false to give up on it. */
+    using LossFn =
+        std::function<bool(std::size_t unit, const WorkerLoss &loss)>;
+
+    /**
+     * Fork the fleet. WARNING: fork duplicates only the calling
+     * thread — construct the pool before spawning any worker threads
+     * (the campaign's sandboxed mode never builds its thread pool or
+     * watchdog in the parent for exactly this reason).
+     *
+     * @throws SandboxError if a worker cannot be forked.
+     */
+    SandboxPool(SandboxConfig cfg, WorkerFn worker);
+
+    /** Shuts the fleet down: close request pipes (workers exit on
+     * EOF), then SIGKILL any straggler after a short grace. */
+    ~SandboxPool();
+
+    SandboxPool(const SandboxPool &) = delete;
+    SandboxPool &operator=(const SandboxPool &) = delete;
+
+    /**
+     * Dispatch units 0..@p unit_count-1 across the fleet.
+     *
+     * @throws SandboxError if the fleet keeps dying faster than it
+     *         completes units (respawn-churn backstop), or on an
+     *         infrastructure failure. Worker losses are NOT errors;
+     *         they go to @p loss.
+     */
+    void run(std::size_t unit_count, const RequestFn &request,
+             const ResultFn &result, const LossFn &loss);
+
+    /** Workers respawned over the pool's lifetime (crash containment
+     * events plus hard kills). */
+    unsigned respawns() const { return respawnCount; }
+
+  private:
+    struct Worker
+    {
+        pid_t pid = -1;
+        int reqFd = -1;   ///< parent writes framed requests
+        int respFd = -1;  ///< parent reads framed responses
+        int crashFd = -1; ///< parent reads crash reports (nonblocking)
+        unsigned index = 0;
+        unsigned generation = 0;
+        bool busy = false;
+        bool hardKilled = false;
+        std::size_t unit = 0;
+        std::chrono::steady_clock::time_point deadline{};
+    };
+
+    void spawnWorker(Worker &slot, unsigned index, unsigned generation);
+    [[noreturn]] void workerMain(int req_fd, int resp_fd,
+                                 const WorkerEnv &env);
+    void respawnWorker(Worker &w);
+    WorkerLoss reapLoss(Worker &w, bool torn);
+    std::string drainCrashNote(int fd);
+
+    SandboxConfig cfg;
+    WorkerFn workerFn;
+    std::vector<Worker> workers;
+    unsigned respawnCount = 0;
+    unsigned respawnCap = 0;
+    void (*oldSigpipe)(int) = nullptr;
+};
+
+} // namespace mtc
+
+#endif // MTC_HARNESS_SANDBOX_H

@@ -1,11 +1,13 @@
 #include "sim/executor.h"
 
 #include <algorithm>
+#include <csignal>
 #include <limits>
 
 #include "graph/po_edges.h"
 #include "sim/order_table.h"
 #include "support/error.h"
+#include "support/process.h"
 
 namespace mtc
 {
@@ -58,8 +60,13 @@ struct RunState : RunArena::State
             throw TestHungError(
                 "run abandoned by watchdog: test deadline expired");
         }
-        if (cfg->stallAfterSteps && stepsTaken >= cfg->stallAfterSteps)
-            stallUntilCancelled(cancel);
+        if (cfg->stallAfterSteps && stepsTaken >= cfg->stallAfterSteps) {
+            // A non-cooperative wedge never looks at the token:
+            // recovery then requires killing the process, which is
+            // exactly what the sandbox's hard deadline drills.
+            stallUntilCancelled(cfg->stallIgnoresCancel ? nullptr
+                                                        : cancel);
+        }
     }
 
     // --- Timed-policy cache model -------------------------------------
@@ -755,6 +762,14 @@ OperationalExecutor::runInto(const TestProgram &program, Rng &rng,
             "crash drill: scheduled platform crash on run " +
             std::to_string(runsStarted));
     }
+    // Hard-failure drills: a REAL fatal signal / allocation bomb, not
+    // a catchable exception. In-process these kill the campaign; the
+    // sandbox contains them — that asymmetry is what they exist to
+    // demonstrate.
+    if (cfg.dieAfterRuns && runsStarted == cfg.dieAfterRuns)
+        ::raise(cfg.dieSignal);
+    if (cfg.leakAfterRuns && runsStarted == cfg.leakAfterRuns)
+        allocationBomb();
     const OrderTable &order = orderTableCache().get(program, cfg.model);
     RunState &state = arena.stateAs<RunState>();
     state.reset(program, cfg, order, rng, arena.execution);

@@ -137,6 +137,38 @@ struct ExecutorConfig
      * bug injection cannot target.
      */
     std::uint64_t crashOnRun = 0;
+
+    /**
+     * Hard-crash drill: the Nth runInto() call (1-based) raises a
+     * real fatal signal (`dieSignal`, default SIGSEGV) instead of a
+     * catchable exception. In-process this genuinely kills the
+     * campaign — which is the point: only the sandbox
+     * (src/harness/sandbox.h) survives it, and the drill is what
+     * proves that end to end. 0 (default) never fires.
+     */
+    std::uint64_t dieAfterRuns = 0;
+
+    /** Signal dieAfterRuns raises; 11 = SIGSEGV (SIGABRT = 6 drills
+     * the abort path). Kept as a plain int so this header stays free
+     * of <csignal>. */
+    int dieSignal = 11;
+
+    /**
+     * Allocation-bomb drill: the Nth runInto() call retains and
+     * touches heap until operator new fails (self-capped at 512 MB),
+     * then lets std::bad_alloc fly. Under a sandbox RLIMIT_AS budget
+     * the worker dies with the OOM exit sentinel and is classified as
+     * a memory-budget breach. 0 (default) never fires.
+     */
+    std::uint64_t leakAfterRuns = 0;
+
+    /**
+     * Make the stallAfterSteps wedge non-cooperative: the stalled run
+     * ignores its cancellation token, so only an out-of-process
+     * reclaim (the sandbox's hard-deadline SIGKILL) can recover the
+     * worker. Models firmware that wedges with interrupts masked.
+     */
+    bool stallIgnoresCancel = false;
 };
 
 } // namespace mtc

@@ -1,0 +1,169 @@
+#include "support/framing.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <unistd.h>
+
+namespace mtc
+{
+
+std::uint32_t
+fnv1a32(const void *data, std::size_t len)
+{
+    const auto *bytes = static_cast<const std::uint8_t *>(data);
+    std::uint32_t hash = 0x811c9dc5u;
+    for (std::size_t i = 0; i < len; ++i) {
+        hash ^= bytes[i];
+        hash *= 0x01000193u;
+    }
+    return hash;
+}
+
+std::uint64_t
+fnv1a64(const void *data, std::size_t len, std::uint64_t seed)
+{
+    const auto *bytes = static_cast<const std::uint8_t *>(data);
+    std::uint64_t hash = seed;
+    for (std::size_t i = 0; i < len; ++i) {
+        hash ^= bytes[i];
+        hash *= 0x100000001b3ull;
+    }
+    return hash;
+}
+
+void
+putLe32(std::uint8_t *out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+std::uint32_t
+getLe32(const std::uint8_t *in)
+{
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(in[i]) << (8 * i);
+    return v;
+}
+
+void
+appendFrame(std::vector<std::uint8_t> &out, const std::uint8_t *payload,
+            std::size_t len)
+{
+    const std::size_t base = out.size();
+    out.resize(base + kFrameHeaderBytes + len);
+    putLe32(out.data() + base, static_cast<std::uint32_t>(len));
+    putLe32(out.data() + base + 4, fnv1a32(payload, len));
+    std::memcpy(out.data() + base + kFrameHeaderBytes, payload, len);
+}
+
+FrameView
+parseFrame(const std::uint8_t *data, std::size_t size)
+{
+    FrameView view;
+    if (size < kFrameHeaderBytes) {
+        view.status = FrameStatus::Incomplete;
+        return view;
+    }
+    const std::uint32_t len = getLe32(data);
+    const std::uint32_t sum = getLe32(data + 4);
+    if (len > kMaxFramePayloadBytes) {
+        view.status = FrameStatus::Corrupt;
+        return view;
+    }
+    if (size < kFrameHeaderBytes + len) {
+        view.status = FrameStatus::Incomplete;
+        return view;
+    }
+    if (fnv1a32(data + kFrameHeaderBytes, len) != sum) {
+        view.status = FrameStatus::Corrupt;
+        return view;
+    }
+    view.status = FrameStatus::Complete;
+    view.payload = data + kFrameHeaderBytes;
+    view.length = len;
+    view.frameBytes = kFrameHeaderBytes + len;
+    return view;
+}
+
+namespace
+{
+
+void
+writeAllFd(int fd, const std::uint8_t *data, std::size_t len,
+           const std::string &what)
+{
+    while (len) {
+        const ssize_t n = ::write(fd, data, len);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            throw FramingError(what + ": write failed: " +
+                               std::strerror(errno));
+        }
+        data += n;
+        len -= static_cast<std::size_t>(n);
+    }
+}
+
+/** @return bytes read; stops early only on EOF. */
+std::size_t
+readUpTo(int fd, std::uint8_t *data, std::size_t len,
+         const std::string &what)
+{
+    std::size_t got = 0;
+    while (got < len) {
+        const ssize_t n = ::read(fd, data + got, len - got);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            throw FramingError(what + ": read failed: " +
+                               std::strerror(errno));
+        }
+        if (n == 0)
+            break;
+        got += static_cast<std::size_t>(n);
+    }
+    return got;
+}
+
+} // anonymous namespace
+
+void
+writeFrame(int fd, const std::vector<std::uint8_t> &payload,
+           const std::string &what)
+{
+    // One buffer, one write() stream: if the writer dies mid-frame the
+    // reader sees a torn frame, never an interleaved one.
+    std::vector<std::uint8_t> frame;
+    appendFrame(frame, payload.data(), payload.size());
+    writeAllFd(fd, frame.data(), frame.size(), what);
+}
+
+bool
+readFrame(int fd, std::vector<std::uint8_t> &payload,
+          const std::string &what)
+{
+    std::uint8_t header[kFrameHeaderBytes];
+    const std::size_t got =
+        readUpTo(fd, header, kFrameHeaderBytes, what);
+    if (got == 0)
+        return false; // clean EOF between frames
+    if (got < kFrameHeaderBytes)
+        throw FramingError(what + ": stream torn mid-header");
+    const std::uint32_t len = getLe32(header);
+    const std::uint32_t sum = getLe32(header + 4);
+    if (len > kMaxFramePayloadBytes)
+        throw FramingError(what + ": absurd frame length " +
+                           std::to_string(len));
+    payload.resize(len);
+    if (readUpTo(fd, payload.data(), len, what) < len)
+        throw FramingError(what + ": stream torn mid-payload");
+    if (fnv1a32(payload.data(), payload.size()) != sum)
+        throw FramingError(what + ": frame checksum mismatch");
+    return true;
+}
+
+} // namespace mtc

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Length + FNV-1a record framing, shared by the journal and the
+ * sandbox pipe IPC.
+ *
+ * A frame is
+ *
+ *     [u32 payload length][u32 FNV-1a checksum][payload bytes]
+ *
+ * (little-endian). The same codec serves two transports with two
+ * failure models: an append-only journal file, where a torn tail is
+ * the expected product of a SIGKILL and is recovered from silently
+ * (src/support/journal.h), and a parent<->worker pipe, where a torn
+ * frame means the peer died mid-record and is reported as an error so
+ * the sandbox can classify the loss (src/harness/sandbox.h). This
+ * layer knows nothing about payload semantics; it only frames bytes.
+ */
+
+#ifndef MTC_SUPPORT_FRAMING_H
+#define MTC_SUPPORT_FRAMING_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/error.h"
+
+namespace mtc
+{
+
+/** An I/O or integrity failure on a framed stream. */
+class FramingError : public Error
+{
+  public:
+    explicit FramingError(const std::string &what_arg) : Error(what_arg)
+    {}
+};
+
+/** FNV-1a over @p len bytes — the frame checksum. */
+std::uint32_t fnv1a32(const void *data, std::size_t len);
+
+/** 64-bit FNV-1a, seedable so digests can be chained. */
+std::uint64_t fnv1a64(const void *data, std::size_t len,
+                      std::uint64_t seed = 0xcbf29ce484222325ull);
+
+/** Bytes of frame header preceding every payload. */
+constexpr std::size_t kFrameHeaderBytes = 8;
+
+/** Frames larger than this are treated as corruption, not records: a
+ * torn length word must not make a reader try to allocate gigabytes.
+ * Unit records are a few KB. */
+constexpr std::uint32_t kMaxFramePayloadBytes = 64u << 20;
+
+void putLe32(std::uint8_t *out, std::uint32_t v);
+std::uint32_t getLe32(const std::uint8_t *in);
+
+/** Append [len][checksum][payload] for @p payload to @p out. */
+void appendFrame(std::vector<std::uint8_t> &out,
+                 const std::uint8_t *payload, std::size_t len);
+
+/** Outcome of scanning a byte range for one frame. */
+enum class FrameStatus : std::uint8_t
+{
+    Complete,   ///< an intact frame starts at the scan position
+    Incomplete, ///< header or payload extends past the range
+    Corrupt     ///< absurd length or checksum mismatch
+};
+
+/** One parsed frame (valid only while the scanned bytes live). */
+struct FrameView
+{
+    FrameStatus status = FrameStatus::Incomplete;
+    const std::uint8_t *payload = nullptr;
+    std::uint32_t length = 0;
+
+    /** Header + payload bytes consumed when status is Complete. */
+    std::size_t frameBytes = 0;
+};
+
+/** Parse the frame starting at @p data (up to @p size bytes). */
+FrameView parseFrame(const std::uint8_t *data, std::size_t size);
+
+/**
+ * Write one frame to @p fd, retrying short writes and EINTR.
+ *
+ * @param what Stream name used in error messages.
+ * @throws FramingError on I/O failure (EPIPE when the peer died).
+ */
+void writeFrame(int fd, const std::vector<std::uint8_t> &payload,
+                const std::string &what);
+
+/**
+ * Blocking-read one frame from @p fd into @p payload.
+ *
+ * @return true on a complete frame; false on clean EOF at a frame
+ *         boundary (the peer closed its end between records).
+ * @throws FramingError on EOF mid-frame (the peer died while
+ *         writing), a checksum mismatch, an absurd length, or an I/O
+ *         error.
+ */
+bool readFrame(int fd, std::vector<std::uint8_t> &payload,
+               const std::string &what);
+
+} // namespace mtc
+
+#endif // MTC_SUPPORT_FRAMING_H

@@ -10,30 +10,6 @@
 namespace mtc
 {
 
-std::uint32_t
-fnv1a32(const void *data, std::size_t len)
-{
-    const auto *bytes = static_cast<const std::uint8_t *>(data);
-    std::uint32_t hash = 0x811c9dc5u;
-    for (std::size_t i = 0; i < len; ++i) {
-        hash ^= bytes[i];
-        hash *= 0x01000193u;
-    }
-    return hash;
-}
-
-std::uint64_t
-fnv1a64(const void *data, std::size_t len, std::uint64_t seed)
-{
-    const auto *bytes = static_cast<const std::uint8_t *>(data);
-    std::uint64_t hash = seed;
-    for (std::size_t i = 0; i < len; ++i) {
-        hash ^= bytes[i];
-        hash *= 0x100000001b3ull;
-    }
-    return hash;
-}
-
 void
 ByteWriter::f64(double v)
 {
@@ -107,27 +83,6 @@ namespace
 {
 
 void
-putLe32(std::uint8_t *out, std::uint32_t v)
-{
-    for (int i = 0; i < 4; ++i)
-        out[i] = static_cast<std::uint8_t>(v >> (8 * i));
-}
-
-std::uint32_t
-getLe32(const std::uint8_t *in)
-{
-    std::uint32_t v = 0;
-    for (int i = 0; i < 4; ++i)
-        v |= static_cast<std::uint32_t>(in[i]) << (8 * i);
-    return v;
-}
-
-/** Frames larger than this are treated as corruption, not records:
- * a torn length word must not make the reader try to allocate
- * gigabytes. Unit records are a few KB. */
-constexpr std::uint32_t kMaxPayloadBytes = 64u << 20;
-
-void
 writeAll(int fd, const std::uint8_t *data, std::size_t len,
          const std::string &path)
 {
@@ -169,12 +124,8 @@ JournalWriter::append(const std::vector<std::uint8_t> &payload)
 {
     // Header and payload go out in one buffer so a crash tears at
     // most one frame — exactly the failure readJournal recovers from.
-    std::vector<std::uint8_t> frame(8 + payload.size());
-    putLe32(frame.data(),
-            static_cast<std::uint32_t>(payload.size()));
-    putLe32(frame.data() + 4,
-            fnv1a32(payload.data(), payload.size()));
-    std::memcpy(frame.data() + 8, payload.data(), payload.size());
+    std::vector<std::uint8_t> frame;
+    appendFrame(frame, payload.data(), payload.size());
     writeAll(fd, frame.data(), frame.size(), path);
     ++records;
     if (++sinceSync >= fsyncEvery) {
@@ -210,18 +161,14 @@ readJournal(const std::string &path)
     const std::size_t size = contents.size();
 
     std::size_t off = 0;
-    while (off + 8 <= size) {
-        const std::uint32_t len = getLe32(contents.data() + off);
-        const std::uint32_t sum = getLe32(contents.data() + off + 4);
-        if (len > kMaxPayloadBytes || off + 8 + len > size)
-            break; // torn or absurd frame: tail starts here
-        if (fnv1a32(contents.data() + off + 8, len) != sum)
-            break; // payload corrupted mid-write
-        recovery.records.emplace_back(
-            contents.begin() + static_cast<std::ptrdiff_t>(off + 8),
-            contents.begin() +
-                static_cast<std::ptrdiff_t>(off + 8 + len));
-        off += 8 + len;
+    while (off < size) {
+        const FrameView frame =
+            parseFrame(contents.data() + off, size - off);
+        if (frame.status != FrameStatus::Complete)
+            break; // torn or corrupted frame: tail starts here
+        recovery.records.emplace_back(frame.payload,
+                                      frame.payload + frame.length);
+        off += frame.frameBytes;
     }
     recovery.validBytes = off;
     recovery.droppedBytes = size - off;

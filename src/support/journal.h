@@ -10,15 +10,15 @@
  *
  *     [u32 payload length][u32 FNV-1a checksum][payload bytes]
  *
- * (little-endian), appended with batched fsync. On resume the reader
- * walks the file from the front and keeps the longest prefix of intact
- * frames; a tail torn by the kill — a partial length word, a partial
- * payload, a checksum mismatch — is detected and dropped, the file is
- * truncated back to the valid prefix, and appending continues from
- * there. Nothing in this layer knows what a payload means; record
- * semantics (campaign identity, unit results) live in
- * src/harness/campaign_journal.h, keeping this file free of harness
- * dependencies.
+ * (little-endian, the shared codec in src/support/framing.h), appended
+ * with batched fsync. On resume the reader walks the file from the
+ * front and keeps the longest prefix of intact frames; a tail torn by
+ * the kill — a partial length word, a partial payload, a checksum
+ * mismatch — is detected and dropped, the file is truncated back to
+ * the valid prefix, and appending continues from there. Nothing in
+ * this layer knows what a payload means; record semantics (campaign
+ * identity, unit results) live in src/harness/campaign_journal.h,
+ * keeping this file free of harness dependencies.
  */
 
 #ifndef MTC_SUPPORT_JOURNAL_H
@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "support/error.h"
+#include "support/framing.h"
 
 namespace mtc
 {
@@ -41,13 +42,6 @@ class JournalError : public Error
     explicit JournalError(const std::string &what_arg) : Error(what_arg)
     {}
 };
-
-/** FNV-1a over @p len bytes — the frame checksum. */
-std::uint32_t fnv1a32(const void *data, std::size_t len);
-
-/** 64-bit FNV-1a, seedable so digests can be chained. */
-std::uint64_t fnv1a64(const void *data, std::size_t len,
-                      std::uint64_t seed = 0xcbf29ce484222325ull);
 
 /**
  * Little-endian payload encoder. Fixed-width fields only: a record

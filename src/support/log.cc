@@ -1,6 +1,9 @@
 #include "support/log.h"
 
+#include <cerrno>
 #include <iostream>
+
+#include <unistd.h>
 
 namespace mtc
 {
@@ -45,6 +48,84 @@ logMessage(LogLevel level, const std::string &text)
     if (level < global_level || global_level == LogLevel::Silent)
         return;
     std::cerr << "[mtc:" << levelTag(level) << "] " << text << "\n";
+}
+
+void
+EmergencyLine::put(char c) noexcept
+{
+    // Reserve one byte for the trailing '\n' writeTo appends.
+    if (len + 1 < sizeof(buf) - 1)
+        buf[len++] = c;
+    buf[len] = '\0';
+}
+
+EmergencyLine &
+EmergencyLine::text(const char *s) noexcept
+{
+    if (s)
+        while (*s)
+            put(*s++);
+    return *this;
+}
+
+EmergencyLine &
+EmergencyLine::num(unsigned long long v) noexcept
+{
+    char digits[24];
+    std::size_t n = 0;
+    do {
+        digits[n++] = static_cast<char>('0' + v % 10);
+        v /= 10;
+    } while (v);
+    while (n)
+        put(digits[--n]);
+    return *this;
+}
+
+EmergencyLine &
+EmergencyLine::hex(unsigned long long v) noexcept
+{
+    static const char map[] = "0123456789abcdef";
+    char digits[16];
+    std::size_t n = 0;
+    do {
+        digits[n++] = map[v & 0xf];
+        v >>= 4;
+    } while (v);
+    put('0');
+    put('x');
+    while (n)
+        put(digits[--n]);
+    return *this;
+}
+
+void
+EmergencyLine::writeTo(int fd) noexcept
+{
+    const int saved_errno = errno;
+    buf[len] = '\n';
+    std::size_t total = len + 1;
+    const char *p = buf;
+    while (total) {
+        const ssize_t n = ::write(fd, p, total);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR)
+                continue;
+            break; // nowhere safe to report a failed crash report
+        }
+        p += n;
+        total -= static_cast<std::size_t>(n);
+    }
+    buf[len] = '\0';
+    errno = saved_errno;
+}
+
+void
+emergencyLog(const char *msg) noexcept
+{
+    EmergencyLine line;
+    line.text("[mtc:fatal] ").text(msg);
+    line.writeTo(2);
 }
 
 } // namespace mtc

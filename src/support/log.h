@@ -10,6 +10,7 @@
 #ifndef MTC_SUPPORT_LOG_H
 #define MTC_SUPPORT_LOG_H
 
+#include <cstddef>
 #include <sstream>
 #include <string>
 
@@ -53,6 +54,40 @@ debug(const std::string &text)
 {
     logMessage(LogLevel::Debug, text);
 }
+
+/**
+ * Async-signal-safe line builder for fatal-signal paths.
+ *
+ * logMessage() goes through std::cerr, which allocates and locks —
+ * both forbidden inside a signal handler. An EmergencyLine formats
+ * into a fixed stack buffer with no allocation, locking, or errno
+ * clobbering, and emits with a single write(2). Overlong content is
+ * truncated, never overflowed. Used by the sandbox worker crash
+ * handlers (src/support/process.h) to dump a one-line crash report.
+ */
+class EmergencyLine
+{
+  public:
+    EmergencyLine &text(const char *s) noexcept;
+    EmergencyLine &num(unsigned long long v) noexcept;
+    EmergencyLine &hex(unsigned long long v) noexcept;
+
+    /** Append '\n' and emit with one write(2); preserves errno. */
+    void writeTo(int fd) noexcept;
+
+    const char *cstr() const noexcept { return buf; }
+    std::size_t size() const noexcept { return len; }
+
+  private:
+    void put(char c) noexcept;
+
+    char buf[256] = {};
+    std::size_t len = 0;
+};
+
+/** Async-signal-safe "[mtc:fatal] <msg>" line straight to stderr,
+ * bypassing the level filter and every stream. */
+void emergencyLog(const char *msg) noexcept;
 
 } // namespace mtc
 

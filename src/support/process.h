@@ -1,0 +1,127 @@
+/**
+ * @file
+ * POSIX process plumbing for the execution sandbox.
+ *
+ * Everything here is harness-agnostic: pipe RAII, child exit
+ * classification, per-child resource budgets, and the async-signal-
+ * safe crash reporter a sandbox worker installs so a real SIGSEGV
+ * still produces a one-line report (signal, unit, seed) on a pipe the
+ * parent can read. The pool logic that uses these lives in
+ * src/harness/sandbox.h.
+ */
+
+#ifndef MTC_SUPPORT_PROCESS_H
+#define MTC_SUPPORT_PROCESS_H
+
+#include <cstdint>
+#include <string>
+
+#include <sys/types.h>
+
+#include "support/error.h"
+
+namespace mtc
+{
+
+/** A failed process-layer syscall (fork, pipe, waitpid, setrlimit). */
+class ProcessError : public Error
+{
+  public:
+    explicit ProcessError(const std::string &what_arg) : Error(what_arg)
+    {}
+};
+
+/** Worker exit sentinel: allocation failure under the memory budget
+ * (std::bad_alloc escaped the unit). */
+constexpr int kWorkerExitOom = 97;
+
+/** Worker exit sentinel: unclassified internal error (a non-OOM
+ * exception escaped the worker loop, or its stream tore). */
+constexpr int kWorkerExitInternal = 98;
+
+/** RAII pipe: both ends closed on destruction unless released. */
+class Pipe
+{
+  public:
+    /** @throws ProcessError if pipe(2) fails. */
+    Pipe();
+    ~Pipe();
+
+    Pipe(const Pipe &) = delete;
+    Pipe &operator=(const Pipe &) = delete;
+    Pipe(Pipe &&other) noexcept;
+    Pipe &operator=(Pipe &&other) noexcept;
+
+    int readFd() const { return fds[0]; }
+    int writeFd() const { return fds[1]; }
+
+    void closeRead();
+    void closeWrite();
+
+    /** Detach and return an end; the caller owns the fd from then
+     * on (it will not be closed by the destructor). */
+    int releaseRead();
+    int releaseWrite();
+
+  private:
+    int fds[2];
+};
+
+/** How a reaped child terminated. */
+struct ChildExit
+{
+    bool signaled = false;
+    int signal = 0;   ///< terminating signal when signaled
+    int exitCode = 0; ///< exit status when not signaled
+};
+
+/** Blocking waitpid for @p pid. @throws ProcessError on failure. */
+ChildExit waitChild(pid_t pid);
+
+/** Non-blocking reap; @return false if @p pid has not exited yet. */
+bool tryWaitChild(pid_t pid, ChildExit &out);
+
+/**
+ * Apply the sandbox resource budgets to the calling process (a worker
+ * child, post-fork). @p mem_mb caps RLIMIT_AS so a runaway allocation
+ * fails with std::bad_alloc instead of an OOM kill; under a sanitizer
+ * build (MTC_SANITIZE) the address-space cap is skipped, because ASan
+ * reserves terabytes of shadow mappings that an AS limit would break.
+ * @p cpu_s caps RLIMIT_CPU (soft = N, hard = N + 2) so a spinning
+ * child dies with SIGXCPU the parent can classify. Zero disables the
+ * respective budget.
+ */
+void applySandboxLimits(std::uint64_t mem_mb, std::uint64_t cpu_s);
+
+/** True when the binary was built with MTC_SANITIZE (the address-
+ * space budget is then a warn-and-ignore no-op). */
+bool sandboxMemLimitSupported();
+
+/**
+ * Install fatal-signal handlers (SIGSEGV, SIGABRT, SIGBUS, SIGFPE,
+ * SIGILL) that write a one-line crash report to @p report_fd using
+ * only async-signal-safe calls, then re-raise with the default
+ * disposition so the parent still observes the real signal.
+ */
+void installCrashReporter(int report_fd);
+
+/** Label the unit the calling worker is about to run; the crash
+ * reporter includes it (with @p seed) in the report line. Copies into
+ * static storage — async-signal-safe to read at crash time. */
+void setCrashContext(const std::string &unit, std::uint64_t seed);
+
+/** Clear the crash context (unit finished cleanly). */
+void clearCrashContext();
+
+/**
+ * Allocation-bomb drill: retain and touch heap chunks until operator
+ * new fails. Self-capped (512 MB) so that even without an RLIMIT_AS
+ * budget — e.g. under ASan — it terminates by throwing.
+ *
+ * @throws std::bad_alloc always (either from new or the cap).
+ */
+void allocationBomb();
+
+} // namespace mtc
+
+#endif // MTC_SUPPORT_PROCESS_H

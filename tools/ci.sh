@@ -8,6 +8,10 @@
 # hot path stays bit-identical to per-iteration arenas), and finally a
 # kill-and-resume smoke: a journaled campaign is SIGKILLed mid-run and
 # resumed, and its summary must match an uninterrupted run verbatim.
+# The sandbox passes then prove real crash containment end to end: a
+# --die-after drill SIGSEGVs a worker mid-campaign and the run must
+# finish every other unit and exit with the documented crash code, and
+# the kill-and-resume smoke is repeated in sandbox mode.
 # Usage: tools/ci.sh [jobs]
 set -euo pipefail
 
@@ -36,8 +40,9 @@ MTC_THREADS=4 ctest --test-dir build --output-on-failure -j "${jobs}"
 echo "=== ctest build-asan (MTC_THREADS=4) ==="
 MTC_THREADS=4 ctest --test-dir build-asan --output-on-failure -j "${jobs}"
 
-echo "=== bench/scaling --smoke ==="
-./build/bench/scaling --smoke
+echo "=== bench/scaling --smoke --sandbox ==="
+./build/bench/scaling --smoke --sandbox
+grep -q '"sandbox":' BENCH_scaling.smoke.json
 
 # Hot-path smoke: the bench itself exits non-zero on an arena/fresh
 # divergence, and the grep guards the JSON field against emitter drift.
@@ -53,12 +58,13 @@ grep -q '"deterministic": true' BENCH_hotpath.smoke.json
 # verdict exit codes (2 violation / 3 corruption-only) are expected
 # outcomes, a config error (1) is not.
 resume_smoke() {
-    local bin="$1" tag="$2" kill_after="$3"
+    local bin="$1" tag="$2" kill_after="$3"; shift 3
+    local extra=("$@")
     local j="build/ci_resume_${tag}.journal"
     local base="build/ci_resume_${tag}.base.txt"
     local resumed="build/ci_resume_${tag}.resumed.txt"
     local args=(--config x86-4-100-64 --tests 16 --iterations 2048
-                --seed 7 --fault-bitflip 0.005)
+                --seed 7 --fault-bitflip 0.005 "${extra[@]}")
     rm -f "${j}" "${base}" "${resumed}"
     local base_rc=0 resume_rc=0
     "${bin}" "${args[@]}" > "${base}" || base_rc=$?
@@ -79,4 +85,39 @@ resume_smoke ./build/tools/mtc_validate plain 2
 echo "=== kill-and-resume smoke (asan) ==="
 resume_smoke ./build-asan/tools/mtc_validate asan 4
 
-echo "=== CI OK: plain, sanitized, parallel, and resume suites all green ==="
+# Sandbox kill-and-resume: same contract with every unit executed in a
+# forked worker (the baseline for the summary diff is the in-process
+# run above being bit-identical is already covered by sandbox_test, so
+# here the sandboxed run is its own baseline and the resumed summary
+# must match it). The ASan pass exercises the MTC_SANITIZE_BUILD
+# rlimit gating: --sandbox-mem-mb must warn-and-skip, not break.
+echo "=== kill-and-resume smoke (sandbox, plain) ==="
+resume_smoke ./build/tools/mtc_validate sbx 2 --sandbox --threads 2
+echo "=== kill-and-resume smoke (sandbox, asan) ==="
+resume_smoke ./build-asan/tools/mtc_validate sbx_asan 4 \
+    --sandbox --threads 2 --sandbox-mem-mb 2048
+
+# Containment smoke: a --die-after drill raises a REAL SIGSEGV in a
+# worker mid-campaign. The campaign must survive it, complete every
+# test (the respawned worker retries the killed unit), report the
+# contained crash, and exit with the documented platform-crash code 4.
+containment_smoke() {
+    local bin="$1" tag="$2"
+    local out="build/ci_contain_${tag}.txt"
+    local rc=0
+    "${bin}" --config x86-2-50-32 --tests 6 --iterations 256 --seed 11 \
+        --sandbox --threads 2 --die-after 40 --crash-retries 1 \
+        > "${out}" 2>&1 || rc=$?
+    [ "${rc}" -eq 4 ]
+    grep -q "contained worker crashes" "${out}"
+    grep -Eq "campaign summary: [0-9]+/6 tests flagged" "${out}"
+    grep -q "platform crashes" "${out}"
+    rm -f "${out}"
+}
+
+echo "=== crash-containment smoke (plain) ==="
+containment_smoke ./build/tools/mtc_validate plain
+echo "=== crash-containment smoke (asan) ==="
+containment_smoke ./build-asan/tools/mtc_validate asan
+
+echo "=== CI OK: plain, sanitized, parallel, resume, and sandbox suites all green ==="

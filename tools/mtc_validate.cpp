@@ -31,6 +31,11 @@
  *     --test-timeout-ms N  per-test watchdog deadline          [off]
  *     --error-budget N  circuit breaker: stop after N errors  [off]
  *     --stall-after N   drill: wedge every run after N steps  [off]
+ *     --sandbox         run each test in a forked worker process
+ *     --sandbox-mem-mb N  per-worker RLIMIT_AS budget          [off]
+ *     --sandbox-cpu-s N per-worker RLIMIT_CPU budget          [off]
+ *     --die-after N     drill: Nth run raises a real SIGSEGV  [off]
+ *     --leak-after N    drill: Nth run allocation-bombs       [off]
  *     --verbose         per-test detail rows
  *     --help
  *
@@ -62,8 +67,10 @@
 
 #include "harness/campaign.h"
 #include "harness/campaign_journal.h"
+#include "harness/sandbox.h"
 #include "harness/validation_flow.h"
 #include "harness/watchdog.h"
+#include "support/process.h"
 #include "sim/coherent_executor.h"
 #include "sim/executor.h"
 #include "support/table.h"
@@ -117,6 +124,28 @@ struct Options
      * steps (0 = off). Pair with --test-timeout-ms. */
     std::uint64_t stallAfterSteps = 0;
 
+    /** Run every test in a forked sandbox worker (crash containment);
+     * --threads then sets the worker process count. Defaults to
+     * MTC_SANDBOX when set. */
+    bool sandbox = false;
+
+    /** Per-worker RLIMIT_AS budget in MB (0 = unlimited; ignored in
+     * sanitizer builds). Defaults to MTC_SANDBOX_MEM_MB. */
+    std::uint64_t sandboxMemMb = 0;
+
+    /** Per-worker RLIMIT_CPU budget in seconds (0 = unlimited).
+     * Defaults to MTC_SANDBOX_CPU_S. */
+    std::uint64_t sandboxCpuS = 0;
+
+    /** Hard-crash drill: the Nth platform run raises a real SIGSEGV
+     * (0 = off). In-process this kills the campaign; under --sandbox
+     * it is contained — that contrast is the drill's purpose. */
+    std::uint64_t dieAfterRuns = 0;
+
+    /** Allocation-bomb drill: the Nth platform run leaks until
+     * operator new fails (0 = off). Exercises --sandbox-mem-mb. */
+    std::uint64_t leakAfterRuns = 0;
+
     bool verbose = false;
 
     /** Print the per-phase wall-clock breakdown of the campaign. */
@@ -167,6 +196,26 @@ usage()
         "                    after N scheduler steps (use with\n"
         "                    --test-timeout-ms to exercise the\n"
         "                    watchdog); 0 = off [0]\n"
+        "  --sandbox         run every test in a pre-forked worker\n"
+        "                    process: a real crash (SIGSEGV, abort,\n"
+        "                    rlimit breach) is contained, charged to\n"
+        "                    --crash-retries and --error-budget, and\n"
+        "                    the worker respawned; the summary stays\n"
+        "                    bit-identical to in-process. --threads\n"
+        "                    sets the worker process count\n"
+        "  --sandbox-mem-mb N  per-worker address-space budget in MB;\n"
+        "                    a breach is classified as an OOM loss;\n"
+        "                    0 = unlimited [0]\n"
+        "  --sandbox-cpu-s N per-worker CPU budget in seconds; a\n"
+        "                    breach dies with SIGXCPU; 0 = off [0]\n"
+        "  --die-after N     hard-crash drill: the Nth platform run\n"
+        "                    raises a REAL SIGSEGV. Without --sandbox\n"
+        "                    this kills the campaign (that is the\n"
+        "                    point); with it, containment is proven\n"
+        "                    end to end; 0 = off [0]\n"
+        "  --leak-after N    allocation-bomb drill: the Nth run leaks\n"
+        "                    until new fails; exercises the\n"
+        "                    --sandbox-mem-mb path; 0 = off [0]\n"
         "  --profile         per-phase wall-clock breakdown (execute,\n"
         "                    encode, accumulate, sort-unique, decode,\n"
         "                    check, ...) aggregated over the campaign\n"
@@ -174,9 +223,12 @@ usage()
         "env: MTC_THREADS sets the --threads default (0 = all hardware\n"
         "     threads); results are identical at any thread count.\n"
         "     MTC_JOURNAL and MTC_TEST_TIMEOUT_MS set the --journal\n"
-        "     and --test-timeout-ms defaults\n"
+        "     and --test-timeout-ms defaults. MTC_SANDBOX=1 turns on\n"
+        "     --sandbox; MTC_SANDBOX_MEM_MB / MTC_SANDBOX_CPU_S set\n"
+        "     the worker budgets\n"
         "exit codes: 0 clean, 1 config error, 2 confirmed violation,\n"
-        "            3 corruption only, 4 platform crash, 5 hang,\n"
+        "            3 corruption only, 4 platform crash (including a\n"
+        "            contained sandbox worker crash), 5 hang,\n"
         "            6 circuit breaker tripped\n";
 }
 
@@ -239,6 +291,13 @@ parseArgs(int argc, char **argv)
     if (const char *env = std::getenv("MTC_TEST_TIMEOUT_MS"))
         opt.testTimeoutMs =
             parseEnvCount("MTC_TEST_TIMEOUT_MS", env, true);
+    if (const char *env = std::getenv("MTC_SANDBOX"))
+        opt.sandbox = parseEnvCount("MTC_SANDBOX", env, true) != 0;
+    if (const char *env = std::getenv("MTC_SANDBOX_MEM_MB"))
+        opt.sandboxMemMb =
+            parseEnvCount("MTC_SANDBOX_MEM_MB", env, true);
+    if (const char *env = std::getenv("MTC_SANDBOX_CPU_S"))
+        opt.sandboxCpuS = parseEnvCount("MTC_SANDBOX_CPU_S", env, true);
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         auto next = [&]() -> std::string {
@@ -302,6 +361,16 @@ parseArgs(int argc, char **argv)
                 static_cast<unsigned>(parseCount(arg, next()));
         else if (arg == "--stall-after")
             opt.stallAfterSteps = parseCount(arg, next());
+        else if (arg == "--sandbox")
+            opt.sandbox = true;
+        else if (arg == "--sandbox-mem-mb")
+            opt.sandboxMemMb = parseCount(arg, next());
+        else if (arg == "--sandbox-cpu-s")
+            opt.sandboxCpuS = parseCount(arg, next());
+        else if (arg == "--die-after")
+            opt.dieAfterRuns = parseCount(arg, next());
+        else if (arg == "--leak-after")
+            opt.leakAfterRuns = parseCount(arg, next());
         else if (arg == "--verbose")
             opt.verbose = true;
         else if (arg == "--profile")
@@ -316,6 +385,10 @@ parseArgs(int argc, char **argv)
     if (opt.resume && opt.journalPath.empty())
         throw ConfigError(
             "--resume needs a journal (--journal PATH or MTC_JOURNAL)");
+    if ((opt.dieAfterRuns || opt.leakAfterRuns) &&
+        opt.platform == "mesi")
+        throw ConfigError("--die-after/--leak-after are operational-"
+                          "executor drills; pick a non-mesi platform");
     return opt;
 }
 
@@ -366,6 +439,8 @@ makeFlow(const Options &opt, const TestConfig &cfg)
     flow.exec.bugProbability = opt.bugProb;
     flow.exec.timing.cacheLines = opt.cacheLines;
     flow.exec.stallAfterSteps = opt.stallAfterSteps;
+    flow.exec.dieAfterRuns = opt.dieAfterRuns;
+    flow.exec.leakAfterRuns = opt.leakAfterRuns;
     return flow;
 }
 
@@ -401,6 +476,13 @@ cliIdentity(const Options &opt, const TestConfig &cfg)
     w.u32(opt.recovery.crashRetries);
     w.u64(opt.shardSize);
     w.u64(opt.stallAfterSteps);
+    // The hard-failure drills change what the flow computes (a killed
+    // run is re-attempted under the crash budget), so they are part of
+    // the identity; the sandbox mode itself and its rlimit budgets are
+    // operational — a journal written in-process resumes sandboxed and
+    // vice versa.
+    w.u64(opt.dieAfterRuns);
+    w.u64(opt.leakAfterRuns);
 
     CampaignJournal::Identity identity;
     identity.digest = fnv1a64(w.bytes().data(), w.bytes().size());
@@ -462,8 +544,11 @@ main(int argc, char **argv)
                 std::cout << "\n";
             }
         }
+        // Fork-before-threads: the sandboxed parent forks its fleet
+        // before any thread exists, so the watchdog lives only in the
+        // serial path (sandbox children build their own post-fork).
         std::unique_ptr<Watchdog> watchdog;
-        if (opt.testTimeoutMs)
+        if (opt.testTimeoutMs && !opt.sandbox)
             watchdog = std::make_unique<Watchdog>();
 
         std::uint64_t total_unique = 0, total_bad = 0, total_assert = 0;
@@ -476,78 +561,312 @@ main(int argc, char **argv)
         std::string witness, fault_note;
         PhaseBreakdown profile;
 
-        for (unsigned t = 0; t < opt.tests; ++t) {
-            // Circuit breaker: a platform this unhealthy will not get
-            // healthier on the remaining tests — stop burning time.
-            if (opt.errorBudget && error_events >= opt.errorBudget) {
-                tripped = true;
-                skipped_tests = opt.tests - t;
-                break;
-            }
-
+        // Phase 1 fills per-test slots (serial in-process, or fanned
+        // across the sandbox fleet); phase 2 folds the slots in test
+        // order so the printed summary is bit-identical either way.
+        struct CliOutcome
+        {
             FlowResult r;
+            bool ran = false;
             bool hung = false;
-            const UnitRecord *replayed = journal
-                ? journal->find(cfg.name(), t)
-                : nullptr;
-            if (replayed) {
-                if (replayed->genSeed != seeds[t].first ||
-                    replayed->flowSeed != seeds[t].second) {
-                    throw ConfigError(
-                        "--resume: journal record for test " +
-                        std::to_string(t) +
-                        " carries different seeds than this campaign "
-                        "derives — the journal belongs to another run");
-                }
-                r = replayed->outcome.result;
-                hung = replayed->outcome.status == TestStatus::Hung;
-            } else {
-                const TestProgram program =
-                    generateTest(cfg, seeds[t].first);
-                flow_cfg.seed = seeds[t].second;
-                CancellationToken token;
-                std::optional<Watchdog::Guard> deadline;
-                if (watchdog) {
-                    flow_cfg.cancel = &token;
-                    deadline.emplace(watchdog->watch(
-                        token,
-                        std::chrono::milliseconds(opt.testTimeoutMs)));
-                }
-                try {
-                    ValidationFlow flow(flow_cfg);
-                    r = flow.runTest(program);
-                } catch (const TestHungError &err) {
-                    hung = true;
-                    std::cerr << "mtc_validate: test " << t
-                              << " hung: " << err.what() << "\n";
-                }
-                flow_cfg.cancel = nullptr;
-                if (journal) {
-                    UnitRecord record;
-                    record.configName = cfg.name();
-                    record.testIndex = t;
-                    record.genSeed = seeds[t].first;
-                    record.flowSeed = seeds[t].second;
-                    record.outcome.result = r;
-                    record.outcome.result.executions.clear();
-                    record.outcome.ok = !hung;
-                    record.outcome.status =
-                        hung ? TestStatus::Hung : TestStatus::Ok;
-                    if (hung)
-                        record.outcome.hungAttempts = 1;
-                    journal->append(record);
-                }
-            }
+        };
+        std::vector<CliOutcome> outcomes(opt.tests);
 
+        auto charge_breaker = [&](const FlowResult &r, bool hung) {
             if (hung) {
-                ++hung_tests;
                 ++error_events;
-                continue;
+                return;
             }
             error_events += static_cast<unsigned>(
                 (r.platformCrashes ? 1 : 0) +
                 r.fault.quarantinedCount());
+        };
+        auto check_replay_seeds = [&](const UnitRecord &replayed,
+                                      unsigned t) {
+            if (replayed.genSeed != seeds[t].first ||
+                replayed.flowSeed != seeds[t].second) {
+                throw ConfigError(
+                    "--resume: journal record for test " +
+                    std::to_string(t) +
+                    " carries different seeds than this campaign "
+                    "derives — the journal belongs to another run");
+            }
+        };
+        auto blank_record = [&](unsigned t) {
+            UnitRecord record;
+            record.configName = cfg.name();
+            record.testIndex = t;
+            record.genSeed = seeds[t].first;
+            record.flowSeed = seeds[t].second;
+            return record;
+        };
 
+        if (opt.sandbox) {
+            SandboxConfig sandbox;
+            sandbox.workers = ThreadPool::resolveThreads(opt.threads);
+            sandbox.memLimitMb = opt.sandboxMemMb;
+            sandbox.cpuLimitS = opt.sandboxCpuS;
+            // One attempt per test at this level, so the documented
+            // 2x-timeout reclaim bound is simply 2 x the deadline.
+            if (opt.testTimeoutMs)
+                sandbox.hardDeadlineMs = 2 * opt.testTimeoutMs;
+
+            // Child-side watchdog, created lazily after the fork.
+            struct ChildRuntime
+            {
+                std::unique_ptr<Watchdog> watchdog;
+            };
+            auto child_runtime = std::make_shared<ChildRuntime>();
+            const FlowConfig flow_base = flow_cfg;
+
+            SandboxPool::WorkerFn worker_fn = [&, child_runtime](
+                const std::vector<std::uint8_t> &request,
+                const WorkerEnv &env) -> std::vector<std::uint8_t> {
+                ByteReader reader(request);
+                const unsigned t = reader.u32();
+
+                FlowConfig fc = flow_base;
+                fc.seed = seeds[t].second;
+                if (env.workerIndex != 0 || env.generation != 0) {
+                    // Hard-failure drills arm only the initial
+                    // fleet's first worker: one observable
+                    // containment event, then the retry completes on
+                    // an unarmed respawn.
+                    fc.exec.dieAfterRuns = 0;
+                    fc.exec.leakAfterRuns = 0;
+                }
+                if (opt.testTimeoutMs && !child_runtime->watchdog)
+                    child_runtime->watchdog =
+                        std::make_unique<Watchdog>();
+
+                setCrashContext(cfg.name() + "#" + std::to_string(t),
+                                seeds[t].first);
+                UnitRecord record = blank_record(t);
+                CancellationToken token;
+                std::optional<Watchdog::Guard> deadline;
+                if (child_runtime->watchdog) {
+                    fc.cancel = &token;
+                    deadline.emplace(child_runtime->watchdog->watch(
+                        token,
+                        std::chrono::milliseconds(opt.testTimeoutMs)));
+                }
+                try {
+                    const TestProgram program =
+                        generateTest(cfg, seeds[t].first);
+                    ValidationFlow flow(fc);
+                    record.outcome.result = flow.runTest(program);
+                    record.outcome.ok = true;
+                    record.outcome.status = TestStatus::Ok;
+                } catch (const TestHungError &err) {
+                    record.outcome.ok = false;
+                    record.outcome.status = TestStatus::Hung;
+                    record.outcome.hungAttempts = 1;
+                    std::cerr << "mtc_validate: test " << t
+                              << " hung: " << err.what() << "\n";
+                }
+                clearCrashContext();
+                record.outcome.result.executions.clear();
+                return encodeUnitRecord(record);
+            };
+
+            SandboxPool pool(sandbox, worker_fn);
+
+            std::vector<unsigned> worker_deaths(opt.tests, 0);
+            std::vector<std::string> death_notes(opt.tests);
+            auto note_death = [&](unsigned t, const std::string &what) {
+                if (!death_notes[t].empty())
+                    death_notes[t] += "; ";
+                death_notes[t] += what;
+            };
+
+            const SandboxPool::RequestFn request_fn =
+                [&](std::size_t u)
+                -> std::optional<std::vector<std::uint8_t>> {
+                const unsigned t = static_cast<unsigned>(u);
+                if (opt.errorBudget &&
+                    error_events >= opt.errorBudget) {
+                    tripped = true;
+                    ++skipped_tests;
+                    return std::nullopt;
+                }
+                const UnitRecord *replayed =
+                    journal ? journal->find(cfg.name(), t) : nullptr;
+                if (replayed) {
+                    check_replay_seeds(*replayed, t);
+                    outcomes[t].r = replayed->outcome.result;
+                    outcomes[t].hung =
+                        replayed->outcome.status == TestStatus::Hung;
+                    outcomes[t].ran = true;
+                    charge_breaker(outcomes[t].r, outcomes[t].hung);
+                    return std::nullopt;
+                }
+                ByteWriter w;
+                w.u32(t);
+                return w.bytes();
+            };
+
+            const SandboxPool::ResultFn result_fn =
+                [&](std::size_t u,
+                    const std::vector<std::uint8_t> &payload) {
+                const unsigned t = static_cast<unsigned>(u);
+                UnitRecord record = decodeUnitRecord(payload);
+                if (record.configName != cfg.name() ||
+                    record.testIndex != t ||
+                    record.genSeed != seeds[t].first ||
+                    record.flowSeed != seeds[t].second) {
+                    throw SandboxError(
+                        "sandbox: worker response does not match "
+                        "dispatched test " + std::to_string(t));
+                }
+                if (worker_deaths[t]) {
+                    // Deaths consumed on the way to this success are
+                    // charged exactly like in-flow platform crashes.
+                    FlowResult &r = record.outcome.result;
+                    r.platformCrashes += worker_deaths[t];
+                    r.fault.crashRetries += worker_deaths[t];
+                    if (!r.fault.note.empty())
+                        r.fault.note += "; ";
+                    r.fault.note += "sandbox: " + death_notes[t];
+                }
+                outcomes[t].r = record.outcome.result;
+                outcomes[t].hung =
+                    record.outcome.status == TestStatus::Hung;
+                outcomes[t].ran = true;
+                if (journal)
+                    journal->append(record);
+                charge_breaker(outcomes[t].r, outcomes[t].hung);
+            };
+
+            const SandboxPool::LossFn loss_fn =
+                [&](std::size_t u, const WorkerLoss &loss) -> bool {
+                const unsigned t = static_cast<unsigned>(u);
+                if (loss.kind == WorkerLossKind::HardKill) {
+                    std::cerr << "mtc_validate: test " << t
+                              << " hung non-cooperatively; worker "
+                                 "reclaimed by SIGKILL\n";
+                    UnitRecord record = blank_record(t);
+                    record.outcome.ok = false;
+                    record.outcome.status = TestStatus::Hung;
+                    record.outcome.hungAttempts = 1;
+                    record.outcome.result.fault.note =
+                        "sandbox: " + loss.describe();
+                    outcomes[t].r = record.outcome.result;
+                    outcomes[t].hung = true;
+                    outcomes[t].ran = true;
+                    if (journal)
+                        journal->append(record);
+                    charge_breaker(outcomes[t].r, true);
+                    return false;
+                }
+                ++worker_deaths[t];
+                note_death(t, loss.describe());
+                std::cerr << "mtc_validate: test " << t
+                          << " lost its worker (death "
+                          << worker_deaths[t] << "): "
+                          << loss.describe() << "\n";
+                if (worker_deaths[t] <= opt.recovery.crashRetries)
+                    return true; // retry on the respawned worker
+                UnitRecord record = blank_record(t);
+                record.outcome.ok = false;
+                record.outcome.status = TestStatus::Failed;
+                record.outcome.result.platformCrashes =
+                    worker_deaths[t];
+                record.outcome.result.fault.crashRetries =
+                    opt.recovery.crashRetries;
+                record.outcome.result.fault.note =
+                    "sandbox: " + death_notes[t];
+                outcomes[t].r = record.outcome.result;
+                outcomes[t].hung = false;
+                outcomes[t].ran = true;
+                if (journal)
+                    journal->append(record);
+                charge_breaker(outcomes[t].r, false);
+                return false;
+            };
+
+            pool.run(opt.tests, request_fn, result_fn, loss_fn);
+
+            std::uint64_t contained = 0;
+            for (unsigned deaths : worker_deaths)
+                contained += deaths;
+            std::cout << "sandbox: " << sandbox.workers
+                      << " workers, " << pool.respawns()
+                      << " worker respawns, " << contained
+                      << " contained worker crashes\n";
+        } else {
+            for (unsigned t = 0; t < opt.tests; ++t) {
+                // Circuit breaker: a platform this unhealthy will not
+                // get healthier on the remaining tests — stop burning
+                // time.
+                if (opt.errorBudget &&
+                    error_events >= opt.errorBudget) {
+                    tripped = true;
+                    skipped_tests = opt.tests - t;
+                    break;
+                }
+
+                FlowResult r;
+                bool hung = false;
+                const UnitRecord *replayed = journal
+                    ? journal->find(cfg.name(), t)
+                    : nullptr;
+                if (replayed) {
+                    check_replay_seeds(*replayed, t);
+                    r = replayed->outcome.result;
+                    hung = replayed->outcome.status == TestStatus::Hung;
+                } else {
+                    const TestProgram program =
+                        generateTest(cfg, seeds[t].first);
+                    flow_cfg.seed = seeds[t].second;
+                    CancellationToken token;
+                    std::optional<Watchdog::Guard> deadline;
+                    if (watchdog) {
+                        flow_cfg.cancel = &token;
+                        deadline.emplace(watchdog->watch(
+                            token,
+                            std::chrono::milliseconds(
+                                opt.testTimeoutMs)));
+                    }
+                    try {
+                        ValidationFlow flow(flow_cfg);
+                        r = flow.runTest(program);
+                    } catch (const TestHungError &err) {
+                        hung = true;
+                        std::cerr << "mtc_validate: test " << t
+                                  << " hung: " << err.what() << "\n";
+                    }
+                    flow_cfg.cancel = nullptr;
+                    if (journal) {
+                        UnitRecord record = blank_record(t);
+                        record.outcome.result = r;
+                        record.outcome.result.executions.clear();
+                        record.outcome.ok = !hung;
+                        record.outcome.status =
+                            hung ? TestStatus::Hung : TestStatus::Ok;
+                        if (hung)
+                            record.outcome.hungAttempts = 1;
+                        journal->append(record);
+                    }
+                }
+
+                outcomes[t].r = std::move(r);
+                outcomes[t].hung = hung;
+                outcomes[t].ran = true;
+                charge_breaker(outcomes[t].r, hung);
+            }
+        }
+
+        // Phase 2: fold the slots in test order (identical between
+        // modes and worker counts by construction).
+        for (unsigned t = 0; t < opt.tests; ++t) {
+            const CliOutcome &o = outcomes[t];
+            if (!o.ran)
+                continue;
+            if (o.hung) {
+                ++hung_tests;
+                continue;
+            }
+            const FlowResult &r = o.r;
             total_unique += r.uniqueSignatures;
             total_bad += r.violatingSignatures;
             total_assert += r.assertionFailures;
