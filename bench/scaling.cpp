@@ -30,6 +30,12 @@
  * per-unit amortization (fork is paid once, dispatch per unit) land
  * in the JSON; summaries must stay bit-identical at every count.
  *
+ * With --distributed a fifth sweep prices the TCP campaign fabric:
+ * the same campaign served by a loopback coordinator to forked
+ * mtc_worker-equivalent fleets at several fleet sizes (the same
+ * frames as the sandbox, plus handshake, leasing and heartbeats).
+ * Summaries must stay bit-identical at every fleet size.
+ *
  * Wall-clock speedup is bounded by the machine: the JSON records
  * hardwareConcurrency so a 1-core CI container's speedup of ~1.0 is
  * read as "no cores", not "no scaling".
@@ -137,15 +143,19 @@ main(int argc, char **argv)
 {
     bool smoke = false;
     bool sandbox = false;
+    bool distributed = false;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--smoke") {
             smoke = true;
         } else if (arg == "--sandbox") {
             sandbox = true;
+        } else if (arg == "--distributed") {
+            distributed = true;
         } else {
             std::cerr << "scaling: unknown option " << arg
-                      << " (only --smoke and --sandbox)\n";
+                      << " (only --smoke, --sandbox and "
+                         "--distributed)\n";
             return 1;
         }
     }
@@ -335,6 +345,53 @@ main(int argc, char **argv)
         }
     }
 
+    // --- Distributed fabric overhead (--distributed) -----------------
+    // Methodology: the exact serial baseline campaign re-run with
+    // ExecutionMode::Distributed — a loopback TCP coordinator leasing
+    // units to a forked worker fleet — at several fleet sizes. Same
+    // framed codec as the sandbox pipes, plus the fabric's own costs:
+    // the handshake (spec shipped down per worker), lease round trips
+    // and heartbeats. Summaries must stay bit-identical at every
+    // fleet size or the fabric is broken, not just slow.
+    struct DistPoint
+    {
+        unsigned workers = 1;
+        double ms = 0.0;
+        double overheadFraction = 0.0;
+        double dispatchMsPerUnit = 0.0;
+        bool deterministic = true;
+    };
+    std::vector<DistPoint> dist_points;
+    if (distributed) {
+        const std::size_t unit_count = configs.size() * tests;
+        const std::vector<unsigned> fleet_sizes =
+            smoke ? std::vector<unsigned>{1, 2}
+                  : std::vector<unsigned>{1, 2, 4, 8};
+        for (unsigned workers : fleet_sizes) {
+            CampaignConfig cfg = base;
+            cfg.mode = ExecutionMode::Distributed;
+            cfg.distWorkers = workers;
+            WallTimer timer;
+            timer.start();
+            const auto summaries = runCampaign(configs, cfg);
+            timer.stop();
+
+            DistPoint point;
+            point.workers = workers;
+            point.ms = timer.milliseconds();
+            point.overheadFraction = baseline_ms > 0.0
+                ? (point.ms - baseline_ms) / baseline_ms
+                : 0.0;
+            point.dispatchMsPerUnit = unit_count
+                ? (point.ms - baseline_ms) /
+                    static_cast<double>(unit_count)
+                : 0.0;
+            point.deterministic =
+                summariesMatch(summaries, baseline_summaries);
+            dist_points.push_back(point);
+        }
+    }
+
     // --- Report ------------------------------------------------------
     TablePrinter table({"threads", "shard", "ms", "speedup",
                         "collective work", "complete sorts",
@@ -384,10 +441,28 @@ main(int argc, char **argv)
         sbx.print(std::cout);
     }
 
+    if (!dist_points.empty()) {
+        std::cout << "\nDistributed fabric overhead (vs serial "
+                     "in-process baseline):\n";
+        TablePrinter dst({"workers", "ms", "overhead", "ms/unit",
+                          "deterministic"});
+        for (const DistPoint &p : dist_points) {
+            dst.addRow({TablePrinter::fmt(std::uint64_t(p.workers)),
+                        TablePrinter::fmt(p.ms, 1),
+                        TablePrinter::fmt(100.0 * p.overheadFraction,
+                                          1) + "%",
+                        TablePrinter::fmt(p.dispatchMsPerUnit, 3),
+                        p.deterministic ? "yes" : "NO"});
+        }
+        dst.print(std::cout);
+    }
+
     bool all_deterministic = journal_deterministic;
     for (const SweepPoint &p : points)
         all_deterministic = all_deterministic && p.deterministic;
     for (const SandboxPoint &p : sandbox_points)
+        all_deterministic = all_deterministic && p.deterministic;
+    for (const DistPoint &p : dist_points)
         all_deterministic = all_deterministic && p.deterministic;
     if (!all_deterministic)
         std::cerr << "scaling: DETERMINISM VIOLATION — parallel "
@@ -448,6 +523,34 @@ main(int argc, char **argv)
                  << ", \"deterministic\": "
                  << (p.deterministic ? "true" : "false") << "}"
                  << (i + 1 < sandbox_points.size() ? "," : "") << "\n";
+        }
+        json << "    ]\n  },\n";
+    }
+    if (!dist_points.empty()) {
+        json << "  \"distributed\": {\n"
+             << "    \"methodology\": \"serial baseline campaign "
+                "re-run with ExecutionMode::Distributed: a loopback "
+                "TCP coordinator leasing units to a forked worker "
+                "fleet over the same length+FNV-1a framed codec as "
+                "the sandbox pipes, plus the fabric's handshake "
+                "(campaign spec shipped per worker), lease round "
+                "trips and heartbeats; overheadFraction is "
+                "(distributedMs - baselineMs) / baselineMs against "
+                "the in-process serial baseline, dispatchMsPerUnit "
+                "amortizes the same delta over all units; summaries "
+                "must stay bit-identical at every fleet size\",\n"
+             << "    \"sweep\": [\n";
+        for (std::size_t i = 0; i < dist_points.size(); ++i) {
+            const DistPoint &p = dist_points[i];
+            json << "      {\"workers\": " << p.workers
+                 << ", \"ms\": " << jsonEscapeless(p.ms)
+                 << ", \"overheadFraction\": "
+                 << jsonEscapeless(p.overheadFraction)
+                 << ", \"dispatchMsPerUnit\": "
+                 << jsonEscapeless(p.dispatchMsPerUnit)
+                 << ", \"deterministic\": "
+                 << (p.deterministic ? "true" : "false") << "}"
+                 << (i + 1 < dist_points.size() ? "," : "") << "\n";
         }
         json << "    ]\n  },\n";
     }

@@ -1,0 +1,417 @@
+#include "dist/coordinator.h"
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <map>
+#include <set>
+#include <utility>
+
+#include <poll.h>
+
+#include "dist/lease_table.h"
+#include "support/log.h"
+#include "support/transport.h"
+
+namespace mtc
+{
+
+namespace
+{
+
+/** Dead workers raise EPIPE on our next send; we want the errno path
+ * (a classified loss), not process death. Restores on scope exit so
+ * run() can throw without leaving the disposition changed. */
+class SigpipeGuard
+{
+  public:
+    SigpipeGuard() { old = ::signal(SIGPIPE, SIG_IGN); }
+    ~SigpipeGuard() { ::signal(SIGPIPE, old); }
+
+  private:
+    void (*old)(int) = nullptr;
+};
+
+} // anonymous namespace
+
+Coordinator::Coordinator(FabricConfig cfg_arg,
+                         std::vector<std::uint8_t> spec_arg)
+    : cfg(cfg_arg), spec(std::move(spec_arg)),
+      listener(cfg_arg.port, cfg_arg.host)
+{
+    if (cfg.batchSize == 0)
+        cfg.batchSize = 1;
+    if (cfg.maxInFlightPerWorker == 0)
+        cfg.maxInFlightPerWorker = 1;
+}
+
+Coordinator::~Coordinator() = default;
+
+void
+Coordinator::run(std::size_t unit_count, const RequestFn &request,
+                 const ResultFn &result, const LossFn &loss)
+{
+    using Clock = LeaseTable::Clock;
+
+    struct Conn
+    {
+        Transport link;
+        std::string name; ///< from Hello; empty until handshaken
+        bool ready = false;
+        Clock::time_point lastSeen{};
+    };
+
+    const SigpipeGuard sigpipe;
+
+    LeaseTable table(unit_count);
+    std::map<std::uint64_t, Conn> conns;
+    std::uint64_t nextConnId = 1;
+    std::vector<unsigned> lossCounts(unit_count, 0);
+    std::map<std::string, unsigned> nameLosses;
+    std::set<std::string> banned;
+
+    // One loss event per unit the dying lease still owed. The client
+    // decides retry vs give-up; revokeLease already re-queued, so a
+    // give-up only needs the done mark.
+    const auto charge_lost = [&](const std::vector<std::size_t> &units,
+                                 const std::string &why) {
+        for (const std::size_t unit : units) {
+            ++lossCounts[unit];
+            if (loss(unit, lossCounts[unit], why)) {
+                ++fabricStats.unitsReassigned;
+            } else {
+                table.markDone(unit);
+            }
+        }
+    };
+
+    const auto drop_conn = [&](std::uint64_t id,
+                               const std::string &why) {
+        const auto it = conns.find(id);
+        if (it == conns.end())
+            return;
+        Conn &c = it->second;
+        const bool was_ready = c.ready;
+        const std::string name =
+            c.name.empty() ? "conn#" + std::to_string(id) : c.name;
+        std::vector<std::size_t> lost_units;
+        for (const std::uint64_t lease : table.leasesOf(id)) {
+            const std::vector<std::size_t> units =
+                table.revokeLease(lease);
+            lost_units.insert(lost_units.end(), units.begin(),
+                              units.end());
+            ++fabricStats.leasesRevoked;
+        }
+        c.link.close();
+        conns.erase(it);
+        if (was_ready) {
+            ++fabricStats.workersLost;
+            warn("fabric: lost worker '" + name + "' (" + why + "); " +
+                 std::to_string(lost_units.size()) +
+                 " unit(s) to reassign");
+            if (cfg.workerLossBudget) {
+                const unsigned losses = ++nameLosses[name];
+                if (losses >= cfg.workerLossBudget &&
+                    banned.insert(name).second) {
+                    warn("fabric: worker '" + name +
+                         "' exhausted its loss budget (" +
+                         std::to_string(losses) +
+                         "); refusing its reconnects");
+                }
+            }
+        }
+        charge_lost(lost_units, why);
+    };
+
+    // Handshake refusal: the connection never became a worker, so no
+    // leases to revoke and no loss budget to charge.
+    const auto refuse = [&](std::uint64_t id,
+                            const std::string &reason) {
+        const auto it = conns.find(id);
+        if (it == conns.end())
+            return;
+        warn("fabric: rejecting worker: " + reason);
+        RejectMsg rej;
+        rej.reason = reason;
+        try {
+            it->second.link.send(encodeReject(rej));
+        } catch (const FramingError &) {
+            // It hung up before hearing the verdict; same outcome.
+        }
+        it->second.link.close();
+        conns.erase(it);
+        ++fabricStats.workersRejected;
+    };
+
+    const auto handle_hello =
+        [&](std::uint64_t id, const std::vector<std::uint8_t> &payload) {
+            const HelloMsg hello = decodeHello(payload);
+            if (hello.version != cfg.protocolVersion) {
+                refuse(id,
+                       "protocol version mismatch: coordinator speaks " +
+                           std::to_string(cfg.protocolVersion) +
+                           ", worker '" + hello.name + "' speaks " +
+                           std::to_string(hello.version));
+                return;
+            }
+            if (banned.count(hello.name)) {
+                refuse(id, "worker '" + hello.name +
+                               "' exhausted its loss budget");
+                return;
+            }
+            Conn &c = conns.at(id);
+            c.name = hello.name;
+            c.ready = true;
+            ++fabricStats.workersConnected;
+            WelcomeMsg welcome;
+            welcome.spec = spec;
+            try {
+                c.link.send(encodeWelcome(welcome));
+            } catch (const FramingError &err) {
+                drop_conn(id, std::string("welcome send failed: ") +
+                                  err.what());
+            }
+        };
+
+    // Fill every handshaken worker to its in-flight bound, units in
+    // dispatch order. With no worker available, still resolve the
+    // leading units that need no execution (journal replay, tripped
+    // breaker) so a fully-replayed campaign finishes without one.
+    const auto grant_leases = [&]() {
+        std::vector<std::uint64_t> ready_ids;
+        for (const auto &[id, c] : conns) {
+            if (c.ready)
+                ready_ids.push_back(id);
+        }
+        if (ready_ids.empty()) {
+            while (table.pendingCount() > 0) {
+                const std::vector<std::size_t> front =
+                    table.takePending(1);
+                const std::optional<std::vector<std::uint8_t>> req =
+                    request(front[0]);
+                if (!req) {
+                    table.markDone(front[0]);
+                    continue;
+                }
+                table.requeueFront(front);
+                break;
+            }
+            return;
+        }
+        for (const std::uint64_t id : ready_ids) {
+            if (conns.find(id) == conns.end())
+                continue; // dropped by an earlier send failure
+            while (table.openLeaseCount(id) <
+                       cfg.maxInFlightPerWorker &&
+                   table.pendingCount() > 0) {
+                LeaseMsg msg;
+                std::vector<std::size_t> granted;
+                while (granted.size() < cfg.batchSize &&
+                       table.pendingCount() > 0) {
+                    const std::size_t unit = table.takePending(1)[0];
+                    const std::optional<std::vector<std::uint8_t>>
+                        req = request(unit);
+                    if (!req) {
+                        table.markDone(unit);
+                        continue;
+                    }
+                    LeaseUnit lu;
+                    lu.unitIndex = unit;
+                    lu.request = *req;
+                    msg.units.push_back(std::move(lu));
+                    granted.push_back(unit);
+                }
+                if (granted.empty())
+                    break;
+                const Clock::time_point deadline = cfg.leaseTimeoutMs
+                    ? Clock::now() +
+                        std::chrono::milliseconds(cfg.leaseTimeoutMs)
+                    : Clock::time_point::max();
+                msg.leaseId = table.openLease(id, granted, deadline);
+                ++fabricStats.leasesGranted;
+                try {
+                    conns.at(id).link.send(encodeLease(msg));
+                } catch (const FramingError &err) {
+                    drop_conn(id, std::string("lease send failed: ") +
+                                      err.what());
+                    break;
+                }
+            }
+        }
+    };
+
+    Clock::time_point idle_since = Clock::now();
+    while (!table.allDone()) {
+        grant_leases();
+        if (table.allDone())
+            break;
+
+        std::vector<pollfd> pfds;
+        std::vector<std::uint64_t> poll_ids;
+        pfds.push_back({listener.fd(), POLLIN, 0});
+        poll_ids.push_back(0);
+        for (const auto &[id, c] : conns) {
+            pfds.push_back({c.link.receiveFd(), POLLIN, 0});
+            poll_ids.push_back(id);
+        }
+        const int rc = ::poll(pfds.data(), pfds.size(), 50);
+        if (rc < 0 && errno != EINTR)
+            throw DistError(std::string("fabric poll failed: ") +
+                            std::strerror(errno));
+
+        if (rc > 0 && (pfds[0].revents & POLLIN)) {
+            try {
+                const int fd = listener.acceptClient();
+                Conn c;
+                c.link = Transport(fd, "fabric worker link");
+                c.link.setMaxFramePayload(cfg.maxFrameBytes);
+                c.lastSeen = Clock::now();
+                conns.emplace(nextConnId++, std::move(c));
+            } catch (const SocketError &err) {
+                warn(std::string("fabric: accept failed: ") +
+                     err.what());
+            }
+        }
+
+        for (std::size_t i = 1; rc > 0 && i < pfds.size(); ++i) {
+            if (!(pfds[i].revents & (POLLIN | POLLHUP | POLLERR)))
+                continue;
+            const std::uint64_t id = poll_ids[i];
+            const auto it = conns.find(id);
+            if (it == conns.end())
+                continue; // dropped earlier this round
+            Conn &c = it->second;
+            std::vector<std::uint8_t> payload;
+            bool got = false;
+            try {
+                got = c.link.receive(payload);
+            } catch (const FramingError &err) {
+                drop_conn(id, std::string("framing fault: ") +
+                                  err.what());
+                continue;
+            }
+            if (!got) {
+                drop_conn(id, "connection closed");
+                continue;
+            }
+            c.lastSeen = Clock::now();
+            try {
+                const FabricMsg type = peekType(payload);
+                if (!c.ready) {
+                    if (type != FabricMsg::Hello) {
+                        drop_conn(id, "message before handshake");
+                        continue;
+                    }
+                    handle_hello(id, payload);
+                    continue;
+                }
+                switch (type) {
+                  case FabricMsg::Result: {
+                    const ResultMsg res = decodeResult(payload);
+                    if (res.unitIndex >= unit_count) {
+                        drop_conn(id, "result for out-of-range unit");
+                        break;
+                    }
+                    switch (table.completeUnit(res.leaseId,
+                                               res.unitIndex)) {
+                      case LeaseResult::Accepted:
+                        result(res.unitIndex, res.response);
+                        break;
+                      case LeaseResult::Duplicate:
+                      case LeaseResult::Unknown:
+                        // A revoked lease's owner limping in late;
+                        // the reassignment owns the unit now.
+                        ++fabricStats.duplicateResults;
+                        break;
+                    }
+                    break;
+                  }
+                  case FabricMsg::Heartbeat:
+                    ++fabricStats.heartbeats;
+                    break;
+                  default:
+                    drop_conn(id, "unexpected message type");
+                    break;
+                }
+            } catch (const DistError &err) {
+                drop_conn(id, err.what());
+            }
+        }
+
+        const Clock::time_point now = Clock::now();
+        if (cfg.heartbeatTimeoutMs) {
+            std::vector<std::uint64_t> silent;
+            for (const auto &[id, c] : conns) {
+                if (now - c.lastSeen >
+                    std::chrono::milliseconds(cfg.heartbeatTimeoutMs))
+                    silent.push_back(id);
+            }
+            for (const std::uint64_t id : silent)
+                drop_conn(id, "heartbeat timeout");
+        }
+        if (cfg.leaseTimeoutMs) {
+            for (const std::uint64_t lease : table.expired(now)) {
+                const std::vector<std::size_t> units =
+                    table.revokeLease(lease);
+                ++fabricStats.leasesRevoked;
+                warn("fabric: lease " + std::to_string(lease) +
+                     " expired; reassigning " +
+                     std::to_string(units.size()) + " unit(s)");
+                charge_lost(units, "lease timeout");
+            }
+        }
+        if (!conns.empty()) {
+            idle_since = now;
+        } else if (cfg.stallTimeoutMs &&
+                   now - idle_since >
+                       std::chrono::milliseconds(cfg.stallTimeoutMs)) {
+            throw DistError(
+                "fabric: " + std::to_string(table.pendingCount()) +
+                " unit(s) pending but no worker has been connected "
+                "for " +
+                std::to_string(cfg.stallTimeoutMs) + "ms; giving up");
+        }
+    }
+
+    for (auto &[id, c] : conns) {
+        if (c.ready) {
+            try {
+                c.link.send(encodeDone());
+            } catch (const FramingError &) {
+                // It died after its last unit; nothing left to say.
+            }
+        }
+        c.link.close();
+    }
+    conns.clear();
+
+    // A campaign can resolve before late workers are ever accepted —
+    // a fully journal-replayed resume finishes without executing a
+    // single unit, and a small remainder can drain while a worker is
+    // still connecting. Those connections sit in the accept backlog
+    // waiting for a Welcome that will never come, while our caller
+    // waits on the workers: a deadlock. Answer each queued connection
+    // with Done, then close the listener so anything later is refused
+    // outright instead of queued unanswered.
+    for (int drained = 0; drained < 64; ++drained) {
+        pollfd pfd{listener.fd(), POLLIN, 0};
+        if (::poll(&pfd, 1, 0) <= 0 || !(pfd.revents & POLLIN))
+            break;
+        try {
+            Transport late(listener.acceptClient(),
+                           "fabric late worker link");
+            try {
+                late.send(encodeDone());
+            } catch (const FramingError &) {
+                // It hung up first; the close below says the same.
+            }
+            late.close();
+        } catch (const SocketError &) {
+            break;
+        }
+    }
+    listener.close();
+}
+
+} // namespace mtc

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Fault-tolerant campaign coordinator: the server side of the
+ * distributed fabric.
+ *
+ * The coordinator owns the campaign plan. Workers connect over TCP,
+ * handshake (protocol version checked, campaign spec shipped down),
+ * and are streamed *leases* — batches of opaque unit requests. The
+ * client callbacks mirror SandboxPool exactly (request / result /
+ * loss), so the campaign engine drives a fleet of machines with the
+ * same code shape it uses for a fleet of forked children, and the
+ * merged summary is bit-identical to a serial in-process run at any
+ * fleet size: per-unit seeds are fixed by the plan, results land in
+ * per-unit slots, and the fold happens in unit order after run().
+ *
+ * Robustness properties (see tests/dist_test.cpp for the matrix):
+ *  - liveness is heartbeat-based: a silent worker past the timeout is
+ *    presumed dead, its leases revoked, its units reassigned;
+ *  - a worker death mid-batch (socket EOF, torn frame) forfeits only
+ *    its unreported units — one Result per unit, not per lease;
+ *  - revoked units re-executing elsewhere cannot double-count: the
+ *    lease table's per-unit done flag drops stale duplicates;
+ *  - handshakes from mismatched protocol versions are rejected;
+ *  - backpressure: at most maxInFlightPerWorker open leases per
+ *    worker, so a slow worker throttles itself, not the fleet;
+ *  - per-worker error budgets: a worker name that keeps dying is
+ *    banned and its reconnects refused (the fabric's circuit
+ *    breaker), while its units migrate to healthy workers.
+ *
+ * Single-threaded poll loop; no threads are created, so a client may
+ * fork loopback workers after constructing the Coordinator (the same
+ * fork-before-threads discipline the sandbox pool relies on).
+ */
+
+#ifndef MTC_DIST_COORDINATOR_H
+#define MTC_DIST_COORDINATOR_H
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dist/protocol.h"
+#include "support/framing.h"
+#include "support/socket.h"
+
+namespace mtc
+{
+
+/** Coordinator knobs. */
+struct FabricConfig
+{
+    /** TCP port to listen on; 0 = ephemeral (read back via port()). */
+    std::uint16_t port = 0;
+
+    /** Bind address. Loopback by default: crossing machines is an
+     * explicit operator decision, not a default exposure. */
+    std::string host = "127.0.0.1";
+
+    /** Units per lease. Small batches bound the blast radius of a
+     * worker death; large ones amortize round trips. */
+    unsigned batchSize = 2;
+
+    /** Open leases per worker — the backpressure bound. */
+    unsigned maxInFlightPerWorker = 2;
+
+    /** A worker silent this long is presumed dead; 0 disables. */
+    std::uint64_t heartbeatTimeoutMs = 10000;
+
+    /** A lease unfinished this long is revoked and its units
+     * reassigned (the worker stays connected); 0 disables. */
+    std::uint64_t leaseTimeoutMs = 0;
+
+    /** Worker losses tolerated per worker name before its reconnects
+     * are refused; 0 = unlimited. */
+    unsigned workerLossBudget = 0;
+
+    /** With units pending but zero connected workers for this long,
+     * run() throws instead of waiting forever (loopback fleets that
+     * all died and gave up reconnecting); 0 = wait indefinitely,
+     * which is right for external fleets an operator attaches. */
+    std::uint64_t stallTimeoutMs = 0;
+
+    /** Per-frame payload ceiling on worker connections. */
+    std::uint32_t maxFrameBytes = kMaxFramePayloadBytes;
+
+    /** Version to require in handshakes. Exposed for tests; leave at
+     * the default everywhere else. */
+    std::uint32_t protocolVersion = kDistProtocolVersion;
+};
+
+/** Fabric-level counters for reporting and tests. */
+struct FabricStats
+{
+    unsigned workersConnected = 0; ///< handshakes accepted
+    unsigned workersRejected = 0;  ///< handshakes refused
+    unsigned workersLost = 0;      ///< accepted workers later lost
+    unsigned leasesGranted = 0;
+    unsigned leasesRevoked = 0;    ///< by loss or lease timeout
+    unsigned unitsReassigned = 0;  ///< units re-queued after a loss
+    unsigned duplicateResults = 0; ///< stale results dropped
+    unsigned heartbeats = 0;
+};
+
+/** See file comment. */
+class Coordinator
+{
+  public:
+    /** Request/result/loss callbacks — the SandboxPool contract. The
+     * loss callback additionally receives the per-unit loss count and
+     * a reason; returning true re-queues the unit, false abandons it
+     * (the client records the failure). */
+    using RequestFn = std::function<std::optional<
+        std::vector<std::uint8_t>>(std::size_t unit)>;
+    using ResultFn =
+        std::function<void(std::size_t unit,
+                           const std::vector<std::uint8_t> &payload)>;
+    using LossFn = std::function<bool(std::size_t unit, unsigned losses,
+                                      const std::string &why)>;
+
+    /**
+     * Bind the listening socket (so port() is known before any worker
+     * is launched) and stage @p spec for Welcome messages.
+     * @throws SocketError if the port cannot be bound.
+     */
+    Coordinator(FabricConfig cfg, std::vector<std::uint8_t> spec);
+
+    ~Coordinator();
+
+    Coordinator(const Coordinator &) = delete;
+    Coordinator &operator=(const Coordinator &) = delete;
+
+    /** Bound TCP port (the ephemeral port when cfg.port was 0). */
+    std::uint16_t port() const { return listener.port(); }
+
+    /** The listening descriptor. A client that forks loopback workers
+     * MUST close this in each child: an inherited copy keeps the
+     * listening socket alive after run() closes it, so a late worker's
+     * connect would be queued (never accepted, never refused) instead
+     * of getting the definitive reset that ends its reconnect loop. */
+    int listenerFd() const { return listener.fd(); }
+
+    /**
+     * Serve the campaign: accept workers, stream leases, merge
+     * results, until every unit of 0..@p unit_count-1 is resolved.
+     * Broadcasts Done and disconnects everyone before returning.
+     *
+     * @throws DistError if progress becomes impossible (every unit's
+     *         loss budget can still be absorbed, but a campaign with
+     *         pending units and every worker name banned is stuck).
+     */
+    void run(std::size_t unit_count, const RequestFn &request,
+             const ResultFn &result, const LossFn &loss);
+
+    const FabricStats &stats() const { return fabricStats; }
+
+  private:
+    FabricConfig cfg;
+    std::vector<std::uint8_t> spec;
+    TcpListener listener;
+    FabricStats fabricStats;
+};
+
+} // namespace mtc
+
+#endif // MTC_DIST_COORDINATOR_H

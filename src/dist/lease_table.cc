@@ -1,0 +1,145 @@
+#include "dist/lease_table.h"
+
+#include <algorithm>
+
+namespace mtc
+{
+
+LeaseTable::LeaseTable(std::size_t unit_count)
+    : unitCount(unit_count), done(unit_count, false)
+{
+    for (std::size_t u = 0; u < unit_count; ++u)
+        pending.push_back(u);
+}
+
+std::vector<std::size_t>
+LeaseTable::takePending(std::size_t max)
+{
+    std::vector<std::size_t> units;
+    while (!pending.empty() && units.size() < max) {
+        units.push_back(pending.front());
+        pending.pop_front();
+    }
+    return units;
+}
+
+void
+LeaseTable::requeueFront(const std::vector<std::size_t> &units)
+{
+    // Reverse order so units.front() ends up at pending.front().
+    for (auto it = units.rbegin(); it != units.rend(); ++it)
+        pending.push_front(*it);
+}
+
+void
+LeaseTable::markDone(std::size_t unit)
+{
+    if (done[unit])
+        return;
+    done[unit] = true;
+    ++doneCount;
+    // A unit given up on after a revocation re-queued it must not be
+    // granted again.
+    const auto it = std::find(pending.begin(), pending.end(), unit);
+    if (it != pending.end())
+        pending.erase(it);
+}
+
+std::uint64_t
+LeaseTable::openLease(std::uint64_t owner,
+                      const std::vector<std::size_t> &units,
+                      Clock::time_point deadline)
+{
+    const std::uint64_t id = nextLeaseId++;
+    Lease lease;
+    lease.owner = owner;
+    lease.units = units;
+    lease.deadline = deadline;
+    leases.emplace(id, std::move(lease));
+    return id;
+}
+
+LeaseResult
+LeaseTable::completeUnit(std::uint64_t lease, std::size_t unit)
+{
+    if (unit >= unitCount)
+        return LeaseResult::Unknown;
+    const auto it = leases.find(lease);
+    if (it == leases.end()) {
+        // The lease was revoked (worker presumed dead, or timed out)
+        // and this is its owner limping in late. If the unit has been
+        // re-executed already the flag catches it; if not, the result
+        // is still stale — the reassignment owns the unit now.
+        return done[unit] ? LeaseResult::Duplicate
+                          : LeaseResult::Unknown;
+    }
+    std::vector<std::size_t> &units = it->second.units;
+    const auto pos = std::find(units.begin(), units.end(), unit);
+    if (pos == units.end())
+        return done[unit] ? LeaseResult::Duplicate
+                          : LeaseResult::Unknown;
+    if (done[unit]) {
+        // Reassignment race: another lease finished this unit first.
+        units.erase(pos);
+        if (units.empty())
+            leases.erase(it);
+        return LeaseResult::Duplicate;
+    }
+    done[unit] = true;
+    ++doneCount;
+    units.erase(pos);
+    if (units.empty())
+        leases.erase(it);
+    return LeaseResult::Accepted;
+}
+
+std::vector<std::size_t>
+LeaseTable::revokeLease(std::uint64_t lease)
+{
+    const auto it = leases.find(lease);
+    if (it == leases.end())
+        return {};
+    std::vector<std::size_t> lost;
+    for (const std::size_t unit : it->second.units) {
+        if (!done[unit])
+            lost.push_back(unit);
+    }
+    leases.erase(it);
+    requeueFront(lost);
+    return lost;
+}
+
+std::vector<std::uint64_t>
+LeaseTable::leasesOf(std::uint64_t owner) const
+{
+    std::vector<std::uint64_t> ids;
+    for (const auto &[id, lease] : leases) {
+        if (lease.owner == owner)
+            ids.push_back(id);
+    }
+    return ids;
+}
+
+std::vector<std::uint64_t>
+LeaseTable::expired(Clock::time_point now) const
+{
+    std::vector<std::uint64_t> ids;
+    for (const auto &[id, lease] : leases) {
+        if (lease.deadline <= now)
+            ids.push_back(id);
+    }
+    return ids;
+}
+
+std::size_t
+LeaseTable::openLeaseCount(std::uint64_t owner) const
+{
+    std::size_t n = 0;
+    for (const auto &[id, lease] : leases) {
+        if (lease.owner == owner)
+            ++n;
+    }
+    return n;
+}
+
+} // namespace mtc

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Lease accounting for the distributed campaign fabric.
+ *
+ * The coordinator shards a campaign's flat unit list 0..n-1 into
+ * *leases*: short-lived grants of a unit batch to one worker. The
+ * table is the single source of truth for the fabric's two robustness
+ * invariants:
+ *
+ *   no unit lost      — a unit leaves `pending` only into an open
+ *                       lease or the done set; revoking a lease
+ *                       (worker death, lease timeout) returns its
+ *                       unfinished units for reassignment;
+ *   no double count   — a global per-unit done flag makes the first
+ *                       result win; a stale duplicate (a revoked
+ *                       lease's worker limping in late, a unit
+ *                       re-executed after reassignment) is detected
+ *                       and dropped by the caller.
+ *
+ * Pure bookkeeping: no I/O, no time source (callers pass deadlines as
+ * steady_clock points), trivially unit-testable.
+ */
+
+#ifndef MTC_DIST_LEASE_TABLE_H
+#define MTC_DIST_LEASE_TABLE_H
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <vector>
+
+namespace mtc
+{
+
+/** Verdict on a reported unit result. */
+enum class LeaseResult : std::uint8_t
+{
+    Accepted,  ///< first result for this unit; count it
+    Duplicate, ///< unit already done (stale lease / reassignment race)
+    Unknown    ///< lease id was never granted or already closed
+};
+
+/** See file comment. Single-threaded (the coordinator's poll loop). */
+class LeaseTable
+{
+  public:
+    using Clock = std::chrono::steady_clock;
+
+    explicit LeaseTable(std::size_t unit_count);
+
+    /** Units not done and not in any open lease, in dispatch order. */
+    std::size_t pendingCount() const { return pending.size(); }
+
+    bool allDone() const { return doneCount == unitCount; }
+
+    std::size_t unitsDone() const { return doneCount; }
+
+    /** Pop up to @p max pending units for granting. */
+    std::vector<std::size_t> takePending(std::size_t max);
+
+    /** Return units to the front of the pending queue (dispatch-order
+     * position is what keeps retried units ahead of fresh work, the
+     * same policy as the sandbox pool). */
+    void requeueFront(const std::vector<std::size_t> &units);
+
+    /** Mark a unit done outside any lease (journal replay, tripped
+     * breaker, a loss the client gave up on). */
+    void markDone(std::size_t unit);
+
+    bool isDone(std::size_t unit) const { return done[unit]; }
+
+    /**
+     * Open a lease over @p units for @p owner (an opaque connection
+     * id). @p deadline is the expiry instant; pass Clock::time_point
+     * ::max() when lease timeouts are off.
+     * @return the new lease id (monotonic, never reused).
+     */
+    std::uint64_t openLease(std::uint64_t owner,
+                            const std::vector<std::size_t> &units,
+                            Clock::time_point deadline);
+
+    /**
+     * Record a result for @p unit under @p lease. Accepted marks the
+     * unit done and removes it from the lease; a lease whose units
+     * are all done is closed automatically.
+     */
+    LeaseResult completeUnit(std::uint64_t lease, std::size_t unit);
+
+    /**
+     * Revoke @p lease: its not-yet-done units go back to the front of
+     * the pending queue. @return those units (for the caller's loss
+     * accounting), empty if the lease is unknown.
+     */
+    std::vector<std::size_t> revokeLease(std::uint64_t lease);
+
+    /** Open lease ids owned by @p owner (a dying connection). */
+    std::vector<std::uint64_t> leasesOf(std::uint64_t owner) const;
+
+    /** Open lease ids whose deadline passed at @p now. */
+    std::vector<std::uint64_t> expired(Clock::time_point now) const;
+
+    /** Open leases held by @p owner (backpressure accounting). */
+    std::size_t openLeaseCount(std::uint64_t owner) const;
+
+  private:
+    struct Lease
+    {
+        std::uint64_t owner = 0;
+        std::vector<std::size_t> units;
+        Clock::time_point deadline{};
+    };
+
+    std::size_t unitCount;
+    std::size_t doneCount = 0;
+    std::vector<bool> done;
+    std::deque<std::size_t> pending;
+    std::map<std::uint64_t, Lease> leases;
+    std::uint64_t nextLeaseId = 1;
+};
+
+} // namespace mtc
+
+#endif // MTC_DIST_LEASE_TABLE_H

@@ -1,0 +1,209 @@
+#include "dist/protocol.h"
+
+#include "support/journal.h"
+
+namespace mtc
+{
+
+namespace
+{
+
+void
+putBlob(ByteWriter &w, const std::vector<std::uint8_t> &blob)
+{
+    w.u32(static_cast<std::uint32_t>(blob.size()));
+    for (const std::uint8_t b : blob)
+        w.u8(b);
+}
+
+std::vector<std::uint8_t>
+getBlob(ByteReader &r)
+{
+    const std::uint32_t n = r.u32();
+    std::vector<std::uint8_t> blob;
+    blob.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i)
+        blob.push_back(r.u8());
+    return blob;
+}
+
+/** Check the tag and position the reader past it. */
+ByteReader
+open(const std::vector<std::uint8_t> &payload, FabricMsg want,
+     const char *what)
+{
+    if (peekType(payload) != want)
+        throw DistError(std::string("fabric: expected a ") + what +
+                        " message, got tag " +
+                        std::to_string(payload.front()));
+    ByteReader r(payload);
+    r.u8(); // consume the tag
+    return r;
+}
+
+} // anonymous namespace
+
+FabricMsg
+peekType(const std::vector<std::uint8_t> &payload)
+{
+    if (payload.empty())
+        throw DistError("fabric: empty message payload");
+    const std::uint8_t tag = payload.front();
+    if (tag < static_cast<std::uint8_t>(FabricMsg::Hello) ||
+        tag > static_cast<std::uint8_t>(FabricMsg::Done))
+        throw DistError("fabric: unknown message tag " +
+                        std::to_string(tag));
+    return static_cast<FabricMsg>(tag);
+}
+
+std::vector<std::uint8_t>
+encodeHello(const HelloMsg &msg)
+{
+    ByteWriter w;
+    w.u8(static_cast<std::uint8_t>(FabricMsg::Hello));
+    w.u32(msg.version);
+    w.str(msg.name);
+    return w.bytes();
+}
+
+HelloMsg
+decodeHello(const std::vector<std::uint8_t> &payload)
+{
+    try {
+        ByteReader r = open(payload, FabricMsg::Hello, "Hello");
+        HelloMsg msg;
+        msg.version = r.u32();
+        msg.name = r.str();
+        return msg;
+    } catch (const JournalError &err) {
+        throw DistError(std::string("fabric: malformed Hello: ") +
+                        err.what());
+    }
+}
+
+std::vector<std::uint8_t>
+encodeWelcome(const WelcomeMsg &msg)
+{
+    ByteWriter w;
+    w.u8(static_cast<std::uint8_t>(FabricMsg::Welcome));
+    putBlob(w, msg.spec);
+    return w.bytes();
+}
+
+WelcomeMsg
+decodeWelcome(const std::vector<std::uint8_t> &payload)
+{
+    try {
+        ByteReader r = open(payload, FabricMsg::Welcome, "Welcome");
+        WelcomeMsg msg;
+        msg.spec = getBlob(r);
+        return msg;
+    } catch (const JournalError &err) {
+        throw DistError(std::string("fabric: malformed Welcome: ") +
+                        err.what());
+    }
+}
+
+std::vector<std::uint8_t>
+encodeReject(const RejectMsg &msg)
+{
+    ByteWriter w;
+    w.u8(static_cast<std::uint8_t>(FabricMsg::Reject));
+    w.str(msg.reason);
+    return w.bytes();
+}
+
+RejectMsg
+decodeReject(const std::vector<std::uint8_t> &payload)
+{
+    try {
+        ByteReader r = open(payload, FabricMsg::Reject, "Reject");
+        RejectMsg msg;
+        msg.reason = r.str();
+        return msg;
+    } catch (const JournalError &err) {
+        throw DistError(std::string("fabric: malformed Reject: ") +
+                        err.what());
+    }
+}
+
+std::vector<std::uint8_t>
+encodeLease(const LeaseMsg &msg)
+{
+    ByteWriter w;
+    w.u8(static_cast<std::uint8_t>(FabricMsg::Lease));
+    w.u64(msg.leaseId);
+    w.u32(static_cast<std::uint32_t>(msg.units.size()));
+    for (const LeaseUnit &unit : msg.units) {
+        w.u64(unit.unitIndex);
+        putBlob(w, unit.request);
+    }
+    return w.bytes();
+}
+
+LeaseMsg
+decodeLease(const std::vector<std::uint8_t> &payload)
+{
+    try {
+        ByteReader r = open(payload, FabricMsg::Lease, "Lease");
+        LeaseMsg msg;
+        msg.leaseId = r.u64();
+        const std::uint32_t count = r.u32();
+        msg.units.reserve(count);
+        for (std::uint32_t i = 0; i < count; ++i) {
+            LeaseUnit unit;
+            unit.unitIndex = r.u64();
+            unit.request = getBlob(r);
+            msg.units.push_back(std::move(unit));
+        }
+        return msg;
+    } catch (const JournalError &err) {
+        throw DistError(std::string("fabric: malformed Lease: ") +
+                        err.what());
+    }
+}
+
+std::vector<std::uint8_t>
+encodeResult(const ResultMsg &msg)
+{
+    ByteWriter w;
+    w.u8(static_cast<std::uint8_t>(FabricMsg::Result));
+    w.u64(msg.leaseId);
+    w.u64(msg.unitIndex);
+    putBlob(w, msg.response);
+    return w.bytes();
+}
+
+ResultMsg
+decodeResult(const std::vector<std::uint8_t> &payload)
+{
+    try {
+        ByteReader r = open(payload, FabricMsg::Result, "Result");
+        ResultMsg msg;
+        msg.leaseId = r.u64();
+        msg.unitIndex = r.u64();
+        msg.response = getBlob(r);
+        return msg;
+    } catch (const JournalError &err) {
+        throw DistError(std::string("fabric: malformed Result: ") +
+                        err.what());
+    }
+}
+
+std::vector<std::uint8_t>
+encodeHeartbeat()
+{
+    ByteWriter w;
+    w.u8(static_cast<std::uint8_t>(FabricMsg::Heartbeat));
+    return w.bytes();
+}
+
+std::vector<std::uint8_t>
+encodeDone()
+{
+    ByteWriter w;
+    w.u8(static_cast<std::uint8_t>(FabricMsg::Done));
+    return w.bytes();
+}
+
+} // namespace mtc

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Wire protocol for the distributed campaign fabric.
+ *
+ * The coordinator and its workers exchange framed messages (one
+ * message per frame, src/support/transport.h) whose payloads are
+ * ByteWriter-encoded with a one-byte type tag up front:
+ *
+ *   worker -> coordinator:  Hello, Result, Heartbeat
+ *   coordinator -> worker:  Welcome, Reject, Lease, Done
+ *
+ * The fabric is payload-agnostic, exactly like the sandbox pool: a
+ * Lease carries opaque unit request blobs, a Result carries one
+ * opaque response blob. What those bytes mean (campaign unit records)
+ * is the harness layer's business (src/harness/dist_campaign.h), so
+ * this library depends only on mtc_support.
+ *
+ * Versioning: Hello carries kDistProtocolVersion; the coordinator
+ * rejects mismatches at the handshake with a Reject message rather
+ * than letting a stale worker binary desync the stream mid-campaign.
+ */
+
+#ifndef MTC_DIST_PROTOCOL_H
+#define MTC_DIST_PROTOCOL_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/error.h"
+
+namespace mtc
+{
+
+/** Protocol-level failure in the distributed fabric (malformed
+ * message, handshake rejection, fabric infrastructure fault). */
+class DistError : public Error
+{
+  public:
+    explicit DistError(const std::string &what_arg) : Error(what_arg)
+    {}
+};
+
+/** Bump on any wire-format change; handshakes cross-check it. */
+constexpr std::uint32_t kDistProtocolVersion = 1;
+
+/** First payload byte of every fabric message. */
+enum class FabricMsg : std::uint8_t
+{
+    Hello = 1,     ///< worker: version + name, opens the session
+    Welcome = 2,   ///< coordinator: handshake accepted + campaign spec
+    Reject = 3,    ///< coordinator: handshake refused (reason string)
+    Lease = 4,     ///< coordinator: a batch of units to execute
+    Result = 5,    ///< worker: one completed unit of a lease
+    Heartbeat = 6, ///< worker: liveness signal
+    Done = 7       ///< coordinator: campaign complete, disconnect
+};
+
+/** Classify a raw payload without decoding it.
+ * @throws DistError on an empty payload or an unknown tag. */
+FabricMsg peekType(const std::vector<std::uint8_t> &payload);
+
+struct HelloMsg
+{
+    std::uint32_t version = kDistProtocolVersion;
+    std::string name; ///< worker identity for logs and error budgets
+};
+
+struct WelcomeMsg
+{
+    /** Opaque campaign spec the worker needs before executing units
+     * (the harness encodes configs + campaign knobs here). */
+    std::vector<std::uint8_t> spec;
+};
+
+struct RejectMsg
+{
+    std::string reason;
+};
+
+/** One leased unit: its global index plus the opaque request blob. */
+struct LeaseUnit
+{
+    std::uint64_t unitIndex = 0;
+    std::vector<std::uint8_t> request;
+};
+
+struct LeaseMsg
+{
+    std::uint64_t leaseId = 0;
+    std::vector<LeaseUnit> units;
+};
+
+/** One Result per completed unit — not per lease — so the coordinator
+ * sees partial progress and a mid-batch death forfeits only the units
+ * still unreported. */
+struct ResultMsg
+{
+    std::uint64_t leaseId = 0;
+    std::uint64_t unitIndex = 0;
+    std::vector<std::uint8_t> response;
+};
+
+std::vector<std::uint8_t> encodeHello(const HelloMsg &msg);
+std::vector<std::uint8_t> encodeWelcome(const WelcomeMsg &msg);
+std::vector<std::uint8_t> encodeReject(const RejectMsg &msg);
+std::vector<std::uint8_t> encodeLease(const LeaseMsg &msg);
+std::vector<std::uint8_t> encodeResult(const ResultMsg &msg);
+std::vector<std::uint8_t> encodeHeartbeat();
+std::vector<std::uint8_t> encodeDone();
+
+/** Decoders throw DistError on a wrong tag or malformed payload. */
+HelloMsg decodeHello(const std::vector<std::uint8_t> &payload);
+WelcomeMsg decodeWelcome(const std::vector<std::uint8_t> &payload);
+RejectMsg decodeReject(const std::vector<std::uint8_t> &payload);
+LeaseMsg decodeLease(const std::vector<std::uint8_t> &payload);
+ResultMsg decodeResult(const std::vector<std::uint8_t> &payload);
+
+} // namespace mtc
+
+#endif // MTC_DIST_PROTOCOL_H

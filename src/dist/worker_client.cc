@@ -1,0 +1,230 @@
+#include "dist/worker_client.h"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <csignal>
+#include <mutex>
+#include <thread>
+
+#include <unistd.h>
+
+#include "support/log.h"
+#include "support/socket.h"
+#include "support/transport.h"
+
+namespace mtc
+{
+
+namespace
+{
+
+/** See the coordinator's SigpipeGuard: EPIPE, not process death. */
+class SigpipeGuard
+{
+  public:
+    SigpipeGuard() { old = ::signal(SIGPIPE, SIG_IGN); }
+    ~SigpipeGuard() { ::signal(SIGPIPE, old); }
+
+  private:
+    void (*old)(int) = nullptr;
+};
+
+/**
+ * Heartbeat sender: pings the link every period until stopped. Sends
+ * share a mutex with the main loop's Result sends — the Transport is
+ * thread-compatible, not thread-safe. A send failure just ends the
+ * thread; the main loop sees the dead link on its own.
+ */
+class Heartbeat
+{
+  public:
+    Heartbeat(Transport &link_arg, std::mutex &send_mtx_arg,
+              std::uint64_t period_ms)
+        : link(link_arg), sendMtx(send_mtx_arg)
+    {
+        if (period_ms == 0)
+            return;
+        thread = std::thread([this, period_ms] {
+            std::unique_lock<std::mutex> lock(mtx);
+            while (!cv.wait_for(
+                lock, std::chrono::milliseconds(period_ms),
+                [this] { return stop; })) {
+                try {
+                    const std::lock_guard<std::mutex> send(sendMtx);
+                    link.send(encodeHeartbeat());
+                } catch (const FramingError &) {
+                    return; // link died; the main loop will notice
+                }
+            }
+        });
+    }
+
+    ~Heartbeat()
+    {
+        {
+            const std::lock_guard<std::mutex> lock(mtx);
+            stop = true;
+        }
+        cv.notify_all();
+        if (thread.joinable())
+            thread.join();
+    }
+
+  private:
+    Transport &link;
+    std::mutex &sendMtx;
+    std::mutex mtx;
+    std::condition_variable cv;
+    bool stop = false;
+    std::thread thread;
+};
+
+} // anonymous namespace
+
+WorkerRunStats
+runWorkerClient(const WorkerClientConfig &cfg,
+                const WorkerSpecFn &spec_fn, const WorkerUnitFn &unit_fn)
+{
+    const SigpipeGuard sigpipe;
+
+    WorkerRunStats stats;
+    unsigned failures = 0; ///< consecutive connect failures / lost sessions
+    unsigned handshakes = 0;
+    std::uint64_t backoff = std::max<std::uint64_t>(cfg.backoffBaseMs, 1);
+    std::uint64_t sent = 0; ///< results sent, for the exit drill
+
+    const auto back_off = [&](const std::string &why) {
+        ++failures;
+        if (failures > cfg.maxReconnects)
+            return false;
+        debug("worker '" + cfg.name + "': " + why + "; retrying in " +
+              std::to_string(backoff) + "ms (" +
+              std::to_string(failures) + "/" +
+              std::to_string(cfg.maxReconnects) + ")");
+        std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+        backoff = std::min(backoff * 2, std::max<std::uint64_t>(
+                                            cfg.backoffCapMs, 1));
+        return true;
+    };
+
+    for (;;) {
+        int fd = -1;
+        try {
+            fd = connectTcp(cfg.host, cfg.port);
+        } catch (const SocketError &err) {
+            if (back_off(std::string("connect failed: ") + err.what()))
+                continue;
+            if (handshakes > 0)
+                return stats; // campaign likely over; see file comment
+            throw DistError("worker '" + cfg.name +
+                            "': cannot reach coordinator at " +
+                            cfg.host + ":" + std::to_string(cfg.port));
+        }
+        Transport link(fd, "worker '" + cfg.name + "' link");
+        link.setMaxFramePayload(cfg.maxFrameBytes);
+
+        // Handshake. A Reject is fatal (a version mismatch or a ban
+        // does not heal by retrying); a dead connection is not.
+        bool session_ok = false;
+        try {
+            HelloMsg hello;
+            hello.version = cfg.protocolVersion;
+            hello.name = cfg.name;
+            link.send(encodeHello(hello));
+            std::vector<std::uint8_t> reply;
+            if (link.receive(reply)) {
+                const FabricMsg type = peekType(reply);
+                if (type == FabricMsg::Done) {
+                    // We arrived after the campaign resolved (e.g. a
+                    // fully journal-replayed resume): clean exit, not
+                    // an error and not a reconnect.
+                    return stats;
+                }
+                if (type == FabricMsg::Reject) {
+                    throw DistError(
+                        "worker '" + cfg.name + "' rejected: " +
+                        decodeReject(reply).reason);
+                }
+                if (type != FabricMsg::Welcome)
+                    throw DistError("worker '" + cfg.name +
+                                    "': unexpected handshake reply");
+                spec_fn(decodeWelcome(reply).spec);
+                session_ok = true;
+            }
+        } catch (const FramingError &) {
+            // Fall through: handshake died mid-flight.
+        }
+        if (!session_ok) {
+            if (back_off("handshake did not complete"))
+                continue;
+            if (handshakes > 0)
+                return stats;
+            throw DistError("worker '" + cfg.name +
+                            "': handshake never completed");
+        }
+        if (handshakes++ > 0)
+            ++stats.reconnects;
+        failures = 0;
+        backoff = std::max<std::uint64_t>(cfg.backoffBaseMs, 1);
+
+        std::mutex send_mtx;
+        bool done = false;
+        {
+            const Heartbeat heartbeat(link, send_mtx, cfg.heartbeatMs);
+            try {
+                for (;;) {
+                    std::vector<std::uint8_t> msg;
+                    if (!link.receive(msg))
+                        break; // lost the coordinator; reconnect
+                    const FabricMsg type = peekType(msg);
+                    if (type == FabricMsg::Done) {
+                        done = true;
+                        break;
+                    }
+                    if (type != FabricMsg::Lease)
+                        throw DistError("worker '" + cfg.name +
+                                        "': unexpected " +
+                                        "mid-session message");
+                    const LeaseMsg lease = decodeLease(msg);
+                    for (const LeaseUnit &unit : lease.units) {
+                        if (cfg.unitDelayMs) {
+                            std::this_thread::sleep_for(
+                                std::chrono::milliseconds(
+                                    cfg.unitDelayMs));
+                        }
+                        ResultMsg res;
+                        res.leaseId = lease.leaseId;
+                        res.unitIndex = unit.unitIndex;
+                        res.response =
+                            unit_fn(unit.unitIndex, unit.request);
+                        {
+                            const std::lock_guard<std::mutex> send(
+                                send_mtx);
+                            link.send(encodeResult(res));
+                        }
+                        ++stats.unitsExecuted;
+                        ++sent;
+                        if (cfg.exitAfterUnits &&
+                            sent >= cfg.exitAfterUnits) {
+                            // Crash drill: die abruptly mid-batch,
+                            // leaving the rest of the lease
+                            // unreported. No unwinding, no goodbyes —
+                            // the closest _exit gets to a SIGKILL.
+                            ::_exit(17);
+                        }
+                    }
+                }
+            } catch (const FramingError &) {
+                // Torn mid-session; treat as a lost connection.
+            }
+        } // heartbeat joins here, before the link goes away
+        link.close();
+        if (done)
+            return stats;
+        if (!back_off("session lost"))
+            return stats; // at least one handshake succeeded
+    }
+}
+
+} // namespace mtc

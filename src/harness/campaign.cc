@@ -3,13 +3,18 @@
 #include <atomic>
 #include <cerrno>
 #include <chrono>
+#include <csignal>
 #include <cstdlib>
+#include <fstream>
 #include <functional>
 #include <memory>
 #include <optional>
 #include <utility>
 
+#include "dist/coordinator.h"
 #include "harness/campaign_journal.h"
+#include "harness/campaign_plan.h"
+#include "harness/dist_campaign.h"
 #include "harness/sandbox.h"
 #include "harness/watchdog.h"
 #include "sim/executor.h"
@@ -116,30 +121,11 @@ platformFor(const TestConfig &cfg, PlatformVariant variant)
     return exec;
 }
 
-namespace
-{
+// The deterministic plan — deriveTestPlans, flowTemplate,
+// runPlannedTest — is exported via campaign_plan.h (see its file
+// comment for the bit-identity argument); the distributed worker
+// rebuilds the same plans from the campaign spec alone.
 
-/** Seeds of one test, fixed before any test runs. */
-struct TestPlan
-{
-    std::uint64_t genSeed = 0;
-    std::uint64_t flowSeed = 0;
-
-    /** Root of this test's private retry-seed stream. */
-    std::uint64_t retrySeed = 0;
-};
-
-/**
- * Pre-derive every test's seeds from the canonical per-config seeder
- * sequence (two draws per test, in test order — exactly the draws the
- * serial runner made), so tests can run on any worker in any order
- * and still see the very same programs. Retry seeds are the one
- * departure: the serial runner drew retry seeds from the shared
- * sequence, which would let one worker's retry shift every later
- * test's seeds; instead each test's retries come from a private
- * stream rooted in its own seeds, keeping failures local and results
- * independent of scheduling.
- */
 std::vector<TestPlan>
 deriveTestPlans(const TestConfig &cfg, const CampaignConfig &campaign)
 {
@@ -164,7 +150,6 @@ deriveTestPlans(const TestConfig &cfg, const CampaignConfig &campaign)
     return plans;
 }
 
-/** Flow template shared by all of one configuration's tests. */
 FlowConfig
 flowTemplate(const TestConfig &cfg, const CampaignConfig &campaign)
 {
@@ -187,16 +172,6 @@ flowTemplate(const TestConfig &cfg, const CampaignConfig &campaign)
     return flow_cfg;
 }
 
-/**
- * Run one planned test with its retry budget. A test that dies on an
- * internal error (poisoned generation seed, wedged platform, harness
- * bug surfacing under fault injection) is retried with fresh seeds
- * from its private stream; after the budget it is recorded as failed
- * — one bad test must never take down a whole campaign. With a
- * watchdog armed, each attempt runs under its own deadline and
- * cancellation token; a reclaimed attempt counts as hung and is
- * retried exactly like a crashed one.
- */
 TestOutcome
 runPlannedTest(const TestConfig &cfg, const FlowConfig &flow_template,
                const TestPlan &plan, const CampaignConfig &campaign,
@@ -248,6 +223,9 @@ runPlannedTest(const TestConfig &cfg, const FlowConfig &flow_template,
     }
     return outcome;
 }
+
+namespace
+{
 
 /**
  * Error events one finished unit contributes to its config's circuit
@@ -494,9 +472,7 @@ runUnitsSandboxed(
         [&configs, &plans, &campaign, child_runtime](
             const std::vector<std::uint8_t> &request,
             const WorkerEnv &env) -> std::vector<std::uint8_t> {
-        ByteReader reader(request);
-        const std::size_t c = reader.u32();
-        const std::size_t t = reader.u32();
+        const auto [c, t] = decodeUnitRequest(request);
 
         FlowConfig flow = plans[c].flow;
         if (env.workerIndex != 0 || env.generation != 0) {
@@ -534,10 +510,7 @@ runUnitsSandboxed(
         if (resolve_without_running(u))
             return std::nullopt;
         const auto [c, t] = units[u];
-        ByteWriter w;
-        w.u32(static_cast<std::uint32_t>(c));
-        w.u32(static_cast<std::uint32_t>(t));
-        return w.bytes();
+        return encodeUnitRequest(c, t);
     };
 
     const SandboxPool::ResultFn result_fn =
@@ -605,6 +578,139 @@ runUnitsSandboxed(
     };
 
     pool.run(units.size(), request_fn, result_fn, loss_fn);
+}
+
+/**
+ * Distributed unit engine: serve the campaign's flat unit list over
+ * the TCP fabric (src/dist/coordinator.h) to a forked loopback fleet
+ * plus any externally attached mtc_worker processes. The parent keeps
+ * the journal, the breaker and the outcome slots, exactly as in
+ * sandboxed mode.
+ *
+ * The loss policy is where distributed deliberately differs from
+ * sandboxed: a lost worker is a *fabric* event, not a platform crash
+ * — the unit's leased work simply never happened, and reassignment
+ * re-executes it from its pre-derived seeds to the very same result.
+ * So losses are not charged to the outcome (no platformCrashes, no
+ * crash-retry budget), which is what keeps the summary bit-identical
+ * to a serial run even when workers die mid-batch. Only a unit that
+ * keeps losing workers past the reassignment cap is abandoned and
+ * recorded Failed.
+ */
+void
+runUnitsDistributed(
+    const std::vector<TestConfig> &configs,
+    const CampaignConfig &campaign,
+    const std::vector<ConfigPlan> &plans,
+    const std::vector<std::pair<std::size_t, std::size_t>> &units,
+    std::vector<std::vector<TestOutcome>> &outcomes,
+    const std::function<bool(std::size_t)> &resolve_without_running,
+    const std::function<void(std::size_t)> &record_outcome)
+{
+    FabricConfig fabric;
+    fabric.port = campaign.distPort;
+    fabric.batchSize = campaign.distBatch;
+    fabric.maxInFlightPerWorker = campaign.distMaxInFlight;
+    fabric.heartbeatTimeoutMs = campaign.distHeartbeatTimeoutMs;
+    fabric.leaseTimeoutMs = campaign.distLeaseTimeoutMs;
+    // A loopback fleet that died for good must fail the campaign, not
+    // hang it; an external fleet is the operator's to attach whenever.
+    fabric.stallTimeoutMs = campaign.distWorkers ? 60000 : 0;
+
+    CampaignSpec spec;
+    spec.configs = configs;
+    spec.campaign = campaign;
+    Coordinator coordinator(fabric, encodeCampaignSpec(spec));
+
+    if (!campaign.distPortFile.empty()) {
+        std::ofstream port_file(campaign.distPortFile,
+                                std::ios::trunc);
+        port_file << coordinator.port() << '\n';
+        if (!port_file)
+            throw ConfigError("cannot write coordinator port to '" +
+                              campaign.distPortFile + "'");
+    }
+
+    // Fork-before-threads: the coordinator is poll-based (no threads
+    // yet), so the loopback fleet forks clean. Worker 0 carries the
+    // die-mid-batch drill when armed.
+    std::vector<pid_t> fleet;
+    fleet.reserve(campaign.distWorkers);
+    for (unsigned i = 0; i < campaign.distWorkers; ++i) {
+        fleet.push_back(forkCampaignWorker(
+            coordinator.port(), i,
+            i == 0 ? campaign.distDrillExitAfter : 0,
+            coordinator.listenerFd()));
+    }
+    const auto reap_fleet = [&fleet](bool kill_first) {
+        for (const pid_t pid : fleet) {
+            if (kill_first)
+                ::kill(pid, SIGKILL);
+            try {
+                waitChild(pid);
+            } catch (const ProcessError &) {
+                // Already reaped or never existed; nothing to do.
+            }
+        }
+        fleet.clear();
+    };
+
+    const Coordinator::RequestFn request_fn =
+        [&](std::size_t u) -> std::optional<std::vector<std::uint8_t>> {
+        if (resolve_without_running(u))
+            return std::nullopt;
+        const auto [c, t] = units[u];
+        return encodeUnitRequest(c, t);
+    };
+
+    const Coordinator::ResultFn result_fn =
+        [&](std::size_t u, const std::vector<std::uint8_t> &payload) {
+        const auto [c, t] = units[u];
+        UnitRecord record = decodeUnitRecord(payload);
+        const TestPlan &plan = plans[c].tests[t];
+        if (record.configName != configs[c].name() ||
+            record.testIndex != t || record.genSeed != plan.genSeed ||
+            record.flowSeed != plan.flowSeed) {
+            throw DistError(
+                "fabric: worker response does not match the leased "
+                "unit (test " + std::to_string(t) + " of " +
+                configs[c].name() + ")");
+        }
+        outcomes[c][t] = record.outcome;
+        record_outcome(u);
+    };
+
+    // Reassignments per unit before giving up. Generous on purpose: a
+    // reassigned unit costs one re-execution, an abandoned unit costs
+    // a campaign hole.
+    constexpr unsigned kMaxUnitLosses = 8;
+    const Coordinator::LossFn loss_fn =
+        [&](std::size_t u, unsigned losses,
+            const std::string &why) -> bool {
+        const auto [c, t] = units[u];
+        if (losses <= kMaxUnitLosses)
+            return true; // reassign; the re-execution is bit-identical
+        TestOutcome &slot = outcomes[c][t];
+        slot = TestOutcome{};
+        slot.status = TestStatus::Failed;
+        slot.ok = false;
+        slot.result.fault.note = "fabric: abandoned after " +
+            std::to_string(losses) + " worker losses (" + why + ")";
+        warn("test " + std::to_string(t) + " of " + configs[c].name() +
+             " abandoned after " + std::to_string(losses) +
+             " worker losses");
+        record_outcome(u);
+        return false;
+    };
+
+    try {
+        coordinator.run(units.size(), request_fn, result_fn, loss_fn);
+    } catch (...) {
+        reap_fleet(true);
+        throw;
+    }
+    // Done has been broadcast; the fleet drains and exits on its own.
+    reap_fleet(false);
 }
 
 /**
@@ -742,6 +848,9 @@ runUnits(const std::vector<TestConfig> &configs,
     if (campaign.mode == ExecutionMode::Sandboxed) {
         runUnitsSandboxed(configs, campaign, plans, units, outcomes,
                           resolve_without_running, record_outcome);
+    } else if (campaign.mode == ExecutionMode::Distributed) {
+        runUnitsDistributed(configs, campaign, plans, units, outcomes,
+                            resolve_without_running, record_outcome);
     } else {
         const unsigned workers =
             ThreadPool::resolveThreads(campaign.threads);

@@ -46,6 +46,15 @@ enum class ExecutionMode : std::uint8_t
      * Summaries stay bit-identical to InProcess at any worker
      * count. */
     Sandboxed,
+
+    /** Units run on a fleet of worker processes connected over TCP
+     * (src/dist/coordinator.h): `distWorkers` loopback workers are
+     * forked locally, and external `mtc_worker` processes may attach
+     * to the same port. A lost worker's leased units are reassigned
+     * and re-executed from their pre-derived seeds, so summaries stay
+     * bit-identical to InProcess at any fleet size even across
+     * mid-batch worker deaths. */
+    Distributed,
 };
 
 /** Campaign-wide knobs. */
@@ -161,6 +170,38 @@ struct CampaignConfig
      * ExecutorConfig::leakAfterRuns); sandbox-gated like
      * dieAfterRuns. */
     std::uint64_t leakAfterRuns = 0;
+
+    /** Distributed mode: loopback workers forked by the campaign
+     * itself. 0 forks none — the coordinator then waits for external
+     * `mtc_worker` processes to attach. */
+    unsigned distWorkers = 2;
+
+    /** Distributed mode: coordinator TCP port; 0 = ephemeral. */
+    std::uint16_t distPort = 0;
+
+    /** Distributed mode: units per lease (see FabricConfig). */
+    unsigned distBatch = 2;
+
+    /** Distributed mode: open leases per worker (backpressure). */
+    unsigned distMaxInFlight = 2;
+
+    /** Distributed mode: heartbeat liveness timeout; 0 disables. */
+    std::uint64_t distHeartbeatTimeoutMs = 10000;
+
+    /** Distributed mode: lease expiry; 0 disables. An expired lease's
+     * units are reassigned while the slow worker stays connected. */
+    std::uint64_t distLeaseTimeoutMs = 0;
+
+    /** Distributed mode: write the coordinator's bound port (decimal,
+     * one line) to this file once listening — how scripts learn an
+     * ephemeral port. Empty writes nothing. */
+    std::string distPortFile;
+
+    /** Failure drill, distributed mode: loopback worker 0 _exit()s
+     * abruptly after sending this many results — the worker-dies-
+     * mid-batch scenario, whose leased units must be reassigned with
+     * a bit-identical summary. 0 = off. */
+    std::uint64_t distDrillExitAfter = 0;
 
     /**
      * Apply MTC_ITERATIONS / MTC_TESTS / MTC_SEED / MTC_THREADS /

@@ -1,6 +1,12 @@
 #include "harness/campaign_journal.h"
 
+#include <cerrno>
+#include <cstring>
 #include <fstream>
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
 
 #include "support/error.h"
 #include "support/stats.h"
@@ -221,52 +227,96 @@ decodeUnitRecord(const std::vector<std::uint8_t> &payload)
 CampaignJournal::CampaignJournal(std::string path,
                                  const Identity &identity, bool resume)
 {
-    if (!resume) {
-        // Fresh campaign: an existing file at the path is stale state
-        // from some earlier run — drop it rather than splice onto it.
-        std::ofstream(path, std::ios::binary | std::ios::trunc);
+    // Take the advisory lock BEFORE any mutation: the fresh-open path
+    // below truncates, and truncating a journal another campaign is
+    // actively appending to is exactly the accident the lock exists
+    // to prevent.
+    lockFd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+    if (lockFd < 0) {
+        throw JournalError("cannot open journal '" + path +
+                           "': " + std::strerror(errno));
+    }
+    if (::flock(lockFd, LOCK_EX | LOCK_NB) != 0) {
+        const int err = errno;
+        ::close(lockFd);
+        lockFd = -1;
+        if (err == EWOULDBLOCK) {
+            throw ConfigError(
+                "journal '" + path +
+                "' is locked by another campaign — two campaigns "
+                "writing one journal would interleave their records; "
+                "wait for the other run or give this one its own "
+                "journal path");
+        }
+        throw JournalError("cannot lock journal '" + path +
+                           "': " + std::strerror(err));
+    }
+
+    // From here on the lock is held. A throw below leaves the
+    // constructor — so the destructor never runs — and a leaked fd
+    // would keep the flock for the rest of the process, turning one
+    // rejected resume (bad identity, torn header, ...) into "journal
+    // is locked" for every later attempt in the same process.
+    try {
+        if (!resume) {
+            // Fresh campaign: an existing file at the path is stale
+            // state from some earlier run — drop it rather than
+            // splice onto it.
+            std::ofstream(path, std::ios::binary | std::ios::trunc);
+            writer = std::make_unique<JournalWriter>(path);
+            writer->append(encodeHeader(identity));
+            writer->sync(); // the header must never be lost to a crash
+            return;
+        }
+
+        JournalRecovery recovery = readJournal(path);
+        dropped = recovery.droppedBytes;
+        if (recovery.records.empty())
+            throw ConfigError(
+                "--resume: journal '" + path +
+                "' has no intact header record to resume from" +
+                (dropped ? " (its only record was torn)" : ""));
+
+        ByteReader header(recovery.records.front());
+        if (header.u8() != kHeaderTag || header.u32() != kJournalMagic)
+            throw ConfigError("--resume: '" + path +
+                              "' is not a campaign journal");
+        const std::uint32_t version = header.u32();
+        if (version != kJournalVersion)
+            throw ConfigError(
+                "--resume: journal '" + path + "' is format version " +
+                std::to_string(version) +
+                ", this build writes version " +
+                std::to_string(kJournalVersion));
+        const std::uint64_t digest = header.u64();
+        const std::string description = header.str();
+        if (digest != identity.digest)
+            throw ConfigError(
+                "--resume: journal '" + path +
+                "' was written by a different campaign\n  journal:  " +
+                description + "\n  current:  " + identity.description);
+
+        for (std::size_t i = 1; i < recovery.records.size(); ++i) {
+            UnitRecord record = decodeUnitRecord(recovery.records[i]);
+            Key key{record.configName, record.testIndex};
+            units.insert_or_assign(std::move(key), std::move(record));
+        }
+
+        // Drop the torn tail on disk too, then append after the last
+        // intact frame.
+        truncateToValidPrefix(path, recovery);
         writer = std::make_unique<JournalWriter>(path);
-        writer->append(encodeHeader(identity));
-        writer->sync(); // the header must never be lost to a crash
-        return;
+    } catch (...) {
+        ::close(lockFd);
+        lockFd = -1;
+        throw;
     }
+}
 
-    JournalRecovery recovery = readJournal(path);
-    dropped = recovery.droppedBytes;
-    if (recovery.records.empty())
-        throw ConfigError(
-            "--resume: journal '" + path +
-            "' has no intact header record to resume from" +
-            (dropped ? " (its only record was torn)" : ""));
-
-    ByteReader header(recovery.records.front());
-    if (header.u8() != kHeaderTag || header.u32() != kJournalMagic)
-        throw ConfigError("--resume: '" + path +
-                          "' is not a campaign journal");
-    const std::uint32_t version = header.u32();
-    if (version != kJournalVersion)
-        throw ConfigError(
-            "--resume: journal '" + path + "' is format version " +
-            std::to_string(version) + ", this build writes version " +
-            std::to_string(kJournalVersion));
-    const std::uint64_t digest = header.u64();
-    const std::string description = header.str();
-    if (digest != identity.digest)
-        throw ConfigError(
-            "--resume: journal '" + path +
-            "' was written by a different campaign\n  journal:  " +
-            description + "\n  current:  " + identity.description);
-
-    for (std::size_t i = 1; i < recovery.records.size(); ++i) {
-        UnitRecord record = decodeUnitRecord(recovery.records[i]);
-        Key key{record.configName, record.testIndex};
-        units.insert_or_assign(std::move(key), std::move(record));
-    }
-
-    // Drop the torn tail on disk too, then append after the last
-    // intact frame.
-    truncateToValidPrefix(path, recovery);
-    writer = std::make_unique<JournalWriter>(path);
+CampaignJournal::~CampaignJournal()
+{
+    if (lockFd >= 0)
+        ::close(lockFd); // releases the flock
 }
 
 const UnitRecord *

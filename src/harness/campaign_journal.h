@@ -92,13 +92,24 @@ class CampaignJournal
      * validated against @p identity, and every intact unit record
      * becomes replayable through find().
      *
+     * Either way the journal is protected by an advisory exclusive
+     * flock for the object's lifetime: a second campaign opening the
+     * same path — the classic operator accident of resuming a
+     * campaign that is still running — gets a clean ConfigError
+     * instead of two writers interleaving frames into one file. The
+     * lock dies with the process (SIGKILL included), so a crashed
+     * campaign never wedges its own resume.
+     *
      * @throws ConfigError  when resuming against a journal written by
      *                      a different campaign (or an empty file with
-     *                      no header to trust).
+     *                      no header to trust), or when the journal is
+     *                      locked by another live campaign.
      * @throws JournalError on I/O failure or a corrupt header.
      */
     CampaignJournal(std::string path, const Identity &identity,
                     bool resume);
+
+    ~CampaignJournal();
 
     CampaignJournal(const CampaignJournal &) = delete;
     CampaignJournal &operator=(const CampaignJournal &) = delete;
@@ -125,6 +136,12 @@ class CampaignJournal
     std::uint64_t dropped = 0;
     std::mutex appendMtx;
     std::unique_ptr<JournalWriter> writer;
+
+    /** Holds the advisory flock; owned for the journal's lifetime.
+     * Distinct from the writer's fd — flock conflicts live between
+     * open file descriptions, and the writer never takes the lock, so
+     * the two never fight each other. */
+    int lockFd = -1;
 };
 
 } // namespace mtc

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The campaign's deterministic execution plan, exported.
+ *
+ * Everything that fixes *what* a (config, test) unit computes —
+ * pre-derived seeds, the per-config flow template, the retry loop —
+ * lives here, separate from *where* units run (threads, sandbox
+ * workers, distributed fleet). Every execution engine calls the same
+ * three functions, which is the whole bit-identity argument: a unit's
+ * result depends only on its plan, so any engine that executes every
+ * unit exactly once and folds slots in test order reproduces the
+ * serial summary byte for byte. The distributed worker
+ * (src/harness/dist_campaign.h) re-derives the same plans on the far
+ * side of a socket from the campaign spec alone.
+ */
+
+#ifndef MTC_HARNESS_CAMPAIGN_PLAN_H
+#define MTC_HARNESS_CAMPAIGN_PLAN_H
+
+#include <cstdint>
+#include <vector>
+
+#include "harness/campaign.h"
+
+namespace mtc
+{
+
+class Watchdog;
+
+/** Seeds of one test, fixed before any test runs. */
+struct TestPlan
+{
+    std::uint64_t genSeed = 0;
+    std::uint64_t flowSeed = 0;
+
+    /** Root of this test's private retry-seed stream. */
+    std::uint64_t retrySeed = 0;
+};
+
+/**
+ * Pre-derive every test's seeds from the canonical per-config seeder
+ * sequence (two draws per test, in test order — exactly the draws the
+ * serial runner made), so tests can run on any worker in any order
+ * and still see the very same programs. Retry seeds are the one
+ * departure: the serial runner drew retry seeds from the shared
+ * sequence, which would let one worker's retry shift every later
+ * test's seeds; instead each test's retries come from a private
+ * stream rooted in its own seeds, keeping failures local and results
+ * independent of scheduling.
+ */
+std::vector<TestPlan> deriveTestPlans(const TestConfig &cfg,
+                                      const CampaignConfig &campaign);
+
+/** Flow template shared by all of one configuration's tests. */
+FlowConfig flowTemplate(const TestConfig &cfg,
+                        const CampaignConfig &campaign);
+
+/**
+ * Run one planned test with its retry budget. A test that dies on an
+ * internal error (poisoned generation seed, wedged platform, harness
+ * bug surfacing under fault injection) is retried with fresh seeds
+ * from its private stream; after the budget it is recorded as failed
+ * — one bad test must never take down a whole campaign. With a
+ * watchdog armed, each attempt runs under its own deadline and
+ * cancellation token; a reclaimed attempt counts as hung and is
+ * retried exactly like a crashed one.
+ */
+TestOutcome runPlannedTest(const TestConfig &cfg,
+                           const FlowConfig &flow_template,
+                           const TestPlan &plan,
+                           const CampaignConfig &campaign,
+                           unsigned test_index, Watchdog *watchdog);
+
+} // namespace mtc
+
+#endif // MTC_HARNESS_CAMPAIGN_PLAN_H

@@ -1,0 +1,251 @@
+#include "harness/dist_campaign.h"
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+#include <utility>
+
+#include <unistd.h>
+
+#ifdef __linux__
+#include <sys/prctl.h>
+#endif
+
+#include <csignal>
+
+#include "dist/protocol.h"
+#include "dist/worker_client.h"
+#include "harness/campaign_journal.h"
+#include "harness/watchdog.h"
+#include "support/journal.h"
+#include "support/process.h"
+
+namespace mtc
+{
+
+namespace
+{
+
+/** Spec framing: magic + version, so a worker fed garbage (or a spec
+ * from an incompatible build) fails loudly instead of deriving a
+ * silently different campaign. */
+constexpr std::uint32_t kSpecMagic = 0x4D544353; // "MTCS"
+constexpr std::uint32_t kSpecVersion = 1;
+
+} // anonymous namespace
+
+std::vector<std::uint8_t>
+encodeCampaignSpec(const CampaignSpec &spec)
+{
+    const CampaignConfig &c = spec.campaign;
+    ByteWriter w;
+    w.u32(kSpecMagic);
+    w.u32(kSpecVersion);
+    w.u64(c.iterations);
+    w.u32(c.testsPerConfig);
+    w.u64(c.seed);
+    w.u8(c.variant == PlatformVariant::Linux ? 1 : 0);
+    w.u8(c.runConventional ? 1 : 0);
+    w.f64(c.fault.bitFlipRate);
+    w.f64(c.fault.tornStoreRate);
+    w.f64(c.fault.truncationRate);
+    w.f64(c.fault.dropRate);
+    w.f64(c.fault.duplicateRate);
+    w.u64(c.fault.seed);
+    w.u32(c.recovery.confirmationRuns);
+    w.u64(c.recovery.confirmationIterations);
+    w.u32(c.recovery.crashRetries);
+    w.u32(c.testRetries);
+    w.u64(c.shardSize);
+    w.u64(c.stallAfterSteps);
+    w.u8(c.stallUncooperative ? 1 : 0);
+    w.u64(c.testTimeoutMs);
+    w.u32(static_cast<std::uint32_t>(spec.configs.size()));
+    for (const TestConfig &cfg : spec.configs) {
+        w.u8(static_cast<std::uint8_t>(cfg.isa));
+        w.u32(cfg.numThreads);
+        w.u32(cfg.opsPerThread);
+        w.u32(cfg.numLocations);
+        w.f64(cfg.loadFraction);
+        w.u32(cfg.wordsPerLine);
+        w.u32(cfg.bytesPerWord);
+        w.u32(cfg.lineBytes);
+        w.u32(cfg.fencePercent);
+    }
+    return w.bytes();
+}
+
+CampaignSpec
+decodeCampaignSpec(const std::vector<std::uint8_t> &bytes)
+{
+    try {
+        ByteReader r(bytes);
+        if (r.u32() != kSpecMagic)
+            throw DistError("campaign spec: bad magic");
+        if (const std::uint32_t version = r.u32();
+            version != kSpecVersion) {
+            throw DistError("campaign spec: version " +
+                            std::to_string(version) + ", expected " +
+                            std::to_string(kSpecVersion));
+        }
+        CampaignSpec spec;
+        CampaignConfig &c = spec.campaign;
+        c.iterations = r.u64();
+        c.testsPerConfig = r.u32();
+        c.seed = r.u64();
+        c.variant = r.u8() ? PlatformVariant::Linux
+                           : PlatformVariant::BareMetal;
+        c.runConventional = r.u8() != 0;
+        c.fault.bitFlipRate = r.f64();
+        c.fault.tornStoreRate = r.f64();
+        c.fault.truncationRate = r.f64();
+        c.fault.dropRate = r.f64();
+        c.fault.duplicateRate = r.f64();
+        c.fault.seed = r.u64();
+        c.recovery.confirmationRuns = r.u32();
+        c.recovery.confirmationIterations = r.u64();
+        c.recovery.crashRetries = r.u32();
+        c.testRetries = r.u32();
+        c.shardSize = static_cast<std::size_t>(r.u64());
+        c.stallAfterSteps = r.u64();
+        c.stallUncooperative = r.u8() != 0;
+        c.testTimeoutMs = r.u64();
+        const std::uint32_t count = r.u32();
+        spec.configs.reserve(count);
+        for (std::uint32_t i = 0; i < count; ++i) {
+            TestConfig cfg;
+            cfg.isa = static_cast<Isa>(r.u8());
+            cfg.numThreads = r.u32();
+            cfg.opsPerThread = r.u32();
+            cfg.numLocations = r.u32();
+            cfg.loadFraction = r.f64();
+            cfg.wordsPerLine = r.u32();
+            cfg.bytesPerWord = r.u32();
+            cfg.lineBytes = r.u32();
+            cfg.fencePercent = r.u32();
+            spec.configs.push_back(cfg);
+        }
+        return spec;
+    } catch (const JournalError &err) {
+        throw DistError(std::string("campaign spec truncated: ") +
+                        err.what());
+    }
+}
+
+std::vector<std::uint8_t>
+encodeUnitRequest(std::size_t config_index, std::size_t test_index)
+{
+    ByteWriter w;
+    w.u32(static_cast<std::uint32_t>(config_index));
+    w.u32(static_cast<std::uint32_t>(test_index));
+    return w.bytes();
+}
+
+std::pair<std::size_t, std::size_t>
+decodeUnitRequest(const std::vector<std::uint8_t> &request)
+{
+    try {
+        ByteReader r(request);
+        const std::size_t c = r.u32();
+        const std::size_t t = r.u32();
+        return {c, t};
+    } catch (const JournalError &err) {
+        throw DistError(std::string("malformed unit request: ") +
+                        err.what());
+    }
+}
+
+CampaignUnitRunner::CampaignUnitRunner(CampaignSpec spec_arg)
+    : spec(std::move(spec_arg))
+{
+    flows.reserve(spec.configs.size());
+    plans.reserve(spec.configs.size());
+    for (const TestConfig &cfg : spec.configs) {
+        FlowConfig flow = flowTemplate(cfg, spec.campaign);
+        // Hard-failure drills are sandbox-scoped; see the file
+        // comment of dist_campaign.h.
+        flow.exec.dieAfterRuns = 0;
+        flow.exec.leakAfterRuns = 0;
+        flows.push_back(std::move(flow));
+        plans.push_back(deriveTestPlans(cfg, spec.campaign));
+    }
+    if (spec.campaign.testTimeoutMs)
+        watchdog = std::make_unique<Watchdog>();
+}
+
+CampaignUnitRunner::~CampaignUnitRunner() = default;
+
+std::vector<std::uint8_t>
+CampaignUnitRunner::run(const std::vector<std::uint8_t> &request)
+{
+    const auto [c, t] = decodeUnitRequest(request);
+    if (c >= spec.configs.size() || t >= plans[c].size())
+        throw DistError("unit request (" + std::to_string(c) + ", " +
+                        std::to_string(t) +
+                        ") is outside the campaign spec");
+    UnitRecord record;
+    record.configName = spec.configs[c].name();
+    record.testIndex = static_cast<std::uint32_t>(t);
+    record.genSeed = plans[c][t].genSeed;
+    record.flowSeed = plans[c][t].flowSeed;
+    record.outcome = runPlannedTest(spec.configs[c], flows[c],
+                                    plans[c][t], spec.campaign,
+                                    static_cast<unsigned>(t),
+                                    watchdog.get());
+    record.outcome.result.executions.clear();
+    return encodeUnitRecord(record);
+}
+
+pid_t
+forkCampaignWorker(std::uint16_t port, unsigned index,
+                   std::uint64_t exit_after_units, int listener_fd)
+{
+    const pid_t pid = ::fork();
+    if (pid < 0)
+        throw DistError(std::string("fabric fork failed: ") +
+                        std::strerror(errno));
+    if (pid > 0)
+        return pid;
+
+    // --- loopback worker child ---
+    if (listener_fd >= 0)
+        ::close(listener_fd); // see the header: inherited copies of
+                              // the listener outlive its shutdown
+#ifdef __linux__
+    // Die with the parent: a SIGKILLed campaign (the ci.sh
+    // coordinator-crash smoke) must not leave orphan workers spinning
+    // in reconnect backoff.
+    ::prctl(PR_SET_PDEATHSIG, SIGKILL);
+    if (::getppid() == 1)
+        ::_exit(kWorkerExitInternal); // parent raced away already
+#endif
+    try {
+        WorkerClientConfig cfg;
+        cfg.port = port;
+        cfg.name = "loop-" + std::to_string(index);
+        cfg.heartbeatMs = 500;
+        // Short leash: after Done (or a dead coordinator) the fleet
+        // should drain in well under a second, not serve a full
+        // operator-scale backoff schedule.
+        cfg.maxReconnects = 3;
+        cfg.backoffBaseMs = 50;
+        cfg.backoffCapMs = 400;
+        cfg.exitAfterUnits = exit_after_units;
+        std::unique_ptr<CampaignUnitRunner> runner;
+        runWorkerClient(
+            cfg,
+            [&runner](const std::vector<std::uint8_t> &spec_bytes) {
+                runner = std::make_unique<CampaignUnitRunner>(
+                    decodeCampaignSpec(spec_bytes));
+            },
+            [&runner](std::uint64_t,
+                      const std::vector<std::uint8_t> &request) {
+                return runner->run(request);
+            });
+        ::_exit(0);
+    } catch (...) {
+        ::_exit(kWorkerExitInternal);
+    }
+}
+
+} // namespace mtc

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Campaign semantics over the distributed fabric.
+ *
+ * The fabric (src/dist/) moves opaque bytes; this layer gives them
+ * meaning. A CampaignSpec carries every knob that determines the
+ * deterministic result stream — the same fields the journal identity
+ * folds — so a worker on the far side of a socket re-derives exactly
+ * the plans (campaign_plan.h) the coordinator holds, and a unit
+ * executes identically wherever and however often it lands. Unit
+ * requests and responses reuse the sandbox's shapes: a request is
+ * (config index, test index), a response is an encoded UnitRecord.
+ *
+ * The hard-failure drills (dieAfterRuns, leakAfterRuns) are
+ * deliberately not executed by distributed workers: they exist to
+ * exercise the sandbox's crash containment, and a fabric worker that
+ * died to one would re-arm it on every reassignment, poisoning every
+ * worker in turn. The fabric's own death drill is
+ * CampaignConfig::distDrillExitAfter.
+ */
+
+#ifndef MTC_HARNESS_DIST_CAMPAIGN_H
+#define MTC_HARNESS_DIST_CAMPAIGN_H
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include <sys/types.h>
+
+#include "harness/campaign.h"
+#include "harness/campaign_plan.h"
+
+namespace mtc
+{
+
+class Watchdog;
+
+/** What a worker needs to execute any unit of a campaign. */
+struct CampaignSpec
+{
+    std::vector<TestConfig> configs;
+    CampaignConfig campaign;
+};
+
+/** Serialize the deterministic subset of @p spec (operational knobs
+ * — journal path, fleet shape, ports — are the coordinator's own
+ * business and are not shipped). */
+std::vector<std::uint8_t> encodeCampaignSpec(const CampaignSpec &spec);
+
+/** @throws DistError on a malformed or version-mismatched spec. */
+CampaignSpec decodeCampaignSpec(const std::vector<std::uint8_t> &bytes);
+
+/** Encode a (config index, test index) unit request. */
+std::vector<std::uint8_t> encodeUnitRequest(std::size_t config_index,
+                                            std::size_t test_index);
+
+/** @throws DistError on a malformed request. */
+std::pair<std::size_t, std::size_t>
+decodeUnitRequest(const std::vector<std::uint8_t> &request);
+
+/**
+ * Worker-side unit executor: rebuilds the campaign's deterministic
+ * plan from a received spec, then maps unit requests to encoded
+ * UnitRecords. Constructed after the fabric handshake (and, in a
+ * loopback worker, after the fork — its watchdog thread must never
+ * exist in the forking parent).
+ */
+class CampaignUnitRunner
+{
+  public:
+    explicit CampaignUnitRunner(CampaignSpec spec);
+    ~CampaignUnitRunner();
+
+    CampaignUnitRunner(const CampaignUnitRunner &) = delete;
+    CampaignUnitRunner &operator=(const CampaignUnitRunner &) = delete;
+
+    /** Execute one unit. @throws DistError on an out-of-range or
+     * malformed request. */
+    std::vector<std::uint8_t>
+    run(const std::vector<std::uint8_t> &request);
+
+  private:
+    CampaignSpec spec;
+    std::vector<FlowConfig> flows;           ///< per config
+    std::vector<std::vector<TestPlan>> plans; ///< per config, per test
+    std::unique_ptr<Watchdog> watchdog;
+};
+
+/**
+ * Fork a loopback fabric worker: the child connects to the local
+ * coordinator on @p port, serves units until Done, and _exit()s. With
+ * @p exit_after_units nonzero the child runs the die-mid-batch drill
+ * (see WorkerClientConfig::exitAfterUnits).
+ *
+ * Fork-before-threads: call while the parent is single-threaded (the
+ * Coordinator is poll-based precisely so this holds).
+ *
+ * @param listener_fd the coordinator's listening descriptor, closed
+ *        first thing in the child (see Coordinator::listenerFd for
+ *        why an inherited copy would deadlock the shutdown); -1 if
+ *        there is nothing to close.
+ * @return the child pid (the caller reaps it). @throws DistError if
+ *         the fork fails.
+ */
+pid_t forkCampaignWorker(std::uint16_t port, unsigned index,
+                         std::uint64_t exit_after_units,
+                         int listener_fd = -1);
+
+} // namespace mtc
+
+#endif // MTC_HARNESS_DIST_CAMPAIGN_H

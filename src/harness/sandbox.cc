@@ -108,14 +108,10 @@ SandboxPool::SandboxPool(SandboxConfig cfg_arg, WorkerFn worker)
 
 SandboxPool::~SandboxPool()
 {
-    // Closing the request pipes is the shutdown signal: workers see
+    // Half-closing the send side is the shutdown signal: workers see
     // EOF at their next frame boundary and _exit(0).
-    for (Worker &w : workers) {
-        if (w.reqFd >= 0) {
-            ::close(w.reqFd);
-            w.reqFd = -1;
-        }
-    }
+    for (Worker &w : workers)
+        w.link.closeSend();
     const auto grace_end = std::chrono::steady_clock::now() +
         std::chrono::milliseconds(2000);
     for (Worker &w : workers) {
@@ -142,8 +138,7 @@ SandboxPool::~SandboxPool()
             } catch (const ProcessError &) {
             }
         }
-        if (w.respFd >= 0)
-            ::close(w.respFd);
+        w.link.close();
         if (w.crashFd >= 0)
             ::close(w.crashFd);
     }
@@ -172,14 +167,12 @@ SandboxPool::spawnWorker(Worker &slot, unsigned index,
 #endif
         // Drop every fd belonging to other workers: a sibling holding
         // a duplicate of worker X's request pipe would keep X from
-        // ever seeing shutdown EOF.
-        for (const Worker &other : workers) {
+        // ever seeing shutdown EOF. (Closing the forked copy of the
+        // parent-side Transport only affects this child.)
+        for (Worker &other : workers) {
             if (&other == &slot)
                 continue;
-            if (other.reqFd >= 0)
-                ::close(other.reqFd);
-            if (other.respFd >= 0)
-                ::close(other.respFd);
+            other.link.close();
             if (other.crashFd >= 0)
                 ::close(other.crashFd);
         }
@@ -195,7 +188,9 @@ SandboxPool::spawnWorker(Worker &slot, unsigned index,
         WorkerEnv env;
         env.workerIndex = index;
         env.generation = generation;
-        workerMain(req.readFd(), resp.writeFd(), env);
+        workerMain(Transport(req.releaseRead(), resp.releaseWrite(),
+                             "sandbox worker link"),
+                   env);
     }
     // --- parent ---
     req.closeRead();
@@ -203,8 +198,8 @@ SandboxPool::spawnWorker(Worker &slot, unsigned index,
     crash.closeWrite();
 
     slot.pid = pid;
-    slot.reqFd = req.releaseWrite();
-    slot.respFd = resp.releaseRead();
+    slot.link = Transport(resp.releaseRead(), req.releaseWrite(),
+                          "sandbox worker " + std::to_string(index));
     slot.crashFd = crash.releaseRead();
     setNonBlocking(slot.crashFd);
     slot.index = index;
@@ -214,22 +209,20 @@ SandboxPool::spawnWorker(Worker &slot, unsigned index,
 }
 
 [[noreturn]] void
-SandboxPool::workerMain(int req_fd, int resp_fd, const WorkerEnv &env)
+SandboxPool::workerMain(Transport link, const WorkerEnv &env)
 {
     for (;;) {
         std::vector<std::uint8_t> request;
         bool got = false;
         try {
-            got = readFrame(req_fd, request, "sandbox request");
+            got = link.receive(request);
         } catch (const Error &) {
             ::_exit(kWorkerExitInternal);
         }
         if (!got)
             ::_exit(0); // clean shutdown: parent closed the pipe
         try {
-            const std::vector<std::uint8_t> response =
-                workerFn(request, env);
-            writeFrame(resp_fd, response, "sandbox response");
+            link.send(workerFn(request, env));
         } catch (const std::bad_alloc &) {
             ::_exit(kWorkerExitOom);
         } catch (...) {
@@ -241,17 +234,10 @@ SandboxPool::workerMain(int req_fd, int resp_fd, const WorkerEnv &env)
 void
 SandboxPool::respawnWorker(Worker &w)
 {
-    if (w.respFd >= 0) {
-        ::close(w.respFd);
-        w.respFd = -1;
-    }
+    w.link.close();
     if (w.crashFd >= 0) {
         ::close(w.crashFd);
         w.crashFd = -1;
-    }
-    if (w.reqFd >= 0) {
-        ::close(w.reqFd);
-        w.reqFd = -1;
     }
     ++respawnCount;
     if (respawnCap && respawnCount > respawnCap) {
@@ -270,7 +256,9 @@ SandboxPool::drainCrashNote(int fd)
     std::string note;
     char buf[512];
     for (;;) {
-        const ssize_t n = ::read(fd, buf, sizeof(buf));
+        // Nonblocking fd: EAGAIN (n < 0) means drained. readEintr
+        // keeps a signal delivered mid-drain from truncating the note.
+        const ssize_t n = readEintr(fd, buf, sizeof(buf));
         if (n <= 0)
             break;
         note.append(buf, static_cast<std::size_t>(n));
@@ -341,7 +329,7 @@ SandboxPool::run(std::size_t unit_count, const RequestFn &request,
                               const std::vector<std::uint8_t> &req) {
         for (;;) {
             try {
-                writeFrame(w.reqFd, req, "sandbox request");
+                w.link.send(req);
                 break;
             } catch (const FramingError &err) {
                 // The worker died between units (or at startup);
@@ -411,7 +399,7 @@ SandboxPool::run(std::size_t unit_count, const RequestFn &request,
         int timeout_ms = -1;
         const auto now = std::chrono::steady_clock::now();
         for (Worker &w : workers) {
-            pfds.push_back({w.respFd, POLLIN, 0});
+            pfds.push_back({w.link.receiveFd(), POLLIN, 0});
             polled.push_back(&w);
             if (w.busy && cfg.hardDeadlineMs) {
                 const auto remain =
@@ -441,7 +429,7 @@ SandboxPool::run(std::size_t unit_count, const RequestFn &request,
             bool got = false;
             bool torn = false;
             try {
-                got = readFrame(w.respFd, payload, "sandbox response");
+                got = w.link.receive(payload);
             } catch (const FramingError &) {
                 torn = true;
             }

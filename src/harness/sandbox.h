@@ -44,6 +44,7 @@
 #include <sys/types.h>
 
 #include "support/error.h"
+#include "support/transport.h"
 
 namespace mtc
 {
@@ -186,8 +187,12 @@ class SandboxPool
     struct Worker
     {
         pid_t pid = -1;
-        int reqFd = -1;   ///< parent writes framed requests
-        int respFd = -1;  ///< parent reads framed responses
+
+        /** Framed request/response channel (parent side: sends
+         * requests, receives responses) — the same Transport the
+         * network fabric uses over sockets. */
+        Transport link;
+
         int crashFd = -1; ///< parent reads crash reports (nonblocking)
         unsigned index = 0;
         unsigned generation = 0;
@@ -198,8 +203,7 @@ class SandboxPool
     };
 
     void spawnWorker(Worker &slot, unsigned index, unsigned generation);
-    [[noreturn]] void workerMain(int req_fd, int resp_fd,
-                                 const WorkerEnv &env);
+    [[noreturn]] void workerMain(Transport link, const WorkerEnv &env);
     void respawnWorker(Worker &w);
     WorkerLoss reapLoss(Worker &w, bool torn);
     std::string drainCrashNote(int fd);

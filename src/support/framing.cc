@@ -5,6 +5,8 @@
 
 #include <unistd.h>
 
+#include "support/process.h"
+
 namespace mtc
 {
 
@@ -60,7 +62,8 @@ appendFrame(std::vector<std::uint8_t> &out, const std::uint8_t *payload,
 }
 
 FrameView
-parseFrame(const std::uint8_t *data, std::size_t size)
+parseFrame(const std::uint8_t *data, std::size_t size,
+           std::uint32_t max_payload)
 {
     FrameView view;
     if (size < kFrameHeaderBytes) {
@@ -69,7 +72,7 @@ parseFrame(const std::uint8_t *data, std::size_t size)
     }
     const std::uint32_t len = getLe32(data);
     const std::uint32_t sum = getLe32(data + 4);
-    if (len > kMaxFramePayloadBytes) {
+    if (len > max_payload) {
         view.status = FrameStatus::Corrupt;
         return view;
     }
@@ -96,10 +99,8 @@ writeAllFd(int fd, const std::uint8_t *data, std::size_t len,
            const std::string &what)
 {
     while (len) {
-        const ssize_t n = ::write(fd, data, len);
+        const ssize_t n = writeEintr(fd, data, len);
         if (n < 0) {
-            if (errno == EINTR)
-                continue;
             throw FramingError(what + ": write failed: " +
                                std::strerror(errno));
         }
@@ -115,10 +116,8 @@ readUpTo(int fd, std::uint8_t *data, std::size_t len,
 {
     std::size_t got = 0;
     while (got < len) {
-        const ssize_t n = ::read(fd, data + got, len - got);
+        const ssize_t n = readEintr(fd, data + got, len - got);
         if (n < 0) {
-            if (errno == EINTR)
-                continue;
             throw FramingError(what + ": read failed: " +
                                std::strerror(errno));
         }
@@ -144,7 +143,7 @@ writeFrame(int fd, const std::vector<std::uint8_t> &payload,
 
 bool
 readFrame(int fd, std::vector<std::uint8_t> &payload,
-          const std::string &what)
+          const std::string &what, std::uint32_t max_payload)
 {
     std::uint8_t header[kFrameHeaderBytes];
     const std::size_t got =
@@ -155,9 +154,10 @@ readFrame(int fd, std::vector<std::uint8_t> &payload,
         throw FramingError(what + ": stream torn mid-header");
     const std::uint32_t len = getLe32(header);
     const std::uint32_t sum = getLe32(header + 4);
-    if (len > kMaxFramePayloadBytes)
+    if (len > max_payload)
         throw FramingError(what + ": absurd frame length " +
-                           std::to_string(len));
+                           std::to_string(len) + " (limit " +
+                           std::to_string(max_payload) + ")");
     payload.resize(len);
     if (readUpTo(fd, payload.data(), len, what) < len)
         throw FramingError(what + ": stream torn mid-payload");

@@ -49,7 +49,8 @@ constexpr std::size_t kFrameHeaderBytes = 8;
 
 /** Frames larger than this are treated as corruption, not records: a
  * torn length word must not make a reader try to allocate gigabytes.
- * Unit records are a few KB. */
+ * Unit records are a few KB. This is the default ceiling; readers on
+ * untrusted streams (network transports) may tighten it per call. */
 constexpr std::uint32_t kMaxFramePayloadBytes = 64u << 20;
 
 void putLe32(std::uint8_t *out, std::uint32_t v);
@@ -78,8 +79,15 @@ struct FrameView
     std::size_t frameBytes = 0;
 };
 
-/** Parse the frame starting at @p data (up to @p size bytes). */
-FrameView parseFrame(const std::uint8_t *data, std::size_t size);
+/**
+ * Parse the frame starting at @p data (up to @p size bytes).
+ *
+ * @param max_payload Length ceiling: a header advertising more than
+ *        this is classified Corrupt before any allocation happens —
+ *        the defense against a forged or torn length word.
+ */
+FrameView parseFrame(const std::uint8_t *data, std::size_t size,
+                     std::uint32_t max_payload = kMaxFramePayloadBytes);
 
 /**
  * Write one frame to @p fd, retrying short writes and EINTR.
@@ -93,6 +101,8 @@ void writeFrame(int fd, const std::vector<std::uint8_t> &payload,
 /**
  * Blocking-read one frame from @p fd into @p payload.
  *
+ * @param max_payload Length ceiling, as for parseFrame(): an
+ *        oversized header is a framing fault, never an allocation.
  * @return true on a complete frame; false on clean EOF at a frame
  *         boundary (the peer closed its end between records).
  * @throws FramingError on EOF mid-frame (the peer died while
@@ -100,7 +110,8 @@ void writeFrame(int fd, const std::vector<std::uint8_t> &payload,
  *         error.
  */
 bool readFrame(int fd, std::vector<std::uint8_t> &payload,
-               const std::string &what);
+               const std::string &what,
+               std::uint32_t max_payload = kMaxFramePayloadBytes);
 
 } // namespace mtc
 

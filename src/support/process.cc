@@ -87,6 +87,26 @@ Pipe::releaseWrite()
     return fd;
 }
 
+ssize_t
+readEintr(int fd, void *buf, std::size_t len)
+{
+    for (;;) {
+        const ssize_t n = ::read(fd, buf, len);
+        if (n >= 0 || errno != EINTR)
+            return n;
+    }
+}
+
+ssize_t
+writeEintr(int fd, const void *buf, std::size_t len)
+{
+    for (;;) {
+        const ssize_t n = ::write(fd, buf, len);
+        if (n >= 0 || errno != EINTR)
+            return n;
+    }
+}
+
 namespace
 {
 

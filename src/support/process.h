@@ -75,6 +75,20 @@ struct ChildExit
     int exitCode = 0; ///< exit status when not signaled
 };
 
+/**
+ * read(2), retrying EINTR. Returns read's result: bytes read, 0 on
+ * EOF, or -1 with errno set for any failure other than EINTR. Every
+ * blocking read in the harness goes through this (or the framing
+ * layer, which uses it): a signal delivered mid-I/O — a watchdog
+ * alarm, a profiler tick, a shell-forwarded SIGWINCH — must never be
+ * misread as an I/O failure.
+ */
+ssize_t readEintr(int fd, void *buf, std::size_t len);
+
+/** write(2), retrying EINTR; see readEintr(). May still return a
+ * short count — callers loop for full writes. */
+ssize_t writeEintr(int fd, const void *buf, std::size_t len);
+
 /** Blocking waitpid for @p pid. @throws ProcessError on failure. */
 ChildExit waitChild(pid_t pid);
 

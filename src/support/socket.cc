@@ -1,0 +1,137 @@
+#include "support/socket.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace mtc
+{
+
+namespace
+{
+
+sockaddr_in
+makeAddr(const std::string &host, std::uint16_t port)
+{
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+        throw SocketError("not an IPv4 address: " + host);
+    return addr;
+}
+
+void
+setNoDelay(int fd)
+{
+    // Best effort: a frame that waits out Nagle's timer would add
+    // ~40ms to every lease round trip, but a platform without the
+    // option is not an error.
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+} // anonymous namespace
+
+TcpListener::TcpListener(std::uint16_t port, const std::string &host)
+{
+    const sockaddr_in addr = makeAddr(host, port);
+    listenFd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listenFd < 0)
+        throw SocketError(std::string("socket failed: ") +
+                          std::strerror(errno));
+    // Coordinator restarts (crash recovery via --resume) must not
+    // fight TIME_WAIT for their own port.
+    const int one = 1;
+    ::setsockopt(listenFd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(listenFd, reinterpret_cast<const sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        const std::string what = std::string("bind ") + host + ":" +
+            std::to_string(port) + " failed: " + std::strerror(errno);
+        ::close(listenFd);
+        listenFd = -1;
+        throw SocketError(what);
+    }
+    if (::listen(listenFd, 64) != 0) {
+        const std::string what =
+            std::string("listen failed: ") + std::strerror(errno);
+        ::close(listenFd);
+        listenFd = -1;
+        throw SocketError(what);
+    }
+    sockaddr_in bound;
+    socklen_t len = sizeof(bound);
+    if (::getsockname(listenFd, reinterpret_cast<sockaddr *>(&bound),
+                      &len) != 0) {
+        const std::string what =
+            std::string("getsockname failed: ") + std::strerror(errno);
+        ::close(listenFd);
+        listenFd = -1;
+        throw SocketError(what);
+    }
+    boundPort = ntohs(bound.sin_port);
+}
+
+TcpListener::~TcpListener()
+{
+    close();
+}
+
+void
+TcpListener::close()
+{
+    if (listenFd >= 0) {
+        ::close(listenFd);
+        listenFd = -1;
+    }
+}
+
+int
+TcpListener::acceptClient()
+{
+    for (;;) {
+        const int fd = ::accept(listenFd, nullptr, nullptr);
+        if (fd >= 0) {
+            setNoDelay(fd);
+            return fd;
+        }
+        if (errno == EINTR)
+            continue;
+        throw SocketError(std::string("accept failed: ") +
+                          std::strerror(errno));
+    }
+}
+
+int
+connectTcp(const std::string &host, std::uint16_t port)
+{
+    const sockaddr_in addr = makeAddr(host, port);
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        throw SocketError(std::string("socket failed: ") +
+                          std::strerror(errno));
+    for (;;) {
+        if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                      sizeof(addr)) == 0 ||
+            errno == EISCONN) {
+            // EISCONN: a connect interrupted by a signal completed in
+            // the background; the retry finds it already established.
+            setNoDelay(fd);
+            return fd;
+        }
+        if (errno == EINTR || errno == EALREADY)
+            continue;
+        const std::string what = std::string("connect ") + host + ":" +
+            std::to_string(port) + " failed: " + std::strerror(errno);
+        ::close(fd);
+        throw SocketError(what);
+    }
+}
+
+} // namespace mtc

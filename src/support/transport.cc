@@ -1,0 +1,91 @@
+#include "support/transport.h"
+
+#include <utility>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace mtc
+{
+
+Transport::Transport(int read_fd, int write_fd, std::string stream_name)
+    : rfd(read_fd), wfd(write_fd), duplex(false),
+      name(std::move(stream_name))
+{}
+
+Transport::Transport(int socket_fd, std::string stream_name)
+    : rfd(socket_fd), wfd(socket_fd), duplex(true),
+      name(std::move(stream_name))
+{}
+
+Transport::~Transport()
+{
+    close();
+}
+
+Transport::Transport(Transport &&other) noexcept
+    : rfd(other.rfd), wfd(other.wfd), duplex(other.duplex),
+      name(std::move(other.name)), maxPayload(other.maxPayload)
+{
+    other.rfd = -1;
+    other.wfd = -1;
+}
+
+Transport &
+Transport::operator=(Transport &&other) noexcept
+{
+    if (this != &other) {
+        close();
+        rfd = other.rfd;
+        wfd = other.wfd;
+        duplex = other.duplex;
+        name = std::move(other.name);
+        maxPayload = other.maxPayload;
+        other.rfd = -1;
+        other.wfd = -1;
+    }
+    return *this;
+}
+
+void
+Transport::send(const std::vector<std::uint8_t> &payload)
+{
+    if (wfd < 0)
+        throw FramingError(name + ": send on a closed transport");
+    writeFrame(wfd, payload, name);
+}
+
+bool
+Transport::receive(std::vector<std::uint8_t> &payload)
+{
+    if (rfd < 0)
+        return false; // closed locally reads as EOF
+    return readFrame(rfd, payload, name, maxPayload);
+}
+
+void
+Transport::closeSend()
+{
+    if (wfd < 0)
+        return;
+    if (duplex) {
+        ::shutdown(wfd, SHUT_WR);
+        wfd = -1; // rfd still owns the descriptor
+    } else {
+        ::close(wfd);
+        wfd = -1;
+    }
+}
+
+void
+Transport::close()
+{
+    if (rfd >= 0)
+        ::close(rfd);
+    if (wfd >= 0 && wfd != rfd)
+        ::close(wfd);
+    rfd = -1;
+    wfd = -1;
+}
+
+} // namespace mtc

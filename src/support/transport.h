@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Framed record transport over file descriptors.
+ *
+ * One codec, two wires: the sandbox's parent<->worker pipe pair and
+ * the fabric's TCP socket both move length+FNV-1a framed byte vectors
+ * (src/support/framing.h). A Transport owns the descriptor(s) and
+ * exposes exactly the send/receive/half-close surface both need, so
+ * the pipe and network paths cannot drift apart — a framing fix or a
+ * hardening rule (max frame size) lands in both at once.
+ *
+ * Thread-compatible, not thread-safe: concurrent senders serialize
+ * outside (the worker client's heartbeat thread holds a send mutex).
+ */
+
+#ifndef MTC_SUPPORT_TRANSPORT_H
+#define MTC_SUPPORT_TRANSPORT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/framing.h"
+
+namespace mtc
+{
+
+/** Framed duplex channel over owned descriptor(s); see file comment. */
+class Transport
+{
+  public:
+    /** An unconnected transport; valid() is false. */
+    Transport() = default;
+
+    /** Pipe pair: distinct read and write descriptors, both owned. */
+    Transport(int read_fd, int write_fd, std::string stream_name);
+
+    /** Socket: one full-duplex descriptor, owned (closed once). */
+    Transport(int socket_fd, std::string stream_name);
+
+    ~Transport();
+
+    Transport(const Transport &) = delete;
+    Transport &operator=(const Transport &) = delete;
+    Transport(Transport &&other) noexcept;
+    Transport &operator=(Transport &&other) noexcept;
+
+    bool valid() const { return rfd >= 0 || wfd >= 0; }
+
+    /** Frame and send @p payload. @throws FramingError on I/O failure
+     * (EPIPE / ECONNRESET when the peer died). */
+    void send(const std::vector<std::uint8_t> &payload);
+
+    /** Blocking-receive one frame. @return false on clean EOF at a
+     * frame boundary; @throws FramingError on a torn or oversized
+     * frame, a checksum mismatch, or an I/O error. */
+    bool receive(std::vector<std::uint8_t> &payload);
+
+    /**
+     * Half-close the send direction while keeping receive open — the
+     * shutdown signal both wires use (the peer sees clean EOF at its
+     * next frame boundary). Closes the write fd for a pipe pair,
+     * shutdown(SHUT_WR) for a socket.
+     */
+    void closeSend();
+
+    /** Close everything now (destructor behavior, on demand). */
+    void close();
+
+    /** Descriptor the receive side reads, for poll(); -1 if closed. */
+    int receiveFd() const { return rfd; }
+
+    /**
+     * Tighten the per-frame payload ceiling (default
+     * kMaxFramePayloadBytes). A received header advertising more is a
+     * framing fault, not an allocation — mandatory hygiene on network
+     * streams where a corrupt or hostile peer writes the length word.
+     */
+    void setMaxFramePayload(std::uint32_t bytes) { maxPayload = bytes; }
+
+  private:
+    int rfd = -1;
+    int wfd = -1;
+    bool duplex = false; ///< rfd and wfd are the same socket
+    std::string name = "transport";
+    std::uint32_t maxPayload = kMaxFramePayloadBytes;
+};
+
+} // namespace mtc
+
+#endif // MTC_SUPPORT_TRANSPORT_H

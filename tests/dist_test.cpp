@@ -1,0 +1,812 @@
+/**
+ * @file
+ * Distributed-fabric tests: the TCP transport, the hardened frame
+ * reader, the EINTR discipline, the journal flock, the lease table,
+ * the wire protocol, and the fabric failure matrix.
+ *
+ * The failure matrix pins the tentpole invariant from every angle: a
+ * distributed campaign summary must be bit-identical to the serial
+ * in-process summary at any fleet size — including when a worker dies
+ * mid-batch and its leased units are reassigned, when a silent worker
+ * is declared dead by the heartbeat timeout, and when the coordinator
+ * itself is killed mid-campaign and resumed from its journal. A
+ * version-mismatched worker must be rejected at the handshake without
+ * disturbing the fleet, and a slow worker must be throttled by the
+ * in-flight bound while fast workers drain the queue.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <pthread.h>
+#include <unistd.h>
+
+#include "dist/coordinator.h"
+#include "dist/lease_table.h"
+#include "dist/protocol.h"
+#include "dist/worker_client.h"
+#include "harness/campaign.h"
+#include "harness/campaign_journal.h"
+#include "harness/dist_campaign.h"
+#include "support/framing.h"
+#include "support/process.h"
+#include "support/socket.h"
+#include "support/transport.h"
+#include "testgen/test_config.h"
+
+namespace mtc
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+/** Unique scratch path that cleans up after itself. */
+class TempFile
+{
+  public:
+    explicit TempFile(const std::string &name)
+        : p((fs::temp_directory_path() /
+             ("mtc_dist_" + name + "_" +
+              std::to_string(static_cast<std::uint64_t>(::getpid()))))
+                .string())
+    {
+        std::remove(p.c_str());
+    }
+
+    ~TempFile() { std::remove(p.c_str()); }
+
+    const std::string &path() const { return p; }
+
+  private:
+    std::string p;
+};
+
+// ---------------------------------------------------------------------
+// Socket + Transport: the framed codec generalized to TCP.
+// ---------------------------------------------------------------------
+
+TEST(SocketTransport, FramesRoundTripBothWaysWithCleanEof)
+{
+    TcpListener listener(0);
+    ASSERT_GT(listener.port(), 0);
+
+    const std::vector<std::uint8_t> ping = {1, 2, 3};
+    const std::vector<std::uint8_t> pong(4096, 0xab);
+
+    std::thread peer([&] {
+        Transport link(connectTcp("127.0.0.1", listener.port()),
+                       "peer");
+        link.send(ping);
+        std::vector<std::uint8_t> got;
+        ASSERT_TRUE(link.receive(got));
+        EXPECT_EQ(got, pong);
+        link.closeSend();
+        // The far side half-closed too: clean EOF, not an error.
+        EXPECT_FALSE(link.receive(got));
+    });
+
+    Transport link(listener.acceptClient(), "server");
+    std::vector<std::uint8_t> got;
+    ASSERT_TRUE(link.receive(got));
+    EXPECT_EQ(got, ping);
+    link.send(pong);
+    link.closeSend();
+    EXPECT_FALSE(link.receive(got));
+    peer.join();
+}
+
+TEST(SocketTransport, ConnectToDeadPortThrowsSocketError)
+{
+    std::uint16_t dead_port;
+    {
+        TcpListener listener(0);
+        dead_port = listener.port();
+    } // closed: nothing listens there now
+    EXPECT_THROW(connectTcp("127.0.0.1", dead_port), SocketError);
+}
+
+// ---------------------------------------------------------------------
+// Hardened frame reading: forged length prefixes.
+// ---------------------------------------------------------------------
+
+TEST(FrameHardening, ForgedLengthBeyondCallerCeilingIsCorrupt)
+{
+    std::vector<std::uint8_t> stream;
+    const std::vector<std::uint8_t> payload(1024, 7);
+    appendFrame(stream, payload.data(), payload.size());
+
+    // Fine under the default ceiling...
+    EXPECT_EQ(parseFrame(stream.data(), stream.size()).status,
+              FrameStatus::Complete);
+    // ...but a reader that tightened its ceiling treats the same
+    // header as corruption, before any allocation.
+    EXPECT_EQ(parseFrame(stream.data(), stream.size(), 512).status,
+              FrameStatus::Corrupt);
+}
+
+TEST(FrameHardening, ForgedHeaderOnAStreamThrowsBeforeAllocating)
+{
+    int fds[2];
+    ASSERT_EQ(::pipe(fds), 0);
+    // Forge a header claiming a ~4 GB payload; no payload follows.
+    std::uint8_t header[kFrameHeaderBytes];
+    putLe32(header, 0xFFFFFFF0u);
+    putLe32(header + 4, 0xdeadbeefu);
+    ASSERT_EQ(::write(fds[1], header, sizeof header),
+              static_cast<ssize_t>(sizeof header));
+    ::close(fds[1]);
+
+    std::vector<std::uint8_t> payload;
+    EXPECT_THROW(readFrame(fds[0], payload, "forged"), FramingError);
+    ::close(fds[0]);
+}
+
+TEST(FrameHardening, TransportHonorsTightenedFrameCeiling)
+{
+    TcpListener listener(0);
+    std::thread peer([&] {
+        Transport link(connectTcp("127.0.0.1", listener.port()),
+                       "peer");
+        try {
+            link.send(std::vector<std::uint8_t>(2048, 1));
+        } catch (const FramingError &) {
+            // The server may reset the connection before the whole
+            // frame drains; either way the send side is done.
+        }
+    });
+    Transport link(listener.acceptClient(), "server");
+    link.setMaxFramePayload(1024);
+    std::vector<std::uint8_t> got;
+    EXPECT_THROW(link.receive(got), FramingError);
+    peer.join();
+}
+
+// ---------------------------------------------------------------------
+// EINTR discipline: framed I/O under a signal storm.
+// ---------------------------------------------------------------------
+
+TEST(EintrDiscipline, FramedSocketIoSurvivesASignalStorm)
+{
+    // A no-op handler installed WITHOUT SA_RESTART, so every storm
+    // signal genuinely interrupts blocking syscalls with EINTR
+    // instead of being transparently restarted by the kernel.
+    struct sigaction sa{}, old{};
+    sa.sa_handler = [](int) {};
+    sa.sa_flags = 0;
+    sigemptyset(&sa.sa_mask);
+    ASSERT_EQ(::sigaction(SIGUSR1, &sa, &old), 0);
+
+    TcpListener listener(0);
+    constexpr int kFrames = 200;
+    const std::vector<std::uint8_t> big(64 * 1024, 0x5c);
+
+    std::atomic<bool> storm_on{true};
+    pthread_t reader_handle = ::pthread_self();
+
+    std::thread writer([&] {
+        Transport link(connectTcp("127.0.0.1", listener.port()),
+                       "writer");
+        for (int i = 0; i < kFrames; ++i)
+            link.send(big);
+        link.closeSend();
+        // Hold the socket until the reader drains everything.
+        std::vector<std::uint8_t> nothing;
+        link.receive(nothing);
+    });
+    std::thread storm([&] {
+        while (storm_on.load()) {
+            ::pthread_kill(reader_handle, SIGUSR1);
+            ::pthread_kill(writer.native_handle(), SIGUSR1);
+            std::this_thread::sleep_for(std::chrono::microseconds(300));
+        }
+    });
+
+    Transport link(listener.acceptClient(), "reader");
+    std::vector<std::uint8_t> got;
+    int received = 0;
+    while (link.receive(got)) {
+        ASSERT_EQ(got, big);
+        ++received;
+    }
+    EXPECT_EQ(received, kFrames);
+
+    storm_on.store(false);
+    storm.join();
+    link.close(); // unblocks the writer's parked receive
+    writer.join();
+    ::sigaction(SIGUSR1, &old, nullptr);
+}
+
+// ---------------------------------------------------------------------
+// Journal flock: one campaign per journal file.
+// ---------------------------------------------------------------------
+
+TEST(JournalLock, SecondOpenerGetsConfigErrorWhileFirstIsAlive)
+{
+    TempFile journal("flock");
+    CampaignJournal::Identity identity;
+    identity.digest = 42;
+    identity.description = "flock test";
+
+    CampaignJournal first(journal.path(), identity, false);
+    // Both fresh-open and resume must refuse: truncating (or even
+    // reading) a journal another campaign is appending to is the
+    // corruption the lock exists to prevent.
+    EXPECT_THROW(CampaignJournal(journal.path(), identity, false),
+                 ConfigError);
+    EXPECT_THROW(CampaignJournal(journal.path(), identity, true),
+                 ConfigError);
+}
+
+TEST(JournalLock, LockReleasesWithTheJournalObject)
+{
+    TempFile journal("flock_release");
+    CampaignJournal::Identity identity;
+    identity.digest = 43;
+    identity.description = "flock release test";
+
+    { CampaignJournal first(journal.path(), identity, false); }
+    // First holder gone: a fresh campaign opens cleanly.
+    EXPECT_NO_THROW(CampaignJournal(journal.path(), identity, false));
+}
+
+TEST(JournalLock, RejectedOpenDoesNotLeakTheLock)
+{
+    TempFile journal("flock_reject");
+    CampaignJournal::Identity identity;
+    identity.digest = 44;
+    identity.description = "flock reject test";
+
+    { CampaignJournal first(journal.path(), identity, false); }
+
+    // A resume under a different campaign identity is rejected from
+    // inside the constructor — after the flock is taken. The throw
+    // must release the lock, or one bad resume would wedge every
+    // later attempt in this process behind "locked by another
+    // campaign".
+    CampaignJournal::Identity other;
+    other.digest = 45;
+    other.description = "some other campaign";
+    EXPECT_THROW(CampaignJournal(journal.path(), other, true),
+                 ConfigError);
+
+    EXPECT_NO_THROW(CampaignJournal(journal.path(), identity, true));
+}
+
+// ---------------------------------------------------------------------
+// Lease table: no unit lost, no unit double-counted.
+// ---------------------------------------------------------------------
+
+TEST(LeaseTableTest, PendingGrantsInDispatchOrder)
+{
+    LeaseTable table(5);
+    EXPECT_EQ(table.pendingCount(), 5u);
+    EXPECT_EQ(table.takePending(2),
+              (std::vector<std::size_t>{0, 1}));
+    EXPECT_EQ(table.takePending(99),
+              (std::vector<std::size_t>{2, 3, 4}));
+    EXPECT_EQ(table.pendingCount(), 0u);
+    EXPECT_FALSE(table.allDone());
+}
+
+TEST(LeaseTableTest, FirstResultWinsDuplicatesDetected)
+{
+    LeaseTable table(3);
+    const auto units = table.takePending(2);
+    const std::uint64_t lease = table.openLease(
+        7, units, LeaseTable::Clock::time_point::max());
+
+    EXPECT_EQ(table.completeUnit(lease, 0), LeaseResult::Accepted);
+    EXPECT_TRUE(table.isDone(0));
+    // Same unit again under the same (still-open) lease: duplicate.
+    EXPECT_EQ(table.completeUnit(lease, 0), LeaseResult::Duplicate);
+    // Last unit closes the lease automatically...
+    EXPECT_EQ(table.completeUnit(lease, 1), LeaseResult::Accepted);
+    EXPECT_EQ(table.openLeaseCount(7), 0u);
+    // ...so a stale report quoting it is Duplicate (unit done), and a
+    // never-granted lease over a not-done unit is Unknown.
+    EXPECT_EQ(table.completeUnit(lease, 1), LeaseResult::Duplicate);
+    EXPECT_EQ(table.completeUnit(999, 2), LeaseResult::Unknown);
+    EXPECT_FALSE(table.allDone());
+}
+
+TEST(LeaseTableTest, RevocationRequeuesUnfinishedUnitsAtTheFront)
+{
+    LeaseTable table(5);
+    const auto batch = table.takePending(3); // {0,1,2}
+    const std::uint64_t lease = table.openLease(
+        1, batch, LeaseTable::Clock::time_point::max());
+    EXPECT_EQ(table.completeUnit(lease, 1), LeaseResult::Accepted);
+
+    // Worker dies: units 0 and 2 must come back, ahead of 3 and 4.
+    EXPECT_EQ(table.revokeLease(lease),
+              (std::vector<std::size_t>{0, 2}));
+    EXPECT_EQ(table.takePending(99),
+              (std::vector<std::size_t>{0, 2, 3, 4}));
+    // The revoked lease is gone: its late results are not Accepted.
+    EXPECT_NE(table.completeUnit(lease, 0), LeaseResult::Accepted);
+}
+
+TEST(LeaseTableTest, ExpiryAndCompletionAccounting)
+{
+    LeaseTable table(4);
+    const auto now = LeaseTable::Clock::now();
+    const std::uint64_t stale = table.openLease(
+        1, table.takePending(2), now - std::chrono::seconds(1));
+    const std::uint64_t fresh = table.openLease(
+        2, table.takePending(2), now + std::chrono::hours(1));
+
+    EXPECT_EQ(table.expired(now),
+              (std::vector<std::uint64_t>{stale}));
+    EXPECT_EQ(table.leasesOf(1),
+              (std::vector<std::uint64_t>{stale}));
+
+    table.revokeLease(stale);
+    for (std::size_t u : {0u, 1u})
+        EXPECT_EQ(table.completeUnit(fresh, u + 2),
+                  LeaseResult::Accepted)
+            << u;
+    for (std::size_t u : table.takePending(99))
+        table.markDone(u);
+    EXPECT_TRUE(table.allDone());
+    EXPECT_EQ(table.unitsDone(), 4u);
+}
+
+TEST(LeaseTableTest, MarkDoneRemovesTheUnitFromPending)
+{
+    LeaseTable table(3);
+    table.markDone(1); // e.g. journal replay resolved it
+    EXPECT_EQ(table.takePending(99),
+              (std::vector<std::size_t>{0, 2}));
+    EXPECT_TRUE(table.isDone(1));
+}
+
+// ---------------------------------------------------------------------
+// Wire protocol codec.
+// ---------------------------------------------------------------------
+
+TEST(FabricProtocol, MessagesRoundTrip)
+{
+    HelloMsg hello;
+    hello.version = 3;
+    hello.name = "rig-07";
+    const HelloMsg hello2 = decodeHello(encodeHello(hello));
+    EXPECT_EQ(hello2.version, 3u);
+    EXPECT_EQ(hello2.name, "rig-07");
+
+    WelcomeMsg welcome;
+    welcome.spec = {9, 8, 7};
+    EXPECT_EQ(decodeWelcome(encodeWelcome(welcome)).spec,
+              welcome.spec);
+
+    RejectMsg reject;
+    reject.reason = "version 3, expected 1";
+    EXPECT_EQ(decodeReject(encodeReject(reject)).reason,
+              reject.reason);
+
+    LeaseMsg lease;
+    lease.leaseId = 11;
+    lease.units = {{4, {1, 2}}, {5, {}}};
+    const LeaseMsg lease2 = decodeLease(encodeLease(lease));
+    EXPECT_EQ(lease2.leaseId, 11u);
+    ASSERT_EQ(lease2.units.size(), 2u);
+    EXPECT_EQ(lease2.units[0].unitIndex, 4u);
+    EXPECT_EQ(lease2.units[0].request,
+              (std::vector<std::uint8_t>{1, 2}));
+    EXPECT_TRUE(lease2.units[1].request.empty());
+
+    ResultMsg result;
+    result.leaseId = 11;
+    result.unitIndex = 4;
+    result.response = {0xaa};
+    const ResultMsg result2 = decodeResult(encodeResult(result));
+    EXPECT_EQ(result2.leaseId, 11u);
+    EXPECT_EQ(result2.unitIndex, 4u);
+    EXPECT_EQ(result2.response, (std::vector<std::uint8_t>{0xaa}));
+
+    EXPECT_EQ(peekType(encodeHeartbeat()), FabricMsg::Heartbeat);
+    EXPECT_EQ(peekType(encodeDone()), FabricMsg::Done);
+}
+
+TEST(FabricProtocol, MalformedPayloadsThrowDistError)
+{
+    EXPECT_THROW(peekType({}), DistError);
+    EXPECT_THROW(peekType({0xff}), DistError);
+    // Wrong tag for the decoder.
+    EXPECT_THROW(decodeHello(encodeDone()), DistError);
+    // Truncated body.
+    auto torn = encodeHello({1, "worker"});
+    torn.resize(torn.size() / 2);
+    EXPECT_THROW(decodeHello(torn), DistError);
+}
+
+TEST(FabricProtocol, CampaignSpecRoundTripsAndRejectsGarbage)
+{
+    CampaignSpec spec;
+    spec.configs = {parseConfigName("x86-2-50-32"),
+                    parseConfigName("ARM-4-100-64")};
+    spec.campaign.iterations = 96;
+    spec.campaign.testsPerConfig = 5;
+    spec.campaign.seed = 99;
+    spec.campaign.fault.bitFlipRate = 0.01;
+    spec.campaign.recovery.crashRetries = 3;
+    spec.campaign.testTimeoutMs = 1234;
+
+    const CampaignSpec back =
+        decodeCampaignSpec(encodeCampaignSpec(spec));
+    ASSERT_EQ(back.configs.size(), 2u);
+    EXPECT_EQ(back.configs[0].name(), spec.configs[0].name());
+    EXPECT_EQ(back.configs[1].name(), spec.configs[1].name());
+    EXPECT_EQ(back.campaign.iterations, 96u);
+    EXPECT_EQ(back.campaign.testsPerConfig, 5u);
+    EXPECT_EQ(back.campaign.seed, 99u);
+    EXPECT_EQ(back.campaign.fault.bitFlipRate, 0.01);
+    EXPECT_EQ(back.campaign.recovery.crashRetries, 3u);
+    EXPECT_EQ(back.campaign.testTimeoutMs, 1234u);
+
+    EXPECT_THROW(decodeCampaignSpec({1, 2, 3}), DistError);
+}
+
+// ---------------------------------------------------------------------
+// Coordinator + worker client, in-process (thread workers).
+// ---------------------------------------------------------------------
+
+/** Trivial unit semantics for fabric-only tests: the response echoes
+ * the request with one byte appended. */
+std::vector<std::uint8_t>
+echoUnit(std::uint64_t, const std::vector<std::uint8_t> &request)
+{
+    std::vector<std::uint8_t> response = request;
+    response.push_back(0x99);
+    return response;
+}
+
+TEST(Fabric, VersionMismatchedWorkerRejectedAtHandshake)
+{
+    FabricConfig cfg;
+    cfg.batchSize = 1;
+    Coordinator coordinator(cfg, {0xde, 0xad});
+
+    std::atomic<bool> bad_rejected{false};
+    std::thread bad([&] {
+        WorkerClientConfig wc;
+        wc.port = coordinator.port();
+        wc.name = "stale-build";
+        wc.protocolVersion = kDistProtocolVersion + 7;
+        wc.heartbeatMs = 50;
+        try {
+            runWorkerClient(wc, [](const auto &) {}, echoUnit);
+        } catch (const DistError &) {
+            bad_rejected.store(true); // fatal, no retry
+        }
+    });
+    std::thread good([&] {
+        WorkerClientConfig wc;
+        wc.port = coordinator.port();
+        wc.name = "good";
+        wc.heartbeatMs = 50;
+        runWorkerClient(wc, [](const auto &) {}, echoUnit);
+    });
+
+    std::vector<bool> seen(4, false);
+    coordinator.run(
+        4,
+        [](std::size_t u) {
+            return std::optional<std::vector<std::uint8_t>>(
+                std::vector<std::uint8_t>{
+                    static_cast<std::uint8_t>(u)});
+        },
+        [&](std::size_t u, const std::vector<std::uint8_t> &payload) {
+            EXPECT_FALSE(seen[u]) << "unit double-counted";
+            seen[u] = true;
+            ASSERT_EQ(payload.size(), 2u);
+            EXPECT_EQ(payload[0], static_cast<std::uint8_t>(u));
+            EXPECT_EQ(payload[1], 0x99);
+        },
+        [](std::size_t, unsigned, const std::string &) {
+            return true;
+        });
+    bad.join();
+    good.join();
+
+    EXPECT_TRUE(bad_rejected.load());
+    EXPECT_EQ(coordinator.stats().workersRejected, 1u);
+    for (std::size_t u = 0; u < seen.size(); ++u)
+        EXPECT_TRUE(seen[u]) << "unit " << u << " never resolved";
+}
+
+TEST(Fabric, SlowWorkerThrottledByBackpressureNotTheFleet)
+{
+    FabricConfig cfg;
+    cfg.batchSize = 1;
+    cfg.maxInFlightPerWorker = 1; // the backpressure bound under test
+    Coordinator coordinator(cfg, {});
+
+    constexpr std::size_t kUnits = 8;
+    WorkerRunStats fast_stats, slow_stats;
+    std::thread fast([&] {
+        WorkerClientConfig wc;
+        wc.port = coordinator.port();
+        wc.name = "fast";
+        wc.heartbeatMs = 50;
+        fast_stats =
+            runWorkerClient(wc, [](const auto &) {}, echoUnit);
+    });
+    std::thread slow([&] {
+        WorkerClientConfig wc;
+        wc.port = coordinator.port();
+        wc.name = "slow";
+        wc.heartbeatMs = 50;
+        wc.unitDelayMs = 200; // the "slow host" drill
+        slow_stats =
+            runWorkerClient(wc, [](const auto &) {}, echoUnit);
+    });
+
+    std::size_t results = 0;
+    coordinator.run(
+        kUnits,
+        [](std::size_t u) {
+            return std::optional<std::vector<std::uint8_t>>(
+                std::vector<std::uint8_t>{
+                    static_cast<std::uint8_t>(u)});
+        },
+        [&](std::size_t, const std::vector<std::uint8_t> &) {
+            ++results;
+        },
+        [](std::size_t, unsigned, const std::string &) {
+            return true;
+        });
+    fast.join();
+    slow.join();
+
+    // Every unit resolved exactly once, the slow worker held at most
+    // its in-flight bound while the fast worker drained the queue,
+    // and heartbeats kept the slow worker alive through its delays.
+    EXPECT_EQ(results, kUnits);
+    EXPECT_EQ(fast_stats.unitsExecuted + slow_stats.unitsExecuted,
+              kUnits);
+    EXPECT_GT(fast_stats.unitsExecuted, slow_stats.unitsExecuted);
+    EXPECT_EQ(coordinator.stats().duplicateResults, 0u);
+    EXPECT_GT(coordinator.stats().heartbeats, 0u);
+}
+
+TEST(Fabric, SilentWorkerDeclaredDeadAndItsLeaseReassigned)
+{
+    FabricConfig cfg;
+    cfg.batchSize = 2;
+    cfg.heartbeatTimeoutMs = 250; // aggressive, for the test
+    Coordinator coordinator(cfg, {});
+
+    // A hand-rolled worker that handshakes, accepts a lease, then
+    // goes silent — no results, no heartbeats. The coordinator must
+    // declare it dead at the liveness timeout and reassign.
+    std::thread silent([&] {
+        Transport link(connectTcp("127.0.0.1", coordinator.port()),
+                       "silent");
+        HelloMsg hello;
+        hello.name = "silent";
+        link.send(encodeHello(hello));
+        std::vector<std::uint8_t> msg;
+        ASSERT_TRUE(link.receive(msg)); // Welcome
+        ASSERT_TRUE(link.receive(msg)); // a Lease it will never serve
+        EXPECT_EQ(peekType(msg), FabricMsg::Lease);
+        std::this_thread::sleep_for(std::chrono::milliseconds(800));
+        link.close();
+    });
+    std::thread good([&] {
+        // Arrives late so the silent worker gets leased first.
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        WorkerClientConfig wc;
+        wc.port = coordinator.port();
+        wc.name = "good";
+        wc.heartbeatMs = 50;
+        runWorkerClient(wc, [](const auto &) {}, echoUnit);
+    });
+
+    std::vector<bool> seen(4, false);
+    coordinator.run(
+        4,
+        [](std::size_t u) {
+            return std::optional<std::vector<std::uint8_t>>(
+                std::vector<std::uint8_t>{
+                    static_cast<std::uint8_t>(u)});
+        },
+        [&](std::size_t u, const std::vector<std::uint8_t> &) {
+            EXPECT_FALSE(seen[u]) << "unit double-counted";
+            seen[u] = true;
+        },
+        [](std::size_t, unsigned, const std::string &) {
+            return true;
+        });
+    silent.join();
+    good.join();
+
+    EXPECT_GE(coordinator.stats().workersLost, 1u);
+    EXPECT_GE(coordinator.stats().unitsReassigned, 1u);
+    for (std::size_t u = 0; u < seen.size(); ++u)
+        EXPECT_TRUE(seen[u]) << "unit " << u << " never resolved";
+}
+
+// ---------------------------------------------------------------------
+// Distributed campaigns: the bit-identity gate.
+// ---------------------------------------------------------------------
+
+/** Every deterministic summary field (ms fields excluded: re-run
+ * units re-measure wall-clock). */
+void
+expectSummariesIdentical(const ConfigSummary &a, const ConfigSummary &b)
+{
+    EXPECT_EQ(a.tests, b.tests);
+    EXPECT_EQ(a.avgUniqueSignatures, b.avgUniqueSignatures);
+    EXPECT_EQ(a.avgSignatureBytes, b.avgSignatureBytes);
+    EXPECT_EQ(a.avgUnrelatedAccesses, b.avgUnrelatedAccesses);
+    EXPECT_EQ(a.avgCodeRatio, b.avgCodeRatio);
+    EXPECT_EQ(a.avgOriginalKB, b.avgOriginalKB);
+    EXPECT_EQ(a.avgInstrumentedKB, b.avgInstrumentedKB);
+    EXPECT_EQ(a.collectiveWork, b.collectiveWork);
+    EXPECT_EQ(a.conventionalWork, b.conventionalWork);
+    EXPECT_EQ(a.collectiveGraphs, b.collectiveGraphs);
+    EXPECT_EQ(a.collectiveCompleteSorts, b.collectiveCompleteSorts);
+    EXPECT_EQ(a.fracComplete, b.fracComplete);
+    EXPECT_EQ(a.fracNoResort, b.fracNoResort);
+    EXPECT_EQ(a.fracIncremental, b.fracIncremental);
+    EXPECT_EQ(a.avgAffectedFraction, b.avgAffectedFraction);
+    EXPECT_EQ(a.avgComputationOverhead, b.avgComputationOverhead);
+    EXPECT_EQ(a.avgSortingOverhead, b.avgSortingOverhead);
+    EXPECT_EQ(a.violations, b.violations);
+    EXPECT_EQ(a.injected.totalEvents(), b.injected.totalEvents());
+    EXPECT_EQ(a.quarantinedSignatures, b.quarantinedSignatures);
+    EXPECT_EQ(a.quarantinedIterations, b.quarantinedIterations);
+    EXPECT_EQ(a.confirmedViolations, b.confirmedViolations);
+    EXPECT_EQ(a.transientViolations, b.transientViolations);
+    EXPECT_EQ(a.crashRetries, b.crashRetries);
+    EXPECT_EQ(a.testRetriesUsed, b.testRetriesUsed);
+    EXPECT_EQ(a.failedTests, b.failedTests);
+    EXPECT_EQ(a.hungTests, b.hungTests);
+    EXPECT_EQ(a.hungAttempts, b.hungAttempts);
+    EXPECT_EQ(a.skippedTests, b.skippedTests);
+    EXPECT_EQ(a.errorEvents, b.errorEvents);
+    EXPECT_EQ(a.tripped, b.tripped);
+    EXPECT_EQ(a.degraded, b.degraded);
+}
+
+std::vector<TestConfig>
+fabricConfigs()
+{
+    return {parseConfigName("x86-2-50-32"),
+            parseConfigName("ARM-2-50-32")};
+}
+
+CampaignConfig
+smallCampaign()
+{
+    CampaignConfig campaign;
+    campaign.iterations = 64;
+    campaign.testsPerConfig = 2;
+    campaign.runConventional = false;
+    return campaign;
+}
+
+void
+expectCampaignsIdentical(const std::vector<ConfigSummary> &a,
+                         const std::vector<ConfigSummary> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        SCOPED_TRACE(a[i].cfg.name());
+        expectSummariesIdentical(a[i], b[i]);
+    }
+}
+
+TEST(DistributedCampaign, SummaryBitIdenticalAtAnyFleetSize)
+{
+    const CampaignConfig base = smallCampaign();
+    const auto baseline = runCampaign(fabricConfigs(), base);
+
+    for (unsigned workers : {1u, 3u}) {
+        SCOPED_TRACE("fleet size " + std::to_string(workers));
+        CampaignConfig dist = base;
+        dist.mode = ExecutionMode::Distributed;
+        dist.distWorkers = workers;
+        expectCampaignsIdentical(baseline,
+                                 runCampaign(fabricConfigs(), dist));
+    }
+}
+
+TEST(DistributedCampaign, FaultInjectedSummaryBitIdentical)
+{
+    CampaignConfig base = smallCampaign();
+    base.fault.bitFlipRate = 0.02;
+    base.fault.dropRate = 0.01;
+    base.recovery.confirmationRuns = 2;
+    const auto baseline = runCampaign(fabricConfigs(), base);
+
+    CampaignConfig dist = base;
+    dist.mode = ExecutionMode::Distributed;
+    dist.distWorkers = 2;
+    expectCampaignsIdentical(baseline,
+                             runCampaign(fabricConfigs(), dist));
+}
+
+TEST(DistributedCampaign, WorkerDeathMidBatchKeepsSummaryBitIdentical)
+{
+    const CampaignConfig base = smallCampaign();
+    const auto baseline = runCampaign(fabricConfigs(), base);
+
+    // Loopback worker 0 _exit()s abruptly after its first result,
+    // leaving the rest of its lease unreported. The lease must be
+    // revoked, its units reassigned and re-executed — and because a
+    // fabric loss is never charged as a platform crash, the summary
+    // (crashRetries included) stays bit-identical to serial.
+    CampaignConfig dist = base;
+    dist.mode = ExecutionMode::Distributed;
+    dist.distWorkers = 2;
+    dist.distBatch = 2;
+    dist.distDrillExitAfter = 1;
+    expectCampaignsIdentical(baseline,
+                             runCampaign(fabricConfigs(), dist));
+}
+
+TEST(DistributedCampaign, CoordinatorCrashResumesFromJournalBitIdentically)
+{
+    const CampaignConfig base = smallCampaign();
+    const auto baseline = runCampaign(fabricConfigs(), base);
+
+    TempFile journal("coord_crash");
+    {
+        CampaignConfig first = base;
+        first.mode = ExecutionMode::Distributed;
+        first.distWorkers = 2;
+        first.journalPath = journal.path();
+        runCampaign(fabricConfigs(), first);
+    }
+    // Simulate the coordinator dying mid-campaign: chop the journal
+    // so only a prefix of unit records (plus possibly a torn tail)
+    // survives, exactly what a SIGKILL mid-append leaves behind.
+    const std::uintmax_t full = fs::file_size(journal.path());
+    fs::resize_file(journal.path(), full * 2 / 3);
+
+    CampaignConfig resumed = base;
+    resumed.mode = ExecutionMode::Distributed;
+    resumed.distWorkers = 2;
+    resumed.journalPath = journal.path();
+    resumed.resume = true;
+    expectCampaignsIdentical(baseline,
+                             runCampaign(fabricConfigs(), resumed));
+}
+
+TEST(DistributedCampaign, JournalWrittenSeriallyResumesDistributed)
+{
+    const CampaignConfig base = smallCampaign();
+    const auto baseline = runCampaign(fabricConfigs(), base);
+
+    // The journal identity excludes the execution mode on purpose:
+    // where units ran cannot change what they computed, so a serial
+    // journal resumes onto the fabric (and replays bit-identically).
+    TempFile journal("cross_mode");
+    {
+        CampaignConfig serial = base;
+        serial.journalPath = journal.path();
+        runCampaign(fabricConfigs(), serial);
+    }
+    CampaignConfig dist = base;
+    dist.mode = ExecutionMode::Distributed;
+    dist.distWorkers = 2;
+    dist.journalPath = journal.path();
+    dist.resume = true;
+    expectCampaignsIdentical(baseline,
+                             runCampaign(fabricConfigs(), dist));
+}
+
+} // anonymous namespace
+} // namespace mtc

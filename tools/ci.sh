@@ -11,7 +11,10 @@
 # The sandbox passes then prove real crash containment end to end: a
 # --die-after drill SIGSEGVs a worker mid-campaign and the run must
 # finish every other unit and exit with the documented crash code, and
-# the kill-and-resume smoke is repeated in sandbox mode.
+# the kill-and-resume smoke is repeated in sandbox mode. The
+# distributed smoke closes the loop for the TCP fabric: a coordinator
+# plus two external workers, one SIGKILLed mid-run, and the summary
+# (digests included) must be byte-identical to the serial run.
 # Usage: tools/ci.sh [jobs]
 set -euo pipefail
 
@@ -40,9 +43,10 @@ MTC_THREADS=4 ctest --test-dir build --output-on-failure -j "${jobs}"
 echo "=== ctest build-asan (MTC_THREADS=4) ==="
 MTC_THREADS=4 ctest --test-dir build-asan --output-on-failure -j "${jobs}"
 
-echo "=== bench/scaling --smoke --sandbox ==="
-./build/bench/scaling --smoke --sandbox
+echo "=== bench/scaling --smoke --sandbox --distributed ==="
+./build/bench/scaling --smoke --sandbox --distributed
 grep -q '"sandbox":' BENCH_scaling.smoke.json
+grep -q '"distributed":' BENCH_scaling.smoke.json
 
 # Hot-path smoke: the bench itself exits non-zero on an arena/fresh
 # divergence, and the grep guards the JSON field against emitter drift.
@@ -120,4 +124,64 @@ containment_smoke ./build/tools/mtc_validate plain
 echo "=== crash-containment smoke (asan) ==="
 containment_smoke ./build-asan/tools/mtc_validate asan
 
-echo "=== CI OK: plain, sanitized, parallel, resume, and sandbox suites all green ==="
+# Distributed-fabric smoke: the same campaign once serial in-process
+# (mtc_coordinator --serial) and once served over the TCP fabric to
+# two external mtc_worker processes, one of which is SIGKILLed
+# mid-run so its leased units are reassigned to the survivor. Exit
+# codes must match and every `campaign ...` summary line — the
+# per-config digests and the campaign digest included — must be
+# byte-identical: the bit-identity gate, end to end, across a real
+# worker death.
+dist_smoke() {
+    local bin_dir="$1" tag="$2"
+    local coord="${bin_dir}/tools/mtc_coordinator"
+    local worker="${bin_dir}/tools/mtc_worker"
+    local base="build/ci_dist_${tag}.base.txt"
+    local distd="build/ci_dist_${tag}.dist.txt"
+    local disterr="build/ci_dist_${tag}.dist.err"
+    local pf="build/ci_dist_${tag}.port"
+    # Units heavy enough (8192 iterations) that the fleet is still
+    # mid-campaign when the kill below lands, even on a fast machine.
+    local args=(--config x86-2-50-32 --config ARM-2-50-32 --tests 6
+                --iterations 8192 --seed 13)
+    rm -f "${base}" "${distd}" "${disterr}" "${pf}"
+    local base_rc=0 dist_rc=0
+    "${coord}" "${args[@]}" --serial > "${base}" || base_rc=$?
+    [ "${base_rc}" -ne 1 ]
+    # No loopback fleet (--workers 0): the coordinator waits for the
+    # external workers below, exactly the multi-host attach flow.
+    timeout -s KILL 300 \
+        "${coord}" "${args[@]}" --workers 0 --port-file "${pf}" \
+        > "${distd}" 2> "${disterr}" &
+    local coord_pid=$!
+    for _ in $(seq 1 100); do [ -s "${pf}" ] && break; sleep 0.1; done
+    [ -s "${pf}" ]
+    local port
+    port="$(cat "${pf}")"
+    # The doomed worker is slow (200ms/unit), so the units it holds
+    # leases on at kill time are guaranteed still unreported.
+    "${worker}" --connect "127.0.0.1:${port}" --name doomed \
+        --unit-delay-ms 200 > /dev/null 2>&1 &
+    local doomed_pid=$!
+    "${worker}" --connect "127.0.0.1:${port}" --name steady \
+        > /dev/null 2>&1 &
+    local steady_pid=$!
+    sleep 0.5
+    kill -9 "${doomed_pid}" 2> /dev/null || true
+    wait "${coord_pid}" || dist_rc=$?
+    wait "${steady_pid}" 2> /dev/null || true
+    wait "${doomed_pid}" 2> /dev/null || true
+    [ "${dist_rc}" -eq "${base_rc}" ]
+    # The kill must have been observed as a mid-campaign worker loss,
+    # and the merged summary must still match serial byte for byte.
+    grep -q "lost worker 'doomed'" "${disterr}"
+    diff <(grep '^campaign' "${base}") <(grep '^campaign' "${distd}")
+    rm -f "${base}" "${distd}" "${disterr}" "${pf}"
+}
+
+echo "=== distributed-fabric smoke (plain) ==="
+dist_smoke ./build plain
+echo "=== distributed-fabric smoke (asan) ==="
+dist_smoke ./build-asan asan
+
+echo "=== CI OK: plain, sanitized, parallel, resume, sandbox, and distributed suites all green ==="

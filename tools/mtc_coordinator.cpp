@@ -1,0 +1,401 @@
+/**
+ * @file
+ * mtc_coordinator — distributed MCM validation campaigns.
+ *
+ * Owns a campaign plan and serves its (config, test) units over the
+ * TCP fabric (src/dist/) to a fleet of workers: `--workers N` loopback
+ * processes forked locally, plus any external `mtc_worker` processes
+ * that attach to the same port. Results are merged into per-config
+ * summaries that are bit-identical to a serial in-process run
+ * (`--serial`) at any fleet size — the CI smoke byte-diffs the two.
+ *
+ * Usage:
+ *   mtc_coordinator [options]
+ *     --config NAME       test configuration, repeatable
+ *                         [x86-4-50-64]
+ *     --tests N           tests per configuration            [3]
+ *     --iterations N      runs per test                      [512]
+ *     --seed N            campaign seed                      [2017]
+ *     --fault-bitflip P   per-word signature bit-flip rate   [0]
+ *     --fault-torn P      torn multi-word store rate         [0]
+ *     --fault-truncate P  per-thread stream truncation rate  [0]
+ *     --fault-drop P      lost-iteration rate                [0]
+ *     --fault-dup P       duplicated-iteration rate          [0]
+ *     --fault-seed N      fault injector seed                [0xfa017]
+ *     --confirm-k N       K-re-execution confirmation budget [2]
+ *     --journal PATH      write-ahead unit journal (crash-safe)
+ *     --resume            replay completed units from --journal
+ *     --test-timeout-ms N per-test watchdog deadline (worker-side)
+ *     --port N            TCP port; 0 = ephemeral            [0]
+ *     --port-file PATH    write the bound port here once listening
+ *     --workers N         loopback workers to fork; 0 waits for
+ *                         external mtc_worker processes      [2]
+ *     --batch N           units per lease                    [2]
+ *     --max-in-flight N   open leases per worker             [2]
+ *     --heartbeat-timeout-ms N  drop a silent worker after N ms
+ *                         [10000]
+ *     --lease-timeout-ms N  reassign a lease older than N ms [off]
+ *     --serial            run in-process instead (the baseline the
+ *                         distributed summary must match byte for
+ *                         byte)
+ *     --drill-exit-after N  failure drill: loopback worker 0 _exit()s
+ *                         abruptly after N results (dies mid-batch)
+ *     --verbose           per-config detail table
+ *     --help
+ *
+ * Exit status mirrors mtc_validate:
+ *   0 clean, 1 config error, 2 confirmed violation, 3 corruption
+ *   only, 4 failed/abandoned units, 5 hang, 6 breaker tripped.
+ */
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "harness/campaign.h"
+#include "support/framing.h"
+#include "support/journal.h"
+#include "support/table.h"
+#include "testgen/test_config.h"
+
+using namespace mtc;
+
+namespace
+{
+
+struct Options
+{
+    std::vector<std::string> configNames;
+    CampaignConfig campaign;
+    bool serial = false;
+    bool verbose = false;
+};
+
+void
+usage()
+{
+    std::cout <<
+        "mtc_coordinator: distributed MCM validation campaigns\n"
+        "  --config NAME     test configuration, repeatable\n"
+        "                    [x86-4-50-64]\n"
+        "  --tests N         tests per configuration [3]\n"
+        "  --iterations N    runs per test [512]\n"
+        "  --seed N          campaign seed [2017]\n"
+        "  --fault-bitflip P per-word signature bit-flip rate [0]\n"
+        "  --fault-torn P    torn multi-word store rate [0]\n"
+        "  --fault-truncate P per-thread stream truncation rate [0]\n"
+        "  --fault-drop P    lost-iteration rate [0]\n"
+        "  --fault-dup P     duplicated-iteration rate [0]\n"
+        "  --fault-seed N    fault injector seed [0xfa017]\n"
+        "  --confirm-k N     K-re-execution confirmation budget [2]\n"
+        "  --journal PATH    crash-safe write-ahead unit journal; a\n"
+        "                    SIGKILLed coordinator resumes from it\n"
+        "  --resume          replay completed units from --journal;\n"
+        "                    the summary is bit-identical to an\n"
+        "                    uninterrupted run\n"
+        "  --test-timeout-ms N  worker-side watchdog deadline [off]\n"
+        "  --port N          TCP port; 0 = ephemeral [0]\n"
+        "  --port-file PATH  write the bound port (decimal, one line)\n"
+        "                    once listening — how scripts find an\n"
+        "                    ephemeral port\n"
+        "  --workers N       loopback workers to fork; 0 forks none\n"
+        "                    and waits for external mtc_worker\n"
+        "                    processes [2]\n"
+        "  --batch N         units per lease [2]\n"
+        "  --max-in-flight N open leases per worker (backpressure:\n"
+        "                    a slow worker holds few units while fast\n"
+        "                    ones drain the queue) [2]\n"
+        "  --heartbeat-timeout-ms N  declare a silent worker dead\n"
+        "                    after N ms and reassign its leases\n"
+        "                    [10000]\n"
+        "  --lease-timeout-ms N  reassign any lease still open after\n"
+        "                    N ms (the worker may stay connected);\n"
+        "                    0 = off [0]\n"
+        "  --serial          run the campaign in-process instead of\n"
+        "                    over the fabric: the baseline the\n"
+        "                    distributed summary must match byte for\n"
+        "                    byte\n"
+        "  --drill-exit-after N  failure drill: loopback worker 0\n"
+        "                    _exit()s abruptly after sending N\n"
+        "                    results, leaving its lease unreported;\n"
+        "                    the summary must not change; 0 = off [0]\n"
+        "  --verbose         per-config detail table\n"
+        "exit codes: 0 clean, 1 config error, 2 confirmed violation,\n"
+        "            3 corruption only, 4 failed/abandoned units,\n"
+        "            5 hang, 6 circuit breaker tripped\n";
+}
+
+std::uint64_t
+parseCount(const std::string &flag, const std::string &text,
+           int base = 10)
+{
+    try {
+        std::size_t pos = 0;
+        const std::uint64_t value = std::stoull(text, &pos, base);
+        if (pos == text.size() && text[0] != '-')
+            return value;
+    } catch (const std::exception &) {
+    }
+    throw ConfigError(flag + " expects an unsigned integer, got \"" +
+                      text + "\"");
+}
+
+double
+parseRate(const std::string &flag, const std::string &text)
+{
+    try {
+        std::size_t pos = 0;
+        const double value = std::stod(text, &pos);
+        if (pos == text.size())
+            return value;
+    } catch (const std::exception &) {
+    }
+    throw ConfigError(flag + " expects a number, got \"" + text + "\"");
+}
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options opt;
+    CampaignConfig &c = opt.campaign;
+    c.iterations = 512;
+    c.testsPerConfig = 3;
+    c.runConventional = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (++i >= argc)
+                throw ConfigError("missing value after " + arg);
+            return argv[i];
+        };
+        if (arg == "--config")
+            opt.configNames.push_back(next());
+        else if (arg == "--tests")
+            c.testsPerConfig =
+                static_cast<unsigned>(parseCount(arg, next()));
+        else if (arg == "--iterations")
+            c.iterations = parseCount(arg, next());
+        else if (arg == "--seed")
+            c.seed = parseCount(arg, next());
+        else if (arg == "--fault-bitflip")
+            c.fault.bitFlipRate = parseRate(arg, next());
+        else if (arg == "--fault-torn")
+            c.fault.tornStoreRate = parseRate(arg, next());
+        else if (arg == "--fault-truncate")
+            c.fault.truncationRate = parseRate(arg, next());
+        else if (arg == "--fault-drop")
+            c.fault.dropRate = parseRate(arg, next());
+        else if (arg == "--fault-dup")
+            c.fault.duplicateRate = parseRate(arg, next());
+        else if (arg == "--fault-seed")
+            c.fault.seed = parseCount(arg, next(), 0);
+        else if (arg == "--confirm-k")
+            c.recovery.confirmationRuns =
+                static_cast<unsigned>(parseCount(arg, next()));
+        else if (arg == "--journal") {
+            c.journalPath = next();
+            if (c.journalPath.empty())
+                throw ConfigError("--journal expects a non-empty path");
+        } else if (arg == "--resume")
+            c.resume = true;
+        else if (arg == "--test-timeout-ms")
+            c.testTimeoutMs = parseCount(arg, next());
+        else if (arg == "--port")
+            c.distPort =
+                static_cast<std::uint16_t>(parseCount(arg, next()));
+        else if (arg == "--port-file")
+            c.distPortFile = next();
+        else if (arg == "--workers")
+            c.distWorkers =
+                static_cast<unsigned>(parseCount(arg, next()));
+        else if (arg == "--batch")
+            c.distBatch =
+                static_cast<unsigned>(parseCount(arg, next()));
+        else if (arg == "--max-in-flight")
+            c.distMaxInFlight =
+                static_cast<unsigned>(parseCount(arg, next()));
+        else if (arg == "--heartbeat-timeout-ms")
+            c.distHeartbeatTimeoutMs = parseCount(arg, next());
+        else if (arg == "--lease-timeout-ms")
+            c.distLeaseTimeoutMs = parseCount(arg, next());
+        else if (arg == "--serial")
+            opt.serial = true;
+        else if (arg == "--drill-exit-after")
+            c.distDrillExitAfter = parseCount(arg, next());
+        else if (arg == "--verbose")
+            opt.verbose = true;
+        else if (arg == "--help" || arg == "-h") {
+            usage();
+            std::exit(0);
+        } else {
+            throw ConfigError("unknown option: " + arg);
+        }
+    }
+    if (c.resume && c.journalPath.empty())
+        throw ConfigError("--resume needs a journal (--journal PATH)");
+    if (opt.configNames.empty())
+        opt.configNames.push_back("x86-4-50-64");
+    c.mode = opt.serial ? ExecutionMode::InProcess
+                        : ExecutionMode::Distributed;
+    return opt;
+}
+
+/**
+ * Fold one summary's deterministic fields (no wall-clock, no
+ * advisory breaker verdicts) into @p w — the byte stream behind both
+ * the printed per-config digest and the campaign digest that the CI
+ * smoke byte-compares between serial and distributed runs.
+ */
+void
+foldSummary(ByteWriter &w, const ConfigSummary &s)
+{
+    w.str(s.cfg.name());
+    w.u32(s.tests);
+    w.f64(s.avgUniqueSignatures);
+    w.f64(s.avgSignatureBytes);
+    w.f64(s.avgUnrelatedAccesses);
+    w.f64(s.avgCodeRatio);
+    w.u64(s.collectiveWork);
+    w.u64(s.conventionalWork);
+    w.u64(s.collectiveGraphs);
+    w.u64(s.collectiveCompleteSorts);
+    w.f64(s.fracComplete);
+    w.f64(s.fracNoResort);
+    w.f64(s.fracIncremental);
+    w.f64(s.avgAffectedFraction);
+    w.f64(s.avgComputationOverhead);
+    w.f64(s.avgSortingOverhead);
+    w.u64(s.violations);
+    w.u64(s.quarantinedSignatures);
+    w.u64(s.quarantinedIterations);
+    w.u64(s.confirmedViolations);
+    w.u64(s.transientViolations);
+    w.u32(s.crashRetries);
+    w.u32(s.testRetriesUsed);
+    w.u32(s.failedTests);
+    w.u32(s.hungTests);
+    w.u32(s.hungAttempts);
+    w.u8(s.degraded ? 1 : 0);
+}
+
+std::string
+hex64(std::uint64_t v)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 15; i >= 0; --i, v >>= 4)
+        out[static_cast<std::size_t>(i)] = digits[v & 0xf];
+    return out;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        const Options opt = parseArgs(argc, argv);
+        std::vector<TestConfig> configs;
+        configs.reserve(opt.configNames.size());
+        for (const std::string &name : opt.configNames)
+            configs.push_back(parseConfigName(name));
+
+        const CampaignConfig &c = opt.campaign;
+        std::cout << "MTraceCheck "
+                  << (opt.serial ? "serial" : "distributed")
+                  << " campaign: " << configs.size() << " configs x "
+                  << c.testsPerConfig << " tests x " << c.iterations
+                  << " iterations";
+        if (!opt.serial)
+            std::cout << ", " << c.distWorkers
+                      << " loopback workers, batch " << c.distBatch
+                      << ", max in-flight " << c.distMaxInFlight;
+        std::cout << "\n\n";
+
+        const std::vector<ConfigSummary> summaries =
+            runCampaign(configs, opt.campaign);
+
+        if (opt.verbose) {
+            TablePrinter table({"config", "tests", "unique sigs",
+                                "violations", "failed", "hung",
+                                "retries"});
+            for (const ConfigSummary &s : summaries) {
+                table.addRow(
+                    {s.cfg.name(),
+                     TablePrinter::fmt(std::uint64_t(s.tests)),
+                     TablePrinter::fmt(s.avgUniqueSignatures, 2),
+                     TablePrinter::fmt(s.violations),
+                     TablePrinter::fmt(
+                         std::uint64_t(s.failedTests)),
+                     TablePrinter::fmt(std::uint64_t(s.hungTests)),
+                     TablePrinter::fmt(
+                         std::uint64_t(s.testRetriesUsed))});
+            }
+            table.print(std::cout);
+            std::cout << "\n";
+        }
+
+        // Deterministic summary block: one line per config plus a
+        // campaign digest, all free of wall-clock — this is what the
+        // CI smoke byte-diffs between --serial and distributed runs.
+        ByteWriter campaign_fold;
+        std::uint64_t violations = 0, confirmed = 0, transient = 0;
+        std::uint64_t quarantined = 0;
+        unsigned failed = 0, hung = 0, crashes = 0;
+        bool tripped = false, degraded = false;
+        for (const ConfigSummary &s : summaries) {
+            ByteWriter w;
+            foldSummary(w, s);
+            foldSummary(campaign_fold, s);
+            std::cout << "campaign summary: " << s.cfg.name()
+                      << " tests=" << s.tests
+                      << " violations=" << s.violations
+                      << " confirmed=" << s.confirmedViolations
+                      << " transient=" << s.transientViolations
+                      << " quarantined=" << s.quarantinedSignatures
+                      << " failed=" << s.failedTests
+                      << " hung=" << s.hungTests
+                      << " retries=" << s.testRetriesUsed
+                      << " digest="
+                      << hex64(fnv1a64(w.bytes().data(),
+                                       w.bytes().size()))
+                      << "\n";
+            violations += s.violations;
+            confirmed += s.confirmedViolations;
+            transient += s.transientViolations;
+            quarantined += s.quarantinedSignatures;
+            failed += s.failedTests;
+            hung += s.hungTests;
+            crashes += s.crashRetries;
+            tripped = tripped || s.tripped;
+            degraded = degraded || (s.degraded && !s.tripped);
+            if (s.degraded && !s.error.empty())
+                std::cerr << "mtc_coordinator: " << s.cfg.name()
+                          << " degraded: " << s.error << "\n";
+        }
+        std::cout << "campaign digest: "
+                  << hex64(fnv1a64(campaign_fold.bytes().data(),
+                                   campaign_fold.bytes().size()))
+                  << "\n";
+
+        if (violations || confirmed)
+            return 2;
+        if (tripped)
+            return 6;
+        if (hung)
+            return 5;
+        if (failed || crashes || degraded)
+            return 4;
+        if (quarantined || transient)
+            return 3;
+        return 0;
+    } catch (const Error &err) {
+        std::cerr << "mtc_coordinator: " << err.what() << "\n";
+        return 1;
+    } catch (const std::exception &err) {
+        std::cerr << "mtc_coordinator: " << err.what() << "\n";
+        return 1;
+    }
+}

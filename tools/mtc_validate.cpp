@@ -34,6 +34,8 @@
  *     --sandbox         run each test in a forked worker process
  *     --sandbox-mem-mb N  per-worker RLIMIT_AS budget          [off]
  *     --sandbox-cpu-s N per-worker RLIMIT_CPU budget          [off]
+ *     --distributed N   run each test on a fleet of N loopback TCP
+ *                       workers (the fabric of mtc_coordinator) [off]
  *     --die-after N     drill: Nth run raises a real SIGSEGV  [off]
  *     --leak-after N    drill: Nth run allocation-bombs       [off]
  *     --verbose         per-test detail rows
@@ -65,6 +67,16 @@
 #include <utility>
 #include <vector>
 
+#include <csignal>
+
+#include <unistd.h>
+
+#ifdef __linux__
+#include <sys/prctl.h>
+#endif
+
+#include "dist/coordinator.h"
+#include "dist/worker_client.h"
 #include "harness/campaign.h"
 #include "harness/campaign_journal.h"
 #include "harness/sandbox.h"
@@ -137,6 +149,11 @@ struct Options
      * Defaults to MTC_SANDBOX_CPU_S. */
     std::uint64_t sandboxCpuS = 0;
 
+    /** Run every test on a fleet of this many loopback TCP workers
+     * (the mtc_coordinator fabric, self-contained on localhost);
+     * 0 = off. Mutually exclusive with --sandbox. */
+    unsigned distributed = 0;
+
     /** Hard-crash drill: the Nth platform run raises a real SIGSEGV
      * (0 = off). In-process this kills the campaign; under --sandbox
      * it is contained — that contrast is the drill's purpose. */
@@ -208,6 +225,11 @@ usage()
         "                    0 = unlimited [0]\n"
         "  --sandbox-cpu-s N per-worker CPU budget in seconds; a\n"
         "                    breach dies with SIGXCPU; 0 = off [0]\n"
+        "  --distributed N   run every test on a fleet of N loopback\n"
+        "                    TCP workers over the mtc_coordinator\n"
+        "                    fabric; a worker death reassigns its\n"
+        "                    leased tests and the summary stays\n"
+        "                    bit-identical; 0 = off [0]\n"
         "  --die-after N     hard-crash drill: the Nth platform run\n"
         "                    raises a REAL SIGSEGV. Without --sandbox\n"
         "                    this kills the campaign (that is the\n"
@@ -367,6 +389,9 @@ parseArgs(int argc, char **argv)
             opt.sandboxMemMb = parseCount(arg, next());
         else if (arg == "--sandbox-cpu-s")
             opt.sandboxCpuS = parseCount(arg, next());
+        else if (arg == "--distributed")
+            opt.distributed =
+                static_cast<unsigned>(parseCount(arg, next()));
         else if (arg == "--die-after")
             opt.dieAfterRuns = parseCount(arg, next());
         else if (arg == "--leak-after")
@@ -389,6 +414,15 @@ parseArgs(int argc, char **argv)
         opt.platform == "mesi")
         throw ConfigError("--die-after/--leak-after are operational-"
                           "executor drills; pick a non-mesi platform");
+    if (opt.distributed && opt.sandbox)
+        throw ConfigError("--distributed and --sandbox are mutually "
+                          "exclusive execution modes");
+    if (opt.distributed && (opt.dieAfterRuns || opt.leakAfterRuns))
+        throw ConfigError(
+            "--die-after/--leak-after are sandbox containment drills; "
+            "a distributed worker would re-arm them on every "
+            "reassignment (use mtc_coordinator --drill-exit-after for "
+            "the fabric's death drill)");
     return opt;
 }
 
@@ -544,11 +578,12 @@ main(int argc, char **argv)
                 std::cout << "\n";
             }
         }
-        // Fork-before-threads: the sandboxed parent forks its fleet
-        // before any thread exists, so the watchdog lives only in the
-        // serial path (sandbox children build their own post-fork).
+        // Fork-before-threads: the sandboxed and distributed parents
+        // fork their fleets before any thread exists, so the watchdog
+        // lives only in the serial path (fleet children build their
+        // own post-fork).
         std::unique_ptr<Watchdog> watchdog;
-        if (opt.testTimeoutMs && !opt.sandbox)
+        if (opt.testTimeoutMs && !opt.sandbox && !opt.distributed)
             watchdog = std::make_unique<Watchdog>();
 
         std::uint64_t total_unique = 0, total_bad = 0, total_assert = 0;
@@ -601,7 +636,212 @@ main(int argc, char **argv)
             return record;
         };
 
-        if (opt.sandbox) {
+        if (opt.distributed) {
+            // Loopback fabric: the coordinator binds an ephemeral
+            // localhost port, the fleet is forked from this (still
+            // single-threaded) process, and each child serves units
+            // over TCP exactly as an external mtc_worker would. A
+            // worker death is a fabric event, not a platform crash:
+            // the unit is reassigned and re-executed from the same
+            // pre-derived seeds, so nothing is charged and the
+            // summary stays bit-identical to the serial run.
+            FabricConfig fabric;
+            fabric.stallTimeoutMs = 60000; // dead fleet fails, not hangs
+            Coordinator coordinator(fabric, {});
+
+            const FlowConfig flow_base = flow_cfg;
+            auto fork_worker = [&](unsigned index) -> pid_t {
+                const pid_t pid = ::fork();
+                if (pid < 0)
+                    throw DistError(
+                        std::string("fabric fork failed: ") +
+                        std::strerror(errno));
+                if (pid > 0)
+                    return pid;
+#ifdef __linux__
+                ::prctl(PR_SET_PDEATHSIG, SIGKILL);
+                if (::getppid() == 1)
+                    ::_exit(70); // parent raced away already
+#endif
+                // See Coordinator::listenerFd: an inherited copy of
+                // the listener would outlive its shutdown and queue
+                // late connects forever instead of refusing them.
+                ::close(coordinator.listenerFd());
+                try {
+                    WorkerClientConfig wc;
+                    wc.port = coordinator.port();
+                    wc.name = "loop-" + std::to_string(index);
+                    wc.heartbeatMs = 500;
+                    wc.maxReconnects = 3;
+                    wc.backoffBaseMs = 50;
+                    wc.backoffCapMs = 400;
+                    std::unique_ptr<Watchdog> child_watchdog;
+                    runWorkerClient(
+                        wc,
+                        [](const std::vector<std::uint8_t> &) {
+                            // Single-config CLI campaign: the unit
+                            // request carries everything; the spec
+                            // blob is unused.
+                        },
+                        [&](std::uint64_t,
+                            const std::vector<std::uint8_t> &request)
+                            -> std::vector<std::uint8_t> {
+                            ByteReader reader(request);
+                            const unsigned t = reader.u32();
+                            FlowConfig fc = flow_base;
+                            fc.seed = seeds[t].second;
+                            if (opt.testTimeoutMs && !child_watchdog)
+                                child_watchdog =
+                                    std::make_unique<Watchdog>();
+                            setCrashContext(
+                                cfg.name() + "#" + std::to_string(t),
+                                seeds[t].first);
+                            UnitRecord record = blank_record(t);
+                            CancellationToken token;
+                            std::optional<Watchdog::Guard> deadline;
+                            if (child_watchdog) {
+                                fc.cancel = &token;
+                                deadline.emplace(child_watchdog->watch(
+                                    token,
+                                    std::chrono::milliseconds(
+                                        opt.testTimeoutMs)));
+                            }
+                            try {
+                                const TestProgram program =
+                                    generateTest(cfg, seeds[t].first);
+                                ValidationFlow flow(fc);
+                                record.outcome.result =
+                                    flow.runTest(program);
+                                record.outcome.ok = true;
+                                record.outcome.status = TestStatus::Ok;
+                            } catch (const TestHungError &err) {
+                                record.outcome.ok = false;
+                                record.outcome.status =
+                                    TestStatus::Hung;
+                                record.outcome.hungAttempts = 1;
+                                std::cerr << "mtc_validate: test " << t
+                                          << " hung: " << err.what()
+                                          << "\n";
+                            }
+                            clearCrashContext();
+                            record.outcome.result.executions.clear();
+                            return encodeUnitRecord(record);
+                        });
+                    ::_exit(0);
+                } catch (...) {
+                    ::_exit(70);
+                }
+            };
+
+            std::vector<pid_t> fleet;
+            fleet.reserve(opt.distributed);
+            for (unsigned i = 0; i < opt.distributed; ++i)
+                fleet.push_back(fork_worker(i));
+            auto reap_fleet = [&fleet](bool kill_first) {
+                for (const pid_t pid : fleet) {
+                    if (kill_first)
+                        ::kill(pid, SIGKILL);
+                    try {
+                        waitChild(pid);
+                    } catch (const ProcessError &) {
+                    }
+                }
+                fleet.clear();
+            };
+
+            const Coordinator::RequestFn request_fn =
+                [&](std::size_t u)
+                -> std::optional<std::vector<std::uint8_t>> {
+                const unsigned t = static_cast<unsigned>(u);
+                if (opt.errorBudget &&
+                    error_events >= opt.errorBudget) {
+                    tripped = true;
+                    ++skipped_tests;
+                    return std::nullopt;
+                }
+                const UnitRecord *replayed =
+                    journal ? journal->find(cfg.name(), t) : nullptr;
+                if (replayed) {
+                    check_replay_seeds(*replayed, t);
+                    outcomes[t].r = replayed->outcome.result;
+                    outcomes[t].hung =
+                        replayed->outcome.status == TestStatus::Hung;
+                    outcomes[t].ran = true;
+                    charge_breaker(outcomes[t].r, outcomes[t].hung);
+                    return std::nullopt;
+                }
+                ByteWriter w;
+                w.u32(t);
+                return w.bytes();
+            };
+
+            const Coordinator::ResultFn result_fn =
+                [&](std::size_t u,
+                    const std::vector<std::uint8_t> &payload) {
+                const unsigned t = static_cast<unsigned>(u);
+                UnitRecord record = decodeUnitRecord(payload);
+                if (record.configName != cfg.name() ||
+                    record.testIndex != t ||
+                    record.genSeed != seeds[t].first ||
+                    record.flowSeed != seeds[t].second) {
+                    throw DistError(
+                        "fabric: worker response does not match "
+                        "leased test " + std::to_string(t));
+                }
+                outcomes[t].r = record.outcome.result;
+                outcomes[t].hung =
+                    record.outcome.status == TestStatus::Hung;
+                outcomes[t].ran = true;
+                if (journal)
+                    journal->append(record);
+                charge_breaker(outcomes[t].r, outcomes[t].hung);
+            };
+
+            // See runUnitsDistributed: generous by design — a
+            // reassignment costs one deterministic re-execution, an
+            // abandoned test costs a campaign hole.
+            constexpr unsigned kMaxUnitLosses = 8;
+            const Coordinator::LossFn loss_fn =
+                [&](std::size_t u, unsigned losses,
+                    const std::string &why) -> bool {
+                const unsigned t = static_cast<unsigned>(u);
+                if (losses <= kMaxUnitLosses) {
+                    std::cerr << "mtc_validate: test " << t
+                              << " lost its worker (" << why
+                              << "); reassigning\n";
+                    return true;
+                }
+                UnitRecord record = blank_record(t);
+                record.outcome.ok = false;
+                record.outcome.status = TestStatus::Failed;
+                record.outcome.result.fault.note =
+                    "fabric: abandoned after " +
+                    std::to_string(losses) + " worker losses (" + why +
+                    ")";
+                outcomes[t].r = record.outcome.result;
+                outcomes[t].hung = false;
+                outcomes[t].ran = true;
+                if (journal)
+                    journal->append(record);
+                charge_breaker(outcomes[t].r, false);
+                return false;
+            };
+
+            try {
+                coordinator.run(opt.tests, request_fn, result_fn,
+                                loss_fn);
+            } catch (...) {
+                reap_fleet(true);
+                throw;
+            }
+            reap_fleet(false);
+
+            const FabricStats &fs = coordinator.stats();
+            std::cout << "distributed: " << opt.distributed
+                      << " loopback workers, " << fs.workersLost
+                      << " workers lost, " << fs.unitsReassigned
+                      << " units reassigned\n";
+        } else if (opt.sandbox) {
             SandboxConfig sandbox;
             sandbox.workers = ThreadPool::resolveThreads(opt.threads);
             sandbox.memLimitMb = opt.sandboxMemMb;

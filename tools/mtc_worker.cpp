@@ -1,0 +1,192 @@
+/**
+ * @file
+ * mtc_worker — external worker for distributed validation campaigns.
+ *
+ * Connects to an mtc_coordinator, handshakes (protocol version,
+ * worker name), receives the campaign spec, and executes leased
+ * (config, test) units until the coordinator broadcasts Done. Every
+ * unit re-derives its seeds from the spec's canonical plan, so the
+ * merged summary is bit-identical no matter which worker runs what.
+ *
+ * A lost connection is retried with capped exponential backoff; a
+ * handshake rejection (version mismatch, loss-budget ban) is fatal —
+ * it will not heal by retrying.
+ *
+ * Usage:
+ *   mtc_worker --connect HOST:PORT [options]
+ *     --connect HOST:PORT  coordinator address (required)
+ *     --name S             worker identity in the coordinator's logs
+ *                          and loss budgets             [worker-<pid>]
+ *     --heartbeat-ms N     liveness ping period         [2000]
+ *     --reconnects N       reconnect budget             [5]
+ *     --backoff-ms N       reconnect backoff base       [100]
+ *     --backoff-cap-ms N   reconnect backoff ceiling    [5000]
+ *     --protocol-version N claim this protocol version in the
+ *                          handshake (rejection drill)  [current]
+ *     --unit-delay-ms N    drill: sleep before each unit (a "slow
+ *                          worker" for backpressure tests)   [off]
+ *     --exit-after N       drill: _exit() abruptly after sending N
+ *                          results (dies mid-batch)          [off]
+ *     --help
+ *
+ * Exit status:
+ *   0  served until Done (or the coordinator went away after at
+ *      least one good session — the campaign likely finished)
+ *   1  usage / configuration error
+ *   3  fatal fabric error: handshake rejected, coordinator never
+ *      reachable, or a malformed spec
+ */
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "dist/worker_client.h"
+#include "harness/dist_campaign.h"
+#include "support/error.h"
+
+using namespace mtc;
+
+namespace
+{
+
+void
+usage()
+{
+    std::cout <<
+        "mtc_worker: external worker for distributed campaigns\n"
+        "  --connect HOST:PORT  coordinator address (required)\n"
+        "  --name S          worker identity (stable across\n"
+        "                    reconnects; the coordinator's loss\n"
+        "                    budget is keyed on it) [worker-<pid>]\n"
+        "  --heartbeat-ms N  liveness ping period [2000]\n"
+        "  --reconnects N    consecutive connection failures\n"
+        "                    tolerated before giving up [5]\n"
+        "  --backoff-ms N    reconnect backoff base, doubled per\n"
+        "                    attempt [100]\n"
+        "  --backoff-cap-ms N  reconnect backoff ceiling [5000]\n"
+        "  --protocol-version N  claim this version in the handshake\n"
+        "                    (handshake-rejection drill) [current]\n"
+        "  --unit-delay-ms N drill: sleep N ms before each unit [off]\n"
+        "  --exit-after N    drill: _exit() abruptly after N results\n"
+        "                    [off]\n"
+        "exit codes: 0 done, 1 usage error, 3 fatal fabric error\n"
+        "            (rejected handshake / unreachable coordinator)\n";
+}
+
+std::uint64_t
+parseCount(const std::string &flag, const std::string &text)
+{
+    try {
+        std::size_t pos = 0;
+        const std::uint64_t value = std::stoull(text, &pos);
+        if (pos == text.size() && text[0] != '-')
+            return value;
+    } catch (const std::exception &) {
+    }
+    throw ConfigError(flag + " expects an unsigned integer, got \"" +
+                      text + "\"");
+}
+
+WorkerClientConfig
+parseArgs(int argc, char **argv)
+{
+    WorkerClientConfig cfg;
+    cfg.name = "worker-" + std::to_string(::getpid());
+    bool connected = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (++i >= argc)
+                throw ConfigError("missing value after " + arg);
+            return argv[i];
+        };
+        if (arg == "--connect") {
+            const std::string addr = next();
+            const std::size_t colon = addr.rfind(':');
+            if (colon == std::string::npos || colon == 0 ||
+                colon + 1 == addr.size())
+                throw ConfigError(
+                    "--connect expects HOST:PORT, got \"" + addr +
+                    "\"");
+            cfg.host = addr.substr(0, colon);
+            cfg.port = static_cast<std::uint16_t>(
+                parseCount("--connect port", addr.substr(colon + 1)));
+            connected = true;
+        } else if (arg == "--name")
+            cfg.name = next();
+        else if (arg == "--heartbeat-ms")
+            cfg.heartbeatMs = parseCount(arg, next());
+        else if (arg == "--reconnects")
+            cfg.maxReconnects =
+                static_cast<unsigned>(parseCount(arg, next()));
+        else if (arg == "--backoff-ms")
+            cfg.backoffBaseMs = parseCount(arg, next());
+        else if (arg == "--backoff-cap-ms")
+            cfg.backoffCapMs = parseCount(arg, next());
+        else if (arg == "--protocol-version")
+            cfg.protocolVersion =
+                static_cast<std::uint32_t>(parseCount(arg, next()));
+        else if (arg == "--unit-delay-ms")
+            cfg.unitDelayMs = parseCount(arg, next());
+        else if (arg == "--exit-after")
+            cfg.exitAfterUnits = parseCount(arg, next());
+        else if (arg == "--help" || arg == "-h") {
+            usage();
+            std::exit(0);
+        } else {
+            throw ConfigError("unknown option: " + arg);
+        }
+    }
+    if (!connected)
+        throw ConfigError("--connect HOST:PORT is required");
+    return cfg;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    WorkerClientConfig cfg;
+    try {
+        cfg = parseArgs(argc, argv);
+    } catch (const Error &err) {
+        std::cerr << "mtc_worker: " << err.what() << "\n";
+        return 1;
+    }
+
+    try {
+        std::cout << "mtc_worker '" << cfg.name << "': connecting to "
+                  << cfg.host << ":" << cfg.port << "\n";
+        // The runner is rebuilt on every handshake: after a
+        // coordinator restart the spec may legitimately differ, and a
+        // stale plan must never execute a new campaign's units.
+        std::unique_ptr<CampaignUnitRunner> runner;
+        const WorkerRunStats stats = runWorkerClient(
+            cfg,
+            [&runner](const std::vector<std::uint8_t> &spec_bytes) {
+                runner = std::make_unique<CampaignUnitRunner>(
+                    decodeCampaignSpec(spec_bytes));
+            },
+            [&runner](std::uint64_t,
+                      const std::vector<std::uint8_t> &request) {
+                return runner->run(request);
+            });
+        std::cout << "mtc_worker '" << cfg.name << "': done, "
+                  << stats.unitsExecuted << " units executed, "
+                  << stats.reconnects << " reconnects\n";
+        return 0;
+    } catch (const Error &err) {
+        std::cerr << "mtc_worker: " << err.what() << "\n";
+        return 3;
+    } catch (const std::exception &err) {
+        std::cerr << "mtc_worker: " << err.what() << "\n";
+        return 3;
+    }
+}
