@@ -1,7 +1,7 @@
 /**
  * @file
  * Execution hot-path sweep: single-thread campaign throughput with the
- * reusable RunArena (the zero-allocation path) versus per-iteration
+ * batched lockstep engine versus scalar stepping versus per-iteration
  * arena reconstruction (the pre-arena behavior), emitted as
  * BENCH_hotpath.json so the hot-path trajectory is tracked from PR to
  * PR.
@@ -9,16 +9,29 @@
  * The sweep runs the scaling bench's config set through ValidationFlow
  * with mtc_validate's exact seeding, so its signatures and verdicts
  * match a `mtc_validate --config <name> --tests T --iterations I`
- * campaign bit for bit. `deterministic` asserts that the arena-reusing
- * and arena-rebuilding runs produced identical per-test results; a
- * divergence is a hot-path bug and fails the bench.
+ * campaign bit for bit. `deterministic` asserts that all three passes
+ * produced identical per-test results INCLUDING the signature-set
+ * digest — batched, scalar, and arena-rebuilding runs must observe the
+ * exact same signature multiset; a divergence is a lockstep-engine or
+ * hot-path bug and fails the bench.
+ *
+ * The scalar pass doubles as the decode-memo A/B: it decodes with the
+ * memo off (decodeMemoBeforeMs) while the batched pass decodes with it
+ * on (decodeMemoAfterMs) — the decode phase is batch-width
+ * independent, so the two passes' Decode phase timings are a fair
+ * before/after.
  *
  * The per-phase wall-clock breakdown (FlowConfig::profile) of the
- * arena run is recorded so "where does an iteration go" stays a
+ * batched run is recorded so "where does an iteration go" stays a
  * measured fact. Set MTC_HOTPATH_BASELINE to a reference
  * iterations/sec (e.g. the previous release's number from this file)
- * to record an honest speedup; scale with MTC_HOTPATH_TESTS /
- * MTC_ITERATIONS; --smoke runs a seconds-scale version for CI.
+ * to record an honest speedup; recorded marks drift with the
+ * container, so MTC_HOTPATH_BASELINE_REMEASURED additionally records
+ * the reference engine re-measured on *this* machine (build the
+ * pre-change commit in a worktree, run its bench back to back) — the
+ * same-machine A/B is the number that means something. Scale with
+ * MTC_HOTPATH_TESTS / MTC_ITERATIONS / --batch; --smoke runs a
+ * seconds-scale version for CI.
  */
 
 #include <cstdlib>
@@ -43,6 +56,7 @@ namespace
 struct TestOutcome
 {
     std::uint64_t unique = 0;
+    std::uint64_t digest = 0; ///< signature-multiset fingerprint
     std::uint64_t violating = 0;
     std::uint64_t assertions = 0;
     std::uint64_t crashes = 0;
@@ -52,7 +66,8 @@ struct TestOutcome
     bool
     operator==(const TestOutcome &other) const
     {
-        return unique == other.unique && violating == other.violating &&
+        return unique == other.unique && digest == other.digest &&
+            violating == other.violating &&
             assertions == other.assertions &&
             crashes == other.crashes &&
             quarantined == other.quarantined &&
@@ -68,10 +83,18 @@ struct RunResult
     PhaseBreakdown profile;
 };
 
+struct PassKnobs
+{
+    std::uint32_t batch = 0; ///< FlowConfig::batch (1 = scalar)
+    bool reuseArena = true;
+    bool decodeMemo = true;
+};
+
 /** One campaign pass over every config (mtc_validate's seeding). */
 RunResult
 runPass(const std::vector<TestConfig> &configs, unsigned tests,
-        std::uint64_t iterations, std::uint64_t seed, bool reuse_arena)
+        std::uint64_t iterations, std::uint64_t seed,
+        const PassKnobs &knobs)
 {
     RunResult result;
     WallTimer timer;
@@ -82,7 +105,9 @@ runPass(const std::vector<TestConfig> &configs, unsigned tests,
         flow_cfg.runConventional = false;
         flow_cfg.exec = bareMetalConfig(cfg.isa);
         flow_cfg.profile = true;
-        flow_cfg.reuseArena = reuse_arena;
+        flow_cfg.batch = knobs.batch;
+        flow_cfg.reuseArena = knobs.reuseArena;
+        flow_cfg.decodeMemo = knobs.decodeMemo;
 
         Rng seeder(seed);
         for (unsigned t = 0; t < tests; ++t) {
@@ -93,6 +118,7 @@ runPass(const std::vector<TestConfig> &configs, unsigned tests,
 
             TestOutcome outcome;
             outcome.unique = r.uniqueSignatures;
+            outcome.digest = r.signatureSetDigest;
             outcome.violating = r.violatingSignatures;
             outcome.assertions = r.assertionFailures;
             outcome.crashes = r.platformCrashes;
@@ -117,6 +143,12 @@ itersPerSec(const RunResult &run)
         : 0.0;
 }
 
+double
+phaseMs(const RunResult &run, Phase phase)
+{
+    return static_cast<double>(run.profile.phaseNs(phase)) / 1e6;
+}
+
 std::string
 fmtDouble(double v)
 {
@@ -131,20 +163,30 @@ int
 main(int argc, char **argv)
 {
     bool smoke = false;
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        if (arg == "--smoke") {
-            smoke = true;
-        } else {
-            std::cerr << "hotpath: unknown option " << arg
-                      << " (only --smoke)\n";
-            return 1;
+    std::uint32_t batch = 32;
+    try {
+        for (int i = 1; i < argc; ++i) {
+            const std::string arg = argv[i];
+            if (arg == "--smoke") {
+                smoke = true;
+            } else if (arg == "--batch" && i + 1 < argc) {
+                batch = static_cast<std::uint32_t>(
+                    parseEnvCount("--batch", argv[++i], false));
+            } else {
+                std::cerr << "hotpath: unknown option " << arg
+                          << " (only --smoke, --batch N)\n";
+                return 1;
+            }
         }
+    } catch (const Error &err) {
+        std::cerr << "hotpath: " << err.what() << "\n";
+        return 1;
     }
 
     unsigned tests = smoke ? 2 : 8;
     std::uint64_t iterations = smoke ? 48 : 2048;
     double baseline_ips = 0.0;
+    double baseline_remeasured_ips = 0.0;
     try {
         if (const char *env = std::getenv("MTC_HOTPATH_TESTS"))
             tests = static_cast<unsigned>(
@@ -153,6 +195,9 @@ main(int argc, char **argv)
             iterations = parseEnvCount("MTC_ITERATIONS", env);
         if (const char *env = std::getenv("MTC_HOTPATH_BASELINE"))
             baseline_ips = std::atof(env);
+        if (const char *env =
+                std::getenv("MTC_HOTPATH_BASELINE_REMEASURED"))
+            baseline_remeasured_ips = std::atof(env);
     } catch (const Error &err) {
         std::cerr << "hotpath: " << err.what() << "\n";
         return 1;
@@ -166,43 +211,76 @@ main(int argc, char **argv)
 
     std::cout << "Hot-path sweep: " << configs.size() << " configs x "
               << tests << " tests x " << iterations
-              << " iterations, arena-reusing vs per-iteration arena\n\n";
+              << " iterations; batched (B=" << batch
+              << ") vs scalar vs per-iteration arena\n\n";
 
-    // Untimed warm-up (one config, one test) so neither timed pass
-    // pays the process cold-start (page faults, lazy PLT, predictor
-    // warm-up) — without it, whichever pass runs first loses ~2%.
-    runPass({configs.front()}, 1, iterations, seed, true);
+    // Untimed warm-up (one config, one test) so no timed pass pays the
+    // process cold-start (page faults, lazy PLT, predictor warm-up) —
+    // without it, whichever pass runs first loses ~2%.
+    runPass({configs.front()}, 1, iterations, seed,
+            {batch, true, true});
 
-    const RunResult arena =
-        runPass(configs, tests, iterations, seed, true);
+    // Batched pass: the shipping configuration (lockstep engine,
+    // reused arena, decode memo on).
+    const RunResult batched =
+        runPass(configs, tests, iterations, seed, {batch, true, true});
+    // Scalar pass: same hot path at width 1, decode memo off — the
+    // lockstep-speedup and decode-memo baselines in one pass.
+    const RunResult scalar =
+        runPass(configs, tests, iterations, seed, {1, true, false});
+    // Fresh pass: per-iteration arena reconstruction (pre-arena
+    // behavior), tracked as the allocation-discipline baseline.
     const RunResult fresh =
-        runPass(configs, tests, iterations, seed, false);
+        runPass(configs, tests, iterations, seed, {batch, false, true});
 
-    const bool deterministic = arena.outcomes == fresh.outcomes;
-    const double arena_ips = itersPerSec(arena);
+    const bool deterministic = batched.outcomes == scalar.outcomes &&
+        batched.outcomes == fresh.outcomes;
+    const double batched_ips = itersPerSec(batched);
+    const double scalar_ips = itersPerSec(scalar);
     const double fresh_ips = itersPerSec(fresh);
+    const double batch_speedup =
+        batched.ms > 0.0 ? scalar.ms / batched.ms : 0.0;
+    const double exec_speedup = phaseMs(batched, Phase::Execute) > 0.0
+        ? phaseMs(scalar, Phase::Execute) /
+            phaseMs(batched, Phase::Execute)
+        : 0.0;
 
     TablePrinter table({"mode", "ms", "iters/sec"});
-    table.addRow({"arena (reused)", TablePrinter::fmt(arena.ms, 1),
-                  TablePrinter::fmt(arena_ips, 0)});
-    table.addRow({"fresh (rebuilt)", TablePrinter::fmt(fresh.ms, 1),
+    table.addRow({"batched (B=" + std::to_string(batch) + ")",
+                  TablePrinter::fmt(batched.ms, 1),
+                  TablePrinter::fmt(batched_ips, 0)});
+    table.addRow({"scalar (B=1)", TablePrinter::fmt(scalar.ms, 1),
+                  TablePrinter::fmt(scalar_ips, 0)});
+    table.addRow({"fresh (rebuilt arena)",
+                  TablePrinter::fmt(fresh.ms, 1),
                   TablePrinter::fmt(fresh_ips, 0)});
     table.print(std::cout);
 
-    std::cout << "\nhot-path profile (arena run, campaign totals):\n";
+    std::cout << "\nbatched vs scalar: "
+              << TablePrinter::fmt(batch_speedup, 2) << "x overall, "
+              << TablePrinter::fmt(exec_speedup, 2)
+              << "x execute phase\n";
+    std::cout << "decode memo: "
+              << TablePrinter::fmt(phaseMs(scalar, Phase::Decode), 1)
+              << " ms off -> "
+              << TablePrinter::fmt(phaseMs(batched, Phase::Decode), 1)
+              << " ms on\n";
+
+    std::cout << "\nhot-path profile (batched run, campaign totals):\n";
     TablePrinter phases({"phase", "time (ms)", "share", "calls"});
-    const std::uint64_t sum_ns = arena.profile.sumNs();
+    const std::uint64_t sum_ns = batched.profile.sumNs();
     for (std::size_t p = 0; p < kPhaseCount; ++p) {
         const Phase phase = static_cast<Phase>(p);
-        const double ms =
-            static_cast<double>(arena.profile.phaseNs(phase)) / 1e6;
+        const double ms = phaseMs(batched, phase);
         const double share = sum_ns
-            ? 100.0 * static_cast<double>(arena.profile.phaseNs(phase)) /
+            ? 100.0 *
+                static_cast<double>(batched.profile.phaseNs(phase)) /
                 static_cast<double>(sum_ns)
             : 0.0;
-        phases.addRow({phaseName(phase), TablePrinter::fmt(ms, 3),
-                       TablePrinter::fmt(share, 1) + "%",
-                       TablePrinter::fmt(arena.profile.phaseCount(phase))});
+        phases.addRow(
+            {phaseName(phase), TablePrinter::fmt(ms, 3),
+             TablePrinter::fmt(share, 1) + "%",
+             TablePrinter::fmt(batched.profile.phaseCount(phase))});
     }
     phases.print(std::cout);
 
@@ -210,12 +288,20 @@ main(int argc, char **argv)
         std::cout << "\nspeedup vs recorded baseline ("
                   << TablePrinter::fmt(baseline_ips, 0)
                   << " iters/sec): "
-                  << TablePrinter::fmt(arena_ips / baseline_ips, 2)
+                  << TablePrinter::fmt(batched_ips / baseline_ips, 2)
+                  << "x\n";
+    }
+    if (baseline_remeasured_ips > 0.0) {
+        std::cout << "speedup vs same-machine re-measured baseline ("
+                  << TablePrinter::fmt(baseline_remeasured_ips, 0)
+                  << " iters/sec): "
+                  << TablePrinter::fmt(
+                         batched_ips / baseline_remeasured_ips, 2)
                   << "x\n";
     }
     if (!deterministic)
-        std::cerr << "hotpath: DETERMINISM VIOLATION — arena-reusing "
-                     "results diverged from per-iteration arenas\n";
+        std::cerr << "hotpath: DETERMINISM VIOLATION — batched, "
+                     "scalar, and fresh-arena passes diverged\n";
 
     // --- JSON emission ----------------------------------------------
     std::ostringstream json;
@@ -228,15 +314,35 @@ main(int argc, char **argv)
     json << "],\n"
          << "  \"testsPerConfig\": " << tests << ",\n"
          << "  \"iterations\": " << iterations << ",\n"
-         << "  \"arenaMs\": " << fmtDouble(arena.ms) << ",\n"
-         << "  \"arenaItersPerSec\": " << fmtDouble(arena_ips) << ",\n"
+         << "  \"batch\": " << batch << ",\n"
+         << "  \"arenaMs\": " << fmtDouble(batched.ms) << ",\n"
+         << "  \"arenaItersPerSec\": " << fmtDouble(batched_ips)
+         << ",\n"
+         << "  \"scalarMs\": " << fmtDouble(scalar.ms) << ",\n"
+         << "  \"scalarItersPerSec\": " << fmtDouble(scalar_ips)
+         << ",\n"
          << "  \"freshMs\": " << fmtDouble(fresh.ms) << ",\n"
          << "  \"freshItersPerSec\": " << fmtDouble(fresh_ips) << ",\n"
+         << "  \"batchSpeedupVsScalar\": " << fmtDouble(batch_speedup)
+         << ",\n"
+         << "  \"executeSpeedupVsScalar\": " << fmtDouble(exec_speedup)
+         << ",\n"
+         << "  \"decodeMemoBeforeMs\": "
+         << fmtDouble(phaseMs(scalar, Phase::Decode)) << ",\n"
+         << "  \"decodeMemoAfterMs\": "
+         << fmtDouble(phaseMs(batched, Phase::Decode)) << ",\n"
          << "  \"baselineItersPerSec\": " << fmtDouble(baseline_ips)
          << ",\n"
          << "  \"speedupVsBaseline\": "
-         << fmtDouble(baseline_ips > 0.0 ? arena_ips / baseline_ips
+         << fmtDouble(baseline_ips > 0.0 ? batched_ips / baseline_ips
                                          : 0.0)
+         << ",\n"
+         << "  \"baselineRemeasuredItersPerSec\": "
+         << fmtDouble(baseline_remeasured_ips) << ",\n"
+         << "  \"speedupVsRemeasuredBaseline\": "
+         << fmtDouble(baseline_remeasured_ips > 0.0
+                          ? batched_ips / baseline_remeasured_ips
+                          : 0.0)
          << ",\n"
          << "  \"deterministic\": "
          << (deterministic ? "true" : "false") << ",\n"
@@ -244,11 +350,8 @@ main(int argc, char **argv)
     for (std::size_t p = 0; p < kPhaseCount; ++p) {
         const Phase phase = static_cast<Phase>(p);
         json << "    {\"phase\": \"" << phaseName(phase)
-             << "\", \"ms\": "
-             << fmtDouble(
-                    static_cast<double>(arena.profile.phaseNs(phase)) /
-                    1e6)
-             << ", \"calls\": " << arena.profile.phaseCount(phase)
+             << "\", \"ms\": " << fmtDouble(phaseMs(batched, phase))
+             << ", \"calls\": " << batched.profile.phaseCount(phase)
              << "}" << (p + 1 < kPhaseCount ? "," : "") << "\n";
     }
     json << "  ]\n}\n";

@@ -225,6 +225,51 @@ main(int argc, char **argv)
         points.push_back(point);
     }
 
+    // --- Batch-width sweep (serial) ----------------------------------
+    // Methodology: the serial baseline campaign re-run at several
+    // lockstep batch widths (FlowConfig::batch). B=1 is scalar
+    // stepping; wider batches amortize instruction dispatch and the
+    // per-batch OrderTable across lanes. Summaries must stay
+    // bit-identical at every width (pre-derived per-iteration RNG
+    // streams make the width purely operational); speedup is
+    // wall-clock against the B=1 point of this sweep, so the number
+    // isolates the lockstep engine from everything else.
+    struct BatchPoint
+    {
+        std::uint32_t batch = 1;
+        double ms = 0.0;
+        double speedupVsScalar = 1.0;
+        bool deterministic = true;
+    };
+    std::vector<BatchPoint> batch_points;
+    {
+        const std::vector<std::uint32_t> widths =
+            smoke ? std::vector<std::uint32_t>{1, 8}
+                  : std::vector<std::uint32_t>{1, 4, 8, 16, 32, 64};
+        double scalar_ms = 0.0;
+        for (std::uint32_t width : widths) {
+            CampaignConfig cfg = serial;
+            cfg.batch = width;
+            WallTimer timer;
+            timer.start();
+            const auto summaries = runCampaign(configs, cfg);
+            timer.stop();
+
+            BatchPoint point;
+            point.batch = width;
+            point.ms = timer.milliseconds();
+            if (width == 1)
+                scalar_ms = point.ms;
+            point.speedupVsScalar =
+                point.ms > 0.0 && scalar_ms > 0.0
+                ? scalar_ms / point.ms
+                : 1.0;
+            point.deterministic =
+                summariesMatch(summaries, baseline_summaries);
+            batch_points.push_back(point);
+        }
+    }
+
     // --- Shard sweep (at the widest swept thread count) --------------
     const std::vector<std::size_t> shard_sizes =
         smoke ? std::vector<std::size_t>{0, 8}
@@ -415,6 +460,17 @@ main(int argc, char **argv)
                  "threads ("
               << hw << " here).\n";
 
+    std::cout << "\nLockstep batch-width sweep (serial, speedup vs "
+                 "B=1):\n";
+    TablePrinter bt({"batch", "ms", "speedup", "deterministic"});
+    for (const BatchPoint &p : batch_points) {
+        bt.addRow({TablePrinter::fmt(std::uint64_t(p.batch)),
+                   TablePrinter::fmt(p.ms, 1),
+                   TablePrinter::fmt(p.speedupVsScalar, 2),
+                   p.deterministic ? "yes" : "NO"});
+    }
+    bt.print(std::cout);
+
     std::cout << "\nJournal overhead (serial): baseline "
               << TablePrinter::fmt(baseline_ms, 1) << " ms, journaled "
               << TablePrinter::fmt(journal_ms, 1) << " ms ("
@@ -460,6 +516,8 @@ main(int argc, char **argv)
     bool all_deterministic = journal_deterministic;
     for (const SweepPoint &p : points)
         all_deterministic = all_deterministic && p.deterministic;
+    for (const BatchPoint &p : batch_points)
+        all_deterministic = all_deterministic && p.deterministic;
     for (const SandboxPoint &p : sandbox_points)
         all_deterministic = all_deterministic && p.deterministic;
     for (const DistPoint &p : dist_points)
@@ -483,6 +541,25 @@ main(int argc, char **argv)
          << "  \"baselineMs\": " << jsonEscapeless(baseline_ms) << ",\n"
          << "  \"deterministic\": "
          << (all_deterministic ? "true" : "false") << ",\n"
+         << "  \"batchSweep\": {\n"
+         << "    \"methodology\": \"serial baseline campaign re-run "
+            "at several lockstep batch widths (FlowConfig::batch; "
+            "B=1 is scalar stepping); speedupVsScalar is wall-clock "
+            "against this sweep's own B=1 point so it isolates the "
+            "lockstep engine; summaries must stay bit-identical at "
+            "every width\",\n"
+         << "    \"sweep\": [\n";
+    for (std::size_t i = 0; i < batch_points.size(); ++i) {
+        const BatchPoint &p = batch_points[i];
+        json << "      {\"batch\": " << p.batch
+             << ", \"ms\": " << jsonEscapeless(p.ms)
+             << ", \"speedupVsScalar\": "
+             << jsonEscapeless(p.speedupVsScalar)
+             << ", \"deterministic\": "
+             << (p.deterministic ? "true" : "false") << "}"
+             << (i + 1 < batch_points.size() ? "," : "") << "\n";
+    }
+    json << "    ]\n  },\n"
          << "  \"journal\": {\n"
          << "    \"methodology\": \"serial baseline campaign re-run "
             "with a write-ahead journal (one record per completed "

@@ -1,9 +1,42 @@
 #include "core/signature_codec.h"
 
+#include <cstring>
 #include <sstream>
+
+#include "support/simd.h"
 
 namespace mtc
 {
+
+namespace
+{
+
+/** Buckets a fresh memo thread-table starts with (power of two). */
+constexpr std::uint32_t kMemoInitialSlots = 256;
+
+/**
+ * Adaptive bail-out window: after this many lookups a thread table
+ * that hit on fewer than half of them retires itself — on weak-model
+ * programs almost every slice is unique, and hashing + inserting
+ * unique slices costs about twice what plainly decoding them does.
+ */
+constexpr std::uint64_t kMemoProbationLookups = 512;
+
+/** FNV-1a over a thread's signature-word slice, finalized so the low
+ * bits (the bucket index) mix the whole words. */
+std::uint64_t
+sliceHash(const std::uint64_t *slice, std::uint32_t n)
+{
+    std::uint64_t h = 1469598103934665603ull;
+    for (std::uint32_t i = 0; i < n; ++i) {
+        h ^= slice[i];
+        h *= 1099511628211ull;
+    }
+    h ^= h >> 32;
+    return h;
+}
+
+} // namespace
 
 const char *
 decodeFaultKindName(DecodeFaultKind kind)
@@ -19,11 +52,39 @@ decodeFaultKindName(DecodeFaultKind kind)
     return "unknown";
 }
 
+std::uint64_t
+DecodeMemo::entries() const
+{
+    std::uint64_t total = 0;
+    for (const ThreadTable &table : threads)
+        total += table.count;
+    return total;
+}
+
 SignatureCodec::SignatureCodec(const TestProgram &program,
                                const LoadValueAnalysis &analysis,
                                const InstrumentationPlan &plan_arg)
     : prog(program), loadAnalysis(analysis), plan(plan_arg)
 {
+    const auto &loads = prog.loads();
+    loadMeta.resize(loads.size());
+    for (std::uint32_t ordinal = 0; ordinal < loads.size(); ++ordinal) {
+        const LoadSlot &slot = plan.slot(ordinal);
+        const LoadCandidateSet &set = loadAnalysis.candidates(ordinal);
+        LoadMeta &meta = loadMeta[ordinal];
+        meta.word = plan.wordBase(loads[ordinal].tid) + slot.wordIndex;
+        meta.multiplier = slot.multiplier;
+        meta.cardinality = set.cardinality();
+        meta.opIdx = loads[ordinal].idx;
+        meta.candidates = set.values.data();
+    }
+    threadOrdinals.resize(prog.numThreads());
+    for (std::uint32_t tid = 0; tid < prog.numThreads(); ++tid) {
+        const auto &thread_loads = prog.loadsOfThread(tid);
+        threadOrdinals[tid].resize(thread_loads.size());
+        for (std::size_t i = 0; i < thread_loads.size(); ++i)
+            threadOrdinals[tid][i] = prog.loadOrdinal(thread_loads[i]);
+    }
 }
 
 EncodeResult
@@ -41,12 +102,15 @@ SignatureCodec::encodeInto(const Execution &execution,
     result.comparisons = 0;
     result.signature.words.assign(plan.totalWords(), 0);
 
-    const auto &loads = prog.loads();
-    for (std::uint32_t ordinal = 0; ordinal < loads.size(); ++ordinal) {
+    const std::uint32_t num_loads =
+        static_cast<std::uint32_t>(loadMeta.size());
+    for (std::uint32_t ordinal = 0; ordinal < num_loads; ++ordinal) {
+        const LoadMeta &meta = loadMeta[ordinal];
         const std::uint32_t value = execution.loadValues.at(ordinal);
-        const LoadCandidateSet &set = loadAnalysis.candidates(ordinal);
-        const auto index = set.indexOf(value);
-        if (!index) {
+        const std::uint32_t index =
+            firstIndexOfU32(meta.candidates, meta.cardinality, value);
+        if (index == meta.cardinality) {
+            const auto &loads = prog.loads();
             std::ostringstream os;
             os << "instrumented assertion fired: load t"
                << loads[ordinal].tid << " op" << loads[ordinal].idx
@@ -54,13 +118,9 @@ SignatureCodec::encodeInto(const Execution &execution,
             throw SignatureAssertError(os.str());
         }
         // The branch chain compares candidates 0..index.
-        result.comparisons += *index + 1;
-
-        const LoadSlot &slot = plan.slot(ordinal);
-        const std::uint32_t word =
-            plan.wordBase(loads[ordinal].tid) + slot.wordIndex;
-        result.signature.words[word] +=
-            static_cast<std::uint64_t>(*index) * slot.multiplier;
+        result.comparisons += index + 1;
+        result.signature.words[meta.word] +=
+            static_cast<std::uint64_t>(index) * meta.multiplier;
     }
 }
 
@@ -74,8 +134,61 @@ SignatureCodec::decode(const Signature &signature) const
 }
 
 void
+SignatureCodec::prepareMemo(DecodeMemo &memo) const
+{
+    if (memo.bound && memo.boundFingerprint == prog.fingerprint())
+        return;
+    memo.threads.assign(prog.numThreads(), {});
+    for (std::uint32_t tid = 0; tid < prog.numThreads(); ++tid) {
+        DecodeMemo::ThreadTable &table = memo.threads[tid];
+        table.wordCount = plan.wordsForThread(tid);
+        table.loadCount =
+            static_cast<std::uint32_t>(threadOrdinals[tid].size());
+        table.slots.assign(kMemoInitialSlots, 0);
+        table.mask = kMemoInitialSlots - 1;
+    }
+    memo.boundFingerprint = prog.fingerprint();
+    memo.bound = true;
+}
+
+void
+SignatureCodec::memoInsert(DecodeMemo::ThreadTable &table,
+                           std::uint64_t hash,
+                           const std::uint64_t *slice,
+                           const std::uint32_t *ordinals,
+                           const Execution &out) const
+{
+    // Grow at ~70% occupancy; reinsert from the stored hashes.
+    if ((table.count + 1) * 10 >
+        static_cast<std::uint64_t>(table.slots.size()) * 7) {
+        const std::uint32_t new_size =
+            static_cast<std::uint32_t>(table.slots.size()) * 2;
+        table.slots.assign(new_size, 0);
+        table.mask = new_size - 1;
+        for (std::uint32_t e = 0; e < table.count; ++e) {
+            std::uint32_t i = static_cast<std::uint32_t>(
+                table.hashes[e] & table.mask);
+            while (table.slots[i] != 0)
+                i = (i + 1) & table.mask;
+            table.slots[i] = e + 1;
+        }
+    }
+    const std::uint32_t entry = table.count++;
+    table.hashes.push_back(hash);
+    table.words.insert(table.words.end(), slice,
+                       slice + table.wordCount);
+    for (std::uint32_t i = 0; i < table.loadCount; ++i)
+        table.values.push_back(out.loadValues[ordinals[i]]);
+    std::uint32_t i = static_cast<std::uint32_t>(hash & table.mask);
+    while (table.slots[i] != 0)
+        i = (i + 1) & table.mask;
+    table.slots[i] = entry + 1;
+}
+
+void
 SignatureCodec::decodeInto(const Signature &signature, Execution &out,
-                           std::vector<std::uint64_t> &word_scratch) const
+                           std::vector<std::uint64_t> &word_scratch,
+                           DecodeMemo *memo) const
 {
     if (signature.words.size() != plan.totalWords()) {
         throw SignatureDecodeError(
@@ -86,51 +199,106 @@ SignatureCodec::decodeInto(const Signature &signature, Execution &out,
     out.loadValues.assign(prog.loads().size(), kInitValue);
     out.duration = 0;
     out.coherenceOrder.clear();
-    // Working copy of the signature words; weights are peeled off from
-    // the last load of each word to the first (Algorithm 1).
-    word_scratch.assign(signature.words.begin(), signature.words.end());
+    if (memo)
+        prepareMemo(*memo);
 
     for (std::uint32_t tid = 0; tid < prog.numThreads(); ++tid) {
-        const auto &thread_loads = prog.loadsOfThread(tid);
+        const std::vector<std::uint32_t> &ordinals =
+            threadOrdinals[tid];
         const std::uint32_t word_base = plan.wordBase(tid);
+        const std::uint32_t thread_words = plan.wordsForThread(tid);
+        const std::uint64_t *slice = signature.words.data() + word_base;
 
-        for (std::size_t i = thread_loads.size(); i-- > 0;) {
-            const std::uint32_t ordinal =
-                prog.loadOrdinal(thread_loads[i]);
-            const LoadSlot &slot = plan.slot(ordinal);
-            std::uint64_t &word =
-                word_scratch[word_base + slot.wordIndex];
-
-            const std::uint64_t index = word / slot.multiplier;
-            word %= slot.multiplier;
-
-            const LoadCandidateSet &set =
-                loadAnalysis.candidates(ordinal);
-            if (index >= set.cardinality()) {
-                std::ostringstream os;
-                os << "corrupt signature: load t" << tid << " op"
-                   << thread_loads[i].idx << " decoded index " << index
-                   << " of " << set.cardinality();
-                throw SignatureDecodeError(
-                    os.str(), DecodeFaultKind::IndexOverflow, tid,
-                    word_base + slot.wordIndex);
+        std::uint64_t hash = 0;
+        DecodeMemo::ThreadTable *table = nullptr;
+        if (memo && thread_words > 0 && !memo->threads[tid].dead) {
+            table = &memo->threads[tid];
+            ++table->lookups;
+            hash = sliceHash(slice, thread_words);
+            std::uint32_t i =
+                static_cast<std::uint32_t>(hash & table->mask);
+            bool hit = false;
+            while (table->slots[i] != 0) {
+                const std::uint32_t entry = table->slots[i] - 1;
+                if (table->hashes[entry] == hash &&
+                    std::memcmp(table->words.data() +
+                                    static_cast<std::size_t>(entry) *
+                                        table->wordCount,
+                                slice,
+                                sizeof(std::uint64_t) *
+                                    table->wordCount) == 0) {
+                    const std::uint32_t *vals = table->values.data() +
+                        static_cast<std::size_t>(entry) *
+                            table->loadCount;
+                    for (std::uint32_t k = 0; k < table->loadCount;
+                         ++k)
+                        out.loadValues[ordinals[k]] = vals[k];
+                    hit = true;
+                    break;
+                }
+                i = (i + 1) & table->mask;
             }
-            out.loadValues[ordinal] =
-                set.values[static_cast<std::uint32_t>(index)];
+            if (hit) {
+                ++memo->hitCount;
+                ++table->tableHits;
+                continue;
+            }
+            ++memo->missCount;
+            if (table->lookups == kMemoProbationLookups &&
+                table->tableHits * 2 < table->lookups) {
+                table->dead = true;
+                table->count = 0;
+                table->slots = {};
+                table->hashes = {};
+                table->words = {};
+                table->values = {};
+                table = nullptr;
+            }
+        } else if (memo && thread_words > 0) {
+            ++memo->missCount; // retired table: decode directly
         }
 
-        const std::uint32_t thread_words = plan.wordsForThread(tid);
+        // Working copy of this thread's words; weights are peeled off
+        // from the last load of the thread to the first (Algorithm 1).
+        word_scratch.assign(slice, slice + thread_words);
+
+        for (std::size_t i = ordinals.size(); i-- > 0;) {
+            const std::uint32_t ordinal = ordinals[i];
+            const LoadMeta &meta = loadMeta[ordinal];
+            std::uint64_t &word = word_scratch[meta.word - word_base];
+
+            const std::uint64_t index = word / meta.multiplier;
+            word %= meta.multiplier;
+
+            if (index >= meta.cardinality) {
+                std::ostringstream os;
+                os << "corrupt signature: load t" << tid << " op"
+                   << meta.opIdx << " decoded index " << index << " of "
+                   << meta.cardinality;
+                throw SignatureDecodeError(os.str(),
+                                           DecodeFaultKind::IndexOverflow,
+                                           tid, meta.word);
+            }
+            out.loadValues[ordinal] =
+                meta.candidates[static_cast<std::uint32_t>(index)];
+        }
+
         for (std::uint32_t w = 0; w < thread_words; ++w) {
-            if (word_scratch[word_base + w] != 0) {
+            if (word_scratch[w] != 0) {
                 std::ostringstream os;
                 os << "corrupt signature: non-zero residue 0x"
-                   << std::hex << word_scratch[word_base + w] << std::dec
+                   << std::hex << word_scratch[w] << std::dec
                    << " in word " << (word_base + w) << " after decode";
                 throw SignatureDecodeError(
                     os.str(), DecodeFaultKind::ResidueOverflow, tid,
                     word_base + w);
             }
         }
+
+        // Only cleanly decoded slices are memoized, so a corrupt slice
+        // re-throws identically however often it is decoded.
+        if (table)
+            memoInsert(*table, hash, slice, ordinals.data(), out);
     }
 }
 

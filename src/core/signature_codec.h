@@ -92,6 +92,77 @@ struct EncodeResult
     std::uint64_t comparisons = 0;
 };
 
+/**
+ * Per-unique-prefix decode memo: signature words are per-thread (a
+ * thread's loads only ever weight that thread's own words), so two
+ * unique signatures that share thread t's word slice decode thread t
+ * identically. Campaigns revisit the same per-thread slices constantly
+ * — uniqueness is of the whole signature tuple, and the per-thread
+ * marginals are far smaller than their product — so memoizing
+ * slice -> decoded-thread-values skips the div/mod peel loop for every
+ * repeated slice.
+ *
+ * How much slices repeat is a property of the memory model: on
+ * TSO-like programs hit rates run >90%, while weak-model reordering
+ * can make nearly every slice unique — and there, hashing and
+ * inserting slices that never recur costs more than decoding them.
+ * Each per-thread table therefore watches its own hit rate over a
+ * probation window and retires itself when memoization is a net loss
+ * for its thread (retired lookups count as misses).
+ *
+ * The memo is bound to one program (keyed by fingerprint) and rebinds
+ * automatically when a codec for a different program uses it. Only
+ * slices that decoded cleanly (including the residue check) are
+ * stored, so corrupt signatures throw identically on every decode.
+ * Results are bit-identical with or without a memo.
+ */
+class DecodeMemo
+{
+  public:
+    /** Thread-slice lookups that hit (cumulative across binds). */
+    std::uint64_t hits() const { return hitCount; }
+
+    /** Thread-slice lookups that missed and decoded in full. */
+    std::uint64_t misses() const { return missCount; }
+
+    /** Distinct thread slices currently cached. */
+    std::uint64_t entries() const;
+
+  private:
+    friend class SignatureCodec;
+
+    struct ThreadTable
+    {
+        std::uint32_t wordCount = 0; ///< slice width (words)
+        std::uint32_t loadCount = 0; ///< decoded values per slice
+        std::uint32_t mask = 0;      ///< slots.size() - 1 (pow2)
+        std::uint32_t count = 0;     ///< live entries
+        /**
+         * Adaptive bail-out: slice sharing is a property of the
+         * memory model — near-universal on TSO-like programs, but
+         * weak-model reordering can make almost every slice unique,
+         * where hashing + inserting costs more than just decoding.
+         * Each table watches its own hit rate during a probation
+         * window and retires itself (dead = true, storage released)
+         * when memoization is a net loss for its thread.
+         */
+        bool dead = false;
+        std::uint64_t lookups = 0;
+        std::uint64_t tableHits = 0;
+        /** Open-addressed buckets: entry index + 1, 0 = empty. */
+        std::vector<std::uint32_t> slots;
+        std::vector<std::uint64_t> hashes; ///< [entry]
+        std::vector<std::uint64_t> words;  ///< [entry * wordCount]
+        std::vector<std::uint32_t> values; ///< [entry * loadCount]
+    };
+
+    std::uint64_t boundFingerprint = 0;
+    bool bound = false;
+    std::uint64_t hitCount = 0;
+    std::uint64_t missCount = 0;
+    std::vector<ThreadTable> threads;
+};
+
 /** Encoder/decoder bound to one instrumented test. */
 class SignatureCodec
 {
@@ -130,15 +201,40 @@ class SignatureCodec
      * Like decode(), but writes into @p out using @p word_scratch as
      * the peeling buffer — both reused across calls, so decoding a
      * test's unique signatures is allocation-free in steady state.
-     * @p out is unspecified when this throws.
+     * With a @p memo, repeated per-thread word slices skip the peel
+     * loop entirely (bit-identical results; the memo rebinds itself if
+     * it was last used with a different program). @p out is
+     * unspecified when this throws.
      */
     void decodeInto(const Signature &signature, Execution &out,
-                    std::vector<std::uint64_t> &word_scratch) const;
+                    std::vector<std::uint64_t> &word_scratch,
+                    DecodeMemo *memo = nullptr) const;
 
   private:
+    /** Everything decode/encode touch per load, flattened out of the
+     * plan/analysis object graph once at construction. */
+    struct LoadMeta
+    {
+        std::uint32_t word = 0;        ///< global word index
+        std::uint64_t multiplier = 1;  ///< weight multiplier
+        std::uint32_t cardinality = 0; ///< candidate count
+        std::uint32_t opIdx = 0;       ///< source op (diagnostics)
+        const std::uint32_t *candidates = nullptr; ///< value array
+    };
+
+    void prepareMemo(DecodeMemo &memo) const;
+    void memoInsert(DecodeMemo::ThreadTable &table, std::uint64_t hash,
+                    const std::uint64_t *slice,
+                    const std::uint32_t *ordinals,
+                    const Execution &out) const;
+
     const TestProgram &prog;
     const LoadValueAnalysis &loadAnalysis;
     const InstrumentationPlan &plan;
+
+    std::vector<LoadMeta> loadMeta; ///< [load ordinal]
+    /** Load ordinals of each thread in program order. */
+    std::vector<std::vector<std::uint32_t>> threadOrdinals;
 };
 
 } // namespace mtc

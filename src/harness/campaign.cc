@@ -75,6 +75,11 @@ CampaignConfig::fromEnv(CampaignConfig defaults)
     if (const char *threads = std::getenv("MTC_THREADS"))
         defaults.threads = static_cast<unsigned>(
             parseEnvCount("MTC_THREADS", threads, true));
+    // MTC_BATCH=0 defers to the flow's default width; any width is
+    // purely operational (bit-identical summaries).
+    if (const char *batch = std::getenv("MTC_BATCH"))
+        defaults.batch = static_cast<std::uint32_t>(
+            parseEnvCount("MTC_BATCH", batch, true));
     if (const char *shard = std::getenv("MTC_SHARD_SIZE"))
         defaults.shardSize = static_cast<std::size_t>(
             parseEnvCount("MTC_SHARD_SIZE", shard, true));
@@ -164,6 +169,7 @@ flowTemplate(const TestConfig &cfg, const CampaignConfig &campaign)
     // serial inside so campaign.threads workers mean campaign.threads
     // busy cores, not threads^2 oversubscription.
     flow_cfg.threads = 1;
+    flow_cfg.batch = campaign.batch;
     flow_cfg.exec.stallAfterSteps = campaign.stallAfterSteps;
     flow_cfg.exec.stallIgnoresCancel = campaign.stallUncooperative;
     flow_cfg.exec.dieAfterRuns = campaign.dieAfterRuns;

@@ -88,6 +88,16 @@ struct CampaignConfig
      */
     unsigned threads = 1;
 
+    /**
+     * Lockstep batch width forwarded to every test's flow (see
+     * FlowConfig::batch): iterations dispatched per batched-engine
+     * call. 0 (default) lets the flow pick; 1 is scalar stepping.
+     * Operational knob — summaries are bit-identical at any width, so
+     * it is excluded from the campaign identity and a journal written
+     * at one width resumes at another.
+     */
+    std::uint32_t batch = 0;
+
     /** Collective-checker shard size forwarded to every test's flow
      * (see FlowConfig::shardSize). 0 = unsharded. */
     std::size_t shardSize = 0;
@@ -205,9 +215,10 @@ struct CampaignConfig
 
     /**
      * Apply MTC_ITERATIONS / MTC_TESTS / MTC_SEED / MTC_THREADS /
-     * MTC_SHARD_SIZE / MTC_JOURNAL / MTC_TEST_TIMEOUT_MS /
-     * MTC_SANDBOX / MTC_SANDBOX_MEM_MB / MTC_SANDBOX_CPU_S overrides
-     * (MTC_THREADS=0 means "use every hardware thread";
+     * MTC_BATCH / MTC_SHARD_SIZE / MTC_JOURNAL /
+     * MTC_TEST_TIMEOUT_MS / MTC_SANDBOX / MTC_SANDBOX_MEM_MB /
+     * MTC_SANDBOX_CPU_S overrides (MTC_THREADS=0 means "use every
+     * hardware thread"; MTC_BATCH=0 means "flow default";
      * MTC_SHARD_SIZE=0 means unsharded; MTC_TEST_TIMEOUT_MS=0 means
      * no watchdog; MTC_SANDBOX=0/1 selects in-process/sandboxed).
      *

@@ -71,7 +71,6 @@ ValidationFlow::runTest(const TestProgram &program)
             std::make_unique<OperationalExecutor>(cfg.exec);
     }
     Platform &platform = *platform_holder;
-    Rng rng(cfg.seed);
     PerturbationModel perturbation(program, analysis);
 
     // Faulty-readout model between the device and the host buffer.
@@ -102,64 +101,104 @@ ValidationFlow::runTest(const TestProgram &program)
         signature_counts.record(signature, copies);
     };
 
-    // One arena plus one encode/readout buffer set serve the whole
-    // loop: after the first iteration warms their capacities, an
+    // One batch arena plus one encode/readout buffer set serve the
+    // whole loop: after the first batch warms their capacities, an
     // iteration performs no heap allocations (the tentpole property,
     // asserted by tests/hotpath_test.cpp). reuseArena=false rebuilds
-    // the arena per iteration — the pre-arena behavior, bit-identical
-    // but allocation-heavy — for A/B measurement.
+    // the arena per batch — the pre-arena behavior, bit-identical but
+    // allocation-heavy — for A/B measurement. The scalar `arena`
+    // serves the confirmation re-executions further down.
     RunArena arena;
+    BatchRunArena batch_arena;
     EncodeResult encoded;
     FaultedReadout readout;
 
-    for (std::uint64_t iter = 0; iter < cfg.iterations; ++iter) {
+    // Batched lockstep test loop. Every iteration owns an independent
+    // RNG stream seeded from one master stream in iteration order, so
+    // the dispatch width is purely operational: batch B consumes the
+    // same per-iteration streams as batch 1, lanes are post-processed
+    // (encode, fault injection, accumulation) in iteration order, and
+    // every summary and digest is bit-identical at any width.
+    Rng stream_master(cfg.seed);
+    const std::uint32_t batch_width = cfg.batch ? cfg.batch : 32;
+    std::vector<Rng> lane_rngs;
+    std::vector<LaneStatus> lane_status;
+    lane_rngs.reserve(batch_width);
+    bool stop = false;
+    for (std::uint64_t base = 0; base < cfg.iterations && !stop;) {
+        const std::uint32_t lanes = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(batch_width,
+                                    cfg.iterations - base));
+        base += lanes;
         if (!cfg.reuseArena)
-            arena = RunArena();
-        try {
-            auto scope = prof.scope(Phase::Execute);
-            platform.runInto(program, rng, arena, cfg.cancel);
-        } catch (const ProtocolDeadlockError &err) {
-            // The paper's bug 3 crashes the whole simulation; by
-            // default one deadlock ends this test's campaign, but the
-            // recovery policy can grant reseeded retries so the rest
-            // of the iteration budget still produces signatures.
-            warn(std::string("platform crash: ") + err.what());
-            ++result.platformCrashes;
-            if (result.fault.crashRetries < cfg.recovery.crashRetries) {
-                ++result.fault.crashRetries;
-                std::uint64_t reseed =
-                    cfg.seed + 0x5bd1e995u * result.fault.crashRetries;
-                rng = Rng(splitMix64(reseed));
-                continue;
-            }
-            break;
+            batch_arena = BatchRunArena();
+        {
+            auto scope = prof.scope(Phase::BatchDispatch);
+            lane_rngs.clear();
+            for (std::uint32_t l = 0; l < lanes; ++l)
+                lane_rngs.emplace_back(stream_master());
+            lane_status.assign(lanes, LaneStatus::Completed);
         }
-        ++result.iterationsRun;
-        const Execution &execution = arena.execution;
+        {
+            auto scope = prof.scope(Phase::Execute);
+            platform.runBatchInto(program, lane_rngs.data(), lanes,
+                                  batch_arena, cfg.cancel,
+                                  lane_status.data());
+        }
+        for (std::uint32_t l = 0; l < lanes; ++l) {
+            if (lane_status[l] == LaneStatus::Hung) {
+                // What the scalar loop would have thrown mid-run; any
+                // later lanes' results are discarded with the test,
+                // exactly as if they had never been dispatched.
+                throw TestHungError(batch_arena.hangMessage());
+            }
+            if (lane_status[l] == LaneStatus::Crashed) {
+                // The paper's bug 3 crashes the whole simulation; by
+                // default one deadlock ends this test's campaign, but
+                // the recovery policy can grant retries so the rest
+                // of the iteration budget still produces signatures.
+                // Iteration streams are pre-derived, so a crashed
+                // iteration costs exactly its own stream and the
+                // retained-iteration set is batch-width-invariant.
+                warn(std::string("platform crash: ") +
+                     batch_arena.crashMessage(l));
+                ++result.platformCrashes;
+                if (result.fault.crashRetries <
+                    cfg.recovery.crashRetries) {
+                    ++result.fault.crashRetries;
+                    continue;
+                }
+                stop = true;
+                break;
+            }
+            ++result.iterationsRun;
+            const Execution &execution = batch_arena.executions[l];
 
-        try {
-            {
-                auto scope = prof.scope(Phase::Encode);
-                codec.encodeInto(execution, encoded);
-                perturbation.record(execution, encoded,
-                                    plan.totalWords());
+            try {
+                {
+                    auto scope = prof.scope(Phase::Encode);
+                    codec.encodeInto(execution, encoded);
+                    perturbation.record(execution, encoded,
+                                        plan.totalWords());
+                }
+                auto scope = prof.scope(Phase::Accumulate);
+                if (injector) {
+                    injector->readInto(encoded.signature, readout);
+                    result.fault.recordedIterations += readout.copies;
+                    if (readout.copies)
+                        record_signature(readout.signature,
+                                         readout.copies);
+                } else {
+                    ++result.fault.recordedIterations;
+                    record_signature(encoded.signature, 1);
+                }
+            } catch (const SignatureAssertError &err) {
+                // The instrumented chain caught an impossible value
+                // at runtime, before any graph checking.
+                if (result.assertionFailures == 0)
+                    result.violationWitness = err.what();
+                ++result.assertionFailures;
             }
-            auto scope = prof.scope(Phase::Accumulate);
-            if (injector) {
-                injector->readInto(encoded.signature, readout);
-                result.fault.recordedIterations += readout.copies;
-                if (readout.copies)
-                    record_signature(readout.signature, readout.copies);
-            } else {
-                ++result.fault.recordedIterations;
-                record_signature(encoded.signature, 1);
-            }
-        } catch (const SignatureAssertError &err) {
-            // The instrumented chain caught an impossible value at
-            // runtime, before any graph checking.
-            if (result.assertionFailures == 0)
-                result.violationWitness = err.what();
-            ++result.assertionFailures;
         }
     }
     if (injector)
@@ -243,9 +282,14 @@ ValidationFlow::runTest(const TestProgram &program)
             // is dynamicEdges' internal inference workspace.
             thread_local Execution decoded;
             thread_local std::vector<std::uint64_t> word_scratch;
+            // Per-worker slice memo: unique signatures share their
+            // per-thread word slices heavily, and the memo rebinds
+            // itself when this worker moves on to another program.
+            thread_local DecodeMemo memo;
             try {
                 codec.decodeInto(unique[i].signature, decoded,
-                                 word_scratch);
+                                 word_scratch,
+                                 cfg.decodeMemo ? &memo : nullptr);
                 slot.edges = dynamicEdges(program, decoded);
                 if (cfg.keepExecutions)
                     slot.execution = decoded;

@@ -170,6 +170,26 @@ struct FlowConfig
     RecoveryConfig recovery;
 
     /**
+     * Lockstep batch width of the test loop: how many iterations are
+     * dispatched through the platform's batched engine at a time. 0
+     * (the default) resolves to 32; 1 degenerates to scalar stepping.
+     * Each iteration's RNG stream is derived from one master stream
+     * in iteration order, so the observed signature multiset, all
+     * summaries, and the journal digest are bit-identical at every
+     * batch width. Operational knob only — excluded from campaign
+     * identity, like `threads`.
+     */
+    std::uint32_t batch = 0;
+
+    /**
+     * Memoize repeated per-thread signature-word slices across the
+     * decode of a test's unique signatures (see DecodeMemo). Decoded
+     * executions are bit-identical either way; off only buys the
+     * pre-memo decode numbers for A/B benches.
+     */
+    bool decodeMemo = true;
+
+    /**
      * Worker threads for the in-test parallel stages — the
      * decode/observed-edge loop over unique signatures and the sharded
      * collective checker. 1 (default) runs fully serial; 0 resolves to

@@ -1,8 +1,48 @@
+/**
+ * @file
+ * The operational executor's engine: a batched lockstep dispatcher
+ * over structure-of-arrays run state.
+ *
+ * One BatchState holds the run state of B independent lanes of the
+ * same test program, laid out lane-contiguously (per-lane per-thread
+ * PCs and window occupancy, a flat values memory image, lane-major
+ * cache-line/LRU state), plus B caller-owned RNG streams. A single
+ * dispatch loop advances every active lane one scheduler step per
+ * round; program metadata (the FlatOrderTable) is computed once per
+ * batch and shared read-only by all lanes.
+ *
+ * Bit-identity is the engine's hard contract: lanes never share
+ * mutable state, and every lane consumes its own RNG stream in
+ * exactly the order the scalar engine would, so lane i of a batch is
+ * draw-for-draw identical to a scalar runInto() with stream i — at
+ * any batch size, including B=1, which is precisely what the scalar
+ * runInto() entry point runs. (The pre-batching scalar engine lives
+ * on only as this special case; there is one engine, not two.)
+ *
+ * Lane divergence: lanes retire from the compacted active-lane list
+ * as they complete. A lane whose platform crashes (injected protocol
+ * deadlock, crash drill) is marked Crashed and retired without
+ * disturbing its siblings; a watchdog cancellation marks every
+ * still-active lane Hung while completed lanes keep their results.
+ *
+ * Cross-lane aliasing audit (the SoA hazard): every mutable array is
+ * indexed through exactly one of the laneThread/laneOp/laneLoc/
+ * laneLine helpers below, each of which multiplies by the full
+ * per-lane stride — there is no partially-strided access path — and
+ * resetLane() rewrites a lane's entire span of every array, so no
+ * state can leak between lanes or across batches.
+ */
+
 #include "sim/executor.h"
 
 #include <algorithm>
 #include <csignal>
+#include <cstddef>
 #include <limits>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "graph/po_edges.h"
 #include "sim/order_table.h"
@@ -16,694 +56,6 @@ namespace
 {
 
 constexpr std::uint64_t kNever = std::numeric_limits<std::uint64_t>::max();
-
-/**
- * Per-run mutable state shared by both scheduling policies. Lives in
- * the caller's RunArena and is reset in place between runs: every
- * container is re-filled with assign()/resize() so its capacity
- * survives, making the steady-state iteration loop allocation-free.
- * The reset replays the original construction order exactly — in
- * particular the per-thread start-skew draws — so arena reuse is
- * Rng-sequence-identical to fresh construction.
- */
-struct RunState : RunArena::State
-{
-    const TestProgram *program = nullptr;
-    const ExecutorConfig *cfg = nullptr;
-    const OrderTable *order = nullptr;
-    Rng *rng = nullptr;
-    Execution *result = nullptr;
-
-    std::vector<std::uint32_t> mem;          ///< current value per loc
-    CompletionBits completion;
-    std::vector<std::uint32_t> head;         ///< lowest incomplete idx
-    std::vector<std::uint64_t> coreSlot;     ///< next issue time (timed)
-    std::vector<std::vector<std::uint64_t>> completionTime;
-    std::vector<bool> blocked;               ///< bug-3 wedged threads
-    std::uint64_t remaining = 0;
-
-    // --- Liveness layer (watchdog cancellation + stall drill) ---------
-    const CancellationToken *cancel = nullptr;
-    std::uint64_t stepsTaken = 0;
-
-    /**
-     * Polled once per scheduler step by both policies: abandon the
-     * run when the watchdog fired, and enter the injected infinite
-     * stall when the drill's step budget is reached. One relaxed load
-     * plus two compares when idle — negligible against a step's work.
-     */
-    void
-    checkLiveness()
-    {
-        ++stepsTaken;
-        if (cancel && cancel->stopRequested()) {
-            throw TestHungError(
-                "run abandoned by watchdog: test deadline expired");
-        }
-        if (cfg->stallAfterSteps && stepsTaken >= cfg->stallAfterSteps) {
-            // A non-cooperative wedge never looks at the token:
-            // recovery then requires killing the process, which is
-            // exactly what the sandbox's hard deadline drills.
-            stallUntilCancelled(cfg->stallIgnoresCancel ? nullptr
-                                                        : cancel);
-        }
-    }
-
-    // --- Timed-policy cache model -------------------------------------
-    struct Line
-    {
-        std::int32_t owner = -1;      ///< core holding M/E, or -1
-        std::uint32_t sharers = 0;    ///< residency bitmask
-        std::uint64_t lastStoreTime = 0;
-        std::int32_t lastStoreTid = -1;
-        std::uint64_t lastEvictTime = 0;
-        bool everEvicted = false;
-    };
-    std::vector<Line> lines;
-    std::uint32_t numLines = 0;
-    /** loc -> cache line, hoisting lineOf()'s division off the hot
-     * path. */
-    std::vector<std::uint32_t> locLine;
-    /**
-     * Per-core last-touch timestamps, flat-indexed [tid * numLines +
-     * line] (kNever = not resident), with per-core resident counts —
-     * the former per-core unordered_map LRU without the per-run node
-     * churn. Capacity-eviction victims are found by a bounded scan
-     * over the line array; ties on the timestamp break toward the
-     * lowest line index (deterministic, unlike map iteration order).
-     */
-    std::vector<std::uint64_t> lruStamp;
-    std::vector<std::uint32_t> lruCount;
-    /** Cached per-op latency jitter, drawn once per op. */
-    std::vector<std::vector<std::uint64_t>> jitter;
-    /** Per-location (time, value) history for stale-read injection. */
-    std::vector<std::vector<std::pair<std::uint64_t, std::uint32_t>>>
-        history;
-
-    /** Uniform-policy candidate scratch (rebuilt every step). */
-    std::vector<std::pair<std::uint32_t, std::uint32_t>> eligibleScratch;
-
-    /**
-     * Timed-policy per-thread cached best candidate (completion, issue,
-     * idx, validity). A perform only invalidates its own thread's
-     * times (core slot, intra-thread predecessors) and, through cache
-     * lines it mutated, other threads' latencies — so the engine
-     * recomputes per-thread bests selectively instead of rescanning
-     * every candidate each step.
-     */
-    std::vector<std::uint64_t> bestTime;
-    std::vector<std::uint64_t> bestIssue;
-    std::vector<std::uint32_t> bestIdx;
-    std::vector<std::uint8_t> bestValid;
-
-    void
-    reset(const TestProgram &program_arg, const ExecutorConfig &cfg_arg,
-          const OrderTable &order_arg, Rng &rng_arg, Execution &out)
-    {
-        program = &program_arg;
-        cfg = &cfg_arg;
-        order = &order_arg;
-        rng = &rng_arg;
-        result = &out;
-
-        const auto &threads = program->threadBodies();
-        const std::uint32_t num_locs = program->config().numLocations;
-        mem.assign(num_locs, kInitValue);
-        completion.reset(*program);
-        completionTime.resize(threads.size());
-        head.assign(threads.size(), 0);
-        coreSlot.assign(threads.size(), 0);
-        blocked.assign(threads.size(), false);
-        remaining = 0;
-        for (std::size_t t = 0; t < threads.size(); ++t) {
-            completionTime[t].assign(threads[t].size(), 0);
-            remaining += threads[t].size();
-        }
-
-        result->loadValues.assign(program->loads().size(), kInitValue);
-        result->duration = 0;
-        if (cfg->exportCoherenceOrder) {
-            result->coherenceOrder.resize(num_locs);
-            for (auto &per_loc : result->coherenceOrder)
-                per_loc.clear();
-        } else {
-            result->coherenceOrder.clear();
-        }
-
-        if (cfg->policy == SchedulingPolicy::Timed) {
-            lines.assign(program->numLines(), Line{});
-            numLines = static_cast<std::uint32_t>(lines.size());
-            locLine.resize(num_locs);
-            for (std::uint32_t loc = 0; loc < num_locs; ++loc)
-                locLine[loc] = program->lineOf(loc);
-            lruStamp.assign(
-                static_cast<std::size_t>(threads.size()) * numLines,
-                kNever);
-            lruCount.assign(threads.size(), 0);
-            // Jitter caches only exist under the timed policy (the
-            // uniform path never reads them).
-            jitter.resize(threads.size());
-            for (std::size_t t = 0; t < threads.size(); ++t)
-                jitter[t].assign(threads[t].size(), kNever);
-            bestTime.assign(threads.size(), kNever);
-            bestIssue.assign(threads.size(), 0);
-            bestIdx.assign(threads.size(), 0);
-            bestValid.assign(threads.size(), 0);
-            for (std::size_t t = 0; t < threads.size(); ++t) {
-                coreSlot[t] =
-                    rng->nextBelow(cfg->timing.startSkewMax + 1);
-            }
-        } else {
-            eligibleScratch.reserve(threads.size() *
-                                    cfg->reorderWindow);
-        }
-        if (cfg->bug != BugKind::None) {
-            history.resize(num_locs);
-            for (auto &per_loc : history)
-                per_loc.clear();
-        }
-    }
-
-    bool
-    isCompleted(std::uint32_t tid, std::uint32_t idx) const
-    {
-        return completion.isCompleted(tid, idx);
-    }
-
-    /** May op idx perform now (all required predecessors complete)? */
-    bool
-    isEligible(std::uint32_t tid, std::uint32_t idx) const
-    {
-        if (blocked[tid])
-            return false;
-        if (idx >= head[tid] + cfg->reorderWindow)
-            return false;
-        return (order->requiredPreds[tid][idx] &
-                ~completion.windowCompleted(tid, idx)) == 0;
-    }
-
-    /**
-     * Value forwarded from the latest po-earlier same-location store
-     * of the same thread, O(1) via the precomputed priorStore table:
-     * only the nearest prior store can forward (a completed one ends
-     * the old backward scan immediately).
-     */
-    std::optional<std::uint32_t>
-    forwardedValue(std::uint32_t tid, std::uint32_t idx) const
-    {
-        const std::uint32_t prior = order->priorStore[tid][idx];
-        if (prior == kNoPriorStore)
-            return std::nullopt;
-        if (!isCompleted(tid, prior)) {
-            // store-buffer forwarding
-            return program->threadBodies()[tid][prior].value;
-        }
-        return std::nullopt; // globally visible: read memory
-    }
-
-    /** This core's flat LRU timestamp row. */
-    std::uint64_t *
-    coreLru(std::uint32_t tid)
-    {
-        return lruStamp.data() +
-            static_cast<std::size_t>(tid) * numLines;
-    }
-
-    /** Drop @p line_idx from @p tid's LRU (no-op when not resident). */
-    void
-    lruErase(std::uint32_t tid, std::uint32_t line_idx)
-    {
-        std::uint64_t &stamp = coreLru(tid)[line_idx];
-        if (stamp != kNever) {
-            stamp = kNever;
-            --lruCount[tid];
-        }
-    }
-
-    void
-    markCompleted(std::uint32_t tid, std::uint32_t idx, std::uint64_t time)
-    {
-        completion.markCompleted(tid, idx);
-        completionTime[tid][idx] = time;
-        result->duration = std::max(result->duration, time);
-        --remaining;
-        const std::uint32_t size = static_cast<std::uint32_t>(
-            program->threadBodies()[tid].size());
-        while (head[tid] < size && isCompleted(tid, head[tid]))
-            ++head[tid];
-    }
-
-    void
-    completeStore(std::uint32_t tid, std::uint32_t idx, std::uint64_t time)
-    {
-        const MemOp &op = program->threadBodies()[tid][idx];
-        mem[op.loc] = op.value;
-        if (cfg->exportCoherenceOrder)
-            result->coherenceOrder[op.loc].push_back(OpId{tid, idx});
-        if (cfg->bug != BugKind::None)
-            history[op.loc].emplace_back(time, op.value);
-        markCompleted(tid, idx, time);
-    }
-
-    void
-    completeLoad(std::uint32_t tid, std::uint32_t idx, std::uint64_t time,
-                 std::uint32_t value)
-    {
-        result->loadValues[program->loadOrdinal(OpId{tid, idx})] = value;
-        markCompleted(tid, idx, time);
-    }
-
-    /** Memory value of @p loc as of time @p when (stale-read lookup). */
-    std::uint32_t
-    valueAt(std::uint32_t loc, std::uint64_t when) const
-    {
-        std::uint32_t value = kInitValue;
-        for (const auto &[time, stored] : history[loc]) {
-            if (time > when)
-                break;
-            value = stored;
-        }
-        return value;
-    }
-};
-
-// ---------------------------------------------------------------------
-// Uniform-random policy
-// ---------------------------------------------------------------------
-
-void
-runUniform(RunState &state)
-{
-    const auto &threads = state.program->threadBodies();
-    auto &eligible = state.eligibleScratch;
-    std::uint64_t step = 0;
-
-    while (state.remaining > 0) {
-        state.checkLiveness();
-        eligible.clear();
-        for (std::uint32_t tid = 0; tid < threads.size(); ++tid) {
-            const std::uint32_t end = std::min<std::uint32_t>(
-                static_cast<std::uint32_t>(threads[tid].size()),
-                state.head[tid] + state.cfg->reorderWindow);
-            for (std::uint32_t idx = state.head[tid]; idx < end; ++idx) {
-                if (!state.isCompleted(tid, idx) &&
-                    state.isEligible(tid, idx)) {
-                    eligible.emplace_back(tid, idx);
-                }
-            }
-        }
-        if (eligible.empty())
-            throw PlatformError("uniform executor wedged (internal bug)");
-
-        const auto [tid, idx] =
-            eligible[state.rng->pickIndex(eligible.size())];
-        const MemOp &op = threads[tid][idx];
-        ++step;
-        switch (op.kind) {
-          case OpKind::Store:
-            state.completeStore(tid, idx, step);
-            break;
-          case OpKind::Load: {
-            auto forwarded = state.forwardedValue(tid, idx);
-            state.completeLoad(tid, idx, step,
-                               forwarded ? *forwarded
-                                         : state.mem[op.loc]);
-            break;
-          }
-          case OpKind::Fence:
-            state.markCompleted(tid, idx, step);
-            break;
-        }
-    }
-}
-
-// ---------------------------------------------------------------------
-// Timed (silicon-like) policy
-// ---------------------------------------------------------------------
-
-class TimedEngine
-{
-  public:
-    explicit TimedEngine(RunState &state_arg) : state(state_arg) {}
-
-    void
-    run()
-    {
-        const std::uint32_t num_threads = state.program->numThreads();
-        // Seed every thread's cached best. Jitter draws happen on each
-        // op's first candidateTimes evaluation, so this initial pass
-        // draws for the initially eligible ops in (tid, idx) order —
-        // exactly the first scan of the full-rescan engine.
-        for (std::uint32_t tid = 0; tid < num_threads; ++tid)
-            recomputeBest(tid);
-
-        while (state.remaining > 0) {
-            state.checkLiveness();
-            std::uint32_t best_tid = 0;
-            std::uint64_t best_time = kNever;
-            bool found = false;
-            // Deterministic tie-break (lowest thread id / oldest op):
-            // silicon arbitration is stable, so equal-latency races
-            // repeat the same winner. Strict < here plus strict < in
-            // recomputeBest reproduce the full scan's lexicographic
-            // (tid, idx) preference.
-            for (std::uint32_t tid = 0; tid < num_threads; ++tid) {
-                if (state.bestValid[tid] &&
-                    state.bestTime[tid] < best_time) {
-                    best_time = state.bestTime[tid];
-                    best_tid = tid;
-                    found = true;
-                }
-            }
-
-            if (!found) {
-                // Only blocked threads have work left: the injected
-                // protocol race wedged the platform.
-                throw ProtocolDeadlockError(
-                    "coherence request lost (PUTX/GETX race): platform "
-                    "deadlocked");
-            }
-
-            numDirty = 0;
-            perform(best_tid, state.bestIdx[best_tid],
-                    state.bestIssue[best_tid], best_time);
-
-            // Eligibility and issue-time inputs (required-predecessor
-            // completions, core slot, head, blocked) are strictly
-            // intra-thread, so only the performing thread's candidate
-            // set changed — and its recompute runs first, drawing
-            // jitter for newly eligible ops in idx order, matching the
-            // full rescan's draw sequence. Other threads are affected
-            // only through the cache lines this perform mutated; their
-            // re-evaluations hit the jitter cache and draw nothing.
-            recomputeBest(best_tid);
-            if (numDirty != 0) {
-                for (std::uint32_t tid = 0; tid < num_threads; ++tid) {
-                    if (tid != best_tid && windowTouchesDirty(tid))
-                        recomputeBest(tid);
-                }
-            }
-        }
-    }
-
-  private:
-    /** Re-scan @p tid's reorder window and cache its best candidate. */
-    void
-    recomputeBest(std::uint32_t tid)
-    {
-        const auto &body = state.program->threadBodies()[tid];
-        const std::uint32_t end = std::min<std::uint32_t>(
-            static_cast<std::uint32_t>(body.size()),
-            state.head[tid] + state.cfg->reorderWindow);
-        std::uint64_t best_time = kNever;
-        std::uint64_t best_issue = 0;
-        std::uint32_t best_idx = 0;
-        bool found = false;
-        for (std::uint32_t idx = state.head[tid]; idx < end; ++idx) {
-            if (state.isCompleted(tid, idx) ||
-                !state.isEligible(tid, idx)) {
-                continue;
-            }
-            const auto [issue, completion] = candidateTimes(tid, idx);
-            if (completion < best_time) {
-                best_time = completion;
-                best_issue = issue;
-                best_idx = idx;
-                found = true;
-            }
-        }
-        state.bestTime[tid] = best_time;
-        state.bestIssue[tid] = best_issue;
-        state.bestIdx[tid] = best_idx;
-        state.bestValid[tid] = found ? 1 : 0;
-    }
-
-    /** Mark a cache line whose coherence state this perform changed. */
-    void
-    markDirty(std::uint32_t line_idx)
-    {
-        if (numDirty < 2)
-            dirtyLines[numDirty++] = line_idx;
-    }
-
-    /** Does any incomplete memory op in @p tid's window hit a line
-     * dirtied by the last perform (so its cached latency is stale)? */
-    bool
-    windowTouchesDirty(std::uint32_t tid) const
-    {
-        const auto &body = state.program->threadBodies()[tid];
-        const std::uint32_t end = std::min<std::uint32_t>(
-            static_cast<std::uint32_t>(body.size()),
-            state.head[tid] + state.cfg->reorderWindow);
-        for (std::uint32_t idx = state.head[tid]; idx < end; ++idx) {
-            if (state.isCompleted(tid, idx))
-                continue;
-            const MemOp &op = body[idx];
-            if (op.kind == OpKind::Fence)
-                continue;
-            const std::uint32_t line = state.locLine[op.loc];
-            for (std::uint32_t d = 0; d < numDirty; ++d) {
-                if (line == dirtyLines[d])
-                    return true;
-            }
-        }
-        return false;
-    }
-
-    std::uint64_t
-    opJitter(std::uint32_t tid, std::uint32_t idx)
-    {
-        std::uint64_t &cached = state.jitter[tid][idx];
-        if (cached == kNever) {
-            const TimingParams &timing = state.cfg->timing;
-            cached = state.rng->nextBool(timing.jitterProbability)
-                ? 1 + state.rng->nextBelow(timing.jitterMax)
-                : 0;
-        }
-        return cached;
-    }
-
-    bool
-    resident(std::uint32_t tid, const RunState::Line &line) const
-    {
-        return line.owner == static_cast<std::int32_t>(tid) ||
-            ((line.sharers >> tid) & 1);
-    }
-
-    /** (issue, completion) candidate times for an eligible op. */
-    std::pair<std::uint64_t, std::uint64_t>
-    candidateTimes(std::uint32_t tid, std::uint32_t idx)
-    {
-        const MemOp &op = state.program->threadBodies()[tid][idx];
-        const TimingParams &timing = state.cfg->timing;
-
-        // Issue waits for the core slot and for every required-order
-        // predecessor's completion (eligibility guarantees they are
-        // complete, so their times are final).
-        std::uint64_t issue = state.coreSlot[tid];
-        std::uint32_t preds = state.order->requiredPreds[tid][idx];
-        while (preds) {
-            const int b = __builtin_ctz(preds);
-            preds &= preds - 1;
-            const std::int64_t j =
-                static_cast<std::int64_t>(idx) - 32 + b;
-            if (j >= 0) {
-                issue = std::max(issue,
-                                 state.completionTime[tid][j]);
-            }
-        }
-
-        std::uint64_t latency = timing.issueCost;
-        if (op.kind != OpKind::Fence) {
-            const RunState::Line &line =
-                state.lines[state.locLine[op.loc]];
-            if (op.kind == OpKind::Load) {
-                if (resident(tid, line))
-                    latency += timing.hitLatency;
-                else if (line.owner >= 0)
-                    latency += timing.transferLatency;
-                else
-                    latency += timing.missLatency;
-            } else {
-                if (line.owner == static_cast<std::int32_t>(tid)) {
-                    latency += timing.hitLatency;
-                } else if (resident(tid, line)) {
-                    latency += timing.upgradeLatency;
-                } else if (line.owner >= 0) {
-                    latency += timing.transferLatency;
-                } else {
-                    latency += timing.missLatency;
-                    // Other sharers must also be invalidated.
-                    if (line.sharers != 0)
-                        latency += timing.upgradeLatency;
-                }
-            }
-        }
-        latency += opJitter(tid, idx);
-        return {issue, issue + latency};
-    }
-
-    /** Touch the LRU and evict over-capacity lines for @p tid. */
-    void
-    touchLine(std::uint32_t tid, std::uint32_t line_idx, std::uint64_t now)
-    {
-        const std::uint32_t capacity = state.cfg->timing.cacheLines;
-        std::uint64_t *stamps = state.coreLru(tid);
-        if (stamps[line_idx] == kNever)
-            ++state.lruCount[tid];
-        stamps[line_idx] = now;
-        if (capacity == 0 || state.lruCount[tid] <= capacity)
-            return;
-
-        // Evict the least-recently-used other line (lowest line index
-        // on a timestamp tie).
-        std::uint32_t victim = line_idx;
-        std::uint64_t oldest = kNever;
-        for (std::uint32_t l = 0; l < state.numLines; ++l) {
-            if (l != line_idx && stamps[l] < oldest) {
-                oldest = stamps[l];
-                victim = l;
-            }
-        }
-        stamps[victim] = kNever;
-        --state.lruCount[tid];
-        markDirty(victim); // owner/sharers change below
-        RunState::Line &line = state.lines[victim];
-        if (line.owner == static_cast<std::int32_t>(tid)) {
-            // Dirty eviction: writeback (PUTX). Values are already in
-            // memory in this model; record the event for the bug-3
-            // race window.
-            line.owner = -1;
-            line.lastEvictTime = now;
-            line.everEvicted = true;
-        }
-        line.sharers &= ~(std::uint32_t(1) << tid);
-    }
-
-    bool
-    bugGate()
-    {
-        return state.rng->nextBool(state.cfg->bugProbability);
-    }
-
-    /** Does thread @p tid have an incomplete po-earlier store to the
-     * same cache line as the load at @p idx (S->M upgrade in flight)? */
-    bool
-    upgradeInFlight(std::uint32_t tid, std::uint32_t idx,
-                    std::uint32_t line_idx) const
-    {
-        const auto &body = state.program->threadBodies()[tid];
-        for (std::uint32_t i = state.head[tid]; i < idx; ++i) {
-            if (!state.isCompleted(tid, i) &&
-                body[i].kind == OpKind::Store &&
-                state.locLine[body[i].loc] == line_idx) {
-                return true;
-            }
-        }
-        return false;
-    }
-
-    void
-    perform(std::uint32_t tid, std::uint32_t idx, std::uint64_t issue,
-            std::uint64_t now)
-    {
-        const MemOp &op = state.program->threadBodies()[tid][idx];
-        const TimingParams &timing = state.cfg->timing;
-
-        if (op.kind == OpKind::Fence) {
-            state.markCompleted(tid, idx, now);
-            state.coreSlot[tid] = std::max(state.coreSlot[tid], issue) +
-                timing.issueCost;
-            return;
-        }
-
-        const std::uint32_t line_idx = state.locLine[op.loc];
-        RunState::Line &line = state.lines[line_idx];
-        markDirty(line_idx);
-
-        // Bug 3: the ownership-transfer request raced with the owner's
-        // writeback and got lost; the requester spins forever.
-        if (state.cfg->bug == BugKind::PutxGetxRace &&
-            !resident(tid, line) && line.everEvicted &&
-            line.lastEvictTime > issue && bugGate()) {
-            state.blocked[tid] = true;
-            return;
-        }
-
-        if (op.kind == OpKind::Store) {
-            // Invalidate all other copies; take ownership.
-            if (line.owner >= 0 &&
-                line.owner != static_cast<std::int32_t>(tid)) {
-                state.lruErase(
-                    static_cast<std::uint32_t>(line.owner), line_idx);
-            }
-            for (std::uint32_t other = 0;
-                 other < state.program->numThreads(); ++other) {
-                if (other != tid && ((line.sharers >> other) & 1))
-                    state.lruErase(other, line_idx);
-            }
-            line.owner = static_cast<std::int32_t>(tid);
-            line.sharers = std::uint32_t(1) << tid;
-            line.lastStoreTime = now;
-            line.lastStoreTid = static_cast<std::int32_t>(tid);
-            touchLine(tid, line_idx, now);
-            state.completeStore(tid, idx, now);
-        } else {
-            std::uint32_t value;
-            auto forwarded = state.forwardedValue(tid, idx);
-            if (forwarded) {
-                value = *forwarded;
-            } else {
-                value = state.mem[op.loc];
-
-                // Bugs 1/2: a remote store invalidated this line while
-                // the load was in flight, but the load is not squashed
-                // and returns the stale value it snooped at issue.
-                const bool remote_inval =
-                    line.lastStoreTid >= 0 &&
-                    line.lastStoreTid != static_cast<std::int32_t>(tid) &&
-                    line.lastStoreTime > issue;
-                if (remote_inval && state.cfg->bug != BugKind::None) {
-                    const bool fire =
-                        (state.cfg->bug == BugKind::LsqNoSquash ||
-                         (state.cfg->bug ==
-                              BugKind::StaleLoadOnUpgrade &&
-                          upgradeInFlight(tid, idx, line_idx))) &&
-                        bugGate();
-                    if (fire)
-                        value = state.valueAt(op.loc, issue);
-                }
-            }
-
-            // Owner (if another core) is downgraded to shared.
-            if (line.owner >= 0 &&
-                line.owner != static_cast<std::int32_t>(tid)) {
-                line.sharers |= std::uint32_t(1) << line.owner;
-                line.owner = -1;
-            }
-            line.sharers |= std::uint32_t(1) << tid;
-            touchLine(tid, line_idx, now);
-            state.completeLoad(tid, idx, now, value);
-        }
-
-        state.coreSlot[tid] = std::max(state.coreSlot[tid], issue) +
-            timing.issueCost;
-
-        // OS-interference mode: occasionally the scheduler preempts the
-        // core, stalling its subsequent issues for a full slice.
-        if (timing.preemptProbability > 0.0 &&
-            state.rng->nextBool(timing.preemptProbability)) {
-            state.coreSlot[tid] += timing.preemptSlice;
-        }
-    }
-
-    RunState &state;
-
-    /** Cache lines whose coherence state the last perform mutated: at
-     * most the op's own line plus one LRU-eviction victim. */
-    std::uint32_t dirtyLines[2] = {0, 0};
-    std::uint32_t numDirty = 0;
-};
 
 /** Cache of OrderTables keyed by (program identity, model). */
 class OrderTableCache
@@ -733,6 +85,986 @@ orderTableCache()
     thread_local OrderTableCache cache;
     return cache;
 }
+
+/** Cache lines whose coherence state one perform mutated: at most the
+ * op's own line plus one LRU-eviction victim. Per-step transient. */
+struct DirtySet
+{
+    std::uint32_t lines[2] = {0, 0};
+    std::uint32_t n = 0;
+
+    void
+    add(std::uint32_t line_idx)
+    {
+        if (n < 2)
+            lines[n++] = line_idx;
+    }
+
+    bool
+    contains(std::uint32_t line_idx) const
+    {
+        for (std::uint32_t d = 0; d < n; ++d)
+            if (lines[d] == line_idx)
+                return true;
+        return false;
+    }
+};
+
+/**
+ * Lane-contiguous SoA run state for a batch of B lockstep runs. Lives
+ * in the caller's arena (RunArena for B=1, BatchRunArena otherwise)
+ * and is re-bound in place between batches: every container is
+ * refilled with resize()/assign() so capacity survives, keeping the
+ * steady-state batched loop allocation-free after warm-up.
+ */
+struct BatchState : RunArena::State
+{
+    const TestProgram *program = nullptr;
+    const ExecutorConfig *cfg = nullptr;
+    const CancellationToken *cancel = nullptr;
+
+    /** Lane-shared flat program metadata (see FlatOrderTable). */
+    FlatOrderTable flat;
+    std::uint64_t flatFingerprint = 0;
+    MemoryModel flatModel = MemoryModel::SC;
+    bool flatValid = false;
+
+    std::uint32_t numLanes = 0;
+    std::uint32_t numThreads = 0;
+    std::uint32_t numLocs = 0;
+    std::uint32_t numLoads = 0;
+    std::uint32_t numLines = 0;
+
+    /** Per-lane RNG stream / output buffer (caller-owned). */
+    std::vector<Rng *> rngs;
+    std::vector<Execution *> outs;
+
+    // --- Per-lane mutable state, flat and lane-major ------------------
+    std::vector<std::uint32_t> mem;            ///< [lane × numLocs]
+    LaneCompletionBits completion;
+    std::vector<std::uint32_t> head;           ///< [lane × T]
+    std::vector<std::uint64_t> coreSlot;       ///< [lane × T]
+    std::vector<std::uint64_t> completionTime; ///< [lane × totalOps]
+    std::vector<std::uint8_t> blocked;         ///< [lane × T]
+    std::vector<std::uint64_t> remaining;      ///< [lane]
+    std::vector<std::uint64_t> stepsTaken;     ///< [lane]
+    std::vector<std::uint64_t> uniformStep;    ///< [lane]
+
+    // --- Timed-policy cache model -------------------------------------
+    struct Line
+    {
+        std::int32_t owner = -1;   ///< core holding M/E, or -1
+        std::uint32_t sharers = 0; ///< residency bitmask
+        std::uint64_t lastStoreTime = 0;
+        std::int32_t lastStoreTid = -1;
+        std::uint64_t lastEvictTime = 0;
+        bool everEvicted = false;
+    };
+    std::vector<Line> lines;             ///< [lane × numLines]
+    std::vector<std::uint64_t> lruStamp; ///< [lane × T × numLines]
+    std::vector<std::uint32_t> lruCount; ///< [lane × T]
+    std::vector<std::uint64_t> jitter;   ///< [lane × totalOps]
+    /**
+     * Cached per-op max of the required predecessors' completion
+     * times (kNever = not yet computed). candidateTimes() only ever
+     * evaluates eligible ops, whose predecessors are all complete
+     * with final times — so the mask-walk over predecessor bits runs
+     * once per op instead of once per window re-scan.
+     */
+    std::vector<std::uint64_t> predIssue; ///< [lane × totalOps]
+    /** Per-lane per-location (time, value) history (bug modes only). */
+    std::vector<std::vector<std::pair<std::uint64_t, std::uint32_t>>>
+        history;                         ///< [lane × numLocs]
+
+    /** Timed-policy per-thread cached best candidate (see
+     * recomputeBest); the incremental-scheduler dirty-set machinery is
+     * per lane — a perform only invalidates its own lane's caches. */
+    std::vector<std::uint64_t> bestTime;  ///< [lane × T]
+    std::vector<std::uint64_t> bestIssue; ///< [lane × T]
+    std::vector<std::uint32_t> bestIdx;   ///< [lane × T]
+    std::vector<std::uint8_t> bestValid;  ///< [lane × T]
+
+    /**
+     * Per-op cached candidate times (kNever in candComplete = op not
+     * an eligible candidate right now). A thread's entries over its
+     * current window are kept fresh: the performing thread's full
+     * recompute rewrites its window, and other threads' entries can
+     * only be invalidated through the ≤2 cache lines a perform
+     * mutates — so the dirty refresh re-times exactly the window ops
+     * on those lines and leaves the rest cached.
+     */
+    std::vector<std::uint64_t> candComplete; ///< [lane × totalOps]
+    std::vector<std::uint64_t> candIssue;    ///< [lane × totalOps]
+    /**
+     * Cached issue-independent latency (issue cost + memory-system
+     * latency + jitter) of each current candidate. Latency depends
+     * only on the op's cache-line state, so it is computed when the
+     * op first becomes a candidate and re-derived only when a perform
+     * dirties the op's line; every other evaluation is one load and
+     * one add instead of the residency branch tree.
+     */
+    std::vector<std::uint64_t> latCache; ///< [lane × totalOps]
+
+    /** Uniform-policy candidate scratch — rebuilt from scratch every
+     * step, so one buffer safely serves every lane in turn. */
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> eligibleScratch;
+
+    /** Still-running lanes, compacted as lanes retire. */
+    std::vector<std::uint32_t> activeLanes;
+
+    // --- SoA addressing (the only cross-array index paths) ------------
+    std::size_t
+    laneThread(std::uint32_t lane, std::uint32_t tid) const
+    {
+        return static_cast<std::size_t>(lane) * numThreads + tid;
+    }
+
+    std::size_t
+    laneOp(std::uint32_t lane) const
+    {
+        return static_cast<std::size_t>(lane) * flat.totalOps;
+    }
+
+    std::size_t
+    laneLoc(std::uint32_t lane, std::uint32_t loc) const
+    {
+        return static_cast<std::size_t>(lane) * numLocs + loc;
+    }
+
+    std::size_t
+    laneLine(std::uint32_t lane, std::uint32_t line_idx) const
+    {
+        return static_cast<std::size_t>(lane) * numLines + line_idx;
+    }
+
+    /**
+     * Bind the batch to (program, cfg) and size every SoA array for
+     * @p lanes lanes. The FlatOrderTable is rebuilt only when the
+     * (program, model) pair changed, so per-batch rebinding of the
+     * same test costs resize()/assign() calls and nothing else.
+     */
+    void
+    bind(const TestProgram &program_arg, const ExecutorConfig &cfg_arg,
+         std::uint32_t lanes)
+    {
+        program = &program_arg;
+        cfg = &cfg_arg;
+        numLanes = lanes;
+        numThreads = program->numThreads();
+        numLocs = program->config().numLocations;
+        numLoads = static_cast<std::uint32_t>(program->loads().size());
+        numLines = program->numLines();
+        if (!flatValid || program->fingerprint() != flatFingerprint ||
+            cfg->model != flatModel) {
+            flat.build(program_arg,
+                       orderTableCache().get(program_arg, cfg->model));
+            flatFingerprint = program->fingerprint();
+            flatModel = cfg->model;
+            flatValid = true;
+        }
+
+        rngs.assign(lanes, nullptr);
+        outs.assign(lanes, nullptr);
+        mem.resize(static_cast<std::size_t>(lanes) * numLocs);
+        completion.reset(*program, lanes);
+        head.resize(static_cast<std::size_t>(lanes) * numThreads);
+        coreSlot.resize(static_cast<std::size_t>(lanes) * numThreads);
+        completionTime.resize(static_cast<std::size_t>(lanes) *
+                              flat.totalOps);
+        blocked.resize(static_cast<std::size_t>(lanes) * numThreads);
+        remaining.resize(lanes);
+        stepsTaken.resize(lanes);
+        uniformStep.resize(lanes);
+
+        if (cfg->policy == SchedulingPolicy::Timed) {
+            lines.resize(static_cast<std::size_t>(lanes) * numLines);
+            lruStamp.resize(static_cast<std::size_t>(lanes) *
+                            numThreads * numLines);
+            lruCount.resize(static_cast<std::size_t>(lanes) *
+                            numThreads);
+            jitter.resize(static_cast<std::size_t>(lanes) *
+                          flat.totalOps);
+            predIssue.resize(static_cast<std::size_t>(lanes) *
+                             flat.totalOps);
+            candComplete.resize(static_cast<std::size_t>(lanes) *
+                                flat.totalOps);
+            candIssue.resize(static_cast<std::size_t>(lanes) *
+                             flat.totalOps);
+            latCache.resize(static_cast<std::size_t>(lanes) *
+                            flat.totalOps);
+            bestTime.resize(static_cast<std::size_t>(lanes) *
+                            numThreads);
+            bestIssue.resize(static_cast<std::size_t>(lanes) *
+                             numThreads);
+            bestIdx.resize(static_cast<std::size_t>(lanes) *
+                           numThreads);
+            bestValid.resize(static_cast<std::size_t>(lanes) *
+                             numThreads);
+        } else {
+            eligibleScratch.reserve(
+                static_cast<std::size_t>(numThreads) *
+                cfg->reorderWindow);
+        }
+        if (cfg->bug != BugKind::None)
+            history.resize(static_cast<std::size_t>(lanes) * numLocs);
+        activeLanes.reserve(lanes);
+    }
+
+    /**
+     * Reinitialize one lane's span of every array, replaying the
+     * scalar engine's construction order exactly: state refill, the
+     * per-thread start-skew draws, then (Timed) the initial
+     * recomputeBest pass whose lazily-drawn jitter consumes the lane
+     * stream in (tid, idx) eligibility-scan order. rngs[lane] and
+     * outs[lane] must be bound before the call.
+     */
+    void
+    resetLane(std::uint32_t lane)
+    {
+        std::fill_n(mem.begin() + laneLoc(lane, 0), numLocs,
+                    kInitValue);
+        completion.resetLane(lane);
+        std::fill_n(completionTime.begin() +
+                        static_cast<std::ptrdiff_t>(laneOp(lane)),
+                    flat.totalOps, std::uint64_t(0));
+        std::fill_n(head.begin() + laneThread(lane, 0), numThreads,
+                    std::uint32_t(0));
+        std::fill_n(coreSlot.begin() + laneThread(lane, 0), numThreads,
+                    std::uint64_t(0));
+        std::fill_n(blocked.begin() + laneThread(lane, 0), numThreads,
+                    std::uint8_t(0));
+        remaining[lane] = flat.totalOps;
+        stepsTaken[lane] = 0;
+        uniformStep[lane] = 0;
+
+        Execution &out = *outs[lane];
+        out.loadValues.assign(numLoads, kInitValue);
+        out.duration = 0;
+        if (cfg->exportCoherenceOrder) {
+            out.coherenceOrder.resize(numLocs);
+            for (auto &per_loc : out.coherenceOrder)
+                per_loc.clear();
+        } else {
+            out.coherenceOrder.clear();
+        }
+
+        if (cfg->policy == SchedulingPolicy::Timed) {
+            std::fill_n(lines.begin() + laneLine(lane, 0), numLines,
+                        Line{});
+            std::fill_n(lruStamp.begin() +
+                            laneThread(lane, 0) * numLines,
+                        static_cast<std::size_t>(numThreads) * numLines,
+                        kNever);
+            std::fill_n(lruCount.begin() + laneThread(lane, 0),
+                        numThreads, std::uint32_t(0));
+            std::fill_n(jitter.begin() +
+                            static_cast<std::ptrdiff_t>(laneOp(lane)),
+                        flat.totalOps, kNever);
+            std::fill_n(predIssue.begin() +
+                            static_cast<std::ptrdiff_t>(laneOp(lane)),
+                        flat.totalOps, kNever);
+            std::fill_n(candComplete.begin() +
+                            static_cast<std::ptrdiff_t>(laneOp(lane)),
+                        flat.totalOps, kNever);
+            std::fill_n(bestTime.begin() + laneThread(lane, 0),
+                        numThreads, kNever);
+            std::fill_n(bestIssue.begin() + laneThread(lane, 0),
+                        numThreads, std::uint64_t(0));
+            std::fill_n(bestIdx.begin() + laneThread(lane, 0),
+                        numThreads, std::uint32_t(0));
+            std::fill_n(bestValid.begin() + laneThread(lane, 0),
+                        numThreads, std::uint8_t(0));
+            Rng &rng = *rngs[lane];
+            for (std::uint32_t tid = 0; tid < numThreads; ++tid) {
+                coreSlot[laneThread(lane, tid)] =
+                    rng.nextBelow(cfg->timing.startSkewMax + 1);
+            }
+        }
+        if (cfg->bug != BugKind::None) {
+            for (std::uint32_t loc = 0; loc < numLocs; ++loc)
+                history[laneLoc(lane, loc)].clear();
+        }
+        if (cfg->policy == SchedulingPolicy::Timed) {
+            for (std::uint32_t tid = 0; tid < numThreads; ++tid)
+                recomputeBest(lane, tid, nullptr);
+        }
+    }
+
+    // --- Shared primitives (both policies) ----------------------------
+
+    /**
+     * Polled once per scheduler step per lane: abandon the run when
+     * the watchdog fired, and enter the injected infinite stall when
+     * the drill's step budget is reached.
+     */
+    void
+    checkLiveness(std::uint32_t lane)
+    {
+        ++stepsTaken[lane];
+        if (cancel && cancel->stopRequested()) {
+            throw TestHungError(
+                "run abandoned by watchdog: test deadline expired");
+        }
+        if (cfg->stallAfterSteps &&
+            stepsTaken[lane] >= cfg->stallAfterSteps) {
+            // A non-cooperative wedge never looks at the token:
+            // recovery then requires killing the process, which is
+            // exactly what the sandbox's hard deadline drills.
+            stallUntilCancelled(cfg->stallIgnoresCancel ? nullptr
+                                                        : cancel);
+        }
+    }
+
+    /**
+     * Value forwarded from the latest po-earlier same-location store
+     * of the same thread, O(1) via the precomputed priorStore table.
+     */
+    std::optional<std::uint32_t>
+    forwardedValue(std::uint32_t lane, std::uint32_t tid,
+                   std::uint32_t idx) const
+    {
+        const std::uint32_t base = flat.opOffset[tid];
+        const std::uint32_t prior = flat.priorStore[base + idx];
+        if (prior == kNoPriorStore)
+            return std::nullopt;
+        if (!completion.isCompleted(lane, tid, prior)) {
+            // store-buffer forwarding
+            return flat.opValue[base + prior];
+        }
+        return std::nullopt; // globally visible: read memory
+    }
+
+    void
+    markCompleted(std::uint32_t lane, std::uint32_t tid,
+                  std::uint32_t idx, std::uint64_t time)
+    {
+        completion.markCompleted(lane, tid, idx);
+        completionTime[laneOp(lane) + flat.opOffset[tid] + idx] = time;
+        Execution &out = *outs[lane];
+        out.duration = std::max(out.duration, time);
+        --remaining[lane];
+        const std::uint32_t size =
+            flat.opOffset[tid + 1] - flat.opOffset[tid];
+        std::uint32_t &h = head[laneThread(lane, tid)];
+        while (h < size && completion.isCompleted(lane, tid, h))
+            ++h;
+    }
+
+    void
+    completeStore(std::uint32_t lane, std::uint32_t tid,
+                  std::uint32_t idx, std::uint64_t time)
+    {
+        const std::uint32_t fo = flat.opOffset[tid] + idx;
+        const std::uint32_t loc = flat.opLoc[fo];
+        mem[laneLoc(lane, loc)] = flat.opValue[fo];
+        if (cfg->exportCoherenceOrder)
+            outs[lane]->coherenceOrder[loc].push_back(OpId{tid, idx});
+        if (cfg->bug != BugKind::None) {
+            history[laneLoc(lane, loc)].emplace_back(time,
+                                                     flat.opValue[fo]);
+        }
+        markCompleted(lane, tid, idx, time);
+    }
+
+    void
+    completeLoad(std::uint32_t lane, std::uint32_t tid,
+                 std::uint32_t idx, std::uint64_t time,
+                 std::uint32_t value)
+    {
+        outs[lane]
+            ->loadValues[flat.loadOrdinal[flat.opOffset[tid] + idx]] =
+            value;
+        markCompleted(lane, tid, idx, time);
+    }
+
+    /** Memory value of @p loc as of time @p when (stale-read lookup). */
+    std::uint32_t
+    valueAt(std::uint32_t lane, std::uint32_t loc,
+            std::uint64_t when) const
+    {
+        std::uint32_t value = kInitValue;
+        for (const auto &[time, stored] : history[laneLoc(lane, loc)]) {
+            if (time > when)
+                break;
+            value = stored;
+        }
+        return value;
+    }
+
+    // --- Uniform-random policy ----------------------------------------
+
+    void
+    stepUniform(std::uint32_t lane)
+    {
+        checkLiveness(lane);
+        auto &eligible = eligibleScratch;
+        eligible.clear();
+        const std::uint32_t window = cfg->reorderWindow;
+        for (std::uint32_t tid = 0; tid < numThreads; ++tid) {
+            if (blocked[laneThread(lane, tid)])
+                continue;
+            const std::uint32_t base = flat.opOffset[tid];
+            const std::uint32_t size = flat.opOffset[tid + 1] - base;
+            const std::uint32_t h = head[laneThread(lane, tid)];
+            const std::uint32_t end = std::min(size, h + window);
+            // Rolling window-completion mask: one O(1) bitset grab at
+            // the head, then a shift-and-insert per candidate instead
+            // of a fresh 64-bit window extraction each.
+            std::uint32_t rolling =
+                completion.windowCompleted(lane, tid, h);
+            for (std::uint32_t idx = h; idx < end; ++idx) {
+                const bool done =
+                    completion.isCompleted(lane, tid, idx);
+                const std::uint32_t window_mask = rolling;
+                rolling = (rolling >> 1) |
+                    (std::uint32_t(done) << 31);
+                if (done)
+                    continue;
+                if (flat.requiredPreds[base + idx] & ~window_mask)
+                    continue;
+                eligible.emplace_back(tid, idx);
+            }
+        }
+        if (eligible.empty())
+            throw PlatformError(
+                "uniform executor wedged (internal bug)");
+
+        const auto [tid, idx] =
+            eligible[rngs[lane]->pickIndex(eligible.size())];
+        const std::uint32_t fo = flat.opOffset[tid] + idx;
+        const std::uint64_t step = ++uniformStep[lane];
+        switch (static_cast<OpKind>(flat.opKind[fo])) {
+          case OpKind::Store:
+            completeStore(lane, tid, idx, step);
+            break;
+          case OpKind::Load: {
+            auto forwarded = forwardedValue(lane, tid, idx);
+            completeLoad(lane, tid, idx, step,
+                         forwarded ? *forwarded
+                                   : mem[laneLoc(lane,
+                                                 flat.opLoc[fo])]);
+            break;
+          }
+          case OpKind::Fence:
+            markCompleted(lane, tid, idx, step);
+            break;
+        }
+    }
+
+    // --- Timed (silicon-like) policy ----------------------------------
+
+    bool
+    resident(std::uint32_t tid, const Line &line) const
+    {
+        return line.owner == static_cast<std::int32_t>(tid) ||
+            ((line.sharers >> tid) & 1);
+    }
+
+    bool
+    bugGate(std::uint32_t lane)
+    {
+        return rngs[lane]->nextBool(cfg->bugProbability);
+    }
+
+    std::uint64_t
+    opJitter(std::uint32_t lane, std::uint32_t tid, std::uint32_t idx)
+    {
+        std::uint64_t &cached =
+            jitter[laneOp(lane) + flat.opOffset[tid] + idx];
+        if (cached == kNever) {
+            const TimingParams &timing = cfg->timing;
+            cached = rngs[lane]->nextBool(timing.jitterProbability)
+                ? 1 + rngs[lane]->nextBelow(timing.jitterMax)
+                : 0;
+        }
+        return cached;
+    }
+
+    /** This lane+core's flat LRU timestamp row. */
+    std::uint64_t *
+    coreLru(std::uint32_t lane, std::uint32_t tid)
+    {
+        return lruStamp.data() + laneThread(lane, tid) * numLines;
+    }
+
+    /** Drop @p line_idx from @p tid's LRU (no-op when not resident). */
+    void
+    lruErase(std::uint32_t lane, std::uint32_t tid,
+             std::uint32_t line_idx)
+    {
+        std::uint64_t &stamp = coreLru(lane, tid)[line_idx];
+        if (stamp != kNever) {
+            stamp = kNever;
+            --lruCount[laneThread(lane, tid)];
+        }
+    }
+
+    /**
+     * Max of the required predecessors' completion times, cached per
+     * op: only eligible ops are evaluated, and an eligible op's
+     * predecessors are all complete with final times.
+     */
+    std::uint64_t
+    predMaxOf(std::uint32_t lane, std::uint32_t tid, std::uint32_t idx)
+    {
+        const std::uint32_t base = flat.opOffset[tid];
+        const std::uint32_t fo = base + idx;
+        std::uint64_t pred_max = predIssue[laneOp(lane) + fo];
+        if (pred_max == kNever) {
+            pred_max = 0;
+            std::uint32_t preds = flat.requiredPreds[fo];
+            const std::uint64_t *lane_times =
+                completionTime.data() + laneOp(lane) + base;
+            while (preds) {
+                const int b = __builtin_ctz(preds);
+                preds &= preds - 1;
+                const std::int64_t j =
+                    static_cast<std::int64_t>(idx) - 32 + b;
+                if (j >= 0)
+                    pred_max = std::max(pred_max, lane_times[j]);
+            }
+            predIssue[laneOp(lane) + fo] = pred_max;
+        }
+        return pred_max;
+    }
+
+    /** Issue-independent candidate latency: issue cost + the memory
+     * system's residency-dependent cost + the op's (cached) jitter. */
+    std::uint64_t
+    computeLatency(std::uint32_t lane, std::uint32_t tid,
+                   std::uint32_t idx)
+    {
+        const std::uint32_t fo = flat.opOffset[tid] + idx;
+        const TimingParams &timing = cfg->timing;
+        std::uint64_t latency = timing.issueCost;
+        const OpKind kind = static_cast<OpKind>(flat.opKind[fo]);
+        if (kind != OpKind::Fence) {
+            const Line &line = lines[laneLine(lane, flat.opLine[fo])];
+            if (kind == OpKind::Load) {
+                if (resident(tid, line))
+                    latency += timing.hitLatency;
+                else if (line.owner >= 0)
+                    latency += timing.transferLatency;
+                else
+                    latency += timing.missLatency;
+            } else {
+                if (line.owner == static_cast<std::int32_t>(tid)) {
+                    latency += timing.hitLatency;
+                } else if (resident(tid, line)) {
+                    latency += timing.upgradeLatency;
+                } else if (line.owner >= 0) {
+                    latency += timing.transferLatency;
+                } else {
+                    latency += timing.missLatency;
+                    // Other sharers must also be invalidated.
+                    if (line.sharers != 0)
+                        latency += timing.upgradeLatency;
+                }
+            }
+        }
+        latency += opJitter(lane, tid, idx);
+        return latency;
+    }
+
+    /**
+     * Re-scan @p tid's reorder window, refresh its per-op candidate
+     * caches, and cache its best candidate. Runs after the thread's
+     * own performs (which shift its window, complete ops, and move
+     * its core slot) and at lane seeding; lazily draws jitter for
+     * newly eligible ops in idx order, exactly as the full-rescan
+     * engine did.
+     */
+    void
+    recomputeBest(std::uint32_t lane, std::uint32_t tid,
+                  const DirtySet *dirty)
+    {
+        const std::uint32_t base = flat.opOffset[tid];
+        const std::uint32_t size = flat.opOffset[tid + 1] - base;
+        const std::uint32_t h = head[laneThread(lane, tid)];
+        const std::uint32_t end =
+            std::min(size, h + cfg->reorderWindow);
+        std::uint64_t best_time = kNever;
+        std::uint64_t best_issue = 0;
+        std::uint32_t best_idx = 0;
+        bool found = false;
+        if (!blocked[laneThread(lane, tid)]) {
+            const std::uint64_t core_slot =
+                coreSlot[laneThread(lane, tid)];
+            std::uint64_t *lane_cc =
+                candComplete.data() + laneOp(lane);
+            std::uint64_t *lane_ci = candIssue.data() + laneOp(lane);
+            std::uint64_t *lane_lat = latCache.data() + laneOp(lane);
+            std::uint32_t rolling =
+                completion.windowCompleted(lane, tid, h);
+            for (std::uint32_t idx = h; idx < end; ++idx) {
+                const bool done =
+                    completion.isCompleted(lane, tid, idx);
+                const std::uint32_t window_mask = rolling;
+                rolling = (rolling >> 1) |
+                    (std::uint32_t(done) << 31);
+                const std::uint32_t fo = base + idx;
+                if (done ||
+                    (flat.requiredPreds[fo] & ~window_mask)) {
+                    lane_cc[fo] = kNever;
+                    continue;
+                }
+                // First candidacy computes the latency (drawing the
+                // op's jitter); the own perform's dirty lines force a
+                // re-derivation; everything else reuses the cache.
+                std::uint64_t lat;
+                if (lane_cc[fo] == kNever ||
+                    (dirty && dirty->contains(flat.opLine[fo]))) {
+                    lat = computeLatency(lane, tid, idx);
+                    lane_lat[fo] = lat;
+                } else {
+                    lat = lane_lat[fo];
+                }
+                const std::uint64_t issue =
+                    std::max(core_slot, predMaxOf(lane, tid, idx));
+                const std::uint64_t completes = issue + lat;
+                lane_cc[fo] = completes;
+                lane_ci[fo] = issue;
+                // Strict < keeps the earliest idx on a tie,
+                // reproducing the full scan's (tid, idx) preference.
+                if (completes < best_time) {
+                    best_time = completes;
+                    best_issue = issue;
+                    best_idx = idx;
+                    found = true;
+                }
+            }
+        }
+        const std::size_t lt = laneThread(lane, tid);
+        bestTime[lt] = best_time;
+        bestIssue[lt] = best_issue;
+        bestIdx[lt] = best_idx;
+        bestValid[lt] = found ? 1 : 0;
+    }
+
+    /**
+     * Re-time exactly the window candidates of @p tid sitting on a
+     * cache line the last perform mutated, leaving the rest cached —
+     * another thread's eligibility, core slot, and predecessor times
+     * cannot have changed, only latencies through those ≤2 lines.
+     * Draws nothing: every current candidate's jitter was drawn when
+     * it first became eligible (its own thread's recompute), so this
+     * refresh is invisible to the RNG stream, like the full-window
+     * rescan it replaces.
+     */
+    void
+    refreshDirty(std::uint32_t lane, std::uint32_t tid,
+                 const DirtySet &dirty)
+    {
+        if (blocked[laneThread(lane, tid)])
+            return;
+        const std::uint32_t base = flat.opOffset[tid];
+        const std::uint32_t size = flat.opOffset[tid + 1] - base;
+        const std::uint32_t h = head[laneThread(lane, tid)];
+        const std::uint32_t end =
+            std::min(size, h + cfg->reorderWindow);
+        std::uint64_t *lane_cc = candComplete.data() + laneOp(lane);
+        std::uint64_t *lane_ci = candIssue.data() + laneOp(lane);
+        std::uint64_t *lane_lat = latCache.data() + laneOp(lane);
+        bool changed = false;
+        for (std::uint32_t idx = h; idx < end; ++idx) {
+            const std::uint32_t fo = base + idx;
+            if (lane_cc[fo] == kNever)
+                continue;
+            if (!dirty.contains(flat.opLine[fo]))
+                continue;
+            // Issue inputs (core slot, predecessors) are untouched by
+            // another thread's perform: only the latency re-derives.
+            const std::uint64_t lat = computeLatency(lane, tid, idx);
+            lane_lat[fo] = lat;
+            lane_cc[fo] = lane_ci[fo] + lat;
+            changed = true;
+        }
+        if (!changed)
+            return;
+        std::uint64_t best_time = kNever;
+        std::uint64_t best_issue = 0;
+        std::uint32_t best_idx = 0;
+        bool found = false;
+        for (std::uint32_t idx = h; idx < end; ++idx) {
+            const std::uint64_t completes = lane_cc[base + idx];
+            if (completes < best_time) {
+                best_time = completes;
+                best_issue = lane_ci[base + idx];
+                best_idx = idx;
+                found = true;
+            }
+        }
+        const std::size_t lt = laneThread(lane, tid);
+        bestTime[lt] = best_time;
+        bestIssue[lt] = best_issue;
+        bestIdx[lt] = best_idx;
+        bestValid[lt] = found ? 1 : 0;
+    }
+
+    /** Touch the LRU and evict over-capacity lines for @p tid. */
+    void
+    touchLine(std::uint32_t lane, std::uint32_t tid,
+              std::uint32_t line_idx, std::uint64_t now,
+              DirtySet &dirty)
+    {
+        const std::uint32_t capacity = cfg->timing.cacheLines;
+        std::uint64_t *stamps = coreLru(lane, tid);
+        std::uint32_t &count = lruCount[laneThread(lane, tid)];
+        if (stamps[line_idx] == kNever)
+            ++count;
+        stamps[line_idx] = now;
+        if (capacity == 0 || count <= capacity)
+            return;
+
+        // Evict the least-recently-used other line (lowest line index
+        // on a timestamp tie).
+        std::uint32_t victim = line_idx;
+        std::uint64_t oldest = kNever;
+        for (std::uint32_t l = 0; l < numLines; ++l) {
+            if (l != line_idx && stamps[l] < oldest) {
+                oldest = stamps[l];
+                victim = l;
+            }
+        }
+        stamps[victim] = kNever;
+        --count;
+        dirty.add(victim); // owner/sharers change below
+        Line &line = lines[laneLine(lane, victim)];
+        if (line.owner == static_cast<std::int32_t>(tid)) {
+            // Dirty eviction: writeback (PUTX). Values are already in
+            // memory in this model; record the event for the bug-3
+            // race window.
+            line.owner = -1;
+            line.lastEvictTime = now;
+            line.everEvicted = true;
+        }
+        line.sharers &= ~(std::uint32_t(1) << tid);
+    }
+
+    /** Does thread @p tid have an incomplete po-earlier store to the
+     * same cache line as the load at @p idx (S->M upgrade in flight)? */
+    bool
+    upgradeInFlight(std::uint32_t lane, std::uint32_t tid,
+                    std::uint32_t idx, std::uint32_t line_idx) const
+    {
+        const std::uint32_t base = flat.opOffset[tid];
+        for (std::uint32_t i = head[laneThread(lane, tid)]; i < idx;
+             ++i) {
+            if (!completion.isCompleted(lane, tid, i) &&
+                static_cast<OpKind>(flat.opKind[base + i]) ==
+                    OpKind::Store &&
+                flat.opLine[base + i] == line_idx) {
+                return true;
+            }
+        }
+        return false;
+    }
+
+    void
+    perform(std::uint32_t lane, std::uint32_t tid, std::uint32_t idx,
+            std::uint64_t issue, std::uint64_t now, DirtySet &dirty)
+    {
+        const std::uint32_t fo = flat.opOffset[tid] + idx;
+        const OpKind kind = static_cast<OpKind>(flat.opKind[fo]);
+        const TimingParams &timing = cfg->timing;
+        std::uint64_t &core_slot = coreSlot[laneThread(lane, tid)];
+
+        if (kind == OpKind::Fence) {
+            markCompleted(lane, tid, idx, now);
+            core_slot = std::max(core_slot, issue) + timing.issueCost;
+            return;
+        }
+
+        const std::uint32_t loc = flat.opLoc[fo];
+        const std::uint32_t line_idx = flat.opLine[fo];
+        Line &line = lines[laneLine(lane, line_idx)];
+        dirty.add(line_idx);
+
+        // Bug 3: the ownership-transfer request raced with the owner's
+        // writeback and got lost; the requester spins forever.
+        if (cfg->bug == BugKind::PutxGetxRace &&
+            !resident(tid, line) && line.everEvicted &&
+            line.lastEvictTime > issue && bugGate(lane)) {
+            blocked[laneThread(lane, tid)] = 1;
+            return;
+        }
+
+        if (kind == OpKind::Store) {
+            // Invalidate all other copies; take ownership.
+            if (line.owner >= 0 &&
+                line.owner != static_cast<std::int32_t>(tid)) {
+                lruErase(lane, static_cast<std::uint32_t>(line.owner),
+                         line_idx);
+            }
+            for (std::uint32_t other = 0; other < numThreads;
+                 ++other) {
+                if (other != tid && ((line.sharers >> other) & 1))
+                    lruErase(lane, other, line_idx);
+            }
+            line.owner = static_cast<std::int32_t>(tid);
+            line.sharers = std::uint32_t(1) << tid;
+            line.lastStoreTime = now;
+            line.lastStoreTid = static_cast<std::int32_t>(tid);
+            touchLine(lane, tid, line_idx, now, dirty);
+            completeStore(lane, tid, idx, now);
+        } else {
+            std::uint32_t value;
+            auto forwarded = forwardedValue(lane, tid, idx);
+            if (forwarded) {
+                value = *forwarded;
+            } else {
+                value = mem[laneLoc(lane, loc)];
+
+                // Bugs 1/2: a remote store invalidated this line while
+                // the load was in flight, but the load is not squashed
+                // and returns the stale value it snooped at issue.
+                const bool remote_inval = line.lastStoreTid >= 0 &&
+                    line.lastStoreTid !=
+                        static_cast<std::int32_t>(tid) &&
+                    line.lastStoreTime > issue;
+                if (remote_inval && cfg->bug != BugKind::None) {
+                    const bool fire =
+                        (cfg->bug == BugKind::LsqNoSquash ||
+                         (cfg->bug == BugKind::StaleLoadOnUpgrade &&
+                          upgradeInFlight(lane, tid, idx,
+                                          line_idx))) &&
+                        bugGate(lane);
+                    if (fire)
+                        value = valueAt(lane, loc, issue);
+                }
+            }
+
+            // Owner (if another core) is downgraded to shared.
+            if (line.owner >= 0 &&
+                line.owner != static_cast<std::int32_t>(tid)) {
+                line.sharers |= std::uint32_t(1) << line.owner;
+                line.owner = -1;
+            }
+            line.sharers |= std::uint32_t(1) << tid;
+            touchLine(lane, tid, line_idx, now, dirty);
+            completeLoad(lane, tid, idx, now, value);
+        }
+
+        core_slot = std::max(core_slot, issue) + timing.issueCost;
+
+        // OS-interference mode: occasionally the scheduler preempts
+        // the core, stalling its subsequent issues for a full slice.
+        if (timing.preemptProbability > 0.0 &&
+            rngs[lane]->nextBool(timing.preemptProbability)) {
+            core_slot += timing.preemptSlice;
+        }
+    }
+
+    void
+    stepTimed(std::uint32_t lane)
+    {
+        checkLiveness(lane);
+        const std::uint64_t *lane_best = bestTime.data() +
+            laneThread(lane, 0);
+        const std::uint8_t *lane_valid = bestValid.data() +
+            laneThread(lane, 0);
+        std::uint32_t best_tid = 0;
+        std::uint64_t best_time = kNever;
+        bool found = false;
+        // Deterministic tie-break (lowest thread id / oldest op):
+        // silicon arbitration is stable, so equal-latency races
+        // repeat the same winner.
+        for (std::uint32_t tid = 0; tid < numThreads; ++tid) {
+            if (lane_valid[tid] && lane_best[tid] < best_time) {
+                best_time = lane_best[tid];
+                best_tid = tid;
+                found = true;
+            }
+        }
+        if (!found) {
+            // Only blocked threads have work left: the injected
+            // protocol race wedged the platform.
+            throw ProtocolDeadlockError(
+                "coherence request lost (PUTX/GETX race): platform "
+                "deadlocked");
+        }
+
+        DirtySet dirty;
+        perform(lane, best_tid, bestIdx[laneThread(lane, best_tid)],
+                bestIssue[laneThread(lane, best_tid)], best_time,
+                dirty);
+
+        // Eligibility and issue-time inputs are strictly intra-thread,
+        // so only the performing thread's candidate set changed — and
+        // its recompute runs first, drawing jitter for newly eligible
+        // ops in idx order, matching the full rescan's draw sequence.
+        // Other threads are affected only through the cache lines this
+        // perform mutated; their dirty refresh draws nothing.
+        recomputeBest(lane, best_tid, &dirty);
+        if (dirty.n != 0) {
+            for (std::uint32_t tid = 0; tid < numThreads; ++tid) {
+                if (tid != best_tid)
+                    refreshDirty(lane, tid, dirty);
+            }
+        }
+    }
+
+    // --- Lockstep dispatch --------------------------------------------
+
+    /**
+     * Advance every lane in activeLanes one step per round until all
+     * retire. With @p capture set, per-lane faults become LaneStatus
+     * entries (crash retires one lane; a hang retires them all);
+     * without it (the scalar path) they propagate as the exceptions
+     * scalar runInto() documents. Retirement swaps the last active
+     * lane into the vacated slot, so each round still steps every
+     * remaining lane exactly once.
+     */
+    void
+    runLanes(LaneStatus *status, BatchRunArena *capture)
+    {
+        auto drive = [&](auto step) {
+            auto &active = activeLanes;
+            while (!active.empty()) {
+                for (std::size_t i = 0; i < active.size();) {
+                    const std::uint32_t lane = active[i];
+                    if (remaining[lane] == 0) {
+                        status[lane] = LaneStatus::Completed;
+                        active[i] = active.back();
+                        active.pop_back();
+                        continue;
+                    }
+                    if (capture) {
+                        try {
+                            step(lane);
+                        } catch (const TestHungError &err) {
+                            capture->recordHang(err.what());
+                            // A lane that already performed its last
+                            // op is complete even if it has not been
+                            // retired from the active list yet; only
+                            // genuinely unfinished lanes are abandoned.
+                            for (std::uint32_t pending : active) {
+                                if (remaining[pending] != 0)
+                                    status[pending] = LaneStatus::Hung;
+                            }
+                            active.clear();
+                            return;
+                        } catch (const ProtocolDeadlockError &err) {
+                            capture->recordCrash(lane, err.what());
+                            status[lane] = LaneStatus::Crashed;
+                            active[i] = active.back();
+                            active.pop_back();
+                            continue;
+                        }
+                    } else {
+                        step(lane);
+                    }
+                    ++i;
+                }
+            }
+        };
+        if (cfg->policy == SchedulingPolicy::UniformRandom) {
+            drive([&](std::uint32_t lane) { stepUniform(lane); });
+        } else {
+            drive([&](std::uint32_t lane) { stepTimed(lane); });
+        }
+    }
+};
 
 } // anonymous namespace
 
@@ -770,17 +1102,58 @@ OperationalExecutor::runInto(const TestProgram &program, Rng &rng,
         ::raise(cfg.dieSignal);
     if (cfg.leakAfterRuns && runsStarted == cfg.leakAfterRuns)
         allocationBomb();
-    const OrderTable &order = orderTableCache().get(program, cfg.model);
-    RunState &state = arena.stateAs<RunState>();
-    state.reset(program, cfg, order, rng, arena.execution);
+
+    // The scalar run is the batch engine at one lane: faults
+    // propagate as exceptions instead of lane statuses.
+    BatchState &state = arena.stateAs<BatchState>();
+    state.bind(program, cfg, 1);
     state.cancel = cancel;
-    state.stepsTaken = 0;
-    if (cfg.policy == SchedulingPolicy::UniformRandom) {
-        runUniform(state);
-    } else {
-        TimedEngine engine(state);
-        engine.run();
+    state.rngs[0] = &rng;
+    state.outs[0] = &arena.execution;
+    state.resetLane(0);
+    state.activeLanes.clear();
+    state.activeLanes.push_back(0);
+    LaneStatus status = LaneStatus::Completed;
+    state.runLanes(&status, nullptr);
+}
+
+void
+OperationalExecutor::runBatchInto(const TestProgram &program, Rng *rngs,
+                                  std::uint32_t num_lanes,
+                                  BatchRunArena &batch,
+                                  const CancellationToken *cancel,
+                                  LaneStatus *status)
+{
+    batch.beginBatch(num_lanes);
+    BatchState &state = batch.stateAs<BatchState>();
+    state.bind(program, cfg, num_lanes);
+    state.cancel = cancel;
+    state.activeLanes.clear();
+    for (std::uint32_t lane = 0; lane < num_lanes; ++lane) {
+        // Per-lane drill clock: lane k of a batch is run number
+        // runsStarted+k, exactly as the scalar loop would count it,
+        // and a crash drill fires before the lane consumes any state
+        // or RNG draw (the scalar throw point).
+        ++runsStarted;
+        if (cfg.crashOnRun && runsStarted == cfg.crashOnRun) {
+            batch.recordCrash(
+                lane,
+                "crash drill: scheduled platform crash on run " +
+                    std::to_string(runsStarted));
+            status[lane] = LaneStatus::Crashed;
+            continue;
+        }
+        if (cfg.dieAfterRuns && runsStarted == cfg.dieAfterRuns)
+            ::raise(cfg.dieSignal);
+        if (cfg.leakAfterRuns && runsStarted == cfg.leakAfterRuns)
+            allocationBomb();
+        state.rngs[lane] = &rngs[lane];
+        state.outs[lane] = &batch.executions[lane];
+        state.resetLane(lane);
+        status[lane] = LaneStatus::Completed; // until proven otherwise
+        state.activeLanes.push_back(lane);
     }
+    state.runLanes(status, &batch);
 }
 
 ExecutorConfig

@@ -39,6 +39,14 @@ class OperationalExecutor : public Platform
     void runInto(const TestProgram &program, Rng &rng, RunArena &arena,
                  const CancellationToken *cancel) override;
 
+    /** Lockstep batch engine: B lanes advance through one shared
+     * instruction-dispatch loop over lane-contiguous SoA run state,
+     * bit-identical per lane to scalar runInto() (see executor.cc). */
+    void runBatchInto(const TestProgram &program, Rng *rngs,
+                      std::uint32_t num_lanes, BatchRunArena &batch,
+                      const CancellationToken *cancel,
+                      LaneStatus *status) override;
+
   private:
     ExecutorConfig cfg;
 

@@ -21,10 +21,14 @@
 #ifndef MTC_SIM_PLATFORM_H
 #define MTC_SIM_PLATFORM_H
 
+#include <cstdint>
 #include <memory>
+#include <string>
 #include <utility>
+#include <vector>
 
 #include "support/cancellation.h"
+#include "support/error.h"
 #include "support/rng.h"
 #include "testgen/execution.h"
 #include "testgen/test_program.h"
@@ -73,6 +77,96 @@ class RunArena
     std::unique_ptr<State> slot;
 };
 
+/** Terminal state of one lane of a batched execution. */
+enum class LaneStatus : std::uint8_t
+{
+    /** The lane ran to completion; its Execution slot is valid. */
+    Completed,
+
+    /** The lane's platform run crashed (injected protocol deadlock or
+     * crash drill); BatchRunArena::crashMessage(lane) says why. The
+     * lane's Execution slot is unspecified; other lanes are
+     * unaffected. */
+    Crashed,
+
+    /** The lane was abandoned: the cancellation token fired (or a
+     * stall drill wedged the batch) while it was still active. Lanes
+     * that had already completed keep their results. */
+    Hung,
+};
+
+/**
+ * Reusable storage for a batch of B lockstep runs of one program: one
+ * Execution output buffer per lane, per-lane crash/hang diagnostics,
+ * and an opaque slot where the platform parks its lane-contiguous
+ * structure-of-arrays run state between batches. Like RunArena, one
+ * batch arena serves one platform at a time, and reusing it across
+ * batches keeps the steady-state loop allocation-free.
+ */
+class BatchRunArena
+{
+  public:
+    /** Per-lane output buffers; sized by the platform on each run. */
+    std::vector<Execution> executions;
+
+    /** Why a Crashed lane crashed (empty for other statuses). */
+    const std::string &
+    crashMessage(std::uint32_t lane) const
+    {
+        return crashMessages.at(lane);
+    }
+
+    /** Why the batch's Hung lanes were abandoned (the message the
+     * scalar path would have thrown as TestHungError). */
+    const std::string &hangMessage() const { return hangText; }
+
+    /** Platform-private persistent state (see RunArena::stateAs). */
+    template <typename T>
+    T &
+    stateAs()
+    {
+        T *typed = dynamic_cast<T *>(slot.get());
+        if (!typed) {
+            auto owned = std::make_unique<T>();
+            typed = owned.get();
+            slot = std::move(owned);
+        }
+        return *typed;
+    }
+
+    /** Diagnostic bookkeeping the executing platform maintains. */
+    void
+    beginBatch(std::uint32_t lanes)
+    {
+        executions.resize(lanes);
+        crashMessages.resize(lanes);
+        for (std::uint32_t i = 0; i < lanes; ++i)
+            crashMessages[i].clear();
+        hangText.clear();
+    }
+
+    void
+    recordCrash(std::uint32_t lane, std::string message)
+    {
+        crashMessages[lane] = std::move(message);
+    }
+
+    void
+    recordHang(std::string message)
+    {
+        hangText = std::move(message);
+    }
+
+    /** Scratch arena for the generic (scalar-loop) fallback path. */
+    RunArena &fallbackArena() { return scratch; }
+
+  private:
+    std::unique_ptr<RunArena::State> slot;
+    std::vector<std::string> crashMessages;
+    std::string hangText;
+    RunArena scratch;
+};
+
 /** A platform that can execute test programs. */
 class Platform
 {
@@ -119,6 +213,50 @@ class Platform
     virtual void runInto(const TestProgram &program, Rng &rng,
                          RunArena &arena,
                          const CancellationToken *cancel) = 0;
+
+    /**
+     * Execute @p num_lanes independent runs of @p program as one
+     * batch. Lane i consumes `rngs[i]` draw-for-draw exactly as a
+     * scalar runInto() with that stream would — batched and scalar
+     * execution are bit-identical per lane — and leaves its result in
+     * `batch.executions[i]`.
+     *
+     * Failures are reported per lane through @p status instead of
+     * thrown: a crashed lane (injected deadlock, crash drill) is
+     * marked Crashed with its message in batch.crashMessage(lane) and
+     * the remaining lanes keep running; when the cancellation token
+     * fires, every still-active lane is marked Hung (completed lanes
+     * keep their results and status) and the batch returns. Hard
+     * failures that are not per-lane semantics — real fatal signals,
+     * allocation bombs, internal PlatformErrors — still propagate.
+     *
+     * The base implementation is a sequential per-lane loop over
+     * runInto(), so every platform gets correct batched semantics;
+     * platforms with a lockstep engine override it.
+     */
+    virtual void
+    runBatchInto(const TestProgram &program, Rng *rngs,
+                 std::uint32_t num_lanes, BatchRunArena &batch,
+                 const CancellationToken *cancel, LaneStatus *status)
+    {
+        batch.beginBatch(num_lanes);
+        RunArena &scratch = batch.fallbackArena();
+        for (std::uint32_t i = 0; i < num_lanes; ++i) {
+            try {
+                runInto(program, rngs[i], scratch, cancel);
+                std::swap(batch.executions[i], scratch.execution);
+                status[i] = LaneStatus::Completed;
+            } catch (const TestHungError &err) {
+                batch.recordHang(err.what());
+                for (std::uint32_t j = i; j < num_lanes; ++j)
+                    status[j] = LaneStatus::Hung;
+                return;
+            } catch (const ProtocolDeadlockError &err) {
+                batch.recordCrash(i, err.what());
+                status[i] = LaneStatus::Crashed;
+            }
+        }
+    }
 };
 
 } // namespace mtc

@@ -9,6 +9,8 @@ phaseName(Phase phase)
     switch (phase) {
       case Phase::Instrument:
         return "instrument";
+      case Phase::BatchDispatch:
+        return "batch-dispatch";
       case Phase::Execute:
         return "execute";
       case Phase::Encode:

@@ -29,17 +29,18 @@ namespace mtc
 /** Pipeline phases of one flow run (see ValidationFlow::runTest). */
 enum class Phase : std::uint8_t
 {
-    Instrument, ///< static analysis + plan + codec construction
-    Execute,    ///< platform run (per iteration)
-    Encode,     ///< signature encoding + perturbation model
-    Accumulate, ///< readout faults + hash accumulation
-    SortUnique, ///< final sort of the unique signatures
-    Decode,     ///< decode + observed-edge derivation
-    Check,      ///< collective (+ conventional) checking + witness
-    Confirm,    ///< K-re-execution confirmation
+    Instrument,    ///< static analysis + plan + codec construction
+    BatchDispatch, ///< lane-seed derivation + batch bookkeeping
+    Execute,       ///< platform run (per batch dispatch)
+    Encode,        ///< signature encoding + perturbation model
+    Accumulate,    ///< readout faults + hash accumulation
+    SortUnique,    ///< final sort of the unique signatures
+    Decode,        ///< decode + observed-edge derivation
+    Check,         ///< collective (+ conventional) checking + witness
+    Confirm,       ///< K-re-execution confirmation
 };
 
-constexpr std::size_t kPhaseCount = 8;
+constexpr std::size_t kPhaseCount = 9;
 
 /** Short stable name of a phase ("execute", "encode", ...). */
 const char *phaseName(Phase phase);

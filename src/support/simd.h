@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Optional explicit-SIMD kernels for the signature hot loops, gated
+ * by the MTC_SIMD CMake toggle. Every kernel has a scalar fallback
+ * with bit-identical results — SIMD here only changes how fast the
+ * same answer is found, never the answer — so MTC_SIMD=ON builds and
+ * default builds produce identical signatures, benches, and tests.
+ */
+
+#ifndef MTC_SUPPORT_SIMD_H
+#define MTC_SUPPORT_SIMD_H
+
+#include <cstdint>
+
+#if defined(MTC_SIMD) && defined(__SSE2__)
+#include <emmintrin.h>
+#elif defined(MTC_SIMD) && defined(__ARM_NEON)
+#include <arm_neon.h>
+#endif
+
+namespace mtc
+{
+
+/**
+ * Index of the first element of [data, data+n) equal to @p value, or
+ * @p n when absent — the branch-chain candidate scan of encodeInto,
+ * where "first" matters because the comparison count it implies feeds
+ * the Figure-10 perturbation model.
+ */
+inline std::uint32_t
+firstIndexOfU32(const std::uint32_t *data, std::uint32_t n,
+                std::uint32_t value)
+{
+#if defined(MTC_SIMD) && defined(__SSE2__)
+    const __m128i needle = _mm_set1_epi32(static_cast<int>(value));
+    std::uint32_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m128i chunk = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(data + i));
+        const int mask =
+            _mm_movemask_epi8(_mm_cmpeq_epi32(chunk, needle));
+        if (mask) {
+            return i +
+                (static_cast<std::uint32_t>(__builtin_ctz(mask)) >> 2);
+        }
+    }
+    for (; i < n; ++i) {
+        if (data[i] == value)
+            return i;
+    }
+    return n;
+#elif defined(MTC_SIMD) && defined(__ARM_NEON)
+    const uint32x4_t needle = vdupq_n_u32(value);
+    std::uint32_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const uint32x4_t eq = vceqq_u32(vld1q_u32(data + i), needle);
+        const uint64x2_t pair = vreinterpretq_u64_u32(eq);
+        const std::uint64_t lo = vgetq_lane_u64(pair, 0);
+        const std::uint64_t hi = vgetq_lane_u64(pair, 1);
+        if (lo)
+            return i + ((lo & 0xffffffffull) ? 0 : 1);
+        if (hi)
+            return i + 2 + ((hi & 0xffffffffull) ? 0 : 1);
+    }
+    for (; i < n; ++i) {
+        if (data[i] == value)
+            return i;
+    }
+    return n;
+#else
+    for (std::uint32_t i = 0; i < n; ++i) {
+        if (data[i] == value)
+            return i;
+    }
+    return n;
+#endif
+}
+
+} // namespace mtc
+
+#endif // MTC_SUPPORT_SIMD_H

@@ -273,5 +273,101 @@ TEST(Codec, ThirtyTwoBitWordsStayInRange)
     }
 }
 
+TEST(DecodeMemo, MemoizedDecodeBitIdenticalAndHits)
+{
+    const TestProgram program =
+        generateTest(parseConfigName("x86-4-100-64"), 21);
+    LoadValueAnalysis analysis(program);
+    InstrumentationPlan plan(program, analysis);
+    SignatureCodec codec(program, analysis, plan);
+
+    ExecutorConfig exec = bareMetalConfig(Isa::X86);
+    OperationalExecutor platform(exec);
+    Rng rng(5);
+    std::set<Signature> unique;
+    for (int run = 0; run < 96; ++run)
+        unique.insert(codec.encode(platform.run(program, rng)).signature);
+    ASSERT_GT(unique.size(), 4u);
+
+    // Two memoized passes over the unique set: values must match the
+    // memo-free decode exactly, and the second pass must be all hits.
+    DecodeMemo memo;
+    std::vector<std::uint64_t> scratch;
+    for (int pass = 0; pass < 2; ++pass) {
+        for (const Signature &signature : unique) {
+            Execution with_memo;
+            codec.decodeInto(signature, with_memo, scratch, &memo);
+            EXPECT_EQ(with_memo.loadValues,
+                      codec.decode(signature).loadValues);
+        }
+    }
+    EXPECT_GT(memo.hits(), 0u);
+    EXPECT_GT(memo.entries(), 0u);
+    // Pass 2 re-decoded every slice out of the memo.
+    EXPECT_GE(memo.hits(), memo.misses());
+}
+
+TEST(DecodeMemo, CorruptSignaturesThrowIdenticallyAndAreNotMemoized)
+{
+    const TestProgram program =
+        generateTest(parseConfigName("x86-2-50-32"), 9);
+    LoadValueAnalysis analysis(program);
+    InstrumentationPlan plan(program, analysis);
+    SignatureCodec codec(program, analysis, plan);
+
+    Signature corrupt;
+    corrupt.words.assign(plan.totalWords(), 0);
+    corrupt.words[0] = ~std::uint64_t(0);
+
+    std::string bare_what;
+    try {
+        codec.decode(corrupt);
+        FAIL() << "corrupt signature must not decode";
+    } catch (const SignatureDecodeError &err) {
+        bare_what = err.what();
+    }
+
+    DecodeMemo memo;
+    std::vector<std::uint64_t> scratch;
+    for (int attempt = 0; attempt < 3; ++attempt) {
+        const std::uint64_t entries_before = memo.entries();
+        Execution out;
+        try {
+            codec.decodeInto(corrupt, out, scratch, &memo);
+            FAIL() << "corrupt signature must not decode (memoized)";
+        } catch (const SignatureDecodeError &err) {
+            EXPECT_EQ(std::string(err.what()), bare_what);
+        }
+        // Only cleanly decoded slices are memoized: repeating the
+        // corrupt decode must keep throwing, never serve from cache.
+        EXPECT_EQ(memo.entries(), entries_before);
+    }
+}
+
+TEST(DecodeMemo, RebindsAcrossPrograms)
+{
+    DecodeMemo memo;
+    std::vector<std::uint64_t> scratch;
+    for (std::uint64_t seed : {31ull, 32ull}) {
+        const TestProgram program =
+            generateTest(parseConfigName("ARM-4-50-64"), seed);
+        LoadValueAnalysis analysis(program);
+        InstrumentationPlan plan(program, analysis);
+        SignatureCodec codec(program, analysis, plan);
+
+        OperationalExecutor platform(bareMetalConfig(Isa::ARMv7));
+        Rng rng(seed);
+        for (int run = 0; run < 24; ++run) {
+            const EncodeResult encoded =
+                codec.encode(platform.run(program, rng));
+            Execution with_memo;
+            codec.decodeInto(encoded.signature, with_memo, scratch,
+                             &memo);
+            EXPECT_EQ(with_memo.loadValues,
+                      codec.decode(encoded.signature).loadValues);
+        }
+    }
+}
+
 } // anonymous namespace
 } // namespace mtc

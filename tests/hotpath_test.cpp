@@ -240,6 +240,49 @@ TEST(ZeroAllocation, OperationalRunAndEncodeSteadyState)
     }
 }
 
+TEST(ZeroAllocation, BatchedRunAndEncodeSteadyState)
+{
+    const TestProgram program =
+        generateTest(parseConfigName("x86-4-50-16"), 3);
+    const LoadValueAnalysis analysis(program);
+    const InstrumentationPlan plan(program, analysis);
+    const SignatureCodec codec(program, analysis, plan);
+    constexpr std::uint32_t kLanes = 8;
+
+    for (SchedulingPolicy policy : {SchedulingPolicy::UniformRandom,
+                                    SchedulingPolicy::Timed}) {
+        ExecutorConfig exec = bareMetalConfig(Isa::X86);
+        exec.policy = policy;
+        OperationalExecutor platform(exec);
+        Rng master(12);
+        BatchRunArena batch;
+        EncodeResult encoded;
+        std::vector<Rng> rngs;
+        rngs.reserve(kLanes);
+        std::vector<LaneStatus> status(kLanes);
+        const auto dispatch = [&] {
+            rngs.clear();
+            for (std::uint32_t l = 0; l < kLanes; ++l)
+                rngs.emplace_back(master());
+            status.assign(kLanes, LaneStatus::Completed);
+            platform.runBatchInto(program, rngs.data(), kLanes, batch,
+                                  nullptr, status.data());
+            for (std::uint32_t l = 0; l < kLanes; ++l) {
+                ASSERT_EQ(status[l], LaneStatus::Completed);
+                codec.encodeInto(batch.executions[l], encoded);
+            }
+        };
+        for (int warm = 0; warm < 3; ++warm)
+            dispatch();
+
+        const std::uint64_t before = allocationsNow();
+        for (int i = 0; i < 5; ++i)
+            dispatch();
+        EXPECT_EQ(allocationsNow() - before, 0u)
+            << "policy " << static_cast<int>(policy);
+    }
+}
+
 TEST(ZeroAllocation, AccumulatorReRecord)
 {
     const TestProgram program =
@@ -486,9 +529,12 @@ TEST(Profiler, FlowProfileCoversItsWallClock)
     FlowConfig cfg = smallFlow(99);
     cfg.exec = bareMetalConfig(Isa::X86);
     cfg.profile = true;
+    cfg.batch = 1; // one Execute dispatch per iteration
     const FlowResult result = ValidationFlow(cfg).runTest(program);
     ASSERT_TRUE(result.profile.enabled());
     EXPECT_EQ(result.profile.phaseCount(Phase::Execute),
+              result.iterationsRun);
+    EXPECT_EQ(result.profile.phaseCount(Phase::BatchDispatch),
               result.iterationsRun);
     EXPECT_EQ(result.profile.phaseCount(Phase::Instrument), 1u);
     EXPECT_LE(result.profile.sumNs(), result.profile.totalNs);

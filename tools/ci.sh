@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
-# Tier-1 CI: build + ctest twice — once plain, once under ASan+UBSan
-# (the MTC_SANITIZE CMake option) — then re-run both suites with the
+# Tier-1 CI: build + ctest three times — plain, under ASan+UBSan (the
+# MTC_SANITIZE CMake option), and with the SIMD hot-loop kernels
+# enabled (MTC_SIMD=ON, which must stay bit-identical to the scalar
+# fallback) — then re-run the plain and ASan suites with the
 # parallel engine active (MTC_THREADS=4) so scheduling bugs and
 # pool-shutdown races can't hide behind the serial default, then
 # scaling- and hotpath-bench smoke runs so the BENCH_*.json emitters
@@ -34,6 +36,13 @@ run_suite() {
 run_suite build -DMTC_SANITIZE=OFF
 run_suite build-asan -DMTC_SANITIZE=ON
 
+# SIMD pass: the same suite with the vectorized hot-loop kernels
+# compiled in (MTC_SIMD=ON). Every batched-vs-scalar bit-identity
+# test then runs against the SIMD first-match kernel, so a lane-order
+# divergence in the vector paths fails tier-1 instead of only showing
+# up as a bench digest mismatch.
+run_suite build-simd -DMTC_SANITIZE=OFF -DMTC_SIMD=ON
+
 # Parallel engine pass: campaigns fan (config, test) units across 4
 # workers. Results must stay bit-identical to the serial runs above;
 # the sanitized pass additionally checks the pool's shutdown/join
@@ -48,10 +57,16 @@ echo "=== bench/scaling --smoke --sandbox --distributed ==="
 grep -q '"sandbox":' BENCH_scaling.smoke.json
 grep -q '"distributed":' BENCH_scaling.smoke.json
 
-# Hot-path smoke: the bench itself exits non-zero on an arena/fresh
-# divergence, and the grep guards the JSON field against emitter drift.
-echo "=== bench/hotpath --smoke ==="
-./build/bench/hotpath --smoke
+# Hot-path smoke at an explicit batch width: the bench exits non-zero
+# if the batched, scalar, or fresh-arena passes diverge (signature-set
+# digests included), and the grep guards the JSON field against
+# emitter drift. The ASan pass runs the same lockstep engine under
+# ASan+UBSan so SoA indexing bugs can't hide in the fast build.
+echo "=== bench/hotpath --smoke --batch 8 (plain) ==="
+./build/bench/hotpath --smoke --batch 8
+grep -q '"deterministic": true' BENCH_hotpath.smoke.json
+echo "=== bench/hotpath --smoke --batch 8 (asan) ==="
+./build-asan/bench/hotpath --smoke --batch 8
 grep -q '"deterministic": true' BENCH_hotpath.smoke.json
 
 # Kill-and-resume smoke: run a journaled campaign, SIGKILL it mid-run
@@ -184,4 +199,4 @@ dist_smoke ./build plain
 echo "=== distributed-fabric smoke (asan) ==="
 dist_smoke ./build-asan asan
 
-echo "=== CI OK: plain, sanitized, parallel, resume, sandbox, and distributed suites all green ==="
+echo "=== CI OK: plain, sanitized, simd, parallel, resume, sandbox, and distributed suites all green ==="

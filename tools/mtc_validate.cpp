@@ -113,6 +113,11 @@ struct Options
      * MTC_THREADS when set, else 1 (serial). */
     unsigned threads = 1;
 
+    /** Lockstep batch width of the test loop; 0 = flow default (32),
+     * 1 = scalar stepping. Summaries are bit-identical at any width.
+     * Defaults to MTC_BATCH when set. */
+    std::uint32_t batch = 0;
+
     /** Collective-checker shard size; 0 = unsharded. */
     std::size_t shardSize = 0;
 
@@ -194,6 +199,11 @@ usage()
         "  --threads N       worker threads for signature decoding and\n"
         "                    sharded checking; 0 = all hardware threads\n"
         "                    (default: MTC_THREADS if set, else 1)\n"
+        "  --batch N         lockstep batch width of the test loop:\n"
+        "                    iterations dispatched per batched-engine\n"
+        "                    call; 1 = scalar stepping; summaries are\n"
+        "                    bit-identical at any width; 0 = default\n"
+        "                    width (default: MTC_BATCH if set, else 0)\n"
         "  --shard-size N    collective-checker shard size; each shard\n"
         "                    is checked independently at the price of\n"
         "                    one extra complete sort; 0 = unsharded [0]\n"
@@ -304,6 +314,9 @@ parseArgs(int argc, char **argv)
     if (const char *env = std::getenv("MTC_THREADS"))
         opt.threads = static_cast<unsigned>(
             parseEnvCount("MTC_THREADS", env, true));
+    if (const char *env = std::getenv("MTC_BATCH"))
+        opt.batch = static_cast<std::uint32_t>(
+            parseEnvCount("MTC_BATCH", env, true));
     if (const char *env = std::getenv("MTC_JOURNAL")) {
         if (*env == '\0')
             throw ConfigError(
@@ -367,6 +380,9 @@ parseArgs(int argc, char **argv)
         else if (arg == "--threads")
             opt.threads =
                 static_cast<unsigned>(parseCount(arg, next()));
+        else if (arg == "--batch")
+            opt.batch =
+                static_cast<std::uint32_t>(parseCount(arg, next(), 0));
         else if (arg == "--shard-size")
             opt.shardSize =
                 static_cast<std::size_t>(parseCount(arg, next()));
@@ -435,6 +451,7 @@ makeFlow(const Options &opt, const TestConfig &cfg)
     flow.fault = opt.fault;
     flow.recovery = opt.recovery;
     flow.threads = opt.threads;
+    flow.batch = opt.batch;
     flow.shardSize = opt.shardSize;
     flow.profile = opt.profile;
 
@@ -1167,7 +1184,8 @@ main(int argc, char **argv)
 
         if (opt.profile) {
             std::cout << "\nhot-path profile (campaign totals):\n";
-            TablePrinter phases({"phase", "time (ms)", "share", "calls"});
+            TablePrinter phases(
+                {"phase", "time (ms)", "share", "calls", "ms/call"});
             const double sum_ms =
                 static_cast<double>(profile.sumNs()) / 1e6;
             for (std::size_t p = 0; p < kPhaseCount; ++p) {
@@ -1176,11 +1194,16 @@ main(int argc, char **argv)
                     static_cast<double>(profile.phaseNs(phase)) / 1e6;
                 const double share =
                     sum_ms > 0.0 ? 100.0 * ms / sum_ms : 0.0;
+                const std::uint64_t calls = profile.phaseCount(phase);
                 phases.addRow({phaseName(phase),
                                TablePrinter::fmt(ms, 3),
                                TablePrinter::fmt(share, 1) + "%",
-                               TablePrinter::fmt(
-                                   profile.phaseCount(phase))});
+                               TablePrinter::fmt(calls),
+                               calls ? TablePrinter::fmt(
+                                           ms / static_cast<double>(
+                                                    calls),
+                                           6)
+                                     : "-"});
             }
             phases.print(std::cout);
             std::cout << "phases account for "
