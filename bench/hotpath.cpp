@@ -15,11 +15,13 @@
  * exact same signature multiset; a divergence is a lockstep-engine or
  * hot-path bug and fails the bench.
  *
- * The scalar pass doubles as the decode-memo A/B: it decodes with the
- * memo off (decodeMemoBeforeMs) while the batched pass decodes with it
- * on (decodeMemoAfterMs) — the decode phase is batch-width
- * independent, so the two passes' Decode phase timings are a fair
- * before/after.
+ * A fourth, barrier pass runs the retired decode-all-then-check-all
+ * pipeline (streamCheck off) as the A/B baseline for the streaming
+ * pipeline: barrierDecodeMs/streamDecodeMs and barrierCheckMs/
+ * streamCheckMs compare the same work item for item, and
+ * sliceReuseRate records how much of the decode the sorted-stream
+ * delta actually skipped. The decode phase is batch-width independent,
+ * so the batched (streaming) pass is a fair comparison.
  *
  * The per-phase wall-clock breakdown (FlowConfig::profile) of the
  * batched run is recorded so "where does an iteration go" stays a
@@ -81,13 +83,15 @@ struct RunResult
     std::uint64_t iterations = 0;
     std::vector<TestOutcome> outcomes;
     PhaseBreakdown profile;
+    std::uint64_t sliceReuses = 0;  ///< delta-decode slices skipped
+    std::uint64_t sliceDecodes = 0; ///< slices peeled in full
 };
 
 struct PassKnobs
 {
     std::uint32_t batch = 0; ///< FlowConfig::batch (1 = scalar)
     bool reuseArena = true;
-    bool decodeMemo = true;
+    bool streamCheck = true; ///< false = barrier pipeline baseline
 };
 
 /** One campaign pass over every config (mtc_validate's seeding). */
@@ -107,7 +111,7 @@ runPass(const std::vector<TestConfig> &configs, unsigned tests,
         flow_cfg.profile = true;
         flow_cfg.batch = knobs.batch;
         flow_cfg.reuseArena = knobs.reuseArena;
-        flow_cfg.decodeMemo = knobs.decodeMemo;
+        flow_cfg.streamCheck = knobs.streamCheck;
 
         Rng seeder(seed);
         for (unsigned t = 0; t < tests; ++t) {
@@ -128,6 +132,8 @@ runPass(const std::vector<TestConfig> &configs, unsigned tests,
             result.outcomes.push_back(outcome);
             result.iterations += r.iterationsRun;
             result.profile.merge(r.profile);
+            result.sliceReuses += r.sliceReuses;
+            result.sliceDecodes += r.sliceDecodes;
         }
     }
     timer.stop();
@@ -212,7 +218,8 @@ main(int argc, char **argv)
     std::cout << "Hot-path sweep: " << configs.size() << " configs x "
               << tests << " tests x " << iterations
               << " iterations; batched (B=" << batch
-              << ") vs scalar vs per-iteration arena\n\n";
+              << ") vs scalar vs per-iteration arena vs barrier "
+                 "pipeline\n\n";
 
     // Untimed warm-up (one config, one test) so no timed pass pays the
     // process cold-start (page faults, lazy PLT, predictor warm-up) —
@@ -221,20 +228,25 @@ main(int argc, char **argv)
             {batch, true, true});
 
     // Batched pass: the shipping configuration (lockstep engine,
-    // reused arena, decode memo on).
+    // reused arena, streaming decode→check pipeline).
     const RunResult batched =
         runPass(configs, tests, iterations, seed, {batch, true, true});
-    // Scalar pass: same hot path at width 1, decode memo off — the
-    // lockstep-speedup and decode-memo baselines in one pass.
+    // Scalar pass: same hot path at width 1 — the lockstep-speedup
+    // baseline.
     const RunResult scalar =
-        runPass(configs, tests, iterations, seed, {1, true, false});
+        runPass(configs, tests, iterations, seed, {1, true, true});
     // Fresh pass: per-iteration arena reconstruction (pre-arena
     // behavior), tracked as the allocation-discipline baseline.
     const RunResult fresh =
         runPass(configs, tests, iterations, seed, {batch, false, true});
+    // Barrier pass: decode-all-then-check-all (the retired pipeline),
+    // the A/B baseline for the streaming decode and check numbers.
+    const RunResult barrier =
+        runPass(configs, tests, iterations, seed, {batch, true, false});
 
     const bool deterministic = batched.outcomes == scalar.outcomes &&
-        batched.outcomes == fresh.outcomes;
+        batched.outcomes == fresh.outcomes &&
+        batched.outcomes == barrier.outcomes;
     const double batched_ips = itersPerSec(batched);
     const double scalar_ips = itersPerSec(scalar);
     const double fresh_ips = itersPerSec(fresh);
@@ -243,6 +255,20 @@ main(int argc, char **argv)
     const double exec_speedup = phaseMs(batched, Phase::Execute) > 0.0
         ? phaseMs(scalar, Phase::Execute) /
             phaseMs(batched, Phase::Execute)
+        : 0.0;
+
+    const double barrier_decode_ms = phaseMs(barrier, Phase::Decode);
+    const double stream_decode_ms = phaseMs(batched, Phase::Decode);
+    const double decode_speedup = stream_decode_ms > 0.0
+        ? barrier_decode_ms / stream_decode_ms
+        : 0.0;
+    const double barrier_check_ms = phaseMs(barrier, Phase::Check);
+    const double stream_check_ms = phaseMs(batched, Phase::Check);
+    const std::uint64_t slice_total =
+        batched.sliceReuses + batched.sliceDecodes;
+    const double slice_reuse_rate = slice_total
+        ? static_cast<double>(batched.sliceReuses) /
+            static_cast<double>(slice_total)
         : 0.0;
 
     TablePrinter table({"mode", "ms", "iters/sec"});
@@ -254,17 +280,29 @@ main(int argc, char **argv)
     table.addRow({"fresh (rebuilt arena)",
                   TablePrinter::fmt(fresh.ms, 1),
                   TablePrinter::fmt(fresh_ips, 0)});
+    table.addRow({"barrier (no streaming)",
+                  TablePrinter::fmt(barrier.ms, 1),
+                  TablePrinter::fmt(itersPerSec(barrier), 0)});
     table.print(std::cout);
 
     std::cout << "\nbatched vs scalar: "
               << TablePrinter::fmt(batch_speedup, 2) << "x overall, "
               << TablePrinter::fmt(exec_speedup, 2)
               << "x execute phase\n";
-    std::cout << "decode memo: "
-              << TablePrinter::fmt(phaseMs(scalar, Phase::Decode), 1)
-              << " ms off -> "
-              << TablePrinter::fmt(phaseMs(batched, Phase::Decode), 1)
-              << " ms on\n";
+    std::cout << "streaming decode: "
+              << TablePrinter::fmt(barrier_decode_ms, 1)
+              << " ms barrier -> "
+              << TablePrinter::fmt(stream_decode_ms, 1)
+              << " ms streamed ("
+              << TablePrinter::fmt(decode_speedup, 2)
+              << "x, slice reuse "
+              << TablePrinter::fmt(100.0 * slice_reuse_rate, 1)
+              << "%)\n";
+    std::cout << "streaming check: "
+              << TablePrinter::fmt(barrier_check_ms, 1)
+              << " ms barrier -> "
+              << TablePrinter::fmt(stream_check_ms, 1)
+              << " ms streamed\n";
 
     std::cout << "\nhot-path profile (batched run, campaign totals):\n";
     TablePrinter phases({"phase", "time (ms)", "share", "calls"});
@@ -327,10 +365,19 @@ main(int argc, char **argv)
          << ",\n"
          << "  \"executeSpeedupVsScalar\": " << fmtDouble(exec_speedup)
          << ",\n"
-         << "  \"decodeMemoBeforeMs\": "
-         << fmtDouble(phaseMs(scalar, Phase::Decode)) << ",\n"
-         << "  \"decodeMemoAfterMs\": "
-         << fmtDouble(phaseMs(batched, Phase::Decode)) << ",\n"
+         << "  \"barrierMs\": " << fmtDouble(barrier.ms) << ",\n"
+         << "  \"barrierDecodeMs\": " << fmtDouble(barrier_decode_ms)
+         << ",\n"
+         << "  \"streamDecodeMs\": " << fmtDouble(stream_decode_ms)
+         << ",\n"
+         << "  \"decodeSpeedupVsBarrier\": "
+         << fmtDouble(decode_speedup) << ",\n"
+         << "  \"barrierCheckMs\": " << fmtDouble(barrier_check_ms)
+         << ",\n"
+         << "  \"streamCheckMs\": " << fmtDouble(stream_check_ms)
+         << ",\n"
+         << "  \"sliceReuseRate\": " << fmtDouble(slice_reuse_rate)
+         << ",\n"
          << "  \"baselineItersPerSec\": " << fmtDouble(baseline_ips)
          << ",\n"
          << "  \"speedupVsBaseline\": "

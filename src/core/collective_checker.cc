@@ -46,23 +46,35 @@ CollectiveChecker::CollectiveChecker(const TestProgram &program,
     isLoad.assign(numVertices, false);
     for (std::uint32_t v = 0; v < numVertices; ++v)
         isLoad[v] = program.op(program.opIdAt(v)).kind == OpKind::Load;
+
+    storeQueue.reserve(numVertices);
+    loadQueue.reserve(numVertices);
+    orderScratch.reserve(numVertices);
 }
 
-std::vector<Edge>
+namespace
+{
+
+std::uint64_t
+edgeKey(const Edge &e)
+{
+    return (static_cast<std::uint64_t>(e.from) << 32) | e.to;
+}
+
+} // namespace
+
+const std::vector<Edge> &
 CollectiveChecker::applyDiff(const std::vector<Edge> &next)
 {
     // Both lists are sorted by (from, to): merge to find additions and
     // removals.
-    std::vector<Edge> added;
-    auto key = [](const Edge &e) {
-        return (static_cast<std::uint64_t>(e.from) << 32) | e.to;
-    };
+    addedScratch.clear();
 
     std::size_t i = 0, j = 0;
     while (i < currentEdges.size() || j < next.size()) {
         if (j == next.size() ||
             (i < currentEdges.size() &&
-             key(currentEdges[i]) < key(next[j]))) {
+             edgeKey(currentEdges[i]) < edgeKey(next[j]))) {
             // Removed edge: releases a constraint, never invalidates.
             // Swap-and-pop instead of erase(find(...)): the find is
             // unavoidable without an index, but erase's element shift
@@ -77,9 +89,9 @@ CollectiveChecker::applyDiff(const std::vector<Edge> &next)
             succ.pop_back();
             ++i;
         } else if (i == currentEdges.size() ||
-                   key(next[j]) < key(currentEdges[i])) {
+                   edgeKey(next[j]) < edgeKey(currentEdges[i])) {
             dynAdj[next[j].from].push_back(next[j].to);
-            added.push_back(next[j]);
+            addedScratch.push_back(next[j]);
             ++j;
         } else {
             ++i;
@@ -87,7 +99,33 @@ CollectiveChecker::applyDiff(const std::vector<Edge> &next)
         }
     }
     currentEdges = next;
-    return added;
+    return addedScratch;
+}
+
+void
+CollectiveChecker::applyDiffLists(const std::vector<Edge> &removed,
+                                  const std::vector<Edge> &added)
+{
+    // Merge the (disjoint, sorted) lists and apply in ascending key
+    // order — the exact removal/insertion interleaving applyDiff()
+    // performs, so the resulting successor-list layout (and with it
+    // every Kahn tie-break downstream) is bit-identical.
+    std::size_t i = 0, j = 0;
+    while (i < removed.size() || j < added.size()) {
+        if (j == added.size() ||
+            (i < removed.size() &&
+             edgeKey(removed[i]) < edgeKey(added[j]))) {
+            auto &succ = dynAdj[removed[i].from];
+            auto it =
+                std::find(succ.begin(), succ.end(), removed[i].to);
+            *it = succ.back();
+            succ.pop_back();
+            ++i;
+        } else {
+            dynAdj[added[j].from].push_back(added[j].to);
+            ++j;
+        }
+    }
 }
 
 bool
@@ -97,41 +135,39 @@ CollectiveChecker::fullSort()
 
     // Work accounting matches topologicalSort(): vertices dequeued and
     // edges relaxed; in-degree building is not separately charged.
-    std::vector<std::uint32_t> indeg(numVertices, 0);
+    fullIndeg.assign(numVertices, 0);
     for (std::uint32_t to : staticNbr)
-        ++indeg[to];
+        ++fullIndeg[to];
     for (std::uint32_t v = 0; v < numVertices; ++v) {
         for (std::uint32_t to : dynAdj[v])
-            ++indeg[to];
+            ++fullIndeg[to];
     }
 
     // Two-bucket Kahn preferring stores over loads: like the paper's
     // observation about tsort, placing stores as early as the
     // constraints allow makes most *new* reads-from edges forward, so
     // subsequent graphs skip re-sorting entirely.
-    std::vector<std::uint32_t> store_queue, load_queue;
-    store_queue.reserve(numVertices);
-    load_queue.reserve(numVertices);
+    storeQueue.clear();
+    loadQueue.clear();
     auto enqueue = [&](std::uint32_t v) {
-        (isLoad[v] ? load_queue : store_queue).push_back(v);
+        (isLoad[v] ? loadQueue : storeQueue).push_back(v);
     };
     for (std::uint32_t v = 0; v < numVertices; ++v)
-        if (indeg[v] == 0)
+        if (fullIndeg[v] == 0)
             enqueue(v);
 
-    std::vector<std::uint32_t> order;
-    order.reserve(numVertices);
+    orderScratch.clear();
     std::size_t store_head = 0, load_head = 0;
-    while (store_head < store_queue.size() ||
-           load_head < load_queue.size()) {
-        const std::uint32_t v = store_head < store_queue.size()
-            ? store_queue[store_head++]
-            : load_queue[load_head++];
+    while (store_head < storeQueue.size() ||
+           load_head < loadQueue.size()) {
+        const std::uint32_t v = store_head < storeQueue.size()
+            ? storeQueue[store_head++]
+            : loadQueue[load_head++];
         ++stat.verticesProcessed;
-        order.push_back(v);
+        orderScratch.push_back(v);
         const auto relax = [&](std::uint32_t to) {
             ++stat.edgesProcessed;
-            if (--indeg[to] == 0)
+            if (--fullIndeg[to] == 0)
                 enqueue(to);
         };
         for (std::uint32_t e = staticOff[v]; e < staticOff[v + 1]; ++e)
@@ -140,12 +176,12 @@ CollectiveChecker::fullSort()
             relax(to);
     }
 
-    if (order.size() != numVertices) {
+    if (orderScratch.size() != numVertices) {
         orderValid = false;
         return false;
     }
 
-    orderArr = std::move(order);
+    orderArr.swap(orderScratch);
     pos.assign(numVertices, 0);
     for (std::uint32_t p = 0; p < numVertices; ++p)
         pos[orderArr[p]] = p;
@@ -176,21 +212,19 @@ CollectiveChecker::windowedResort(std::uint32_t lead, std::uint32_t trail)
             count(to);
     }
 
-    std::vector<std::uint32_t> queue;
-    queue.reserve(window_size);
+    windowQueue.clear();
     for (std::uint32_t p = lead; p <= trail; ++p) {
         const std::uint32_t v = orderArr[p];
         if (windowIndeg[v] == 0)
-            queue.push_back(v);
+            windowQueue.push_back(v);
     }
 
-    std::vector<std::uint32_t> sub_order;
-    sub_order.reserve(window_size);
+    windowSubOrder.clear();
     std::size_t head = 0;
-    while (head < queue.size()) {
-        const std::uint32_t v = queue[head++];
+    while (head < windowQueue.size()) {
+        const std::uint32_t v = windowQueue[head++];
         ++stat.verticesProcessed;
-        sub_order.push_back(v);
+        windowSubOrder.push_back(v);
         // Every successor is touched (charged), but only in-window
         // targets participate in the sort.
         const auto relax = [&](std::uint32_t to) {
@@ -198,7 +232,7 @@ CollectiveChecker::windowedResort(std::uint32_t lead, std::uint32_t trail)
             if (windowEpoch[to] != epoch)
                 return;
             if (--windowIndeg[to] == 0)
-                queue.push_back(to);
+                windowQueue.push_back(to);
         };
         for (std::uint32_t e = staticOff[v]; e < staticOff[v + 1]; ++e)
             relax(staticNbr[e]);
@@ -206,7 +240,7 @@ CollectiveChecker::windowedResort(std::uint32_t lead, std::uint32_t trail)
             relax(to);
     }
 
-    if (sub_order.size() != window_size) {
+    if (windowSubOrder.size() != window_size) {
         orderValid = false; // cycle inside the window
         return false;
     }
@@ -215,8 +249,8 @@ CollectiveChecker::windowedResort(std::uint32_t lead, std::uint32_t trail)
     // Cross-boundary edges stay forward: predecessors of the window
     // occupy positions < lead, successors positions > trail.
     for (std::uint32_t k = 0; k < window_size; ++k) {
-        orderArr[lead + k] = sub_order[k];
-        pos[sub_order[k]] = lead + k;
+        orderArr[lead + k] = windowSubOrder[k];
+        pos[windowSubOrder[k]] = lead + k;
     }
     return true;
 }
@@ -225,9 +259,23 @@ bool
 CollectiveChecker::checkNext(const DynamicEdgeSet &edges)
 {
     ++stat.graphsChecked;
-    const std::vector<Edge> added = applyDiff(edges.edges);
+    const std::vector<Edge> &added = applyDiff(edges.edges);
+    return finishCheck(added, edges.coherenceViolation);
+}
 
-    if (edges.coherenceViolation) {
+bool
+CollectiveChecker::checkNextDiff(const EdgeDiff &diff)
+{
+    ++stat.graphsChecked;
+    applyDiffLists(diff.removed, diff.added);
+    return finishCheck(diff.added, diff.coherenceViolation);
+}
+
+bool
+CollectiveChecker::finishCheck(const std::vector<Edge> &added,
+                               bool coherence_violation)
+{
+    if (coherence_violation) {
         // Contradictory ws constraints: flagged without sorting. The
         // maintained order may no longer be valid for this graph, so
         // the next graph starts from a complete sort.
@@ -270,11 +318,28 @@ CollectiveChecker::checkNext(const DynamicEdgeSet &edges)
 std::vector<bool>
 CollectiveChecker::check(const std::vector<DynamicEdgeSet> &ordered)
 {
+    return check(ordered.data(), ordered.size());
+}
+
+std::vector<bool>
+CollectiveChecker::check(const DynamicEdgeSet *ordered,
+                         std::size_t count)
+{
     std::vector<bool> verdicts;
-    verdicts.reserve(ordered.size());
-    for (const DynamicEdgeSet &edges : ordered)
-        verdicts.push_back(checkNext(edges));
+    verdicts.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+        verdicts.push_back(checkNext(ordered[i]));
     return verdicts;
+}
+
+void
+CollectiveChecker::reset()
+{
+    for (auto &succ : dynAdj)
+        succ.clear();
+    currentEdges.clear();
+    orderValid = false;
+    stat = CollectiveStats{};
 }
 
 std::vector<bool>
@@ -303,10 +368,9 @@ checkCollectiveSharded(const TestProgram &program, MemoryModel model,
         const std::size_t begin = s * shard_size;
         const std::size_t end =
             std::min(begin + shard_size, ordered.size());
-        const std::vector<DynamicEdgeSet> slice(
-            ordered.begin() + begin, ordered.begin() + end);
         CollectiveChecker checker(program, model);
-        shard_verdicts[s] = checker.check(slice);
+        shard_verdicts[s] =
+            checker.check(ordered.data() + begin, end - begin);
         shard_stats[s] = checker.stats();
     };
 

@@ -83,8 +83,36 @@ class CollectiveChecker
      */
     bool checkNext(const DynamicEdgeSet &edges);
 
+    /**
+     * Check the next graph presented as a sorted edge diff versus the
+     * previously checked graph (the streaming pipeline's entry
+     * point): removed must be a subset of the current edge set, added
+     * disjoint from it, both sorted by (from, to). Verdicts, stats,
+     * and the maintained order are bit-identical to checkNext() with
+     * the corresponding full list — the diff is applied in the same
+     * merged key order, so even the successor-list layout (which
+     * biases Kahn tie-breaking) matches. Do not mix with checkNext()
+     * on one checker without reset(): this variant does not maintain
+     * the full-list mirror checkNext() diffs against.
+     */
+    bool checkNextDiff(const EdgeDiff &diff);
+
     /** Check a whole ordered batch; verdict per edge set. */
     std::vector<bool> check(const std::vector<DynamicEdgeSet> &ordered);
+
+    /** As above over a borrowed contiguous range (sharded checking
+     * slices one batch without copying edge sets). */
+    std::vector<bool> check(const DynamicEdgeSet *ordered,
+                            std::size_t count);
+
+    /**
+     * Forget all dynamic edges, the maintained order, and the
+     * accounting, keeping buffer capacities — the streaming shard
+     * boundary: merge stats() into the campaign totals first, then
+     * reset and feed the boundary signature's full edge set as an
+     * added-only diff.
+     */
+    void reset();
 
     const CollectiveStats &stats() const { return stat; }
 
@@ -93,8 +121,17 @@ class CollectiveChecker
     bool windowedResort(std::uint32_t lead, std::uint32_t trail);
 
     /** Apply the edge-list diff to the dynamic adjacency and return
-     * the added edges. */
-    std::vector<Edge> applyDiff(const std::vector<Edge> &next);
+     * the added edges (valid until the next call). */
+    const std::vector<Edge> &applyDiff(const std::vector<Edge> &next);
+
+    /** Apply pre-diffed removed/added lists in merged key order. */
+    void applyDiffLists(const std::vector<Edge> &removed,
+                        const std::vector<Edge> &added);
+
+    /** Shared tail of checkNext()/checkNextDiff(): sort recovery,
+     * added-edge classification, windowed re-sort, accounting. */
+    bool finishCheck(const std::vector<Edge> &added,
+                     bool coherence_violation);
 
     const TestProgram &prog;
     std::uint32_t numVertices;
@@ -121,6 +158,17 @@ class CollectiveChecker
     std::vector<std::uint32_t> windowEpoch;
     std::vector<std::uint32_t> windowIndeg;
     std::uint32_t epoch = 0;
+
+    // Hoisted sort/diff scratch: the check phase of a warmed checker
+    // touches no allocator (asserted by the hotpath steady-state
+    // tests).
+    std::vector<std::uint32_t> fullIndeg;
+    std::vector<std::uint32_t> storeQueue;
+    std::vector<std::uint32_t> loadQueue;
+    std::vector<std::uint32_t> orderScratch;
+    std::vector<std::uint32_t> windowQueue;
+    std::vector<std::uint32_t> windowSubOrder;
+    std::vector<Edge> addedScratch;
 
     CollectiveStats stat;
 };

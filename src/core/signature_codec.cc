@@ -8,36 +8,6 @@
 namespace mtc
 {
 
-namespace
-{
-
-/** Buckets a fresh memo thread-table starts with (power of two). */
-constexpr std::uint32_t kMemoInitialSlots = 256;
-
-/**
- * Adaptive bail-out window: after this many lookups a thread table
- * that hit on fewer than half of them retires itself — on weak-model
- * programs almost every slice is unique, and hashing + inserting
- * unique slices costs about twice what plainly decoding them does.
- */
-constexpr std::uint64_t kMemoProbationLookups = 512;
-
-/** FNV-1a over a thread's signature-word slice, finalized so the low
- * bits (the bucket index) mix the whole words. */
-std::uint64_t
-sliceHash(const std::uint64_t *slice, std::uint32_t n)
-{
-    std::uint64_t h = 1469598103934665603ull;
-    for (std::uint32_t i = 0; i < n; ++i) {
-        h ^= slice[i];
-        h *= 1099511628211ull;
-    }
-    h ^= h >> 32;
-    return h;
-}
-
-} // namespace
-
 const char *
 decodeFaultKindName(DecodeFaultKind kind)
 {
@@ -50,15 +20,6 @@ decodeFaultKindName(DecodeFaultKind kind)
         return "residue-overflow";
     }
     return "unknown";
-}
-
-std::uint64_t
-DecodeMemo::entries() const
-{
-    std::uint64_t total = 0;
-    for (const ThreadTable &table : threads)
-        total += table.count;
-    return total;
 }
 
 SignatureCodec::SignatureCodec(const TestProgram &program,
@@ -134,61 +95,56 @@ SignatureCodec::decode(const Signature &signature) const
 }
 
 void
-SignatureCodec::prepareMemo(DecodeMemo &memo) const
+SignatureCodec::decodeThreadSlice(
+    std::uint32_t tid, const std::uint64_t *slice, Execution &out,
+    std::vector<std::uint64_t> &word_scratch) const
 {
-    if (memo.bound && memo.boundFingerprint == prog.fingerprint())
-        return;
-    memo.threads.assign(prog.numThreads(), {});
-    for (std::uint32_t tid = 0; tid < prog.numThreads(); ++tid) {
-        DecodeMemo::ThreadTable &table = memo.threads[tid];
-        table.wordCount = plan.wordsForThread(tid);
-        table.loadCount =
-            static_cast<std::uint32_t>(threadOrdinals[tid].size());
-        table.slots.assign(kMemoInitialSlots, 0);
-        table.mask = kMemoInitialSlots - 1;
-    }
-    memo.boundFingerprint = prog.fingerprint();
-    memo.bound = true;
-}
+    const std::vector<std::uint32_t> &ordinals = threadOrdinals[tid];
+    const std::uint32_t word_base = plan.wordBase(tid);
+    const std::uint32_t thread_words = plan.wordsForThread(tid);
 
-void
-SignatureCodec::memoInsert(DecodeMemo::ThreadTable &table,
-                           std::uint64_t hash,
-                           const std::uint64_t *slice,
-                           const std::uint32_t *ordinals,
-                           const Execution &out) const
-{
-    // Grow at ~70% occupancy; reinsert from the stored hashes.
-    if ((table.count + 1) * 10 >
-        static_cast<std::uint64_t>(table.slots.size()) * 7) {
-        const std::uint32_t new_size =
-            static_cast<std::uint32_t>(table.slots.size()) * 2;
-        table.slots.assign(new_size, 0);
-        table.mask = new_size - 1;
-        for (std::uint32_t e = 0; e < table.count; ++e) {
-            std::uint32_t i = static_cast<std::uint32_t>(
-                table.hashes[e] & table.mask);
-            while (table.slots[i] != 0)
-                i = (i + 1) & table.mask;
-            table.slots[i] = e + 1;
+    // Working copy of this thread's words; weights are peeled off
+    // from the last load of the thread to the first (Algorithm 1).
+    word_scratch.assign(slice, slice + thread_words);
+
+    for (std::size_t i = ordinals.size(); i-- > 0;) {
+        const std::uint32_t ordinal = ordinals[i];
+        const LoadMeta &meta = loadMeta[ordinal];
+        std::uint64_t &word = word_scratch[meta.word - word_base];
+
+        const std::uint64_t index = word / meta.multiplier;
+        word %= meta.multiplier;
+
+        if (index >= meta.cardinality) {
+            std::ostringstream os;
+            os << "corrupt signature: load t" << tid << " op"
+               << meta.opIdx << " decoded index " << index << " of "
+               << meta.cardinality;
+            throw SignatureDecodeError(os.str(),
+                                       DecodeFaultKind::IndexOverflow,
+                                       tid, meta.word);
+        }
+        out.loadValues[ordinal] =
+            meta.candidates[static_cast<std::uint32_t>(index)];
+    }
+
+    for (std::uint32_t w = 0; w < thread_words; ++w) {
+        if (word_scratch[w] != 0) {
+            std::ostringstream os;
+            os << "corrupt signature: non-zero residue 0x" << std::hex
+               << word_scratch[w] << std::dec << " in word "
+               << (word_base + w) << " after decode";
+            throw SignatureDecodeError(
+                os.str(), DecodeFaultKind::ResidueOverflow, tid,
+                word_base + w);
         }
     }
-    const std::uint32_t entry = table.count++;
-    table.hashes.push_back(hash);
-    table.words.insert(table.words.end(), slice,
-                       slice + table.wordCount);
-    for (std::uint32_t i = 0; i < table.loadCount; ++i)
-        table.values.push_back(out.loadValues[ordinals[i]]);
-    std::uint32_t i = static_cast<std::uint32_t>(hash & table.mask);
-    while (table.slots[i] != 0)
-        i = (i + 1) & table.mask;
-    table.slots[i] = entry + 1;
 }
 
 void
 SignatureCodec::decodeInto(const Signature &signature, Execution &out,
-                           std::vector<std::uint64_t> &word_scratch,
-                           DecodeMemo *memo) const
+                           std::vector<std::uint64_t> &word_scratch)
+    const
 {
     if (signature.words.size() != plan.totalWords()) {
         throw SignatureDecodeError(
@@ -199,107 +155,66 @@ SignatureCodec::decodeInto(const Signature &signature, Execution &out,
     out.loadValues.assign(prog.loads().size(), kInitValue);
     out.duration = 0;
     out.coherenceOrder.clear();
-    if (memo)
-        prepareMemo(*memo);
 
     for (std::uint32_t tid = 0; tid < prog.numThreads(); ++tid) {
-        const std::vector<std::uint32_t> &ordinals =
-            threadOrdinals[tid];
+        decodeThreadSlice(tid, signature.words.data() + plan.wordBase(tid),
+                          out, word_scratch);
+    }
+}
+
+StreamDecoder::StreamDecoder(const SignatureCodec &codec_arg)
+    : codec(codec_arg)
+{
+    const TestProgram &prog = codec.prog;
+    exec.loadValues.assign(prog.loads().size(), kInitValue);
+    exec.duration = 0;
+    prevWords.assign(codec.plan.totalWords(), 0);
+    sliceValid.assign(prog.numThreads(), 0);
+    dirty.assign(prog.numThreads(), 0);
+    changed.reserve(prog.numThreads());
+}
+
+const Execution &
+StreamDecoder::next(const Signature &signature)
+{
+    const InstrumentationPlan &plan = codec.plan;
+    if (signature.words.size() != plan.totalWords()) {
+        throw SignatureDecodeError(
+            "signature word count mismatch",
+            DecodeFaultKind::WordCountMismatch, 0, 0);
+    }
+
+    const std::uint32_t num_threads = codec.prog.numThreads();
+    for (std::uint32_t tid = 0; tid < num_threads; ++tid) {
         const std::uint32_t word_base = plan.wordBase(tid);
         const std::uint32_t thread_words = plan.wordsForThread(tid);
         const std::uint64_t *slice = signature.words.data() + word_base;
-
-        std::uint64_t hash = 0;
-        DecodeMemo::ThreadTable *table = nullptr;
-        if (memo && thread_words > 0 && !memo->threads[tid].dead) {
-            table = &memo->threads[tid];
-            ++table->lookups;
-            hash = sliceHash(slice, thread_words);
-            std::uint32_t i =
-                static_cast<std::uint32_t>(hash & table->mask);
-            bool hit = false;
-            while (table->slots[i] != 0) {
-                const std::uint32_t entry = table->slots[i] - 1;
-                if (table->hashes[entry] == hash &&
-                    std::memcmp(table->words.data() +
-                                    static_cast<std::size_t>(entry) *
-                                        table->wordCount,
-                                slice,
-                                sizeof(std::uint64_t) *
-                                    table->wordCount) == 0) {
-                    const std::uint32_t *vals = table->values.data() +
-                        static_cast<std::size_t>(entry) *
-                            table->loadCount;
-                    for (std::uint32_t k = 0; k < table->loadCount;
-                         ++k)
-                        out.loadValues[ordinals[k]] = vals[k];
-                    hit = true;
-                    break;
-                }
-                i = (i + 1) & table->mask;
-            }
-            if (hit) {
-                ++memo->hitCount;
-                ++table->tableHits;
-                continue;
-            }
-            ++memo->missCount;
-            if (table->lookups == kMemoProbationLookups &&
-                table->tableHits * 2 < table->lookups) {
-                table->dead = true;
-                table->count = 0;
-                table->slots = {};
-                table->hashes = {};
-                table->words = {};
-                table->values = {};
-                table = nullptr;
-            }
-        } else if (memo && thread_words > 0) {
-            ++memo->missCount; // retired table: decode directly
+        if (sliceValid[tid] &&
+            firstDiffU64(prevWords.data() + word_base, slice,
+                         thread_words) == thread_words) {
+            ++reused;
+            continue;
         }
-
-        // Working copy of this thread's words; weights are peeled off
-        // from the last load of the thread to the first (Algorithm 1).
-        word_scratch.assign(slice, slice + thread_words);
-
-        for (std::size_t i = ordinals.size(); i-- > 0;) {
-            const std::uint32_t ordinal = ordinals[i];
-            const LoadMeta &meta = loadMeta[ordinal];
-            std::uint64_t &word = word_scratch[meta.word - word_base];
-
-            const std::uint64_t index = word / meta.multiplier;
-            word %= meta.multiplier;
-
-            if (index >= meta.cardinality) {
-                std::ostringstream os;
-                os << "corrupt signature: load t" << tid << " op"
-                   << meta.opIdx << " decoded index " << index << " of "
-                   << meta.cardinality;
-                throw SignatureDecodeError(os.str(),
-                                           DecodeFaultKind::IndexOverflow,
-                                           tid, meta.word);
-            }
-            out.loadValues[ordinal] =
-                meta.candidates[static_cast<std::uint32_t>(index)];
-        }
-
-        for (std::uint32_t w = 0; w < thread_words; ++w) {
-            if (word_scratch[w] != 0) {
-                std::ostringstream os;
-                os << "corrupt signature: non-zero residue 0x"
-                   << std::hex << word_scratch[w] << std::dec
-                   << " in word " << (word_base + w) << " after decode";
-                throw SignatureDecodeError(
-                    os.str(), DecodeFaultKind::ResidueOverflow, tid,
-                    word_base + w);
-            }
-        }
-
-        // Only cleanly decoded slices are memoized, so a corrupt slice
-        // re-throws identically however often it is decoded.
-        if (table)
-            memoInsert(*table, hash, slice, ordinals.data(), out);
+        // Mark before decoding: a throwing slice may have partially
+        // overwritten this thread's values, and the next successful
+        // call must re-derive everything those values feed.
+        dirty[tid] = 1;
+        sliceValid[tid] = 0;
+        codec.decodeThreadSlice(tid, slice, exec, word_scratch);
+        std::memcpy(prevWords.data() + word_base, slice,
+                    sizeof(std::uint64_t) * thread_words);
+        sliceValid[tid] = 1;
+        ++decodedSlices;
     }
+
+    changed.clear();
+    for (std::uint32_t tid = 0; tid < num_threads; ++tid) {
+        if (dirty[tid]) {
+            changed.push_back(tid);
+            dirty[tid] = 0;
+        }
+    }
+    return exec;
 }
 
 } // namespace mtc

@@ -92,77 +92,6 @@ struct EncodeResult
     std::uint64_t comparisons = 0;
 };
 
-/**
- * Per-unique-prefix decode memo: signature words are per-thread (a
- * thread's loads only ever weight that thread's own words), so two
- * unique signatures that share thread t's word slice decode thread t
- * identically. Campaigns revisit the same per-thread slices constantly
- * — uniqueness is of the whole signature tuple, and the per-thread
- * marginals are far smaller than their product — so memoizing
- * slice -> decoded-thread-values skips the div/mod peel loop for every
- * repeated slice.
- *
- * How much slices repeat is a property of the memory model: on
- * TSO-like programs hit rates run >90%, while weak-model reordering
- * can make nearly every slice unique — and there, hashing and
- * inserting slices that never recur costs more than decoding them.
- * Each per-thread table therefore watches its own hit rate over a
- * probation window and retires itself when memoization is a net loss
- * for its thread (retired lookups count as misses).
- *
- * The memo is bound to one program (keyed by fingerprint) and rebinds
- * automatically when a codec for a different program uses it. Only
- * slices that decoded cleanly (including the residue check) are
- * stored, so corrupt signatures throw identically on every decode.
- * Results are bit-identical with or without a memo.
- */
-class DecodeMemo
-{
-  public:
-    /** Thread-slice lookups that hit (cumulative across binds). */
-    std::uint64_t hits() const { return hitCount; }
-
-    /** Thread-slice lookups that missed and decoded in full. */
-    std::uint64_t misses() const { return missCount; }
-
-    /** Distinct thread slices currently cached. */
-    std::uint64_t entries() const;
-
-  private:
-    friend class SignatureCodec;
-
-    struct ThreadTable
-    {
-        std::uint32_t wordCount = 0; ///< slice width (words)
-        std::uint32_t loadCount = 0; ///< decoded values per slice
-        std::uint32_t mask = 0;      ///< slots.size() - 1 (pow2)
-        std::uint32_t count = 0;     ///< live entries
-        /**
-         * Adaptive bail-out: slice sharing is a property of the
-         * memory model — near-universal on TSO-like programs, but
-         * weak-model reordering can make almost every slice unique,
-         * where hashing + inserting costs more than just decoding.
-         * Each table watches its own hit rate during a probation
-         * window and retires itself (dead = true, storage released)
-         * when memoization is a net loss for its thread.
-         */
-        bool dead = false;
-        std::uint64_t lookups = 0;
-        std::uint64_t tableHits = 0;
-        /** Open-addressed buckets: entry index + 1, 0 = empty. */
-        std::vector<std::uint32_t> slots;
-        std::vector<std::uint64_t> hashes; ///< [entry]
-        std::vector<std::uint64_t> words;  ///< [entry * wordCount]
-        std::vector<std::uint32_t> values; ///< [entry * loadCount]
-    };
-
-    std::uint64_t boundFingerprint = 0;
-    bool bound = false;
-    std::uint64_t hitCount = 0;
-    std::uint64_t missCount = 0;
-    std::vector<ThreadTable> threads;
-};
-
 /** Encoder/decoder bound to one instrumented test. */
 class SignatureCodec
 {
@@ -201,16 +130,14 @@ class SignatureCodec
      * Like decode(), but writes into @p out using @p word_scratch as
      * the peeling buffer — both reused across calls, so decoding a
      * test's unique signatures is allocation-free in steady state.
-     * With a @p memo, repeated per-thread word slices skip the peel
-     * loop entirely (bit-identical results; the memo rebinds itself if
-     * it was last used with a different program). @p out is
-     * unspecified when this throws.
+     * @p out is unspecified when this throws.
      */
     void decodeInto(const Signature &signature, Execution &out,
-                    std::vector<std::uint64_t> &word_scratch,
-                    DecodeMemo *memo = nullptr) const;
+                    std::vector<std::uint64_t> &word_scratch) const;
 
   private:
+    friend class StreamDecoder;
+
     /** Everything decode/encode touch per load, flattened out of the
      * plan/analysis object graph once at construction. */
     struct LoadMeta
@@ -222,11 +149,16 @@ class SignatureCodec
         const std::uint32_t *candidates = nullptr; ///< value array
     };
 
-    void prepareMemo(DecodeMemo &memo) const;
-    void memoInsert(DecodeMemo::ThreadTable &table, std::uint64_t hash,
-                    const std::uint64_t *slice,
-                    const std::uint32_t *ordinals,
-                    const Execution &out) const;
+    /**
+     * Peel one thread's word slice into @p out.loadValues (Algorithm 1
+     * for a single thread). Throws SignatureDecodeError exactly as the
+     * corresponding slice of decodeInto() would; @p out's values for
+     * this thread are unspecified when it throws.
+     */
+    void decodeThreadSlice(std::uint32_t tid,
+                           const std::uint64_t *slice, Execution &out,
+                           std::vector<std::uint64_t> &word_scratch)
+        const;
 
     const TestProgram &prog;
     const LoadValueAnalysis &loadAnalysis;
@@ -235,6 +167,73 @@ class SignatureCodec
     std::vector<LoadMeta> loadMeta; ///< [load ordinal]
     /** Load ordinals of each thread in program order. */
     std::vector<std::vector<std::uint32_t>> threadOrdinals;
+};
+
+/**
+ * Delta decoder over an ascending signature stream (the collective
+ * checker's sorted unique sequence). Signature words are per-thread —
+ * a thread's loads only ever weight that thread's own words — so when
+ * adjacent sorted signatures share thread t's word slice, thread t
+ * decodes identically and the previously decoded values are reused in
+ * place. Sorting concentrates differences in the trailing threads, so
+ * in practice most slices of most signatures are reused.
+ *
+ * Unlike the retired per-slice decode memo this never hashes or
+ * stores anything beyond the previous signature, so it wins on
+ * weak-model streams too: the probe is one word-compare per thread
+ * slice against the immediately preceding signature.
+ *
+ * Fault behavior matches full decode exactly: a corrupt slice throws
+ * the same SignatureDecodeError (kind, thread, word, message) as
+ * decodeInto(), because identical words peel identically and a reused
+ * slice is by definition one that previously decoded cleanly. After a
+ * throw the decoder stays usable — the failed thread's slice is
+ * re-decoded from scratch on the next call, and execution() must not
+ * be read until the next successful next().
+ */
+class StreamDecoder
+{
+  public:
+    /** @p codec_arg must outlive the decoder. */
+    explicit StreamDecoder(const SignatureCodec &codec_arg);
+
+    /**
+     * Decode @p signature, reusing per-thread slices unchanged since
+     * the previous call. Returns the decoded execution, valid until
+     * the next call.
+     *
+     * @throws SignatureDecodeError exactly as decodeInto() would.
+     */
+    const Execution &next(const Signature &signature);
+
+    /**
+     * Threads whose decoded values may differ from the previous
+     * *successful* next() (ascending tid order). A sound superset:
+     * every thread re-decoded since then is listed, including threads
+     * touched by intervening failed calls, even if its values came
+     * out equal.
+     */
+    const std::vector<std::uint32_t> &changedThreads() const
+    {
+        return changed;
+    }
+
+    /** Per-thread slices reused verbatim from the previous signature. */
+    std::uint64_t slicesReused() const { return reused; }
+
+    /** Per-thread slices that went through the full peel loop. */
+    std::uint64_t slicesDecoded() const { return decodedSlices; }
+
+  private:
+    const SignatureCodec &codec;
+    Execution exec;
+    std::vector<std::uint64_t> word_scratch;
+    std::vector<std::uint64_t> prevWords; ///< last decoded words
+    std::vector<std::uint8_t> sliceValid; ///< [tid] prevWords live
+    std::vector<std::uint8_t> dirty; ///< [tid] decoded since last success
+    std::vector<std::uint32_t> changed;
+    std::uint64_t reused = 0;
+    std::uint64_t decodedSlices = 0;
 };
 
 } // namespace mtc

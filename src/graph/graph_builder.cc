@@ -129,4 +129,201 @@ buildFullGraph(const TestProgram &program, const Execution &execution,
     return graph;
 }
 
+namespace
+{
+
+std::uint64_t
+edgeKey(const Edge &e)
+{
+    return (static_cast<std::uint64_t>(e.from) << 32) | e.to;
+}
+
+} // namespace
+
+void
+applyEdgeDiff(std::vector<Edge> &edges, const EdgeDiff &diff,
+              std::vector<Edge> &scratch)
+{
+    scratch.clear();
+    std::size_t i = 0, r = 0, a = 0;
+    while (i < edges.size() || a < diff.added.size()) {
+        if (i < edges.size() && r < diff.removed.size() &&
+            edgeKey(edges[i]) == edgeKey(diff.removed[r])) {
+            ++i;
+            ++r;
+            continue;
+        }
+        if (a == diff.added.size() ||
+            (i < edges.size() &&
+             edgeKey(edges[i]) < edgeKey(diff.added[a]))) {
+            scratch.push_back(edges[i++]);
+        } else {
+            scratch.push_back(diff.added[a++]);
+        }
+    }
+    edges.swap(scratch);
+}
+
+EdgeDeriver::EdgeDeriver(const TestProgram &program) : prog(program)
+{
+    const auto &loads = prog.loads();
+    loadLoc.resize(loads.size());
+    for (std::uint32_t ordinal = 0; ordinal < loads.size(); ++ordinal)
+        loadLoc[ordinal] = prog.op(loads[ordinal]).loc;
+    loadUnits.resize(loads.size());
+    locUnits.resize(prog.config().numLocations);
+    tidChangedFlag.assign(prog.numThreads(), 0);
+}
+
+void
+EdgeDeriver::deriveLoadUnit(std::uint32_t ordinal,
+                            const Execution &execution,
+                            const WsOrder &ws,
+                            std::vector<Edge> &unit) const
+{
+    // Mirrors the per-load body of dynamicEdgesInto() exactly,
+    // including the unknown-writer early-out (no rf *and* no fr; the
+    // coherence violation it implies is already ws.coherenceViolation()
+    // because the ws walk saw the same unknown value).
+    const OpId load_id = prog.loads()[ordinal];
+    const std::uint32_t load_vertex = prog.globalIndex(load_id);
+    const std::uint32_t loc = loadLoc[ordinal];
+    const std::uint32_t value = execution.loadValues.at(ordinal);
+
+    std::optional<OpId> writer;
+    if (value != kInitValue) {
+        writer = prog.storeForValue(value);
+        if (!writer)
+            return;
+        if (writer->tid != load_id.tid) {
+            unit.push_back(Edge{prog.globalIndex(*writer), load_vertex,
+                                EdgeKind::ReadsFrom});
+        }
+    }
+
+    const auto &stores = ws.storesAt(loc);
+    const std::uint32_t from = ws.indexOf(loc, writer);
+    for (std::size_t i = 0; i < stores.size(); ++i) {
+        if (!ws.orderedByIndex(loc, from,
+                               static_cast<std::uint32_t>(i) + 1)) {
+            continue;
+        }
+        if (writer && stores[i] == *writer)
+            continue;
+        unit.push_back(Edge{load_vertex, prog.globalIndex(stores[i]),
+                            EdgeKind::FromRead});
+    }
+    std::sort(unit.begin(), unit.end());
+}
+
+void
+EdgeDeriver::deriveLocUnit(std::uint32_t loc, const WsOrder &ws,
+                           std::vector<Edge> &unit) const
+{
+    const auto &stores = ws.storesAt(loc);
+    for (std::size_t i = 0; i < stores.size(); ++i) {
+        for (std::size_t j = 0; j < stores.size(); ++j) {
+            if (i == j ||
+                !ws.orderedByIndex(loc,
+                                   static_cast<std::uint32_t>(i) + 1,
+                                   static_cast<std::uint32_t>(j) + 1)) {
+                continue;
+            }
+            unit.push_back(Edge{prog.globalIndex(stores[i]),
+                                prog.globalIndex(stores[j]),
+                                EdgeKind::WriteSerialization});
+        }
+    }
+    std::sort(unit.begin(), unit.end());
+}
+
+void
+EdgeDeriver::diffUnit(const std::vector<Edge> &before,
+                      const std::vector<Edge> &after, EdgeDiff &out)
+{
+    std::size_t i = 0, j = 0;
+    while (i < before.size() || j < after.size()) {
+        if (j == after.size()) {
+            out.removed.push_back(before[i++]);
+        } else if (i == before.size()) {
+            out.added.push_back(after[j++]);
+        } else {
+            const std::uint64_t ka = edgeKey(before[i]);
+            const std::uint64_t kb = edgeKey(after[j]);
+            if (ka < kb) {
+                out.removed.push_back(before[i++]);
+            } else if (kb < ka) {
+                out.added.push_back(after[j++]);
+            } else {
+                ++i;
+                ++j;
+            }
+        }
+    }
+}
+
+void
+EdgeDeriver::derive(const Execution &execution, const WsOrder &ws,
+                    const std::uint32_t *changed_tids, std::size_t n,
+                    EdgeDiff &out)
+{
+    out.removed.clear();
+    out.added.clear();
+    out.coherenceViolation = ws.coherenceViolation();
+
+    std::fill(tidChangedFlag.begin(), tidChangedFlag.end(), 0);
+    for (std::size_t k = 0; k < n; ++k)
+        tidChangedFlag[changed_tids[k]] = 1;
+
+    const auto &loads = prog.loads();
+    for (std::uint32_t ordinal = 0; ordinal < loads.size(); ++ordinal) {
+        const std::uint32_t loc = loadLoc[ordinal];
+        if (!first && !tidChangedFlag[loads[ordinal].tid] &&
+            !ws.locChanged(loc)) {
+            continue;
+        }
+        unitScratch.clear();
+        deriveLoadUnit(ordinal, execution, ws, unitScratch);
+        diffUnit(loadUnits[ordinal], unitScratch, out);
+        // Copy, don't swap: swapping would rotate one buffer across
+        // units of different sizes and realloc on every pass; a copy
+        // lets each unit's capacity reach its own high-water mark.
+        loadUnits[ordinal].assign(unitScratch.begin(),
+                                  unitScratch.end());
+    }
+    for (std::uint32_t loc = 0; loc < locUnits.size(); ++loc) {
+        if (!first && !ws.locChanged(loc))
+            continue;
+        unitScratch.clear();
+        deriveLocUnit(loc, ws, unitScratch);
+        diffUnit(locUnits[loc], unitScratch, out);
+        locUnits[loc].assign(unitScratch.begin(), unitScratch.end());
+    }
+    first = false;
+
+    // Per-unit diffs are sorted, units never share keys, so one sort
+    // over the concatenation yields the exact global diff.
+    std::sort(out.removed.begin(), out.removed.end());
+    std::sort(out.added.begin(), out.added.end());
+}
+
+void
+EdgeDeriver::snapshotAdded(EdgeDiff &out) const
+{
+    out.removed.clear();
+    out.added.clear();
+    assembleInto(out.added);
+}
+
+void
+EdgeDeriver::assembleInto(std::vector<Edge> &out) const
+{
+    out.clear();
+    for (const auto &unit : loadUnits)
+        out.insert(out.end(), unit.begin(), unit.end());
+    for (const auto &unit : locUnits)
+        out.insert(out.end(), unit.begin(), unit.end());
+    std::sort(out.begin(), out.end());
+}
+
 } // namespace mtc

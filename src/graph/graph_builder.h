@@ -69,6 +69,105 @@ ConstraintGraph buildFullGraph(const TestProgram &program,
                                const Execution &execution,
                                MemoryModel model);
 
+/**
+ * Dynamic-edge difference between two adjacent executions, both lists
+ * sorted by (from, to). `removed` is a subset of the previous edge
+ * set, `added` is disjoint from it — exactly the presentation
+ * CollectiveChecker::checkNextDiff() applies.
+ */
+struct EdgeDiff
+{
+    std::vector<Edge> removed;
+    std::vector<Edge> added;
+
+    /** Same meaning as DynamicEdgeSet::coherenceViolation, for the
+     * execution the diff leads *to*. */
+    bool coherenceViolation = false;
+
+    void
+    clear()
+    {
+        removed.clear();
+        added.clear();
+        coherenceViolation = false;
+    }
+};
+
+/**
+ * Apply a sorted @p diff to a sorted edge list in place (one merge
+ * pass; @p scratch is the swap buffer, reused across calls). The
+ * streaming pipeline uses this to maintain the full edge list for the
+ * conventional per-execution baseline without re-deriving it.
+ */
+void applyEdgeDiff(std::vector<Edge> &edges, const EdgeDiff &diff,
+                   std::vector<Edge> &scratch);
+
+/**
+ * Incremental dynamic-edge derivation over a stream of executions.
+ *
+ * The global edge list of dynamicEdgesInto() partitions into
+ * independent units: per-load units (that load's external rf edge plus
+ * its fr edges) and per-location units (the ws pairs of that
+ * location). A load's unit depends only on the load's own decoded
+ * value and its location's closed ws order; a location's unit depends
+ * only on that order. So when the delta decoder reports which threads
+ * changed and WsOrder::locChanged() reports which location orders
+ * moved, only those units are re-derived, and per-unit diffs compose
+ * into the exact global (from, to)-sorted diff: (from, to) keys are
+ * unique across the whole edge set — rf targets a load, fr leaves a
+ * load, ws connects two stores of one location — so no two units ever
+ * produce the same key.
+ *
+ * Results are bit-identical to re-running dynamicEdgesInto() per
+ * execution and diffing the sorted lists.
+ */
+class EdgeDeriver
+{
+  public:
+    /** @p program must outlive the deriver. */
+    explicit EdgeDeriver(const TestProgram &program);
+
+    /**
+     * Derive the edges of @p execution (whose ws order is @p ws, as
+     * produced by infer()/inferDelta() on the same execution) and
+     * emit the sorted diff versus the previous derive() into @p out.
+     * The first call diffs against the empty set. @p changed_tids is
+     * the delta decoder's changed-thread list; it is ignored on the
+     * first call (everything derives).
+     */
+    void derive(const Execution &execution, const WsOrder &ws,
+                const std::uint32_t *changed_tids, std::size_t n,
+                EdgeDiff &out);
+
+    /**
+     * The current full edge set as an added-only diff (removed empty,
+     * added sorted) — what a freshly reset checker consumes at a
+     * shard boundary. coherenceViolation is left to the caller.
+     */
+    void snapshotAdded(EdgeDiff &out) const;
+
+    /** Materialize the current full sorted edge list (tests and the
+     * violation-witness path). */
+    void assembleInto(std::vector<Edge> &out) const;
+
+  private:
+    void deriveLoadUnit(std::uint32_t ordinal,
+                        const Execution &execution, const WsOrder &ws,
+                        std::vector<Edge> &unit) const;
+    void deriveLocUnit(std::uint32_t loc, const WsOrder &ws,
+                       std::vector<Edge> &unit) const;
+    static void diffUnit(const std::vector<Edge> &before,
+                         const std::vector<Edge> &after, EdgeDiff &out);
+
+    const TestProgram &prog;
+    std::vector<std::uint32_t> loadLoc; ///< [ordinal] location
+    std::vector<std::vector<Edge>> loadUnits; ///< [ordinal] sorted
+    std::vector<std::vector<Edge>> locUnits;  ///< [loc] sorted
+    std::vector<std::uint8_t> tidChangedFlag; ///< scratch
+    std::vector<Edge> unitScratch;
+    bool first = true;
+};
+
 } // namespace mtc
 
 #endif // MTC_GRAPH_GRAPH_BUILDER_H

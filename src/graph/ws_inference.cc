@@ -1,5 +1,8 @@
 #include "graph/ws_inference.h"
 
+#include <algorithm>
+#include <cstring>
+
 #include "support/error.h"
 
 namespace mtc
@@ -27,6 +30,30 @@ WsOrder::bindProgram(const TestProgram &program)
         total += static_cast<std::size_t>(n) * locWords[loc];
     }
     reachSize = total;
+    reach.assign(reachSize, 0);
+
+    // Rule (a): program order among same-thread stores to one
+    // location. storesTo() is ordered by (tid, idx), so adjacent
+    // same-tid entries are program-ordered; chaining adjacent pairs is
+    // sufficient. A property of the program alone, cached per bind.
+    staticCons.assign(num_locs, {});
+    for (std::uint32_t loc = 0; loc < num_locs; ++loc) {
+        const auto &stores = locStores[loc];
+        for (std::size_t i = 0; i + 1 < stores.size(); ++i) {
+            if (stores[i].tid == stores[i + 1].tid) {
+                staticCons[loc].emplace_back(
+                    static_cast<std::uint32_t>(i) + 1,
+                    static_cast<std::uint32_t>(i) + 2);
+            }
+        }
+    }
+    threadCons.assign(program.numThreads(), {});
+    threadViol.assign(program.numThreads(), 0);
+    locViol.assign(num_locs, 0);
+    locDirty.assign(num_locs, 1);
+    locPending.assign(num_locs, 0);
+    haveState = false;
+
     bound = true;
     boundFingerprint = program.fingerprint();
 }
@@ -82,104 +109,209 @@ WsOrder::close()
 }
 
 void
+WsOrder::walkThread(const TestProgram &program,
+                    const Execution &execution, std::uint32_t tid)
+{
+    // Walk the thread once, tracking the last store and the last
+    // load-observed value per location, to apply rules (b), (c), (d).
+    // Walks only read the thread's own body and load values, so each
+    // thread's constraint list is independent of every other thread.
+    const auto &body = program.threadBodies()[tid];
+    const std::uint32_t num_locs = program.config().numLocations;
+    std::vector<ThreadConstraint> &cons = threadCons[tid];
+    cons.clear();
+    threadViol[tid] = 0;
+    lastStore.assign(num_locs, std::nullopt);
+    // Last value observed by a load of this thread per location,
+    // and whether a store of this thread intervened since.
+    pendingRead.assign(num_locs, std::nullopt);
+
+    for (std::uint32_t idx = 0; idx < body.size(); ++idx) {
+        const MemOp &mem_op = body[idx];
+        if (mem_op.kind == OpKind::Fence)
+            continue;
+        const std::uint32_t loc = mem_op.loc;
+
+        if (mem_op.kind == OpKind::Store) {
+            // Rule (c): the store follows whatever the last load of
+            // this location read.
+            if (pendingRead[loc]) {
+                const std::uint32_t read_value = *pendingRead[loc];
+                std::optional<OpId> w;
+                if (read_value != kInitValue)
+                    w = program.storeForValue(read_value);
+                const std::uint32_t from = indexOf(loc, w);
+                const std::uint32_t to = indexOf(loc, OpId{tid, idx});
+                if (from == to) {
+                    // A load read its own thread's future store.
+                    threadViol[tid] = 1;
+                } else {
+                    cons.push_back({loc, from, to});
+                }
+                pendingRead[loc].reset();
+            }
+            lastStore[loc] = OpId{tid, idx};
+            continue;
+        }
+
+        // Load: find what it observed.
+        const std::uint32_t ordinal =
+            program.loadOrdinal(OpId{tid, idx});
+        const std::uint32_t value = execution.loadValues.at(ordinal);
+        std::optional<OpId> w;
+        if (value != kInitValue) {
+            w = program.storeForValue(value);
+            if (!w) {
+                // Value produced by no store in the test: platform
+                // corruption; treat as a violation.
+                threadViol[tid] = 1;
+                continue;
+            }
+        }
+
+        // Rule (b): last same-thread store must be coherence-<= W.
+        if (lastStore[loc] && w != lastStore[loc]) {
+            cons.push_back({loc, indexOf(loc, lastStore[loc]),
+                            indexOf(loc, w)});
+        }
+        if (!w && lastStore[loc]) {
+            // Reading the initial value after this thread stored:
+            // the (b) constraint above targets index 0 and closes a
+            // cycle with the base init-first edges.
+            threadViol[tid] = 1;
+        }
+
+        // Rule (d): CoRR against the previous load of this loc, if
+        // no own store intervened (an intervening store subsumes
+        // the constraint through rules (b)+(c)).
+        if (pendingRead[loc] && *pendingRead[loc] != value) {
+            std::optional<OpId> w_old;
+            if (*pendingRead[loc] != kInitValue)
+                w_old = program.storeForValue(*pendingRead[loc]);
+            cons.push_back({loc, indexOf(loc, w_old), indexOf(loc, w)});
+        }
+        pendingRead[loc] = value;
+    }
+}
+
+void
+WsOrder::rebuildLoc(std::uint32_t loc)
+{
+    const std::uint32_t n = locN[loc];
+    const std::uint32_t words = locWords[loc];
+    std::uint64_t *base = reach.data() + locOffset[loc];
+    std::fill(base, base + static_cast<std::size_t>(n) * words, 0);
+
+    // The virtual initial store is index 0 and precedes everything.
+    for (std::uint32_t i = 1; i < n; ++i)
+        base[i >> 6] |= std::uint64_t(1) << (i & 63);
+
+    const auto set_bit = [&](std::uint32_t from, std::uint32_t to) {
+        std::uint64_t *row =
+            base + static_cast<std::size_t>(from) * words;
+        row[to >> 6] |= std::uint64_t(1) << (to & 63);
+    };
+    for (const auto &edge : staticCons[loc])
+        set_bit(edge.first, edge.second);
+    for (const auto &cons : threadCons) {
+        for (const ThreadConstraint &c : cons) {
+            if (c.loc == loc)
+                set_bit(c.from, c.to);
+        }
+    }
+
+    // Floyd-Warshall-style bitset closure: n is small (stores per
+    // location), so O(n^2) word operations are cheap. The closed bits
+    // depend only on the constraint *set* above, never on insertion
+    // order, which is what makes incremental rebuilds bit-identical.
+    for (std::uint32_t k = 0; k < n; ++k) {
+        const std::uint64_t *row_k = base + k * words;
+        for (std::uint32_t i = 0; i < n; ++i) {
+            std::uint64_t *row_i = base + i * words;
+            if ((row_i[k >> 6] >> (k & 63)) & 1) {
+                for (std::uint32_t w = 0; w < words; ++w)
+                    row_i[w] |= row_k[w];
+            }
+        }
+    }
+    locViol[loc] = 0;
+    for (std::uint32_t i = 0; i < n; ++i) {
+        const std::uint64_t *row_i = base + i * words;
+        if ((row_i[i >> 6] >> (i & 63)) & 1)
+            locViol[loc] = 1;
+    }
+}
+
+void
+WsOrder::recomputeViolation()
+{
+    violation = false;
+    for (const std::uint8_t flag : threadViol)
+        violation = violation || flag != 0;
+    for (const std::uint8_t flag : locViol)
+        violation = violation || flag != 0;
+}
+
+void
 WsOrder::infer(const TestProgram &program, const Execution &execution)
 {
     bindProgram(program);
-    resetOrders();
 
-    // Rule (a): program order among same-thread stores to one location.
-    // storesTo() is ordered by (tid, idx), so adjacent same-tid entries
-    // are program-ordered; chaining adjacent pairs is sufficient.
-    for (std::uint32_t loc = 0; loc < locStores.size(); ++loc) {
-        const auto &stores = locStores[loc];
-        for (std::size_t i = 0; i + 1 < stores.size(); ++i) {
-            if (stores[i].tid == stores[i + 1].tid) {
-                addConstraint(loc, static_cast<std::uint32_t>(i) + 1,
-                              static_cast<std::uint32_t>(i) + 2);
-            }
-        }
+    const std::uint32_t num_threads = program.numThreads();
+    for (std::uint32_t tid = 0; tid < num_threads; ++tid)
+        walkThread(program, execution, tid);
+    for (std::uint32_t loc = 0; loc < locN.size(); ++loc) {
+        rebuildLoc(static_cast<std::uint32_t>(loc));
+        locDirty[loc] = 1;
+    }
+    recomputeViolation();
+    haveState = true;
+}
+
+void
+WsOrder::inferDelta(const TestProgram &program,
+                    const Execution &execution,
+                    const std::uint32_t *changed_tids, std::size_t n)
+{
+    if (!haveState || !bound ||
+        boundFingerprint != program.fingerprint()) {
+        infer(program, execution);
+        return;
     }
 
-    // Walk each thread once, tracking the last store and the last
-    // load-observed value per location, to apply rules (b), (c), (d).
-    const auto &threads = program.threadBodies();
-    const std::uint32_t num_locs = program.config().numLocations;
-    for (std::uint32_t tid = 0; tid < threads.size(); ++tid) {
-        lastStore.assign(num_locs, std::nullopt);
-        // Last value observed by a load of this thread per location,
-        // and whether a store of this thread intervened since.
-        pendingRead.assign(num_locs, std::nullopt);
+    std::fill(locDirty.begin(), locDirty.end(), 0);
+    std::fill(locPending.begin(), locPending.end(), 0);
 
-        for (std::uint32_t idx = 0; idx < threads[tid].size(); ++idx) {
-            const MemOp &mem_op = threads[tid][idx];
-            if (mem_op.kind == OpKind::Fence)
-                continue;
-            const std::uint32_t loc = mem_op.loc;
-
-            if (mem_op.kind == OpKind::Store) {
-                // Rule (c): the store follows whatever the last load of
-                // this location read.
-                if (pendingRead[loc]) {
-                    const std::uint32_t read_value = *pendingRead[loc];
-                    std::optional<OpId> w;
-                    if (read_value != kInitValue)
-                        w = program.storeForValue(read_value);
-                    const std::uint32_t from = indexOf(loc, w);
-                    const std::uint32_t to =
-                        indexOf(loc, OpId{tid, idx});
-                    if (from == to) {
-                        // A load read its own thread's future store.
-                        violation = true;
-                    } else {
-                        addConstraint(loc, from, to);
-                    }
-                    pendingRead[loc].reset();
-                }
-                lastStore[loc] = OpId{tid, idx};
-                continue;
-            }
-
-            // Load: find what it observed.
-            const std::uint32_t ordinal =
-                program.loadOrdinal(OpId{tid, idx});
-            const std::uint32_t value = execution.loadValues.at(ordinal);
-            std::optional<OpId> w;
-            if (value != kInitValue) {
-                w = program.storeForValue(value);
-                if (!w) {
-                    // Value produced by no store in the test: platform
-                    // corruption; treat as a violation.
-                    violation = true;
-                    continue;
-                }
-            }
-
-            // Rule (b): last same-thread store must be coherence-<= W.
-            if (lastStore[loc] && w != lastStore[loc]) {
-                addConstraint(loc, indexOf(loc, lastStore[loc]),
-                              indexOf(loc, w));
-            }
-            if (!w && lastStore[loc]) {
-                // Reading the initial value after this thread stored:
-                // the (b) constraint above targets index 0 and closes a
-                // cycle with the base init-first edges.
-                violation = true;
-            }
-
-            // Rule (d): CoRR against the previous load of this loc, if
-            // no own store intervened (an intervening store subsumes
-            // the constraint through rules (b)+(c)).
-            if (pendingRead[loc] && *pendingRead[loc] != value) {
-                std::optional<OpId> w_old;
-                if (*pendingRead[loc] != kInitValue)
-                    w_old = program.storeForValue(*pendingRead[loc]);
-                addConstraint(loc, indexOf(loc, w_old), indexOf(loc, w));
-            }
-            pendingRead[loc] = value;
-        }
+    for (std::size_t k = 0; k < n; ++k) {
+        const std::uint32_t tid = changed_tids[k];
+        // Copy (not swap) into the scratch: swapping would rotate one
+        // buffer across threads of different sizes and realloc forever,
+        // defeating the steady-state zero-allocation guarantee.
+        oldCons.assign(threadCons[tid].begin(), threadCons[tid].end());
+        walkThread(program, execution, tid);
+        if (threadCons[tid] == oldCons)
+            continue; // same constraints: no location can move
+        for (const ThreadConstraint &c : oldCons)
+            locPending[c.loc] = 1;
+        for (const ThreadConstraint &c : threadCons[tid])
+            locPending[c.loc] = 1;
     }
 
-    close();
+    for (std::uint32_t loc = 0; loc < locN.size(); ++loc) {
+        if (!locPending[loc])
+            continue;
+        const std::size_t row_words =
+            static_cast<std::size_t>(locN[loc]) * locWords[loc];
+        const std::uint64_t *base = reach.data() + locOffset[loc];
+        prevRows.assign(base, base + row_words);
+        rebuildLoc(loc);
+        locDirty[loc] =
+            std::memcmp(prevRows.data(), base,
+                        row_words * sizeof(std::uint64_t)) != 0
+            ? 1
+            : 0;
+    }
+    recomputeViolation();
 }
 
 WsOrder

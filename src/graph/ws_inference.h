@@ -67,6 +67,33 @@ class WsOrder
      */
     void infer(const TestProgram &program, const Execution &execution);
 
+    /**
+     * Incrementally re-infer from @p execution when only the threads
+     * in [changed_tids, changed_tids + n) may have different load
+     * values than the execution of the previous infer()/inferDelta()
+     * on this object: only those threads are re-walked, and only
+     * locations whose constraint set moved are re-closed. Falls back
+     * to a full infer() when there is no previous state or the
+     * program changed. Bit-identical to infer() — the closed reach
+     * bits depend only on the constraint *set*, and per-thread walks
+     * are independent, so re-walking unchanged threads cannot change
+     * anything.
+     */
+    void inferDelta(const TestProgram &program,
+                    const Execution &execution,
+                    const std::uint32_t *changed_tids, std::size_t n);
+
+    /**
+     * After infer()/inferDelta(): may @p loc's closed order (or its
+     * per-location violation flag) differ from the previous
+     * inference? infer() marks every location; inferDelta() marks the
+     * locations whose closed reach rows actually changed.
+     */
+    bool locChanged(std::uint32_t loc) const
+    {
+        return locDirty[loc] != 0;
+    }
+
     /** Adopt the executor-exported total order (testing only). */
     static WsOrder fromGroundTruth(const TestProgram &program,
                                    const Execution &execution);
@@ -119,6 +146,21 @@ class WsOrder
     }
 
   private:
+    /** One rule-(b)/(c)/(d) constraint discovered by a thread walk. */
+    struct ThreadConstraint
+    {
+        std::uint32_t loc = 0;
+        std::uint32_t from = 0;
+        std::uint32_t to = 0;
+
+        bool
+        operator==(const ThreadConstraint &other) const
+        {
+            return loc == other.loc && from == other.from &&
+                to == other.to;
+        }
+    };
+
     /** Rebuild the per-program layout when the program changed. */
     void bindProgram(const TestProgram &program);
 
@@ -130,6 +172,17 @@ class WsOrder
 
     /** Transitive closure of every per-location order. */
     void close();
+
+    /** Re-derive threadCons/threadViol of one thread from scratch. */
+    void walkThread(const TestProgram &program,
+                    const Execution &execution, std::uint32_t tid);
+
+    /** Rebuild and re-close one location's order from the cached
+     * constraint lists (zero rows, seed init, apply, closure). */
+    void rebuildLoc(std::uint32_t loc);
+
+    /** violation = any thread-walk or per-location contradiction. */
+    void recomputeViolation();
 
     bool bound = false;
     std::uint64_t boundFingerprint = 0;
@@ -149,6 +202,20 @@ class WsOrder
     // Per-thread walk scratch of infer(), reused across threads/calls.
     std::vector<std::optional<OpId>> lastStore;
     std::vector<std::optional<std::uint32_t>> pendingRead;
+
+    // Incremental state: rule-(a) constraints per location (program
+    // property), the last walk's constraints/contradiction per thread,
+    // and per-location violation/changed flags from the last closure.
+    std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>>
+        staticCons;
+    std::vector<std::vector<ThreadConstraint>> threadCons;
+    std::vector<std::uint8_t> threadViol;
+    std::vector<std::uint8_t> locViol;
+    std::vector<std::uint8_t> locDirty;
+    std::vector<std::uint8_t> locPending;      ///< delta scratch
+    std::vector<ThreadConstraint> oldCons;     ///< delta scratch
+    std::vector<std::uint64_t> prevRows;       ///< delta scratch
+    bool haveState = false; ///< an infer() ran since the last bind
 
     bool violation = false;
 };

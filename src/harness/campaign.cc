@@ -83,6 +83,11 @@ CampaignConfig::fromEnv(CampaignConfig defaults)
     if (const char *shard = std::getenv("MTC_SHARD_SIZE"))
         defaults.shardSize = static_cast<std::size_t>(
             parseEnvCount("MTC_SHARD_SIZE", shard, true));
+    // MTC_STREAM_WINDOW=0 asks for an unbounded decode→check window;
+    // any window is purely operational (bit-identical summaries).
+    if (const char *window = std::getenv("MTC_STREAM_WINDOW"))
+        defaults.streamWindow = static_cast<std::size_t>(
+            parseEnvCount("MTC_STREAM_WINDOW", window, true));
     // MTC_JOURNAL is a path, not a count, but gets the same strictness:
     // an empty value is a misconfiguration (probably MTC_JOURNAL= left
     // over from a shell edit), not a request for no journal.
@@ -170,6 +175,8 @@ flowTemplate(const TestConfig &cfg, const CampaignConfig &campaign)
     // busy cores, not threads^2 oversubscription.
     flow_cfg.threads = 1;
     flow_cfg.batch = campaign.batch;
+    flow_cfg.streamCheck = campaign.streamCheck;
+    flow_cfg.streamWindow = campaign.streamWindow;
     flow_cfg.exec.stallAfterSteps = campaign.stallAfterSteps;
     flow_cfg.exec.stallIgnoresCancel = campaign.stallUncooperative;
     flow_cfg.exec.dieAfterRuns = campaign.dieAfterRuns;

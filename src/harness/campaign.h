@@ -102,6 +102,16 @@ struct CampaignConfig
      * (see FlowConfig::shardSize). 0 = unsharded. */
     std::size_t shardSize = 0;
 
+    /** Streaming decode→check pipeline forwarded to every test's flow
+     * (see FlowConfig::streamCheck). false runs the barrier baseline.
+     * Operational knob — bit-identical summaries either way, so it is
+     * excluded from the campaign identity like `threads`/`batch`. */
+    bool streamCheck = true;
+
+    /** Bounded decode→check window forwarded to every test's flow
+     * (see FlowConfig::streamWindow); 0 = unbounded. Operational. */
+    std::size_t streamWindow = 64;
+
     /**
      * Write-ahead journal path (src/support/journal.h). Every
      * completed (config, test) unit is logged durably; empty (the
@@ -215,11 +225,12 @@ struct CampaignConfig
 
     /**
      * Apply MTC_ITERATIONS / MTC_TESTS / MTC_SEED / MTC_THREADS /
-     * MTC_BATCH / MTC_SHARD_SIZE / MTC_JOURNAL /
+     * MTC_BATCH / MTC_SHARD_SIZE / MTC_STREAM_WINDOW / MTC_JOURNAL /
      * MTC_TEST_TIMEOUT_MS / MTC_SANDBOX / MTC_SANDBOX_MEM_MB /
      * MTC_SANDBOX_CPU_S overrides (MTC_THREADS=0 means "use every
      * hardware thread"; MTC_BATCH=0 means "flow default";
-     * MTC_SHARD_SIZE=0 means unsharded; MTC_TEST_TIMEOUT_MS=0 means
+     * MTC_SHARD_SIZE=0 means unsharded; MTC_STREAM_WINDOW=0 means an
+     * unbounded decode→check window; MTC_TEST_TIMEOUT_MS=0 means
      * no watchdog; MTC_SANDBOX=0/1 selects in-process/sandboxed).
      *
      * @throws ConfigError if a set variable is non-numeric, or zero

@@ -22,7 +22,9 @@ constexpr std::uint8_t kHeaderTag = 1;
 constexpr std::uint8_t kUnitTag = 2;
 
 constexpr std::uint32_t kJournalMagic = 0x4D54434Au; // "MTCJ"
-constexpr std::uint32_t kJournalVersion = 1;
+// v2: FlowResult gained sliceReuses/sliceDecodes (streaming pipeline
+// delta-decode accounting), serialized right after decodeMs.
+constexpr std::uint32_t kJournalVersion = 2;
 
 void
 encodeFlowResult(ByteWriter &w, const FlowResult &r)
@@ -52,6 +54,8 @@ encodeFlowResult(ByteWriter &w, const FlowResult &r)
     w.f64(r.collectiveMs);
     w.f64(r.conventionalMs);
     w.f64(r.decodeMs);
+    w.u64(r.sliceReuses);
+    w.u64(r.sliceDecodes);
 
     w.u64(r.originalCycles);
     w.u64(r.computeCycles);
@@ -124,6 +128,8 @@ decodeFlowResult(ByteReader &rd)
     r.collectiveMs = rd.f64();
     r.conventionalMs = rd.f64();
     r.decodeMs = rd.f64();
+    r.sliceReuses = rd.u64();
+    r.sliceDecodes = rd.u64();
 
     r.originalCycles = rd.u64();
     r.computeCycles = rd.u64();

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Bounded producer/consumer channel for the overlapped decode→check
+ * pipeline.
+ *
+ * The streaming flow decodes unique signatures (producer, the calling
+ * thread) while the collective checker consumes edge diffs (one pool
+ * worker). The channel bounds the number of in-flight diffs to the
+ * configured stream window, so the pipeline holds O(window) live edge
+ * sets instead of materializing one DynamicEdgeSet per unique
+ * signature. Single-producer/single-consumer is all the flow needs —
+ * checking is inherently serial (each diff applies to the previous
+ * graph) — so this is a plain mutex+condvar ring, not a lock-free
+ * structure.
+ */
+
+#ifndef MTC_HARNESS_CHECK_PIPELINE_H
+#define MTC_HARNESS_CHECK_PIPELINE_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <limits>
+#include <mutex>
+#include <utility>
+
+namespace mtc
+{
+
+/** Blocking bounded FIFO; capacity 0 means unbounded. */
+template <typename T> class BoundedChannel
+{
+  public:
+    explicit BoundedChannel(std::size_t capacity_arg)
+        : capacity(capacity_arg
+                       ? capacity_arg
+                       : std::numeric_limits<std::size_t>::max())
+    {}
+
+    /**
+     * Enqueue @p item, blocking while the channel is full.
+     * @return false when the channel was poisoned (item discarded) —
+     *         the consumer died and the producer should stop.
+     */
+    bool
+    push(T item)
+    {
+        std::unique_lock<std::mutex> lock(mtx);
+        spaceAvailable.wait(lock, [&] {
+            return poisoned || items.size() < capacity;
+        });
+        if (poisoned)
+            return false;
+        items.push_back(std::move(item));
+        lock.unlock();
+        itemAvailable.notify_one();
+        return true;
+    }
+
+    /**
+     * Dequeue into @p out, blocking while the channel is empty.
+     * @return false when the channel is closed and drained.
+     */
+    bool
+    pop(T &out)
+    {
+        std::unique_lock<std::mutex> lock(mtx);
+        itemAvailable.wait(lock,
+                           [&] { return closed || !items.empty(); });
+        if (items.empty())
+            return false;
+        out = std::move(items.front());
+        items.pop_front();
+        lock.unlock();
+        spaceAvailable.notify_one();
+        return true;
+    }
+
+    /** Producer is done: pop() drains the backlog, then returns false. */
+    void
+    close()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mtx);
+            closed = true;
+        }
+        itemAvailable.notify_all();
+    }
+
+    /** Consumer died: discard the backlog and unblock the producer
+     * (push() returns false from now on). */
+    void
+    poison()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mtx);
+            poisoned = true;
+            closed = true;
+            items.clear();
+        }
+        spaceAvailable.notify_all();
+        itemAvailable.notify_all();
+    }
+
+  private:
+    std::mutex mtx;
+    std::condition_variable itemAvailable;
+    std::condition_variable spaceAvailable;
+    std::deque<T> items;
+    std::size_t capacity;
+    bool closed = false;
+    bool poisoned = false;
+};
+
+} // namespace mtc
+
+#endif // MTC_HARNESS_CHECK_PIPELINE_H

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <bit>
+#include <chrono>
+#include <future>
 #include <memory>
 #include <optional>
 #include <set>
@@ -13,6 +15,7 @@
 #include "graph/cycle_report.h"
 #include "graph/graph_builder.h"
 #include "graph/po_edges.h"
+#include "harness/check_pipeline.h"
 #include "sim/executor.h"
 #include "support/journal.h"
 #include "support/log.h"
@@ -38,6 +41,202 @@ std::uint64_t
 bstInsertComparisons(std::uint64_t unique_before)
 {
     return unique_before ? std::bit_width(unique_before) : 0;
+}
+
+/**
+ * Streaming decode→derive→check over the sorted unique signatures —
+ * the shipping post-execution pipeline (streamCheck = true).
+ *
+ * The producer (calling thread) delta-decodes each signature against
+ * the previous one (StreamDecoder), incrementally re-infers the ws
+ * order for the changed threads (WsOrder::inferDelta), derives the
+ * per-signature edge *diff* (EdgeDeriver), and runs the optional
+ * conventional baseline on an incrementally maintained full edge
+ * list. The consumer applies each diff to one stateful
+ * CollectiveChecker. With a worker pool the consumer runs on a pool
+ * worker behind a bounded channel (O(window) diffs in flight);
+ * without one the check happens inline. Sharding semantics replicate
+ * checkCollectiveSharded() exactly: at each shard boundary the
+ * finished shard's stats are merged in shard order, the checker is
+ * reset, and the boundary signature enters as an added-only full
+ * snapshot — so verdicts and stats are bit-identical to the barrier
+ * pipeline at every shard size, window, and thread count.
+ *
+ * Quarantine entries are appended in ascending signature order (the
+ * producer walks the sorted sequence), and a decode fault leaves the
+ * stream decoder in a defined state, so the quarantine list, kept
+ * executions, and decoded sequence all match the barrier path.
+ */
+void
+streamDecodeAndCheck(const TestProgram &program, MemoryModel model,
+                     const SignatureCodec &codec, const FlowConfig &cfg,
+                     const std::vector<SignatureCount> &unique,
+                     ThreadPool *pool, PhaseProfiler &prof,
+                     FlowResult &result,
+                     std::vector<bool> &collective_verdicts,
+                     std::vector<std::size_t> &decoded_unique_idx)
+{
+    using Clock = std::chrono::steady_clock;
+    const auto ns_since = [](Clock::time_point t0) {
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                Clock::now() - t0)
+                .count());
+    };
+
+    StreamDecoder stream(codec);
+    WsOrder ws;
+    EdgeDeriver deriver(program);
+    EdgeDiff diff;
+    EdgeDiff snap; // shard-boundary full snapshot
+
+    CollectiveChecker checker(program, model);
+
+    std::optional<ConventionalChecker> conventional;
+    DynamicEdgeSet conv_edges;
+    std::vector<Edge> conv_scratch;
+    std::vector<bool> conventional_verdicts;
+    if (cfg.runConventional) {
+        conventional.emplace(program, model);
+        conventional_verdicts.reserve(unique.size());
+    }
+
+    collective_verdicts.assign(unique.size(), false);
+
+    std::uint64_t decode_ns = 0;
+    std::uint64_t check_ns = 0;
+    std::uint64_t conv_ns = 0;
+    const std::size_t shard = cfg.shardSize;
+
+    const auto check_item = [&](const EdgeDiff &d,
+                                std::size_t decoded_idx,
+                                bool start_shard) {
+        const auto t0 = Clock::now();
+        if (start_shard) {
+            // Shard boundary: exactly checkCollectiveSharded()'s
+            // fresh-checker-per-shard — merge the finished shard's
+            // stats in shard order, restart from an empty graph.
+            result.collective.merge(checker.stats());
+            checker.reset();
+        }
+        collective_verdicts[decoded_idx] = checker.checkNextDiff(d);
+        check_ns += ns_since(t0);
+    };
+
+    struct StreamItem
+    {
+        EdgeDiff diff;
+        std::size_t decodedIdx = 0;
+        bool startShard = false;
+    };
+    const bool overlapped = pool != nullptr && pool->size() > 1;
+    std::optional<BoundedChannel<StreamItem>> channel;
+    std::future<void> consumer_done;
+    if (overlapped) {
+        channel.emplace(cfg.streamWindow);
+        auto done = std::make_shared<std::promise<void>>();
+        consumer_done = done->get_future();
+        // The single consumer keeps checking strictly sequential (each
+        // diff applies to the previous graph), so any worker count
+        // yields the same verdicts and stats as the inline path.
+        pool->submit([&, done] {
+            try {
+                StreamItem item;
+                while (channel->pop(item))
+                    check_item(item.diff, item.decodedIdx,
+                               item.startShard);
+                done->set_value();
+            } catch (...) {
+                done->set_exception(std::current_exception());
+                channel->poison();
+            }
+        });
+    }
+
+    for (std::size_t i = 0; i < unique.size(); ++i) {
+        const auto t0 = Clock::now();
+        const Execution *exec = nullptr;
+        try {
+            exec = &stream.next(unique[i].signature);
+        } catch (const SignatureDecodeError &err) {
+            result.fault.quarantined.push_back(
+                {unique[i].signature, unique[i].iterations, err.kind(),
+                 err.thread(), err.word(), err.what()});
+            result.fault.quarantinedIterations += unique[i].iterations;
+            decode_ns += ns_since(t0);
+            continue;
+        }
+        const std::vector<std::uint32_t> &changed =
+            stream.changedThreads();
+        ws.inferDelta(program, *exec, changed.data(), changed.size());
+        deriver.derive(*exec, ws, changed.data(), changed.size(),
+                       diff);
+
+        const std::size_t decoded_idx = decoded_unique_idx.size();
+        decoded_unique_idx.push_back(i);
+        if (cfg.keepExecutions)
+            result.executions.push_back(*exec);
+
+        const bool start_shard =
+            shard > 0 && decoded_idx > 0 && decoded_idx % shard == 0;
+        EdgeDiff *to_check = &diff;
+        if (start_shard) {
+            deriver.snapshotAdded(snap);
+            snap.coherenceViolation = diff.coherenceViolation;
+            to_check = &snap;
+        }
+        decode_ns += ns_since(t0);
+
+        if (conventional) {
+            // The baseline checks every execution's *full* graph; the
+            // full edge list is maintained by one merge per diff
+            // instead of a per-signature rebuild + sort.
+            const auto t1 = Clock::now();
+            applyEdgeDiff(conv_edges.edges, diff, conv_scratch);
+            conv_edges.coherenceViolation = diff.coherenceViolation;
+            conventional_verdicts.push_back(
+                conventional->checkOne(conv_edges,
+                                       result.conventional));
+            conv_ns += ns_since(t1);
+        }
+
+        if (!overlapped) {
+            check_item(*to_check, decoded_idx, start_shard);
+        } else {
+            StreamItem item;
+            item.diff = std::move(*to_check);
+            to_check->clear();
+            item.decodedIdx = decoded_idx;
+            item.startShard = start_shard;
+            if (!channel->push(std::move(item)))
+                break; // consumer died; rethrown below
+        }
+    }
+
+    if (overlapped) {
+        channel->close();
+        consumer_done.get(); // joins the consumer; rethrows its error
+    }
+    // Final (or only) shard's accounting.
+    result.collective.merge(checker.stats());
+
+    collective_verdicts.resize(decoded_unique_idx.size());
+    result.sliceReuses = stream.slicesReused();
+    result.sliceDecodes = stream.slicesDecoded();
+    result.decodeMs = static_cast<double>(decode_ns) / 1e6;
+    result.collectiveMs = static_cast<double>(check_ns) / 1e6;
+    result.conventionalMs = static_cast<double>(conv_ns) / 1e6;
+    // Scopes cannot span the producer/consumer hand-off, so the
+    // accrued per-item times are credited in one entry per phase.
+    prof.record(Phase::Decode, decode_ns, 1);
+    prof.record(Phase::Check, check_ns + conv_ns, 1);
+
+    // The two checkers must agree; this is also asserted by the
+    // property tests, but a production run cross-checks too.
+    if (conventional && conventional_verdicts != collective_verdicts) {
+        warn("checker disagreement on test " +
+             program.config().name());
+    }
 }
 
 } // anonymous namespace
@@ -245,129 +444,151 @@ ValidationFlow::runTest(const TestProgram &program)
     if (flow_workers > 1)
         pool = std::make_unique<ThreadPool>(flow_workers);
 
-    // --- Decode + observed-edge derivation (shared by checkers) -------
+    // --- Decode + observed-edge derivation + checking -----------------
     // Undecodable signatures — the expected outcome of readout faults
     // on suspect silicon — are quarantined with their classification
     // instead of aborting the flow (post-silicon rule: never let the
     // harness confuse "readout glitched" with "the DUT is buggy").
-    //
-    // Each unique signature decodes independently, so the loop fans
-    // out across the pool into per-index slots; the slots are folded
-    // back in index (= ascending signature) order, which makes the
-    // decoded sequence, the quarantine list, and the kept executions
-    // bit-identical at any worker count. Slots own their Signature
-    // copies outright — the old code kept pointers into the live
-    // std::map, a dangling accident waiting for any later refactor.
-    struct DecodeSlot
-    {
-        bool quarantined = false;
-        DynamicEdgeSet edges;
-        Execution execution; ///< populated only when keepExecutions
-        QuarantinedSignature quarantine;
-    };
-    std::vector<DecodeSlot> decode_slots(unique.size());
-    std::vector<DynamicEdgeSet> edge_sets;
-    edge_sets.reserve(unique.size());
-    std::vector<std::size_t> decoded_unique_idx; // edge_sets -> unique
-    decoded_unique_idx.reserve(unique.size());
-    {
-        auto phase_scope = prof.scope(Phase::Decode);
-        WallTimer timer;
-        ScopedTimer scope(timer);
-        const auto decode_one = [&](std::size_t i) {
-            DecodeSlot &slot = decode_slots[i];
-            // Per-worker decode buffers: only the per-slot edge set (the
-            // product that outlives this loop) is allocated per
-            // signature; the Execution and word scratch are reused, as
-            // is dynamicEdges' internal inference workspace.
-            thread_local Execution decoded;
-            thread_local std::vector<std::uint64_t> word_scratch;
-            // Per-worker slice memo: unique signatures share their
-            // per-thread word slices heavily, and the memo rebinds
-            // itself when this worker moves on to another program.
-            thread_local DecodeMemo memo;
-            try {
-                codec.decodeInto(unique[i].signature, decoded,
-                                 word_scratch,
-                                 cfg.decodeMemo ? &memo : nullptr);
-                slot.edges = dynamicEdges(program, decoded);
-                if (cfg.keepExecutions)
-                    slot.execution = decoded;
-            } catch (const SignatureDecodeError &err) {
-                slot.quarantined = true;
-                slot.quarantine = {unique[i].signature,
-                                   unique[i].iterations, err.kind(),
-                                   err.thread(), err.word(), err.what()};
-            }
-        };
-        if (pool) {
-            pool->parallelFor(unique.size(), decode_one);
-        } else {
-            for (std::size_t i = 0; i < unique.size(); ++i)
-                decode_one(i);
-        }
-
-        for (std::size_t i = 0; i < unique.size(); ++i) {
-            DecodeSlot &slot = decode_slots[i];
-            if (slot.quarantined) {
-                result.fault.quarantined.push_back(
-                    std::move(slot.quarantine));
-                result.fault.quarantinedIterations +=
-                    unique[i].iterations;
-                continue;
-            }
-            edge_sets.push_back(std::move(slot.edges));
-            decoded_unique_idx.push_back(i);
-            if (cfg.keepExecutions)
-                result.executions.push_back(std::move(slot.execution));
-        }
-        result.decodeMs = timer.milliseconds();
-    }
-    decode_slots.clear();
-    result.fault.decodedSignatures = edge_sets.size();
-
-    // --- Collective checking (MTraceCheck) -----------------------------
     const MemoryModel model =
         cfg.coherent ? cfg.coherent->model : cfg.exec.model;
-    std::optional<PhaseProfiler::Scope> check_scope;
-    check_scope.emplace(prof, Phase::Check);
+    std::vector<DynamicEdgeSet> edge_sets;       // barrier pipeline only
+    std::vector<std::size_t> decoded_unique_idx; // decoded -> unique
+    decoded_unique_idx.reserve(unique.size());
     std::vector<bool> collective_verdicts;
-    {
-        WallTimer timer;
-        ScopedTimer scope(timer);
-        collective_verdicts = checkCollectiveSharded(
-            program, model, edge_sets, cfg.shardSize, pool.get(),
-            result.collective);
-        result.collectiveMs = timer.milliseconds();
+
+    if (cfg.streamCheck) {
+        // Streaming pipeline: delta decode against the previous sorted
+        // signature, incremental edge derivation, and (with a pool)
+        // decode→check overlap behind a bounded window. Bit-identical
+        // to the barrier pipeline below — see streamDecodeAndCheck.
+        streamDecodeAndCheck(program, model, codec, cfg, unique,
+                             pool.get(), prof, result,
+                             collective_verdicts, decoded_unique_idx);
+    } else {
+        // Barrier pipeline (A/B baseline and equivalence oracle):
+        // decode everything, then check everything, one full edge set
+        // per unique signature held live at once.
+        //
+        // Each unique signature decodes independently, so the loop fans
+        // out across the pool into per-index slots; the slots are
+        // folded back in index (= ascending signature) order, which
+        // makes the decoded sequence, the quarantine list, and the kept
+        // executions bit-identical at any worker count.
+        struct DecodeSlot
+        {
+            bool quarantined = false;
+            DynamicEdgeSet edges;
+            Execution execution; ///< populated only when keepExecutions
+            QuarantinedSignature quarantine;
+        };
+        std::vector<DecodeSlot> decode_slots(unique.size());
+        edge_sets.reserve(unique.size());
+        {
+            auto phase_scope = prof.scope(Phase::Decode);
+            WallTimer timer;
+            ScopedTimer scope(timer);
+            const auto decode_one = [&](std::size_t i) {
+                DecodeSlot &slot = decode_slots[i];
+                // Per-worker decode buffers: only the per-slot edge set
+                // (the product that outlives this loop) is allocated
+                // per signature; the Execution and word scratch are
+                // reused, as is dynamicEdges' inference workspace.
+                thread_local Execution decoded;
+                thread_local std::vector<std::uint64_t> word_scratch;
+                try {
+                    codec.decodeInto(unique[i].signature, decoded,
+                                     word_scratch);
+                    slot.edges = dynamicEdges(program, decoded);
+                    if (cfg.keepExecutions)
+                        slot.execution = decoded;
+                } catch (const SignatureDecodeError &err) {
+                    slot.quarantined = true;
+                    slot.quarantine = {unique[i].signature,
+                                       unique[i].iterations, err.kind(),
+                                       err.thread(), err.word(),
+                                       err.what()};
+                }
+            };
+            if (pool) {
+                pool->parallelFor(unique.size(), decode_one);
+            } else {
+                for (std::size_t i = 0; i < unique.size(); ++i)
+                    decode_one(i);
+            }
+
+            for (std::size_t i = 0; i < unique.size(); ++i) {
+                DecodeSlot &slot = decode_slots[i];
+                if (slot.quarantined) {
+                    result.fault.quarantined.push_back(
+                        std::move(slot.quarantine));
+                    result.fault.quarantinedIterations +=
+                        unique[i].iterations;
+                    continue;
+                }
+                edge_sets.push_back(std::move(slot.edges));
+                decoded_unique_idx.push_back(i);
+                if (cfg.keepExecutions)
+                    result.executions.push_back(
+                        std::move(slot.execution));
+            }
+            result.decodeMs = timer.milliseconds();
+        }
+        decode_slots.clear();
+
+        // Collective checking (MTraceCheck), then the conventional
+        // baseline over the same materialized edge sets.
+        auto check_scope = prof.scope(Phase::Check);
+        {
+            WallTimer timer;
+            ScopedTimer scope(timer);
+            collective_verdicts = checkCollectiveSharded(
+                program, model, edge_sets, cfg.shardSize, pool.get(),
+                result.collective);
+            result.collectiveMs = timer.milliseconds();
+        }
+        if (cfg.runConventional) {
+            ConventionalChecker checker(program, model);
+            WallTimer timer;
+            ScopedTimer scope(timer);
+            const std::vector<bool> verdicts =
+                checker.check(edge_sets, result.conventional);
+            result.conventionalMs = timer.milliseconds();
+
+            // The two checkers must agree; this is also asserted by
+            // the property tests, but a production run cross-checks.
+            if (verdicts != collective_verdicts) {
+                warn("checker disagreement on test " +
+                     program.config().name());
+            }
+        }
     }
+    result.fault.decodedSignatures = decoded_unique_idx.size();
     for (bool verdict : collective_verdicts)
         result.violatingSignatures += verdict ? 1 : 0;
 
-    // --- Conventional checking (baseline) ------------------------------
-    if (cfg.runConventional) {
-        ConventionalChecker checker(program, model);
-        WallTimer timer;
-        ScopedTimer scope(timer);
-        const std::vector<bool> verdicts =
-            checker.check(edge_sets, result.conventional);
-        result.conventionalMs = timer.milliseconds();
-
-        // The two checkers must agree; this is also asserted by the
-        // property tests, but a production run cross-checks too.
-        if (verdicts != collective_verdicts) {
-            warn("checker disagreement on test " +
-                 program.config().name());
-        }
-    }
-
     // --- Violation witness (Figure 13 style) ---------------------------
     if (result.violatingSignatures && result.violationWitness.empty()) {
-        for (std::size_t i = 0; i < edge_sets.size(); ++i) {
+        auto witness_scope = prof.scope(Phase::Check);
+        for (std::size_t i = 0; i < decoded_unique_idx.size(); ++i) {
             if (!collective_verdicts[i])
                 continue;
+            // The streaming pipeline holds no full edge sets, so the
+            // single witnessed execution is re-derived post hoc (one
+            // cold decode — negligible against the checking sweep).
+            DynamicEdgeSet witness_edges;
+            const DynamicEdgeSet *edges_ptr = nullptr;
+            if (!edge_sets.empty()) {
+                edges_ptr = &edge_sets[i];
+            } else {
+                witness_edges = dynamicEdges(
+                    program,
+                    codec.decode(unique[decoded_unique_idx[i]]
+                                     .signature));
+                edges_ptr = &witness_edges;
+            }
             ConstraintGraph graph(program.numOps());
             graph.addEdges(programOrderEdges(program, model));
-            graph.addEdges(edge_sets[i].edges);
+            graph.addEdges(edges_ptr->edges);
             const auto cycle = findCycle(graph);
             if (!cycle.empty()) {
                 result.violationWitness =
@@ -379,7 +600,6 @@ ValidationFlow::runTest(const TestProgram &program)
             break;
         }
     }
-    check_scope.reset();
 
     // --- K-re-execution confirmation (fault-tolerant pipeline) --------
     // A cyclic signature read over a faulty path is ambiguous: the DUT
@@ -399,7 +619,7 @@ ValidationFlow::runTest(const TestProgram &program)
         cfg.recovery.confirmationRuns > 0) {
         auto confirm_scope = prof.scope(Phase::Confirm);
         std::set<Signature> violating_set;
-        for (std::size_t i = 0; i < edge_sets.size(); ++i) {
+        for (std::size_t i = 0; i < decoded_unique_idx.size(); ++i) {
             if (collective_verdicts[i])
                 violating_set.insert(
                     unique[decoded_unique_idx[i]].signature);

@@ -182,12 +182,26 @@ struct FlowConfig
     std::uint32_t batch = 0;
 
     /**
-     * Memoize repeated per-thread signature-word slices across the
-     * decode of a test's unique signatures (see DecodeMemo). Decoded
-     * executions are bit-identical either way; off only buys the
-     * pre-memo decode numbers for A/B benches.
+     * Stream the post-execution path: delta-decode the sorted unique
+     * signatures (StreamDecoder), derive observed edges incrementally
+     * (EdgeDeriver), and feed the collective checker per-signature
+     * edge diffs — overlapped with decoding on the flow pool when
+     * threads > 1. false runs the retired barrier pipeline
+     * (decode-all, then check-all, full edge sets materialized), kept
+     * for A/B benches and equivalence tests. Results are bit-identical
+     * either way; operational knob only, excluded from campaign
+     * identity like `threads`.
      */
-    bool decodeMemo = true;
+    bool streamCheck = true;
+
+    /**
+     * Bounded decode→check window of the overlapped pipeline: how many
+     * edge diffs may be in flight between the decoding producer and
+     * the checking consumer (0 = unbounded). Only meaningful when
+     * streamCheck is on and the flow runs with threads > 1; results
+     * are bit-identical at any window.
+     */
+    std::size_t streamWindow = 64;
 
     /**
      * Worker threads for the in-test parallel stages — the
@@ -272,6 +286,13 @@ struct FlowResult
 
     /** Wall-clock of decode + observed-edge derivation (shared). */
     double decodeMs = 0.0;
+
+    /** Delta-decode accounting of the streaming pipeline: per-thread
+     * signature-word slices reused verbatim from the previous sorted
+     * signature vs. peeled in full. Both zero when the barrier
+     * pipeline (streamCheck = false) ran. */
+    std::uint64_t sliceReuses = 0;
+    std::uint64_t sliceDecodes = 0;
 
     /** Figure 10 components. */
     std::uint64_t originalCycles = 0;

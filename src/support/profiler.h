@@ -146,6 +146,22 @@ class PhaseProfiler
     Scope scope(Phase phase) { return Scope(*this, phase); }
 
     /**
+     * Credit @p ns_arg of pre-measured work to @p phase as
+     * @p calls entries. The overlapped streaming pipeline accrues
+     * per-item times (possibly off-thread) and records them once,
+     * because a Scope cannot span a producer/consumer hand-off.
+     */
+    void
+    record(Phase phase, std::uint64_t ns_arg, std::uint64_t calls = 1)
+    {
+        if (!on)
+            return;
+        const std::size_t i = static_cast<std::size_t>(phase);
+        breakdown.ns[i] += ns_arg;
+        breakdown.count[i] += calls;
+    }
+
+    /**
      * The breakdown accumulated so far; totalNs spans from
      * construction to this call. Disabled profilers return an
      * all-zero breakdown.

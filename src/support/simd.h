@@ -76,6 +76,60 @@ firstIndexOfU32(const std::uint32_t *data, std::uint32_t n,
 #endif
 }
 
+/**
+ * Index of the first element where [a, a+n) and [b, b+n) differ, or
+ * @p n when the ranges are equal — the delta-decode prefix probe: two
+ * adjacent sorted signatures share a thread's word slice exactly when
+ * this returns @p n for that slice.
+ */
+inline std::uint32_t
+firstDiffU64(const std::uint64_t *a, const std::uint64_t *b,
+             std::uint32_t n)
+{
+#if defined(MTC_SIMD) && defined(__SSE2__)
+    std::uint32_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+        const __m128i va = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(a + i));
+        const __m128i vb = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(b + i));
+        const int mask =
+            _mm_movemask_epi8(_mm_cmpeq_epi32(va, vb));
+        if (mask != 0xffff)
+            return i + ((mask & 0xff) == 0xff ? 1 : 0);
+    }
+    for (; i < n; ++i) {
+        if (a[i] != b[i])
+            return i;
+    }
+    return n;
+#elif defined(MTC_SIMD) && defined(__ARM_NEON)
+    std::uint32_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+        const uint64x2_t eq = vreinterpretq_u64_u32(
+            vceqq_u32(vreinterpretq_u32_u64(vld1q_u64(a + i)),
+                      vreinterpretq_u32_u64(vld1q_u64(b + i))));
+        const std::uint64_t lo = vgetq_lane_u64(eq, 0);
+        const std::uint64_t hi = vgetq_lane_u64(eq, 1);
+        if (lo != ~std::uint64_t(0))
+            return i;
+        if (hi != ~std::uint64_t(0))
+            return i + 1;
+    }
+    for (; i < n; ++i) {
+        if (a[i] != b[i])
+            return i;
+    }
+    return n;
+#else
+    for (std::uint32_t i = 0; i < n; ++i) {
+        if (a[i] != b[i])
+            return i;
+    }
+    return n;
+#endif
+}
+
 } // namespace mtc
 
 #endif // MTC_SUPPORT_SIMD_H

@@ -273,7 +273,7 @@ TEST(Codec, ThirtyTwoBitWordsStayInRange)
     }
 }
 
-TEST(DecodeMemo, MemoizedDecodeBitIdenticalAndHits)
+TEST(StreamDecoder, DeltaDecodeBitIdenticalOverSortedUniques)
 {
     const TestProgram program =
         generateTest(parseConfigName("x86-4-100-64"), 21);
@@ -289,25 +289,32 @@ TEST(DecodeMemo, MemoizedDecodeBitIdenticalAndHits)
         unique.insert(codec.encode(platform.run(program, rng)).signature);
     ASSERT_GT(unique.size(), 4u);
 
-    // Two memoized passes over the unique set: values must match the
-    // memo-free decode exactly, and the second pass must be all hits.
-    DecodeMemo memo;
-    std::vector<std::uint64_t> scratch;
-    for (int pass = 0; pass < 2; ++pass) {
-        for (const Signature &signature : unique) {
-            Execution with_memo;
-            codec.decodeInto(signature, with_memo, scratch, &memo);
-            EXPECT_EQ(with_memo.loadValues,
-                      codec.decode(signature).loadValues);
-        }
+    // Walking the set in ascending order (the flow's presentation
+    // order) must reproduce the full decode exactly, and adjacent
+    // sorted signatures must actually share slices.
+    StreamDecoder stream(codec);
+    for (const Signature &signature : unique) {
+        const Execution &delta = stream.next(signature);
+        EXPECT_EQ(delta.loadValues, codec.decode(signature).loadValues);
     }
-    EXPECT_GT(memo.hits(), 0u);
-    EXPECT_GT(memo.entries(), 0u);
-    // Pass 2 re-decoded every slice out of the memo.
-    EXPECT_GE(memo.hits(), memo.misses());
+    EXPECT_GT(stream.slicesReused(), 0u);
+    EXPECT_EQ(stream.slicesReused() + stream.slicesDecoded(),
+              static_cast<std::uint64_t>(unique.size()) *
+                  program.numThreads());
+
+    // A second pass over the same sequence reuses every slice except
+    // the wrap-around from the last signature back to the first.
+    const std::uint64_t decoded_before = stream.slicesDecoded();
+    for (const Signature &signature : unique) {
+        const Execution &delta = stream.next(signature);
+        EXPECT_EQ(delta.loadValues, codec.decode(signature).loadValues);
+    }
+    // Pass 2 sees the same adjacent transitions, so it never decodes
+    // more slices than pass 1 (whose first signature was all-cold).
+    EXPECT_LE(stream.slicesDecoded() - decoded_before, decoded_before);
 }
 
-TEST(DecodeMemo, CorruptSignaturesThrowIdenticallyAndAreNotMemoized)
+TEST(StreamDecoder, CorruptSignaturesThrowIdenticallyAndRecover)
 {
     const TestProgram program =
         generateTest(parseConfigName("x86-2-50-32"), 9);
@@ -320,52 +327,83 @@ TEST(DecodeMemo, CorruptSignaturesThrowIdenticallyAndAreNotMemoized)
     corrupt.words[0] = ~std::uint64_t(0);
 
     std::string bare_what;
+    DecodeFaultKind bare_kind{};
     try {
         codec.decode(corrupt);
         FAIL() << "corrupt signature must not decode";
     } catch (const SignatureDecodeError &err) {
         bare_what = err.what();
+        bare_kind = err.kind();
     }
 
-    DecodeMemo memo;
-    std::vector<std::uint64_t> scratch;
+    // A clean signature to interleave with the corrupt one: the
+    // stream decoder must classify the fault identically every time
+    // and keep decoding correctly after each throw.
+    OperationalExecutor platform(bareMetalConfig(Isa::X86));
+    Rng rng(3);
+    const Signature clean =
+        codec.encode(platform.run(program, rng)).signature;
+    const Execution full = codec.decode(clean);
+
+    StreamDecoder stream(codec);
     for (int attempt = 0; attempt < 3; ++attempt) {
-        const std::uint64_t entries_before = memo.entries();
-        Execution out;
         try {
-            codec.decodeInto(corrupt, out, scratch, &memo);
-            FAIL() << "corrupt signature must not decode (memoized)";
+            stream.next(corrupt);
+            FAIL() << "corrupt signature must not stream-decode";
         } catch (const SignatureDecodeError &err) {
             EXPECT_EQ(std::string(err.what()), bare_what);
+            EXPECT_EQ(err.kind(), bare_kind);
         }
-        // Only cleanly decoded slices are memoized: repeating the
-        // corrupt decode must keep throwing, never serve from cache.
-        EXPECT_EQ(memo.entries(), entries_before);
+        EXPECT_EQ(stream.next(clean).loadValues, full.loadValues);
+    }
+
+    // Truncation faults classify identically too.
+    Signature truncated = clean;
+    truncated.words.pop_back();
+    try {
+        stream.next(truncated);
+        FAIL() << "truncated signature must not stream-decode";
+    } catch (const SignatureDecodeError &err) {
+        EXPECT_EQ(err.kind(), DecodeFaultKind::WordCountMismatch);
     }
 }
 
-TEST(DecodeMemo, RebindsAcrossPrograms)
+TEST(StreamDecoder, ChangedThreadsIsASoundSuperset)
 {
-    DecodeMemo memo;
-    std::vector<std::uint64_t> scratch;
-    for (std::uint64_t seed : {31ull, 32ull}) {
-        const TestProgram program =
-            generateTest(parseConfigName("ARM-4-50-64"), seed);
-        LoadValueAnalysis analysis(program);
-        InstrumentationPlan plan(program, analysis);
-        SignatureCodec codec(program, analysis, plan);
+    const TestProgram program =
+        generateTest(parseConfigName("ARM-4-50-64"), 31);
+    LoadValueAnalysis analysis(program);
+    InstrumentationPlan plan(program, analysis);
+    SignatureCodec codec(program, analysis, plan);
 
-        OperationalExecutor platform(bareMetalConfig(Isa::ARMv7));
-        Rng rng(seed);
-        for (int run = 0; run < 24; ++run) {
-            const EncodeResult encoded =
-                codec.encode(platform.run(program, rng));
-            Execution with_memo;
-            codec.decodeInto(encoded.signature, with_memo, scratch,
-                             &memo);
-            EXPECT_EQ(with_memo.loadValues,
-                      codec.decode(encoded.signature).loadValues);
+    OperationalExecutor platform(bareMetalConfig(Isa::ARMv7));
+    Rng rng(31);
+    std::set<Signature> unique;
+    for (int run = 0; run < 48; ++run)
+        unique.insert(codec.encode(platform.run(program, rng)).signature);
+
+    StreamDecoder stream(codec);
+    Execution prev;
+    bool have_prev = false;
+    for (const Signature &signature : unique) {
+        const Execution &delta = stream.next(signature);
+        if (have_prev) {
+            // Any load whose value changed belongs to a reported
+            // changed thread; threads outside the list are untouched.
+            std::vector<bool> changed(program.numThreads(), false);
+            for (std::uint32_t tid : stream.changedThreads())
+                changed[tid] = true;
+            const auto &loads = program.loads();
+            for (std::size_t ordinal = 0; ordinal < loads.size();
+                 ++ordinal) {
+                if (delta.loadValues[ordinal] !=
+                    prev.loadValues[ordinal]) {
+                    EXPECT_TRUE(changed[loads[ordinal].tid]);
+                }
+            }
         }
+        prev = delta;
+        have_prev = true;
     }
 }
 

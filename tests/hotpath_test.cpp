@@ -12,6 +12,8 @@
 #include <atomic>
 #include <cstdlib>
 #include <new>
+#include <set>
+#include <vector>
 
 #include "core/load_analysis.h"
 #include "core/signature_accumulator.h"
@@ -374,6 +376,52 @@ TEST(ZeroAllocation, DecodeAndEdgeDerivationSteadyState)
         ws.infer(program, decoded);
         dynamicEdgesInto(program, decoded, ws, edges);
     }
+    EXPECT_EQ(allocationsNow() - before, 0u);
+}
+
+TEST(ZeroAllocation, StreamingCheckSteadyState)
+{
+    // The whole streaming post-execution path — delta decode,
+    // incremental ws inference, edge-diff derivation, and the diff-fed
+    // collective checker — must be allocation-free once its buffers
+    // have seen the signature sequence.
+    const TestProgram program =
+        generateTest(parseConfigName("x86-4-50-16"), 7);
+    const LoadValueAnalysis analysis(program);
+    const InstrumentationPlan plan(program, analysis);
+    const SignatureCodec codec(program, analysis, plan);
+    OperationalExecutor platform(bareMetalConfig(Isa::X86));
+    Rng rng(21);
+    RunArena arena;
+    std::set<Signature> unique;
+    for (int i = 0; i < 64; ++i) {
+        platform.runInto(program, rng, arena);
+        unique.insert(codec.encode(arena.execution).signature);
+    }
+    const std::vector<Signature> sorted(unique.begin(), unique.end());
+    ASSERT_GT(sorted.size(), 2u);
+
+    StreamDecoder stream(codec);
+    WsOrder ws;
+    EdgeDeriver deriver(program);
+    EdgeDiff diff;
+    CollectiveChecker checker(program, MemoryModel::TSO);
+    const auto pass = [&] {
+        for (const Signature &signature : sorted) {
+            const Execution &exec = stream.next(signature);
+            const std::vector<std::uint32_t> &changed =
+                stream.changedThreads();
+            ws.inferDelta(program, exec, changed.data(),
+                          changed.size());
+            deriver.derive(exec, ws, changed.data(), changed.size(),
+                           diff);
+            checker.checkNextDiff(diff);
+        }
+    };
+    pass(); // cold: every slice decodes, every unit builds
+    pass(); // warm: capacities stabilized (incl. the wrap-around)
+    const std::uint64_t before = allocationsNow();
+    pass();
     EXPECT_EQ(allocationsNow() - before, 0u);
 }
 

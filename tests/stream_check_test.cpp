@@ -1,0 +1,273 @@
+/**
+ * @file
+ * Streaming checking pipeline equivalences: the sorted-stream delta
+ * decode, the incremental edge derivation, and the diff-fed collective
+ * checker must each be bit-identical to their from-scratch forms — and
+ * the whole streamed flow must reproduce the barrier flow's summaries,
+ * quarantine ordering, and digests at every window, thread count, and
+ * fault mix.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/collective_checker.h"
+#include "core/load_analysis.h"
+#include "core/signature_codec.h"
+#include "graph/graph_builder.h"
+#include "harness/validation_flow.h"
+#include "sim/executor.h"
+#include "testgen/generator.h"
+
+namespace mtc
+{
+namespace
+{
+
+/** Sorted unique signatures of a short campaign on @p program. */
+std::vector<Signature>
+sortedUniques(const TestProgram &program, const SignatureCodec &codec,
+              const ExecutorConfig &exec, std::uint64_t seed, int runs)
+{
+    OperationalExecutor platform(exec);
+    Rng rng(seed);
+    RunArena arena;
+    std::set<Signature> unique;
+    for (int i = 0; i < runs; ++i) {
+        platform.runInto(program, rng, arena);
+        unique.insert(codec.encode(arena.execution).signature);
+    }
+    return {unique.begin(), unique.end()};
+}
+
+void
+expectSameStats(const CollectiveStats &a, const CollectiveStats &b)
+{
+    EXPECT_EQ(a.graphsChecked, b.graphsChecked);
+    EXPECT_EQ(a.violations, b.violations);
+    EXPECT_EQ(a.completeSorts, b.completeSorts);
+    EXPECT_EQ(a.noResortNeeded, b.noResortNeeded);
+    EXPECT_EQ(a.incrementalResorts, b.incrementalResorts);
+    EXPECT_EQ(a.affectedFraction.count(), b.affectedFraction.count());
+    EXPECT_EQ(a.affectedFraction.sum(), b.affectedFraction.sum());
+    EXPECT_EQ(a.verticesProcessed, b.verticesProcessed);
+    EXPECT_EQ(a.edgesProcessed, b.edgesProcessed);
+}
+
+void
+expectSameFlowResult(const FlowResult &a, const FlowResult &b)
+{
+    EXPECT_EQ(a.iterationsRun, b.iterationsRun);
+    EXPECT_EQ(a.uniqueSignatures, b.uniqueSignatures);
+    EXPECT_EQ(a.signatureSetDigest, b.signatureSetDigest);
+    EXPECT_EQ(a.violatingSignatures, b.violatingSignatures);
+    EXPECT_EQ(a.violationWitness, b.violationWitness);
+    expectSameStats(a.collective, b.collective);
+    EXPECT_EQ(a.conventional.graphsChecked,
+              b.conventional.graphsChecked);
+    EXPECT_EQ(a.conventional.violations, b.conventional.violations);
+    EXPECT_EQ(a.fault.decodedSignatures, b.fault.decodedSignatures);
+    EXPECT_EQ(a.fault.quarantinedIterations,
+              b.fault.quarantinedIterations);
+    ASSERT_EQ(a.fault.quarantined.size(), b.fault.quarantined.size());
+    for (std::size_t i = 0; i < a.fault.quarantined.size(); ++i) {
+        const QuarantinedSignature &qa = a.fault.quarantined[i];
+        const QuarantinedSignature &qb = b.fault.quarantined[i];
+        EXPECT_EQ(qa.signature, qb.signature);
+        EXPECT_EQ(qa.iterations, qb.iterations);
+        EXPECT_EQ(qa.kind, qb.kind);
+        EXPECT_EQ(qa.thread, qb.thread);
+        EXPECT_EQ(qa.word, qb.word);
+        EXPECT_EQ(qa.detail, qb.detail);
+    }
+}
+
+// --- Incremental edge derivation ≡ from-scratch dynamicEdges ----------
+
+class IncrementalEdges : public ::testing::TestWithParam<const char *>
+{};
+
+TEST_P(IncrementalEdges, MatchesFromScratchDerivation)
+{
+    const TestConfig cfg = parseConfigName(GetParam());
+    const TestProgram program = generateTest(cfg, 23);
+    const LoadValueAnalysis analysis(program);
+    const InstrumentationPlan plan(program, analysis);
+    const SignatureCodec codec(program, analysis, plan);
+    const ExecutorConfig exec = bareMetalConfig(cfg.isa);
+    const std::vector<Signature> sorted =
+        sortedUniques(program, codec, exec, 91, 96);
+    ASSERT_GT(sorted.size(), 3u);
+
+    StreamDecoder stream(codec);
+    WsOrder ws;
+    EdgeDeriver deriver(program);
+    EdgeDiff diff;
+    std::vector<Edge> maintained; // full list kept current via diffs
+    std::vector<Edge> scratch;
+    for (const Signature &signature : sorted) {
+        const Execution &exec_delta = stream.next(signature);
+        const std::vector<std::uint32_t> &changed =
+            stream.changedThreads();
+        ws.inferDelta(program, exec_delta, changed.data(),
+                      changed.size());
+        deriver.derive(exec_delta, ws, changed.data(), changed.size(),
+                       diff);
+        applyEdgeDiff(maintained, diff, scratch);
+
+        // Oracle: full decode, fresh inference, from-scratch edges.
+        const DynamicEdgeSet oracle =
+            dynamicEdges(program, codec.decode(signature));
+        std::vector<Edge> oracle_sorted = oracle.edges;
+        std::sort(oracle_sorted.begin(), oracle_sorted.end());
+        EXPECT_EQ(maintained, oracle_sorted);
+        EXPECT_EQ(diff.coherenceViolation, oracle.coherenceViolation);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, IncrementalEdges,
+                         ::testing::Values("x86-4-100-64",
+                                           "ARM-7-100-64",
+                                           "ARM-4-50-16"),
+                         [](const auto &info) {
+                             std::string name = info.param;
+                             for (char &c : name)
+                                 if (c == '-')
+                                     c = '_';
+                             return name;
+                         });
+
+// --- checkNextDiff ≡ checkNext ----------------------------------------
+
+TEST(StreamingChecker, DiffFedCheckerMatchesFullListChecker)
+{
+    const TestConfig cfg = parseConfigName("ARM-4-100-64");
+    const TestProgram program = generateTest(cfg, 4);
+    const LoadValueAnalysis analysis(program);
+    const InstrumentationPlan plan(program, analysis);
+    const SignatureCodec codec(program, analysis, plan);
+    const std::vector<Signature> sorted = sortedUniques(
+        program, codec, bareMetalConfig(cfg.isa), 17, 128);
+    ASSERT_GT(sorted.size(), 3u);
+
+    StreamDecoder stream(codec);
+    WsOrder ws;
+    EdgeDeriver deriver(program);
+    EdgeDiff diff;
+    CollectiveChecker diffed(program, MemoryModel::RMO);
+    CollectiveChecker full(program, MemoryModel::RMO);
+    DynamicEdgeSet full_edges;
+    std::vector<Edge> scratch;
+    for (const Signature &signature : sorted) {
+        const Execution &exec = stream.next(signature);
+        const std::vector<std::uint32_t> &changed =
+            stream.changedThreads();
+        ws.inferDelta(program, exec, changed.data(), changed.size());
+        deriver.derive(exec, ws, changed.data(), changed.size(), diff);
+        applyEdgeDiff(full_edges.edges, diff, scratch);
+        full_edges.coherenceViolation = diff.coherenceViolation;
+        EXPECT_EQ(diffed.checkNextDiff(diff),
+                  full.checkNext(full_edges));
+    }
+    expectSameStats(diffed.stats(), full.stats());
+}
+
+// --- Streamed flow ≡ barrier flow -------------------------------------
+
+FlowConfig
+faultedFlow(std::uint64_t iterations)
+{
+    FlowConfig cfg;
+    cfg.iterations = iterations;
+    cfg.seed = 77;
+    cfg.exec = bareMetalConfig(Isa::ARMv7);
+    cfg.fault.bitFlipRate = 0.03;
+    cfg.fault.truncationRate = 0.02;
+    return cfg;
+}
+
+TEST(StreamingFlow, FaultedQuarantineIdenticalToBarrier)
+{
+    const TestProgram program =
+        generateTest(parseConfigName("ARM-4-100-64"), 13);
+
+    FlowConfig streamed_cfg = faultedFlow(512);
+    streamed_cfg.streamCheck = true;
+    FlowConfig barrier_cfg = faultedFlow(512);
+    barrier_cfg.streamCheck = false;
+
+    const FlowResult streamed =
+        ValidationFlow(streamed_cfg).runTest(program);
+    const FlowResult barrier =
+        ValidationFlow(barrier_cfg).runTest(program);
+
+    // A faulted readout must quarantine something for this test to
+    // mean anything.
+    ASSERT_GT(streamed.fault.quarantined.size(), 0u);
+    expectSameFlowResult(streamed, barrier);
+
+    // Streaming accounting only exists on the streaming side.
+    EXPECT_GT(streamed.sliceReuses + streamed.sliceDecodes, 0u);
+    EXPECT_EQ(barrier.sliceReuses + barrier.sliceDecodes, 0u);
+}
+
+TEST(StreamingFlow, WindowsAndThreadsAreBitIdentical)
+{
+    const TestProgram program =
+        generateTest(parseConfigName("x86-4-100-64"), 29);
+
+    FlowConfig base;
+    base.iterations = 384;
+    base.seed = 5;
+    base.exec = bareMetalConfig(Isa::X86);
+    base.shardSize = 16; // exercise shard boundaries mid-stream
+
+    FlowConfig barrier_cfg = base;
+    barrier_cfg.streamCheck = false;
+    const FlowResult barrier =
+        ValidationFlow(barrier_cfg).runTest(program);
+
+    for (std::size_t window : {std::size_t(1), std::size_t(7),
+                               std::size_t(64), std::size_t(0)}) {
+        for (unsigned threads : {1u, 2u}) {
+            FlowConfig cfg = base;
+            cfg.streamCheck = true;
+            cfg.streamWindow = window;
+            cfg.threads = threads;
+            const FlowResult streamed =
+                ValidationFlow(cfg).runTest(program);
+            expectSameFlowResult(streamed, barrier);
+        }
+    }
+}
+
+TEST(StreamingFlow, KeptExecutionsMatchBarrier)
+{
+    const TestProgram program =
+        generateTest(parseConfigName("ARM-4-50-16"), 3);
+    FlowConfig cfg;
+    cfg.iterations = 256;
+    cfg.seed = 11;
+    cfg.exec = bareMetalConfig(Isa::ARMv7);
+    cfg.keepExecutions = true;
+
+    FlowConfig barrier_cfg = cfg;
+    barrier_cfg.streamCheck = false;
+    const FlowResult streamed = ValidationFlow(cfg).runTest(program);
+    const FlowResult barrier =
+        ValidationFlow(barrier_cfg).runTest(program);
+
+    ASSERT_EQ(streamed.executions.size(), barrier.executions.size());
+    ASSERT_GT(streamed.executions.size(), 0u);
+    for (std::size_t i = 0; i < streamed.executions.size(); ++i) {
+        EXPECT_EQ(streamed.executions[i].loadValues,
+                  barrier.executions[i].loadValues);
+    }
+}
+
+} // anonymous namespace
+} // namespace mtc

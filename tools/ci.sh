@@ -68,6 +68,43 @@ grep -q '"deterministic": true' BENCH_hotpath.smoke.json
 echo "=== bench/hotpath --smoke --batch 8 (asan) ==="
 ./build-asan/bench/hotpath --smoke --batch 8
 grep -q '"deterministic": true' BENCH_hotpath.smoke.json
+echo "=== bench/hotpath --smoke --batch 8 (simd) ==="
+./build-simd/bench/hotpath --smoke --batch 8
+grep -q '"deterministic": true' BENCH_hotpath.smoke.json
+
+# Streaming-check smoke: the same faulted campaign once through the
+# streaming decode→check pipeline (the default, overlapped across 2
+# flow threads) and once through the barrier baseline
+# (--no-stream-check). Every summary line — campaign digests and the
+# fault/quarantine accounting included — must be byte-identical, and
+# so must the exit codes; this is the streamed-vs-barrier bit-identity
+# gate end to end, in the plain, sanitized, and SIMD trees.
+stream_smoke() {
+    local bin="$1" tag="$2"
+    local streamed="build/ci_stream_${tag}.stream.txt"
+    local barrier="build/ci_stream_${tag}.barrier.txt"
+    local args=(--config ARM-4-100-64 --tests 6 --iterations 1024
+                --seed 3 --shard-size 32 --fault-bitflip 0.01
+                --fault-truncate 0.005)
+    rm -f "${streamed}" "${barrier}"
+    local stream_rc=0 barrier_rc=0
+    "${bin}" "${args[@]}" --threads 2 --stream-window 7 \
+        > "${streamed}" || stream_rc=$?
+    [ "${stream_rc}" -ne 1 ]
+    "${bin}" "${args[@]}" --no-stream-check \
+        > "${barrier}" || barrier_rc=$?
+    [ "${barrier_rc}" -eq "${stream_rc}" ]
+    diff <(grep -E "^campaign|fault summary" "${streamed}") \
+         <(grep -E "^campaign|fault summary" "${barrier}")
+    rm -f "${streamed}" "${barrier}"
+}
+
+echo "=== streaming-check smoke (plain) ==="
+stream_smoke ./build/tools/mtc_validate plain
+echo "=== streaming-check smoke (asan) ==="
+stream_smoke ./build-asan/tools/mtc_validate asan
+echo "=== streaming-check smoke (simd) ==="
+stream_smoke ./build-simd/tools/mtc_validate simd
 
 # Kill-and-resume smoke: run a journaled campaign, SIGKILL it mid-run
 # (tearing whatever record was in flight), resume from the journal,

@@ -121,6 +121,15 @@ struct Options
     /** Collective-checker shard size; 0 = unsharded. */
     std::size_t shardSize = 0;
 
+    /** Streaming decode→check pipeline (delta decode + incremental
+     * edge derivation); false runs the barrier baseline. Results are
+     * bit-identical either way. */
+    bool streamCheck = true;
+
+    /** Bounded decode→check window of the overlapped pipeline;
+     * 0 = unbounded. Defaults to MTC_STREAM_WINDOW when set. */
+    std::size_t streamWindow = 64;
+
     /** Write-ahead journal path; empty = no journal. Defaults to
      * MTC_JOURNAL when set. */
     std::string journalPath;
@@ -207,6 +216,15 @@ usage()
         "  --shard-size N    collective-checker shard size; each shard\n"
         "                    is checked independently at the price of\n"
         "                    one extra complete sort; 0 = unsharded [0]\n"
+        "  --no-stream-check run the barrier decode-then-check baseline\n"
+        "                    instead of the streaming pipeline (delta\n"
+        "                    decode + incremental edge derivation);\n"
+        "                    results are bit-identical either way\n"
+        "  --stream-window N bounded decode->check window of the\n"
+        "                    overlapped streaming pipeline (diffs in\n"
+        "                    flight when --threads > 1); 0 = unbounded\n"
+        "                    (default: MTC_STREAM_WINDOW if set,\n"
+        "                    else 64)\n"
         "  --journal PATH    append each completed test to a crash-safe\n"
         "                    write-ahead journal at PATH\n"
         "  --resume          replay tests already in the journal and\n"
@@ -317,6 +335,9 @@ parseArgs(int argc, char **argv)
     if (const char *env = std::getenv("MTC_BATCH"))
         opt.batch = static_cast<std::uint32_t>(
             parseEnvCount("MTC_BATCH", env, true));
+    if (const char *env = std::getenv("MTC_STREAM_WINDOW"))
+        opt.streamWindow = static_cast<std::size_t>(
+            parseEnvCount("MTC_STREAM_WINDOW", env, true));
     if (const char *env = std::getenv("MTC_JOURNAL")) {
         if (*env == '\0')
             throw ConfigError(
@@ -386,6 +407,11 @@ parseArgs(int argc, char **argv)
         else if (arg == "--shard-size")
             opt.shardSize =
                 static_cast<std::size_t>(parseCount(arg, next()));
+        else if (arg == "--no-stream-check")
+            opt.streamCheck = false;
+        else if (arg == "--stream-window")
+            opt.streamWindow =
+                static_cast<std::size_t>(parseCount(arg, next()));
         else if (arg == "--journal") {
             opt.journalPath = next();
             if (opt.journalPath.empty())
@@ -453,6 +479,8 @@ makeFlow(const Options &opt, const TestConfig &cfg)
     flow.threads = opt.threads;
     flow.batch = opt.batch;
     flow.shardSize = opt.shardSize;
+    flow.streamCheck = opt.streamCheck;
+    flow.streamWindow = opt.streamWindow;
     flow.profile = opt.profile;
 
     const BugKind bug = parseBug(opt.bug);
@@ -497,9 +525,11 @@ makeFlow(const Options &opt, const TestConfig &cfg)
 
 /**
  * Journal identity of a CLI campaign: every option that shapes the
- * deterministic result stream. Threads, the watchdog deadline and the
- * error budget are excluded on purpose — a resume may legitimately
- * use different operational knobs (more cores, a longer deadline).
+ * deterministic result stream. Threads, the batch width, the streaming
+ * pipeline knobs (--no-stream-check / --stream-window), the watchdog
+ * deadline and the error budget are excluded on purpose — a resume may
+ * legitimately use different operational knobs (more cores, a longer
+ * deadline, the barrier pipeline for an A/B run).
  */
 CampaignJournal::Identity
 cliIdentity(const Options &opt, const TestConfig &cfg)
