@@ -437,6 +437,92 @@ main(int argc, char **argv)
         }
     }
 
+    // --- Authenticated-fabric overhead (--distributed) ---------------
+    // Methodology: the largest keyless fleet point re-run with a
+    // pre-shared fabric key, so every session pays the HMAC-SHA256
+    // challenge handshake once and every post-handshake frame carries
+    // a 16-byte MAC plus an 8-byte sequence number. The overhead
+    // fraction is measured against the keyless run of the same fleet
+    // size — it prices authentication alone, not distribution.
+    struct AuthPoint
+    {
+        double ms = 0.0;
+        double overheadFraction = 0.0; ///< vs keyless, same fleet
+        bool deterministic = true;
+    };
+    bool auth_measured = false;
+    AuthPoint auth_point;
+    // --- Chaos inflation (--distributed) -----------------------------
+    // Methodology: the same fleet re-run under seeded symmetric
+    // network faults (drop = dup = rate, corrupt = rate/2, both
+    // directions). Faults cost reconnects, lease revocations and
+    // re-sent frames, so completion time inflates with the rate —
+    // but the summary must stay bit-identical to the serial baseline
+    // at every rate, which is the property being priced.
+    struct ChaosPoint
+    {
+        double rate = 0.0;
+        double ms = 0.0;
+        double inflationFraction = 0.0; ///< vs fault-free, same fleet
+        bool deterministic = true;
+    };
+    std::vector<ChaosPoint> chaos_points;
+    if (distributed && !dist_points.empty()) {
+        const double plain_ms = dist_points.back().ms;
+        const unsigned fleet = dist_points.back().workers;
+
+        const std::string key_path = "BENCH_scaling.fabric.key";
+        writeFile(key_path, std::string(32, 'b') + "\n");
+        {
+            CampaignConfig cfg = base;
+            cfg.mode = ExecutionMode::Distributed;
+            cfg.distWorkers = fleet;
+            cfg.distKeyFile = key_path;
+            WallTimer timer;
+            timer.start();
+            const auto summaries = runCampaign(configs, cfg);
+            timer.stop();
+            auth_point.ms = timer.milliseconds();
+            auth_point.overheadFraction = plain_ms > 0.0
+                ? (auth_point.ms - plain_ms) / plain_ms
+                : 0.0;
+            auth_point.deterministic =
+                summariesMatch(summaries, baseline_summaries);
+            auth_measured = true;
+        }
+        std::remove(key_path.c_str());
+
+        const std::vector<double> fault_rates =
+            smoke ? std::vector<double>{0.01}
+                  : std::vector<double>{0.01, 0.03, 0.05};
+        for (const double rate : fault_rates) {
+            CampaignConfig cfg = base;
+            cfg.mode = ExecutionMode::Distributed;
+            cfg.distWorkers = fleet;
+            cfg.distNetFault.send.drop = rate;
+            cfg.distNetFault.recv.drop = rate;
+            cfg.distNetFault.send.duplicate = rate;
+            cfg.distNetFault.recv.duplicate = rate;
+            cfg.distNetFault.send.corrupt = rate / 2;
+            cfg.distNetFault.recv.corrupt = rate / 2;
+            cfg.distNetFault.seed = 29;
+            WallTimer timer;
+            timer.start();
+            const auto summaries = runCampaign(configs, cfg);
+            timer.stop();
+
+            ChaosPoint point;
+            point.rate = rate;
+            point.ms = timer.milliseconds();
+            point.inflationFraction = plain_ms > 0.0
+                ? (point.ms - plain_ms) / plain_ms
+                : 0.0;
+            point.deterministic =
+                summariesMatch(summaries, baseline_summaries);
+            chaos_points.push_back(point);
+        }
+    }
+
     // --- Report ------------------------------------------------------
     TablePrinter table({"threads", "shard", "ms", "speedup",
                         "collective work", "complete sorts",
@@ -513,6 +599,32 @@ main(int argc, char **argv)
         dst.print(std::cout);
     }
 
+    if (auth_measured) {
+        std::cout << "\nAuthenticated fabric (HMAC handshake + "
+                     "per-frame MAC, vs keyless fleet): "
+                  << TablePrinter::fmt(auth_point.ms, 1) << " ms ("
+                  << TablePrinter::fmt(
+                         100.0 * auth_point.overheadFraction, 1)
+                  << "% overhead), summaries "
+                  << (auth_point.deterministic ? "bit-identical"
+                                               : "DIVERGED")
+                  << "\n";
+    }
+    if (!chaos_points.empty()) {
+        std::cout << "\nChaos inflation (seeded network faults, vs "
+                     "fault-free fleet):\n";
+        TablePrinter cht({"fault rate", "ms", "inflation",
+                          "deterministic"});
+        for (const ChaosPoint &p : chaos_points) {
+            cht.addRow({TablePrinter::fmt(p.rate, 3),
+                        TablePrinter::fmt(p.ms, 1),
+                        TablePrinter::fmt(
+                            100.0 * p.inflationFraction, 1) + "%",
+                        p.deterministic ? "yes" : "NO"});
+        }
+        cht.print(std::cout);
+    }
+
     bool all_deterministic = journal_deterministic;
     for (const SweepPoint &p : points)
         all_deterministic = all_deterministic && p.deterministic;
@@ -521,6 +633,11 @@ main(int argc, char **argv)
     for (const SandboxPoint &p : sandbox_points)
         all_deterministic = all_deterministic && p.deterministic;
     for (const DistPoint &p : dist_points)
+        all_deterministic = all_deterministic && p.deterministic;
+    if (auth_measured)
+        all_deterministic =
+            all_deterministic && auth_point.deterministic;
+    for (const ChaosPoint &p : chaos_points)
         all_deterministic = all_deterministic && p.deterministic;
     if (!all_deterministic)
         std::cerr << "scaling: DETERMINISM VIOLATION — parallel "
@@ -629,7 +746,52 @@ main(int argc, char **argv)
                  << (p.deterministic ? "true" : "false") << "}"
                  << (i + 1 < dist_points.size() ? "," : "") << "\n";
         }
-        json << "    ]\n  },\n";
+        json << "    ]";
+        if (auth_measured) {
+            json << ",\n    \"auth\": {\n"
+                 << "      \"methodology\": \"largest keyless fleet "
+                    "point re-run with a pre-shared fabric key: one "
+                    "HMAC-SHA256 challenge/response handshake per "
+                    "session plus a 16-byte MAC and 8-byte sequence "
+                    "number on every post-handshake frame; "
+                    "overheadFraction is (authMs - keylessMs) / "
+                    "keylessMs against the keyless run of the same "
+                    "fleet size, pricing authentication alone; "
+                    "summaries must stay bit-identical\",\n"
+                 << "      \"ms\": " << jsonEscapeless(auth_point.ms)
+                 << ",\n"
+                 << "      \"overheadFraction\": "
+                 << jsonEscapeless(auth_point.overheadFraction) << ",\n"
+                 << "      \"deterministic\": "
+                 << (auth_point.deterministic ? "true" : "false")
+                 << "\n    }";
+        }
+        if (!chaos_points.empty()) {
+            json << ",\n    \"chaos\": {\n"
+                 << "      \"methodology\": \"same fleet re-run under "
+                    "seeded symmetric network faults (drop = dup = "
+                    "rate, corrupt = rate/2, both directions, fixed "
+                    "seed); inflationFraction is (chaosMs - "
+                    "faultFreeMs) / faultFreeMs against the fault-free "
+                    "fleet of the same size — faults cost reconnects "
+                    "and re-leases, never bits, so summaries must "
+                    "stay bit-identical at every rate\",\n"
+                 << "      \"sweep\": [\n";
+            for (std::size_t i = 0; i < chaos_points.size(); ++i) {
+                const ChaosPoint &p = chaos_points[i];
+                json << "        {\"faultRate\": "
+                     << jsonEscapeless(p.rate)
+                     << ", \"ms\": " << jsonEscapeless(p.ms)
+                     << ", \"inflationFraction\": "
+                     << jsonEscapeless(p.inflationFraction)
+                     << ", \"deterministic\": "
+                     << (p.deterministic ? "true" : "false") << "}"
+                     << (i + 1 < chaos_points.size() ? "," : "")
+                     << "\n";
+            }
+            json << "      ]\n    }";
+        }
+        json << "\n  },\n";
     }
     json << "  \"sweep\": [\n";
     for (std::size_t i = 0; i < points.size(); ++i) {

@@ -43,6 +43,7 @@
 #include <vector>
 
 #include "dist/protocol.h"
+#include "support/fault_transport.h"
 #include "support/framing.h"
 #include "support/socket.h"
 
@@ -83,12 +84,48 @@ struct FabricConfig
      * which is right for external fleets an operator attaches. */
     std::uint64_t stallTimeoutMs = 0;
 
-    /** Per-frame payload ceiling on worker connections. */
+    /** Per-frame payload ceiling on worker connections (applied once
+     * a connection is handshaken; before that the far tighter
+     * kPreAuthFramePayloadBytes ceiling holds). */
     std::uint32_t maxFrameBytes = kMaxFramePayloadBytes;
 
     /** Version to require in handshakes. Exposed for tests; leave at
      * the default everywhere else. */
     std::uint32_t protocolVersion = kDistProtocolVersion;
+
+    /** Pre-shared fabric key (loadFabricKey). Empty = keyless
+     * loopback mode: no challenge, no per-frame MACs. When set, every
+     * worker must prove possession before any lease, and all
+     * post-handshake frames carry MAC + sequence numbers. */
+    std::vector<std::uint8_t> key;
+
+    /** A connection that has not completed its handshake within this
+     * window is dropped — a silent peer cannot pin a poll-loop slot.
+     * 0 disables. */
+    std::uint64_t handshakeTimeoutMs = 5000;
+
+    /** Seeded network faults injected on every accepted connection
+     * (chaos drills); inert when no rate is set. */
+    NetFaultConfig netFault;
+
+    /** Fraction of units re-executed by a second worker and
+     * cross-compared (Byzantine audit); 0 disables. */
+    double auditRate = 0.0;
+
+    /** Seed for the deterministic audit sample. */
+    std::uint64_t auditSeed = 0;
+};
+
+/** Byzantine-audit counters (all zero when auditing is off). */
+struct ByzantineStats
+{
+    unsigned auditsScheduled = 0; ///< units double-leased for audit
+    unsigned auditsPassed = 0;    ///< digests agreed
+    unsigned auditMismatches = 0; ///< digests disagreed
+    unsigned auditsSkipped = 0;   ///< no auditor or arbiter; trusted
+    unsigned localArbitrations = 0; ///< coordinator re-executed a unit
+    unsigned resultsInvalidated = 0; ///< results voided by conviction
+    std::vector<std::string> quarantined; ///< convicted worker names
 };
 
 /** Fabric-level counters for reporting and tests. */
@@ -102,6 +139,9 @@ struct FabricStats
     unsigned unitsReassigned = 0;  ///< units re-queued after a loss
     unsigned duplicateResults = 0; ///< stale results dropped
     unsigned heartbeats = 0;
+    unsigned authFailures = 0;     ///< wrong-key / keyless rejections
+    unsigned handshakeTimeouts = 0; ///< silent pre-Hello peers dropped
+    ByzantineStats byzantine;
 };
 
 /** See file comment. */
@@ -119,6 +159,24 @@ class Coordinator
                            const std::vector<std::uint8_t> &payload)>;
     using LossFn = std::function<bool(std::size_t unit, unsigned losses,
                                       const std::string &why)>;
+
+    /**
+     * Byzantine-audit callbacks. The fabric stays payload-agnostic:
+     * it cannot compare two unit results itself, so the client
+     * supplies a deterministic digest (wall-clock fields excluded)
+     * and, optionally, a local re-execution arbiter that returns the
+     * ground-truth payload for a unit. With no arbiter, conviction
+     * falls back to majority-over-time: a worker on the losing side
+     * of two digest mismatches is quarantined.
+     */
+    struct AuditHooks
+    {
+        std::function<std::uint64_t(
+            std::size_t unit, const std::vector<std::uint8_t> &payload)>
+            digest;
+        std::function<std::vector<std::uint8_t>(std::size_t unit)>
+            arbiter;
+    };
 
     /**
      * Bind the listening socket (so port() is known before any worker
@@ -153,6 +211,16 @@ class Coordinator
      */
     void run(std::size_t unit_count, const RequestFn &request,
              const ResultFn &result, const LossFn &loss);
+
+    /** run() with Byzantine auditing: when cfg.auditRate > 0 and
+     * hooks.digest is set, a deterministic sample of units is
+     * re-executed by a second worker and cross-compared; a convicted
+     * deviator is quarantined, its unverified results invalidated and
+     * re-executed, so the merged campaign matches an honest serial
+     * run bit-for-bit. */
+    void run(std::size_t unit_count, const RequestFn &request,
+             const ResultFn &result, const LossFn &loss,
+             const AuditHooks &hooks);
 
     const FabricStats &stats() const { return fabricStats; }
 

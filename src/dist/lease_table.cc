@@ -6,7 +6,8 @@ namespace mtc
 {
 
 LeaseTable::LeaseTable(std::size_t unit_count)
-    : unitCount(unit_count), done(unit_count, false)
+    : unitCount(unit_count), done(unit_count, false),
+      auditState(unit_count, AuditState::None)
 {
     for (std::size_t u = 0; u < unit_count; ++u)
         pending.push_back(u);
@@ -48,13 +49,18 @@ LeaseTable::markDone(std::size_t unit)
 std::uint64_t
 LeaseTable::openLease(std::uint64_t owner,
                       const std::vector<std::size_t> &units,
-                      Clock::time_point deadline)
+                      Clock::time_point deadline, bool is_audit)
 {
     const std::uint64_t id = nextLeaseId++;
     Lease lease;
     lease.owner = owner;
     lease.units = units;
     lease.deadline = deadline;
+    lease.isAudit = is_audit;
+    if (is_audit) {
+        for (const std::size_t unit : units)
+            auditState[unit] = AuditState::Leased;
+    }
     leases.emplace(id, std::move(lease));
     return id;
 }
@@ -78,6 +84,16 @@ LeaseTable::completeUnit(std::uint64_t lease, std::size_t unit)
     if (pos == units.end())
         return done[unit] ? LeaseResult::Duplicate
                           : LeaseResult::Unknown;
+    if (it->second.isAudit) {
+        // An audit re-execution: the unit is already done (by its
+        // primary); this result exists only to be cross-checked.
+        units.erase(pos);
+        if (units.empty())
+            leases.erase(it);
+        return auditState[unit] == AuditState::Leased
+                   ? LeaseResult::AcceptedAudit
+                   : LeaseResult::Duplicate; // audit was cancelled
+    }
     if (done[unit]) {
         // Reassignment race: another lease finished this unit first.
         units.erase(pos);
@@ -99,6 +115,21 @@ LeaseTable::revokeLease(std::uint64_t lease)
     const auto it = leases.find(lease);
     if (it == leases.end())
         return {};
+    if (it->second.isAudit) {
+        // Unfinished audit units go back to the audit queue, not the
+        // pending queue: their primary results are still held and
+        // still need a cross-check.
+        std::vector<std::size_t> lost;
+        for (const std::size_t unit : it->second.units) {
+            if (auditState[unit] == AuditState::Leased) {
+                auditState[unit] = AuditState::Queued;
+                auditQueue.push_front(unit);
+                lost.push_back(unit);
+            }
+        }
+        leases.erase(it);
+        return lost;
+    }
     std::vector<std::size_t> lost;
     for (const std::size_t unit : it->second.units) {
         if (!done[unit])
@@ -107,6 +138,87 @@ LeaseTable::revokeLease(std::uint64_t lease)
     leases.erase(it);
     requeueFront(lost);
     return lost;
+}
+
+void
+LeaseTable::requireAudit(std::size_t unit)
+{
+    if (unit >= unitCount || !done[unit] ||
+        auditState[unit] != AuditState::None)
+        return;
+    auditState[unit] = AuditState::Queued;
+    auditQueue.push_back(unit);
+    ++auditOpen;
+}
+
+void
+LeaseTable::resolveAudit(std::size_t unit)
+{
+    if (unit >= unitCount || auditState[unit] == AuditState::None)
+        return;
+    if (auditState[unit] == AuditState::Queued) {
+        const auto it =
+            std::find(auditQueue.begin(), auditQueue.end(), unit);
+        if (it != auditQueue.end())
+            auditQueue.erase(it);
+    }
+    auditState[unit] = AuditState::None;
+    --auditOpen;
+}
+
+void
+LeaseTable::reopenUnit(std::size_t unit)
+{
+    if (unit >= unitCount)
+        return;
+    if (auditState[unit] != AuditState::None) {
+        resolveAudit(unit); // clears queue membership and auditOpen
+        // If an auditor still holds the unit in an open audit lease,
+        // pull it out: its eventual result must read as stale.
+        for (auto it = leases.begin(); it != leases.end();) {
+            Lease &lease = it->second;
+            if (lease.isAudit) {
+                const auto pos = std::find(lease.units.begin(),
+                                           lease.units.end(), unit);
+                if (pos != lease.units.end())
+                    lease.units.erase(pos);
+                if (lease.units.empty()) {
+                    it = leases.erase(it);
+                    continue;
+                }
+            }
+            ++it;
+        }
+    }
+    if (done[unit]) {
+        done[unit] = false;
+        --doneCount;
+    }
+    pending.push_front(unit);
+}
+
+std::vector<std::size_t>
+LeaseTable::takeAuditPending(
+    std::size_t max, const std::function<bool(std::size_t)> &eligible)
+{
+    std::vector<std::size_t> units;
+    for (auto it = auditQueue.begin();
+         it != auditQueue.end() && units.size() < max;) {
+        if (eligible(*it)) {
+            units.push_back(*it);
+            it = auditQueue.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    return units;
+}
+
+bool
+LeaseTable::leaseIsAudit(std::uint64_t lease) const
+{
+    const auto it = leases.find(lease);
+    return it != leases.end() && it->second.isAudit;
 }
 
 std::vector<std::uint64_t>

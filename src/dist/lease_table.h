@@ -28,6 +28,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <vector>
 
@@ -37,7 +38,8 @@ namespace mtc
 /** Verdict on a reported unit result. */
 enum class LeaseResult : std::uint8_t
 {
-    Accepted,  ///< first result for this unit; count it
+    Accepted,      ///< first result for this unit; count it
+    AcceptedAudit, ///< audit re-execution result; cross-check it
     Duplicate, ///< unit already done (stale lease / reassignment race)
     Unknown    ///< lease id was never granted or already closed
 };
@@ -53,7 +55,13 @@ class LeaseTable
     /** Units not done and not in any open lease, in dispatch order. */
     std::size_t pendingCount() const { return pending.size(); }
 
-    bool allDone() const { return doneCount == unitCount; }
+    /** Done AND no audit still open: an audited unit's result is held
+     * by the coordinator until its cross-check resolves, so the
+     * campaign must not end while one is outstanding. */
+    bool allDone() const
+    {
+        return doneCount == unitCount && auditOpen == 0;
+    }
 
     std::size_t unitsDone() const { return doneCount; }
 
@@ -74,19 +82,57 @@ class LeaseTable
     /**
      * Open a lease over @p units for @p owner (an opaque connection
      * id). @p deadline is the expiry instant; pass Clock::time_point
-     * ::max() when lease timeouts are off.
+     * ::max() when lease timeouts are off. An audit lease re-executes
+     * already-done units for cross-checking; its results come back as
+     * AcceptedAudit and never touch the done set.
      * @return the new lease id (monotonic, never reused).
      */
     std::uint64_t openLease(std::uint64_t owner,
                             const std::vector<std::size_t> &units,
-                            Clock::time_point deadline);
+                            Clock::time_point deadline,
+                            bool is_audit = false);
 
     /**
      * Record a result for @p unit under @p lease. Accepted marks the
      * unit done and removes it from the lease; a lease whose units
-     * are all done is closed automatically.
+     * are all done is closed automatically. AcceptedAudit reports an
+     * audit re-execution; the unit stays in audit-open state until
+     * resolveAudit() or reopenUnit().
      */
     LeaseResult completeUnit(std::uint64_t lease, std::size_t unit);
+
+    /**
+     * Flag a just-completed @p unit for audit re-execution: it joins
+     * the audit queue and allDone() blocks until the audit resolves.
+     * No-op if the unit is not done or already under audit.
+     */
+    void requireAudit(std::size_t unit);
+
+    /** Audit verdict is in (pass, arbitrated, or skipped): the unit's
+     * audit-open state clears and allDone() can see past it. */
+    void resolveAudit(std::size_t unit);
+
+    /**
+     * Invalidate a unit's result (its producer was convicted): done
+     * flag cleared, any audit state cancelled, the unit returns to
+     * the front of the pending queue for honest re-execution.
+     */
+    void reopenUnit(std::size_t unit);
+
+    /**
+     * Pop up to @p max audit-queued units for which @p eligible
+     * returns true (the coordinator filters out the primary worker:
+     * an audit by its own author proves nothing).
+     */
+    std::vector<std::size_t>
+    takeAuditPending(std::size_t max,
+                     const std::function<bool(std::size_t)> &eligible);
+
+    /** Audit-queued units awaiting a grant. */
+    std::size_t auditQueuedCount() const { return auditQueue.size(); }
+
+    /** Units in any audit state (queued or audit-leased). */
+    std::size_t auditOpenCount() const { return auditOpen; }
 
     /**
      * Revoke @p lease: its not-yet-done units go back to the front of
@@ -97,6 +143,9 @@ class LeaseTable
 
     /** Open lease ids owned by @p owner (a dying connection). */
     std::vector<std::uint64_t> leasesOf(std::uint64_t owner) const;
+
+    /** Whether @p lease is an open audit lease. */
+    bool leaseIsAudit(std::uint64_t lease) const;
 
     /** Open lease ids whose deadline passed at @p now. */
     std::vector<std::uint64_t> expired(Clock::time_point now) const;
@@ -110,6 +159,15 @@ class LeaseTable
         std::uint64_t owner = 0;
         std::vector<std::size_t> units;
         Clock::time_point deadline{};
+        bool isAudit = false;
+    };
+
+    /** Audit lifecycle of one unit. */
+    enum class AuditState : std::uint8_t
+    {
+        None = 0,   ///< not under audit
+        Queued = 1, ///< awaiting an audit lease
+        Leased = 2  ///< granted to an auditor
     };
 
     std::size_t unitCount;
@@ -118,6 +176,9 @@ class LeaseTable
     std::deque<std::size_t> pending;
     std::map<std::uint64_t, Lease> leases;
     std::uint64_t nextLeaseId = 1;
+    std::vector<AuditState> auditState;
+    std::deque<std::size_t> auditQueue;
+    std::size_t auditOpen = 0;
 };
 
 } // namespace mtc

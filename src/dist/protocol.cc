@@ -1,5 +1,8 @@
 #include "dist/protocol.h"
 
+#include <algorithm>
+
+#include "support/hmac.h"
 #include "support/journal.h"
 
 namespace mtc
@@ -20,6 +23,8 @@ std::vector<std::uint8_t>
 getBlob(ByteReader &r)
 {
     const std::uint32_t n = r.u32();
+    if (n > r.remaining())
+        throw JournalError("blob length exceeds its payload");
     std::vector<std::uint8_t> blob;
     blob.reserve(n);
     for (std::uint32_t i = 0; i < n; ++i)
@@ -50,7 +55,7 @@ peekType(const std::vector<std::uint8_t> &payload)
         throw DistError("fabric: empty message payload");
     const std::uint8_t tag = payload.front();
     if (tag < static_cast<std::uint8_t>(FabricMsg::Hello) ||
-        tag > static_cast<std::uint8_t>(FabricMsg::Done))
+        tag > static_cast<std::uint8_t>(FabricMsg::AuthProof))
         throw DistError("fabric: unknown message tag " +
                         std::to_string(tag));
     return static_cast<FabricMsg>(tag);
@@ -63,6 +68,9 @@ encodeHello(const HelloMsg &msg)
     w.u8(static_cast<std::uint8_t>(FabricMsg::Hello));
     w.u32(msg.version);
     w.str(msg.name);
+    w.u8(msg.wantAuth ? 1 : 0);
+    for (const std::uint8_t b : msg.nonce)
+        w.u8(b);
     return w.bytes();
 }
 
@@ -74,6 +82,14 @@ decodeHello(const std::vector<std::uint8_t> &payload)
         HelloMsg msg;
         msg.version = r.u32();
         msg.name = r.str();
+        // The auth fields exist from v2 on. A v1 Hello still decodes
+        // cleanly so a version-skewed worker gets a descriptive
+        // Reject instead of a malformed-payload connection drop.
+        if (msg.version >= 2) {
+            msg.wantAuth = r.u8() != 0;
+            for (std::uint8_t &b : msg.nonce)
+                b = r.u8();
+        }
         return msg;
     } catch (const JournalError &err) {
         throw DistError(std::string("fabric: malformed Hello: ") +
@@ -149,7 +165,11 @@ decodeLease(const std::vector<std::uint8_t> &payload)
         LeaseMsg msg;
         msg.leaseId = r.u64();
         const std::uint32_t count = r.u32();
-        msg.units.reserve(count);
+        // Bound the reserve by what the payload could possibly hold
+        // (a unit is at least 12 bytes encoded): a forged count must
+        // fail as truncation inside the loop, not as an allocation.
+        msg.units.reserve(std::min<std::size_t>(
+            count, r.remaining() / 12));
         for (std::uint32_t i = 0; i < count; ++i) {
             LeaseUnit unit;
             unit.unitIndex = r.u64();
@@ -204,6 +224,112 @@ encodeDone()
     ByteWriter w;
     w.u8(static_cast<std::uint8_t>(FabricMsg::Done));
     return w.bytes();
+}
+
+std::vector<std::uint8_t>
+encodeChallenge(const ChallengeMsg &msg)
+{
+    ByteWriter w;
+    w.u8(static_cast<std::uint8_t>(FabricMsg::Challenge));
+    for (const std::uint8_t b : msg.nonce)
+        w.u8(b);
+    for (const std::uint8_t b : msg.proof)
+        w.u8(b);
+    return w.bytes();
+}
+
+ChallengeMsg
+decodeChallenge(const std::vector<std::uint8_t> &payload)
+{
+    try {
+        ByteReader r = open(payload, FabricMsg::Challenge, "Challenge");
+        ChallengeMsg msg;
+        for (std::uint8_t &b : msg.nonce)
+            b = r.u8();
+        for (std::uint8_t &b : msg.proof)
+            b = r.u8();
+        return msg;
+    } catch (const JournalError &err) {
+        throw DistError(std::string("fabric: malformed Challenge: ") +
+                        err.what());
+    }
+}
+
+std::vector<std::uint8_t>
+encodeAuthProof(const AuthProofMsg &msg)
+{
+    ByteWriter w;
+    w.u8(static_cast<std::uint8_t>(FabricMsg::AuthProof));
+    for (const std::uint8_t b : msg.proof)
+        w.u8(b);
+    return w.bytes();
+}
+
+AuthProofMsg
+decodeAuthProof(const std::vector<std::uint8_t> &payload)
+{
+    try {
+        ByteReader r = open(payload, FabricMsg::AuthProof, "AuthProof");
+        AuthProofMsg msg;
+        for (std::uint8_t &b : msg.proof)
+            b = r.u8();
+        return msg;
+    } catch (const JournalError &err) {
+        throw DistError(std::string("fabric: malformed AuthProof: ") +
+                        err.what());
+    }
+}
+
+namespace
+{
+
+std::array<std::uint8_t, kFabricProofBytes>
+fabricHmac(const std::vector<std::uint8_t> &key, const char *domain,
+           const std::array<std::uint8_t, kFabricNonceBytes> &c_nonce,
+           const std::array<std::uint8_t, kFabricNonceBytes> &s_nonce,
+           const std::string &extra)
+{
+    std::vector<std::uint8_t> msg;
+    for (const char *p = domain; *p; ++p)
+        msg.push_back(static_cast<std::uint8_t>(*p));
+    msg.insert(msg.end(), c_nonce.begin(), c_nonce.end());
+    msg.insert(msg.end(), s_nonce.begin(), s_nonce.end());
+    msg.insert(msg.end(), extra.begin(), extra.end());
+    return hmacSha256(key, msg.data(), msg.size());
+}
+
+} // anonymous namespace
+
+std::array<std::uint8_t, kFabricProofBytes>
+fabricServerProof(
+    const std::vector<std::uint8_t> &key,
+    const std::array<std::uint8_t, kFabricNonceBytes> &client_nonce,
+    const std::array<std::uint8_t, kFabricNonceBytes> &server_nonce)
+{
+    return fabricHmac(key, "mtc-fabric-server", client_nonce,
+                      server_nonce, "");
+}
+
+std::array<std::uint8_t, kFabricProofBytes>
+fabricClientProof(
+    const std::vector<std::uint8_t> &key,
+    const std::array<std::uint8_t, kFabricNonceBytes> &client_nonce,
+    const std::array<std::uint8_t, kFabricNonceBytes> &server_nonce,
+    const std::string &worker_name)
+{
+    return fabricHmac(key, "mtc-fabric-client", client_nonce,
+                      server_nonce, worker_name);
+}
+
+std::vector<std::uint8_t>
+fabricSessionKey(
+    const std::vector<std::uint8_t> &key,
+    const std::array<std::uint8_t, kFabricNonceBytes> &client_nonce,
+    const std::array<std::uint8_t, kFabricNonceBytes> &server_nonce)
+{
+    const auto digest = fabricHmac(key, "mtc-fabric-session",
+                                   client_nonce, server_nonce, "");
+    return std::vector<std::uint8_t>(digest.begin(), digest.end());
 }
 
 } // namespace mtc

@@ -4,12 +4,15 @@
 #include <chrono>
 #include <condition_variable>
 #include <csignal>
+#include <memory>
 #include <mutex>
 #include <thread>
 
 #include <unistd.h>
 
+#include "support/hmac.h"
 #include "support/log.h"
+#include "support/rng.h"
 #include "support/socket.h"
 #include "support/transport.h"
 
@@ -108,6 +111,9 @@ runWorkerClient(const WorkerClientConfig &cfg,
         return true;
     };
 
+    std::uint64_t session_counter = 0; ///< per-session fault seeding
+    std::string last_anomaly; ///< most recent non-fatal handshake oddity
+
     for (;;) {
         int fd = -1;
         try {
@@ -121,20 +127,60 @@ runWorkerClient(const WorkerClientConfig &cfg,
                             "': cannot reach coordinator at " +
                             cfg.host + ":" + std::to_string(cfg.port));
         }
-        Transport link(fd, "worker '" + cfg.name + "' link");
-        link.setMaxFramePayload(cfg.maxFrameBytes);
+        Transport base(fd, "worker '" + cfg.name + "' link");
+        std::unique_ptr<Transport> link_ptr;
+        if (cfg.netFault.any()) {
+            NetFaultConfig nf = cfg.netFault;
+            std::uint64_t s =
+                nf.seed ^ (0xbb67ae8584caa73bull * ++session_counter);
+            nf.seed = splitMix64(s);
+            link_ptr = std::make_unique<FaultyTransport>(
+                std::move(base), nf);
+        } else {
+            link_ptr = std::make_unique<Transport>(std::move(base));
+        }
+        Transport &link = *link_ptr;
+        const bool keyed = !cfg.key.empty();
+        // In keyed mode nothing big arrives before auth completes
+        // (Challenge / Reject / Done), so hold the conservative
+        // ceiling until the session key is armed. Keyless mode gets
+        // the campaign spec in the handshake reply itself.
+        link.setMaxFramePayload(
+            keyed ? std::min(kPreAuthFramePayloadBytes,
+                             cfg.maxFrameBytes)
+                  : cfg.maxFrameBytes);
+        // Symmetric to the coordinator side: a frame that starts must
+        // finish within the fabric deadline or the connection is torn
+        // down and retried, instead of this worker hanging forever on
+        // a coordinator whose frame got mangled in flight.
+        link.setReceiveDeadlineMs(kFabricFrameDeadlineMs);
 
         // Handshake. A Reject is fatal (a version mismatch or a ban
-        // does not heal by retrying); a dead connection is not.
+        // does not heal by retrying), as is an authentication dead
+        // end (wrong key, keyless coordinator answering a keyless
+        // worker's demands); a dead connection is not. Crucially, an
+        // *unexpected* reply is also not fatal: pre-auth frames are
+        // unauthenticated, so a single injected / duplicated /
+        // reordered frame must never be able to kill a worker for
+        // good — it costs one reconnect out of the budget, and a
+        // coordinator that really keeps misbehaving exhausts the
+        // budget with the anomaly preserved in the final error.
+        struct SessionRetry
+        {
+            std::string why;
+        };
         bool session_ok = false;
         try {
             HelloMsg hello;
             hello.version = cfg.protocolVersion;
             hello.name = cfg.name;
+            hello.wantAuth = keyed;
+            if (keyed)
+                hello.nonce = randomNonce();
             link.send(encodeHello(hello));
             std::vector<std::uint8_t> reply;
             if (link.receive(reply)) {
-                const FabricMsg type = peekType(reply);
+                FabricMsg type = peekType(reply);
                 if (type == FabricMsg::Done) {
                     // We arrived after the campaign resolved (e.g. a
                     // fully journal-replayed resume): clean exit, not
@@ -146,22 +192,86 @@ runWorkerClient(const WorkerClientConfig &cfg,
                         "worker '" + cfg.name + "' rejected: " +
                         decodeReject(reply).reason);
                 }
-                if (type != FabricMsg::Welcome)
-                    throw DistError("worker '" + cfg.name +
-                                    "': unexpected handshake reply");
-                spec_fn(decodeWelcome(reply).spec);
-                session_ok = true;
+                if (keyed) {
+                    if (type == FabricMsg::Welcome)
+                        throw SessionRetry{
+                            "coordinator answered without "
+                            "authenticating (it has no fabric key, "
+                            "or the challenge was lost in transit); "
+                            "refusing to join unauthenticated"};
+                    if (type != FabricMsg::Challenge)
+                        throw SessionRetry{
+                            "unexpected handshake reply"};
+                    const ChallengeMsg ch = decodeChallenge(reply);
+                    const auto expect = fabricServerProof(
+                        cfg.key, hello.nonce, ch.nonce);
+                    if (!constantTimeEqual(ch.proof.data(),
+                                           expect.data(),
+                                           kFabricProofBytes))
+                        throw DistError(
+                            "worker '" + cfg.name +
+                            "': coordinator failed its key proof "
+                            "(wrong or stale key file?)");
+                    AuthProofMsg ap;
+                    ap.proof = fabricClientProof(
+                        cfg.key, hello.nonce, ch.nonce, cfg.name);
+                    link.send(encodeAuthProof(ap));
+                    link.enableFrameAuth(
+                        fabricSessionKey(cfg.key, hello.nonce,
+                                         ch.nonce),
+                        /*is_client=*/true);
+                    link.setMaxFramePayload(cfg.maxFrameBytes);
+                    std::vector<std::uint8_t> welcome;
+                    if (!link.receive(welcome))
+                        throw FramingError(
+                            "coordinator hung up mid-handshake");
+                    type = peekType(welcome);
+                    if (type == FabricMsg::Reject)
+                        throw DistError(
+                            "worker '" + cfg.name + "' rejected: " +
+                            decodeReject(welcome).reason);
+                    if (type != FabricMsg::Welcome)
+                        throw SessionRetry{
+                            "unexpected post-auth reply"};
+                    spec_fn(decodeWelcome(welcome).spec);
+                    session_ok = true;
+                } else {
+                    if (type == FabricMsg::Challenge)
+                        throw DistError(
+                            "worker '" + cfg.name +
+                            "': coordinator requires a fabric key "
+                            "(--fabric-key-file) and this worker has "
+                            "none");
+                    if (type != FabricMsg::Welcome)
+                        throw SessionRetry{
+                            "unexpected handshake reply"};
+                    spec_fn(decodeWelcome(reply).spec);
+                    session_ok = true;
+                }
             }
+        } catch (const SessionRetry &retry) {
+            last_anomaly = retry.why;
+        } catch (const AuthError &) {
+            // The post-auth stream failed its MAC/sequence check:
+            // indistinguishable from an injected fault or a torn
+            // connection — reconnect, don't die.
         } catch (const FramingError &) {
             // Fall through: handshake died mid-flight.
         }
         if (!session_ok) {
-            if (back_off("handshake did not complete"))
+            if (back_off("handshake did not complete" +
+                         (last_anomaly.empty()
+                              ? std::string()
+                              : " (" + last_anomaly + ")")))
                 continue;
             if (handshakes > 0)
                 return stats;
-            throw DistError("worker '" + cfg.name +
-                            "': handshake never completed");
+            throw DistError(
+                "worker '" + cfg.name +
+                "': handshake never completed" +
+                (last_anomaly.empty()
+                     ? std::string()
+                     : "; last anomaly: " + last_anomaly));
         }
         if (handshakes++ > 0)
             ++stats.reconnects;
@@ -182,10 +292,15 @@ runWorkerClient(const WorkerClientConfig &cfg,
                         done = true;
                         break;
                     }
-                    if (type != FabricMsg::Lease)
-                        throw DistError("worker '" + cfg.name +
-                                        "': unexpected " +
-                                        "mid-session message");
+                    if (type != FabricMsg::Lease) {
+                        // A duplicated / replayed frame (chaos drill
+                        // or a confused peer), not a reason to die:
+                        // drop the session and reconnect on budget.
+                        warn("worker '" + cfg.name +
+                             "': unexpected mid-session message; "
+                             "dropping session");
+                        break;
+                    }
                     const LeaseMsg lease = decodeLease(msg);
                     for (const LeaseUnit &unit : lease.units) {
                         if (cfg.unitDelayMs) {

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "dist/protocol.h"
+#include "support/fault_transport.h"
 #include "support/framing.h"
 
 namespace mtc
@@ -64,6 +65,16 @@ struct WorkerClientConfig
     /** Version to claim in Hello. Exposed for the handshake-rejection
      * tests; leave at the default everywhere else. */
     std::uint32_t protocolVersion = kDistProtocolVersion;
+
+    /** Pre-shared fabric key (loadFabricKey). Empty = keyless. When
+     * set, the worker demands the challenge/response handshake and
+     * treats a keyless or wrong-key coordinator as fatal, and all
+     * post-handshake frames carry MAC + sequence numbers. */
+    std::vector<std::uint8_t> key;
+
+    /** Seeded network faults injected on this worker's connection
+     * (chaos drills); inert when no rate is set. */
+    NetFaultConfig netFault;
 
     /** Failure drill: sleep this long before each unit (a "slow
      * worker" for the backpressure tests); 0 = off. */

@@ -18,6 +18,7 @@
 #include "harness/sandbox.h"
 #include "harness/watchdog.h"
 #include "sim/executor.h"
+#include "support/hmac.h"
 #include "support/log.h"
 #include "support/process.h"
 #include "support/rng.h"
@@ -54,6 +55,26 @@ parseEnvCount(const char *name, const char *text, bool allow_zero)
         throw ConfigError(std::string(name) +
                           " must be non-zero (a zero value would run "
                           "an empty campaign)");
+    }
+    return value;
+}
+
+double
+parseEnvRate(const char *name, const char *text)
+{
+    if (*text == '\0' || *text == '-' || *text == '+') {
+        throw ConfigError(std::string(name) +
+                          " must be a fraction in [0, 1], got \"" +
+                          text + "\"");
+    }
+    errno = 0;
+    char *end = nullptr;
+    const double value = std::strtod(text, &end);
+    if (end == text || *end != '\0' || errno == ERANGE ||
+        !(value >= 0.0 && value <= 1.0)) {
+        throw ConfigError(std::string(name) +
+                          " must be a fraction in [0, 1], got \"" +
+                          text + "\"");
     }
     return value;
 }
@@ -113,6 +134,47 @@ CampaignConfig::fromEnv(CampaignConfig defaults)
     if (const char *cpu = std::getenv("MTC_SANDBOX_CPU_S"))
         defaults.sandboxCpuS =
             parseEnvCount("MTC_SANDBOX_CPU_S", cpu, true);
+    // Fabric security/chaos knobs. The key variable carries a *path*
+    // so the key bytes never transit the environment or a process
+    // listing; like MTC_JOURNAL, an empty value is a misconfiguration.
+    if (const char *key_file = std::getenv("MTC_FABRIC_KEY_FILE")) {
+        if (*key_file == '\0')
+            throw ConfigError("MTC_FABRIC_KEY_FILE is set but empty; "
+                              "unset it or give a path");
+        defaults.distKeyFile = key_file;
+    }
+    if (const char *rate = std::getenv("MTC_AUDIT_RATE"))
+        defaults.distAuditRate = parseEnvRate("MTC_AUDIT_RATE", rate);
+    defaults.distNetFault = netFaultFromEnv(defaults.distNetFault);
+    return defaults;
+}
+
+NetFaultConfig
+netFaultFromEnv(NetFaultConfig defaults)
+{
+    // Chaos rates apply to both directions of every fabric
+    // connection; the per-direction split is test/API surface only.
+    const auto fault_rate = [&](const char *name,
+                                double NetFaultRates::*field) {
+        if (const char *text = std::getenv(name)) {
+            const double r = parseEnvRate(name, text);
+            defaults.send.*field = r;
+            defaults.recv.*field = r;
+        }
+    };
+    fault_rate("MTC_NET_FAULT_DROP", &NetFaultRates::drop);
+    fault_rate("MTC_NET_FAULT_DUP", &NetFaultRates::duplicate);
+    fault_rate("MTC_NET_FAULT_CORRUPT", &NetFaultRates::corrupt);
+    fault_rate("MTC_NET_FAULT_DELAY", &NetFaultRates::delay);
+    fault_rate("MTC_NET_FAULT_REORDER", &NetFaultRates::reorder);
+    fault_rate("MTC_NET_FAULT_DRIP", &NetFaultRates::drip);
+    fault_rate("MTC_NET_FAULT_DISCONNECT", &NetFaultRates::disconnect);
+    if (const char *ms = std::getenv("MTC_NET_FAULT_DELAY_MS"))
+        defaults.delayMs =
+            parseEnvCount("MTC_NET_FAULT_DELAY_MS", ms, true);
+    if (const char *seed = std::getenv("MTC_NET_FAULT_SEED"))
+        defaults.seed =
+            parseEnvCount("MTC_NET_FAULT_SEED", seed, true);
     return defaults;
 }
 
@@ -626,9 +688,24 @@ runUnitsDistributed(
     fabric.maxInFlightPerWorker = campaign.distMaxInFlight;
     fabric.heartbeatTimeoutMs = campaign.distHeartbeatTimeoutMs;
     fabric.leaseTimeoutMs = campaign.distLeaseTimeoutMs;
+    // Chaos mode needs lease revocation for liveness: a dropped Lease
+    // (or Result) frame leaves a healthy, heartbeating worker that
+    // will never serve that lease, and only the lease timeout can
+    // reclaim it. Heartbeat liveness cannot — the worker isn't dead.
+    if (fabric.netFault.any() && fabric.leaseTimeoutMs == 0)
+        fabric.leaseTimeoutMs = 5000;
     // A loopback fleet that died for good must fail the campaign, not
     // hang it; an external fleet is the operator's to attach whenever.
     fabric.stallTimeoutMs = campaign.distWorkers ? 60000 : 0;
+    if (!campaign.distKeyFile.empty())
+        fabric.key = loadFabricKey(campaign.distKeyFile);
+    fabric.netFault = campaign.distNetFault;
+    fabric.auditRate = campaign.distAuditRate;
+    // The audit sample must be reproducible for a given campaign but
+    // uncorrelated with every other consumer of the seed.
+    std::uint64_t audit_seed_src =
+        campaign.seed ^ 0xa5a5a5a55a5a5a5aull;
+    fabric.auditSeed = splitMix64(audit_seed_src);
 
     CampaignSpec spec;
     spec.configs = configs;
@@ -650,10 +727,19 @@ runUnitsDistributed(
     std::vector<pid_t> fleet;
     fleet.reserve(campaign.distWorkers);
     for (unsigned i = 0; i < campaign.distWorkers; ++i) {
-        fleet.push_back(forkCampaignWorker(
-            coordinator.port(), i,
-            i == 0 ? campaign.distDrillExitAfter : 0,
-            coordinator.listenerFd()));
+        LoopbackWorkerOptions wopts;
+        wopts.exitAfterUnits =
+            i == 0 ? campaign.distDrillExitAfter : 0;
+        // The Byzantine drill rides on the LAST worker so it never
+        // collides with worker 0's exit drill, and an honest worker
+        // exists to audit against whenever distWorkers >= 2.
+        wopts.corruptResults = campaign.distDrillCorrupt &&
+            i + 1 == campaign.distWorkers;
+        wopts.key = fabric.key;
+        wopts.netFault = campaign.distNetFault;
+        wopts.listenerFd = coordinator.listenerFd();
+        fleet.push_back(
+            forkCampaignWorker(coordinator.port(), i, wopts));
     }
     const auto reap_fleet = [&fleet](bool kill_first) {
         for (const pid_t pid : fleet) {
@@ -716,12 +802,52 @@ runUnitsDistributed(
         return false;
     };
 
+    // Byzantine-audit hooks. The digest is payload-level and
+    // timing-blind; the arbiter re-executes a unit in the coordinator
+    // process from the same pre-derived plan the workers use, so its
+    // record is the ground truth any honest worker reproduces. Its
+    // watchdog is created lazily on first arbitration — after every
+    // fork above, preserving fork-before-threads.
+    std::unique_ptr<Watchdog> arbiter_watchdog;
+    Coordinator::AuditHooks hooks;
+    hooks.digest = [](std::size_t,
+                      const std::vector<std::uint8_t> &payload) {
+        return unitRecordDigest(payload);
+    };
+    hooks.arbiter =
+        [&](std::size_t u) -> std::vector<std::uint8_t> {
+        const auto [c, t] = units[u];
+        if (campaign.testTimeoutMs && !arbiter_watchdog)
+            arbiter_watchdog = std::make_unique<Watchdog>();
+        UnitRecord record;
+        record.configName = configs[c].name();
+        record.testIndex = static_cast<std::uint32_t>(t);
+        record.genSeed = plans[c].tests[t].genSeed;
+        record.flowSeed = plans[c].tests[t].flowSeed;
+        // Match the worker-side runner exactly: hard-failure drills
+        // are sandbox-scoped and zeroed on the fabric (see
+        // dist_campaign.h).
+        FlowConfig flow = plans[c].flow;
+        flow.exec.dieAfterRuns = 0;
+        flow.exec.leakAfterRuns = 0;
+        record.outcome = runPlannedTest(
+            configs[c], flow, plans[c].tests[t], campaign,
+            static_cast<unsigned>(t), arbiter_watchdog.get());
+        record.outcome.result.executions.clear();
+        return encodeUnitRecord(record);
+    };
+
     try {
-        coordinator.run(units.size(), request_fn, result_fn, loss_fn);
+        coordinator.run(units.size(), request_fn, result_fn, loss_fn,
+                        hooks);
     } catch (...) {
+        if (campaign.distStatsOut)
+            *campaign.distStatsOut = coordinator.stats();
         reap_fleet(true);
         throw;
     }
+    if (campaign.distStatsOut)
+        *campaign.distStatsOut = coordinator.stats();
     // Done has been broadcast; the fleet drains and exits on its own.
     reap_fleet(false);
 }

@@ -20,10 +20,13 @@
 #include <vector>
 
 #include "harness/validation_flow.h"
+#include "support/fault_transport.h"
 #include "testgen/test_config.h"
 
 namespace mtc
 {
+
+struct FabricStats;
 
 /** Platform variant of a campaign (Figure 8 bar families). */
 enum class PlatformVariant : std::uint8_t
@@ -223,6 +226,38 @@ struct CampaignConfig
      * a bit-identical summary. 0 = off. */
     std::uint64_t distDrillExitAfter = 0;
 
+    /** Distributed mode: path to the pre-shared fabric key file (see
+     * loadFabricKey). Empty = keyless loopback fabric. When set, the
+     * coordinator demands the challenge/response handshake, loopback
+     * workers authenticate with the same key, and all post-handshake
+     * frames carry MACs + sequence numbers. Operational knob: not
+     * part of the campaign identity or the shipped spec. */
+    std::string distKeyFile;
+
+    /** Distributed mode: fraction of units re-executed by a second
+     * worker and cross-compared (Byzantine audit; see
+     * Coordinator::AuditHooks). 0 disables. Operational knob — the
+     * merged summary is bit-identical at any rate. */
+    double distAuditRate = 0.0;
+
+    /** Distributed mode: seeded network faults injected on every
+     * fabric connection, both coordinator- and loopback-worker-side
+     * (chaos drills); inert when no rate is set. Operational knob. */
+    NetFaultConfig distNetFault;
+
+    /** Failure drill, distributed mode: the LAST loopback worker
+     * silently corrupts every result it returns — decodable,
+     * plausible, wrong. Only a Byzantine audit (distAuditRate > 0)
+     * can catch and quarantine it. Needs distWorkers >= 2 so an
+     * honest worker exists to audit against. */
+    bool distDrillCorrupt = false;
+
+    /** Distributed mode: when non-null, the coordinator's final
+     * FabricStats (including the Byzantine-audit block) are copied
+     * here after the run — how tools report quarantines without the
+     * campaign layer growing a reporting dependency. Not owned. */
+    FabricStats *distStatsOut = nullptr;
+
     /**
      * Apply MTC_ITERATIONS / MTC_TESTS / MTC_SEED / MTC_THREADS /
      * MTC_BATCH / MTC_SHARD_SIZE / MTC_STREAM_WINDOW / MTC_JOURNAL /
@@ -233,9 +268,18 @@ struct CampaignConfig
      * unbounded decode→check window; MTC_TEST_TIMEOUT_MS=0 means
      * no watchdog; MTC_SANDBOX=0/1 selects in-process/sandboxed).
      *
+     * Fabric overrides: MTC_FABRIC_KEY_FILE (key path; the key itself
+     * never transits argv or the environment), MTC_AUDIT_RATE (a
+     * fraction in [0,1]), and the chaos knobs MTC_NET_FAULT_DROP /
+     * _DUP / _CORRUPT / _DELAY / _REORDER / _DRIP / _DISCONNECT
+     * (fractions applied to both directions), MTC_NET_FAULT_DELAY_MS
+     * and MTC_NET_FAULT_SEED (counts).
+     *
      * @throws ConfigError if a set variable is non-numeric, or zero
      *         where zero is meaningless (iterations, tests), or empty
-     *         where text is required (MTC_JOURNAL).
+     *         where text is required (MTC_JOURNAL,
+     *         MTC_FABRIC_KEY_FILE), or outside [0,1] where a rate is
+     *         required.
      */
     static CampaignConfig fromEnv(CampaignConfig defaults);
     static CampaignConfig fromEnv();
@@ -361,6 +405,24 @@ struct ConfigSummary
  */
 std::uint64_t parseEnvCount(const char *name, const char *text,
                             bool allow_zero = false);
+
+/**
+ * Strictly parse a fractional environment override: a decimal in
+ * [0, 1]. Same philosophy as parseEnvCount — MTC_AUDIT_RATE=lots must
+ * fail fast, not silently audit nothing.
+ *
+ * @throws ConfigError on empty/non-numeric/out-of-range text.
+ */
+double parseEnvRate(const char *name, const char *text);
+
+/**
+ * Apply the MTC_NET_FAULT_* chaos overrides (see
+ * CampaignConfig::fromEnv) on top of @p defaults. Shared by fromEnv
+ * and by mtc_worker, which has no CampaignConfig of its own.
+ *
+ * @throws ConfigError on malformed values, like parseEnvRate.
+ */
+NetFaultConfig netFaultFromEnv(NetFaultConfig defaults = {});
 
 /** Platform configuration a campaign uses for @p cfg. */
 ExecutorConfig platformFor(const TestConfig &cfg, PlatformVariant variant);

@@ -9,6 +9,7 @@
 #include <unistd.h>
 
 #include "support/error.h"
+#include "support/process.h"
 #include "support/stats.h"
 
 namespace mtc
@@ -159,6 +160,12 @@ decodeFlowResult(ByteReader &rd)
     // downstream of a completed unit reads quarantinedCount() and
     // quarantinedIterations, never the entries.
     const std::uint64_t quarantined = rd.u64();
+    // Unit records cross the fabric wire, so this count is untrusted:
+    // a forged value must be a classified decode error, not a
+    // many-gigabyte resize. Honest counts are bounded by a unit's
+    // iterations, orders of magnitude below this ceiling.
+    if (quarantined > (1ull << 24))
+        throw JournalError("absurd quarantine count in unit record");
     r.fault.quarantined.resize(static_cast<std::size_t>(quarantined));
     r.fault.quarantinedIterations = rd.u64();
     r.fault.decodedSignatures = rd.u64();
@@ -257,6 +264,12 @@ CampaignJournal::CampaignJournal(std::string path,
         throw JournalError("cannot lock journal '" + path +
                            "': " + std::strerror(err));
     }
+    // The flock lives on the open-file description, which forked
+    // worker children inherit: without this, a SIGKILLed campaign's
+    // still-dying fleet keeps the journal "locked by another
+    // campaign" against the very resume trying to take over. Register
+    // the fd so every worker child closes its copy at fork.
+    registerParentOnlyFd(lockFd);
 
     // From here on the lock is held. A throw below leaves the
     // constructor — so the destructor never runs — and a leaked fd
@@ -313,6 +326,7 @@ CampaignJournal::CampaignJournal(std::string path,
         truncateToValidPrefix(path, recovery);
         writer = std::make_unique<JournalWriter>(path);
     } catch (...) {
+        unregisterParentOnlyFd(lockFd);
         ::close(lockFd);
         lockFd = -1;
         throw;
@@ -321,8 +335,10 @@ CampaignJournal::CampaignJournal(std::string path,
 
 CampaignJournal::~CampaignJournal()
 {
-    if (lockFd >= 0)
+    if (lockFd >= 0) {
+        unregisterParentOnlyFd(lockFd);
         ::close(lockFd); // releases the flock
+    }
 }
 
 const UnitRecord *

@@ -1,5 +1,6 @@
 #include "harness/dist_campaign.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <string>
@@ -111,7 +112,11 @@ decodeCampaignSpec(const std::vector<std::uint8_t> &bytes)
         c.stallUncooperative = r.u8() != 0;
         c.testTimeoutMs = r.u64();
         const std::uint32_t count = r.u32();
-        spec.configs.reserve(count);
+        // A TestConfig encodes to 37 bytes; a count the payload
+        // cannot hold must fail as truncation in the loop below, not
+        // as a giant up-front allocation.
+        spec.configs.reserve(std::min<std::size_t>(
+            count, r.remaining() / 37));
         for (std::uint32_t i = 0; i < count; ++i) {
             TestConfig cfg;
             cfg.isa = static_cast<Isa>(r.u8());
@@ -196,9 +201,33 @@ CampaignUnitRunner::run(const std::vector<std::uint8_t> &request)
     return encodeUnitRecord(record);
 }
 
+std::uint64_t
+unitRecordDigest(const std::vector<std::uint8_t> &payload)
+{
+    try {
+        UnitRecord rec = decodeUnitRecord(payload);
+        // Zero every wall-clock field, then digest the canonical
+        // re-encoding: two honest executions of the same unit differ
+        // only in timing, a dishonest one differs in substance.
+        rec.outcome.result.collectiveMs = 0.0;
+        rec.outcome.result.conventionalMs = 0.0;
+        rec.outcome.result.decodeMs = 0.0;
+        rec.outcome.result.profile =
+            decltype(rec.outcome.result.profile){};
+        const std::vector<std::uint8_t> canon = encodeUnitRecord(rec);
+        return fnv1a64(canon.data(), canon.size());
+    } catch (const JournalError &) {
+        // Not a decodable record: digest the raw bytes under a
+        // different seed so garbage never collides with a well-formed
+        // record's digest.
+        return fnv1a64(payload.data(), payload.size(),
+                       0x84222325cbf29ce4ull);
+    }
+}
+
 pid_t
 forkCampaignWorker(std::uint16_t port, unsigned index,
-                   std::uint64_t exit_after_units, int listener_fd)
+                   const LoopbackWorkerOptions &opts)
 {
     const pid_t pid = ::fork();
     if (pid < 0)
@@ -208,9 +237,10 @@ forkCampaignWorker(std::uint16_t port, unsigned index,
         return pid;
 
     // --- loopback worker child ---
-    if (listener_fd >= 0)
-        ::close(listener_fd); // see the header: inherited copies of
-                              // the listener outlive its shutdown
+    if (opts.listenerFd >= 0)
+        ::close(opts.listenerFd); // see the header: inherited copies
+                                  // of the listener outlive its
+                                  // shutdown
 #ifdef __linux__
     // Die with the parent: a SIGKILLed campaign (the ci.sh
     // coordinator-crash smoke) must not leave orphan workers spinning
@@ -219,6 +249,9 @@ forkCampaignWorker(std::uint16_t port, unsigned index,
     if (::getppid() == 1)
         ::_exit(kWorkerExitInternal); // parent raced away already
 #endif
+    // The journal flock must die with the coordinator, not with the
+    // slowest loopback worker the PDEATHSIG reaches.
+    closeParentOnlyFds();
     try {
         WorkerClientConfig cfg;
         cfg.port = port;
@@ -226,11 +259,17 @@ forkCampaignWorker(std::uint16_t port, unsigned index,
         cfg.heartbeatMs = 500;
         // Short leash: after Done (or a dead coordinator) the fleet
         // should drain in well under a second, not serve a full
-        // operator-scale backoff schedule.
-        cfg.maxReconnects = 3;
+        // operator-scale backoff schedule. Under injected network
+        // faults every session is expected to die repeatedly — give
+        // the chaos drill enough consecutive failures to ride out an
+        // unlucky handshake streak.
+        cfg.maxReconnects = opts.netFault.any() ? 25 : 3;
         cfg.backoffBaseMs = 50;
         cfg.backoffCapMs = 400;
-        cfg.exitAfterUnits = exit_after_units;
+        cfg.exitAfterUnits = opts.exitAfterUnits;
+        cfg.key = opts.key;
+        cfg.netFault = opts.netFault;
+        const bool corrupt = opts.corruptResults;
         std::unique_ptr<CampaignUnitRunner> runner;
         runWorkerClient(
             cfg,
@@ -238,9 +277,23 @@ forkCampaignWorker(std::uint16_t port, unsigned index,
                 runner = std::make_unique<CampaignUnitRunner>(
                     decodeCampaignSpec(spec_bytes));
             },
-            [&runner](std::uint64_t,
-                      const std::vector<std::uint8_t> &request) {
-                return runner->run(request);
+            [&runner, corrupt](
+                std::uint64_t,
+                const std::vector<std::uint8_t> &request) {
+                std::vector<std::uint8_t> response =
+                    runner->run(request);
+                if (corrupt) {
+                    // Byzantine drill: a plausible lie. The record
+                    // still decodes and all framing checksums pass —
+                    // only a cross-worker audit can tell it from the
+                    // truth.
+                    UnitRecord rec = decodeUnitRecord(response);
+                    rec.outcome.result.uniqueSignatures += 1;
+                    rec.outcome.result.signatureSetDigest ^=
+                        0x5851f42d4c957f2dull;
+                    response = encodeUnitRecord(rec);
+                }
+                return response;
             });
         ::_exit(0);
     } catch (...) {

@@ -89,24 +89,50 @@ class CampaignUnitRunner
 };
 
 /**
+ * Deterministic digest of an encoded UnitRecord, for Byzantine
+ * audits: two honest executions of the same unit agree on it even
+ * though their wall-clock fields differ (those are zeroed before
+ * folding). An undecodable payload digests under a different seed so
+ * garbage can never collide with a well-formed record.
+ */
+std::uint64_t
+unitRecordDigest(const std::vector<std::uint8_t> &payload);
+
+/** Knobs for one forked loopback worker. */
+struct LoopbackWorkerOptions
+{
+    /** Die-mid-batch drill (WorkerClientConfig::exitAfterUnits). */
+    std::uint64_t exitAfterUnits = 0;
+
+    /** Byzantine drill: silently corrupt every unit result —
+     * decodable, plausible, wrong — so only an audit cross-check can
+     * catch it. */
+    bool corruptResults = false;
+
+    /** Fabric key; empty = keyless. */
+    std::vector<std::uint8_t> key;
+
+    /** Seeded network faults on the worker's connection. */
+    NetFaultConfig netFault;
+
+    /** The coordinator's listening descriptor, closed first thing in
+     * the child (see Coordinator::listenerFd for why an inherited
+     * copy would deadlock the shutdown); -1 if nothing to close. */
+    int listenerFd = -1;
+};
+
+/**
  * Fork a loopback fabric worker: the child connects to the local
- * coordinator on @p port, serves units until Done, and _exit()s. With
- * @p exit_after_units nonzero the child runs the die-mid-batch drill
- * (see WorkerClientConfig::exitAfterUnits).
+ * coordinator on @p port, serves units until Done, and _exit()s.
  *
  * Fork-before-threads: call while the parent is single-threaded (the
  * Coordinator is poll-based precisely so this holds).
  *
- * @param listener_fd the coordinator's listening descriptor, closed
- *        first thing in the child (see Coordinator::listenerFd for
- *        why an inherited copy would deadlock the shutdown); -1 if
- *        there is nothing to close.
  * @return the child pid (the caller reaps it). @throws DistError if
  *         the fork fails.
  */
 pid_t forkCampaignWorker(std::uint16_t port, unsigned index,
-                         std::uint64_t exit_after_units,
-                         int listener_fd = -1);
+                         const LoopbackWorkerOptions &opts = {});
 
 } // namespace mtc
 

@@ -165,6 +165,10 @@ SandboxPool::spawnWorker(Worker &slot, unsigned index,
         if (::getppid() == 1)
             ::_exit(kWorkerExitInternal); // parent raced away already
 #endif
+        // Parent-only descriptors (the journal flock) must not ride
+        // along into the worker: the lock has to die with the parent,
+        // not with the slowest child the PDEATHSIG reaches.
+        closeParentOnlyFds();
         // Drop every fd belonging to other workers: a sibling holding
         // a duplicate of worker X's request pipe would keep X from
         // ever seeing shutdown EOF. (Closing the forked copy of the

@@ -1,0 +1,198 @@
+#include "support/fault_transport.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include <poll.h>
+
+namespace mtc
+{
+
+namespace
+{
+
+void
+sleepMs(std::uint32_t ms)
+{
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+} // anonymous namespace
+
+FaultyTransport::FaultyTransport(Transport &&inner_transport,
+                                 const NetFaultConfig &fault_config)
+    : inner(std::move(inner_transport)), cfg(fault_config),
+      rng(fault_config.seed)
+{}
+
+void
+FaultyTransport::writeWithFaults(std::vector<std::uint8_t> frame)
+{
+    const NetFaultRates &r = cfg.send;
+
+    if (rng.nextBool(r.drop)) {
+        ++faultStats.sendDrops;
+        return;
+    }
+
+    if (rng.nextBool(r.disconnect)) {
+        // Cut the wire mid-frame: the peer sees a torn frame, and this
+        // endpoint's connection is gone. Half the bytes go out first
+        // so the tear lands inside the frame, not at a boundary.
+        ++faultStats.sendDisconnects;
+        const std::size_t half = std::max<std::size_t>(1, frame.size() / 2);
+        try {
+            inner.sendRaw(frame.data(), half);
+        } catch (const FramingError &) {
+            // The wire was already dead; the close below still runs.
+        }
+        inner.close();
+        throw FramingError("fault injection: mid-frame disconnect");
+    }
+
+    if (rng.nextBool(r.delay)) {
+        ++faultStats.sendDelays;
+        sleepMs(cfg.delayMs);
+    }
+
+    if (rng.nextBool(r.corrupt)) {
+        ++faultStats.sendCorrupts;
+        const std::size_t bit = rng.pickIndex(frame.size() * 8);
+        frame[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    }
+
+    if (rng.nextBool(r.drip)) {
+        // Trickle the frame out in small chunks with pauses between —
+        // a slow or congested peer, not a dead one.
+        ++faultStats.sendDrips;
+        const std::size_t chunk =
+            std::max<std::size_t>(1, frame.size() / 4);
+        std::size_t off = 0;
+        while (off < frame.size()) {
+            const std::size_t n =
+                std::min(chunk, frame.size() - off);
+            inner.sendRaw(frame.data() + off, n);
+            off += n;
+            if (off < frame.size())
+                sleepMs(1);
+        }
+    } else {
+        inner.sendRaw(frame.data(), frame.size());
+    }
+
+    if (rng.nextBool(r.duplicate)) {
+        ++faultStats.sendDuplicates;
+        inner.sendRaw(frame.data(), frame.size());
+    }
+}
+
+void
+FaultyTransport::send(const std::vector<std::uint8_t> &payload)
+{
+    // Serialize through the inner transport so the auth envelope (when
+    // armed) is applied exactly once, before fault mangling.
+    std::vector<std::uint8_t> frame = inner.buildFrame(payload);
+
+    if (holdingFrame) {
+        // A previous frame is held back by a reorder fault: send the
+        // new frame first, then release the held one — the swap IS
+        // the reorder.
+        std::vector<std::uint8_t> held = std::move(heldFrame);
+        holdingFrame = false;
+        writeWithFaults(std::move(frame));
+        writeWithFaults(std::move(held));
+        return;
+    }
+    if (rng.nextBool(cfg.send.reorder)) {
+        ++faultStats.sendReorders;
+        heldFrame = std::move(frame);
+        holdingFrame = true;
+        return;
+    }
+    writeWithFaults(std::move(frame));
+}
+
+bool
+FaultyTransport::receive(std::vector<std::uint8_t> &payload)
+{
+    if (duplicatePending) {
+        duplicatePending = false;
+        payload = std::move(duplicatedRecv);
+        return true;
+    }
+    const NetFaultRates &r = cfg.recv;
+    for (;;) {
+        if (!inner.receive(payload))
+            return false;
+        if (rng.nextBool(r.drop) && inputPending()) {
+            // Drop only when more input is already on the wire. This
+            // receive() is blocking, and the fabric's event loops call
+            // it only when data is pending — if the discarded frame
+            // was the last one in flight (its sender now waiting for a
+            // reply), looping into a blocking read would freeze the
+            // caller. Frozen in a coordinator, that stops the very
+            // timer loop (handshake / lease / heartbeat deadlines)
+            // whose job is to recover from losses, deadlocking the
+            // whole fabric. The RNG draw happens either way, so the
+            // fault schedule stays seed-deterministic.
+            ++faultStats.recvDrops;
+            continue; // the frame never arrived
+        }
+        if (rng.nextBool(r.corrupt)) {
+            // Wire corruption on the inbound path surfaces as the
+            // checksum failure the codec would have raised.
+            ++faultStats.recvCorrupts;
+            throw FramingError(
+                "fault injection: inbound frame corrupted");
+        }
+        if (rng.nextBool(r.delay)) {
+            ++faultStats.recvDelays;
+            sleepMs(cfg.delayMs);
+        }
+        if (rng.nextBool(r.duplicate)) {
+            ++faultStats.recvDuplicates;
+            duplicatedRecv = payload;
+            duplicatePending = true;
+        }
+        return true;
+    }
+}
+
+bool
+FaultyTransport::inputPending() const
+{
+    const int fd = inner.receiveFd();
+    if (fd < 0)
+        return false;
+    pollfd pfd{fd, POLLIN, 0};
+    // POLLHUP/POLLERR count as pending too: the next read resolves
+    // immediately (EOF / error), so dropping cannot block the caller.
+    return ::poll(&pfd, 1, 0) > 0 &&
+           (pfd.revents & (POLLIN | POLLHUP | POLLERR)) != 0;
+}
+
+void
+FaultyTransport::closeSend()
+{
+    if (holdingFrame) {
+        // Don't let a reorder fault swallow the last frame before a
+        // half-close — flush it (faults still apply).
+        holdingFrame = false;
+        try {
+            writeWithFaults(std::move(heldFrame));
+        } catch (const FramingError &) {
+            // Best-effort flush; the close still proceeds.
+        }
+    }
+    inner.closeSend();
+}
+
+void
+FaultyTransport::close()
+{
+    inner.close();
+}
+
+} // namespace mtc

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Seeded network-fault decorator over Transport.
+ *
+ * The simulator's FaultInjector mangles signature readouts to prove
+ * the analysis pipeline survives a noisy device under test; this is
+ * the same discipline applied to the fabric's wire. A FaultyTransport
+ * wraps a connected Transport and, driven by a seeded RNG, drops,
+ * duplicates, delays, reorders, corrupts, slow-drips, or mid-frame
+ * disconnects traffic in either direction — so heartbeat liveness,
+ * lease revocation, backoff reconnect, and loss budgets get exercised
+ * by real injected faults instead of only SIGKILL.
+ *
+ * Faults never forge a valid frame: corruption is caught by the frame
+ * checksum (or the auth MAC), so an injected fault can break a
+ * connection but can never smuggle a wrong result past the codec —
+ * which is exactly the invariant the chaos CI gate asserts.
+ */
+
+#ifndef MTC_SUPPORT_FAULT_TRANSPORT_H
+#define MTC_SUPPORT_FAULT_TRANSPORT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/rng.h"
+#include "support/transport.h"
+
+namespace mtc
+{
+
+/** Per-direction fault probabilities, each in [0,1]. */
+struct NetFaultRates
+{
+    double drop = 0.0;       ///< frame vanishes
+    double duplicate = 0.0;  ///< frame arrives twice
+    double corrupt = 0.0;    ///< one bit flipped on the wire
+    double delay = 0.0;      ///< frame held for delayMs
+    double reorder = 0.0;    ///< frame held and sent after its successor
+    double drip = 0.0;       ///< frame trickled out in small chunks
+    double disconnect = 0.0; ///< connection cut mid-frame
+
+    bool any() const
+    {
+        return drop > 0 || duplicate > 0 || corrupt > 0 || delay > 0 ||
+               reorder > 0 || drip > 0 || disconnect > 0;
+    }
+};
+
+/** Full fault plan for one wrapped connection. */
+struct NetFaultConfig
+{
+    NetFaultRates send; ///< faults applied to outgoing frames
+    NetFaultRates recv; ///< faults applied to incoming frames
+    std::uint32_t delayMs = 20; ///< hold time for delay faults
+    std::uint64_t seed = 0;     ///< RNG seed (deterministic drills)
+
+    bool any() const { return send.any() || recv.any(); }
+};
+
+/** Injected-fault counters, exposed for tests. */
+struct NetFaultStats
+{
+    std::uint64_t sendDrops = 0;
+    std::uint64_t sendDuplicates = 0;
+    std::uint64_t sendCorrupts = 0;
+    std::uint64_t sendDelays = 0;
+    std::uint64_t sendReorders = 0;
+    std::uint64_t sendDrips = 0;
+    std::uint64_t sendDisconnects = 0;
+    std::uint64_t recvDrops = 0;
+    std::uint64_t recvDuplicates = 0;
+    std::uint64_t recvCorrupts = 0;
+    std::uint64_t recvDelays = 0;
+
+    std::uint64_t total() const
+    {
+        return sendDrops + sendDuplicates + sendCorrupts + sendDelays +
+               sendReorders + sendDrips + sendDisconnects + recvDrops +
+               recvDuplicates + recvCorrupts + recvDelays;
+    }
+};
+
+/** Fault-injecting decorator; see file comment. */
+class FaultyTransport final : public Transport
+{
+  public:
+    /** Takes ownership of @p inner_transport by move. */
+    FaultyTransport(Transport &&inner_transport,
+                    const NetFaultConfig &fault_config);
+
+    bool valid() const override { return inner.valid(); }
+    void send(const std::vector<std::uint8_t> &payload) override;
+    bool receive(std::vector<std::uint8_t> &payload) override;
+    void closeSend() override;
+    void close() override;
+    int receiveFd() const override { return inner.receiveFd(); }
+    void setMaxFramePayload(std::uint32_t bytes) override
+    {
+        inner.setMaxFramePayload(bytes);
+    }
+    void setReceiveDeadlineMs(std::uint32_t ms) override
+    {
+        inner.setReceiveDeadlineMs(ms);
+    }
+    void enableFrameAuth(std::vector<std::uint8_t> session_key,
+                         bool is_client) override
+    {
+        inner.enableFrameAuth(std::move(session_key), is_client);
+    }
+
+    const NetFaultStats &stats() const { return faultStats; }
+
+  private:
+    void writeWithFaults(std::vector<std::uint8_t> frame);
+
+    /** True when the receive fd has bytes (or EOF) ready right now —
+     * the precondition for a recv-side drop to be deadlock-free. */
+    bool inputPending() const;
+
+    Transport inner;
+    NetFaultConfig cfg;
+    Rng rng;
+    NetFaultStats faultStats;
+
+    /** One frame held back by a reorder fault. */
+    std::vector<std::uint8_t> heldFrame;
+    bool holdingFrame = false;
+
+    /** One payload queued by a receive-side duplicate fault. */
+    std::vector<std::uint8_t> duplicatedRecv;
+    bool duplicatePending = false;
+};
+
+} // namespace mtc
+
+#endif // MTC_SUPPORT_FAULT_TRANSPORT_H

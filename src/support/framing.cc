@@ -1,8 +1,10 @@
 #include "support/framing.h"
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
+#include <poll.h>
 #include <unistd.h>
 
 #include "support/process.h"
@@ -57,7 +59,8 @@ appendFrame(std::vector<std::uint8_t> &out, const std::uint8_t *payload,
     const std::size_t base = out.size();
     out.resize(base + kFrameHeaderBytes + len);
     putLe32(out.data() + base, static_cast<std::uint32_t>(len));
-    putLe32(out.data() + base + 4, fnv1a32(payload, len));
+    putLe32(out.data() + base + 4, fnv1a32(out.data() + base, 4));
+    putLe32(out.data() + base + 8, fnv1a32(payload, len));
     std::memcpy(out.data() + base + kFrameHeaderBytes, payload, len);
 }
 
@@ -71,7 +74,13 @@ parseFrame(const std::uint8_t *data, std::size_t size,
         return view;
     }
     const std::uint32_t len = getLe32(data);
-    const std::uint32_t sum = getLe32(data + 4);
+    // The header check gates everything: until the length word proves
+    // intact, `len` is not a byte count, it's noise.
+    if (fnv1a32(data, 4) != getLe32(data + 4)) {
+        view.status = FrameStatus::Corrupt;
+        return view;
+    }
+    const std::uint32_t sum = getLe32(data + 8);
     if (len > max_payload) {
         view.status = FrameStatus::Corrupt;
         return view;
@@ -128,6 +137,52 @@ readUpTo(int fd, std::uint8_t *data, std::size_t len,
     return got;
 }
 
+using FrameClock = std::chrono::steady_clock;
+
+/** readUpTo against an absolute deadline: every wait polls with the
+ * time remaining, and running out of it is a framing fault. A default
+ * (epoch) deadline means "no deadline" — plain readUpTo. */
+std::size_t
+readUpToDeadline(int fd, std::uint8_t *data, std::size_t len,
+                 const std::string &what,
+                 FrameClock::time_point deadline)
+{
+    if (deadline == FrameClock::time_point{})
+        return readUpTo(fd, data, len, what);
+    std::size_t got = 0;
+    while (got < len) {
+        const auto left = std::chrono::duration_cast<
+            std::chrono::milliseconds>(deadline - FrameClock::now());
+        if (left.count() <= 0) {
+            throw FramingError(
+                what + ": frame stalled mid-read (" +
+                std::to_string(got) + " of " + std::to_string(len) +
+                " bytes before the frame deadline)");
+        }
+        pollfd pfd{fd, POLLIN, 0};
+        const int rc = ::poll(&pfd, 1,
+                              static_cast<int>(std::min<long long>(
+                                  left.count(), 1000)));
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            throw FramingError(what + ": poll failed: " +
+                               std::strerror(errno));
+        }
+        if (rc == 0)
+            continue; // re-check the deadline
+        const ssize_t n = readEintr(fd, data + got, len - got);
+        if (n < 0) {
+            throw FramingError(what + ": read failed: " +
+                               std::strerror(errno));
+        }
+        if (n == 0)
+            break;
+        got += static_cast<std::size_t>(n);
+    }
+    return got;
+}
+
 } // anonymous namespace
 
 void
@@ -141,25 +196,48 @@ writeFrame(int fd, const std::vector<std::uint8_t> &payload,
     writeAllFd(fd, frame.data(), frame.size(), what);
 }
 
+void
+writeFrameBytes(int fd, const std::uint8_t *data, std::size_t len,
+                const std::string &what)
+{
+    writeAllFd(fd, data, len, what);
+}
+
 bool
 readFrame(int fd, std::vector<std::uint8_t> &payload,
-          const std::string &what, std::uint32_t max_payload)
+          const std::string &what, std::uint32_t max_payload,
+          std::uint32_t frame_deadline_ms)
 {
+    // Waiting for a frame to START may block forever — an idle peer
+    // is healthy. The deadline clock starts at the first byte.
     std::uint8_t header[kFrameHeaderBytes];
-    const std::size_t got =
-        readUpTo(fd, header, kFrameHeaderBytes, what);
+    std::size_t got = readUpTo(fd, header, 1, what);
     if (got == 0)
         return false; // clean EOF between frames
+    const FrameClock::time_point deadline =
+        frame_deadline_ms
+            ? FrameClock::now() +
+                  std::chrono::milliseconds(frame_deadline_ms)
+            : FrameClock::time_point{};
+    got += readUpToDeadline(fd, header + 1, kFrameHeaderBytes - 1,
+                            what, deadline);
     if (got < kFrameHeaderBytes)
         throw FramingError(what + ": stream torn mid-header");
     const std::uint32_t len = getLe32(header);
-    const std::uint32_t sum = getLe32(header + 4);
+    // Validate the length word before trusting it as a byte count —
+    // see the file comment of framing.h: an unchecked corrupt length
+    // stalls a blocking reader, which no payload checksum can catch.
+    if (fnv1a32(header, 4) != getLe32(header + 4))
+        throw FramingError(what +
+                           ": frame header check mismatch (corrupt "
+                           "length word)");
+    const std::uint32_t sum = getLe32(header + 8);
     if (len > max_payload)
         throw FramingError(what + ": absurd frame length " +
                            std::to_string(len) + " (limit " +
                            std::to_string(max_payload) + ")");
     payload.resize(len);
-    if (readUpTo(fd, payload.data(), len, what) < len)
+    if (readUpToDeadline(fd, payload.data(), len, what, deadline) < len)
         throw FramingError(what + ": stream torn mid-payload");
     if (fnv1a32(payload.data(), payload.size()) != sum)
         throw FramingError(what + ": frame checksum mismatch");

@@ -5,15 +5,25 @@
  *
  * A frame is
  *
- *     [u32 payload length][u32 FNV-1a checksum][payload bytes]
+ *     [u32 payload length][u32 header check][u32 FNV-1a checksum]
+ *     [payload bytes]
  *
- * (little-endian). The same codec serves two transports with two
- * failure models: an append-only journal file, where a torn tail is
- * the expected product of a SIGKILL and is recovered from silently
- * (src/support/journal.h), and a parent<->worker pipe, where a torn
- * frame means the peer died mid-record and is reported as an error so
- * the sandbox can classify the loss (src/harness/sandbox.h). This
- * layer knows nothing about payload semantics; it only frames bytes.
+ * (little-endian), where the header check is FNV-1a over the four
+ * length bytes. The length word steers how many bytes the reader
+ * consumes next, so it must be validatable BEFORE those bytes are
+ * read: without the check, a single corrupted length bit makes a
+ * blocking reader wait for payload that was never sent — a stall no
+ * payload checksum can catch, because that checksum is only testable
+ * after the payload arrives. With it, a mangled header is classified
+ * Corrupt immediately.
+ *
+ * The same codec serves two transports with two failure models: an
+ * append-only journal file, where a torn tail is the expected product
+ * of a SIGKILL and is recovered from silently (src/support/journal.h),
+ * and a parent<->worker pipe, where a torn frame means the peer died
+ * mid-record and is reported as an error so the sandbox can classify
+ * the loss (src/harness/sandbox.h). This layer knows nothing about
+ * payload semantics; it only frames bytes.
  */
 
 #ifndef MTC_SUPPORT_FRAMING_H
@@ -45,7 +55,7 @@ std::uint64_t fnv1a64(const void *data, std::size_t len,
                       std::uint64_t seed = 0xcbf29ce484222325ull);
 
 /** Bytes of frame header preceding every payload. */
-constexpr std::size_t kFrameHeaderBytes = 8;
+constexpr std::size_t kFrameHeaderBytes = 12;
 
 /** Frames larger than this are treated as corruption, not records: a
  * torn length word must not make a reader try to allocate gigabytes.
@@ -56,7 +66,7 @@ constexpr std::uint32_t kMaxFramePayloadBytes = 64u << 20;
 void putLe32(std::uint8_t *out, std::uint32_t v);
 std::uint32_t getLe32(const std::uint8_t *in);
 
-/** Append [len][checksum][payload] for @p payload to @p out. */
+/** Append [len][header check][checksum][payload] for @p payload. */
 void appendFrame(std::vector<std::uint8_t> &out,
                  const std::uint8_t *payload, std::size_t len);
 
@@ -99,19 +109,37 @@ void writeFrame(int fd, const std::vector<std::uint8_t> &payload,
                 const std::string &what);
 
 /**
+ * Write pre-built frame bytes to @p fd verbatim, retrying short
+ * writes and EINTR — writeFrame() minus the framing, for callers
+ * that already hold a serialized frame (fault-injection decorators).
+ * @throws FramingError on I/O failure.
+ */
+void writeFrameBytes(int fd, const std::uint8_t *data, std::size_t len,
+                     const std::string &what);
+
+/**
  * Blocking-read one frame from @p fd into @p payload.
  *
  * @param max_payload Length ceiling, as for parseFrame(): an
  *        oversized header is a framing fault, never an allocation.
+ * @param frame_deadline_ms When nonzero, the whole frame must arrive
+ *        within this many milliseconds of its FIRST byte. Waiting for
+ *        a frame to start still blocks indefinitely (an idle peer is
+ *        not a fault), but a peer that starts a frame and then
+ *        withholds the rest — a slow-loris, or a length word the
+ *        header check somehow missed — is a framing fault, not a
+ *        caller frozen forever. Mandatory hygiene for network streams
+ *        whose reader is a single-threaded event loop.
  * @return true on a complete frame; false on clean EOF at a frame
  *         boundary (the peer closed its end between records).
  * @throws FramingError on EOF mid-frame (the peer died while
- *         writing), a checksum mismatch, an absurd length, or an I/O
- *         error.
+ *         writing), a header-check or checksum mismatch, an absurd
+ *         length, a blown frame deadline, or an I/O error.
  */
 bool readFrame(int fd, std::vector<std::uint8_t> &payload,
                const std::string &what,
-               std::uint32_t max_payload = kMaxFramePayloadBytes);
+               std::uint32_t max_payload = kMaxFramePayloadBytes,
+               std::uint32_t frame_deadline_ms = 0);
 
 } // namespace mtc
 

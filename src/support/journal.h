@@ -96,6 +96,14 @@ class ByteReader
 
     bool exhausted() const { return p == end; }
 
+    /** Bytes left to read. Callers decoding untrusted length prefixes
+     * must bound their allocations by this — a forged count must be
+     * rejected as truncation, never attempted as an allocation. */
+    std::size_t remaining() const
+    {
+        return static_cast<std::size_t>(end - p);
+    }
+
   private:
     void need(std::size_t n) const;
 

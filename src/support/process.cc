@@ -1,6 +1,7 @@
 #include "support/process.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <csignal>
 #include <cstring>
@@ -123,7 +124,49 @@ classifyStatus(int status)
     return e;
 }
 
+/** Parent-only fd table, stored as fd+1 so the zero-initialized
+ * static state means "empty slot". Lock-free (CAS per slot) because
+ * the post-fork child of a multithreaded parent must be able to walk
+ * it without taking a mutex some other thread held at fork time. */
+constexpr std::size_t kMaxParentOnlyFds = 16;
+std::atomic<int> parentOnlyFdsPlus1[kMaxParentOnlyFds];
+
 } // anonymous namespace
+
+void
+registerParentOnlyFd(int fd)
+{
+    if (fd < 0)
+        return;
+    for (auto &slot : parentOnlyFdsPlus1) {
+        int expect = 0;
+        if (slot.compare_exchange_strong(expect, fd + 1))
+            return;
+    }
+    throw ProcessError("parent-only fd registry full");
+}
+
+void
+unregisterParentOnlyFd(int fd)
+{
+    if (fd < 0)
+        return;
+    for (auto &slot : parentOnlyFdsPlus1) {
+        int expect = fd + 1;
+        if (slot.compare_exchange_strong(expect, 0))
+            return;
+    }
+}
+
+void
+closeParentOnlyFds()
+{
+    for (auto &slot : parentOnlyFdsPlus1) {
+        const int plus1 = slot.load(std::memory_order_relaxed);
+        if (plus1 > 0)
+            ::close(plus1 - 1);
+    }
+}
 
 ChildExit
 waitChild(pid_t pid)

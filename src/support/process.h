@@ -89,6 +89,28 @@ ssize_t readEintr(int fd, void *buf, std::size_t len);
  * short count — callers loop for full writes. */
 ssize_t writeEintr(int fd, const void *buf, std::size_t len);
 
+/**
+ * Register @p fd as parent-only: every worker child forked after this
+ * closes its inherited copy first thing (closeParentOnlyFds()). For
+ * descriptors whose kernel-side state must die with the parent — the
+ * campaign journal's advisory flock lives on the open-file
+ * description, so a forked worker's inherited copy keeps the journal
+ * "locked by another campaign" for as long as the worker lives, even
+ * after the parent was SIGKILLed and a resume is trying to take over.
+ * Bounded registry; @throws ProcessError when full.
+ */
+void registerParentOnlyFd(int fd);
+
+/** Remove @p fd from the parent-only registry (call before closing
+ * it); unknown fds are ignored. */
+void unregisterParentOnlyFd(int fd);
+
+/** Close every registered parent-only fd in the calling process.
+ * Called by worker children immediately after fork; uses only close()
+ * on a lock-free table, so it is safe in the post-fork child of a
+ * multithreaded parent. */
+void closeParentOnlyFds();
+
 /** Blocking waitpid for @p pid. @throws ProcessError on failure. */
 ChildExit waitChild(pid_t pid);
 

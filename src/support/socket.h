@@ -6,9 +6,10 @@
  * frame codec (src/support/framing.h) that already serves the journal
  * and the sandbox pipes serves the network unchanged — this layer only
  * establishes connections. Loopback-first by design: the coordinator
- * binds 127.0.0.1 unless told otherwise, because the fabric speaks an
- * unauthenticated framed protocol and exposing that to a routable
- * interface is an operator decision, not a default.
+ * binds 127.0.0.1 unless told otherwise; exposing a routable interface
+ * is an operator decision that should come with a pre-shared fabric
+ * key (src/support/transport.h grows per-frame HMAC + sequencing once
+ * the authenticated handshake completes).
  */
 
 #ifndef MTC_SUPPORT_SOCKET_H

@@ -32,6 +32,7 @@
 #include "harness/watchdog.h"
 #include "support/cancellation.h"
 #include "support/journal.h"
+#include "support/process.h"
 #include "support/thread_pool.h"
 #include "testgen/generator.h"
 
@@ -147,9 +148,10 @@ TEST(JournalFraming, TornTailRecoveredAtEveryByteOffset)
         writer.append(p2);
     }
     const std::uint64_t full = fileSize(master.path());
-    const std::uint64_t prefix2 =
-        (8 + p0.size()) + (8 + p1.size()); // intact first two frames
-    ASSERT_EQ(full, prefix2 + 8 + p2.size());
+    const std::uint64_t prefix2 = (kFrameHeaderBytes + p0.size()) +
+                                  (kFrameHeaderBytes +
+                                   p1.size()); // intact first two
+    ASSERT_EQ(full, prefix2 + kFrameHeaderBytes + p2.size());
 
     // A SIGKILL can cut the file anywhere inside the final frame: in
     // the length word, the checksum, or the payload. Every cut must
@@ -193,7 +195,8 @@ TEST(JournalFraming, CorruptedChecksumDropsTail)
     // fails and the reader must stop after the first record.
     std::fstream f(file.path(),
                    std::ios::in | std::ios::out | std::ios::binary);
-    f.seekp(static_cast<std::streamoff>(8 + 3 + 8 + 1));
+    f.seekp(static_cast<std::streamoff>(kFrameHeaderBytes + 3 +
+                                        kFrameHeaderBytes + 1));
     f.put(static_cast<char>(0x7F));
     f.close();
 
@@ -355,6 +358,59 @@ TEST(CampaignJournalFile, RejectsForeignIdentityOnResume)
     EXPECT_NO_THROW(CampaignJournal(file.path(), mine, true));
     EXPECT_THROW(CampaignJournal(file.path(), other, true),
                  ConfigError);
+}
+
+TEST(CampaignJournalFile, ForkedWorkerDoesNotInheritTheFlock)
+{
+    // The flock lives on the open-file description, which forked
+    // workers inherit: a SIGKILLed campaign's still-dying fleet must
+    // not keep the journal locked against the resume taking over.
+    // Re-enact the race deterministically: a "campaign" process takes
+    // the lock, forks a "worker" that drops parent-only fds, then
+    // dies without running a single destructor; the worker outlives
+    // it, and the journal must still be immediately lockable.
+    TempFile file("forklock");
+    CampaignJournal::Identity id{5, "x"};
+
+    int hold[2]; // keeps the worker alive until the test is done
+    ASSERT_EQ(::pipe(hold), 0);
+    int ready[2]; // signals "worker forked, campaign about to die"
+    ASSERT_EQ(::pipe(ready), 0);
+
+    const pid_t campaign = ::fork();
+    ASSERT_GE(campaign, 0);
+    if (campaign == 0) {
+        ::close(ready[0]);
+        ::close(hold[1]);
+        CampaignJournal journal(file.path(), id, false);
+        const pid_t worker = ::fork();
+        if (worker == 0) {
+            closeParentOnlyFds(); // what every real worker child does
+            ::close(ready[1]);
+            std::uint8_t b;
+            (void)!::read(hold[0], &b, 1); // parked until test end
+            ::_exit(0);
+        }
+        ::close(hold[0]);
+        const std::uint8_t ok = worker > 0 ? 1 : 0;
+        (void)!::write(ready[1], &ok, 1);
+        ::_exit(ok ? 0 : 1); // skip destructors: SIGKILL stand-in
+    }
+    ::close(ready[1]);
+    ::close(hold[0]);
+    std::uint8_t ok = 0;
+    ASSERT_EQ(::read(ready[0], &ok, 1), 1);
+    ::close(ready[0]);
+    ASSERT_EQ(ok, 1);
+    const ChildExit ce = waitChild(campaign);
+    ASSERT_FALSE(ce.signaled);
+    ASSERT_EQ(ce.exitCode, 0);
+
+    // Campaign dead, worker alive. Without the parent-only registry
+    // this throws "locked by another campaign".
+    EXPECT_NO_THROW(CampaignJournal(file.path(), id, true));
+
+    ::close(hold[1]); // unparks the worker; init reaps it
 }
 
 TEST(CampaignJournalFile, ResumeOfMissingOrEmptyJournalThrows)

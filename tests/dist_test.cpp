@@ -17,12 +17,15 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <csignal>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -37,7 +40,9 @@
 #include "harness/campaign.h"
 #include "harness/campaign_journal.h"
 #include "harness/dist_campaign.h"
+#include "support/fault_transport.h"
 #include "support/framing.h"
+#include "support/hmac.h"
 #include "support/process.h"
 #include "support/socket.h"
 #include "support/transport.h"
@@ -138,16 +143,86 @@ TEST(FrameHardening, ForgedHeaderOnAStreamThrowsBeforeAllocating)
 {
     int fds[2];
     ASSERT_EQ(::pipe(fds), 0);
-    // Forge a header claiming a ~4 GB payload; no payload follows.
+    // Forge a header claiming a ~4 GB payload — with a valid header
+    // check, so the length ceiling (not the self-check) rejects it.
+    // No payload follows.
     std::uint8_t header[kFrameHeaderBytes];
     putLe32(header, 0xFFFFFFF0u);
-    putLe32(header + 4, 0xdeadbeefu);
+    putLe32(header + 4, fnv1a32(header, 4));
+    putLe32(header + 8, 0xdeadbeefu);
     ASSERT_EQ(::write(fds[1], header, sizeof header),
               static_cast<ssize_t>(sizeof header));
     ::close(fds[1]);
 
     std::vector<std::uint8_t> payload;
     EXPECT_THROW(readFrame(fds[0], payload, "forged"), FramingError);
+    ::close(fds[0]);
+}
+
+TEST(FrameHardening, CorruptLengthWordFailsFastInsteadOfStalling)
+{
+    // The bug this guards against: a single bit flipped in the length
+    // word once made a blocking reader wait for megabytes of payload
+    // that were never sent. The header self-check must classify the
+    // frame corrupt from the header alone — no payload read, no
+    // deadline needed, no stall.
+    std::vector<std::uint8_t> frame;
+    const std::vector<std::uint8_t> payload(64, 0xab);
+    appendFrame(frame, payload.data(), payload.size());
+    frame[2] ^= 0x01; // bit 16 of the length: +65536 bytes claimed
+
+    int fds[2];
+    ASSERT_EQ(::pipe(fds), 0);
+    ASSERT_EQ(::write(fds[1], frame.data(), frame.size()),
+              static_cast<ssize_t>(frame.size()));
+    // Deliberately do NOT close the write end: a reader that trusted
+    // the corrupt length would block here forever.
+    std::vector<std::uint8_t> out;
+    try {
+        readFrame(fds[0], out, "bitflipped");
+        FAIL() << "corrupt length word was accepted";
+    } catch (const FramingError &err) {
+        EXPECT_NE(std::string(err.what()).find("header check"),
+                  std::string::npos)
+            << err.what();
+    }
+    ::close(fds[1]);
+    ::close(fds[0]);
+}
+
+TEST(FrameHardening, StalledMidFrameReadHitsTheDeadline)
+{
+    // A frame that starts and never finishes (slow-loris, or a length
+    // the self-check could not catch) must resolve as a FramingError
+    // within the receive deadline, not pin the reader forever.
+    std::vector<std::uint8_t> frame;
+    const std::vector<std::uint8_t> payload(256, 0x5a);
+    appendFrame(frame, payload.data(), payload.size());
+
+    int fds[2];
+    ASSERT_EQ(::pipe(fds), 0);
+    // Header plus half the payload; the rest is withheld.
+    const std::size_t sent = kFrameHeaderBytes + 128;
+    ASSERT_EQ(::write(fds[1], frame.data(), sent),
+              static_cast<ssize_t>(sent));
+
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::uint8_t> out;
+    try {
+        readFrame(fds[0], out, "stalled", kMaxFramePayloadBytes, 200);
+        FAIL() << "stalled frame was accepted";
+    } catch (const FramingError &err) {
+        EXPECT_NE(std::string(err.what()).find("stalled"),
+                  std::string::npos)
+            << err.what();
+    }
+    const auto waited =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - t0);
+    // Generous upper bound: the point is "bounded", not "precise".
+    EXPECT_LT(waited.count(), 5000);
+
+    ::close(fds[1]);
     ::close(fds[0]);
 }
 
@@ -424,8 +499,12 @@ TEST(FabricProtocol, MalformedPayloadsThrowDistError)
     EXPECT_THROW(peekType({0xff}), DistError);
     // Wrong tag for the decoder.
     EXPECT_THROW(decodeHello(encodeDone()), DistError);
-    // Truncated body.
-    auto torn = encodeHello({1, "worker"});
+    // Truncated body (current version, so the auth fields are
+    // expected and their absence is malformed, not version skew).
+    HelloMsg torn_src;
+    torn_src.version = kDistProtocolVersion;
+    torn_src.name = "worker";
+    auto torn = encodeHello(torn_src);
     torn.resize(torn.size() / 2);
     EXPECT_THROW(decodeHello(torn), DistError);
 }
@@ -539,6 +618,13 @@ TEST(Fabric, SlowWorkerThrottledByBackpressureNotTheFleet)
         wc.port = coordinator.port();
         wc.name = "fast";
         wc.heartbeatMs = 50;
+        // Not instant: on a loaded single-core host an instant worker
+        // can drain every unit (closing the listener) before the slow
+        // thread's first connect, which the slow client rightly
+        // reports as an unreachable coordinator. The campaign must
+        // outlive both connects for the throttling claim to mean
+        // anything.
+        wc.unitDelayMs = 20;
         fast_stats =
             runWorkerClient(wc, [](const auto &) {}, echoUnit);
     });
@@ -806,6 +892,629 @@ TEST(DistributedCampaign, JournalWrittenSeriallyResumesDistributed)
     dist.resume = true;
     expectCampaignsIdentical(baseline,
                              runCampaign(fabricConfigs(), dist));
+}
+
+// ---------------------------------------------------------------------
+// Authenticated transport: keyed handshakes, rejections, hardening.
+// ---------------------------------------------------------------------
+
+/** A fabric key file on disk (32 printable bytes + newline). */
+class TempKeyFile
+{
+  public:
+    explicit TempKeyFile(const std::string &name, char fill = 'k')
+        : file("key_" + name)
+    {
+        std::ofstream out(file.path(), std::ios::binary);
+        out << std::string(32, fill) << "\n";
+    }
+
+    const std::string &path() const { return file.path(); }
+    std::vector<std::uint8_t> key() const
+    {
+        return loadFabricKey(path());
+    }
+
+  private:
+    TempFile file;
+};
+
+/** Drives a 4-unit echo campaign to completion on @p coordinator. */
+void
+serveEchoUnits(Coordinator &coordinator, std::size_t units = 4)
+{
+    std::vector<bool> seen(units, false);
+    coordinator.run(
+        units,
+        [](std::size_t u) {
+            return std::optional<std::vector<std::uint8_t>>(
+                std::vector<std::uint8_t>{
+                    static_cast<std::uint8_t>(u)});
+        },
+        [&](std::size_t u, const std::vector<std::uint8_t> &payload) {
+            EXPECT_FALSE(seen[u]) << "unit double-counted";
+            seen[u] = true;
+            ASSERT_EQ(payload.size(), 2u);
+            EXPECT_EQ(payload[0], static_cast<std::uint8_t>(u));
+            EXPECT_EQ(payload[1], 0x99);
+        },
+        [](std::size_t, unsigned, const std::string &) {
+            return true;
+        });
+    for (std::size_t u = 0; u < seen.size(); ++u)
+        EXPECT_TRUE(seen[u]) << "unit " << u << " never resolved";
+}
+
+TEST(FabricAuth, KeyedHandshakeServesUnitsOverMacedFrames)
+{
+    const TempKeyFile keyfile("handshake");
+    FabricConfig cfg;
+    cfg.batchSize = 1;
+    cfg.key = keyfile.key();
+    Coordinator coordinator(cfg, {0xaa, 0xbb});
+
+    std::atomic<bool> got_spec{false};
+    std::thread worker([&] {
+        WorkerClientConfig wc;
+        wc.port = coordinator.port();
+        wc.name = "keyed";
+        wc.heartbeatMs = 50;
+        wc.key = keyfile.key();
+        runWorkerClient(
+            wc,
+            [&](const std::vector<std::uint8_t> &spec) {
+                got_spec.store(spec ==
+                               std::vector<std::uint8_t>{0xaa, 0xbb});
+            },
+            echoUnit);
+    });
+
+    serveEchoUnits(coordinator);
+    worker.join();
+
+    EXPECT_TRUE(got_spec.load());
+    EXPECT_GE(coordinator.stats().workersConnected, 1u);
+    EXPECT_EQ(coordinator.stats().authFailures, 0u);
+}
+
+TEST(FabricAuth, KeylessWorkerRejectedByKeyedCoordinatorBeforeAnyLease)
+{
+    const TempKeyFile keyfile("keyless_reject");
+    FabricConfig cfg;
+    cfg.batchSize = 1;
+    cfg.key = keyfile.key();
+    Coordinator coordinator(cfg, {0x01});
+
+    std::atomic<bool> bad_rejected{false};
+    WorkerRunStats bad_stats;
+    std::thread bad([&] {
+        WorkerClientConfig wc;
+        wc.port = coordinator.port();
+        wc.name = "no-key";
+        wc.heartbeatMs = 50;
+        try {
+            bad_stats =
+                runWorkerClient(wc, [](const auto &) {}, echoUnit);
+        } catch (const DistError &) {
+            bad_rejected.store(true); // Reject is fatal: no retry
+        }
+    });
+    std::thread good([&] {
+        WorkerClientConfig wc;
+        wc.port = coordinator.port();
+        wc.name = "good";
+        wc.heartbeatMs = 50;
+        wc.key = keyfile.key();
+        runWorkerClient(wc, [](const auto &) {}, echoUnit);
+    });
+
+    serveEchoUnits(coordinator);
+    bad.join();
+    good.join();
+
+    EXPECT_TRUE(bad_rejected.load());
+    EXPECT_EQ(bad_stats.unitsExecuted, 0u);
+    EXPECT_GE(coordinator.stats().authFailures, 1u);
+    EXPECT_GE(coordinator.stats().workersRejected, 1u);
+}
+
+TEST(FabricAuth, WrongKeyFailsBothProofDirections)
+{
+    const TempKeyFile keyfile("right", 'r');
+    const TempKeyFile wrongfile("wrong", 'w');
+    FabricConfig cfg;
+    cfg.batchSize = 1;
+    cfg.key = keyfile.key();
+    Coordinator coordinator(cfg, {0x02});
+
+    // A wrong-key worker detects the coordinator's bad server proof
+    // and refuses to reveal its own — mutual authentication, so a
+    // rogue coordinator cannot harvest client proofs either.
+    std::atomic<bool> bad_refused{false};
+    WorkerRunStats bad_stats;
+    std::thread bad([&] {
+        WorkerClientConfig wc;
+        wc.port = coordinator.port();
+        wc.name = "wrong-key";
+        wc.heartbeatMs = 50;
+        wc.key = wrongfile.key();
+        try {
+            bad_stats =
+                runWorkerClient(wc, [](const auto &) {}, echoUnit);
+        } catch (const DistError &err) {
+            bad_refused.store(
+                std::string(err.what()).find("key proof") !=
+                std::string::npos);
+        }
+    });
+
+    // A hand-rolled peer that answers the challenge with a garbage
+    // proof: the coordinator must refuse it before any lease.
+    std::thread forger([&] {
+        Transport link(connectTcp("127.0.0.1", coordinator.port()),
+                       "forger");
+        HelloMsg hello;
+        hello.name = "forger";
+        hello.wantAuth = true;
+        hello.nonce = randomNonce();
+        link.send(encodeHello(hello));
+        std::vector<std::uint8_t> msg;
+        ASSERT_TRUE(link.receive(msg));
+        ASSERT_EQ(peekType(msg), FabricMsg::Challenge);
+        link.send(encodeAuthProof(AuthProofMsg{})); // all-zero proof
+        // Whatever follows — a Reject or a straight hangup — the
+        // session must end without a Lease ever arriving.
+        try {
+            while (link.receive(msg))
+                ASSERT_NE(peekType(msg), FabricMsg::Lease);
+        } catch (const FramingError &) {
+        }
+        link.close();
+    });
+
+    std::thread good([&] {
+        WorkerClientConfig wc;
+        wc.port = coordinator.port();
+        wc.name = "good";
+        wc.heartbeatMs = 50;
+        wc.key = keyfile.key();
+        runWorkerClient(wc, [](const auto &) {}, echoUnit);
+    });
+
+    serveEchoUnits(coordinator);
+    bad.join();
+    forger.join();
+    good.join();
+
+    EXPECT_TRUE(bad_refused.load());
+    EXPECT_EQ(bad_stats.unitsExecuted, 0u);
+    EXPECT_GE(coordinator.stats().authFailures, 1u);
+}
+
+TEST(FabricAuth, KeyedWorkerRefusesKeylessCoordinator)
+{
+    FabricConfig cfg;
+    cfg.batchSize = 1;
+    Coordinator coordinator(cfg, {0x03}); // keyless
+
+    const TempKeyFile keyfile("demanding");
+    std::atomic<bool> refused{false};
+    std::thread keyed([&] {
+        WorkerClientConfig wc;
+        wc.port = coordinator.port();
+        wc.name = "demanding";
+        wc.heartbeatMs = 50;
+        wc.key = keyfile.key();
+        try {
+            runWorkerClient(wc, [](const auto &) {}, echoUnit);
+        } catch (const DistError &err) {
+            // An honest keyless coordinator refuses outright — the
+            // mismatch is a deployment error either way.
+            refused.store(std::string(err.what())
+                              .find("requires key authentication") !=
+                          std::string::npos);
+        }
+    });
+    std::thread good([&] {
+        WorkerClientConfig wc;
+        wc.port = coordinator.port();
+        wc.name = "good";
+        wc.heartbeatMs = 50;
+        runWorkerClient(wc, [](const auto &) {}, echoUnit);
+    });
+
+    serveEchoUnits(coordinator);
+    keyed.join();
+    good.join();
+
+    EXPECT_TRUE(refused.load());
+    EXPECT_GE(coordinator.stats().authFailures, 1u);
+}
+
+TEST(FabricAuth, KeyedWorkerRefusesDowngradeToUnauthenticatedWelcome)
+{
+    // A rogue (or misbuilt) coordinator that skips the challenge and
+    // sends a bare Welcome: the keyed worker must refuse to join
+    // rather than silently downgrade to an unauthenticated session.
+    TcpListener listener(0);
+    std::thread rogue([&] {
+        Transport link(listener.acceptClient(), "rogue");
+        std::vector<std::uint8_t> msg;
+        ASSERT_TRUE(link.receive(msg)); // Hello (wantAuth set)
+        EXPECT_TRUE(decodeHello(msg).wantAuth);
+        WelcomeMsg welcome;
+        welcome.spec = {0xde};
+        link.send(encodeWelcome(welcome)); // downgrade attempt
+        while (true) {
+            try {
+                if (!link.receive(msg))
+                    break;
+            } catch (const FramingError &) {
+                break;
+            }
+        }
+        link.close();
+    });
+
+    const TempKeyFile keyfile("downgrade");
+    WorkerClientConfig wc;
+    wc.port = listener.port();
+    wc.name = "demanding";
+    wc.heartbeatMs = 50;
+    wc.key = keyfile.key();
+    wc.maxReconnects = 0; // one shot: the downgrade must not loop
+    wc.backoffBaseMs = 1;
+    bool spec_seen = false;
+    try {
+        runWorkerClient(
+            wc, [&](const auto &) { spec_seen = true; }, echoUnit);
+        ADD_FAILURE() << "worker joined an unauthenticated session";
+    } catch (const DistError &err) {
+        EXPECT_NE(std::string(err.what()).find("unauthenticated"),
+                  std::string::npos)
+            << err.what();
+    }
+    EXPECT_FALSE(spec_seen);
+    rogue.join();
+}
+
+TEST(FabricAuth, PreAuthCeilingDropsOversizedFirstFrame)
+{
+    FabricConfig cfg;
+    cfg.batchSize = 1;
+    Coordinator coordinator(cfg, {0x04});
+
+    std::thread flooder([&] {
+        // An unauthenticated peer's very first frame claims a payload
+        // far beyond any legitimate Hello: the coordinator must drop
+        // the connection instead of buffering it.
+        Transport link(connectTcp("127.0.0.1", coordinator.port()),
+                       "flooder");
+        const std::vector<std::uint8_t> big(
+            kPreAuthFramePayloadBytes * 2, 0x5a);
+        std::vector<std::uint8_t> msg;
+        bool dropped = false;
+        try {
+            link.send(big);
+            dropped = !link.receive(msg);
+        } catch (const FramingError &) {
+            dropped = true; // RST mid-conversation is also a drop
+        }
+        EXPECT_TRUE(dropped);
+        link.close();
+    });
+    std::thread good([&] {
+        WorkerClientConfig wc;
+        wc.port = coordinator.port();
+        wc.name = "good";
+        wc.heartbeatMs = 50;
+        runWorkerClient(wc, [](const auto &) {}, echoUnit);
+    });
+
+    serveEchoUnits(coordinator);
+    flooder.join();
+    good.join();
+}
+
+TEST(FabricAuth, SilentPeerDroppedAtHandshakeDeadline)
+{
+    FabricConfig cfg;
+    cfg.batchSize = 1;
+    cfg.handshakeTimeoutMs = 100;
+    Coordinator coordinator(cfg, {0x05});
+
+    std::thread lurker([&] {
+        // Connects and says nothing: must be evicted at the deadline,
+        // not allowed to pin a poll-loop slot forever.
+        Transport link(connectTcp("127.0.0.1", coordinator.port()),
+                       "lurker");
+        std::vector<std::uint8_t> msg;
+        bool dropped = false;
+        try {
+            dropped = !link.receive(msg);
+        } catch (const FramingError &) {
+            dropped = true;
+        }
+        EXPECT_TRUE(dropped);
+        link.close();
+    });
+    std::thread good([&] {
+        // Arrive after the lurker so its eviction is observable while
+        // units are still pending.
+        std::this_thread::sleep_for(std::chrono::milliseconds(250));
+        WorkerClientConfig wc;
+        wc.port = coordinator.port();
+        wc.name = "good";
+        wc.heartbeatMs = 50;
+        runWorkerClient(wc, [](const auto &) {}, echoUnit);
+    });
+
+    serveEchoUnits(coordinator);
+    lurker.join();
+    good.join();
+
+    EXPECT_GE(coordinator.stats().handshakeTimeouts, 1u);
+}
+
+// ---------------------------------------------------------------------
+// Network fault injection: wire-level semantics + the chaos gate.
+// ---------------------------------------------------------------------
+
+TEST(NetFaults, DropCorruptAndDuplicateSemanticsOnTheWire)
+{
+    // drop: the frame vanishes; the peer sees only the clean EOF.
+    {
+        TcpListener listener(0);
+        std::thread peer([&] {
+            Transport raw(connectTcp("127.0.0.1", listener.port()),
+                          "drop-peer");
+            NetFaultConfig nf;
+            nf.send.drop = 1.0;
+            nf.seed = 42;
+            FaultyTransport link(std::move(raw), nf);
+            link.send({1, 2, 3});
+            EXPECT_EQ(link.stats().sendDrops, 1u);
+            link.close();
+        });
+        Transport server(listener.acceptClient(), "drop-server");
+        std::vector<std::uint8_t> got;
+        EXPECT_FALSE(server.receive(got));
+        peer.join();
+    }
+    // corrupt: the frame arrives bit-flipped and the checksum catches
+    // it — corruption can break a connection, never forge a payload.
+    {
+        TcpListener listener(0);
+        std::thread peer([&] {
+            Transport raw(connectTcp("127.0.0.1", listener.port()),
+                          "corrupt-peer");
+            NetFaultConfig nf;
+            nf.send.corrupt = 1.0;
+            nf.seed = 42;
+            FaultyTransport link(std::move(raw), nf);
+            link.send({1, 2, 3});
+            link.close();
+        });
+        Transport server(listener.acceptClient(), "corrupt-server");
+        std::vector<std::uint8_t> got;
+        EXPECT_THROW(server.receive(got), FramingError);
+        peer.join();
+    }
+    // duplicate (receive side): the same payload is delivered twice.
+    {
+        TcpListener listener(0);
+        std::thread peer([&] {
+            Transport link(connectTcp("127.0.0.1", listener.port()),
+                           "dup-peer");
+            link.send({7, 8, 9});
+            link.close();
+        });
+        Transport raw(listener.acceptClient(), "dup-server");
+        NetFaultConfig nf;
+        nf.recv.duplicate = 1.0;
+        nf.seed = 42;
+        FaultyTransport server(std::move(raw), nf);
+        std::vector<std::uint8_t> a, b;
+        ASSERT_TRUE(server.receive(a));
+        ASSERT_TRUE(server.receive(b));
+        EXPECT_EQ(a, (std::vector<std::uint8_t>{7, 8, 9}));
+        EXPECT_EQ(a, b);
+        EXPECT_EQ(server.stats().recvDuplicates, 1u);
+        peer.join();
+    }
+}
+
+TEST(NetFaults, CampaignSummaryBitIdenticalUnderInjectedFaults)
+{
+    const CampaignConfig base = smallCampaign();
+    const auto baseline = runCampaign(fabricConfigs(), base);
+
+    // The chaos gate: seeded drop/dup/corrupt on every fabric
+    // connection may slow the campaign down, but the merged summary
+    // must not move by a bit — faults can break connections, never
+    // results.
+    CampaignConfig dist = base;
+    dist.mode = ExecutionMode::Distributed;
+    dist.distWorkers = 2;
+    dist.distNetFault.send.drop = 0.05;
+    dist.distNetFault.recv.drop = 0.05;
+    dist.distNetFault.send.duplicate = 0.05;
+    dist.distNetFault.recv.duplicate = 0.05;
+    dist.distNetFault.send.corrupt = 0.03;
+    dist.distNetFault.recv.corrupt = 0.03;
+    dist.distNetFault.seed = 11;
+    expectCampaignsIdentical(baseline,
+                             runCampaign(fabricConfigs(), dist));
+}
+
+// ---------------------------------------------------------------------
+// Byzantine-worker quarantine.
+// ---------------------------------------------------------------------
+
+TEST(Byzantine, UnitRecordDigestIgnoresTimingButNotSubstance)
+{
+    UnitRecord rec;
+    rec.configName = "x86-2-50-32";
+    rec.testIndex = 3;
+    rec.genSeed = 0x1111;
+    rec.flowSeed = 0x2222;
+    rec.outcome.result.uniqueSignatures = 17;
+    rec.outcome.result.collectiveMs = 12.5;
+
+    const std::uint64_t digest =
+        unitRecordDigest(encodeUnitRecord(rec));
+
+    // Two honest executions differ only in wall-clock: same digest.
+    UnitRecord slower = rec;
+    slower.outcome.result.collectiveMs = 99.0;
+    slower.outcome.result.decodeMs = 3.25;
+    EXPECT_EQ(unitRecordDigest(encodeUnitRecord(slower)), digest);
+
+    // A plausible lie differs in substance: different digest.
+    UnitRecord lie = rec;
+    lie.outcome.result.uniqueSignatures += 1;
+    EXPECT_NE(unitRecordDigest(encodeUnitRecord(lie)), digest);
+
+    // Undecodable bytes still digest (under a distinct seed) instead
+    // of throwing — a garbage result must be comparable, not fatal.
+    const std::vector<std::uint8_t> garbage = {9, 9, 9};
+    EXPECT_NE(unitRecordDigest(garbage), digest);
+}
+
+TEST(Byzantine, HonestFleetPassesAuditsWithoutQuarantine)
+{
+    const CampaignConfig base = smallCampaign();
+    const auto baseline = runCampaign(fabricConfigs(), base);
+
+    FabricStats fs;
+    CampaignConfig dist = base;
+    dist.mode = ExecutionMode::Distributed;
+    dist.distWorkers = 2;
+    dist.distAuditRate = 1.0;
+    dist.distStatsOut = &fs;
+    expectCampaignsIdentical(baseline,
+                             runCampaign(fabricConfigs(), dist));
+
+    EXPECT_GE(fs.byzantine.auditsScheduled, 1u);
+    EXPECT_EQ(fs.byzantine.auditMismatches, 0u);
+    EXPECT_TRUE(fs.byzantine.quarantined.empty());
+}
+
+TEST(Byzantine, CorruptWorkerQuarantinedAndSummaryBitIdentical)
+{
+    const CampaignConfig base = smallCampaign();
+    const auto baseline = runCampaign(fabricConfigs(), base);
+
+    // The last loopback worker silently corrupts every result —
+    // decodable, plausible, checksum-clean. The audit must catch the
+    // deviation, quarantine the worker, invalidate whatever it
+    // touched, and re-run those units elsewhere — landing on a
+    // summary bit-identical to the honest serial run.
+    FabricStats fs;
+    CampaignConfig dist = base;
+    dist.mode = ExecutionMode::Distributed;
+    dist.distWorkers = 2;
+    dist.distAuditRate = 1.0;
+    dist.distDrillCorrupt = true;
+    dist.distStatsOut = &fs;
+    expectCampaignsIdentical(baseline,
+                             runCampaign(fabricConfigs(), dist));
+
+    EXPECT_GE(fs.byzantine.auditMismatches, 1u);
+    ASSERT_EQ(fs.byzantine.quarantined.size(), 1u);
+    EXPECT_EQ(fs.byzantine.quarantined[0], "loop-1");
+}
+
+// ---------------------------------------------------------------------
+// Strict env parsing for the fabric knobs.
+// ---------------------------------------------------------------------
+
+TEST(FabricEnv, ParseEnvRateAcceptsTheUnitIntervalOnly)
+{
+    EXPECT_EQ(parseEnvRate("X", "0"), 0.0);
+    EXPECT_EQ(parseEnvRate("X", "1"), 1.0);
+    EXPECT_EQ(parseEnvRate("X", "0.25"), 0.25);
+
+    for (const char *bad :
+         {"", "lots", "0.5x", "-0.1", "1.0001", "2", "nan", "-"}) {
+        EXPECT_THROW((void)parseEnvRate("MTC_AUDIT_RATE", bad),
+                     ConfigError)
+            << "accepted \"" << bad << "\"";
+    }
+    // The error must name the variable so an operator can find the
+    // typo in a 50-line systemd unit.
+    try {
+        (void)parseEnvRate("MTC_NET_FAULT_DROP", "oops");
+        ADD_FAILURE() << "garbage accepted";
+    } catch (const ConfigError &err) {
+        EXPECT_NE(std::string(err.what()).find("MTC_NET_FAULT_DROP"),
+                  std::string::npos);
+    }
+}
+
+TEST(FabricEnv, NetFaultEnvOverridesBothDirections)
+{
+    setenv("MTC_NET_FAULT_DROP", "0.25", 1);
+    setenv("MTC_NET_FAULT_CORRUPT", "0.125", 1);
+    setenv("MTC_NET_FAULT_DELAY_MS", "5", 1);
+    setenv("MTC_NET_FAULT_SEED", "9", 1);
+    const NetFaultConfig nf = netFaultFromEnv();
+    EXPECT_EQ(nf.send.drop, 0.25);
+    EXPECT_EQ(nf.recv.drop, 0.25);
+    EXPECT_EQ(nf.send.corrupt, 0.125);
+    EXPECT_EQ(nf.recv.corrupt, 0.125);
+    EXPECT_EQ(nf.delayMs, 5u);
+    EXPECT_EQ(nf.seed, 9u);
+    EXPECT_TRUE(nf.any());
+
+    setenv("MTC_NET_FAULT_DROP", "1.5", 1);
+    EXPECT_THROW((void)netFaultFromEnv(), ConfigError);
+    setenv("MTC_NET_FAULT_DROP", "some", 1);
+    EXPECT_THROW((void)netFaultFromEnv(), ConfigError);
+
+    unsetenv("MTC_NET_FAULT_DROP");
+    unsetenv("MTC_NET_FAULT_CORRUPT");
+    unsetenv("MTC_NET_FAULT_DELAY_MS");
+    unsetenv("MTC_NET_FAULT_SEED");
+    EXPECT_FALSE(netFaultFromEnv().any());
+}
+
+TEST(FabricEnv, AuditRateAndKeyFileOverrides)
+{
+    setenv("MTC_AUDIT_RATE", "0.5", 1);
+    setenv("MTC_FABRIC_KEY_FILE", "/some/key/path", 1);
+    const CampaignConfig cfg = CampaignConfig::fromEnv();
+    EXPECT_EQ(cfg.distAuditRate, 0.5);
+    EXPECT_EQ(cfg.distKeyFile, "/some/key/path");
+
+    setenv("MTC_AUDIT_RATE", "plenty", 1);
+    EXPECT_THROW((void)CampaignConfig::fromEnv(), ConfigError);
+    setenv("MTC_AUDIT_RATE", "1.5", 1);
+    EXPECT_THROW((void)CampaignConfig::fromEnv(), ConfigError);
+    unsetenv("MTC_AUDIT_RATE");
+
+    // An empty path is a misconfiguration, not "no key".
+    setenv("MTC_FABRIC_KEY_FILE", "", 1);
+    EXPECT_THROW((void)CampaignConfig::fromEnv(), ConfigError);
+    unsetenv("MTC_FABRIC_KEY_FILE");
+
+    EXPECT_EQ(CampaignConfig::fromEnv().distAuditRate, 0.0);
+    EXPECT_TRUE(CampaignConfig::fromEnv().distKeyFile.empty());
+}
+
+TEST(FabricEnv, LoadFabricKeyRejectsShortKeys)
+{
+    TempFile shortkey("short_key");
+    {
+        std::ofstream out(shortkey.path(), std::ios::binary);
+        out << "tooshort\n";
+    }
+    EXPECT_THROW((void)loadFabricKey(shortkey.path()), ConfigError);
+    EXPECT_THROW((void)loadFabricKey("/nonexistent/key/file"),
+                 ConfigError);
+
+    const TempKeyFile good("load_ok");
+    EXPECT_EQ(good.key().size(), 32u);
 }
 
 } // anonymous namespace

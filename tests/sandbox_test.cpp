@@ -115,9 +115,19 @@ TEST(FrameCodec, CorruptionIsDetected)
     EXPECT_EQ(parseFrame(flipped.data(), flipped.size()).status,
               FrameStatus::Corrupt);
 
-    // Absurd length word: corruption, not a gigabyte allocation.
+    // Length-word bit flip: the header self-check catches it without
+    // consulting the (now meaningless) length.
+    auto torn = stream;
+    torn[1] ^= 0x01;
+    EXPECT_EQ(parseFrame(torn.data(), torn.size()).status,
+              FrameStatus::Corrupt);
+
+    // Absurd length word with a *valid* header check (a forger, not a
+    // bit flip): corruption via the ceiling, not a gigabyte
+    // allocation.
     auto absurd = stream;
     putLe32(absurd.data(), 0xFFFFFFFFu);
+    putLe32(absurd.data() + 4, fnv1a32(absurd.data(), 4));
     EXPECT_EQ(parseFrame(absurd.data(), absurd.size()).status,
               FrameStatus::Corrupt);
 }

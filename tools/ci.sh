@@ -236,4 +236,67 @@ dist_smoke ./build plain
 echo "=== distributed-fabric smoke (asan) ==="
 dist_smoke ./build-asan asan
 
-echo "=== CI OK: plain, sanitized, simd, parallel, resume, sandbox, and distributed suites all green ==="
+# Chaos smoke: the hardened-fabric gate. A keyed coordinator drives a
+# 3-worker loopback fleet through seeded network faults (drops,
+# duplicates, corruption) with a 100% Byzantine audit, while the last
+# worker silently corrupts every result it sends. The campaign must
+# finish, quarantine exactly the corrupt worker, and land on
+# `campaign` summary lines byte-identical to the serial run — faults
+# and lies may cost time, never bits. A wrong-key worker attaching
+# mid-run must be turned away before any lease (fatal exit 3).
+chaos_smoke() {
+    local bin_dir="$1" tag="$2"
+    local coord="${bin_dir}/tools/mtc_coordinator"
+    local worker="${bin_dir}/tools/mtc_worker"
+    local base="build/ci_chaos_${tag}.base.txt"
+    local distd="build/ci_chaos_${tag}.dist.txt"
+    local disterr="build/ci_chaos_${tag}.dist.err"
+    local wkey="build/ci_chaos_${tag}.wrong.out"
+    local pf="build/ci_chaos_${tag}.port"
+    local key="build/ci_chaos_${tag}.key"
+    local badkey="build/ci_chaos_${tag}.badkey"
+    local args=(--config x86-2-50-32 --config ARM-2-50-32 --tests 4
+                --iterations 2048 --seed 17)
+    rm -f "${base}" "${distd}" "${disterr}" "${wkey}" "${pf}" \
+        "${key}" "${badkey}"
+    head -c 32 /dev/urandom | base64 > "${key}"
+    head -c 32 /dev/urandom | base64 > "${badkey}"
+    local base_rc=0 dist_rc=0 wrong_rc=0
+    "${coord}" "${args[@]}" --serial > "${base}" || base_rc=$?
+    [ "${base_rc}" -ne 1 ]
+    timeout -s KILL 300 \
+        "${coord}" "${args[@]}" --workers 3 --port-file "${pf}" \
+        --fabric-key-file "${key}" --audit-rate 1.0 \
+        --drill-corrupt-results \
+        --net-fault-drop 0.03 --net-fault-dup 0.03 \
+        --net-fault-corrupt 0.02 --net-fault-seed 7 \
+        > "${distd}" 2> "${disterr}" &
+    local coord_pid=$!
+    for _ in $(seq 1 100); do [ -s "${pf}" ] && break; sleep 0.1; done
+    [ -s "${pf}" ]
+    local port
+    port="$(cat "${pf}")"
+    # An impostor with the wrong key must fail the mutual proof and
+    # exit fatally — without ever seeing a lease or the campaign spec.
+    "${worker}" --connect "127.0.0.1:${port}" --name impostor \
+        --fabric-key-file "${badkey}" > "${wkey}" 2>&1 || wrong_rc=$?
+    [ "${wrong_rc}" -eq 3 ]
+    grep -q "key proof" "${wkey}"
+    wait "${coord_pid}" || dist_rc=$?
+    [ "${dist_rc}" -eq "${base_rc}" ]
+    # The corrupt worker (the fleet's last, loop-2) must have been
+    # caught by the audit and quarantined...
+    grep -q "quarantining worker 'loop-2'" "${disterr}"
+    grep -Eq "fabric byzantine: .*quarantined=loop-2" "${distd}"
+    # ...and the summary must not have moved by a bit.
+    diff <(grep '^campaign' "${base}") <(grep '^campaign' "${distd}")
+    rm -f "${base}" "${distd}" "${disterr}" "${wkey}" "${pf}" \
+        "${key}" "${badkey}"
+}
+
+echo "=== chaos smoke: faults + Byzantine quarantine (plain) ==="
+chaos_smoke ./build plain
+echo "=== chaos smoke: faults + Byzantine quarantine (asan) ==="
+chaos_smoke ./build-asan asan
+
+echo "=== CI OK: plain, sanitized, simd, parallel, resume, sandbox, distributed, and chaos suites all green ==="

@@ -38,8 +38,24 @@
  *     --serial            run in-process instead (the baseline the
  *                         distributed summary must match byte for
  *                         byte)
+ *     --fabric-key-file PATH  pre-shared key: workers must prove
+ *                         possession before any lease, and all
+ *                         post-handshake frames carry MACs
+ *     --audit-rate P      Byzantine audit: fraction of units
+ *                         re-executed by a second worker and
+ *                         cross-compared                     [0]
+ *     --net-fault-drop P / --net-fault-dup P / --net-fault-corrupt P
+ *     --net-fault-delay P / --net-fault-reorder P / --net-fault-drip P
+ *     --net-fault-disconnect P
+ *                         chaos drills: seeded per-frame fault rates
+ *                         on every fabric connection         [0]
+ *     --net-fault-delay-ms N  injected delay length          [20]
+ *     --net-fault-seed N  chaos RNG seed                     [0]
  *     --drill-exit-after N  failure drill: loopback worker 0 _exit()s
  *                         abruptly after N results (dies mid-batch)
+ *     --drill-corrupt-results  failure drill: the last loopback
+ *                         worker silently corrupts every result; an
+ *                         audit must quarantine it
  *     --verbose           per-config detail table
  *     --help
  *
@@ -54,6 +70,7 @@
 #include <string>
 #include <vector>
 
+#include "dist/coordinator.h"
 #include "harness/campaign.h"
 #include "support/framing.h"
 #include "support/journal.h"
@@ -117,10 +134,31 @@ usage()
         "                    over the fabric: the baseline the\n"
         "                    distributed summary must match byte for\n"
         "                    byte\n"
+        "  --fabric-key-file PATH  pre-shared key file (generate:\n"
+        "                    head -c 32 /dev/urandom | base64 > f).\n"
+        "                    Workers must prove possession before any\n"
+        "                    lease; post-handshake frames carry MACs\n"
+        "                    and sequence numbers [keyless]\n"
+        "  --audit-rate P    Byzantine audit: fraction of units\n"
+        "                    re-executed by a second worker and\n"
+        "                    cross-compared; a deviating worker is\n"
+        "                    quarantined and its results re-run [0]\n"
+        "  --net-fault-drop P / --net-fault-dup P /\n"
+        "  --net-fault-corrupt P / --net-fault-delay P /\n"
+        "  --net-fault-reorder P / --net-fault-drip P /\n"
+        "  --net-fault-disconnect P\n"
+        "                    chaos drills: seeded per-frame fault\n"
+        "                    rates on every fabric connection [0]\n"
+        "  --net-fault-delay-ms N  injected delay length [20]\n"
+        "  --net-fault-seed N  chaos RNG seed [0]\n"
         "  --drill-exit-after N  failure drill: loopback worker 0\n"
         "                    _exit()s abruptly after sending N\n"
         "                    results, leaving its lease unreported;\n"
         "                    the summary must not change; 0 = off [0]\n"
+        "  --drill-corrupt-results  failure drill: the last loopback\n"
+        "                    worker silently corrupts every result\n"
+        "                    it returns; only --audit-rate > 0 can\n"
+        "                    catch and quarantine it [off]\n"
         "  --verbose         per-config detail table\n"
         "exit codes: 0 clean, 1 config error, 2 confirmed violation,\n"
         "            3 corruption only, 4 failed/abandoned units,\n"
@@ -153,6 +191,25 @@ parseRate(const std::string &flag, const std::string &text)
     } catch (const std::exception &) {
     }
     throw ConfigError(flag + " expects a number, got \"" + text + "\"");
+}
+
+double
+parseRate01(const std::string &flag, const std::string &text)
+{
+    const double value = parseRate(flag, text);
+    if (!(value >= 0.0 && value <= 1.0))
+        throw ConfigError(flag + " expects a fraction in [0, 1], got \"" +
+                          text + "\"");
+    return value;
+}
+
+/** Chaos flags hit both directions; the split is API surface only. */
+void
+setFaultRate(CampaignConfig &c, double NetFaultRates::*field,
+             double rate)
+{
+    c.distNetFault.send.*field = rate;
+    c.distNetFault.recv.*field = rate;
 }
 
 Options
@@ -222,8 +279,42 @@ parseArgs(int argc, char **argv)
             c.distLeaseTimeoutMs = parseCount(arg, next());
         else if (arg == "--serial")
             opt.serial = true;
+        else if (arg == "--fabric-key-file") {
+            c.distKeyFile = next();
+            if (c.distKeyFile.empty())
+                throw ConfigError(
+                    "--fabric-key-file expects a non-empty path");
+        } else if (arg == "--audit-rate")
+            c.distAuditRate = parseRate01(arg, next());
+        else if (arg == "--net-fault-drop")
+            setFaultRate(c, &NetFaultRates::drop,
+                         parseRate01(arg, next()));
+        else if (arg == "--net-fault-dup")
+            setFaultRate(c, &NetFaultRates::duplicate,
+                         parseRate01(arg, next()));
+        else if (arg == "--net-fault-corrupt")
+            setFaultRate(c, &NetFaultRates::corrupt,
+                         parseRate01(arg, next()));
+        else if (arg == "--net-fault-delay")
+            setFaultRate(c, &NetFaultRates::delay,
+                         parseRate01(arg, next()));
+        else if (arg == "--net-fault-reorder")
+            setFaultRate(c, &NetFaultRates::reorder,
+                         parseRate01(arg, next()));
+        else if (arg == "--net-fault-drip")
+            setFaultRate(c, &NetFaultRates::drip,
+                         parseRate01(arg, next()));
+        else if (arg == "--net-fault-disconnect")
+            setFaultRate(c, &NetFaultRates::disconnect,
+                         parseRate01(arg, next()));
+        else if (arg == "--net-fault-delay-ms")
+            c.distNetFault.delayMs = parseCount(arg, next());
+        else if (arg == "--net-fault-seed")
+            c.distNetFault.seed = parseCount(arg, next(), 0);
         else if (arg == "--drill-exit-after")
             c.distDrillExitAfter = parseCount(arg, next());
+        else if (arg == "--drill-corrupt-results")
+            c.distDrillCorrupt = true;
         else if (arg == "--verbose")
             opt.verbose = true;
         else if (arg == "--help" || arg == "-h") {
@@ -296,7 +387,10 @@ int
 main(int argc, char **argv)
 {
     try {
-        const Options opt = parseArgs(argc, argv);
+        Options opt = parseArgs(argc, argv);
+        FabricStats fabric_stats;
+        if (!opt.serial)
+            opt.campaign.distStatsOut = &fabric_stats;
         std::vector<TestConfig> configs;
         configs.reserve(opt.configNames.size());
         for (const std::string &name : opt.configNames)
@@ -379,6 +473,28 @@ main(int argc, char **argv)
                   << hex64(fnv1a64(campaign_fold.bytes().data(),
                                    campaign_fold.bytes().size()))
                   << "\n";
+
+        // Operational fabric report. Deliberately NOT prefixed
+        // "campaign": the CI smoke byte-compares `grep '^campaign'`
+        // between serial and distributed runs, and audit bookkeeping
+        // is not part of that deterministic contract.
+        if (!opt.serial && opt.campaign.distAuditRate > 0.0) {
+            const ByzantineStats &b = fabric_stats.byzantine;
+            std::cout << "fabric byzantine: audits=" << b.auditsScheduled
+                      << " passed=" << b.auditsPassed
+                      << " mismatches=" << b.auditMismatches
+                      << " skipped=" << b.auditsSkipped
+                      << " arbitrations=" << b.localArbitrations
+                      << " invalidated=" << b.resultsInvalidated
+                      << " quarantined=";
+            if (b.quarantined.empty()) {
+                std::cout << "-";
+            } else {
+                for (std::size_t i = 0; i < b.quarantined.size(); ++i)
+                    std::cout << (i ? "," : "") << b.quarantined[i];
+            }
+            std::cout << "\n";
+        }
 
         if (violations || confirmed)
             return 2;

@@ -79,10 +79,13 @@
 #include "dist/worker_client.h"
 #include "harness/campaign.h"
 #include "harness/campaign_journal.h"
+#include "harness/dist_campaign.h"
 #include "harness/sandbox.h"
 #include "harness/validation_flow.h"
 #include "harness/watchdog.h"
+#include "support/hmac.h"
 #include "support/process.h"
+#include "support/rng.h"
 #include "sim/coherent_executor.h"
 #include "sim/executor.h"
 #include "support/table.h"
@@ -167,6 +170,19 @@ struct Options
      * (the mtc_coordinator fabric, self-contained on localhost);
      * 0 = off. Mutually exclusive with --sandbox. */
     unsigned distributed = 0;
+
+    /** Pre-shared fabric key file for --distributed; empty = keyless
+     * loopback. Defaults to MTC_FABRIC_KEY_FILE when set. */
+    std::string fabricKeyFile;
+
+    /** Byzantine audit rate for --distributed: fraction of tests
+     * re-executed by a second worker and cross-compared. Defaults to
+     * MTC_AUDIT_RATE when set. */
+    double auditRate = 0.0;
+
+    /** Seeded chaos faults on every fabric connection, from the
+     * MTC_NET_FAULT_* variables. */
+    NetFaultConfig netFault;
 
     /** Hard-crash drill: the Nth platform run raises a real SIGSEGV
      * (0 = off). In-process this kills the campaign; under --sandbox
@@ -258,6 +274,12 @@ usage()
         "                    fabric; a worker death reassigns its\n"
         "                    leased tests and the summary stays\n"
         "                    bit-identical; 0 = off [0]\n"
+        "  --fabric-key-file PATH  authenticate the --distributed\n"
+        "                    fleet with this pre-shared key (env:\n"
+        "                    MTC_FABRIC_KEY_FILE) [keyless]\n"
+        "  --audit-rate P    Byzantine audit: re-execute this\n"
+        "                    fraction of tests on a second worker and\n"
+        "                    cross-compare (env: MTC_AUDIT_RATE) [0]\n"
         "  --die-after N     hard-crash drill: the Nth platform run\n"
         "                    raises a REAL SIGSEGV. Without --sandbox\n"
         "                    this kills the campaign (that is the\n"
@@ -354,6 +376,15 @@ parseArgs(int argc, char **argv)
             parseEnvCount("MTC_SANDBOX_MEM_MB", env, true);
     if (const char *env = std::getenv("MTC_SANDBOX_CPU_S"))
         opt.sandboxCpuS = parseEnvCount("MTC_SANDBOX_CPU_S", env, true);
+    if (const char *env = std::getenv("MTC_FABRIC_KEY_FILE")) {
+        if (*env == '\0')
+            throw ConfigError("MTC_FABRIC_KEY_FILE is set but empty; "
+                              "unset it or give a path");
+        opt.fabricKeyFile = env;
+    }
+    if (const char *env = std::getenv("MTC_AUDIT_RATE"))
+        opt.auditRate = parseEnvRate("MTC_AUDIT_RATE", env);
+    opt.netFault = netFaultFromEnv(opt.netFault);
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         auto next = [&]() -> std::string {
@@ -434,6 +465,17 @@ parseArgs(int argc, char **argv)
         else if (arg == "--distributed")
             opt.distributed =
                 static_cast<unsigned>(parseCount(arg, next()));
+        else if (arg == "--fabric-key-file") {
+            opt.fabricKeyFile = next();
+            if (opt.fabricKeyFile.empty())
+                throw ConfigError(
+                    "--fabric-key-file expects a non-empty path");
+        } else if (arg == "--audit-rate") {
+            opt.auditRate = parseRate(arg, next());
+            if (!(opt.auditRate >= 0.0 && opt.auditRate <= 1.0))
+                throw ConfigError(
+                    "--audit-rate expects a fraction in [0, 1]");
+        }
         else if (arg == "--die-after")
             opt.dieAfterRuns = parseCount(arg, next());
         else if (arg == "--leak-after")
@@ -694,9 +736,56 @@ main(int argc, char **argv)
             // summary stays bit-identical to the serial run.
             FabricConfig fabric;
             fabric.stallTimeoutMs = 60000; // dead fleet fails, not hangs
+            if (!opt.fabricKeyFile.empty())
+                fabric.key = loadFabricKey(opt.fabricKeyFile);
+            fabric.netFault = opt.netFault;
+            fabric.auditRate = opt.auditRate;
+            std::uint64_t audit_seed_src =
+                opt.seed ^ 0xa5a5a5a55a5a5a5aull;
+            fabric.auditSeed = splitMix64(audit_seed_src);
             Coordinator coordinator(fabric, {});
 
             const FlowConfig flow_base = flow_cfg;
+            // One unit, executed to an encoded UnitRecord. Shared by
+            // the forked workers and the parent-side audit arbiter so
+            // the two can never drift.
+            const auto execute_unit =
+                [&](unsigned t, std::unique_ptr<Watchdog> &wd)
+                -> std::vector<std::uint8_t> {
+                FlowConfig fc = flow_base;
+                fc.seed = seeds[t].second;
+                if (opt.testTimeoutMs && !wd)
+                    wd = std::make_unique<Watchdog>();
+                setCrashContext(
+                    cfg.name() + "#" + std::to_string(t),
+                    seeds[t].first);
+                UnitRecord record = blank_record(t);
+                CancellationToken token;
+                std::optional<Watchdog::Guard> deadline;
+                if (wd) {
+                    fc.cancel = &token;
+                    deadline.emplace(wd->watch(
+                        token,
+                        std::chrono::milliseconds(opt.testTimeoutMs)));
+                }
+                try {
+                    const TestProgram program =
+                        generateTest(cfg, seeds[t].first);
+                    ValidationFlow flow(fc);
+                    record.outcome.result = flow.runTest(program);
+                    record.outcome.ok = true;
+                    record.outcome.status = TestStatus::Ok;
+                } catch (const TestHungError &err) {
+                    record.outcome.ok = false;
+                    record.outcome.status = TestStatus::Hung;
+                    record.outcome.hungAttempts = 1;
+                    std::cerr << "mtc_validate: test " << t
+                              << " hung: " << err.what() << "\n";
+                }
+                clearCrashContext();
+                record.outcome.result.executions.clear();
+                return encodeUnitRecord(record);
+            };
             auto fork_worker = [&](unsigned index) -> pid_t {
                 const pid_t pid = ::fork();
                 if (pid < 0)
@@ -719,9 +808,13 @@ main(int argc, char **argv)
                     wc.port = coordinator.port();
                     wc.name = "loop-" + std::to_string(index);
                     wc.heartbeatMs = 500;
-                    wc.maxReconnects = 3;
+                    // Chaos drills kill sessions on purpose; see
+                    // forkCampaignWorker for the same budget split.
+                    wc.maxReconnects = opt.netFault.any() ? 25 : 3;
                     wc.backoffBaseMs = 50;
                     wc.backoffCapMs = 400;
+                    wc.key = fabric.key;
+                    wc.netFault = opt.netFault;
                     std::unique_ptr<Watchdog> child_watchdog;
                     runWorkerClient(
                         wc,
@@ -735,44 +828,7 @@ main(int argc, char **argv)
                             -> std::vector<std::uint8_t> {
                             ByteReader reader(request);
                             const unsigned t = reader.u32();
-                            FlowConfig fc = flow_base;
-                            fc.seed = seeds[t].second;
-                            if (opt.testTimeoutMs && !child_watchdog)
-                                child_watchdog =
-                                    std::make_unique<Watchdog>();
-                            setCrashContext(
-                                cfg.name() + "#" + std::to_string(t),
-                                seeds[t].first);
-                            UnitRecord record = blank_record(t);
-                            CancellationToken token;
-                            std::optional<Watchdog::Guard> deadline;
-                            if (child_watchdog) {
-                                fc.cancel = &token;
-                                deadline.emplace(child_watchdog->watch(
-                                    token,
-                                    std::chrono::milliseconds(
-                                        opt.testTimeoutMs)));
-                            }
-                            try {
-                                const TestProgram program =
-                                    generateTest(cfg, seeds[t].first);
-                                ValidationFlow flow(fc);
-                                record.outcome.result =
-                                    flow.runTest(program);
-                                record.outcome.ok = true;
-                                record.outcome.status = TestStatus::Ok;
-                            } catch (const TestHungError &err) {
-                                record.outcome.ok = false;
-                                record.outcome.status =
-                                    TestStatus::Hung;
-                                record.outcome.hungAttempts = 1;
-                                std::cerr << "mtc_validate: test " << t
-                                          << " hung: " << err.what()
-                                          << "\n";
-                            }
-                            clearCrashContext();
-                            record.outcome.result.executions.clear();
-                            return encodeUnitRecord(record);
+                            return execute_unit(t, child_watchdog);
                         });
                     ::_exit(0);
                 } catch (...) {
@@ -874,9 +930,25 @@ main(int argc, char **argv)
                 return false;
             };
 
+            // Byzantine-audit hooks: digest compares are payload-
+            // level; the arbiter re-executes the test in this process
+            // (watchdog built lazily, after every fork above).
+            std::unique_ptr<Watchdog> arbiter_watchdog;
+            Coordinator::AuditHooks hooks;
+            hooks.digest =
+                [](std::size_t,
+                   const std::vector<std::uint8_t> &payload) {
+                return unitRecordDigest(payload);
+            };
+            hooks.arbiter =
+                [&](std::size_t u) -> std::vector<std::uint8_t> {
+                return execute_unit(static_cast<unsigned>(u),
+                                    arbiter_watchdog);
+            };
+
             try {
                 coordinator.run(opt.tests, request_fn, result_fn,
-                                loss_fn);
+                                loss_fn, hooks);
             } catch (...) {
                 reap_fleet(true);
                 throw;
@@ -888,6 +960,26 @@ main(int argc, char **argv)
                       << " loopback workers, " << fs.workersLost
                       << " workers lost, " << fs.unitsReassigned
                       << " units reassigned\n";
+            if (opt.auditRate > 0.0) {
+                const ByzantineStats &b = fs.byzantine;
+                std::cout << "fabric byzantine: audits="
+                          << b.auditsScheduled
+                          << " passed=" << b.auditsPassed
+                          << " mismatches=" << b.auditMismatches
+                          << " skipped=" << b.auditsSkipped
+                          << " arbitrations=" << b.localArbitrations
+                          << " invalidated=" << b.resultsInvalidated
+                          << " quarantined=";
+                if (b.quarantined.empty()) {
+                    std::cout << "-";
+                } else {
+                    for (std::size_t i = 0; i < b.quarantined.size();
+                         ++i)
+                        std::cout << (i ? "," : "")
+                                  << b.quarantined[i];
+                }
+                std::cout << "\n";
+            }
         } else if (opt.sandbox) {
             SandboxConfig sandbox;
             sandbox.workers = ThreadPool::resolveThreads(opt.threads);

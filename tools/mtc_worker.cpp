@@ -27,7 +27,16 @@
  *                          worker" for backpressure tests)   [off]
  *     --exit-after N       drill: _exit() abruptly after sending N
  *                          results (dies mid-batch)          [off]
+ *     --fabric-key-file PATH  pre-shared key file; required to join
+ *                          a keyed coordinator (also honoured from
+ *                          MTC_FABRIC_KEY_FILE)
+ *     --drill-corrupt-results  Byzantine drill: silently corrupt
+ *                          every result — decodable, plausible,
+ *                          wrong; a coordinator audit must catch it
  *     --help
+ *
+ * The MTC_NET_FAULT_* chaos variables (see mtc_coordinator --help)
+ * apply seeded faults to this worker's connection.
  *
  * Exit status:
  *   0  served until Done (or the coordinator went away after at
@@ -47,8 +56,10 @@
 #include <unistd.h>
 
 #include "dist/worker_client.h"
+#include "harness/campaign_journal.h"
 #include "harness/dist_campaign.h"
 #include "support/error.h"
+#include "support/hmac.h"
 
 using namespace mtc;
 
@@ -75,6 +86,15 @@ usage()
         "  --unit-delay-ms N drill: sleep N ms before each unit [off]\n"
         "  --exit-after N    drill: _exit() abruptly after N results\n"
         "                    [off]\n"
+        "  --fabric-key-file PATH  pre-shared key file; required to\n"
+        "                    join a keyed coordinator (env:\n"
+        "                    MTC_FABRIC_KEY_FILE) [keyless]\n"
+        "  --drill-corrupt-results  Byzantine drill: silently corrupt\n"
+        "                    every result; a coordinator audit\n"
+        "                    (--audit-rate) must quarantine this\n"
+        "                    worker [off]\n"
+        "MTC_NET_FAULT_{DROP,DUP,CORRUPT,DELAY,REORDER,DRIP,\n"
+        "DISCONNECT,DELAY_MS,SEED} inject seeded connection faults\n"
         "exit codes: 0 done, 1 usage error, 3 fatal fabric error\n"
         "            (rejected handshake / unreachable coordinator)\n";
 }
@@ -93,11 +113,25 @@ parseCount(const std::string &flag, const std::string &text)
                       text + "\"");
 }
 
-WorkerClientConfig
+struct Options
+{
+    WorkerClientConfig client;
+    bool corruptResults = false;
+};
+
+Options
 parseArgs(int argc, char **argv)
 {
-    WorkerClientConfig cfg;
+    Options opt;
+    WorkerClientConfig &cfg = opt.client;
     cfg.name = "worker-" + std::to_string(::getpid());
+    std::string key_file;
+    if (const char *env = std::getenv("MTC_FABRIC_KEY_FILE")) {
+        if (*env == '\0')
+            throw ConfigError("MTC_FABRIC_KEY_FILE is set but empty; "
+                              "unset it or give a path");
+        key_file = env;
+    }
     bool connected = false;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -136,6 +170,13 @@ parseArgs(int argc, char **argv)
             cfg.unitDelayMs = parseCount(arg, next());
         else if (arg == "--exit-after")
             cfg.exitAfterUnits = parseCount(arg, next());
+        else if (arg == "--fabric-key-file") {
+            key_file = next();
+            if (key_file.empty())
+                throw ConfigError(
+                    "--fabric-key-file expects a non-empty path");
+        } else if (arg == "--drill-corrupt-results")
+            opt.corruptResults = true;
         else if (arg == "--help" || arg == "-h") {
             usage();
             std::exit(0);
@@ -145,7 +186,10 @@ parseArgs(int argc, char **argv)
     }
     if (!connected)
         throw ConfigError("--connect HOST:PORT is required");
-    return cfg;
+    if (!key_file.empty())
+        cfg.key = loadFabricKey(key_file);
+    cfg.netFault = netFaultFromEnv(cfg.netFault);
+    return opt;
 }
 
 } // anonymous namespace
@@ -153,30 +197,46 @@ parseArgs(int argc, char **argv)
 int
 main(int argc, char **argv)
 {
-    WorkerClientConfig cfg;
+    Options opt;
     try {
-        cfg = parseArgs(argc, argv);
+        opt = parseArgs(argc, argv);
     } catch (const Error &err) {
         std::cerr << "mtc_worker: " << err.what() << "\n";
         return 1;
     }
+    const WorkerClientConfig &cfg = opt.client;
 
     try {
         std::cout << "mtc_worker '" << cfg.name << "': connecting to "
-                  << cfg.host << ":" << cfg.port << "\n";
+                  << cfg.host << ":" << cfg.port
+                  << (cfg.key.empty() ? "" : " (authenticated)")
+                  << "\n";
         // The runner is rebuilt on every handshake: after a
         // coordinator restart the spec may legitimately differ, and a
         // stale plan must never execute a new campaign's units.
         std::unique_ptr<CampaignUnitRunner> runner;
+        const bool corrupt = opt.corruptResults;
         const WorkerRunStats stats = runWorkerClient(
             cfg,
             [&runner](const std::vector<std::uint8_t> &spec_bytes) {
                 runner = std::make_unique<CampaignUnitRunner>(
                     decodeCampaignSpec(spec_bytes));
             },
-            [&runner](std::uint64_t,
-                      const std::vector<std::uint8_t> &request) {
-                return runner->run(request);
+            [&runner, corrupt](
+                std::uint64_t,
+                const std::vector<std::uint8_t> &request) {
+                std::vector<std::uint8_t> response =
+                    runner->run(request);
+                if (corrupt) {
+                    // Byzantine drill: a plausible lie, same shape as
+                    // the loopback drill in dist_campaign.cc.
+                    UnitRecord rec = decodeUnitRecord(response);
+                    rec.outcome.result.uniqueSignatures += 1;
+                    rec.outcome.result.signatureSetDigest ^=
+                        0x5851f42d4c957f2dull;
+                    response = encodeUnitRecord(rec);
+                }
+                return response;
             });
         std::cout << "mtc_worker '" << cfg.name << "': done, "
                   << stats.unitsExecuted << " units executed, "
