@@ -23,6 +23,15 @@
  * bit-identical in both modes; the JSON records the overhead as a
  * fraction of baseline wall-clock.
  *
+ * A companion measurement prices the offline-checking split: the
+ * baseline re-run with a trace dump attached (the --dump-trace
+ * producer), the dumped trace re-verified standalone by checkTrace
+ * (what mtc_check runs), and a 10%-truncated copy recovered through
+ * the degraded path. Dump overhead, standalone-check speedup versus
+ * the inline run, and recovery time land in the `trace_check` block;
+ * the intact check must reproduce the baseline summaries bit-for-bit
+ * and the torn check must yield only classified faults.
+ *
  * With --sandbox a fourth sweep prices the out-of-process execution
  * sandbox: the same campaign dispatched to pre-forked worker
  * processes over framed pipe IPC at several worker counts. The
@@ -57,6 +66,7 @@
 #include <unistd.h>
 
 #include "harness/campaign.h"
+#include "harness/trace_check.h"
 #include "support/table.h"
 #include "support/timer.h"
 #include "testgen/generator.h"
@@ -342,6 +352,81 @@ main(int argc, char **argv)
         baseline_ms > 0.0 ? (journal_ms - baseline_ms) / baseline_ms
                           : 0.0;
 
+    // --- Offline trace check (dump, standalone check, recovery) ------
+    // Methodology: the serial baseline campaign re-run with a trace
+    // dump attached, so the delta prices the producer alone (header +
+    // one framed signature-stream record per unit, written from the
+    // parent-side slots after the campaign). The standalone check
+    // then re-verifies the dumped trace with checkTrace — re-deriving
+    // every test from the spec's seeds and re-running the checking
+    // stage, but never the platform executions — and must reproduce
+    // the baseline summaries bit-for-bit. The recovery point
+    // re-checks a copy truncated to 90% of its bytes: the degraded
+    // path must land on classified faults over the longest intact
+    // prefix (never a throw), and its wall-clock prices recovery.
+    const std::string trace_path =
+        (std::filesystem::temp_directory_path() /
+         ("mtc_scaling_trace." + std::to_string(::getpid())))
+            .string();
+    const std::string torn_trace_path = trace_path + ".torn";
+    double dump_ms = 0.0, check_ms = 0.0, recovery_ms = 0.0;
+    std::size_t recovery_verified = 0, recovery_missing = 0;
+    std::size_t recovery_faults = 0;
+    bool trace_deterministic = true;
+    bool recovery_classified = true;
+    {
+        CampaignConfig cfg = serial;
+        cfg.dumpTracePath = trace_path;
+        WallTimer timer;
+        timer.start();
+        const auto summaries = runCampaign(configs, cfg);
+        timer.stop();
+        dump_ms = timer.milliseconds();
+        trace_deterministic =
+            summariesMatch(summaries, baseline_summaries);
+
+        TraceCheckOptions check;
+        check.tracePath = trace_path;
+        WallTimer check_timer;
+        check_timer.start();
+        const TraceCheckReport report = checkTrace(check);
+        check_timer.stop();
+        check_ms = check_timer.milliseconds();
+        trace_deterministic = trace_deterministic &&
+            !report.anyFault() &&
+            summariesMatch(report.summaries, baseline_summaries);
+
+        const std::uintmax_t full_bytes =
+            std::filesystem::file_size(trace_path);
+        std::filesystem::copy_file(
+            trace_path, torn_trace_path,
+            std::filesystem::copy_options::overwrite_existing);
+        std::filesystem::resize_file(torn_trace_path,
+                                     full_bytes - full_bytes / 10);
+        TraceCheckOptions torn = check;
+        torn.tracePath = torn_trace_path;
+        WallTimer torn_timer;
+        torn_timer.start();
+        try {
+            const TraceCheckReport degraded = checkTrace(torn);
+            recovery_verified = degraded.unitsVerified;
+            recovery_missing = degraded.missingUnits;
+            recovery_faults = degraded.faults.size();
+            recovery_classified = degraded.anyFault();
+        } catch (const TraceError &) {
+            recovery_classified = false; // degraded mode must degrade
+        }
+        torn_timer.stop();
+        recovery_ms = torn_timer.milliseconds();
+    }
+    std::remove(trace_path.c_str());
+    std::remove(torn_trace_path.c_str());
+    const double dump_overhead =
+        baseline_ms > 0.0 ? (dump_ms - baseline_ms) / baseline_ms
+                          : 0.0;
+    const double check_speedup =
+        check_ms > 0.0 ? baseline_ms / check_ms : 0.0;
+
     // --- Sandbox dispatch overhead (--sandbox) -----------------------
     // Methodology: the exact serial baseline campaign re-run with
     // ExecutionMode::Sandboxed — every unit shipped to a pre-forked
@@ -567,6 +652,20 @@ main(int argc, char **argv)
                                         : "DIVERGED")
               << "\n";
 
+    std::cout << "\nOffline trace check (serial): dump "
+              << TablePrinter::fmt(dump_ms, 1) << " ms ("
+              << TablePrinter::fmt(100.0 * dump_overhead, 1)
+              << "% overhead), standalone check "
+              << TablePrinter::fmt(check_ms, 1) << " ms ("
+              << TablePrinter::fmt(check_speedup, 2)
+              << "x vs inline run), 10%-torn recovery "
+              << TablePrinter::fmt(recovery_ms, 1) << " ms ("
+              << recovery_verified << " verified, " << recovery_missing
+              << " missing, " << recovery_faults
+              << " classified faults), summaries "
+              << (trace_deterministic ? "bit-identical" : "DIVERGED")
+              << "\n";
+
     if (!sandbox_points.empty()) {
         std::cout << "\nSandbox dispatch overhead (vs serial "
                      "in-process baseline):\n";
@@ -625,7 +724,8 @@ main(int argc, char **argv)
         cht.print(std::cout);
     }
 
-    bool all_deterministic = journal_deterministic;
+    bool all_deterministic = journal_deterministic &&
+        trace_deterministic && recovery_classified;
     for (const SweepPoint &p : points)
         all_deterministic = all_deterministic && p.deterministic;
     for (const BatchPoint &p : batch_points)
@@ -692,7 +792,37 @@ main(int argc, char **argv)
          << jsonEscapeless(journal_overhead) << ",\n"
          << "    \"deterministic\": "
          << (journal_deterministic ? "true" : "false") << "\n"
-         << "  },\n";
+         << "  },\n"
+         << "  \"trace_check\": {\n"
+         << "    \"methodology\": \"serial baseline campaign re-run "
+            "with a trace dump attached (header fingerprinting the "
+            "campaign spec + one framed signature-stream record per "
+            "unit, written after the campaign); dumpOverheadFraction "
+            "is (dumpMs - baselineMs) / baselineMs; the standalone "
+            "check re-verifies the trace with checkTrace — re-deriving "
+            "every test from the spec's seeds, skipping platform "
+            "execution — and must reproduce the baseline summaries "
+            "bit-for-bit; the recovery point re-checks a copy "
+            "truncated to 90% of its bytes, which must yield only "
+            "classified faults over the longest intact prefix\",\n"
+         << "    \"dumpMs\": " << jsonEscapeless(dump_ms) << ",\n"
+         << "    \"dumpOverheadFraction\": "
+         << jsonEscapeless(dump_overhead) << ",\n"
+         << "    \"checkMs\": " << jsonEscapeless(check_ms) << ",\n"
+         << "    \"checkSpeedupVsInline\": "
+         << jsonEscapeless(check_speedup) << ",\n"
+         << "    \"recoveryMs\": " << jsonEscapeless(recovery_ms)
+         << ",\n"
+         << "    \"recoveryVerifiedUnits\": " << recovery_verified
+         << ",\n"
+         << "    \"recoveryMissingUnits\": " << recovery_missing
+         << ",\n"
+         << "    \"recoveryClassifiedFaults\": " << recovery_faults
+         << ",\n"
+         << "    \"deterministic\": "
+         << (trace_deterministic && recovery_classified ? "true"
+                                                        : "false")
+         << "\n  },\n";
     if (!sandbox_points.empty()) {
         json << "  \"sandbox\": {\n"
              << "    \"methodology\": \"serial baseline campaign "

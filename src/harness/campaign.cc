@@ -16,6 +16,7 @@
 #include "harness/campaign_plan.h"
 #include "harness/dist_campaign.h"
 #include "harness/sandbox.h"
+#include "harness/trace_check.h"
 #include "harness/watchdog.h"
 #include "sim/executor.h"
 #include "support/hmac.h"
@@ -117,6 +118,15 @@ CampaignConfig::fromEnv(CampaignConfig defaults)
             throw ConfigError(
                 "MTC_JOURNAL is set but empty; unset it or give a path");
         defaults.journalPath = journal;
+    }
+    // MTC_DUMP_TRACE gets MTC_JOURNAL's path strictness for the same
+    // reason: an empty value is a shell-edit leftover, not a request
+    // to dump nowhere.
+    if (const char *trace = std::getenv("MTC_DUMP_TRACE")) {
+        if (*trace == '\0')
+            throw ConfigError("MTC_DUMP_TRACE is set but empty; unset "
+                              "it or give a path");
+        defaults.dumpTracePath = trace;
     }
     if (const char *timeout = std::getenv("MTC_TEST_TIMEOUT_MS"))
         defaults.testTimeoutMs =
@@ -244,6 +254,11 @@ flowTemplate(const TestConfig &cfg, const CampaignConfig &campaign)
     flow_cfg.exec.dieAfterRuns = campaign.dieAfterRuns;
     flow_cfg.exec.dieSignal = campaign.dieSignal;
     flow_cfg.exec.leakAfterRuns = campaign.leakAfterRuns;
+    // Trace dumps need every unit's sorted unique signature stream
+    // kept in the FlowResult; the stream is derived state (not a
+    // result-determining knob), so this stays out of the identity.
+    flow_cfg.keepSignatures = campaign.keepSignatureStreams ||
+        !campaign.dumpTracePath.empty();
     return flow_cfg;
 }
 
@@ -320,67 +335,15 @@ breakerEvents(const TestOutcome &outcome)
 }
 
 /**
- * Everything that determines a campaign's deterministic result
- * stream, folded into the journal identity. Operational knobs
- * (threads, watchdog timeout, error budget) are deliberately left
- * out: they may change between a run and its resume.
- */
-CampaignJournal::Identity
-campaignIdentity(const std::vector<TestConfig> &configs,
-                 const CampaignConfig &campaign)
-{
-    ByteWriter w;
-    w.u64(campaign.iterations);
-    w.u32(campaign.testsPerConfig);
-    w.u64(campaign.seed);
-    w.u8(campaign.variant == PlatformVariant::Linux ? 1 : 0);
-    w.u8(campaign.runConventional ? 1 : 0);
-    w.f64(campaign.fault.bitFlipRate);
-    w.f64(campaign.fault.tornStoreRate);
-    w.f64(campaign.fault.truncationRate);
-    w.f64(campaign.fault.dropRate);
-    w.f64(campaign.fault.duplicateRate);
-    w.u64(campaign.fault.seed);
-    w.u32(campaign.recovery.confirmationRuns);
-    w.u64(campaign.recovery.confirmationIterations);
-    w.u32(campaign.recovery.crashRetries);
-    w.u32(campaign.testRetries);
-    w.u64(campaign.shardSize);
-    w.u64(campaign.stallAfterSteps);
-    // The drills change the deterministic result stream; the
-    // execution mode and sandbox budgets do not (a journal written in
-    // one mode resumes in the other), so only the former are folded.
-    w.u8(campaign.stallUncooperative ? 1 : 0);
-    w.u64(campaign.dieAfterRuns);
-    w.u32(static_cast<std::uint32_t>(campaign.dieSignal));
-    w.u64(campaign.leakAfterRuns);
-    w.u32(static_cast<std::uint32_t>(configs.size()));
-    std::string names;
-    for (const TestConfig &cfg : configs) {
-        w.str(cfg.name());
-        names += names.empty() ? "" : ",";
-        names += cfg.name();
-    }
-
-    CampaignJournal::Identity identity;
-    identity.digest =
-        fnv1a64(w.bytes().data(), w.bytes().size());
-    identity.description = "seed=" + std::to_string(campaign.seed) +
-        " iterations=" + std::to_string(campaign.iterations) +
-        " tests=" + std::to_string(campaign.testsPerConfig) +
-        " configs=" + names;
-    return identity;
-}
-
-/**
  * Fold the outcome slots into a ConfigSummary, strictly in test
  * order: double accumulation is order-sensitive, so folding slots in
  * index order is what makes the summary bit-identical to the serial
  * runner's at any worker count.
  */
 ConfigSummary
-summarize(const TestConfig &cfg, std::vector<TestOutcome> &outcomes,
-          bool tripped, unsigned error_events)
+summarize(const TestConfig &cfg,
+          const std::vector<TestOutcome> &outcomes, bool tripped,
+          unsigned error_events)
 {
     ConfigSummary summary;
     summary.cfg = cfg;
@@ -392,7 +355,7 @@ summarize(const TestConfig &cfg, std::vector<TestOutcome> &outcomes,
     double affected_weighted = 0.0;
     std::uint64_t affected_count = 0;
 
-    for (TestOutcome &outcome : outcomes) {
+    for (const TestOutcome &outcome : outcomes) {
         summary.testRetriesUsed += outcome.retriesUsed;
         summary.hungAttempts += outcome.hungAttempts;
         if (outcome.status == TestStatus::Skipped) {
@@ -1002,6 +965,14 @@ runUnits(const std::vector<TestConfig> &configs,
         }
     }
 
+    if (!campaign.dumpTracePath.empty()) {
+        std::vector<std::vector<TestPlan>> trace_plans(configs.size());
+        for (std::size_t c = 0; c < configs.size(); ++c)
+            trace_plans[c] = plans[c].tests;
+        writeCampaignTrace(campaign.dumpTracePath, configs, campaign,
+                           trace_plans, outcomes);
+    }
+
     std::vector<ConfigSummary> summaries;
     summaries.reserve(configs.size());
     for (std::size_t c = 0; c < configs.size(); ++c) {
@@ -1013,25 +984,92 @@ runUnits(const std::vector<TestConfig> &configs,
             summaries.push_back(std::move(degraded));
             continue;
         }
-        ConfigSummary summary = summarize(
-            configs[c], outcomes[c], config_tripped(c),
-            error_events[c].load(std::memory_order_relaxed));
-        if (summary.tripped) {
-            summary.degraded = true;
-            summary.error = "circuit breaker tripped after " +
-                std::to_string(summary.errorEvents) +
-                " error events (budget " +
-                std::to_string(campaign.errorBudget) + "); " +
-                std::to_string(summary.skippedTests) +
-                " of " + std::to_string(outcomes[c].size()) +
-                " tests skipped";
-        }
-        summaries.push_back(std::move(summary));
+        summaries.push_back(summarizeConfig(configs[c], outcomes[c],
+                                            campaign.errorBudget));
     }
     return summaries;
 }
 
 } // anonymous namespace
+
+CampaignJournal::Identity
+campaignIdentity(const std::vector<TestConfig> &configs,
+                 const CampaignConfig &campaign)
+{
+    // Everything that determines a campaign's deterministic result
+    // stream is folded in; operational knobs (threads, watchdog
+    // timeout, error budget) are deliberately left out — they may
+    // change between a run and its resume, or between a dump and its
+    // offline re-check.
+    ByteWriter w;
+    w.u64(campaign.iterations);
+    w.u32(campaign.testsPerConfig);
+    w.u64(campaign.seed);
+    w.u8(campaign.variant == PlatformVariant::Linux ? 1 : 0);
+    w.u8(campaign.runConventional ? 1 : 0);
+    w.f64(campaign.fault.bitFlipRate);
+    w.f64(campaign.fault.tornStoreRate);
+    w.f64(campaign.fault.truncationRate);
+    w.f64(campaign.fault.dropRate);
+    w.f64(campaign.fault.duplicateRate);
+    w.u64(campaign.fault.seed);
+    w.u32(campaign.recovery.confirmationRuns);
+    w.u64(campaign.recovery.confirmationIterations);
+    w.u32(campaign.recovery.crashRetries);
+    w.u32(campaign.testRetries);
+    w.u64(campaign.shardSize);
+    w.u64(campaign.stallAfterSteps);
+    // The drills change the deterministic result stream; the
+    // execution mode and sandbox budgets do not (a journal written in
+    // one mode resumes in the other), so only the former are folded.
+    w.u8(campaign.stallUncooperative ? 1 : 0);
+    w.u64(campaign.dieAfterRuns);
+    w.u32(static_cast<std::uint32_t>(campaign.dieSignal));
+    w.u64(campaign.leakAfterRuns);
+    w.u32(static_cast<std::uint32_t>(configs.size()));
+    std::string names;
+    for (const TestConfig &cfg : configs) {
+        w.str(cfg.name());
+        names += names.empty() ? "" : ",";
+        names += cfg.name();
+    }
+
+    CampaignJournal::Identity identity;
+    identity.digest =
+        fnv1a64(w.bytes().data(), w.bytes().size());
+    identity.description = "seed=" + std::to_string(campaign.seed) +
+        " iterations=" + std::to_string(campaign.iterations) +
+        " tests=" + std::to_string(campaign.testsPerConfig) +
+        " configs=" + names;
+    return identity;
+}
+
+ConfigSummary
+summarizeConfig(const TestConfig &cfg,
+                const std::vector<TestOutcome> &outcomes,
+                unsigned error_budget)
+{
+    // Recompute the breaker charge from the slots. Inline this equals
+    // the engine's live counter — every non-skipped slot was charged
+    // exactly once (run, replay, or loss path) and skipped slots
+    // charge nothing — so the offline checker reproduces tripped /
+    // degraded verdicts from the trace alone.
+    unsigned events = 0;
+    for (const TestOutcome &outcome : outcomes)
+        events += breakerEvents(outcome);
+    const bool tripped = error_budget != 0 && events >= error_budget;
+
+    ConfigSummary summary = summarize(cfg, outcomes, tripped, events);
+    if (summary.tripped) {
+        summary.degraded = true;
+        summary.error = "circuit breaker tripped after " +
+            std::to_string(summary.errorEvents) +
+            " error events (budget " + std::to_string(error_budget) +
+            "); " + std::to_string(summary.skippedTests) + " of " +
+            std::to_string(outcomes.size()) + " tests skipped";
+    }
+    return summary;
+}
 
 ConfigSummary
 runConfig(const TestConfig &cfg, const CampaignConfig &campaign)

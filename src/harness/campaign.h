@@ -123,6 +123,27 @@ struct CampaignConfig
     std::string journalPath;
 
     /**
+     * Offline-trace dump path (src/core/trace_format.h): after the
+     * campaign completes, every (config, test) unit record — including
+     * its sorted unique signature stream — is written in deterministic
+     * (config, test) order, in every execution mode (distributed
+     * workers ship their streams back inside unit records and the
+     * coordinator-side slots are walked in unit order). `mtc_check`
+     * re-runs the checking stage over the file and reproduces the
+     * campaign summary byte-identically. Empty (the default) dumps
+     * nothing. Operational knob — excluded from the campaign identity;
+     * the trace records which campaign it belongs to, not the other
+     * way around.
+     */
+    std::string dumpTracePath;
+
+    /** Keep each unit's sorted signature stream in its FlowResult
+     * (see FlowConfig::keepSignatures). Implied by `dumpTracePath`;
+     * exposed separately so a caller can retain streams without
+     * writing a file. Operational knob. */
+    bool keepSignatureStreams = false;
+
+    /**
      * Resume from an existing journal at `journalPath`: units already
      * logged are replayed from their records instead of re-run, so a
      * SIGKILLed campaign continues where it stopped — and, because
@@ -275,9 +296,12 @@ struct CampaignConfig
      * (fractions applied to both directions), MTC_NET_FAULT_DELAY_MS
      * and MTC_NET_FAULT_SEED (counts).
      *
+     * Offline checking: MTC_DUMP_TRACE (trace file path; see
+     * `dumpTracePath`).
+     *
      * @throws ConfigError if a set variable is non-numeric, or zero
      *         where zero is meaningless (iterations, tests), or empty
-     *         where text is required (MTC_JOURNAL,
+     *         where text is required (MTC_JOURNAL, MTC_DUMP_TRACE,
      *         MTC_FABRIC_KEY_FILE), or outside [0,1] where a rate is
      *         required.
      */
@@ -426,6 +450,18 @@ NetFaultConfig netFaultFromEnv(NetFaultConfig defaults = {});
 
 /** Platform configuration a campaign uses for @p cfg. */
 ExecutorConfig platformFor(const TestConfig &cfg, PlatformVariant variant);
+
+/**
+ * Fold one configuration's outcome slots (strictly in test order) into
+ * its ConfigSummary, including the circuit-breaker verdict derived
+ * from the slots' own error events against @p error_budget. Shared by
+ * the inline campaign and the offline trace checker (mtc_check), so a
+ * replayed outcome stream summarizes byte-identically to the run that
+ * recorded it.
+ */
+ConfigSummary summarizeConfig(const TestConfig &cfg,
+                              const std::vector<TestOutcome> &outcomes,
+                              unsigned error_budget);
 
 /** Run one configuration's batch of tests and aggregate. */
 ConfigSummary runConfig(const TestConfig &cfg,

@@ -25,7 +25,10 @@ constexpr std::uint8_t kUnitTag = 2;
 constexpr std::uint32_t kJournalMagic = 0x4D54434Au; // "MTCJ"
 // v2: FlowResult gained sliceReuses/sliceDecodes (streaming pipeline
 // delta-decode accounting), serialized right after decodeMs.
-constexpr std::uint32_t kJournalVersion = 2;
+// v3: FlowResult gained signatureStream (sorted unique signatures for
+// offline trace dumps), serialized after the profile block. Empty
+// unless the flow ran with keepSignatures.
+constexpr std::uint32_t kJournalVersion = 3;
 
 void
 encodeFlowResult(ByteWriter &w, const FlowResult &r)
@@ -95,6 +98,15 @@ encodeFlowResult(ByteWriter &w, const FlowResult &r)
     for (std::size_t p = 0; p < kPhaseCount; ++p) {
         w.u64(r.profile.ns[p]);
         w.u64(r.profile.count[p]);
+    }
+
+    w.u64(r.signatureStream.size());
+    for (const SignatureCount &entry : r.signatureStream) {
+        w.u32(static_cast<std::uint32_t>(
+            entry.signature.words.size()));
+        for (const std::uint64_t word : entry.signature.words)
+            w.u64(word);
+        w.u64(entry.iterations);
     }
 }
 
@@ -179,6 +191,27 @@ decodeFlowResult(ByteReader &rd)
     for (std::size_t p = 0; p < kPhaseCount; ++p) {
         r.profile.ns[p] = rd.u64();
         r.profile.count[p] = rd.u64();
+    }
+
+    // Signature stream: untrusted counts (the record crosses the
+    // fabric wire and rides in trace files), so every length is
+    // bounded by the bytes actually remaining — a forged count must
+    // classify as truncation, never attempt an allocation. The
+    // smallest entry is 12 bytes (u32 word count + u64 iterations).
+    const std::uint64_t stream_len = rd.u64();
+    if (stream_len > rd.remaining() / 12)
+        throw JournalError("absurd signature-stream length in unit "
+                           "record");
+    r.signatureStream.resize(static_cast<std::size_t>(stream_len));
+    for (SignatureCount &entry : r.signatureStream) {
+        const std::uint32_t words = rd.u32();
+        if (words > rd.remaining() / 8)
+            throw JournalError("absurd signature word count in unit "
+                               "record");
+        entry.signature.words.resize(words);
+        for (std::uint32_t i = 0; i < words; ++i)
+            entry.signature.words[i] = rd.u64();
+        entry.iterations = rd.u64();
     }
     return r;
 }

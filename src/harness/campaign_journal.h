@@ -144,6 +144,16 @@ class CampaignJournal
     int lockFd = -1;
 };
 
+/**
+ * The campaign's journal/trace identity: a digest folded over every
+ * result-determining knob (see the file comment) plus its readable
+ * rendering. Exported so the offline trace format can fingerprint a
+ * dump with exactly the digest a resume would demand.
+ */
+CampaignJournal::Identity campaignIdentity(
+    const std::vector<TestConfig> &configs,
+    const CampaignConfig &campaign);
+
 } // namespace mtc
 
 #endif // MTC_HARNESS_CAMPAIGN_JOURNAL_H

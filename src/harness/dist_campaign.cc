@@ -31,7 +31,13 @@ namespace
  * from an incompatible build) fails loudly instead of deriving a
  * silently different campaign. */
 constexpr std::uint32_t kSpecMagic = 0x4D544353; // "MTCS"
-constexpr std::uint32_t kSpecVersion = 1;
+// v2: keepSignatures + errorBudget appended after the config list.
+// keepSignatures tells remote workers to carry each unit's sorted
+// unique signature stream home for trace dumps; errorBudget rides
+// along so an offline checker fed this spec reproduces the breaker's
+// tripped/degraded verdicts (the budget is operational for identity
+// purposes but result-shaping for summaries).
+constexpr std::uint32_t kSpecVersion = 2;
 
 } // anonymous namespace
 
@@ -73,6 +79,10 @@ encodeCampaignSpec(const CampaignSpec &spec)
         w.u32(cfg.lineBytes);
         w.u32(cfg.fencePercent);
     }
+    // v2 tail. The dump path itself never ships — it is coordinator-
+    // local — only the fact that streams must be kept.
+    w.u8(c.keepSignatureStreams || !c.dumpTracePath.empty() ? 1 : 0);
+    w.u32(c.errorBudget);
     return w.bytes();
 }
 
@@ -130,6 +140,8 @@ decodeCampaignSpec(const std::vector<std::uint8_t> &bytes)
             cfg.fencePercent = r.u32();
             spec.configs.push_back(cfg);
         }
+        c.keepSignatureStreams = r.u8() != 0;
+        c.errorBudget = r.u32();
         return spec;
     } catch (const JournalError &err) {
         throw DistError(std::string("campaign spec truncated: ") +

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Process exit codes shared by every MTraceCheck CLI tool
+ * (mtc_validate, mtc_coordinator, mtc_check).
+ *
+ * The codes are an external contract: CI scripts, the README table
+ * and the exit-code unit test all assert against these constants, so
+ * a new verdict gets a new code here (and a README row) rather than
+ * reusing an old one. Severity ordering is part of the contract too —
+ * when a run earns several verdicts the tools report the smallest
+ * applicable code below 7 in this priority order: violation (2)
+ * beats trace fault (7) beats breaker (6) beats hang (5) beats
+ * crash/failed (4) beats corruption-only (3).
+ */
+
+#ifndef MTC_HARNESS_EXIT_CODES_H
+#define MTC_HARNESS_EXIT_CODES_H
+
+namespace mtc
+{
+
+/** No violations, no faults, nothing degraded. */
+inline constexpr int kExitClean = 0;
+
+/** Bad flags/environment, or an internal error before any verdict. */
+inline constexpr int kExitConfigError = 1;
+
+/** At least one MCM violation (raw or K-confirmed) was observed. */
+inline constexpr int kExitViolation = 2;
+
+/** Only quarantined corruption / transient (unconfirmed) violations:
+ * every anomaly was attributed to result-collection faults, not the
+ * memory system. */
+inline constexpr int kExitCorruptionOnly = 3;
+
+/** Failed or abandoned units, platform crash retries, or a degraded
+ * (non-breaker) config summary. */
+inline constexpr int kExitPlatformCrash = 4;
+
+/** At least one test hung (cooperatively cancelled or reclaimed by
+ * SIGKILL). */
+inline constexpr int kExitHang = 5;
+
+/** A per-config circuit breaker tripped and skipped the config's
+ * remaining tests. */
+inline constexpr int kExitBreakerTripped = 6;
+
+/** mtc_check only: the trace itself was faulted (torn, corrupt,
+ * version-skewed, or fingerprint-mismatched) — in degraded mode the
+ * summary above it covers the longest intact prefix. */
+inline constexpr int kExitTraceFault = 7;
+
+} // namespace mtc
+
+#endif // MTC_HARNESS_EXIT_CODES_H

@@ -241,6 +241,176 @@ streamDecodeAndCheck(const TestProgram &program, MemoryModel model,
 
 } // anonymous namespace
 
+void
+checkSignatureStream(const TestProgram &program,
+                     const SignatureCodec &codec, MemoryModel model,
+                     const FlowConfig &cfg,
+                     const std::vector<SignatureCount> &unique,
+                     PhaseProfiler &prof, FlowResult &result,
+                     std::vector<bool> &collective_verdicts,
+                     std::vector<std::size_t> &decoded_unique_idx)
+{
+    // Worker pool for the in-test parallel stages (decode fan-out and
+    // sharded checking). threads == 1 keeps everything on this thread.
+    const unsigned flow_workers = ThreadPool::resolveThreads(cfg.threads);
+    std::unique_ptr<ThreadPool> pool;
+    if (flow_workers > 1)
+        pool = std::make_unique<ThreadPool>(flow_workers);
+
+    // --- Decode + observed-edge derivation + checking -----------------
+    // Undecodable signatures — the expected outcome of readout faults
+    // on suspect silicon — are quarantined with their classification
+    // instead of aborting the flow (post-silicon rule: never let the
+    // harness confuse "readout glitched" with "the DUT is buggy").
+    std::vector<DynamicEdgeSet> edge_sets; // barrier pipeline only
+    decoded_unique_idx.reserve(unique.size());
+
+    if (cfg.streamCheck) {
+        // Streaming pipeline: delta decode against the previous sorted
+        // signature, incremental edge derivation, and (with a pool)
+        // decode→check overlap behind a bounded window. Bit-identical
+        // to the barrier pipeline below — see streamDecodeAndCheck.
+        streamDecodeAndCheck(program, model, codec, cfg, unique,
+                             pool.get(), prof, result,
+                             collective_verdicts, decoded_unique_idx);
+    } else {
+        // Barrier pipeline (A/B baseline and equivalence oracle):
+        // decode everything, then check everything, one full edge set
+        // per unique signature held live at once.
+        //
+        // Each unique signature decodes independently, so the loop fans
+        // out across the pool into per-index slots; the slots are
+        // folded back in index (= ascending signature) order, which
+        // makes the decoded sequence, the quarantine list, and the kept
+        // executions bit-identical at any worker count.
+        struct DecodeSlot
+        {
+            bool quarantined = false;
+            DynamicEdgeSet edges;
+            Execution execution; ///< populated only when keepExecutions
+            QuarantinedSignature quarantine;
+        };
+        std::vector<DecodeSlot> decode_slots(unique.size());
+        edge_sets.reserve(unique.size());
+        {
+            auto phase_scope = prof.scope(Phase::Decode);
+            WallTimer timer;
+            ScopedTimer scope(timer);
+            const auto decode_one = [&](std::size_t i) {
+                DecodeSlot &slot = decode_slots[i];
+                // Per-worker decode buffers: only the per-slot edge set
+                // (the product that outlives this loop) is allocated
+                // per signature; the Execution and word scratch are
+                // reused, as is dynamicEdges' inference workspace.
+                thread_local Execution decoded;
+                thread_local std::vector<std::uint64_t> word_scratch;
+                try {
+                    codec.decodeInto(unique[i].signature, decoded,
+                                     word_scratch);
+                    slot.edges = dynamicEdges(program, decoded);
+                    if (cfg.keepExecutions)
+                        slot.execution = decoded;
+                } catch (const SignatureDecodeError &err) {
+                    slot.quarantined = true;
+                    slot.quarantine = {unique[i].signature,
+                                       unique[i].iterations, err.kind(),
+                                       err.thread(), err.word(),
+                                       err.what()};
+                }
+            };
+            if (pool) {
+                pool->parallelFor(unique.size(), decode_one);
+            } else {
+                for (std::size_t i = 0; i < unique.size(); ++i)
+                    decode_one(i);
+            }
+
+            for (std::size_t i = 0; i < unique.size(); ++i) {
+                DecodeSlot &slot = decode_slots[i];
+                if (slot.quarantined) {
+                    result.fault.quarantined.push_back(
+                        std::move(slot.quarantine));
+                    result.fault.quarantinedIterations +=
+                        unique[i].iterations;
+                    continue;
+                }
+                edge_sets.push_back(std::move(slot.edges));
+                decoded_unique_idx.push_back(i);
+                if (cfg.keepExecutions)
+                    result.executions.push_back(
+                        std::move(slot.execution));
+            }
+            result.decodeMs = timer.milliseconds();
+        }
+        decode_slots.clear();
+
+        // Collective checking (MTraceCheck), then the conventional
+        // baseline over the same materialized edge sets.
+        auto check_scope = prof.scope(Phase::Check);
+        {
+            WallTimer timer;
+            ScopedTimer scope(timer);
+            collective_verdicts = checkCollectiveSharded(
+                program, model, edge_sets, cfg.shardSize, pool.get(),
+                result.collective);
+            result.collectiveMs = timer.milliseconds();
+        }
+        if (cfg.runConventional) {
+            ConventionalChecker checker(program, model);
+            WallTimer timer;
+            ScopedTimer scope(timer);
+            const std::vector<bool> verdicts =
+                checker.check(edge_sets, result.conventional);
+            result.conventionalMs = timer.milliseconds();
+
+            // The two checkers must agree; this is also asserted by
+            // the property tests, but a production run cross-checks.
+            if (verdicts != collective_verdicts) {
+                warn("checker disagreement on test " +
+                     program.config().name());
+            }
+        }
+    }
+    result.fault.decodedSignatures = decoded_unique_idx.size();
+    for (bool verdict : collective_verdicts)
+        result.violatingSignatures += verdict ? 1 : 0;
+
+    // --- Violation witness (Figure 13 style) ---------------------------
+    if (result.violatingSignatures && result.violationWitness.empty()) {
+        auto witness_scope = prof.scope(Phase::Check);
+        for (std::size_t i = 0; i < decoded_unique_idx.size(); ++i) {
+            if (!collective_verdicts[i])
+                continue;
+            // The streaming pipeline holds no full edge sets, so the
+            // single witnessed execution is re-derived post hoc (one
+            // cold decode — negligible against the checking sweep).
+            DynamicEdgeSet witness_edges;
+            const DynamicEdgeSet *edges_ptr = nullptr;
+            if (!edge_sets.empty()) {
+                edges_ptr = &edge_sets[i];
+            } else {
+                witness_edges = dynamicEdges(
+                    program,
+                    codec.decode(unique[decoded_unique_idx[i]]
+                                     .signature));
+                edges_ptr = &witness_edges;
+            }
+            ConstraintGraph graph(program.numOps());
+            graph.addEdges(programOrderEdges(program, model));
+            graph.addEdges(edges_ptr->edges);
+            const auto cycle = findCycle(graph);
+            if (!cycle.empty()) {
+                result.violationWitness =
+                    describeCycle(program, graph, cycle);
+            } else {
+                result.violationWitness =
+                    "contradictory coherence (ws) constraints";
+            }
+            break;
+        }
+    }
+}
+
 ValidationFlow::ValidationFlow(FlowConfig cfg_arg) : cfg(cfg_arg) {}
 
 FlowResult
@@ -437,169 +607,23 @@ ValidationFlow::runTest(const TestProgram &program)
         result.signatureSetDigest = digest;
     }
 
-    // Worker pool for the in-test parallel stages (decode fan-out and
-    // sharded checking). threads == 1 keeps everything on this thread.
-    const unsigned flow_workers = ThreadPool::resolveThreads(cfg.threads);
-    std::unique_ptr<ThreadPool> pool;
-    if (flow_workers > 1)
-        pool = std::make_unique<ThreadPool>(flow_workers);
+    // Retain the stream for a trace dump before checking consumes it:
+    // the copy carries undecodable entries too, so an offline re-check
+    // quarantines them exactly as the inline pipeline is about to.
+    if (cfg.keepSignatures)
+        result.signatureStream = unique;
 
     // --- Decode + observed-edge derivation + checking -----------------
-    // Undecodable signatures — the expected outcome of readout faults
-    // on suspect silicon — are quarantined with their classification
-    // instead of aborting the flow (post-silicon rule: never let the
-    // harness confuse "readout glitched" with "the DUT is buggy").
+    // The whole post-execution stage is shared with the offline trace
+    // checker (trace_check.h); only the confirmation protocol below
+    // stays here, because it needs a live platform to re-execute on.
     const MemoryModel model =
         cfg.coherent ? cfg.coherent->model : cfg.exec.model;
-    std::vector<DynamicEdgeSet> edge_sets;       // barrier pipeline only
     std::vector<std::size_t> decoded_unique_idx; // decoded -> unique
-    decoded_unique_idx.reserve(unique.size());
     std::vector<bool> collective_verdicts;
-
-    if (cfg.streamCheck) {
-        // Streaming pipeline: delta decode against the previous sorted
-        // signature, incremental edge derivation, and (with a pool)
-        // decode→check overlap behind a bounded window. Bit-identical
-        // to the barrier pipeline below — see streamDecodeAndCheck.
-        streamDecodeAndCheck(program, model, codec, cfg, unique,
-                             pool.get(), prof, result,
-                             collective_verdicts, decoded_unique_idx);
-    } else {
-        // Barrier pipeline (A/B baseline and equivalence oracle):
-        // decode everything, then check everything, one full edge set
-        // per unique signature held live at once.
-        //
-        // Each unique signature decodes independently, so the loop fans
-        // out across the pool into per-index slots; the slots are
-        // folded back in index (= ascending signature) order, which
-        // makes the decoded sequence, the quarantine list, and the kept
-        // executions bit-identical at any worker count.
-        struct DecodeSlot
-        {
-            bool quarantined = false;
-            DynamicEdgeSet edges;
-            Execution execution; ///< populated only when keepExecutions
-            QuarantinedSignature quarantine;
-        };
-        std::vector<DecodeSlot> decode_slots(unique.size());
-        edge_sets.reserve(unique.size());
-        {
-            auto phase_scope = prof.scope(Phase::Decode);
-            WallTimer timer;
-            ScopedTimer scope(timer);
-            const auto decode_one = [&](std::size_t i) {
-                DecodeSlot &slot = decode_slots[i];
-                // Per-worker decode buffers: only the per-slot edge set
-                // (the product that outlives this loop) is allocated
-                // per signature; the Execution and word scratch are
-                // reused, as is dynamicEdges' inference workspace.
-                thread_local Execution decoded;
-                thread_local std::vector<std::uint64_t> word_scratch;
-                try {
-                    codec.decodeInto(unique[i].signature, decoded,
-                                     word_scratch);
-                    slot.edges = dynamicEdges(program, decoded);
-                    if (cfg.keepExecutions)
-                        slot.execution = decoded;
-                } catch (const SignatureDecodeError &err) {
-                    slot.quarantined = true;
-                    slot.quarantine = {unique[i].signature,
-                                       unique[i].iterations, err.kind(),
-                                       err.thread(), err.word(),
-                                       err.what()};
-                }
-            };
-            if (pool) {
-                pool->parallelFor(unique.size(), decode_one);
-            } else {
-                for (std::size_t i = 0; i < unique.size(); ++i)
-                    decode_one(i);
-            }
-
-            for (std::size_t i = 0; i < unique.size(); ++i) {
-                DecodeSlot &slot = decode_slots[i];
-                if (slot.quarantined) {
-                    result.fault.quarantined.push_back(
-                        std::move(slot.quarantine));
-                    result.fault.quarantinedIterations +=
-                        unique[i].iterations;
-                    continue;
-                }
-                edge_sets.push_back(std::move(slot.edges));
-                decoded_unique_idx.push_back(i);
-                if (cfg.keepExecutions)
-                    result.executions.push_back(
-                        std::move(slot.execution));
-            }
-            result.decodeMs = timer.milliseconds();
-        }
-        decode_slots.clear();
-
-        // Collective checking (MTraceCheck), then the conventional
-        // baseline over the same materialized edge sets.
-        auto check_scope = prof.scope(Phase::Check);
-        {
-            WallTimer timer;
-            ScopedTimer scope(timer);
-            collective_verdicts = checkCollectiveSharded(
-                program, model, edge_sets, cfg.shardSize, pool.get(),
-                result.collective);
-            result.collectiveMs = timer.milliseconds();
-        }
-        if (cfg.runConventional) {
-            ConventionalChecker checker(program, model);
-            WallTimer timer;
-            ScopedTimer scope(timer);
-            const std::vector<bool> verdicts =
-                checker.check(edge_sets, result.conventional);
-            result.conventionalMs = timer.milliseconds();
-
-            // The two checkers must agree; this is also asserted by
-            // the property tests, but a production run cross-checks.
-            if (verdicts != collective_verdicts) {
-                warn("checker disagreement on test " +
-                     program.config().name());
-            }
-        }
-    }
-    result.fault.decodedSignatures = decoded_unique_idx.size();
-    for (bool verdict : collective_verdicts)
-        result.violatingSignatures += verdict ? 1 : 0;
-
-    // --- Violation witness (Figure 13 style) ---------------------------
-    if (result.violatingSignatures && result.violationWitness.empty()) {
-        auto witness_scope = prof.scope(Phase::Check);
-        for (std::size_t i = 0; i < decoded_unique_idx.size(); ++i) {
-            if (!collective_verdicts[i])
-                continue;
-            // The streaming pipeline holds no full edge sets, so the
-            // single witnessed execution is re-derived post hoc (one
-            // cold decode — negligible against the checking sweep).
-            DynamicEdgeSet witness_edges;
-            const DynamicEdgeSet *edges_ptr = nullptr;
-            if (!edge_sets.empty()) {
-                edges_ptr = &edge_sets[i];
-            } else {
-                witness_edges = dynamicEdges(
-                    program,
-                    codec.decode(unique[decoded_unique_idx[i]]
-                                     .signature));
-                edges_ptr = &witness_edges;
-            }
-            ConstraintGraph graph(program.numOps());
-            graph.addEdges(programOrderEdges(program, model));
-            graph.addEdges(edges_ptr->edges);
-            const auto cycle = findCycle(graph);
-            if (!cycle.empty()) {
-                result.violationWitness =
-                    describeCycle(program, graph, cycle);
-            } else {
-                result.violationWitness =
-                    "contradictory coherence (ws) constraints";
-            }
-            break;
-        }
-    }
+    checkSignatureStream(program, codec, model, cfg, unique, prof,
+                         result, collective_verdicts,
+                         decoded_unique_idx);
 
     // --- K-re-execution confirmation (fault-tolerant pipeline) --------
     // A cyclic signature read over a faulty path is ambiguous: the DUT

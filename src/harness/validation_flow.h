@@ -26,6 +26,7 @@
 #include "core/load_analysis.h"
 #include "core/perturbation.h"
 #include "core/signature.h"
+#include "core/signature_accumulator.h"
 #include "core/signature_codec.h"
 #include "sim/coherent_executor.h"
 #include "sim/executor_config.h"
@@ -162,6 +163,17 @@ struct FlowConfig
 
     /** Keep all unique decoded executions (k-medoids inputs). */
     bool keepExecutions = false;
+
+    /**
+     * Keep the sorted unique signature stream (FlowResult::
+     * signatureStream) — the raw material of an offline trace dump.
+     * Off by default: the stream costs memory proportional to the
+     * behavior count and nothing in the inline pipeline needs it after
+     * checking. Operational knob, excluded from campaign identity:
+     * keeping the stream changes what is retained, never what is
+     * computed.
+     */
+    bool keepSignatures = false;
 
     /** Readout-path fault injection (all rates 0 = clean readout). */
     FaultConfig fault;
@@ -315,7 +327,43 @@ struct FlowResult
 
     /** Unique decoded executions (only when keepExecutions). */
     std::vector<Execution> executions;
+
+    /**
+     * The sorted unique signature stream the checker consumed (only
+     * when FlowConfig::keepSignatures): exactly what a trace dump
+     * records per test, including undecodable (quarantined) entries,
+     * so an offline re-check classifies them identically.
+     */
+    std::vector<SignatureCount> signatureStream;
 };
+
+/**
+ * The post-execution checking stage: decode the sorted unique
+ * signature stream, derive observed edges, and run the collective
+ * (and optionally conventional) checker, filling the checking-side
+ * fields of @p result — collective/conventional stats, timings,
+ * decode accounting, quarantine, violatingSignatures, and the
+ * violation witness.
+ *
+ * Shared by the inline flow (ValidationFlow::runTest) and the offline
+ * trace checker (src/harness/trace_check.h): it consumes only static
+ * test artifacts plus the sorted stream, so its verdicts and stats are
+ * bit-identical whether the signatures arrived from a live platform or
+ * from a trace file.
+ *
+ * Honored @p cfg knobs: threads, streamCheck, streamWindow, shardSize,
+ * runConventional, keepExecutions. @p verdicts_out receives one
+ * cyclic/acyclic verdict per decoded signature and @p decoded_idx_out
+ * the indices into @p unique that decoded cleanly (both in stream
+ * order); pass empty vectors.
+ */
+void checkSignatureStream(const TestProgram &program,
+                          const SignatureCodec &codec, MemoryModel model,
+                          const FlowConfig &cfg,
+                          const std::vector<SignatureCount> &unique,
+                          PhaseProfiler &prof, FlowResult &result,
+                          std::vector<bool> &verdicts_out,
+                          std::vector<std::size_t> &decoded_idx_out);
 
 /** Runs the full flow over test programs. */
 class ValidationFlow

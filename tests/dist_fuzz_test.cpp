@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "core/trace_format.h"
 #include "dist/protocol.h"
 #include "harness/campaign_journal.h"
 #include "harness/dist_campaign.h"
@@ -283,6 +284,77 @@ TEST(DistFuzz, UnitCodecsThrowOnlyClassifiedErrors)
         // under a distinct seed (see unitRecordDigest).
         (void)unitRecordDigest(mutate(rng, rec_bytes));
     }
+}
+
+TEST(DistFuzz, TraceCodecsThrowOnlyTraceError)
+{
+    // The trace interchange surface (offline checking) reads the same
+    // kind of outside-the-process bytes the fabric does, so it gets
+    // the same sweep: header bodies, signature-stream (unit) bodies,
+    // and checkpoint bodies, each decoded under every trace decoder.
+    TraceHeader header;
+    header.identityDigest = 0xfeedfacecafebeefull;
+    header.description = "seed=7 iterations=64 tests=2";
+    header.spec.assign(48, 0x42);
+    const std::vector<std::uint8_t> header_payload =
+        encodeTraceHeader(header);
+    const std::vector<std::uint8_t> header_body(
+        header_payload.begin() + 1, header_payload.end());
+
+    UnitRecord unit;
+    unit.configName = "x86-2-50-32";
+    unit.testIndex = 1;
+    unit.genSeed = 0xdead;
+    unit.flowSeed = 0xbeef;
+    unit.outcome.result.uniqueSignatures = 2;
+    unit.outcome.result.signatureStream.resize(2);
+    unit.outcome.result.signatureStream[0].signature.words = {1, 2};
+    unit.outcome.result.signatureStream[0].iterations = 3;
+    unit.outcome.result.signatureStream[1].signature.words = {4, 5};
+    unit.outcome.result.signatureStream[1].iterations = 7;
+    const std::vector<std::uint8_t> unit_body = encodeUnitRecord(unit);
+
+    TraceCheckpointRecord ckpt;
+    ckpt.configName = "x86-2-50-32";
+    ckpt.testIndex = 1;
+    ckpt.payloadDigest = 0x77;
+    ckpt.quarantined = 1;
+    ckpt.note = "fingerprint-mismatch: drill";
+    const std::vector<std::uint8_t> ckpt_body =
+        encodeTraceCheckpoint(ckpt);
+
+    const std::vector<std::vector<std::uint8_t>> corpus = {
+        header_body, unit_body, ckpt_body};
+
+    Rng rng(0x7f02);
+    std::uint64_t decoded = 0, rejected = 0;
+    for (unsigned round = 0; round < kRounds; ++round) {
+        const auto mutated =
+            mutate(rng, corpus[rng.nextBelow(corpus.size())]);
+        // Every decoder sees every corpus entry: a flipped kind byte
+        // routes records to the wrong decoder in real ingestion, so
+        // foreign bodies must classify too.
+        try {
+            switch (rng.nextBelow(3)) {
+            case 0:
+                (void)decodeTraceHeader(mutated);
+                break;
+            case 1:
+                (void)decodeTraceCheckpoint(mutated);
+                break;
+            default:
+                (void)decodeUnitRecord(mutated);
+                break;
+            }
+            ++decoded;
+        } catch (const TraceError &) {
+            ++rejected; // trace decoders' documented rejection
+        } catch (const JournalError &) {
+            ++rejected; // unit records keep their journal class
+        }
+    }
+    EXPECT_GT(decoded, 0u);
+    EXPECT_GT(rejected, 0u);
 }
 
 TEST(DistFuzz, SweepIsDeterministicForAGivenSeed)

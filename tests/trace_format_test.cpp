@@ -1,0 +1,523 @@
+/**
+ * @file
+ * Trace interchange format tests: codec round-trips, the version
+ * handshake, forward-compatible skip of unknown record kinds, torn-
+ * tail recovery at every byte offset, and the seeded fault-injection
+ * sweep the format's threat model promises — bit-flip, truncate-at-
+ * offset, record-drop, record-duplicate — every mutation landing in a
+ * classified TraceError (or a clean decode), never a crash, hang, or
+ * unbounded allocation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+#include "core/trace_format.h"
+#include "harness/campaign_journal.h"
+#include "support/framing.h"
+#include "support/journal.h"
+#include "support/rng.h"
+
+namespace mtc
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+/** Unique scratch path that cleans up after itself. */
+class TempFile
+{
+  public:
+    explicit TempFile(const std::string &name)
+        : p((fs::temp_directory_path() /
+             ("mtc_trace_" + name + "_" +
+              std::to_string(static_cast<std::uint64_t>(::getpid()))))
+                .string())
+    {
+        std::remove(p.c_str());
+    }
+
+    ~TempFile() { std::remove(p.c_str()); }
+
+    const std::string &path() const { return p; }
+
+  private:
+    std::string p;
+};
+
+TraceHeader
+sampleHeader()
+{
+    TraceHeader h;
+    h.identityDigest = 0xfeedfacecafebeefull;
+    h.description = "seed=7 iterations=64 tests=2 configs=x86-2-50-32";
+    h.spec = {0x10, 0x20, 0x30, 0x00, 0xff};
+    return h;
+}
+
+TraceCheckpointRecord
+sampleCheckpoint()
+{
+    TraceCheckpointRecord cp;
+    cp.configName = "x86-2-50-32";
+    cp.testIndex = 3;
+    cp.payloadDigest = 0x1122334455667788ull;
+    cp.quarantined = 1;
+    cp.note = "fingerprint-mismatch: stats disagree";
+    return cp;
+}
+
+/** Strip the self-carried kind byte off an encoded header payload —
+ * decodeTraceHeader consumes the body readTraceFile hands it. */
+std::vector<std::uint8_t>
+headerBody(const TraceHeader &h)
+{
+    std::vector<std::uint8_t> payload = encodeTraceHeader(h);
+    return std::vector<std::uint8_t>(payload.begin() + 1, payload.end());
+}
+
+// ---------------------------------------------------------------------
+// Record codecs.
+// ---------------------------------------------------------------------
+
+TEST(TraceHeaderCodec, RoundTripsEveryField)
+{
+    const TraceHeader a = sampleHeader();
+    const std::vector<std::uint8_t> payload = encodeTraceHeader(a);
+    ASSERT_FALSE(payload.empty());
+    EXPECT_EQ(payload[0], kTraceHeaderTag);
+
+    const TraceHeader b = decodeTraceHeader(headerBody(a));
+    EXPECT_EQ(b.version, kTraceVersion);
+    EXPECT_EQ(b.identityDigest, a.identityDigest);
+    EXPECT_EQ(b.description, a.description);
+    EXPECT_EQ(b.spec, a.spec);
+}
+
+TEST(TraceHeaderCodec, BadMagicClassifiedCorrupt)
+{
+    std::vector<std::uint8_t> body = headerBody(sampleHeader());
+    body[0] ^= 0xff; // magic is the first body field
+    try {
+        (void)decodeTraceHeader(body);
+        FAIL() << "corrupt magic decoded";
+    } catch (const TraceError &err) {
+        EXPECT_EQ(err.kind(), TraceFaultKind::Corrupt);
+    }
+}
+
+TEST(TraceHeaderCodec, FutureVersionClassifiedVersionSkew)
+{
+    TraceHeader h = sampleHeader();
+    h.version = kTraceVersion + 1;
+    try {
+        (void)decodeTraceHeader(headerBody(h));
+        FAIL() << "future version decoded";
+    } catch (const TraceError &err) {
+        EXPECT_EQ(err.kind(), TraceFaultKind::VersionSkew);
+    }
+}
+
+TEST(TraceHeaderCodec, ForgedSpecLengthBoundedBeforeAllocation)
+{
+    // Declare a 4 GiB spec in a 30-byte body: the decoder must bound
+    // the read by the bytes present and classify, not allocate.
+    ByteWriter w;
+    w.u32(kTraceMagic);
+    w.u32(kTraceVersion);
+    w.u64(0);
+    w.str("");
+    w.u32(0xffffffffu);
+    try {
+        (void)decodeTraceHeader(w.bytes());
+        FAIL() << "forged length decoded";
+    } catch (const TraceError &err) {
+        EXPECT_EQ(err.kind(), TraceFaultKind::Truncated);
+    }
+}
+
+TEST(TraceHeaderCodec, TruncatedAndTrailingBytesClassified)
+{
+    const std::vector<std::uint8_t> body = headerBody(sampleHeader());
+    try {
+        (void)decodeTraceHeader(std::vector<std::uint8_t>(
+            body.begin(), body.begin() + 10));
+        FAIL() << "truncated body decoded";
+    } catch (const TraceError &err) {
+        EXPECT_EQ(err.kind(), TraceFaultKind::Truncated);
+    }
+
+    std::vector<std::uint8_t> padded = body;
+    padded.push_back(0x00);
+    try {
+        (void)decodeTraceHeader(padded);
+        FAIL() << "trailing bytes decoded";
+    } catch (const TraceError &err) {
+        EXPECT_EQ(err.kind(), TraceFaultKind::Corrupt);
+    }
+}
+
+TEST(TraceCheckpointCodec, RoundTripsBothVerdicts)
+{
+    for (const std::uint8_t verdict : {0, 1}) {
+        TraceCheckpointRecord a = sampleCheckpoint();
+        a.quarantined = verdict;
+        const TraceCheckpointRecord b =
+            decodeTraceCheckpoint(encodeTraceCheckpoint(a));
+        EXPECT_EQ(b.configName, a.configName);
+        EXPECT_EQ(b.testIndex, a.testIndex);
+        EXPECT_EQ(b.payloadDigest, a.payloadDigest);
+        EXPECT_EQ(b.quarantined, a.quarantined);
+        EXPECT_EQ(b.note, a.note);
+    }
+}
+
+TEST(TraceCheckpointCodec, OutOfRangeVerdictClassifiedCorrupt)
+{
+    TraceCheckpointRecord cp = sampleCheckpoint();
+    cp.quarantined = 2;
+    try {
+        (void)decodeTraceCheckpoint(encodeTraceCheckpoint(cp));
+        FAIL() << "verdict byte 2 decoded";
+    } catch (const TraceError &err) {
+        EXPECT_EQ(err.kind(), TraceFaultKind::Corrupt);
+    }
+}
+
+TEST(TraceFaultNames, StableLowercaseNames)
+{
+    EXPECT_STREQ(traceFaultName(TraceFaultKind::Truncated), "truncated");
+    EXPECT_STREQ(traceFaultName(TraceFaultKind::Corrupt), "corrupt");
+    EXPECT_STREQ(traceFaultName(TraceFaultKind::VersionSkew),
+                 "version-skew");
+    EXPECT_STREQ(traceFaultName(TraceFaultKind::FingerprintMismatch),
+                 "fingerprint-mismatch");
+}
+
+// ---------------------------------------------------------------------
+// File layer: writer/reader, handshake, forward compatibility.
+// ---------------------------------------------------------------------
+
+UnitRecord
+sampleUnit(std::uint32_t index)
+{
+    UnitRecord u;
+    u.configName = "x86-2-50-32";
+    u.testIndex = index;
+    u.genSeed = 0x1000 + index;
+    u.flowSeed = 0x2000 + index;
+    u.outcome.status = TestStatus::Ok;
+    u.outcome.ok = true;
+    u.outcome.result.iterationsRun = 32;
+    u.outcome.result.uniqueSignatures = index + 1;
+    return u;
+}
+
+TEST(TraceFileIo, WriteReadRoundTripInOrder)
+{
+    TempFile file("roundtrip");
+    const TraceHeader header = sampleHeader();
+    {
+        TraceWriter writer(file.path(), header);
+        writer.append(kTraceUnitTag, encodeUnitRecord(sampleUnit(0)));
+        writer.append(kTraceUnitTag, encodeUnitRecord(sampleUnit(1)));
+        writer.append(kTraceCheckpointTag,
+                      encodeTraceCheckpoint(sampleCheckpoint()));
+        writer.sync();
+    }
+    const TraceFile trace = readTraceFile(file.path());
+    EXPECT_EQ(trace.header.identityDigest, header.identityDigest);
+    EXPECT_EQ(trace.header.description, header.description);
+    EXPECT_EQ(trace.header.spec, header.spec);
+    EXPECT_EQ(trace.droppedBytes, 0u);
+    EXPECT_EQ(trace.unknownSkipped, 0u);
+    EXPECT_EQ(trace.malformedRecords, 0u);
+    ASSERT_EQ(trace.records.size(), 3u);
+    EXPECT_EQ(trace.records[0].kind, kTraceUnitTag);
+    EXPECT_EQ(trace.records[1].kind, kTraceUnitTag);
+    EXPECT_EQ(trace.records[2].kind, kTraceCheckpointTag);
+    EXPECT_EQ(decodeUnitRecord(trace.records[1].body).testIndex, 1u);
+    EXPECT_EQ(decodeTraceCheckpoint(trace.records[2].body).note,
+              sampleCheckpoint().note);
+}
+
+TEST(TraceFileIo, FreshWriterDiscardsStaleFile)
+{
+    TempFile file("stale");
+    {
+        TraceWriter writer(file.path(), sampleHeader());
+        writer.append(kTraceUnitTag, encodeUnitRecord(sampleUnit(0)));
+    }
+    {
+        TraceWriter writer(file.path(), sampleHeader());
+    }
+    EXPECT_TRUE(readTraceFile(file.path()).records.empty());
+}
+
+TEST(TraceFileIo, UnknownRecordKindsSkippedNotFatal)
+{
+    TempFile file("unknown");
+    {
+        TraceWriter writer(file.path(), sampleHeader());
+        writer.append(kTraceUnitTag, encodeUnitRecord(sampleUnit(0)));
+        writer.append(99, {0xde, 0xad}); // a future producer's kind
+        writer.append(kTraceUnitTag, encodeUnitRecord(sampleUnit(1)));
+        writer.sync();
+    }
+    const TraceFile trace = readTraceFile(file.path());
+    EXPECT_EQ(trace.unknownSkipped, 1u);
+    ASSERT_EQ(trace.records.size(), 2u);
+    EXPECT_EQ(decodeUnitRecord(trace.records[1].body).testIndex, 1u);
+}
+
+TEST(TraceFileIo, MissingAndEmptyFilesClassifiedTruncated)
+{
+    TempFile file("empty");
+    {
+        std::FILE *f = std::fopen(file.path().c_str(), "wb");
+        ASSERT_NE(f, nullptr);
+        std::fclose(f);
+    }
+    for (const std::string &path :
+         {std::string("/nonexistent/dir/never.trace"), file.path()}) {
+        try {
+            (void)readTraceFile(path);
+            FAIL() << "missing/empty file read: " << path;
+        } catch (const TraceError &err) {
+            EXPECT_EQ(err.kind(), TraceFaultKind::Truncated);
+        }
+    }
+}
+
+TEST(TraceFileIo, NonHeaderFirstRecordClassifiedCorrupt)
+{
+    TempFile file("noheader");
+    {
+        JournalWriter writer(file.path());
+        std::vector<std::uint8_t> payload = {kTraceUnitTag};
+        const auto body = encodeUnitRecord(sampleUnit(0));
+        payload.insert(payload.end(), body.begin(), body.end());
+        writer.append(payload);
+    }
+    try {
+        (void)readTraceFile(file.path());
+        FAIL() << "headerless trace read";
+    } catch (const TraceError &err) {
+        EXPECT_EQ(err.kind(), TraceFaultKind::Corrupt);
+    }
+}
+
+TEST(TraceFileIo, VersionSkewRejectedAtHandshake)
+{
+    TempFile file("skew");
+    TraceHeader h = sampleHeader();
+    h.version = kTraceVersion + 7;
+    {
+        // TraceWriter always stamps the current version, so forge the
+        // file through the raw journal layer.
+        JournalWriter writer(file.path());
+        writer.append(encodeTraceHeader(h));
+    }
+    try {
+        (void)readTraceFile(file.path());
+        FAIL() << "version-skewed trace read";
+    } catch (const TraceError &err) {
+        EXPECT_EQ(err.kind(), TraceFaultKind::VersionSkew);
+    }
+}
+
+TEST(TraceFileIo, TornTailRecoveredAtEveryByteOffset)
+{
+    TempFile master("torn_master");
+    {
+        TraceWriter writer(master.path(), sampleHeader());
+        writer.append(kTraceUnitTag, encodeUnitRecord(sampleUnit(0)));
+        writer.append(kTraceUnitTag, encodeUnitRecord(sampleUnit(1)));
+        writer.sync();
+    }
+    // Frame boundaries from the journal layer: header, unit 0, unit 1.
+    const JournalRecovery layout = readJournal(master.path());
+    ASSERT_EQ(layout.records.size(), 3u);
+    std::vector<std::uint64_t> ends; // cumulative end of each frame
+    std::uint64_t at = 0;
+    for (const auto &rec : layout.records) {
+        at += kFrameHeaderBytes + rec.size();
+        ends.push_back(at);
+    }
+    const std::uint64_t total = ends.back();
+    ASSERT_EQ(total, fs::file_size(master.path()));
+
+    for (std::uint64_t cut = 0; cut < total; ++cut) {
+        TempFile torn("torn_cut" + std::to_string(cut));
+        fs::copy_file(master.path(), torn.path(),
+                      fs::copy_options::overwrite_existing);
+        fs::resize_file(torn.path(), cut);
+
+        if (cut < ends[0]) {
+            // Tear inside the header frame: no intact first record.
+            try {
+                (void)readTraceFile(torn.path());
+                FAIL() << "headerless prefix read at cut " << cut;
+            } catch (const TraceError &err) {
+                EXPECT_EQ(err.kind(), TraceFaultKind::Truncated)
+                    << "cut at " << cut;
+            }
+            continue;
+        }
+        const TraceFile trace = readTraceFile(torn.path());
+        const std::size_t expect_units =
+            cut >= ends[2] ? 2 : cut >= ends[1] ? 1 : 0;
+        ASSERT_EQ(trace.records.size(), expect_units)
+            << "cut at " << cut;
+        for (std::size_t i = 0; i < expect_units; ++i)
+            EXPECT_EQ(decodeUnitRecord(trace.records[i].body).testIndex,
+                      i);
+        EXPECT_EQ(trace.validBytes, ends[expect_units]);
+        EXPECT_EQ(trace.droppedBytes, cut - ends[expect_units]);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Seeded fault-injection sweep over whole trace files: bit-flip,
+// truncate-at-offset, record-drop, record-duplicate (mirroring the
+// FaultInjector's models at file granularity). Contract: readTraceFile
+// plus a full decode of every surviving record either succeeds or
+// throws a classified TraceError — never anything else.
+// ---------------------------------------------------------------------
+
+enum class FileMutation : std::uint8_t
+{
+    BitFlip = 0,
+    TruncateAtOffset,
+    RecordDrop,
+    RecordDuplicate,
+};
+
+void
+rewriteFrames(const std::string &path,
+              const std::vector<std::vector<std::uint8_t>> &frames)
+{
+    std::remove(path.c_str());
+    JournalWriter writer(path);
+    for (const auto &frame : frames)
+        writer.append(frame);
+}
+
+TEST(TraceFuzz, EveryFileMutationLandsInAClassifiedOutcome)
+{
+    TempFile master("fuzz_master");
+    {
+        TraceWriter writer(master.path(), sampleHeader());
+        for (std::uint32_t i = 0; i < 4; ++i)
+            writer.append(kTraceUnitTag,
+                          encodeUnitRecord(sampleUnit(i)));
+        writer.append(kTraceCheckpointTag,
+                      encodeTraceCheckpoint(sampleCheckpoint()));
+        writer.sync();
+    }
+    const JournalRecovery layout = readJournal(master.path());
+    const std::uint64_t total = fs::file_size(master.path());
+
+    Rng rng(0x7ace);
+    unsigned decoded = 0, classified = 0;
+    for (unsigned round = 0; round < 600; ++round) {
+        TempFile probe("fuzz_round" + std::to_string(round));
+        const auto mutation =
+            static_cast<FileMutation>(rng.nextBelow(4));
+        switch (mutation) {
+        case FileMutation::BitFlip: {
+            fs::copy_file(master.path(), probe.path(),
+                          fs::copy_options::overwrite_existing);
+            std::fstream f(probe.path(), std::ios::in | std::ios::out |
+                                             std::ios::binary);
+            const std::uint64_t at = rng.nextBelow(total);
+            f.seekg(static_cast<std::streamoff>(at));
+            char byte = 0;
+            f.get(byte);
+            f.seekp(static_cast<std::streamoff>(at));
+            f.put(static_cast<char>(
+                byte ^ static_cast<char>(1u << rng.nextBelow(8))));
+            break;
+        }
+        case FileMutation::TruncateAtOffset: {
+            fs::copy_file(master.path(), probe.path(),
+                          fs::copy_options::overwrite_existing);
+            fs::resize_file(probe.path(), rng.nextBelow(total));
+            break;
+        }
+        case FileMutation::RecordDrop: {
+            auto frames = layout.records;
+            frames.erase(frames.begin() +
+                         static_cast<std::ptrdiff_t>(
+                             rng.nextBelow(frames.size())));
+            rewriteFrames(probe.path(), frames);
+            break;
+        }
+        case FileMutation::RecordDuplicate: {
+            auto frames = layout.records;
+            const std::size_t at = rng.nextBelow(frames.size());
+            frames.insert(frames.begin() +
+                              static_cast<std::ptrdiff_t>(at),
+                          frames[at]);
+            rewriteFrames(probe.path(), frames);
+            break;
+        }
+        }
+
+        try {
+            const TraceFile trace = readTraceFile(probe.path());
+            for (const TraceRecord &rec : trace.records) {
+                if (rec.kind == kTraceUnitTag)
+                    (void)decodeUnitRecord(rec.body);
+                else if (rec.kind == kTraceCheckpointTag)
+                    (void)decodeTraceCheckpoint(rec.body);
+            }
+            ++decoded;
+        } catch (const TraceError &) {
+            ++classified; // the sanctioned failure mode
+        } catch (const JournalError &) {
+            ++classified; // unit-record bodies keep their own class
+        }
+    }
+    // The sweep must exercise both sides of the contract.
+    EXPECT_GT(decoded, 0u);
+    EXPECT_GT(classified, 0u);
+}
+
+TEST(TraceFuzz, SweepIsDeterministicForAGivenSeed)
+{
+    const std::vector<std::uint8_t> body = headerBody(sampleHeader());
+    const auto run_sweep = [&body](std::uint64_t seed) {
+        Rng rng(seed);
+        std::uint64_t digest = 0xcbf29ce484222325ull;
+        for (unsigned round = 0; round < 500; ++round) {
+            std::vector<std::uint8_t> mutated = body;
+            const std::size_t at = rng.nextBelow(mutated.size());
+            mutated[at] ^=
+                static_cast<std::uint8_t>(1u << rng.nextBelow(8));
+            std::uint8_t outcome;
+            try {
+                (void)decodeTraceHeader(mutated);
+                outcome = 1;
+            } catch (const TraceError &err) {
+                outcome = static_cast<std::uint8_t>(
+                    2 + static_cast<unsigned>(err.kind()));
+            }
+            digest = (digest ^ outcome) * 0x100000001b3ull;
+        }
+        return digest;
+    };
+    EXPECT_EQ(run_sweep(11), run_sweep(11));
+    EXPECT_NE(run_sweep(11), run_sweep(13));
+}
+
+} // anonymous namespace
+} // namespace mtc

@@ -16,7 +16,11 @@
 # the kill-and-resume smoke is repeated in sandbox mode. The
 # distributed smoke closes the loop for the TCP fabric: a coordinator
 # plus two external workers, one SIGKILLed mid-run, and the summary
-# (digests included) must be byte-identical to the serial run.
+# (digests included) must be byte-identical to the serial run. The
+# trace round-trip smoke covers the offline split: a --dump-trace
+# campaign re-checked by mtc_check must reproduce the inline summary
+# byte for byte, and a torn copy of the trace must exit with the
+# classified trace-fault code.
 # Usage: tools/ci.sh [jobs]
 set -euo pipefail
 
@@ -56,6 +60,7 @@ echo "=== bench/scaling --smoke --sandbox --distributed ==="
 ./build/bench/scaling --smoke --sandbox --distributed
 grep -q '"sandbox":' BENCH_scaling.smoke.json
 grep -q '"distributed":' BENCH_scaling.smoke.json
+grep -q '"trace_check":' BENCH_scaling.smoke.json
 
 # Hot-path smoke at an explicit batch width: the bench exits non-zero
 # if the batched, scalar, or fresh-arena passes diverge (signature-set
@@ -236,6 +241,66 @@ dist_smoke ./build plain
 echo "=== distributed-fabric smoke (asan) ==="
 dist_smoke ./build-asan asan
 
+# Trace round-trip smoke: the offline-checking gate. A faulted
+# campaign runs once with --dump-trace, then mtc_check re-checks the
+# trace standalone, and every `campaign` summary line — per-config
+# digests and the campaign digest included — must be byte-identical
+# to the inline run, with matching exit codes. A truncated copy of
+# the same trace must then land on the documented trace-fault code 7
+# with a classified [truncated] diagnostic, never a crash.
+trace_smoke() {
+    local bin_dir="$1" tag="$2"
+    local coord="${bin_dir}/tools/mtc_coordinator"
+    local check="${bin_dir}/tools/mtc_check"
+    local trace="build/ci_trace_${tag}.trace"
+    local dist_trace="build/ci_trace_${tag}.dist.trace"
+    local torn="build/ci_trace_${tag}.torn.trace"
+    local inline_out="build/ci_trace_${tag}.inline.txt"
+    local dist_out="build/ci_trace_${tag}.distrun.txt"
+    local check_out="build/ci_trace_${tag}.check.txt"
+    local torn_out="build/ci_trace_${tag}.torn.txt"
+    local torn_err="build/ci_trace_${tag}.torn.err"
+    local args=(--config x86-2-50-32 --config ARM-2-50-32 --tests 4
+                --iterations 1024 --seed 23 --fault-bitflip 0.01)
+    rm -f "${trace}" "${dist_trace}" "${torn}" "${inline_out}" \
+        "${dist_out}" "${check_out}" "${torn_out}" "${torn_err}"
+    local inline_rc=0 check_rc=0 dist_rc=0 dchk_rc=0 torn_rc=0
+    "${coord}" "${args[@]}" --serial --dump-trace "${trace}" \
+        > "${inline_out}" || inline_rc=$?
+    [ "${inline_rc}" -ne 1 ]
+    "${check}" "${trace}" > "${check_out}" || check_rc=$?
+    [ "${check_rc}" -eq "${inline_rc}" ]
+    diff <(grep '^campaign' "${inline_out}") \
+         <(grep '^campaign' "${check_out}")
+    # The distributed producer (2 loopback workers, units reported out
+    # of order) must dump a trace whose offline check still lands on
+    # the very same summary lines as the serial inline run.
+    "${coord}" "${args[@]}" --workers 2 --dump-trace "${dist_trace}" \
+        > "${dist_out}" 2> /dev/null || dist_rc=$?
+    [ "${dist_rc}" -eq "${inline_rc}" ]
+    "${check}" "${dist_trace}" > "${check_out}" || dchk_rc=$?
+    [ "${dchk_rc}" -eq "${inline_rc}" ]
+    diff <(grep '^campaign' "${inline_out}") \
+         <(grep '^campaign' "${check_out}")
+    # Tear off the trace tail: the checker must recover the longest
+    # intact prefix, report the loss as a classified fault, and exit
+    # with the trace-fault code — crashing or hanging fails the gate.
+    head -c "$(($(stat -c %s "${trace}") * 3 / 5))" "${trace}" \
+        > "${torn}"
+    "${check}" "${torn}" > "${torn_out}" 2> "${torn_err}" \
+        || torn_rc=$?
+    [ "${torn_rc}" -eq 7 ]
+    grep -q "trace fault \[truncated\]" "${torn_err}"
+    grep -q "^trace check:" "${torn_out}"
+    rm -f "${trace}" "${dist_trace}" "${torn}" "${inline_out}" \
+        "${dist_out}" "${check_out}" "${torn_out}" "${torn_err}"
+}
+
+echo "=== trace round-trip smoke (plain) ==="
+trace_smoke ./build plain
+echo "=== trace round-trip smoke (asan) ==="
+trace_smoke ./build-asan asan
+
 # Chaos smoke: the hardened-fabric gate. A keyed coordinator drives a
 # 3-worker loopback fleet through seeded network faults (drops,
 # duplicates, corruption) with a 100% Byzantine audit, while the last
@@ -299,4 +364,4 @@ chaos_smoke ./build plain
 echo "=== chaos smoke: faults + Byzantine quarantine (asan) ==="
 chaos_smoke ./build-asan asan
 
-echo "=== CI OK: plain, sanitized, simd, parallel, resume, sandbox, distributed, and chaos suites all green ==="
+echo "=== CI OK: plain, sanitized, simd, parallel, resume, sandbox, distributed, trace, and chaos suites all green ==="

@@ -25,6 +25,8 @@
  *     --confirm-k N       K-re-execution confirmation budget [2]
  *     --journal PATH      write-ahead unit journal (crash-safe)
  *     --resume            replay completed units from --journal
+ *     --dump-trace PATH   dump the finished campaign's signature
+ *                         streams for offline checking (mtc_check)
  *     --test-timeout-ms N per-test watchdog deadline (worker-side)
  *     --port N            TCP port; 0 = ephemeral            [0]
  *     --port-file PATH    write the bound port here once listening
@@ -72,8 +74,8 @@
 
 #include "dist/coordinator.h"
 #include "harness/campaign.h"
-#include "support/framing.h"
-#include "support/journal.h"
+#include "harness/campaign_report.h"
+#include "harness/exit_codes.h"
 #include "support/table.h"
 #include "testgen/test_config.h"
 
@@ -112,6 +114,10 @@ usage()
         "  --resume          replay completed units from --journal;\n"
         "                    the summary is bit-identical to an\n"
         "                    uninterrupted run\n"
+        "  --dump-trace PATH dump the finished campaign's signature\n"
+        "                    streams as a versioned trace; mtc_check\n"
+        "                    re-checks it offline to byte-identical\n"
+        "                    summaries (env: MTC_DUMP_TRACE)\n"
         "  --test-timeout-ms N  worker-side watchdog deadline [off]\n"
         "  --port N          TCP port; 0 = ephemeral [0]\n"
         "  --port-file PATH  write the bound port (decimal, one line)\n"
@@ -257,7 +263,12 @@ parseArgs(int argc, char **argv)
                 throw ConfigError("--journal expects a non-empty path");
         } else if (arg == "--resume")
             c.resume = true;
-        else if (arg == "--test-timeout-ms")
+        else if (arg == "--dump-trace") {
+            c.dumpTracePath = next();
+            if (c.dumpTracePath.empty())
+                throw ConfigError(
+                    "--dump-trace expects a non-empty path");
+        } else if (arg == "--test-timeout-ms")
             c.testTimeoutMs = parseCount(arg, next());
         else if (arg == "--port")
             c.distPort =
@@ -333,54 +344,6 @@ parseArgs(int argc, char **argv)
     return opt;
 }
 
-/**
- * Fold one summary's deterministic fields (no wall-clock, no
- * advisory breaker verdicts) into @p w — the byte stream behind both
- * the printed per-config digest and the campaign digest that the CI
- * smoke byte-compares between serial and distributed runs.
- */
-void
-foldSummary(ByteWriter &w, const ConfigSummary &s)
-{
-    w.str(s.cfg.name());
-    w.u32(s.tests);
-    w.f64(s.avgUniqueSignatures);
-    w.f64(s.avgSignatureBytes);
-    w.f64(s.avgUnrelatedAccesses);
-    w.f64(s.avgCodeRatio);
-    w.u64(s.collectiveWork);
-    w.u64(s.conventionalWork);
-    w.u64(s.collectiveGraphs);
-    w.u64(s.collectiveCompleteSorts);
-    w.f64(s.fracComplete);
-    w.f64(s.fracNoResort);
-    w.f64(s.fracIncremental);
-    w.f64(s.avgAffectedFraction);
-    w.f64(s.avgComputationOverhead);
-    w.f64(s.avgSortingOverhead);
-    w.u64(s.violations);
-    w.u64(s.quarantinedSignatures);
-    w.u64(s.quarantinedIterations);
-    w.u64(s.confirmedViolations);
-    w.u64(s.transientViolations);
-    w.u32(s.crashRetries);
-    w.u32(s.testRetriesUsed);
-    w.u32(s.failedTests);
-    w.u32(s.hungTests);
-    w.u32(s.hungAttempts);
-    w.u8(s.degraded ? 1 : 0);
-}
-
-std::string
-hex64(std::uint64_t v)
-{
-    static const char digits[] = "0123456789abcdef";
-    std::string out(16, '0');
-    for (int i = 15; i >= 0; --i, v >>= 4)
-        out[static_cast<std::size_t>(i)] = digits[v & 0xf];
-    return out;
-}
-
 } // anonymous namespace
 
 int
@@ -433,46 +396,11 @@ main(int argc, char **argv)
 
         // Deterministic summary block: one line per config plus a
         // campaign digest, all free of wall-clock — this is what the
-        // CI smoke byte-diffs between --serial and distributed runs.
-        ByteWriter campaign_fold;
-        std::uint64_t violations = 0, confirmed = 0, transient = 0;
-        std::uint64_t quarantined = 0;
-        unsigned failed = 0, hung = 0, crashes = 0;
-        bool tripped = false, degraded = false;
-        for (const ConfigSummary &s : summaries) {
-            ByteWriter w;
-            foldSummary(w, s);
-            foldSummary(campaign_fold, s);
-            std::cout << "campaign summary: " << s.cfg.name()
-                      << " tests=" << s.tests
-                      << " violations=" << s.violations
-                      << " confirmed=" << s.confirmedViolations
-                      << " transient=" << s.transientViolations
-                      << " quarantined=" << s.quarantinedSignatures
-                      << " failed=" << s.failedTests
-                      << " hung=" << s.hungTests
-                      << " retries=" << s.testRetriesUsed
-                      << " digest="
-                      << hex64(fnv1a64(w.bytes().data(),
-                                       w.bytes().size()))
-                      << "\n";
-            violations += s.violations;
-            confirmed += s.confirmedViolations;
-            transient += s.transientViolations;
-            quarantined += s.quarantinedSignatures;
-            failed += s.failedTests;
-            hung += s.hungTests;
-            crashes += s.crashRetries;
-            tripped = tripped || s.tripped;
-            degraded = degraded || (s.degraded && !s.tripped);
-            if (s.degraded && !s.error.empty())
-                std::cerr << "mtc_coordinator: " << s.cfg.name()
-                          << " degraded: " << s.error << "\n";
-        }
-        std::cout << "campaign digest: "
-                  << hex64(fnv1a64(campaign_fold.bytes().data(),
-                                   campaign_fold.bytes().size()))
-                  << "\n";
+        // CI smoke byte-diffs between --serial and distributed runs,
+        // and what mtc_check reproduces from a dumped trace
+        // (campaign_report.h is the single source of those bytes).
+        const CampaignTotals totals = printCampaignReport(
+            std::cout, std::cerr, "mtc_coordinator", summaries);
 
         // Operational fabric report. Deliberately NOT prefixed
         // "campaign": the CI smoke byte-compares `grep '^campaign'`
@@ -496,22 +424,12 @@ main(int argc, char **argv)
             std::cout << "\n";
         }
 
-        if (violations || confirmed)
-            return 2;
-        if (tripped)
-            return 6;
-        if (hung)
-            return 5;
-        if (failed || crashes || degraded)
-            return 4;
-        if (quarantined || transient)
-            return 3;
-        return 0;
+        return campaignExitCode(totals);
     } catch (const Error &err) {
         std::cerr << "mtc_coordinator: " << err.what() << "\n";
-        return 1;
+        return kExitConfigError;
     } catch (const std::exception &err) {
         std::cerr << "mtc_coordinator: " << err.what() << "\n";
-        return 1;
+        return kExitConfigError;
     }
 }

@@ -80,6 +80,7 @@
 #include "harness/campaign.h"
 #include "harness/campaign_journal.h"
 #include "harness/dist_campaign.h"
+#include "harness/exit_codes.h"
 #include "harness/sandbox.h"
 #include "harness/validation_flow.h"
 #include "harness/watchdog.h"
@@ -1345,24 +1346,24 @@ main(int argc, char **argv)
         // "the platform wedged" from "the campaign gave up early".
         const bool violation = total_bad || total_assert;
         if (violation)
-            return 2;
+            return kExitViolation;
         if (tripped)
-            return 6;
+            return kExitBreakerTripped;
         if (hung_tests)
-            return 5;
+            return kExitHang;
         if (crashes)
-            return 4;
+            return kExitPlatformCrash;
         if (quarantined || transient)
-            return 3;
-        return 0;
+            return kExitCorruptionOnly;
+        return kExitClean;
     } catch (const Error &err) {
         std::cerr << "mtc_validate: " << err.what() << "\n";
-        return 1;
+        return kExitConfigError;
     } catch (const std::exception &err) {
         // Malformed numeric arguments (std::stoul and friends) and
         // other standard-library failures are configuration errors
         // too, not crashes.
         std::cerr << "mtc_validate: " << err.what() << "\n";
-        return 1;
+        return kExitConfigError;
     }
 }
